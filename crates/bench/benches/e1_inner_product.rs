@@ -1,0 +1,56 @@
+//! E1 — Figures 7/8: specializing the inner-product program with respect
+//! to vector size, across sizes, online and offline.
+//!
+//! Regenerates the Figure 8 residual at every size (asserted) and
+//! measures what the paper discusses qualitatively: the cost of the
+//! online specialization versus the offline specialization (analysis
+//! amortized) that produces the same residual.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppe_bench::{deep_config, iprod_analysis, size_facets, sized_inputs, INNER_PRODUCT};
+use ppe_lang::pretty_program;
+use ppe_offline::OfflinePe;
+use ppe_online::OnlinePe;
+use std::hint::black_box;
+
+fn bench_e1(c: &mut Criterion) {
+    let program = ppe_bench::program(INNER_PRODUCT);
+    let facets = size_facets();
+    let analysis = iprod_analysis(&program, &facets);
+
+    let mut group = c.benchmark_group("e1_inner_product");
+    for n in [2i64, 4, 8, 16, 32] {
+        let inputs = sized_inputs(n);
+        let config = deep_config(n as u32);
+
+        // Sanity: both pipelines produce the unrolled Figure 8 shape.
+        let online = OnlinePe::with_config(&program, &facets, config.clone())
+            .specialize_main(&inputs)
+            .expect("online specialization");
+        let offline = OfflinePe::with_config(&program, &facets, &analysis, config.clone())
+            .specialize(&inputs)
+            .expect("offline specialization");
+        assert_eq!(
+            pretty_program(&online.program),
+            pretty_program(&offline.program)
+        );
+        assert_eq!(online.program.defs().len(), 1, "fully unrolled at n={n}");
+
+        group.bench_with_input(BenchmarkId::new("online", n), &n, |b, _| {
+            let pe = OnlinePe::with_config(&program, &facets, config.clone());
+            b.iter(|| black_box(pe.specialize_main(black_box(&inputs)).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("offline_spec", n), &n, |b, _| {
+            let pe = OfflinePe::with_config(&program, &facets, &analysis, config.clone());
+            b.iter(|| black_box(pe.specialize(black_box(&inputs)).unwrap()));
+        });
+    }
+    // The one-off analysis cost that the offline pipeline amortizes.
+    group.bench_function("facet_analysis_once", |b| {
+        b.iter(|| black_box(iprod_analysis(&program, &facets)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E3 — the paper's Sections 1/5 claim: online parameterized partial
+//! evaluation "is computationally expensive" because every decision is
+//! re-made while processing (notably recursive functions), while the
+//! offline split pays for facet analysis once and keeps specialization
+//! simple.
+//!
+//! Measured as a sweep over the number of specializations performed with
+//! the same binding-time division: `k` specializations of the
+//! inner-product program at different sizes, comparing
+//!
+//! - `online×k` — the online evaluator run `k` times;
+//! - `analysis+offline×k` — one facet analysis plus `k` annotation-driven
+//!   specializations (the offline architecture);
+//!
+//! the crossover in favour of offline as `k` grows is the paper's
+//! amortization argument made concrete.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppe_bench::{deep_config, iprod_analysis, size_facets, sized_inputs, INNER_PRODUCT};
+use ppe_offline::OfflinePe;
+use ppe_online::OnlinePe;
+use std::hint::black_box;
+
+fn bench_e3(c: &mut Criterion) {
+    let program = ppe_bench::program(INNER_PRODUCT);
+    let facets = size_facets();
+    let config = deep_config(64);
+
+    let mut group = c.benchmark_group("e3_online_vs_offline");
+    for k in [1usize, 4, 16, 64] {
+        let sizes: Vec<i64> = (0..k).map(|i| 2 + (i as i64 % 31)).collect();
+
+        group.bench_with_input(BenchmarkId::new("online_times_k", k), &k, |b, _| {
+            let pe = OnlinePe::with_config(&program, &facets, config.clone());
+            b.iter(|| {
+                for &n in &sizes {
+                    black_box(pe.specialize_main(&sized_inputs(n)).unwrap());
+                }
+            });
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("analysis_plus_offline_times_k", k),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    let analysis = iprod_analysis(&program, &facets);
+                    let pe = OfflinePe::with_config(&program, &facets, &analysis, config.clone());
+                    for &n in &sizes {
+                        black_box(pe.specialize(&sized_inputs(n)).unwrap());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E4 — Definition 7 / Section 2: the parameterized evaluator restricted
+//! to the partial evaluation facet computes the same residuals as the
+//! conventional simple partial evaluator of Figure 2. This bench
+//! quantifies what that generality costs: simple PE vs parameterized PE
+//! with an empty facet set, on the same workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppe_bench::{deep_config, POWER, SIGN_KERNEL};
+use ppe_core::FacetSet;
+use ppe_lang::{pretty_program, Const, Value};
+use ppe_online::{OnlinePe, PeInput, SimpleInput, SimplePe};
+use std::hint::black_box;
+
+fn bench_e4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_pe_facet_overhead");
+    let cases: [(&str, &str, i64); 2] = [("power", POWER, 64), ("kernel", SIGN_KERNEL, 64)];
+    for (name, src, n) in cases {
+        let program = ppe_bench::program(src);
+        let facets = FacetSet::new();
+        let config = deep_config(n as u32);
+        let online_inputs = [PeInput::dynamic(), PeInput::known(Value::Int(n))];
+        let simple_inputs = [SimpleInput::Dynamic, SimpleInput::Known(Const::Int(n))];
+
+        // The two must produce identical residual programs.
+        let a = OnlinePe::with_config(&program, &facets, config.clone())
+            .specialize_main(&online_inputs)
+            .unwrap();
+        let b = SimplePe::with_config(&program, config.clone())
+            .specialize_main(&simple_inputs)
+            .unwrap();
+        assert_eq!(pretty_program(&a.program), pretty_program(&b.program));
+
+        group.bench_with_input(BenchmarkId::new("simple_pe", name), &n, |bch, _| {
+            let pe = SimplePe::with_config(&program, config.clone());
+            bch.iter(|| black_box(pe.specialize_main(black_box(&simple_inputs)).unwrap()));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("parameterized_pe_facet_only", name),
+            &n,
+            |bch, _| {
+                let pe = OnlinePe::with_config(&program, &facets, config.clone());
+                bch.iter(|| black_box(pe.specialize_main(black_box(&online_inputs)).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E5 — Section 4.2 (products of facets): the cost of carrying more
+//! facets in the product. The same specialization is run with 0–4 facets
+//! installed; every closed/open product operator fans out over all of
+//! them, so specialization time grows with the product width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppe_bench::{deep_config, facet_set_of_width, SIGN_KERNEL};
+use ppe_lang::Value;
+use ppe_online::{OnlinePe, PeInput};
+use std::hint::black_box;
+
+fn bench_e5(c: &mut Criterion) {
+    let program = ppe_bench::program(SIGN_KERNEL);
+    let config = deep_config(48);
+    let mut group = c.benchmark_group("e5_facet_scaling");
+    for width in 0..=4usize {
+        let facets = facet_set_of_width(width);
+        let inputs = [PeInput::dynamic(), PeInput::known(Value::Int(48))];
+        group.bench_with_input(BenchmarkId::new("facets", width), &width, |b, _| {
+            let pe = OnlinePe::with_config(&program, &facets, config.clone());
+            b.iter(|| black_box(pe.specialize_main(black_box(&inputs)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

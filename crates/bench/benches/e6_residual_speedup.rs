@@ -1,0 +1,39 @@
+//! E6 — the point of Figure 8: the specialized inner product beats the
+//! general one. Measures `eval(iprod, a, b)` against
+//! `eval(iprod_n, a, b)` across sizes — the speedup series implied by the
+//! paper's example (loop test, recursion, and `vsize` all vanish).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppe_bench::{deep_config, random_vector, size_facets, sized_inputs, INNER_PRODUCT};
+use ppe_lang::Evaluator;
+use ppe_online::OnlinePe;
+use std::hint::black_box;
+
+fn bench_e6(c: &mut Criterion) {
+    let program = ppe_bench::program(INNER_PRODUCT);
+    let facets = size_facets();
+    let mut group = c.benchmark_group("e6_residual_speedup");
+    for n in [4usize, 16, 64, 128] {
+        let residual = OnlinePe::with_config(&program, &facets, deep_config(n as u32))
+            .specialize_main(&sized_inputs(n as i64))
+            .expect("specialization");
+        let a = random_vector(n, 1);
+        let b = random_vector(n, 2);
+
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("source", n), &n, |bch, _| {
+            let mut ev = Evaluator::new(&program);
+            ev.set_max_depth(10_000);
+            bch.iter(|| black_box(ev.run_main(&[a.clone(), b.clone()]).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("residual", n), &n, |bch, _| {
+            let mut ev = Evaluator::new(&residual.program);
+            ev.set_max_depth(10_000);
+            bch.iter(|| black_box(ev.run_main(&[a.clone(), b.clone()]).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E7 — Section 5.4: facet analysis is a fixpoint iteration over
+//! finite-height signature domains. Measures how it scales with program
+//! size (call-chain length) and with the number of facets in the product
+//! of abstract facets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppe_bench::{chain_program, facet_set_of_width};
+use ppe_offline::{analyze, AbstractInput};
+use std::hint::black_box;
+
+fn bench_e7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_analysis_scaling");
+    for k in [4usize, 16, 64, 128] {
+        let program = chain_program(k);
+        for width in [0usize, 2, 4] {
+            let facets = facet_set_of_width(width);
+            let inputs = [AbstractInput::dynamic(), AbstractInput::static_()];
+            group.bench_with_input(
+                BenchmarkId::new(format!("facets_{width}"), k),
+                &k,
+                |b, _| {
+                    b.iter(|| black_box(analyze(&program, &facets, black_box(&inputs)).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E8 — interpreter specialization (first Futamura projection) via the
+//! Contents facet: specializing a bytecode interpreter with respect to a
+//! statically known program removes all dispatch. Measures interpretation
+//! vs the "compiled" residual across bytecode sizes, plus the
+//! specialization cost itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppe_bench::{deep_config, interpreter_program, linear_bytecode};
+use ppe_core::facets::ContentsFacet;
+use ppe_core::FacetSet;
+use ppe_lang::{Evaluator, Value};
+use ppe_online::{OnlinePe, PeInput};
+use std::hint::black_box;
+
+fn bench_e8(c: &mut Criterion) {
+    let program = interpreter_program();
+    let facets = FacetSet::with_facets(vec![Box::new(ContentsFacet)]);
+
+    let mut group = c.benchmark_group("e8_interpreter");
+    for ops in [4usize, 16, 64] {
+        let code = linear_bytecode(ops);
+        let config = deep_config(4 * ops as u32 + 32);
+        let residual = OnlinePe::with_config(&program, &facets, config.clone())
+            .specialize_main(&[PeInput::known(code.clone()), PeInput::dynamic()])
+            .expect("interpreter specializes");
+        // Dispatch must be gone.
+        assert!(!ppe_lang::pretty_program(&residual.program).contains("exec"));
+
+        group.bench_with_input(BenchmarkId::new("interpreted", ops), &ops, |b, _| {
+            let mut ev = Evaluator::new(&program);
+            ev.set_max_depth(10_000);
+            b.iter(|| black_box(ev.run_main(&[code.clone(), Value::Int(1)]).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("compiled", ops), &ops, |b, _| {
+            let mut ev = Evaluator::new(&residual.program);
+            ev.set_max_depth(10_000);
+            b.iter(|| black_box(ev.run_main(&[Value::Int(1)]).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("specialize", ops), &ops, |b, _| {
+            let pe = OnlinePe::with_config(&program, &facets, config.clone());
+            b.iter(|| {
+                black_box(
+                    pe.specialize_main(&[PeInput::known(code.clone()), PeInput::dynamic()])
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

@@ -1,0 +1,299 @@
+//! One-shot experiment report: regenerates every figure/table of the
+//! paper and prints coarse wall-clock measurements for E1–E7 (Criterion
+//! gives the rigorous numbers; this binary gives the overview recorded in
+//! `EXPERIMENTS.md`).
+//!
+//! ```sh
+//! cargo run -p ppe-bench --bin report --release
+//! ```
+
+use std::time::Instant;
+
+use ppe_bench::{
+    chain_program, deep_config, facet_set_of_width, iprod_analysis, random_vector, size_facets,
+    sized_inputs, INNER_PRODUCT, POWER, SIGN_KERNEL,
+};
+use ppe_core::FacetSet;
+use ppe_lang::{pretty_program, Const, Evaluator, Value};
+use ppe_offline::{analyze, AbstractInput, OfflinePe};
+use ppe_online::{OnlinePe, PeInput, SimpleInput, SimplePe};
+
+/// Median wall time of `reps` runs of `f`, in microseconds.
+fn time_us<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    println!("# Parameterized Partial Evaluation — experiment report\n");
+    e1_e2();
+    e3();
+    e4();
+    e5();
+    e6();
+    e7();
+    e8();
+    e9();
+}
+
+/// E1 (Figures 7→8) and E2 (Figure 9).
+fn e1_e2() {
+    let program = ppe_bench::program(INNER_PRODUCT);
+    let facets = size_facets();
+
+    println!("## E1 — Figure 8 residual (online, size 3)\n");
+    let online = OnlinePe::new(&program, &facets)
+        .specialize_main(&sized_inputs(3))
+        .unwrap();
+    println!("{}", pretty_program(&online.program));
+
+    println!("## E2 — Figure 9 facet-analysis table\n");
+    let analysis = iprod_analysis(&program, &facets);
+    println!("{}", analysis.report(&program));
+
+    println!("### E1 timings (median of 25, µs)\n");
+    println!("| n | online spec | offline spec | facet analysis |");
+    println!("|---|---|---|---|");
+    let analysis = iprod_analysis(&program, &facets);
+    for n in [2i64, 4, 8, 16, 32] {
+        let config = deep_config(n as u32);
+        let inputs = sized_inputs(n);
+        let t_on = time_us(25, || {
+            OnlinePe::with_config(&program, &facets, config.clone())
+                .specialize_main(&inputs)
+                .unwrap()
+        });
+        let t_off = time_us(25, || {
+            OfflinePe::with_config(&program, &facets, &analysis, config.clone())
+                .specialize(&inputs)
+                .unwrap()
+        });
+        let t_an = time_us(25, || iprod_analysis(&program, &facets));
+        println!("| {n} | {t_on:.1} | {t_off:.1} | {t_an:.1} |");
+    }
+    println!();
+}
+
+/// E3 — amortization sweep.
+fn e3() {
+    let program = ppe_bench::program(INNER_PRODUCT);
+    let facets = size_facets();
+    let config = deep_config(64);
+    println!("## E3 — online×k vs analysis + offline×k (median of 15, µs)\n");
+    println!("| k | online×k | analysis+offline×k |");
+    println!("|---|---|---|");
+    for k in [1usize, 4, 16, 64] {
+        let sizes: Vec<i64> = (0..k).map(|i| 2 + (i as i64 % 31)).collect();
+        let t_on = time_us(15, || {
+            let pe = OnlinePe::with_config(&program, &facets, config.clone());
+            for &n in &sizes {
+                std::hint::black_box(pe.specialize_main(&sized_inputs(n)).unwrap());
+            }
+        });
+        let t_off = time_us(15, || {
+            let analysis = iprod_analysis(&program, &facets);
+            let pe = OfflinePe::with_config(&program, &facets, &analysis, config.clone());
+            for &n in &sizes {
+                std::hint::black_box(pe.specialize(&sized_inputs(n)).unwrap());
+            }
+        });
+        println!("| {k} | {t_on:.1} | {t_off:.1} |");
+    }
+    println!();
+}
+
+/// E4 — simple PE vs PE-facet-only parameterized PE.
+fn e4() {
+    println!("## E4 — Figure 2 baseline vs PE-facet-only parameterized PE (median of 25, µs)\n");
+    println!("| workload | simple PE | parameterized (PE facet only) | identical residual |");
+    println!("|---|---|---|---|");
+    for (name, src, n) in [("power", POWER, 64i64), ("kernel", SIGN_KERNEL, 64)] {
+        let program = ppe_bench::program(src);
+        let facets = FacetSet::new();
+        let config = deep_config(n as u32);
+        let online_inputs = [PeInput::dynamic(), PeInput::known(Value::Int(n))];
+        let simple_inputs = [SimpleInput::Dynamic, SimpleInput::Known(Const::Int(n))];
+        let a = OnlinePe::with_config(&program, &facets, config.clone())
+            .specialize_main(&online_inputs)
+            .unwrap();
+        let b = SimplePe::with_config(&program, config.clone())
+            .specialize_main(&simple_inputs)
+            .unwrap();
+        let same = pretty_program(&a.program) == pretty_program(&b.program);
+        let t_simple = time_us(25, || {
+            SimplePe::with_config(&program, config.clone())
+                .specialize_main(&simple_inputs)
+                .unwrap()
+        });
+        let t_param = time_us(25, || {
+            OnlinePe::with_config(&program, &facets, config.clone())
+                .specialize_main(&online_inputs)
+                .unwrap()
+        });
+        println!("| {name} | {t_simple:.1} | {t_param:.1} | {same} |");
+    }
+    println!();
+}
+
+/// E5 — product width scaling.
+fn e5() {
+    let program = ppe_bench::program(SIGN_KERNEL);
+    let config = deep_config(48);
+    println!("## E5 — specialization cost vs number of facets in the product (median of 25, µs)\n");
+    println!("| facets in product | online spec |");
+    println!("|---|---|");
+    for width in 0..=4usize {
+        let facets = facet_set_of_width(width);
+        let inputs = [PeInput::dynamic(), PeInput::known(Value::Int(48))];
+        let t = time_us(25, || {
+            OnlinePe::with_config(&program, &facets, config.clone())
+                .specialize_main(&inputs)
+                .unwrap()
+        });
+        println!("| {width} | {t:.1} |");
+    }
+    println!();
+}
+
+/// E6 — residual speedups.
+fn e6() {
+    let program = ppe_bench::program(INNER_PRODUCT);
+    let facets = size_facets();
+    println!("## E6 — residual vs source evaluation (median of 51, µs)\n");
+    println!("| n | source eval | residual eval | speedup |");
+    println!("|---|---|---|---|");
+    for n in [4usize, 16, 64, 128] {
+        let residual = OnlinePe::with_config(&program, &facets, deep_config(n as u32))
+            .specialize_main(&sized_inputs(n as i64))
+            .unwrap();
+        let a = random_vector(n, 1);
+        let b = random_vector(n, 2);
+        let t_src = time_us(51, || {
+            let mut ev = Evaluator::new(&program);
+            ev.set_max_depth(10_000);
+            ev.run_main(&[a.clone(), b.clone()]).unwrap()
+        });
+        let t_res = time_us(51, || {
+            let mut ev = Evaluator::new(&residual.program);
+            ev.set_max_depth(10_000);
+            ev.run_main(&[a.clone(), b.clone()]).unwrap()
+        });
+        println!("| {n} | {t_src:.1} | {t_res:.1} | {:.2}× |", t_src / t_res);
+    }
+    println!();
+}
+
+/// E8 — interpreter specialization (first Futamura projection).
+fn e8() {
+    use ppe_bench::{interpreter_program, linear_bytecode};
+    use ppe_core::facets::ContentsFacet;
+    let program = interpreter_program();
+    let facets = FacetSet::with_facets(vec![Box::new(ContentsFacet)]);
+    println!("## E8 — interpreter vs specialized (\"compiled\") bytecode (median of 51, µs)\n");
+    println!("| bytecode ops | interpreted | compiled | speedup | specialize once |");
+    println!("|---|---|---|---|---|");
+    for ops in [4usize, 16, 64] {
+        let code = linear_bytecode(ops);
+        let config = deep_config(4 * ops as u32 + 32);
+        let residual = OnlinePe::with_config(&program, &facets, config.clone())
+            .specialize_main(&[PeInput::known(code.clone()), PeInput::dynamic()])
+            .unwrap();
+        let t_interp = time_us(51, || {
+            let mut ev = Evaluator::new(&program);
+            ev.set_max_depth(10_000);
+            ev.run_main(&[code.clone(), Value::Int(1)]).unwrap()
+        });
+        let t_comp = time_us(51, || {
+            let mut ev = Evaluator::new(&residual.program);
+            ev.set_max_depth(10_000);
+            ev.run_main(&[Value::Int(1)]).unwrap()
+        });
+        let t_spec = time_us(15, || {
+            OnlinePe::with_config(&program, &facets, config.clone())
+                .specialize_main(&[PeInput::known(code.clone()), PeInput::dynamic()])
+                .unwrap()
+        });
+        println!(
+            "| {ops} | {t_interp:.1} | {t_comp:.1} | {:.2}× | {t_spec:.1} |",
+            t_interp / t_comp
+        );
+    }
+    println!();
+}
+
+/// E9 — constraint propagation (Section 4.4's future work, implemented).
+fn e9() {
+    use ppe_core::facets::{RangeFacet, SignFacet};
+    use ppe_lang::{parse_program, pretty_program};
+    let program = parse_program(
+        "(define (clamp x lo hi)
+           (if (< x lo)
+               (if (< x hi) lo lo)
+               (if (< hi x)
+                   (if (< lo x) hi hi)
+                   (if (< x lo) 0 x))))",
+    )
+    .unwrap();
+    let facets = FacetSet::with_facets(vec![Box::new(SignFacet), Box::new(RangeFacet)]);
+    let inputs = [
+        PeInput::dynamic(),
+        PeInput::known(Value::Int(0)),
+        PeInput::known(Value::Int(100)),
+    ];
+    let plain = OnlinePe::new(&program, &facets).specialize_main(&inputs).unwrap();
+    let config = ppe_online::PeConfig {
+        propagate_constraints: true,
+        ..ppe_online::PeConfig::default()
+    };
+    let refined = OnlinePe::with_config(&program, &facets, config.clone())
+        .specialize_main(&inputs)
+        .unwrap();
+    let plain_ifs = pretty_program(&plain.program).matches("(if").count();
+    let refined_ifs = pretty_program(&refined.program).matches("(if").count();
+    let t_plain = time_us(25, || {
+        OnlinePe::new(&program, &facets).specialize_main(&inputs).unwrap()
+    });
+    let t_refined = time_us(25, || {
+        OnlinePe::with_config(&program, &facets, config.clone())
+            .specialize_main(&inputs)
+            .unwrap()
+    });
+    println!("## E9 — constraint propagation on `clamp` (median of 25, µs)\n");
+    println!("| | conditionals in residual | residual size | spec time |");
+    println!("|---|---|---|---|");
+    println!(
+        "| without propagation | {plain_ifs} | {} | {t_plain:.1} |",
+        plain.program.size()
+    );
+    println!(
+        "| with propagation | {refined_ifs} | {} | {t_refined:.1} |",
+        refined.program.size()
+    );
+    println!();
+}
+
+/// E7 — analysis scaling.
+fn e7() {
+    println!("## E7 — facet-analysis cost vs program size and facet count (median of 15, µs)\n");
+    println!("| chain length | 0 facets | 2 facets | 4 facets |");
+    println!("|---|---|---|---|");
+    for k in [4usize, 16, 64, 128] {
+        let program = chain_program(k);
+        let mut row = format!("| {k} |");
+        for width in [0usize, 2, 4] {
+            let facets = facet_set_of_width(width);
+            let inputs = [AbstractInput::dynamic(), AbstractInput::static_()];
+            let t = time_us(15, || analyze(&program, &facets, &inputs).unwrap());
+            row.push_str(&format!(" {t:.1} |"));
+        }
+        println!("{row}");
+    }
+    println!();
+}

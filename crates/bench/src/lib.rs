@@ -1,0 +1,224 @@
+//! Workloads and helpers for the benchmark harness.
+//!
+//! Each experiment in `benches/` regenerates one of the paper's artifacts
+//! or quantifies one of its claims; see `EXPERIMENTS.md` at the workspace
+//! root for the experiment index (E1–E7) and recorded results. The
+//! `report` binary (`cargo run -p ppe-bench --bin report --release`)
+//! prints all the non-Criterion tables in one pass.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ppe_core::facets::{ParityFacet, RangeFacet, SignFacet, SizeFacet};
+use ppe_core::{size_of, Facet, FacetSet};
+use ppe_lang::{parse_program, Program, Value};
+use ppe_offline::{analyze, AbstractInput, Analysis};
+use ppe_online::{PeConfig, PeInput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Figure 7 of the paper: the inner-product program.
+pub const INNER_PRODUCT: &str = "(define (iprod a b) (let ((n (vsize a))) (dotprod a b n)))
+     (define (dotprod a b n)
+       (if (= n 0) 0.0
+           (+ (* (vref a n) (vref b n)) (dotprod a b (- n 1)))))";
+
+/// The classic `power` program (static exponent).
+pub const POWER: &str =
+    "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+
+/// A sign-guarded iteration kernel (piecewise steps).
+pub const SIGN_KERNEL: &str = "(define (kernel x steps)
+       (if (= steps 0) x (kernel (step x) (- steps 1))))
+     (define (step x)
+       (if (< x 0) (neg x) (+ x 1)))";
+
+/// Parses one of the fixed workloads.
+///
+/// # Panics
+///
+/// Panics if the embedded source is invalid (a bug in this crate).
+pub fn program(src: &str) -> Program {
+    parse_program(src).expect("embedded workload parses")
+}
+
+/// The Size facet set used by E1/E3/E6.
+pub fn size_facets() -> FacetSet {
+    FacetSet::with_facets(vec![Box::new(SizeFacet)])
+}
+
+/// Inputs "two dynamic vectors of static size `n`" (Section 6.1).
+pub fn sized_inputs(n: i64) -> Vec<PeInput> {
+    vec![
+        PeInput::dynamic().with_facet("size", size_of(n)),
+        PeInput::dynamic().with_facet("size", size_of(n)),
+    ]
+}
+
+/// The corresponding abstract inputs (Section 6.2), derived from the
+/// online inputs via the facet mappings.
+pub fn sized_abstract_inputs(facets: &FacetSet, n: i64) -> Vec<AbstractInput> {
+    sized_inputs(n)
+        .iter()
+        .map(|i| AbstractInput::of_product(i.to_product(facets).expect("facet names are valid")))
+        .collect()
+}
+
+/// Runs the Section 6.2 facet analysis once for reuse across sizes.
+///
+/// # Panics
+///
+/// Panics if analysis fails (a bug for these fixed workloads).
+pub fn iprod_analysis(program: &Program, facets: &FacetSet) -> Analysis {
+    analyze(program, facets, &sized_abstract_inputs(facets, 3)).expect("iprod analyzes")
+}
+
+/// A random float vector of length `n` (deterministic per seed).
+pub fn random_vector(n: usize, seed: u64) -> Value {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Value::vector((0..n).map(|_| Value::Float(rng.gen_range(-1.0..1.0))).collect())
+}
+
+/// A [`PeConfig`] with an unfold budget comfortably above `n`, for
+/// workloads whose static recursion depth is `n`.
+pub fn deep_config(n: u32) -> PeConfig {
+    PeConfig {
+        max_unfold_depth: n + 64,
+        ..PeConfig::default()
+    }
+}
+
+/// Builds a synthetic chain program of `k` functions
+/// `f0 → f1 → … → f(k-1)`, each performing a little arithmetic — used to
+/// scale facet analysis (E7).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn chain_program(k: usize) -> Program {
+    assert!(k > 0, "chain needs at least one function");
+    let mut src = String::new();
+    for i in 0..k {
+        let next = if i + 1 < k {
+            format!("(f{} (+ x 1) (- n 1))", i + 1)
+        } else {
+            "(* x x)".to_owned()
+        };
+        src.push_str(&format!(
+            "(define (f{i} x n) (if (< n 0) x {next}))\n"
+        ));
+    }
+    parse_program(&src).expect("chain program parses")
+}
+
+/// Facet sets of growing width for E5: 0..=4 facets.
+///
+/// # Panics
+///
+/// Panics if `width > 4`.
+pub fn facet_set_of_width(width: usize) -> FacetSet {
+    let all: Vec<Box<dyn Facet>> = vec![
+        Box::new(SignFacet),
+        Box::new(ParityFacet),
+        Box::new(RangeFacet),
+        Box::new(SizeFacet),
+    ];
+    assert!(width <= all.len(), "at most {} facets available", all.len());
+    FacetSet::with_facets(all.into_iter().take(width).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_parse() {
+        assert_eq!(program(INNER_PRODUCT).defs().len(), 2);
+        assert_eq!(program(POWER).defs().len(), 1);
+        assert_eq!(program(SIGN_KERNEL).defs().len(), 2);
+    }
+
+    #[test]
+    fn chain_program_scales() {
+        for k in [1, 5, 20] {
+            let p = chain_program(k);
+            assert_eq!(p.defs().len(), k);
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn random_vectors_are_deterministic_per_seed() {
+        assert_eq!(random_vector(8, 7), random_vector(8, 7));
+        assert_ne!(random_vector(8, 7), random_vector(8, 8));
+    }
+
+    #[test]
+    fn facet_widths() {
+        for w in 0..=4 {
+            assert_eq!(facet_set_of_width(w).len(), w);
+        }
+    }
+}
+
+/// The bytecode interpreter of `examples/interpreter.rs`, as a workload
+/// (E8): opcode 1 = push constant, 2 = add, 3 = mul, 4 = push the input
+/// `x`, anything else halts with the top of stack.
+pub const INTERPRETER: &str = "(define (run code x) (exec code x (mkvec 8) 0 1))
+     (define (exec code x stack sp pc)
+       (let ((op (vref code pc)))
+         (if (= op 1)
+             (exec code x (updvec stack (+ sp 1) (vref code (+ pc 1))) (+ sp 1) (+ pc 2))
+         (if (= op 2)
+             (exec code x
+                   (updvec stack (- sp 1) (+ (vref stack (- sp 1)) (vref stack sp)))
+                   (- sp 1) (+ pc 1))
+         (if (= op 3)
+             (exec code x
+                   (updvec stack (- sp 1) (* (vref stack (- sp 1)) (vref stack sp)))
+                   (- sp 1) (+ pc 1))
+         (if (= op 4)
+             (exec code x (updvec stack (+ sp 1) x) (+ sp 1) (+ pc 1))
+             (vref stack sp)))))))";
+
+/// Parses the interpreter workload.
+pub fn interpreter_program() -> Program {
+    program(INTERPRETER)
+}
+
+/// Straight-line bytecode of roughly `ops` arithmetic operations over the
+/// dynamic input: `LOAD; (PUSH k; ADD | LOAD; MUL)*; HALT`, keeping the
+/// stack at depth ≤ 2.
+pub fn linear_bytecode(ops: usize) -> Value {
+    let mut code = vec![Value::Int(4)]; // LOAD x
+    for i in 0..ops {
+        if i % 2 == 0 {
+            code.push(Value::Int(1)); // PUSH
+            code.push(Value::Int((i % 7) as i64 + 1));
+            code.push(Value::Int(2)); // ADD
+        } else {
+            code.push(Value::Int(4)); // LOAD x
+            code.push(Value::Int(3)); // MUL
+        }
+    }
+    code.push(Value::Int(5)); // HALT
+    Value::vector(code)
+}
+
+#[cfg(test)]
+mod interpreter_tests {
+    use super::*;
+    use ppe_lang::Evaluator;
+
+    #[test]
+    fn linear_bytecode_runs_and_grows() {
+        let p = interpreter_program();
+        let mut ev = Evaluator::new(&p);
+        ev.set_max_depth(10_000);
+        for ops in [0usize, 2, 8] {
+            let code = linear_bytecode(ops);
+            let out = ev.run_main(&[code, Value::Int(3)]).unwrap();
+            assert!(matches!(out, Value::Int(_)), "ops = {ops}: {out:?}");
+        }
+    }
+}

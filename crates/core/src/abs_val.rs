@@ -1,0 +1,186 @@
+//! Type-erased abstract values.
+//!
+//! Facets are *user-defined* (that is the point of parameterized partial
+//! evaluation), so the framework cannot know their domains statically.
+//! [`AbsVal`] erases the concrete element type behind a cheap, clonable
+//! handle that still supports the equality and hashing the specialization
+//! cache needs; the owning [`crate::Facet`] downcasts with
+//! [`AbsVal::downcast_ref`].
+
+use std::any::Any;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// Object-safe surface required of a facet-domain element.
+///
+/// Blanket-implemented for every `T: Any + Eq + Hash + Debug + Display`, so
+/// facet authors implement nothing by hand — define an element enum/struct
+/// with those derives and a `Display`, and it is ready for [`AbsVal::new`].
+pub trait AbstractValue: Any + fmt::Debug + fmt::Display {
+    /// Equality against another erased value (false across element types).
+    fn dyn_eq(&self, other: &dyn AbstractValue) -> bool;
+    /// Feeds the value into a hasher (prefixed by its type for soundness).
+    fn dyn_hash(&self, state: &mut dyn Hasher);
+    /// Upcast used for downcasting back to the element type.
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<T> AbstractValue for T
+where
+    T: Any + Eq + Hash + fmt::Debug + fmt::Display,
+{
+    fn dyn_eq(&self, other: &dyn AbstractValue) -> bool {
+        other
+            .as_any()
+            .downcast_ref::<T>()
+            .is_some_and(|o| self == o)
+    }
+
+    fn dyn_hash(&self, mut state: &mut dyn Hasher) {
+        self.type_id().hash(&mut state);
+        self.hash(&mut state);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A type-erased element of some facet's abstract domain.
+///
+/// Equality, hashing and display delegate to the underlying element.
+/// Cloning is O(1) (reference counted).
+///
+/// # Examples
+///
+/// ```
+/// use ppe_core::AbsVal;
+/// use ppe_core::facets::SignVal;
+///
+/// let a = AbsVal::new(SignVal::Pos);
+/// let b = AbsVal::new(SignVal::Pos);
+/// assert_eq!(a, b);
+/// assert_eq!(a.downcast_ref::<SignVal>(), Some(&SignVal::Pos));
+/// assert_eq!(a.to_string(), "pos");
+/// ```
+#[derive(Clone)]
+pub struct AbsVal(Rc<dyn AbstractValue>);
+
+impl AbsVal {
+    /// Erases a domain element.
+    pub fn new<T: AbstractValue>(value: T) -> AbsVal {
+        AbsVal(Rc::new(value))
+    }
+
+    /// Recovers the element if it has type `T`.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.0.as_any().downcast_ref::<T>()
+    }
+
+    /// Recovers the element, panicking with the facet's name on mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not belong to `T`'s domain — which, inside
+    /// a facet's operator implementations, indicates the framework passed a
+    /// foreign facet's value (a bug, not a user error).
+    pub fn expect_ref<T: Any>(&self, facet: &str) -> &T {
+        match self.downcast_ref::<T>() {
+            Some(v) => v,
+            None => panic!(
+                "facet `{facet}` was handed a foreign abstract value: {:?}",
+                self.0
+            ),
+        }
+    }
+}
+
+impl PartialEq for AbsVal {
+    fn eq(&self, other: &AbsVal) -> bool {
+        self.0.dyn_eq(other.0.as_ref())
+    }
+}
+
+impl Eq for AbsVal {}
+
+impl Hash for AbsVal {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.dyn_hash(state);
+    }
+}
+
+impl fmt::Debug for AbsVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for AbsVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[derive(PartialEq, Eq, Hash, Debug)]
+    struct Tag(u8);
+
+    impl fmt::Display for Tag {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "tag{}", self.0)
+        }
+    }
+
+    #[derive(PartialEq, Eq, Hash, Debug)]
+    struct Other(u8);
+
+    impl fmt::Display for Other {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "other{}", self.0)
+        }
+    }
+
+    #[test]
+    fn equality_within_a_type() {
+        assert_eq!(AbsVal::new(Tag(1)), AbsVal::new(Tag(1)));
+        assert_ne!(AbsVal::new(Tag(1)), AbsVal::new(Tag(2)));
+    }
+
+    #[test]
+    fn equality_across_types_is_false_even_with_same_bits() {
+        assert_ne!(AbsVal::new(Tag(1)), AbsVal::new(Other(1)));
+    }
+
+    #[test]
+    fn usable_as_hash_map_key() {
+        let mut m = HashMap::new();
+        m.insert(AbsVal::new(Tag(3)), "three");
+        assert_eq!(m.get(&AbsVal::new(Tag(3))), Some(&"three"));
+        assert_eq!(m.get(&AbsVal::new(Other(3))), None);
+    }
+
+    #[test]
+    fn downcast_round_trips() {
+        let v = AbsVal::new(Tag(7));
+        assert_eq!(v.downcast_ref::<Tag>(), Some(&Tag(7)));
+        assert_eq!(v.downcast_ref::<Other>(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign abstract value")]
+    fn expect_ref_panics_on_foreign_values() {
+        AbsVal::new(Tag(0)).expect_ref::<Other>("demo");
+    }
+
+    #[test]
+    fn display_and_debug_delegate() {
+        let v = AbsVal::new(Tag(5));
+        assert_eq!(v.to_string(), "tag5");
+        assert_eq!(format!("{v:?}"), "Tag(5)");
+    }
+}

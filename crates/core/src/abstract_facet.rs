@@ -1,0 +1,134 @@
+//! The [`AbstractFacet`] trait — the paper's Definition 8.
+//!
+//! An abstract facet `[D̄; Ō]` abstracts a facet `[D̂; Ô]` by a facet mapping
+//! `ᾱ_D̂ : D̂ → D̄` *with respect to `Values̄`*: closed operators compute new
+//! abstract values as before, while an open operator *mimics* the facet's
+//! open operator — instead of a constant it produces `Static`, instead of
+//! `⊤` it produces `Dynamic` (Property 6). Facet analysis (Figure 4) runs
+//! entirely at this level, before specialization.
+
+use std::fmt::Debug;
+
+use ppe_lang::{Prim, Value};
+
+use crate::abs_val::AbsVal;
+use crate::bt_val::BtVal;
+
+/// One argument of an abstract-facet operator: the abstract facet's own
+/// component plus the binding-time component of the same product value
+/// (mirroring [`crate::FacetArg`]; compare `MkV̄ec : Values̄ → V̄` in
+/// Section 6.2, which consumes the binding-time component).
+#[derive(Clone, Copy, Debug)]
+pub struct AbstractArg<'a> {
+    /// The binding-time facet's view of this argument.
+    pub bt: &'a BtVal,
+    /// This abstract facet's view of the argument.
+    pub abs: &'a AbsVal,
+}
+
+/// The offline abstraction of a [`crate::Facet`] (Definition 8).
+///
+/// The same safety obligations as for facets apply, with `Values̄` in place
+/// of `Values` (Definition 2 via the mapping `τ̄`); [`crate::safety`] checks
+/// them, including Property 6: if an open operator returns `Static`, the
+/// corresponding facet operator returns a constant (or `⊥`) on all related
+/// inputs.
+///
+/// As with [`crate::Facet`], default operator implementations are maximally
+/// uninformative but safe: closed operators return `⊤`, open operators
+/// return `Dynamic`, both strict in `⊥`.
+pub trait AbstractFacet: Debug {
+    /// A short identifier used in diagnostics and printed tables.
+    fn name(&self) -> &'static str;
+
+    /// The least element of the abstract domain `D̄`.
+    fn bottom(&self) -> AbsVal;
+
+    /// The greatest element of the abstract domain `D̄`.
+    fn top(&self) -> AbsVal;
+
+    /// Least upper bound.
+    fn join(&self, a: &AbsVal, b: &AbsVal) -> AbsVal;
+
+    /// The domain's partial order.
+    fn leq(&self, a: &AbsVal, b: &AbsVal) -> bool;
+
+    /// The facet mapping `ᾱ_D̂ : D̂ → D̄` from the *online* facet's domain
+    /// into this abstract domain (Definition 8). For facets whose offline
+    /// domain coincides with the online one (e.g. Sign, Example 2) this is
+    /// the identity.
+    fn alpha_facet(&self, online: &AbsVal) -> AbsVal;
+
+    /// Abstraction of a concrete value straight to this level — the
+    /// composition `Γ̄ = ᾱ_D̄ ∘ α̂_D̂` used by `K̄` in Figure 4. Implementors
+    /// get it for free once `alpha_facet` is defined, via
+    /// [`crate::AbstractFacetSet`]; this hook exists for facets that can
+    /// do it more directly.
+    fn alpha_value(&self, v: &Value) -> Option<AbsVal> {
+        let _ = v;
+        None
+    }
+
+    /// A closed operator `p̄ : D̄ⁿ → D̄`.
+    fn closed_op(&self, p: Prim, args: &[AbstractArg<'_>]) -> AbsVal {
+        let _ = p;
+        if args.iter().any(|a| self.arg_is_bottom(a)) {
+            self.bottom()
+        } else {
+            self.top()
+        }
+    }
+
+    /// An open operator `p̄ : D̄ⁿ → Values̄`.
+    fn open_op(&self, p: Prim, args: &[AbstractArg<'_>]) -> BtVal {
+        let _ = p;
+        if args.iter().any(|a| self.arg_is_bottom(a)) {
+            BtVal::Bottom
+        } else {
+            BtVal::Dynamic
+        }
+    }
+
+    /// Enumerates the whole domain if small and finite.
+    fn enumerate(&self) -> Option<Vec<AbsVal>> {
+        None
+    }
+
+    /// Widening for infinite-height domains; defaults to `join`.
+    fn widen(&self, old: &AbsVal, new: &AbsVal) -> AbsVal {
+        self.join(old, new)
+    }
+
+    /// True if either component of the argument is `⊥`.
+    fn arg_is_bottom(&self, arg: &AbstractArg<'_>) -> bool {
+        *arg.bt == BtVal::Bottom || *arg.abs == self.bottom()
+    }
+
+    /// Convenience wrapper: runs a closed operator over bare abstract
+    /// values, supplying `Dynamic` binding-time components.
+    fn closed_op_on(&self, p: Prim, args: &[AbsVal]) -> AbsVal
+    where
+        Self: Sized,
+    {
+        let dynamic = BtVal::Dynamic;
+        let wrapped: Vec<AbstractArg<'_>> = args
+            .iter()
+            .map(|abs| AbstractArg { bt: &dynamic, abs })
+            .collect();
+        self.closed_op(p, &wrapped)
+    }
+
+    /// Convenience wrapper: runs an open operator over bare abstract
+    /// values, supplying `Dynamic` binding-time components.
+    fn open_op_on(&self, p: Prim, args: &[AbsVal]) -> BtVal
+    where
+        Self: Sized,
+    {
+        let dynamic = BtVal::Dynamic;
+        let wrapped: Vec<AbstractArg<'_>> = args
+            .iter()
+            .map(|abs| AbstractArg { bt: &dynamic, abs })
+            .collect();
+        self.open_op(p, &wrapped)
+    }
+}

@@ -1,0 +1,161 @@
+//! The binding-time domain `Values̄` (Section 3.2) and the binding-time
+//! facet operator (Definition 10).
+
+use std::fmt;
+
+use ppe_lang::Prim;
+
+use crate::lattice::Lattice;
+use crate::pe_val::PeVal;
+
+/// An element of the binding-time chain `⊥ ⊑ Static ⊑ Dynamic`.
+///
+/// `Values̄` abstracts the online domain `Values` by the map `τ̄` (Section
+/// 3.2): constants are `Static`, `⊤` is `Dynamic` — "an expression is static
+/// if it partially evaluates to a constant".
+///
+/// # Examples
+///
+/// ```
+/// use ppe_core::{BtVal, Lattice, PeVal};
+/// use ppe_lang::Const;
+///
+/// assert_eq!(BtVal::from_pe(&PeVal::constant(Const::Int(1))), BtVal::Static);
+/// assert_eq!(BtVal::from_pe(&PeVal::Top), BtVal::Dynamic);
+/// assert!(BtVal::Static.leq(&BtVal::Dynamic));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum BtVal {
+    /// `⊥` — undefined.
+    Bottom,
+    /// Known at specialization time.
+    Static,
+    /// Unknown until run time.
+    Dynamic,
+}
+
+impl BtVal {
+    /// The abstraction `τ̄ : Values → Values̄` of Section 3.2.
+    pub fn from_pe(v: &PeVal) -> BtVal {
+        match v {
+            PeVal::Bottom => BtVal::Bottom,
+            PeVal::Const(_) => BtVal::Static,
+            PeVal::Top => BtVal::Dynamic,
+        }
+    }
+
+    /// True if this is `Static`.
+    pub fn is_static(&self) -> bool {
+        matches!(self, BtVal::Static)
+    }
+
+    /// True if this is `Dynamic`.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, BtVal::Dynamic)
+    }
+}
+
+impl Lattice for BtVal {
+    fn bottom() -> BtVal {
+        BtVal::Bottom
+    }
+
+    fn top() -> BtVal {
+        BtVal::Dynamic
+    }
+
+    fn join(&self, other: &BtVal) -> BtVal {
+        (*self).max(*other)
+    }
+
+    fn leq(&self, other: &BtVal) -> bool {
+        self <= other
+    }
+}
+
+impl fmt::Display for BtVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BtVal::Bottom => f.write_str("⊥"),
+            BtVal::Static => f.write_str("Stat"),
+            BtVal::Dynamic => f.write_str("Dyn"),
+        }
+    }
+}
+
+/// The binding-time facet's operator `p̄` (Definition 10): `⊥` if any
+/// argument is `⊥`, `Static` if all arguments are `Static`, `Dynamic`
+/// otherwise — "the primitive functions of a conventional binding time
+/// analysis".
+///
+/// # Examples
+///
+/// ```
+/// use ppe_core::{bt_op, BtVal};
+/// use ppe_lang::Prim;
+///
+/// assert_eq!(bt_op(Prim::Add, &[BtVal::Static, BtVal::Static]), BtVal::Static);
+/// assert_eq!(bt_op(Prim::Add, &[BtVal::Static, BtVal::Dynamic]), BtVal::Dynamic);
+/// ```
+pub fn bt_op(_p: Prim, args: &[BtVal]) -> BtVal {
+    if args.contains(&BtVal::Bottom) {
+        BtVal::Bottom
+    } else if args.iter().all(|a| *a == BtVal::Static) {
+        BtVal::Static
+    } else {
+        BtVal::Dynamic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::check_lattice_laws;
+    use ppe_lang::Const;
+
+    #[test]
+    fn chain_lattice_laws() {
+        check_lattice_laws(&[BtVal::Bottom, BtVal::Static, BtVal::Dynamic]).unwrap();
+    }
+
+    #[test]
+    fn tau_bar_matches_section_3_2() {
+        assert_eq!(BtVal::from_pe(&PeVal::Bottom), BtVal::Bottom);
+        assert_eq!(
+            BtVal::from_pe(&PeVal::Const(Const::Bool(false))),
+            BtVal::Static
+        );
+        assert_eq!(BtVal::from_pe(&PeVal::Top), BtVal::Dynamic);
+    }
+
+    #[test]
+    fn bt_op_definition_10() {
+        use BtVal::*;
+        assert_eq!(bt_op(Prim::Mul, &[Static, Static]), Static);
+        assert_eq!(bt_op(Prim::Mul, &[Dynamic, Static]), Dynamic);
+        assert_eq!(bt_op(Prim::Mul, &[Bottom, Dynamic]), Bottom);
+    }
+
+    #[test]
+    fn bt_op_abstracts_pe_op_property_8() {
+        // Property 8 (safety of the BT facet): τ̄(p̂(v⃗)) ⊑ p̄(τ̄(v⃗)).
+        let pe_samples = [
+            PeVal::Bottom,
+            PeVal::Const(Const::Int(0)),
+            PeVal::Const(Const::Int(2)),
+            PeVal::Top,
+        ];
+        for p in [Prim::Add, Prim::Lt, Prim::Eq] {
+            for a in pe_samples {
+                for b in pe_samples {
+                    let online = crate::pe_val::pe_op(p, &[a, b]);
+                    let offline = bt_op(p, &[BtVal::from_pe(&a), BtVal::from_pe(&b)]);
+                    assert!(
+                        BtVal::from_pe(&online).leq(&offline),
+                        "{p:?}({a:?},{b:?}): τ̄({online:?}) ⋢ {offline:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Consistency of products of facet values (Definition 6).
+//!
+//! A product `δ̂` is *consistent* iff the intersection of its components'
+//! concretizations `⋂ᵢ {d | d ⊑_α̂ᵢ δ̂ⁱ}` is neither empty nor `{⊥}` — i.e.
+//! the product describes at least one actual value. Programs are only
+//! specialized with respect to consistent products (the paper assumes
+//! this; [`check_consistent`] makes it checkable).
+//!
+//! Exact consistency is undecidable in general, so the check here is
+//! *witness-based*: the caller supplies candidate concrete values, and the
+//! product is consistent on that sample if some candidate lies in every
+//! component's concretization. All shipped facets have exact
+//! concretization membership, so for them a sufficiently rich candidate
+//! set makes the check precise.
+
+use ppe_lang::Value;
+
+use crate::pe_val::PeVal;
+use crate::product::{FacetSet, ProductVal};
+
+/// Whether `v` is in the concretization of the partial-evaluation
+/// component (component 0 of every product).
+fn pe_concretizes(pe: &PeVal, v: &Value) -> bool {
+    match pe {
+        PeVal::Bottom => false,
+        PeVal::Const(c) => Value::from_const(*c) == *v,
+        PeVal::Top => true,
+    }
+}
+
+/// Returns a witness value from `candidates` that lies in every
+/// component's concretization, if any — evidence that `value` is
+/// consistent (Definition 6).
+pub fn find_witness<'a>(
+    value: &ProductVal,
+    set: &FacetSet,
+    candidates: impl IntoIterator<Item = &'a Value>,
+) -> Option<&'a Value> {
+    candidates.into_iter().find(|v| {
+        pe_concretizes(value.pe(), v)
+            && set
+                .iter()
+                .enumerate()
+                .all(|(i, f)| f.concretizes(value.facet(i), v))
+    })
+}
+
+/// Checks consistency of `value` against a candidate sample.
+///
+/// # Errors
+///
+/// Returns [`InconsistentProduct`] when no candidate witnesses the
+/// product. A failed check on a finite sample is not a proof of
+/// inconsistency unless the sample covers the PE component's constant (it
+/// does automatically when the component is a constant: the constant
+/// itself is tried first).
+pub fn check_consistent(
+    value: &ProductVal,
+    set: &FacetSet,
+    candidates: &[Value],
+) -> Result<(), InconsistentProduct> {
+    // A constant PE component supplies its own best witness.
+    if let PeVal::Const(c) = value.pe() {
+        let v = Value::from_const(*c);
+        if set
+            .iter()
+            .enumerate()
+            .all(|(i, f)| f.concretizes(value.facet(i), &v))
+        {
+            return Ok(());
+        }
+        return Err(InconsistentProduct {
+            rendered: value.display(),
+        });
+    }
+    match find_witness(value, set, candidates) {
+        Some(_) => Ok(()),
+        None => Err(InconsistentProduct {
+            rendered: value.display(),
+        }),
+    }
+}
+
+/// Error: a product of facet values admits no common concrete value
+/// (Definition 6 fails on the sampled candidates).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InconsistentProduct {
+    rendered: String,
+}
+
+impl std::fmt::Display for InconsistentProduct {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "inconsistent product of facet values {} (no common concrete value)",
+            self.rendered
+        )
+    }
+}
+
+impl std::error::Error for InconsistentProduct {}
+
+/// A default candidate pool: small integers, booleans, floats, and small
+/// float vectors — enough to witness consistency for the shipped facets.
+pub fn default_candidates() -> Vec<Value> {
+    let mut out: Vec<Value> = (-5..=5).map(Value::Int).collect();
+    out.extend([Value::Int(100), Value::Int(-100)]);
+    out.extend([Value::Bool(true), Value::Bool(false)]);
+    out.extend([-2.5f64, 0.0, 1.5].map(Value::Float));
+    for n in 0..5 {
+        out.push(Value::vector(vec![Value::Float(1.0); n]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abs_val::AbsVal;
+    use crate::facets::{ParityFacet, ParityVal, SignFacet, SignVal};
+    use ppe_lang::Const;
+
+    fn two_facet_set() -> FacetSet {
+        FacetSet::with_facets(vec![Box::new(SignFacet), Box::new(ParityFacet)])
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        let set = two_facet_set();
+        let v = ProductVal::from_const(Const::Int(4), &set);
+        check_consistent(&v, &set, &default_candidates()).unwrap();
+    }
+
+    #[test]
+    fn pos_even_is_consistent() {
+        let set = two_facet_set();
+        let v = ProductVal::dynamic(&set)
+            .with_facet(0, AbsVal::new(SignVal::Pos))
+            .with_facet(1, AbsVal::new(ParityVal::Even));
+        let candidates = default_candidates();
+        let w = find_witness(&v, &set, &candidates).unwrap();
+        assert_eq!(*w, Value::Int(2));
+    }
+
+    #[test]
+    fn zero_odd_is_inconsistent() {
+        // zero (exactly 0) ∩ odd = ∅.
+        let set = two_facet_set();
+        let v = ProductVal::dynamic(&set)
+            .with_facet(0, AbsVal::new(SignVal::Zero))
+            .with_facet(1, AbsVal::new(ParityVal::Odd));
+        assert!(check_consistent(&v, &set, &default_candidates()).is_err());
+    }
+
+    #[test]
+    fn constant_conflicting_with_a_facet_is_inconsistent() {
+        let set = two_facet_set();
+        let v = ProductVal::from_const(Const::Int(3), &set)
+            .with_facet(0, AbsVal::new(SignVal::Neg));
+        let err = check_consistent(&v, &set, &default_candidates()).unwrap_err();
+        assert!(err.to_string().contains("inconsistent"));
+    }
+
+    #[test]
+    fn consistency_is_preserved_by_product_operators() {
+        // By definition of a facet, open/closed operators preserve
+        // consistency (remark under Definition 6); spot-check with + on
+        // pos/even values.
+        use ppe_lang::Prim;
+        let set = two_facet_set();
+        let v = ProductVal::dynamic(&set)
+            .with_facet(0, AbsVal::new(SignVal::Pos))
+            .with_facet(1, AbsVal::new(ParityVal::Even));
+        match set.prim_product(Prim::Add, &[v.clone(), v]) {
+            crate::product::PrimOutcome::Closed(out) => {
+                check_consistent(&out, &set, &default_candidates()).unwrap();
+            }
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+}

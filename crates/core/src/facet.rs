@@ -1,0 +1,267 @@
+//! The [`Facet`] trait — the paper's Definition 4.
+//!
+//! A facet for a semantic algebra `[D; O]` is an abstract algebra `[D̂; Ô]`
+//! given by a facet mapping `α̂_D : D → D̂` (Definition 2). Its operators
+//! split in two classes (Section 3.2):
+//!
+//! - **closed** operators `p̂ : D̂ⁿ → D̂` compute new abstract values (the
+//!   abstract primitives of abstract interpretation);
+//! - **open** operators `p̂ : D̂ⁿ → Values` use abstract values to *trigger
+//!   computation at partial-evaluation time*, producing a constant when the
+//!   properties suffice (e.g. `≺̂(zero, pos) = true` in Example 1).
+//!
+//! Which primitives are closed and which are open is fixed by the standard
+//! semantics ([`Prim::std_class`]); Definition 2's conditions 3–4 force the
+//! facet's operators to follow that classification.
+//!
+//! Facet operators may consult, for each argument, both the facet's own
+//! abstract component and the partial-evaluation component of the product
+//! (the paper's operators over mixed signatures such as
+//! `UpdVec : V̂ × Values × Values → V̂` in Section 6.1); hence arguments are
+//! passed as [`FacetArg`] pairs.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+use ppe_lang::{Prim, Value};
+
+use crate::abs_val::AbsVal;
+use crate::abstract_facet::AbstractFacet;
+use crate::pe_val::PeVal;
+
+/// Open/closed classification of an operator within a facet (Section 3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpClass {
+    /// `p̂ : D̂ⁿ → D̂`.
+    Closed,
+    /// `p̂ : D̂ⁿ → Values`.
+    Open,
+}
+
+/// One argument of a facet operator: the facet's own abstract component
+/// plus the partial-evaluation component of the same product value.
+#[derive(Clone, Copy, Debug)]
+pub struct FacetArg<'a> {
+    /// The partial-evaluation facet's view of this argument.
+    pub pe: &'a PeVal,
+    /// This facet's view of the argument.
+    pub abs: &'a AbsVal,
+}
+
+/// A user-defined static property: the paper's *facet* (Definition 4).
+///
+/// Implementations must satisfy the facet-mapping conditions of
+/// Definition 2, which the [`crate::safety`] module makes executable:
+///
+/// 1. the abstract domain is a lattice of finite height (or
+///    [`Facet::widen`] is a proper widening);
+/// 2. every operator is monotonic;
+/// 3. closed operators return domain elements, open operators return
+///    [`PeVal`]s;
+/// 4. the approximation conditions `α̂∘p ⊑ p̂∘α̂` (closed) and
+///    `τ̂∘p ⊑ p̂∘α̂` (open) hold.
+///
+/// Operators must be *strict*: any `⊥` argument (facet-bottom or
+/// `PeVal::Bottom`) yields `⊥` (`PeVal::Bottom` for open operators).
+///
+/// The default operator implementations know nothing: closed operators
+/// return `⊤` and open operators return `PeVal::Top` (both strict in `⊥`),
+/// which is always safe; a facet overrides exactly the primitives of its
+/// algebra — compare Example 1, where the Sign facet defines `+̂` and `≺̂`
+/// only.
+pub trait Facet: Debug {
+    /// A short identifier used in diagnostics and printed tables.
+    fn name(&self) -> &'static str;
+
+    /// The least element of the facet domain.
+    fn bottom(&self) -> AbsVal;
+
+    /// The greatest element of the facet domain.
+    fn top(&self) -> AbsVal;
+
+    /// Least upper bound of two domain elements.
+    fn join(&self, a: &AbsVal, b: &AbsVal) -> AbsVal;
+
+    /// The domain's partial order.
+    fn leq(&self, a: &AbsVal, b: &AbsVal) -> bool;
+
+    /// The abstraction function `α̂_D : D → D̂`, totalized over the full
+    /// value sum: values outside this facet's algebra map to `⊤`.
+    fn alpha(&self, v: &Value) -> AbsVal;
+
+    /// A closed operator `p̂ : D̂ⁿ → D̂` (Definition 2, condition 3).
+    fn closed_op(&self, p: Prim, args: &[FacetArg<'_>]) -> AbsVal {
+        let _ = p;
+        if args.iter().any(|a| self.arg_is_bottom(a)) {
+            self.bottom()
+        } else {
+            self.top()
+        }
+    }
+
+    /// An open operator `p̂ : D̂ⁿ → Values` (Definition 2, condition 4).
+    fn open_op(&self, p: Prim, args: &[FacetArg<'_>]) -> PeVal {
+        let _ = p;
+        if args.iter().any(|a| self.arg_is_bottom(a)) {
+            PeVal::Bottom
+        } else {
+            PeVal::Top
+        }
+    }
+
+    /// Concretization membership `v ∈ γ(abs)`, used by the consistency
+    /// check (Definition 6) and the safety test harness. Must satisfy
+    /// `v ∈ γ(α̂(v))` for all `v`.
+    fn concretizes(&self, abs: &AbsVal, v: &Value) -> bool;
+
+    /// Enumerates the whole domain if it is small and finite (`None` for
+    /// large or infinite domains such as intervals). Exhaustive safety
+    /// checks use this when available.
+    fn enumerate(&self) -> Option<Vec<AbsVal>> {
+        None
+    }
+
+    /// Widening operator for domains of infinite height (the paper's
+    /// footnote 1 to Definition 2). Defaults to `join`, which is a correct
+    /// widening exactly when the domain has finite height.
+    fn widen(&self, old: &AbsVal, new: &AbsVal) -> AbsVal {
+        self.join(old, new)
+    }
+
+    /// The corresponding *abstract facet* for offline partial evaluation
+    /// (Definition 8).
+    fn abstract_facet(&self) -> Rc<dyn AbstractFacet>;
+
+    /// Constraint propagation from conditional tests (the future work the
+    /// paper sketches at the end of Section 4.4, after Redfun: "these
+    /// properties and their negation are propagated to the consequent and
+    /// alternative branches").
+    ///
+    /// Given that the open operator `p` applied to `args` is known to have
+    /// evaluated to the boolean `outcome`, returns a refined abstract
+    /// value for the argument at `position`, or `None` if the facet learns
+    /// nothing. Soundness obligation: the refinement must contain every
+    /// concrete value of `γ(args[position])` for which the comparison can
+    /// yield `outcome`. Returning the facet's `⊥` asserts the branch is
+    /// unreachable.
+    fn assume(
+        &self,
+        p: Prim,
+        args: &[FacetArg<'_>],
+        outcome: bool,
+        position: usize,
+    ) -> Option<AbsVal> {
+        let _ = (p, args, outcome, position);
+        None
+    }
+
+    /// True if either component of the argument is `⊥`.
+    fn arg_is_bottom(&self, arg: &FacetArg<'_>) -> bool {
+        *arg.pe == PeVal::Bottom || *arg.abs == self.bottom()
+    }
+
+    /// Convenience wrapper: runs a closed operator over bare abstract
+    /// values, supplying `⊤` partial-evaluation components.
+    fn closed_op_on(&self, p: Prim, args: &[AbsVal]) -> AbsVal
+    where
+        Self: Sized,
+    {
+        let top = PeVal::Top;
+        let wrapped: Vec<FacetArg<'_>> =
+            args.iter().map(|abs| FacetArg { pe: &top, abs }).collect();
+        self.closed_op(p, &wrapped)
+    }
+
+    /// Convenience wrapper: runs an open operator over bare abstract
+    /// values, supplying `⊤` partial-evaluation components.
+    fn open_op_on(&self, p: Prim, args: &[AbsVal]) -> PeVal
+    where
+        Self: Sized,
+    {
+        let top = PeVal::Top;
+        let wrapped: Vec<FacetArg<'_>> =
+            args.iter().map(|abs| FacetArg { pe: &top, abs }).collect();
+        self.open_op(p, &wrapped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt;
+
+    /// A facet that knows nothing: every value abstracts to a unit top.
+    /// It exercises the trait's default operator implementations.
+    #[derive(Debug)]
+    struct TrivialFacet;
+
+    #[derive(PartialEq, Eq, Hash, Debug)]
+    enum Unit {
+        Bot,
+        Top,
+    }
+
+    impl fmt::Display for Unit {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(match self {
+                Unit::Bot => "⊥",
+                Unit::Top => "⊤",
+            })
+        }
+    }
+
+    impl Facet for TrivialFacet {
+        fn name(&self) -> &'static str {
+            "trivial"
+        }
+        fn bottom(&self) -> AbsVal {
+            AbsVal::new(Unit::Bot)
+        }
+        fn top(&self) -> AbsVal {
+            AbsVal::new(Unit::Top)
+        }
+        fn join(&self, a: &AbsVal, b: &AbsVal) -> AbsVal {
+            if *a == self.bottom() {
+                b.clone()
+            } else {
+                a.clone()
+            }
+        }
+        fn leq(&self, a: &AbsVal, b: &AbsVal) -> bool {
+            *a == self.bottom() || *b == self.top()
+        }
+        fn alpha(&self, _v: &Value) -> AbsVal {
+            self.top()
+        }
+        fn concretizes(&self, abs: &AbsVal, _v: &Value) -> bool {
+            *abs == self.top()
+        }
+        fn abstract_facet(&self) -> Rc<dyn AbstractFacet> {
+            unimplemented!("not needed for this test")
+        }
+    }
+
+    #[test]
+    fn default_ops_are_strict_and_topped() {
+        let f = TrivialFacet;
+        let top = f.top();
+        let bot = f.bottom();
+        assert_eq!(f.closed_op_on(Prim::Add, &[top.clone(), top.clone()]), top);
+        assert_eq!(f.closed_op_on(Prim::Add, &[bot.clone(), top.clone()]), bot);
+        assert_eq!(f.open_op_on(Prim::Lt, &[top.clone(), top.clone()]), PeVal::Top);
+        assert_eq!(f.open_op_on(Prim::Lt, &[bot, top]), PeVal::Bottom);
+    }
+
+    #[test]
+    fn pe_bottom_component_makes_args_bottom() {
+        let f = TrivialFacet;
+        let pe_bot = PeVal::Bottom;
+        let abs_top = f.top();
+        let arg = FacetArg {
+            pe: &pe_bot,
+            abs: &abs_top,
+        };
+        assert!(f.arg_is_bottom(&arg));
+        assert_eq!(f.closed_op(Prim::Add, &[arg]), f.bottom());
+    }
+}

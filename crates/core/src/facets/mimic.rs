@@ -1,0 +1,166 @@
+//! The generic abstract facet for facets whose offline domain coincides
+//! with the online domain.
+//!
+//! Example 2 observes that the Sign abstract facet has `D̄ = D̂` with the
+//! identity facet mapping, closed operators unchanged, and open operators
+//! that *mimic* the facet's: a constant becomes `Static`, `⊤` becomes
+//! `Dynamic`. That construction is facet-independent, so it is provided
+//! once, generically. Property 6 holds by construction: whenever the
+//! mimicked open operator answers `Static`, the underlying facet operator
+//! produced a constant.
+
+use std::fmt;
+use std::rc::Rc;
+
+use ppe_lang::{Prim, Value};
+
+use crate::abs_val::AbsVal;
+use crate::abstract_facet::{AbstractArg, AbstractFacet};
+use crate::bt_val::BtVal;
+use crate::facet::{Facet, FacetArg};
+use crate::pe_val::PeVal;
+
+/// Wraps a [`Facet`] as its own [`AbstractFacet`] (identity facet mapping).
+///
+/// Correct only when the facet's operators do not consult the
+/// partial-evaluation component of their arguments (the adapter supplies
+/// `⊤`/`⊥` placeholders there); facets like the vector Size facet, whose
+/// `MkVec` reads a concrete size out of the PE component, need a hand
+/// written abstract facet with a coarser domain (see
+/// [`crate::facets::AbstractSizeFacet`]).
+pub struct MimicAbstractFacet<F> {
+    facet: F,
+}
+
+impl<F: Facet> MimicAbstractFacet<F> {
+    /// Wraps `facet`.
+    pub fn new(facet: F) -> MimicAbstractFacet<F> {
+        MimicAbstractFacet { facet }
+    }
+
+    /// The placeholder PE component for a binding-time component: only
+    /// `⊥`-ness is preserved, which is all strictness needs.
+    fn pe_placeholder(bt: &BtVal) -> PeVal {
+        match bt {
+            BtVal::Bottom => PeVal::Bottom,
+            _ => PeVal::Top,
+        }
+    }
+
+    fn wrap_args<'a>(
+        &self,
+        args: &[AbstractArg<'a>],
+        pes: &'a [PeVal],
+    ) -> Vec<FacetArg<'a>> {
+        args.iter()
+            .zip(pes)
+            .map(|(a, pe)| FacetArg { pe, abs: a.abs })
+            .collect()
+    }
+}
+
+impl<F: Facet> fmt::Debug for MimicAbstractFacet<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MimicAbstractFacet({})", self.facet.name())
+    }
+}
+
+impl<F: Facet + 'static> AbstractFacet for MimicAbstractFacet<F> {
+    fn name(&self) -> &'static str {
+        self.facet.name()
+    }
+
+    fn bottom(&self) -> AbsVal {
+        self.facet.bottom()
+    }
+
+    fn top(&self) -> AbsVal {
+        self.facet.top()
+    }
+
+    fn join(&self, a: &AbsVal, b: &AbsVal) -> AbsVal {
+        self.facet.join(a, b)
+    }
+
+    fn leq(&self, a: &AbsVal, b: &AbsVal) -> bool {
+        self.facet.leq(a, b)
+    }
+
+    fn alpha_facet(&self, online: &AbsVal) -> AbsVal {
+        online.clone()
+    }
+
+    fn alpha_value(&self, v: &Value) -> Option<AbsVal> {
+        Some(self.facet.alpha(v))
+    }
+
+    fn closed_op(&self, p: Prim, args: &[AbstractArg<'_>]) -> AbsVal {
+        let pes: Vec<PeVal> = args.iter().map(|a| Self::pe_placeholder(a.bt)).collect();
+        let wrapped = self.wrap_args(args, &pes);
+        self.facet.closed_op(p, &wrapped)
+    }
+
+    fn open_op(&self, p: Prim, args: &[AbstractArg<'_>]) -> BtVal {
+        let pes: Vec<PeVal> = args.iter().map(|a| Self::pe_placeholder(a.bt)).collect();
+        let wrapped = self.wrap_args(args, &pes);
+        BtVal::from_pe(&self.facet.open_op(p, &wrapped))
+    }
+
+    fn enumerate(&self) -> Option<Vec<AbsVal>> {
+        self.facet.enumerate()
+    }
+
+    fn widen(&self, old: &AbsVal, new: &AbsVal) -> AbsVal {
+        self.facet.widen(old, new)
+    }
+}
+
+/// Convenience constructor used by facet implementations of
+/// [`Facet::abstract_facet`].
+pub(crate) fn mimic<F: Facet + 'static>(facet: F) -> Rc<dyn AbstractFacet> {
+    Rc::new(MimicAbstractFacet::new(facet))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facets::sign::{SignFacet, SignVal};
+
+    #[test]
+    fn mimics_open_operators_as_binding_times() {
+        let abs = MimicAbstractFacet::new(SignFacet);
+        let zero = AbsVal::new(SignVal::Zero);
+        let pos = AbsVal::new(SignVal::Pos);
+        // zero < pos is a constant online, hence Static offline.
+        assert_eq!(abs.open_op_on(Prim::Lt, &[zero, pos.clone()]), BtVal::Static);
+        // pos < pos is ⊤ online, hence Dynamic offline.
+        assert_eq!(abs.open_op_on(Prim::Lt, &[pos.clone(), pos]), BtVal::Dynamic);
+    }
+
+    #[test]
+    fn closed_operators_pass_through() {
+        let abs = MimicAbstractFacet::new(SignFacet);
+        let pos = AbsVal::new(SignVal::Pos);
+        let out = abs.closed_op_on(Prim::Add, &[pos.clone(), pos]);
+        assert_eq!(out.downcast_ref::<SignVal>(), Some(&SignVal::Pos));
+    }
+
+    #[test]
+    fn alpha_facet_is_identity() {
+        let abs = MimicAbstractFacet::new(SignFacet);
+        let neg = AbsVal::new(SignVal::Neg);
+        assert_eq!(abs.alpha_facet(&neg), neg);
+    }
+
+    #[test]
+    fn bottom_args_stay_bottom() {
+        let abs = MimicAbstractFacet::new(SignFacet);
+        let bot = abs.bottom();
+        let pos = AbsVal::new(SignVal::Pos);
+        assert_eq!(abs.open_op_on(Prim::Lt, &[bot.clone(), pos]), BtVal::Bottom);
+        assert_eq!(
+            abs.closed_op_on(Prim::Add, &[bot.clone(), abs.top()]),
+            bot
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Ready-made facets.
+//!
+//! - [`SignFacet`] — the Sign facet of Examples 1–2 (extended to the full
+//!   primitive algebra);
+//! - [`ParityFacet`] — even/odd, a second first-class example of a
+//!   user-defined property;
+//! - [`RangeFacet`] — integer intervals with widening (exercising the
+//!   paper's footnote 1 on infinite-height lattices);
+//! - [`SizeFacet`] — the vector Size facet of Section 6, whose abstract
+//!   facet ([`AbstractSizeFacet`]) has a *different* domain (`{⊥, s, d}`)
+//!   than the online facet, exactly as in Section 6.2;
+//! - [`TypeFacet`] — runtime-type tracking whose open operators detect
+//!   guaranteed type errors (answering `⊥`) and whose `assume` learns
+//!   types from observed comparison outcomes;
+//! - [`ConstSetFacet`] — k-bounded sets of possible constants
+//!   (generalized constant propagation, with branch filtering);
+//! - [`ContentsFacet`] — exact vector contents, making `vref` at constant
+//!   indices static (the facet behind interpreter specialization,
+//!   `examples/interpreter.rs`);
+//! - [`MimicAbstractFacet`] — the generic construction of an abstract facet
+//!   for facets whose offline domain coincides with the online domain.
+
+mod const_set;
+mod contents;
+mod mimic;
+mod parity;
+mod range;
+mod sign;
+mod size;
+mod ty;
+
+pub use const_set::{ConstSetFacet, ConstSetVal, DEFAULT_SET_BOUND};
+pub use contents::{
+    AbstractContentsFacet, AbstractContentsVal, ContentsFacet, ContentsVal, ElemVal, MAX_TRACKED,
+};
+pub use mimic::MimicAbstractFacet;
+pub use parity::{ParityFacet, ParityVal};
+pub use range::{RangeFacet, RangeVal};
+pub use sign::{SignFacet, SignVal};
+pub use size::{AbstractSizeFacet, AbstractSizeVal, SizeFacet, SizeVal};
+pub use ty::{TypeFacet, TypeVal};

@@ -1,0 +1,150 @@
+//! The lattice abstraction underlying every facet domain.
+//!
+//! Definition 2 requires each abstract domain to be an algebraic lattice of
+//! finite height (or to come with a widening operator). [`Lattice`] captures
+//! the operations the framework needs; [`check_lattice_laws`] makes the
+//! algebraic laws executable over a sample of elements, and is used by the
+//! test suite and the [`crate::safety`] checker.
+
+use std::fmt::Debug;
+
+/// A join-semilattice with distinguished bottom and top elements.
+///
+/// Implementors must satisfy, for all `a`, `b`, `c`:
+///
+/// - `join` is commutative, associative and idempotent;
+/// - `bottom().join(a) == a` and `a.join(top()) == top()`;
+/// - `a.leq(b)` iff `a.join(b) == b`.
+///
+/// These laws are what [`check_lattice_laws`] verifies on samples.
+pub trait Lattice: Clone + PartialEq + Debug {
+    /// The least element `⊥`.
+    fn bottom() -> Self;
+    /// The greatest element `⊤`.
+    fn top() -> Self;
+    /// Least upper bound.
+    fn join(&self, other: &Self) -> Self;
+    /// The partial order `⊑`.
+    fn leq(&self, other: &Self) -> bool;
+}
+
+/// A violation of a lattice law, reported by [`check_lattice_laws`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatticeLawViolation {
+    /// Which law failed.
+    pub law: &'static str,
+    /// The offending elements, rendered with `Debug`.
+    pub witness: String,
+}
+
+impl std::fmt::Display for LatticeLawViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lattice law `{}` violated by {}", self.law, self.witness)
+    }
+}
+
+impl std::error::Error for LatticeLawViolation {}
+
+/// Checks the lattice laws over all pairs/triples drawn from `elems`.
+///
+/// # Errors
+///
+/// Returns the first violated law together with a witness.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_core::{BtVal, Lattice};
+/// # use ppe_core::PeVal;
+/// ppe_core::check_lattice_laws(&[BtVal::Bottom, BtVal::Static, BtVal::Dynamic])?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_lattice_laws<L: Lattice>(elems: &[L]) -> Result<(), LatticeLawViolation> {
+    let bot = L::bottom();
+    let top = L::top();
+    for a in elems {
+        if a.join(a) != *a {
+            return Err(violation("idempotence", format!("{a:?}")));
+        }
+        if bot.join(a) != *a {
+            return Err(violation("bottom is identity", format!("{a:?}")));
+        }
+        if a.join(&top) != top {
+            return Err(violation("top is absorbing", format!("{a:?}")));
+        }
+        if !bot.leq(a) || !a.leq(&top) {
+            return Err(violation("bounds", format!("{a:?}")));
+        }
+        if !a.leq(a) {
+            return Err(violation("reflexivity", format!("{a:?}")));
+        }
+    }
+    for a in elems {
+        for b in elems {
+            if a.join(b) != b.join(a) {
+                return Err(violation("commutativity", format!("{a:?}}}, {b:?}")));
+            }
+            let j = a.join(b);
+            if !a.leq(&j) || !b.leq(&j) {
+                return Err(violation("join is an upper bound", format!("{a:?}, {b:?}")));
+            }
+            if a.leq(b) != (a.join(b) == *b) {
+                return Err(violation(
+                    "leq agrees with join",
+                    format!("{a:?}, {b:?}"),
+                ));
+            }
+            if a.leq(b) && b.leq(a) && a != b {
+                return Err(violation("antisymmetry", format!("{a:?}, {b:?}")));
+            }
+        }
+    }
+    for a in elems {
+        for b in elems {
+            for c in elems {
+                if a.join(&b.join(c)) != a.join(b).join(c) {
+                    return Err(violation("associativity", format!("{a:?}, {b:?}, {c:?}")));
+                }
+                if a.leq(b) && b.leq(c) && !a.leq(c) {
+                    return Err(violation("transitivity", format!("{a:?}, {b:?}, {c:?}")));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn violation(law: &'static str, witness: String) -> LatticeLawViolation {
+    LatticeLawViolation { law, witness }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately broken "lattice" to prove the checker catches bugs.
+    #[derive(Clone, PartialEq, Debug)]
+    struct BrokenMax(u8);
+
+    impl Lattice for BrokenMax {
+        fn bottom() -> Self {
+            BrokenMax(0)
+        }
+        fn top() -> Self {
+            BrokenMax(9)
+        }
+        fn join(&self, _other: &Self) -> Self {
+            // Bug: not commutative.
+            BrokenMax(self.0)
+        }
+        fn leq(&self, other: &Self) -> bool {
+            self.0 <= other.0
+        }
+    }
+
+    #[test]
+    fn checker_catches_broken_join() {
+        let err = check_lattice_laws(&[BrokenMax(0), BrokenMax(3), BrokenMax(9)]).unwrap_err();
+        assert!(!err.law.is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! The online partial-evaluation value domain `Values` (Section 3.2).
+//!
+//! `Values` is the flat lattice obtained by adding `⊥` and `⊤` to the
+//! constants: `⊥ ⊑ c ⊑ ⊤` for every constant `c`, distinct constants
+//! incomparable. The paper's Definition 7 makes this the domain of the
+//! *partial evaluation facet*; [`pe_op`] is that facet's (single) operator
+//! scheme.
+
+use std::fmt;
+
+use ppe_lang::{Const, Prim, Value};
+
+use crate::lattice::Lattice;
+
+/// An element of the paper's online domain `Values = Const ∪ {⊥, ⊤}`.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_core::{Lattice, PeVal};
+/// use ppe_lang::Const;
+///
+/// let c = PeVal::constant(Const::Int(1));
+/// assert!(PeVal::Bottom.leq(&c) && c.leq(&PeVal::Top));
+/// assert_eq!(c.join(&PeVal::constant(Const::Int(2))), PeVal::Top);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PeVal {
+    /// `⊥` — undefined (the expression denotes no value).
+    Bottom,
+    /// A known constant: the expression partially evaluates to it.
+    Const(Const),
+    /// `⊤` — unknown at partial-evaluation time.
+    Top,
+}
+
+impl PeVal {
+    /// Wraps a constant (readable constructor for `PeVal::Const`).
+    pub fn constant(c: Const) -> PeVal {
+        PeVal::Const(c)
+    }
+
+    /// The abstraction `τ̂ : Values → Values` of Section 3.2 extended to the
+    /// full value sum: first-order values map to their textual constant,
+    /// values with no constant form (vectors, functions) to `⊤`.
+    pub fn from_value(v: &Value) -> PeVal {
+        match v.to_const() {
+            Some(c) => PeVal::Const(c),
+            None => PeVal::Top,
+        }
+    }
+
+    /// Returns the constant if this is a known value.
+    pub fn as_const(&self) -> Option<Const> {
+        match self {
+            PeVal::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// True if this is a known constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, PeVal::Const(_))
+    }
+}
+
+impl Lattice for PeVal {
+    fn bottom() -> PeVal {
+        PeVal::Bottom
+    }
+
+    fn top() -> PeVal {
+        PeVal::Top
+    }
+
+    fn join(&self, other: &PeVal) -> PeVal {
+        match (self, other) {
+            (PeVal::Bottom, x) | (x, PeVal::Bottom) => *x,
+            (PeVal::Const(a), PeVal::Const(b)) if a == b => *self,
+            _ => PeVal::Top,
+        }
+    }
+
+    fn leq(&self, other: &PeVal) -> bool {
+        match (self, other) {
+            (PeVal::Bottom, _) | (_, PeVal::Top) => true,
+            (PeVal::Const(a), PeVal::Const(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for PeVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeVal::Bottom => f.write_str("⊥"),
+            PeVal::Const(c) => write!(f, "{c}"),
+            PeVal::Top => f.write_str("⊤"),
+        }
+    }
+}
+
+impl From<Const> for PeVal {
+    fn from(c: Const) -> PeVal {
+        PeVal::Const(c)
+    }
+}
+
+/// The partial evaluation facet's operator `p̂` (Definition 7):
+/// `⊥` if any argument is `⊥`; the (textualized) standard result if every
+/// argument is a constant; `⊤` otherwise.
+///
+/// Failing standard evaluation (division by zero, overflow, a type error)
+/// denotes `⊥` in the paper's semantics, and maps to `⊥` here.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_core::{pe_op, PeVal};
+/// use ppe_lang::{Const, Prim};
+///
+/// let two = PeVal::constant(Const::Int(2));
+/// assert_eq!(pe_op(Prim::Add, &[two, two]), PeVal::constant(Const::Int(4)));
+/// assert_eq!(pe_op(Prim::Add, &[two, PeVal::Top]), PeVal::Top);
+/// assert_eq!(pe_op(Prim::Add, &[two, PeVal::Bottom]), PeVal::Bottom);
+/// ```
+pub fn pe_op(p: Prim, args: &[PeVal]) -> PeVal {
+    if args.contains(&PeVal::Bottom) {
+        return PeVal::Bottom;
+    }
+    let consts: Option<Vec<Const>> = args.iter().map(PeVal::as_const).collect();
+    match consts {
+        Some(cs) => {
+            let values: Vec<Value> = cs.iter().map(|c| Value::from_const(*c)).collect();
+            match p.eval(&values) {
+                // A defined result with no textual representation (e.g.
+                // `mkvec 3` building a vector) is simply not a constant:
+                // `⊤`, not `⊥` — other facets may still know plenty
+                // about it.
+                Ok(v) => PeVal::from_value(&v),
+                // A failing primitive denotes ⊥ (Definition 7's
+                // strictness); the specializer keeps the expression
+                // residual in that case.
+                Err(_) => PeVal::Bottom,
+            }
+        }
+        None => PeVal::Top,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::check_lattice_laws;
+
+    fn samples() -> Vec<PeVal> {
+        vec![
+            PeVal::Bottom,
+            PeVal::Const(Const::Int(0)),
+            PeVal::Const(Const::Int(1)),
+            PeVal::Const(Const::Bool(true)),
+            PeVal::Top,
+        ]
+    }
+
+    #[test]
+    fn lattice_laws_hold() {
+        check_lattice_laws(&samples()).unwrap();
+    }
+
+    #[test]
+    fn distinct_constants_are_incomparable() {
+        let a = PeVal::Const(Const::Int(1));
+        let b = PeVal::Const(Const::Int(2));
+        assert!(!a.leq(&b) && !b.leq(&a));
+        assert_eq!(a.join(&b), PeVal::Top);
+    }
+
+    #[test]
+    fn from_value_is_tau_hat() {
+        assert_eq!(PeVal::from_value(&Value::Int(3)), PeVal::Const(Const::Int(3)));
+        assert_eq!(PeVal::from_value(&Value::vector(vec![])), PeVal::Top);
+    }
+
+    #[test]
+    fn pe_op_computes_on_constants() {
+        let out = pe_op(
+            Prim::Lt,
+            &[PeVal::Const(Const::Int(1)), PeVal::Const(Const::Int(2))],
+        );
+        assert_eq!(out, PeVal::Const(Const::Bool(true)));
+    }
+
+    #[test]
+    fn pe_op_is_strict_in_bottom() {
+        assert_eq!(
+            pe_op(Prim::Add, &[PeVal::Bottom, PeVal::Top]),
+            PeVal::Bottom
+        );
+    }
+
+    #[test]
+    fn pe_op_defined_nonconstant_results_are_top_not_bottom() {
+        // `mkvec 3` succeeds concretely but has no constant form: the PE
+        // facet answers ⊤ so other facets (e.g. Size) keep their say.
+        let out = pe_op(Prim::MkVec, &[PeVal::Const(Const::Int(3))]);
+        assert_eq!(out, PeVal::Top);
+    }
+
+    #[test]
+    fn pe_op_failing_primitive_denotes_bottom() {
+        let out = pe_op(
+            Prim::Div,
+            &[PeVal::Const(Const::Int(1)), PeVal::Const(Const::Int(0))],
+        );
+        assert_eq!(out, PeVal::Bottom);
+    }
+
+    #[test]
+    fn pe_op_monotone_on_samples() {
+        // A spot check; the full property is in the proptest suite.
+        let xs = samples();
+        for a in &xs {
+            for b in &xs {
+                if a.leq(b) {
+                    for c in &xs {
+                        let r1 = pe_op(Prim::Add, &[*a, *c]);
+                        let r2 = pe_op(Prim::Add, &[*b, *c]);
+                        assert!(r1.leq(&r2), "{a:?} ⊑ {b:?} but {r1:?} ⋢ {r2:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PeVal::Bottom.to_string(), "⊥");
+        assert_eq!(PeVal::Const(Const::Int(7)).to_string(), "7");
+        assert_eq!(PeVal::Top.to_string(), "⊤");
+    }
+}

@@ -1,0 +1,530 @@
+//! Products of facets (Definition 5) and their product operators, with the
+//! partial evaluation facet at component 0 (Section 4.4).
+//!
+//! A [`FacetSet`] is the collection of user facets a partial evaluation is
+//! parameterized by; a [`ProductVal`] is an element of the smashed product
+//! `Values ⊗ D̂₁ ⊗ … ⊗ D̂ₘ`. The product operators of Definition 5 are
+//! realized by [`FacetSet::prim_product`], whose result classification
+//! ([`PrimOutcome`]) is exactly the case analysis of `K̂_P` in Figure 3.
+
+use std::fmt;
+use std::rc::Rc;
+
+use ppe_lang::{Const, Prim, StdOpClass, Value};
+
+use crate::abs_val::AbsVal;
+use crate::abstract_product::AbstractFacetSet;
+use crate::facet::{Facet, FacetArg};
+use crate::lattice::Lattice;
+use crate::pe_val::{pe_op, PeVal};
+
+/// The set of facets a partial evaluation is parameterized by.
+///
+/// The partial evaluation facet (Definition 7) is always present implicitly
+/// as component 0 of every [`ProductVal`]; an empty `FacetSet` therefore
+/// yields exactly conventional partial evaluation (Figure 2).
+///
+/// # Examples
+///
+/// ```
+/// use ppe_core::{facets::SignFacet, FacetSet, ProductVal};
+/// use ppe_lang::{Const, Prim};
+///
+/// let set = FacetSet::with_facets(vec![Box::new(SignFacet)]);
+/// let three = ProductVal::from_const(Const::Int(3), &set);
+/// assert!(three.pe().is_const());
+/// ```
+#[derive(Debug, Default)]
+pub struct FacetSet {
+    facets: Vec<Rc<dyn Facet>>,
+}
+
+impl FacetSet {
+    /// An empty set: conventional (non-parameterized) partial evaluation.
+    pub fn new() -> FacetSet {
+        FacetSet { facets: Vec::new() }
+    }
+
+    /// Builds a set from user facets; order fixes component indices
+    /// (component `i + 1` of the paper's product is `facets[i]`).
+    pub fn with_facets(facets: Vec<Box<dyn Facet>>) -> FacetSet {
+        FacetSet {
+            facets: facets.into_iter().map(Rc::from).collect(),
+        }
+    }
+
+    /// Adds a facet, returning its component index among user facets.
+    pub fn push(&mut self, facet: Box<dyn Facet>) -> usize {
+        self.facets.push(Rc::from(facet));
+        self.facets.len() - 1
+    }
+
+    /// Number of user facets (the paper's `m - 1`, the PE facet excluded).
+    pub fn len(&self) -> usize {
+        self.facets.len()
+    }
+
+    /// True if only the partial evaluation facet is present.
+    pub fn is_empty(&self) -> bool {
+        self.facets.is_empty()
+    }
+
+    /// The user facets, in component order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Facet> {
+        self.facets.iter().map(|f| f.as_ref())
+    }
+
+    /// The user facet at index `i`.
+    pub fn facet(&self, i: usize) -> &dyn Facet {
+        self.facets[i].as_ref()
+    }
+
+    /// Finds a user facet index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.facets.iter().position(|f| f.name() == name)
+    }
+
+    /// Derives the product of abstract facets (Definition 9) for offline
+    /// partial evaluation, pairing each facet with its
+    /// [`Facet::abstract_facet`].
+    pub fn abstract_set(&self) -> AbstractFacetSet {
+        AbstractFacetSet::from_facets(
+            self.facets
+                .iter()
+                .map(|f| (Rc::clone(f), f.abstract_facet()))
+                .collect(),
+        )
+    }
+
+    /// The product operator `ω̂_p` for `p` (Definition 5), folded into the
+    /// full `K̂_P` case analysis of Figure 3. Any `⊥` argument smashes the
+    /// result to [`PrimOutcome::Bottom`].
+    pub fn prim_product(&self, p: Prim, args: &[ProductVal]) -> PrimOutcome {
+        if args.iter().any(|a| a.is_bottom(self)) {
+            return PrimOutcome::Bottom;
+        }
+        let pes: Vec<PeVal> = args.iter().map(|a| a.pe).collect();
+        let pe_result = pe_op(p, &pes);
+        match p.std_class() {
+            StdOpClass::Closed => {
+                // Definition 5(a): componentwise; Figure 3 K̂_P[pᶜ]: a
+                // constant can only come from the PE facet (component 0),
+                // and then every facet re-abstracts from it (Theorem 1).
+                if pe_result == PeVal::Bottom {
+                    return PrimOutcome::Bottom;
+                }
+                if let Some(c) = pe_result.as_const() {
+                    return PrimOutcome::Const(c);
+                }
+                // All-constant arguments with a defined, non-constant
+                // result (e.g. `mkvec 3`): the value is fully computable,
+                // so abstract it exactly into every facet instead of going
+                // through the (necessarily weaker) abstract operators.
+                let arg_consts: Option<Vec<Const>> =
+                    args.iter().map(|a| a.pe.as_const()).collect();
+                if let Some(cs) = arg_consts {
+                    let values: Vec<Value> =
+                        cs.iter().map(|c| Value::from_const(*c)).collect();
+                    if let Ok(v) = p.eval(&values) {
+                        return PrimOutcome::Closed(ProductVal::from_value(&v, self));
+                    }
+                }
+                let mut components = Vec::with_capacity(self.facets.len());
+                for (i, facet) in self.facets.iter().enumerate() {
+                    let wrapped: Vec<FacetArg<'_>> = args
+                        .iter()
+                        .map(|a| FacetArg {
+                            pe: &a.pe,
+                            abs: &a.facets[i],
+                        })
+                        .collect();
+                    let out = facet.closed_op(p, &wrapped);
+                    if out == facet.bottom() {
+                        return PrimOutcome::Bottom;
+                    }
+                    components.push(out);
+                }
+                PrimOutcome::Closed(ProductVal {
+                    pe: pe_result,
+                    facets: components,
+                })
+            }
+            StdOpClass::Open => {
+                // Definition 5(b): ⊥ dominates; otherwise the first facet
+                // producing a constant wins; otherwise ⊤. Lemma 3
+                // guarantees all constant-producing facets agree, which is
+                // asserted in debug builds.
+                let mut found: Option<Const> = None;
+                let mut results = Vec::with_capacity(self.facets.len() + 1);
+                results.push(pe_result);
+                for (i, facet) in self.facets.iter().enumerate() {
+                    let wrapped: Vec<FacetArg<'_>> = args
+                        .iter()
+                        .map(|a| FacetArg {
+                            pe: &a.pe,
+                            abs: &a.facets[i],
+                        })
+                        .collect();
+                    results.push(facet.open_op(p, &wrapped));
+                }
+                for r in &results {
+                    match r {
+                        PeVal::Bottom => return PrimOutcome::Bottom,
+                        PeVal::Const(c) => {
+                            if let Some(prev) = found {
+                                debug_assert_eq!(
+                                    prev, *c,
+                                    "Lemma 3 violated: facets disagree on `{p}`"
+                                );
+                            }
+                            found = Some(*c);
+                        }
+                        PeVal::Top => {}
+                    }
+                }
+                match found {
+                    Some(c) => PrimOutcome::Const(c),
+                    None => PrimOutcome::Unknown,
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of applying a primitive to product values — the case analysis
+/// of `K̂_P` in Figure 3.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PrimOutcome {
+    /// The product smashed to `⊥`: keep the expression residual with value
+    /// `⊥` (it denotes no value).
+    Bottom,
+    /// Some facet produced a constant (for a closed operator: the PE facet
+    /// itself): the expression *reduces* to this constant.
+    Const(Const),
+    /// Closed operator with no constant: keep residual, carrying the
+    /// computed product of abstract values.
+    Closed(ProductVal),
+    /// Open operator with no constant: keep residual; all facet components
+    /// go to `⊤` (Figure 3's `(⊤_D̂₁, …, ⊤_D̂ₘ)`).
+    Unknown,
+}
+
+/// An element of the smashed product `Values ⊗ D̂₁ ⊗ … ⊗ D̂ₘ`
+/// (Definition 5), ordered componentwise.
+///
+/// Component 0 is always the partial evaluation facet's value ([`PeVal`]);
+/// the remaining components belong to the user facets of the governing
+/// [`FacetSet`], in order. Smashing means any `⊥` component makes the whole
+/// value `⊥`; [`ProductVal::is_bottom`] tests that.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ProductVal {
+    pe: PeVal,
+    facets: Vec<AbsVal>,
+}
+
+impl ProductVal {
+    /// The bottom product (every component `⊥`).
+    pub fn bottom(set: &FacetSet) -> ProductVal {
+        ProductVal {
+            pe: PeVal::Bottom,
+            facets: set.facets.iter().map(|f| f.bottom()).collect(),
+        }
+    }
+
+    /// The fully dynamic product (every component `⊤`) — the value of an
+    /// unknown program input about which no facet knows anything.
+    pub fn dynamic(set: &FacetSet) -> ProductVal {
+        ProductVal {
+            pe: PeVal::Top,
+            facets: set.facets.iter().map(|f| f.top()).collect(),
+        }
+    }
+
+    /// Abstracts a constant into every component — the propagation
+    /// `(α̂₁(d), …, α̂ₘ(d))` performed by `K̂` in Figure 3.
+    pub fn from_const(c: Const, set: &FacetSet) -> ProductVal {
+        ProductVal::from_value(&Value::from_const(c), set)
+    }
+
+    /// Abstracts a concrete value into every component.
+    pub fn from_value(v: &Value, set: &FacetSet) -> ProductVal {
+        ProductVal {
+            pe: PeVal::from_value(v),
+            facets: set.facets.iter().map(|f| f.alpha(v)).collect(),
+        }
+    }
+
+    /// Builds a product from raw components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of facet components differs from `set.len()`.
+    pub fn from_components(pe: PeVal, facets: Vec<AbsVal>, set: &FacetSet) -> ProductVal {
+        assert_eq!(
+            facets.len(),
+            set.len(),
+            "product arity must match the facet set"
+        );
+        ProductVal { pe, facets }
+    }
+
+    /// The partial-evaluation component (component 0).
+    pub fn pe(&self) -> &PeVal {
+        &self.pe
+    }
+
+    /// The `i`-th user facet's component.
+    pub fn facet(&self, i: usize) -> &AbsVal {
+        &self.facets[i]
+    }
+
+    /// All user facet components, in order.
+    pub fn facet_components(&self) -> &[AbsVal] {
+        &self.facets
+    }
+
+    /// Returns a copy with the `i`-th user facet component replaced —
+    /// used to state "this argument is dynamic but its size is 3".
+    #[must_use]
+    pub fn with_facet(&self, i: usize, abs: AbsVal) -> ProductVal {
+        let mut out = self.clone();
+        out.facets[i] = abs;
+        out
+    }
+
+    /// Returns a copy with the partial-evaluation component replaced.
+    #[must_use]
+    pub fn with_pe(&self, pe: PeVal) -> ProductVal {
+        let mut out = self.clone();
+        out.pe = pe;
+        out
+    }
+
+    /// True if the value is (smashed) `⊥`: some component is `⊥`.
+    pub fn is_bottom(&self, set: &FacetSet) -> bool {
+        self.pe == PeVal::Bottom
+            || self
+                .facets
+                .iter()
+                .zip(&set.facets)
+                .any(|(v, f)| *v == f.bottom())
+    }
+
+    /// Componentwise join (the product lattice's least upper bound).
+    /// Smashed bottoms are identities: `⊥ ⊔ x = x`.
+    #[must_use]
+    pub fn join(&self, other: &ProductVal, set: &FacetSet) -> ProductVal {
+        if self.is_bottom(set) {
+            return other.clone();
+        }
+        if other.is_bottom(set) {
+            return self.clone();
+        }
+        ProductVal {
+            pe: self.pe.join(&other.pe),
+            facets: self
+                .facets
+                .iter()
+                .zip(&other.facets)
+                .zip(&set.facets)
+                .map(|((a, b), f)| f.join(a, b))
+                .collect(),
+        }
+    }
+
+    /// Componentwise order (smashed: `⊥` below everything).
+    pub fn leq(&self, other: &ProductVal, set: &FacetSet) -> bool {
+        if self.is_bottom(set) {
+            return true;
+        }
+        if other.is_bottom(set) {
+            return false;
+        }
+        self.pe.leq(&other.pe)
+            && self
+                .facets
+                .iter()
+                .zip(&other.facets)
+                .zip(&set.facets)
+                .all(|((a, b), f)| f.leq(a, b))
+    }
+
+    /// Componentwise widening (for facets with infinite-height domains).
+    /// Smashed bottoms are identities, as for [`ProductVal::join`].
+    #[must_use]
+    pub fn widen(&self, newer: &ProductVal, set: &FacetSet) -> ProductVal {
+        if self.is_bottom(set) {
+            return newer.clone();
+        }
+        if newer.is_bottom(set) {
+            return self.clone();
+        }
+        ProductVal {
+            pe: self.pe.join(&newer.pe),
+            facets: self
+                .facets
+                .iter()
+                .zip(&newer.facets)
+                .zip(&set.facets)
+                .map(|((a, b), f)| f.widen(a, b))
+                .collect(),
+        }
+    }
+
+    /// Renders the product as the paper's `⟨v₁, …, vₘ⟩` tuples (Figure 9).
+    pub fn display(&self) -> String {
+        let mut s = format!("⟨{}", self.pe);
+        for v in &self.facets {
+            s.push_str(", ");
+            s.push_str(&v.to_string());
+        }
+        s.push('⟩');
+        s
+    }
+}
+
+impl fmt::Display for ProductVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facets::{SignFacet, SignVal};
+
+    fn sign_set() -> FacetSet {
+        FacetSet::with_facets(vec![Box::new(SignFacet)])
+    }
+
+    #[test]
+    fn from_const_propagates_to_all_facets() {
+        let set = sign_set();
+        let v = ProductVal::from_const(Const::Int(-5), &set);
+        assert_eq!(*v.pe(), PeVal::Const(Const::Int(-5)));
+        assert_eq!(v.facet(0).downcast_ref::<SignVal>(), Some(&SignVal::Neg));
+    }
+
+    #[test]
+    fn closed_op_with_constants_reduces_via_pe_facet() {
+        let set = sign_set();
+        let a = ProductVal::from_const(Const::Int(2), &set);
+        let b = ProductVal::from_const(Const::Int(3), &set);
+        assert_eq!(
+            set.prim_product(Prim::Add, &[a, b]),
+            PrimOutcome::Const(Const::Int(5))
+        );
+    }
+
+    #[test]
+    fn closed_op_with_signs_computes_the_sign() {
+        let set = sign_set();
+        let pos = ProductVal::dynamic(&set).with_facet(0, AbsVal::new(SignVal::Pos));
+        let out = set.prim_product(Prim::Add, &[pos.clone(), pos]);
+        match out {
+            PrimOutcome::Closed(v) => {
+                assert_eq!(*v.pe(), PeVal::Top);
+                assert_eq!(v.facet(0).downcast_ref::<SignVal>(), Some(&SignVal::Pos));
+            }
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_op_triggered_by_a_user_facet() {
+        // zero < pos reduces to `true` via the Sign facet even though the
+        // PE facet knows nothing (Example 1's ≺̂).
+        let set = sign_set();
+        let zero = ProductVal::dynamic(&set).with_facet(0, AbsVal::new(SignVal::Zero));
+        let pos = ProductVal::dynamic(&set).with_facet(0, AbsVal::new(SignVal::Pos));
+        assert_eq!(
+            set.prim_product(Prim::Lt, &[zero, pos]),
+            PrimOutcome::Const(Const::Bool(true))
+        );
+    }
+
+    #[test]
+    fn open_op_with_coarse_values_is_unknown() {
+        let set = sign_set();
+        let top = ProductVal::dynamic(&set);
+        assert_eq!(
+            set.prim_product(Prim::Lt, &[top.clone(), top]),
+            PrimOutcome::Unknown
+        );
+    }
+
+    #[test]
+    fn bottom_smashes() {
+        let set = sign_set();
+        let bot = ProductVal::bottom(&set);
+        let top = ProductVal::dynamic(&set);
+        assert!(bot.is_bottom(&set));
+        assert_eq!(
+            set.prim_product(Prim::Add, &[bot.clone(), top]),
+            PrimOutcome::Bottom
+        );
+        // A single ⊥ component also smashes.
+        let half = ProductVal::dynamic(&set).with_pe(PeVal::Bottom);
+        assert!(half.is_bottom(&set));
+    }
+
+    #[test]
+    fn join_and_leq_are_componentwise() {
+        let set = sign_set();
+        let a = ProductVal::from_const(Const::Int(1), &set);
+        let b = ProductVal::from_const(Const::Int(2), &set);
+        let j = a.join(&b, &set);
+        assert_eq!(*j.pe(), PeVal::Top);
+        assert_eq!(j.facet(0).downcast_ref::<SignVal>(), Some(&SignVal::Pos));
+        assert!(a.leq(&j, &set) && b.leq(&j, &set));
+        assert!(!j.leq(&a, &set));
+        assert!(ProductVal::bottom(&set).leq(&a, &set));
+    }
+
+    #[test]
+    fn constant_mkvec_keeps_exact_facet_information() {
+        // `(mkvec 3)` is defined but not a constant: the product must
+        // carry ⊤ in the PE component and the exact size in the Size
+        // facet (regression: this used to smash to ⊥).
+        use crate::facets::{SizeFacet, SizeVal};
+        let set = FacetSet::with_facets(vec![Box::new(SizeFacet)]);
+        let three = ProductVal::from_const(Const::Int(3), &set);
+        match set.prim_product(Prim::MkVec, &[three]) {
+            PrimOutcome::Closed(v) => {
+                assert_eq!(*v.pe(), PeVal::Top);
+                assert_eq!(v.facet(0).downcast_ref::<SizeVal>(), Some(&SizeVal::Known(3)));
+            }
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_renders_tuples() {
+        let set = sign_set();
+        let v = ProductVal::from_const(Const::Int(3), &set);
+        assert_eq!(v.display(), "⟨3, pos⟩");
+    }
+
+    #[test]
+    fn empty_facet_set_is_conventional_pe() {
+        let set = FacetSet::new();
+        let a = ProductVal::from_const(Const::Int(10), &set);
+        let b = ProductVal::dynamic(&set);
+        assert_eq!(
+            set.prim_product(Prim::Add, &[a.clone(), a.clone()]),
+            PrimOutcome::Const(Const::Int(20))
+        );
+        // A closed operator over a partly dynamic argument stays residual,
+        // carrying the (empty) product with a ⊤ PE component.
+        match set.prim_product(Prim::Add, &[a, b.clone()]) {
+            PrimOutcome::Closed(v) => assert_eq!(*v.pe(), PeVal::Top),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // An open operator over dynamic arguments is Unknown.
+        assert_eq!(
+            set.prim_product(Prim::Lt, &[b.clone(), b]),
+            PrimOutcome::Unknown
+        );
+    }
+}

@@ -1,0 +1,470 @@
+//! Executable safety conditions for facet mappings (Definition 2) and the
+//! paper's Properties 1–8.
+//!
+//! The paper proves its facets safe by hand; this module turns the proof
+//! obligations into checks a facet author can run against samples (or
+//! exhaustively, when [`crate::Facet::enumerate`] is available):
+//!
+//! - lattice laws of the abstract domain (Definition 2, condition 1);
+//! - monotonicity of every operator (condition 2);
+//! - the approximation conditions (condition 5):
+//!   `α̂(p(d⃗)) ⊑ p̂(α̂(d⃗))` for closed operators and
+//!   `τ̂(p(d⃗)) ⊑ p̂(α̂(d⃗))` for open ones — the latter specializes to
+//!   Property 2: a constant answered by `p̂` equals the concrete result;
+//! - for abstract facets, the corresponding conditions with respect to
+//!   `Values̄` (Properties 6–8).
+//!
+//! Every shipped facet is validated by these checks in the test suite.
+
+use ppe_lang::{Prim, Value, ALL_PRIMS};
+
+use crate::abs_val::AbsVal;
+use crate::abstract_facet::AbstractFacet;
+use crate::bt_val::BtVal;
+use crate::facet::Facet;
+use crate::lattice::Lattice;
+use crate::pe_val::PeVal;
+
+/// A violated safety condition, with a human-readable witness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SafetyViolation {
+    /// Which obligation failed.
+    pub condition: &'static str,
+    /// The facet under check.
+    pub facet: &'static str,
+    /// A rendering of the offending inputs and outputs.
+    pub witness: String,
+}
+
+impl std::fmt::Display for SafetyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "facet `{}` violates `{}`: {}",
+            self.facet, self.condition, self.witness
+        )
+    }
+}
+
+impl std::error::Error for SafetyViolation {}
+
+fn fail(condition: &'static str, facet: &'static str, witness: String) -> SafetyViolation {
+    SafetyViolation {
+        condition,
+        facet,
+        witness,
+    }
+}
+
+/// Checks the lattice laws of a facet's domain over `elems` (Definition 2,
+/// condition 1 made testable).
+///
+/// # Errors
+///
+/// Returns the first violated law.
+pub fn check_facet_lattice(facet: &dyn Facet, elems: &[AbsVal]) -> Result<(), SafetyViolation> {
+    let bot = facet.bottom();
+    let top = facet.top();
+    for a in elems {
+        if facet.join(a, a) != *a {
+            return Err(fail("join idempotence", facet.name(), format!("{a:?}")));
+        }
+        if facet.join(&bot, a) != *a {
+            return Err(fail("bottom identity", facet.name(), format!("{a:?}")));
+        }
+        if facet.join(a, &top) != top {
+            return Err(fail("top absorbing", facet.name(), format!("{a:?}")));
+        }
+        if !facet.leq(&bot, a) || !facet.leq(a, &top) {
+            return Err(fail("bounds", facet.name(), format!("{a:?}")));
+        }
+    }
+    for a in elems {
+        for b in elems {
+            if facet.join(a, b) != facet.join(b, a) {
+                return Err(fail("join commutativity", facet.name(), format!("{a:?}, {b:?}")));
+            }
+            let j = facet.join(a, b);
+            if !facet.leq(a, &j) || !facet.leq(b, &j) {
+                return Err(fail("join upper bound", facet.name(), format!("{a:?}, {b:?}")));
+            }
+            if facet.leq(a, b) != (facet.join(a, b) == *b) {
+                return Err(fail("leq/join agreement", facet.name(), format!("{a:?}, {b:?}")));
+            }
+            for c in elems {
+                if facet.join(a, &facet.join(b, c)) != facet.join(&facet.join(a, b), c) {
+                    return Err(fail(
+                        "join associativity",
+                        facet.name(),
+                        format!("{a:?}, {b:?}, {c:?}"),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Elements to test a facet's operators on: the enumeration if available,
+/// otherwise `⊥`, `⊤`, and the abstractions of the concrete samples.
+pub fn test_elements(facet: &dyn Facet, concrete: &[Value]) -> Vec<AbsVal> {
+    if let Some(all) = facet.enumerate() {
+        return all;
+    }
+    let mut out = vec![facet.bottom(), facet.top()];
+    for v in concrete {
+        let a = facet.alpha(v);
+        if !out.contains(&a) {
+            out.push(a);
+        }
+    }
+    out
+}
+
+/// Checks monotonicity of a facet's closed and open operators over
+/// `elems`, for unary and binary primitives (Definition 2, condition 2).
+///
+/// # Errors
+///
+/// Returns a witness of the first monotonicity failure.
+pub fn check_facet_monotone(
+    facet: &dyn Facet,
+    elems: &[AbsVal],
+    prims: &[Prim],
+) -> Result<(), SafetyViolation> {
+    let pairs: Vec<(&AbsVal, &AbsVal)> = elems
+        .iter()
+        .flat_map(|a| elems.iter().map(move |b| (a, b)))
+        .filter(|(a, b)| facet.leq(a, b))
+        .collect();
+    let pe_top = PeVal::Top;
+    for &p in prims {
+        if p.arity() > 2 {
+            continue;
+        }
+        for (a1, a2) in &pairs {
+            if p.arity() == 1 {
+                check_mono_at(facet, p, &[(*a1).clone()], &[(*a2).clone()], &pe_top)?;
+            } else {
+                for c in elems {
+                    check_mono_at(
+                        facet,
+                        p,
+                        &[(*a1).clone(), c.clone()],
+                        &[(*a2).clone(), c.clone()],
+                        &pe_top,
+                    )?;
+                    check_mono_at(
+                        facet,
+                        p,
+                        &[c.clone(), (*a1).clone()],
+                        &[c.clone(), (*a2).clone()],
+                        &pe_top,
+                    )?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn wrap_args<'a>(xs: &'a [AbsVal], pe: &'a PeVal) -> Vec<crate::facet::FacetArg<'a>> {
+    xs.iter()
+        .map(|abs| crate::facet::FacetArg { pe, abs })
+        .collect()
+}
+
+fn check_mono_at(
+    facet: &dyn Facet,
+    p: Prim,
+    lo: &[AbsVal],
+    hi: &[AbsVal],
+    pe_top: &PeVal,
+) -> Result<(), SafetyViolation> {
+    use ppe_lang::StdOpClass;
+    match p.std_class() {
+        StdOpClass::Closed => {
+            let r1 = facet.closed_op(p, &wrap_args(lo, pe_top));
+            let r2 = facet.closed_op(p, &wrap_args(hi, pe_top));
+            if !facet.leq(&r1, &r2) {
+                return Err(fail(
+                    "closed operator monotonicity",
+                    facet.name(),
+                    format!("{p}: {lo:?} ⊑ {hi:?} but {r1:?} ⋢ {r2:?}"),
+                ));
+            }
+        }
+        StdOpClass::Open => {
+            let r1 = facet.open_op(p, &wrap_args(lo, pe_top));
+            let r2 = facet.open_op(p, &wrap_args(hi, pe_top));
+            if !r1.leq(&r2) {
+                return Err(fail(
+                    "open operator monotonicity",
+                    facet.name(),
+                    format!("{p}: {lo:?} ⊑ {hi:?} but {r1:?} ⋢ {r2:?}"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the approximation condition (Definition 2, condition 5) over
+/// concrete samples: for closed `p`, `α̂(p(d⃗)) ⊑ p̂(α̂(d⃗))`; for open `p`,
+/// `τ̂(p(d⃗)) ⊑ p̂(α̂(d⃗))` — which includes Property 2 (an answered
+/// constant is *the* concrete answer).
+///
+/// Unary and binary primitives are checked over all tuples of `concrete`;
+/// erroring concrete applications denote `⊥` and are skipped (the
+/// condition is vacuous at `⊥`).
+///
+/// # Errors
+///
+/// Returns a witness of the first approximation failure.
+pub fn check_facet_safety(
+    facet: &dyn Facet,
+    concrete: &[Value],
+    prims: &[Prim],
+) -> Result<(), SafetyViolation> {
+    use ppe_lang::StdOpClass;
+    let pe_top = PeVal::Top;
+    for &p in prims {
+        let arity = p.arity();
+        if arity > 2 {
+            continue;
+        }
+        let tuples: Vec<Vec<&Value>> = if arity == 1 {
+            concrete.iter().map(|v| vec![v]).collect()
+        } else {
+            concrete
+                .iter()
+                .flat_map(|a| concrete.iter().map(move |b| vec![a, b]))
+                .collect()
+        };
+        for tuple in tuples {
+            let owned: Vec<Value> = tuple.iter().map(|v| (*v).clone()).collect();
+            let Ok(result) = p.eval(&owned) else {
+                continue; // concrete ⊥: condition vacuous
+            };
+            let abs: Vec<AbsVal> = owned.iter().map(|v| facet.alpha(v)).collect();
+            let wrapped: Vec<crate::facet::FacetArg<'_>> = abs
+                .iter()
+                .map(|a| crate::facet::FacetArg { pe: &pe_top, abs: a })
+                .collect();
+            match p.std_class() {
+                StdOpClass::Closed => {
+                    let abstract_result = facet.closed_op(p, &wrapped);
+                    let concrete_abstracted = facet.alpha(&result);
+                    if !facet.leq(&concrete_abstracted, &abstract_result) {
+                        return Err(fail(
+                            "closed approximation α∘p ⊑ p̂∘α",
+                            facet.name(),
+                            format!(
+                                "{p}({owned:?}) = {result:?}; α = {concrete_abstracted:?} ⋢ {abstract_result:?}"
+                            ),
+                        ));
+                    }
+                }
+                StdOpClass::Open => {
+                    let abstract_result = facet.open_op(p, &wrapped);
+                    let concrete_pe = PeVal::from_value(&result);
+                    if !concrete_pe.leq(&abstract_result) {
+                        return Err(fail(
+                            "open approximation τ̂∘p ⊑ p̂∘α (Property 2)",
+                            facet.name(),
+                            format!(
+                                "{p}({owned:?}) = {result:?} but facet answered {abstract_result:?}"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `v ∈ γ(α̂(v))` for every sample (the Galois-connection sanity
+/// condition used by the consistency checker).
+///
+/// # Errors
+///
+/// Returns a witness value outside its own abstraction's concretization.
+pub fn check_alpha_gamma(facet: &dyn Facet, concrete: &[Value]) -> Result<(), SafetyViolation> {
+    for v in concrete {
+        let a = facet.alpha(v);
+        if !facet.concretizes(&a, v) {
+            return Err(fail(
+                "v ∈ γ(α(v))",
+                facet.name(),
+                format!("{v:?} ∉ γ({a:?})"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks the abstract-facet safety of Definition 8 over facet-level
+/// samples: for closed `p`, `ᾱ(p̂(d̂⃗)) ⊑ p̄(ᾱ(d̂⃗))`; for open `p`,
+/// `τ̄(p̂(d̂⃗)) ⊑ p̄(ᾱ(d̂⃗))` — which includes Property 6 (a `Static`
+/// answer means the facet yields a constant).
+///
+/// # Errors
+///
+/// Returns a witness of the first failure.
+pub fn check_abstract_facet_safety(
+    facet: &dyn Facet,
+    abs_facet: &dyn AbstractFacet,
+    facet_elems: &[AbsVal],
+    prims: &[Prim],
+) -> Result<(), SafetyViolation> {
+    use ppe_lang::StdOpClass;
+    let pe_top = PeVal::Top;
+    let bt_dyn = BtVal::Dynamic;
+    for &p in prims {
+        let arity = p.arity();
+        if arity > 2 {
+            continue;
+        }
+        let tuples: Vec<Vec<AbsVal>> = if arity == 1 {
+            facet_elems.iter().map(|v| vec![v.clone()]).collect()
+        } else {
+            facet_elems
+                .iter()
+                .flat_map(|a| facet_elems.iter().map(move |b| vec![a.clone(), b.clone()]))
+                .collect()
+        };
+        for tuple in tuples {
+            let online_args: Vec<crate::facet::FacetArg<'_>> = tuple
+                .iter()
+                .map(|abs| crate::facet::FacetArg { pe: &pe_top, abs })
+                .collect();
+            let abstracted: Vec<AbsVal> = tuple.iter().map(|a| abs_facet.alpha_facet(a)).collect();
+            let offline_args: Vec<crate::abstract_facet::AbstractArg<'_>> = abstracted
+                .iter()
+                .map(|abs| crate::abstract_facet::AbstractArg { bt: &bt_dyn, abs })
+                .collect();
+            match p.std_class() {
+                StdOpClass::Closed => {
+                    let online = facet.closed_op(p, &online_args);
+                    let offline = abs_facet.closed_op(p, &offline_args);
+                    let online_abstracted = abs_facet.alpha_facet(&online);
+                    if !abs_facet.leq(&online_abstracted, &offline) {
+                        return Err(fail(
+                            "abstract closed approximation ᾱ∘p̂ ⊑ p̄∘ᾱ",
+                            abs_facet.name(),
+                            format!("{p}({tuple:?}): {online_abstracted:?} ⋢ {offline:?}"),
+                        ));
+                    }
+                }
+                StdOpClass::Open => {
+                    let online = facet.open_op(p, &online_args);
+                    let offline = abs_facet.open_op(p, &offline_args);
+                    if !BtVal::from_pe(&online).leq(&offline) {
+                        return Err(fail(
+                            "abstract open approximation τ̄∘p̂ ⊑ p̄∘ᾱ (Property 6)",
+                            abs_facet.name(),
+                            format!("{p}({tuple:?}): online {online:?}, offline {offline:?}"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the whole battery on a facet: lattice laws, monotonicity,
+/// approximation safety, `γ∘α` sanity, and abstract-facet safety — over
+/// the facet's enumeration (or abstractions of `concrete`) and all unary
+/// and binary primitives.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate_facet(facet: &dyn Facet, concrete: &[Value]) -> Result<(), SafetyViolation> {
+    let elems = test_elements(facet, concrete);
+    check_facet_lattice(facet, &elems)?;
+    check_facet_monotone(facet, &elems, &ALL_PRIMS)?;
+    check_facet_safety(facet, concrete, &ALL_PRIMS)?;
+    check_alpha_gamma(facet, concrete)?;
+    let abs = facet.abstract_facet();
+    check_abstract_facet_safety(facet, abs.as_ref(), &elems, &ALL_PRIMS)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::default_candidates;
+    use crate::facets::{ParityFacet, RangeFacet, SignFacet, SizeFacet};
+
+    #[test]
+    fn sign_facet_is_safe() {
+        validate_facet(&SignFacet, &default_candidates()).unwrap();
+    }
+
+    #[test]
+    fn parity_facet_is_safe() {
+        validate_facet(&ParityFacet, &default_candidates()).unwrap();
+    }
+
+    #[test]
+    fn range_facet_is_safe() {
+        validate_facet(&RangeFacet, &default_candidates()).unwrap();
+    }
+
+    #[test]
+    fn size_facet_is_safe() {
+        validate_facet(&SizeFacet, &default_candidates()).unwrap();
+    }
+
+    #[test]
+    fn a_broken_facet_is_caught() {
+        use crate::abs_val::AbsVal;
+        use crate::facets::SignVal;
+        use std::rc::Rc;
+
+        /// Sign facet with an unsound `<`: claims pos < pos is true.
+        #[derive(Debug)]
+        struct EvilSign;
+        impl Facet for EvilSign {
+            fn name(&self) -> &'static str {
+                "evil-sign"
+            }
+            fn bottom(&self) -> AbsVal {
+                SignFacet.bottom()
+            }
+            fn top(&self) -> AbsVal {
+                SignFacet.top()
+            }
+            fn join(&self, a: &AbsVal, b: &AbsVal) -> AbsVal {
+                SignFacet.join(a, b)
+            }
+            fn leq(&self, a: &AbsVal, b: &AbsVal) -> bool {
+                SignFacet.leq(a, b)
+            }
+            fn alpha(&self, v: &Value) -> AbsVal {
+                SignFacet.alpha(v)
+            }
+            fn open_op(&self, p: Prim, args: &[crate::facet::FacetArg<'_>]) -> PeVal {
+                if p == Prim::Lt
+                    && args[0].abs.downcast_ref::<SignVal>() == Some(&SignVal::Pos)
+                    && args[1].abs.downcast_ref::<SignVal>() == Some(&SignVal::Pos)
+                {
+                    return PeVal::constant(true.into());
+                }
+                SignFacet.open_op(p, args)
+            }
+            fn concretizes(&self, abs: &AbsVal, v: &Value) -> bool {
+                SignFacet.concretizes(abs, v)
+            }
+            fn abstract_facet(&self) -> Rc<dyn AbstractFacet> {
+                SignFacet.abstract_facet()
+            }
+        }
+
+        let err = check_facet_safety(&EvilSign, &default_candidates(), &[Prim::Lt]).unwrap_err();
+        assert!(err.condition.contains("Property 2"), "{err}");
+    }
+}

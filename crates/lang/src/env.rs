@@ -1,0 +1,132 @@
+//! Persistent runtime environments (`Env = Var → Values`, Figure 1).
+
+use std::rc::Rc;
+
+use crate::symbol::Symbol;
+use crate::value::Value;
+
+/// A persistent (immutable, shareable) environment mapping variables to
+/// values.
+///
+/// Extension is O(1) and does not disturb other holders, which is what the
+/// recursive valuation functions of Figure 1 require, and what closures
+/// (Section 5.5) capture.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_lang::{Env, Symbol, Value};
+///
+/// let base = Env::empty();
+/// let x = Symbol::intern("x");
+/// let inner = base.bind(x, Value::Int(1));
+/// assert_eq!(inner.lookup(x), Some(&Value::Int(1)));
+/// assert_eq!(base.lookup(x), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Env(Option<Rc<Node>>);
+
+#[derive(Debug)]
+struct Node {
+    name: Symbol,
+    value: Value,
+    rest: Option<Rc<Node>>,
+}
+
+impl Env {
+    /// The empty environment (`⊥` of the environment domain).
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    /// Returns a new environment with `name ↦ value` added; shadows any
+    /// previous binding of `name`.
+    #[must_use]
+    pub fn bind(&self, name: Symbol, value: Value) -> Env {
+        Env(Some(Rc::new(Node {
+            name,
+            value,
+            rest: self.0.clone(),
+        })))
+    }
+
+    /// Returns a new environment extending `self` with all of `bindings`.
+    #[must_use]
+    pub fn bind_all<I>(&self, bindings: I) -> Env
+    where
+        I: IntoIterator<Item = (Symbol, Value)>,
+    {
+        let mut env = self.clone();
+        for (name, value) in bindings {
+            env = env.bind(name, value);
+        }
+        env
+    }
+
+    /// Looks up the innermost binding of `name`.
+    pub fn lookup(&self, name: Symbol) -> Option<&Value> {
+        let mut node = self.0.as_deref();
+        while let Some(n) = node {
+            if n.name == name {
+                return Some(&n.value);
+            }
+            node = n.rest.as_deref();
+        }
+        None
+    }
+
+    /// Number of (possibly shadowed) bindings; mainly for diagnostics.
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut node = self.0.as_deref();
+        while let Some(x) = node {
+            n += 1;
+            node = x.rest.as_deref();
+        }
+        n
+    }
+
+    /// True if no bindings are present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_bindings() {
+        let e = Env::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.lookup(Symbol::intern("x")), None);
+    }
+
+    #[test]
+    fn shadowing_finds_innermost() {
+        let x = Symbol::intern("x");
+        let e = Env::empty().bind(x, Value::Int(1)).bind(x, Value::Int(2));
+        assert_eq!(e.lookup(x), Some(&Value::Int(2)));
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn persistence_preserves_old_views() {
+        let x = Symbol::intern("x");
+        let y = Symbol::intern("y");
+        let base = Env::empty().bind(x, Value::Int(1));
+        let ext = base.bind(y, Value::Int(2));
+        assert_eq!(base.lookup(y), None);
+        assert_eq!(ext.lookup(x), Some(&Value::Int(1)));
+        assert_eq!(ext.lookup(y), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn bind_all_binds_in_order() {
+        let x = Symbol::intern("x");
+        let e = Env::empty().bind_all([(x, Value::Int(1)), (x, Value::Int(9))]);
+        assert_eq!(e.lookup(x), Some(&Value::Int(9)));
+    }
+}

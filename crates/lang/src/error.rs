@@ -1,0 +1,144 @@
+//! Error types for parsing and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::prim::Prim;
+use crate::symbol::Symbol;
+
+/// An error raised while parsing source text.
+///
+/// Carries a 1-based line/column position of the offending token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based line of the error.
+    pub line: u32,
+    /// 1-based column of the error.
+    pub col: u32,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: impl Into<String>, line: u32, col: u32) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// An error raised by the standard evaluator or a primitive operator.
+///
+/// These model the `⊥` (undefined) outcomes of the paper's partial
+/// operations, made observable: non-termination is cut off by fuel, partial
+/// primitives report their failure mode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable was not bound in the environment.
+    UnboundVar(Symbol),
+    /// A called function is not defined in the program.
+    UnknownFunction(Symbol),
+    /// A function was called with the wrong number of arguments.
+    Arity {
+        /// The function being applied.
+        function: Symbol,
+        /// Number of declared parameters.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// A primitive was applied to ill-typed arguments.
+    PrimType {
+        /// The offending primitive.
+        prim: Prim,
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// Integer overflow in an arithmetic primitive.
+    IntOverflow {
+        /// The offending primitive.
+        prim: Prim,
+    },
+    /// Division or remainder by zero.
+    DivByZero,
+    /// Vector access out of range (indices are 1-based, as in the paper).
+    VectorIndex {
+        /// The requested index.
+        index: i64,
+        /// The vector's length.
+        len: usize,
+    },
+    /// The condition of an `if` did not evaluate to a boolean.
+    NonBoolCondition,
+    /// Attempt to apply a non-function value (higher-order programs).
+    NotAFunction,
+    /// The evaluator's fuel was exhausted (stand-in for non-termination).
+    OutOfFuel,
+    /// The evaluator's call-depth limit was exceeded (deep, non-tail
+    /// recursion; also a stand-in for non-termination).
+    DepthExceeded,
+    /// The evaluator does not support this construct (e.g. higher-order
+    /// forms under the call-by-need evaluator).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVar(x) => write!(f, "unbound variable `{x}`"),
+            EvalError::UnknownFunction(g) => write!(f, "unknown function `{g}`"),
+            EvalError::Arity {
+                function,
+                expected,
+                got,
+            } => write!(f, "`{function}` expects {expected} arguments, got {got}"),
+            EvalError::PrimType { prim, detail } => {
+                write!(f, "primitive `{prim}` type error: {detail}")
+            }
+            EvalError::IntOverflow { prim } => {
+                write!(f, "integer overflow in primitive `{prim}`")
+            }
+            EvalError::DivByZero => f.write_str("division by zero"),
+            EvalError::VectorIndex { index, len } => {
+                write!(f, "vector index {index} out of range 1..={len}")
+            }
+            EvalError::NonBoolCondition => f.write_str("condition of `if` is not a boolean"),
+            EvalError::NotAFunction => f.write_str("application of a non-function value"),
+            EvalError::OutOfFuel => f.write_str("evaluation fuel exhausted"),
+            EvalError::DepthExceeded => f.write_str("evaluation call depth exceeded"),
+            EvalError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = EvalError::UnboundVar(Symbol::intern("zz"));
+        assert_eq!(e.to_string(), "unbound variable `zz`");
+        let p = ParseError::new("unexpected `)`", 3, 7);
+        assert_eq!(p.to_string(), "parse error at 3:7: unexpected `)`");
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseError>();
+        assert_send_sync::<EvalError>();
+    }
+}

@@ -1,0 +1,308 @@
+//! The standard evaluator (`E` and `E_Prog` of Figure 1).
+//!
+//! Evaluation is strict and environment-based. A *fuel* counter bounds the
+//! number of function applications so that non-terminating programs — which
+//! denote `⊥` in the paper — are observable as [`EvalError::OutOfFuel`]
+//! rather than hanging tests.
+
+use std::rc::Rc;
+
+use crate::ast::Expr;
+use crate::env::Env;
+use crate::error::EvalError;
+use crate::program::Program;
+use crate::value::Value;
+
+/// Default number of function applications before giving up.
+pub const DEFAULT_FUEL: u64 = 10_000_000;
+
+/// Default call-depth limit (bounds native stack use; non-tail recursion
+/// deeper than this reports [`EvalError::DepthExceeded`]).
+pub const DEFAULT_MAX_DEPTH: u32 = 200;
+
+/// An evaluator for a fixed program.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_lang::{parse_program, Evaluator, Value};
+///
+/// let p = parse_program(
+///     "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))",
+/// )?;
+/// let mut ev = Evaluator::new(&p);
+/// assert_eq!(ev.run_main(&[Value::Int(5)])?, Value::Int(120));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Evaluator<'p> {
+    program: &'p Program,
+    fuel: u64,
+    initial_fuel: u64,
+    depth: u32,
+    max_depth: u32,
+}
+
+impl<'p> Evaluator<'p> {
+    /// Creates an evaluator with the default fuel and depth budgets.
+    pub fn new(program: &'p Program) -> Evaluator<'p> {
+        Evaluator::with_fuel(program, DEFAULT_FUEL)
+    }
+
+    /// Creates an evaluator that performs at most `fuel` applications.
+    pub fn with_fuel(program: &'p Program, fuel: u64) -> Evaluator<'p> {
+        Evaluator {
+            program,
+            fuel,
+            initial_fuel: fuel,
+            depth: 0,
+            max_depth: DEFAULT_MAX_DEPTH,
+        }
+    }
+
+    /// Sets the call-depth limit (the default is [`DEFAULT_MAX_DEPTH`]).
+    pub fn set_max_depth(&mut self, max_depth: u32) {
+        self.max_depth = max_depth;
+    }
+
+    /// Runs the program's main function (the paper's `E_Prog`) on `args`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`]; see the error type for the catalogue. The fuel
+    /// budget resets on each call to `run_main`.
+    pub fn run_main(&mut self, args: &[Value]) -> Result<Value, EvalError> {
+        self.fuel = self.initial_fuel;
+        let main = self.program.main();
+        self.apply_named(main.name, args.to_vec())
+    }
+
+    /// Runs an arbitrary defined function on `args`, resetting fuel.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Evaluator::run_main`].
+    pub fn run(&mut self, name: crate::Symbol, args: &[Value]) -> Result<Value, EvalError> {
+        self.fuel = self.initial_fuel;
+        self.apply_named(name, args.to_vec())
+    }
+
+    /// Number of applications consumed by the last run.
+    pub fn fuel_used(&self) -> u64 {
+        self.initial_fuel - self.fuel
+    }
+
+    fn apply_named(&mut self, name: crate::Symbol, args: Vec<Value>) -> Result<Value, EvalError> {
+        let def = self
+            .program
+            .lookup(name)
+            .ok_or(EvalError::UnknownFunction(name))?;
+        if def.arity() != args.len() {
+            return Err(EvalError::Arity {
+                function: name,
+                expected: def.arity(),
+                got: args.len(),
+            });
+        }
+        if self.fuel == 0 {
+            return Err(EvalError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        if self.depth >= self.max_depth {
+            return Err(EvalError::DepthExceeded);
+        }
+        self.depth += 1;
+        let env = Env::empty().bind_all(def.params.iter().copied().zip(args));
+        let body = &def.body;
+        let result = self.eval(body, &env);
+        self.depth -= 1;
+        result
+    }
+
+    /// Evaluates an expression in an environment (the paper's `E`).
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`].
+    pub fn eval(&mut self, e: &Expr, env: &Env) -> Result<Value, EvalError> {
+        match e {
+            Expr::Const(c) => Ok(Value::from_const(*c)),
+            Expr::Var(x) => env
+                .lookup(*x)
+                .cloned()
+                .ok_or(EvalError::UnboundVar(*x)),
+            Expr::Prim(p, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env)?);
+                }
+                p.eval(&vals)
+            }
+            Expr::If(c, t, f) => {
+                let cond = self.eval(c, env)?;
+                match cond {
+                    Value::Bool(true) => self.eval(t, env),
+                    Value::Bool(false) => self.eval(f, env),
+                    _ => Err(EvalError::NonBoolCondition),
+                }
+            }
+            Expr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env)?);
+                }
+                self.apply_named(*name, vals)
+            }
+            Expr::Let(x, b, body) => {
+                let v = self.eval(b, env)?;
+                let inner = env.bind(*x, v);
+                self.eval(body, &inner)
+            }
+            Expr::Lambda(params, body) => Ok(Value::Closure {
+                params: params.clone(),
+                body: Rc::new((**body).clone()),
+                env: env.clone(),
+            }),
+            Expr::FnRef(f) => Ok(Value::FnVal(*f)),
+            Expr::App(f, args) => {
+                let fv = self.eval(f, env)?;
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env)?);
+                }
+                self.apply_value(fv, vals)
+            }
+        }
+    }
+
+    /// Applies a function value (closure or top-level reference).
+    pub fn apply_value(&mut self, f: Value, args: Vec<Value>) -> Result<Value, EvalError> {
+        match f {
+            Value::FnVal(name) => self.apply_named(name, args),
+            Value::Closure { params, body, env } => {
+                if params.len() != args.len() {
+                    return Err(EvalError::Arity {
+                        function: crate::Symbol::intern("<lambda>"),
+                        expected: params.len(),
+                        got: args.len(),
+                    });
+                }
+                if self.fuel == 0 {
+                    return Err(EvalError::OutOfFuel);
+                }
+                self.fuel -= 1;
+                if self.depth >= self.max_depth {
+                    return Err(EvalError::DepthExceeded);
+                }
+                self.depth += 1;
+                let inner = env.bind_all(params.into_iter().zip(args));
+                let result = self.eval(&body, &inner);
+                self.depth -= 1;
+                result
+            }
+            _ => Err(EvalError::NotAFunction),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn run(src: &str, args: &[Value]) -> Result<Value, EvalError> {
+        let p = parse_program(src).unwrap();
+        Evaluator::new(&p).run_main(args)
+    }
+
+    #[test]
+    fn evaluates_factorial() {
+        let v = run(
+            "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))",
+            &[Value::Int(6)],
+        )
+        .unwrap();
+        assert_eq!(v, Value::Int(720));
+    }
+
+    #[test]
+    fn evaluates_let_bindings() {
+        let v = run(
+            "(define (f x) (let ((a (+ x 1)) (b (* a 2))) (- b x)))",
+            &[Value::Int(10)],
+        )
+        .unwrap();
+        assert_eq!(v, Value::Int(12)); // a=11, b=22, 22-10=12
+    }
+
+    #[test]
+    fn evaluates_the_papers_inner_product() {
+        let src = "(define (iprod a b) (let ((n (vsize a))) (dotprod a b n)))
+                   (define (dotprod a b n)
+                     (if (= n 0) 0.0
+                         (+ (* (vref a n) (vref b n)) (dotprod a b (- n 1)))))";
+        let a = Value::vector(vec![Value::Float(1.0), Value::Float(2.0), Value::Float(3.0)]);
+        let b = Value::vector(vec![Value::Float(4.0), Value::Float(5.0), Value::Float(6.0)]);
+        assert_eq!(run(src, &[a, b]).unwrap(), Value::Float(32.0));
+    }
+
+    #[test]
+    fn fuel_bounds_divergence() {
+        // Tail-recursive loops hit the depth limit first (the evaluator is
+        // not tail-call optimized); either budget makes divergence finite.
+        let err = run("(define (loop x) (loop x))", &[Value::Int(0)]).unwrap_err();
+        assert!(matches!(err, EvalError::DepthExceeded | EvalError::OutOfFuel));
+    }
+
+    #[test]
+    fn small_fuel_budget_is_respected() {
+        let p = parse_program("(define (loop x) (loop x))").unwrap();
+        let mut ev = Evaluator::with_fuel(&p, 50);
+        assert_eq!(ev.run_main(&[Value::Int(0)]).unwrap_err(), EvalError::OutOfFuel);
+    }
+
+    #[test]
+    fn non_bool_condition_is_an_error() {
+        let err = run("(define (f x) (if x 1 2))", &[Value::Int(3)]).unwrap_err();
+        assert_eq!(err, EvalError::NonBoolCondition);
+    }
+
+    #[test]
+    fn higher_order_closures_capture_their_environment() {
+        let src = "(define (main x) (let ((add-x (lambda (y) (+ x y)))) (apply2 add-x 10)))
+                   (define (apply2 f v) (f v))";
+        assert_eq!(run(src, &[Value::Int(5)]).unwrap(), Value::Int(15));
+    }
+
+    #[test]
+    fn fnrefs_are_applicable_values() {
+        let src = "(define (main x) (twice inc x))
+                   (define (twice f x) (f (f x)))
+                   (define (inc x) (+ x 1))";
+        assert_eq!(run(src, &[Value::Int(1)]).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn applying_non_function_fails() {
+        let src = "(define (main f) (f 1))";
+        assert_eq!(
+            run(src, &[Value::Int(3)]).unwrap_err(),
+            EvalError::NotAFunction
+        );
+    }
+
+    #[test]
+    fn fuel_used_reports_applications() {
+        let p = parse_program("(define (f n) (if (= n 0) 0 (f (- n 1))))").unwrap();
+        let mut ev = Evaluator::new(&p);
+        ev.run_main(&[Value::Int(9)]).unwrap();
+        assert_eq!(ev.fuel_used(), 10); // initial call + 9 recursive calls
+    }
+
+    #[test]
+    fn strictness_errors_propagate_from_arguments() {
+        // An erroring argument poisons the call, as strictness demands.
+        let src = "(define (f x) (g (/ x 0))) (define (g y) 1)";
+        assert_eq!(run(src, &[Value::Int(1)]).unwrap_err(), EvalError::DivByZero);
+    }
+}

@@ -1,0 +1,343 @@
+//! A call-by-need evaluator for the first-order fragment.
+//!
+//! The paper closes with "we are also looking into parameterized partial
+//! evaluation for a lazy language" (Section 7). This module provides the
+//! substrate for that direction: a lazy (call-by-need) standard semantics
+//! against which a lazy specializer could be validated. It exists so the
+//! workspace can *observe* the semantic differences that make lazy partial
+//! evaluation different — unused diverging arguments, unused failing
+//! bindings, and sharing — and test them.
+//!
+//! The lazy semantics differs from Figure 1 exactly where the specializer
+//! cares:
+//!
+//! - function arguments and `let` bindings are delayed (thunks) and
+//!   memoized on first force — so the online specializer's let-insertion
+//!   discipline (which preserves *strict* argument evaluation) would be
+//!   wrong here, and the `Safe` optimizer level could drop unused `let`s
+//!   unconditionally;
+//! - primitives remain strict in all arguments;
+//! - only the first-order fragment is supported (the paper's Figure 1
+//!   language); higher-order forms report [`EvalError::Unsupported`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::ast::Expr;
+use crate::error::EvalError;
+use crate::program::Program;
+use crate::symbol::Symbol;
+use crate::value::Value;
+
+/// A delayed computation, memoized on first force.
+enum Thunk {
+    Delayed(Expr, LazyEnv),
+    /// Being forced right now — re-entry means a cyclic dependency, which
+    /// denotes ⊥ (reported as fuel-free divergence).
+    InProgress,
+    Forced(Value),
+}
+
+type ThunkRef = Rc<RefCell<Thunk>>;
+
+/// Environment of thunks.
+#[derive(Clone, Default)]
+struct LazyEnv(Option<Rc<LazyNode>>);
+
+struct LazyNode {
+    name: Symbol,
+    thunk: ThunkRef,
+    rest: Option<Rc<LazyNode>>,
+}
+
+impl LazyEnv {
+    fn bind(&self, name: Symbol, thunk: ThunkRef) -> LazyEnv {
+        LazyEnv(Some(Rc::new(LazyNode {
+            name,
+            thunk,
+            rest: self.0.clone(),
+        })))
+    }
+
+    fn lookup(&self, name: Symbol) -> Option<ThunkRef> {
+        let mut node = self.0.as_deref();
+        while let Some(n) = node {
+            if n.name == name {
+                return Some(Rc::clone(&n.thunk));
+            }
+            node = n.rest.as_deref();
+        }
+        None
+    }
+}
+
+/// A call-by-need evaluator for first-order programs.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_lang::{parse_program, LazyEvaluator, Value};
+///
+/// // `loop` diverges, but lazily its result is never needed.
+/// let p = parse_program(
+///     "(define (main x) (first x (loop x)))
+///      (define (first a b) a)
+///      (define (loop n) (loop n))",
+/// )?;
+/// let mut ev = LazyEvaluator::new(&p);
+/// assert_eq!(ev.run_main(&[Value::Int(5)])?, Value::Int(5));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct LazyEvaluator<'p> {
+    program: &'p Program,
+    fuel: u64,
+    initial_fuel: u64,
+    depth: u32,
+    max_depth: u32,
+}
+
+impl<'p> LazyEvaluator<'p> {
+    /// Creates a lazy evaluator with the default budgets.
+    pub fn new(program: &'p Program) -> LazyEvaluator<'p> {
+        LazyEvaluator::with_fuel(program, crate::eval::DEFAULT_FUEL)
+    }
+
+    /// Creates a lazy evaluator with an explicit fuel budget.
+    pub fn with_fuel(program: &'p Program, fuel: u64) -> LazyEvaluator<'p> {
+        LazyEvaluator {
+            program,
+            fuel,
+            initial_fuel: fuel,
+            depth: 0,
+            max_depth: crate::eval::DEFAULT_MAX_DEPTH,
+        }
+    }
+
+    /// Sets the call-depth limit.
+    pub fn set_max_depth(&mut self, max_depth: u32) {
+        self.max_depth = max_depth;
+    }
+
+    /// Number of function applications consumed by the last run — under
+    /// call-by-need this also witnesses *sharing* (a binding forced twice
+    /// costs its applications once).
+    pub fn fuel_used(&self) -> u64 {
+        self.initial_fuel - self.fuel
+    }
+
+    /// Runs the main function on (eagerly supplied) argument values.
+    ///
+    /// # Errors
+    ///
+    /// As the strict evaluator, plus [`EvalError::Unsupported`] for
+    /// higher-order forms.
+    pub fn run_main(&mut self, args: &[Value]) -> Result<Value, EvalError> {
+        self.fuel = self.initial_fuel;
+        self.depth = 0;
+        let main = self.program.main();
+        if main.arity() != args.len() {
+            return Err(EvalError::Arity {
+                function: main.name,
+                expected: main.arity(),
+                got: args.len(),
+            });
+        }
+        let mut env = LazyEnv::default();
+        for (p, v) in main.params.iter().zip(args) {
+            env = env.bind(*p, Rc::new(RefCell::new(Thunk::Forced(v.clone()))));
+        }
+        let body = main.body.clone();
+        self.eval(&body, &env)
+    }
+
+    fn force(&mut self, thunk: &ThunkRef) -> Result<Value, EvalError> {
+        // Fast path: already forced.
+        {
+            let borrowed = thunk.borrow();
+            match &*borrowed {
+                Thunk::Forced(v) => return Ok(v.clone()),
+                Thunk::InProgress => return Err(EvalError::OutOfFuel), // cyclic: ⊥
+                Thunk::Delayed(..) => {}
+            }
+        }
+        let (expr, env) = {
+            let mut borrowed = thunk.borrow_mut();
+            match std::mem::replace(&mut *borrowed, Thunk::InProgress) {
+                Thunk::Delayed(e, env) => (e, env),
+                other => {
+                    *borrowed = other;
+                    unreachable!("checked above");
+                }
+            }
+        };
+        let result = self.eval(&expr, &env);
+        match &result {
+            Ok(v) => *thunk.borrow_mut() = Thunk::Forced(v.clone()),
+            Err(_) => {
+                // Re-forcing a failed thunk re-raises by re-evaluating.
+                *thunk.borrow_mut() = Thunk::Delayed(expr, env);
+            }
+        }
+        result
+    }
+
+    fn eval(&mut self, e: &Expr, env: &LazyEnv) -> Result<Value, EvalError> {
+        match e {
+            Expr::Const(c) => Ok(Value::from_const(*c)),
+            Expr::Var(x) => {
+                let thunk = env.lookup(*x).ok_or(EvalError::UnboundVar(*x))?;
+                self.force(&thunk)
+            }
+            Expr::Prim(p, args) => {
+                // Primitives are strict.
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env)?);
+                }
+                p.eval(&vals)
+            }
+            Expr::If(c, t, f) => match self.eval(c, env)? {
+                Value::Bool(true) => self.eval(t, env),
+                Value::Bool(false) => self.eval(f, env),
+                _ => Err(EvalError::NonBoolCondition),
+            },
+            Expr::Let(x, b, body) => {
+                let thunk = Rc::new(RefCell::new(Thunk::Delayed((**b).clone(), env.clone())));
+                let inner = env.bind(*x, thunk);
+                self.eval(body, &inner)
+            }
+            Expr::Call(f, args) => {
+                let def = self
+                    .program
+                    .lookup(*f)
+                    .ok_or(EvalError::UnknownFunction(*f))?;
+                if def.arity() != args.len() {
+                    return Err(EvalError::Arity {
+                        function: *f,
+                        expected: def.arity(),
+                        got: args.len(),
+                    });
+                }
+                if self.fuel == 0 {
+                    return Err(EvalError::OutOfFuel);
+                }
+                self.fuel -= 1;
+                if self.depth >= self.max_depth {
+                    return Err(EvalError::DepthExceeded);
+                }
+                self.depth += 1;
+                let mut inner = LazyEnv::default();
+                for (p, a) in def.params.iter().zip(args) {
+                    let thunk =
+                        Rc::new(RefCell::new(Thunk::Delayed(a.clone(), env.clone())));
+                    inner = inner.bind(*p, thunk);
+                }
+                let body = def.body.clone();
+                let out = self.eval(&body, &inner);
+                self.depth -= 1;
+                out
+            }
+            Expr::Lambda(..) | Expr::App(..) | Expr::FnRef(_) => {
+                Err(EvalError::Unsupported("higher-order forms under call-by-need"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use crate::parser::parse_program;
+
+    fn lazy(src: &str, args: &[Value]) -> Result<Value, EvalError> {
+        let p = parse_program(src).unwrap();
+        LazyEvaluator::with_fuel(&p, 100_000).run_main(args)
+    }
+
+    fn strict(src: &str, args: &[Value]) -> Result<Value, EvalError> {
+        let p = parse_program(src).unwrap();
+        Evaluator::with_fuel(&p, 100_000).run_main(args)
+    }
+
+    #[test]
+    fn agrees_with_strict_on_total_programs() {
+        for (src, args, expected) in [
+            (
+                "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))",
+                vec![Value::Int(5)],
+                Value::Int(120),
+            ),
+            (
+                "(define (f x) (let ((a (+ x 1))) (* a a)))",
+                vec![Value::Int(3)],
+                Value::Int(16),
+            ),
+        ] {
+            assert_eq!(lazy(src, &args).unwrap(), expected);
+            assert_eq!(strict(src, &args).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn unused_diverging_argument_is_ignored() {
+        let src = "(define (main x) (first x (loop x)))
+                   (define (first a b) a)
+                   (define (loop n) (loop n))";
+        assert_eq!(lazy(src, &[Value::Int(9)]).unwrap(), Value::Int(9));
+        // Strictly, the same program diverges.
+        assert!(strict(src, &[Value::Int(9)]).is_err());
+    }
+
+    #[test]
+    fn unused_failing_let_is_ignored() {
+        let src = "(define (f x) (let ((boom (/ x 0))) 42))";
+        assert_eq!(lazy(src, &[Value::Int(1)]).unwrap(), Value::Int(42));
+        assert_eq!(strict(src, &[Value::Int(1)]).unwrap_err(), EvalError::DivByZero);
+    }
+
+    #[test]
+    fn sharing_forces_a_binding_once() {
+        // a = fact 8 is used twice; call-by-need pays for it once.
+        let src = "(define (main n) (let ((a (fact n))) (+ a a)))
+                   (define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))";
+        let p = parse_program(src).unwrap();
+        let mut ev = LazyEvaluator::with_fuel(&p, 100_000);
+        assert_eq!(ev.run_main(&[Value::Int(8)]).unwrap(), Value::Int(80_640));
+        let lazy_fuel = ev.fuel_used();
+        let mut sv = Evaluator::with_fuel(&p, 100_000);
+        sv.run_main(&[Value::Int(8)]).unwrap();
+        let strict_fuel = sv.fuel_used();
+        assert!(
+            lazy_fuel < strict_fuel,
+            "lazy {lazy_fuel} should share; strict {strict_fuel} recomputes"
+        );
+    }
+
+    #[test]
+    fn forced_errors_still_surface() {
+        let src = "(define (f x) (let ((boom (/ x 0))) (+ boom 1)))";
+        assert_eq!(lazy(src, &[Value::Int(1)]).unwrap_err(), EvalError::DivByZero);
+    }
+
+    #[test]
+    fn cyclic_thunks_are_bottom_not_hangs() {
+        // let a = a … is inexpressible in the surface syntax (the binder
+        // is not in scope in its own bound expression), so build a cycle
+        // through a call that immediately demands its own argument —
+        // which is just divergence, caught by fuel.
+        let src = "(define (f x) (g (g x)))
+                   (define (g y) (g y))";
+        assert!(lazy(src, &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn higher_order_is_rejected() {
+        let src = "(define (f g x) (g x))";
+        let p = parse_program(src).unwrap();
+        let err = LazyEvaluator::new(&p)
+            .run_main(&[Value::Int(1), Value::Int(2)])
+            .unwrap_err();
+        assert!(matches!(err, EvalError::Unsupported(_)));
+    }
+}

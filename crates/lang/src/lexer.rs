@@ -1,0 +1,198 @@
+//! Lexer for the s-expression surface syntax.
+//!
+//! The syntax is Scheme-flavoured: parentheses, integers, floats, `#t`/`#f`,
+//! identifiers (which include operator spellings like `+` and `<=`), and
+//! `;` line comments.
+
+use crate::error::ParseError;
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `src` into a token stream.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed numeric literals or unknown `#`
+/// syntax, with the position of the offending lexeme.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = src.chars().peekable();
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            ';' => {
+                // Line comment: skip to end of line.
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                    col += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                    col,
+                });
+                chars.next();
+                col += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                    col,
+                });
+                chars.next();
+                col += 1;
+            }
+            '#' => {
+                let start_col = col;
+                chars.next();
+                col += 1;
+                match chars.next() {
+                    Some('t') => {
+                        col += 1;
+                        tokens.push(Token {
+                            kind: TokenKind::Bool(true),
+                            line,
+                            col: start_col,
+                        });
+                    }
+                    Some('f') => {
+                        col += 1;
+                        tokens.push(Token {
+                            kind: TokenKind::Bool(false),
+                            line,
+                            col: start_col,
+                        });
+                    }
+                    other => {
+                        return Err(ParseError::new(
+                            format!("unknown `#` syntax: #{}", other.map(String::from).unwrap_or_default()),
+                            line,
+                            start_col,
+                        ));
+                    }
+                }
+            }
+            _ => {
+                // An atom: everything up to whitespace, parens, or comment.
+                let start_col = col;
+                let mut atom = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || c == '(' || c == ')' || c == ';' {
+                        break;
+                    }
+                    atom.push(c);
+                    chars.next();
+                    col += 1;
+                }
+                tokens.push(classify_atom(&atom, line, start_col)?);
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Decides whether an atom is a number or an identifier.
+///
+/// A leading `-` or `+` followed by a digit makes it numeric, so `-`
+/// and `-x` stay identifiers while `-3` and `+4.5` are literals.
+fn classify_atom(atom: &str, line: u32, col: u32) -> Result<Token, ParseError> {
+    let bytes = atom.as_bytes();
+    let numericish = bytes[0].is_ascii_digit()
+        || ((bytes[0] == b'-' || bytes[0] == b'+') && bytes.len() > 1 && bytes[1].is_ascii_digit());
+    let kind = if numericish {
+        if atom.contains('.') || atom.contains('e') || atom.contains('E') {
+            let x: f64 = atom
+                .parse()
+                .map_err(|_| ParseError::new(format!("malformed float literal `{atom}`"), line, col))?;
+            if x.is_nan() {
+                return Err(ParseError::new("float literal is NaN", line, col));
+            }
+            TokenKind::Float(x)
+        } else {
+            let n: i64 = atom
+                .parse()
+                .map_err(|_| ParseError::new(format!("malformed integer literal `{atom}`"), line, col))?;
+            TokenKind::Int(n)
+        }
+    } else {
+        TokenKind::Ident(atom.to_owned())
+    };
+    Ok(Token { kind, line, col })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_parens_and_atoms() {
+        assert_eq!(
+            kinds("(+ 1 x)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Ident("+".to_owned()),
+                TokenKind::Int(1),
+                TokenKind::Ident("x".to_owned()),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_negative_numbers_vs_minus_ident() {
+        assert_eq!(kinds("-3"), vec![TokenKind::Int(-3)]);
+        assert_eq!(kinds("-"), vec![TokenKind::Ident("-".to_owned())]);
+        assert_eq!(kinds("-x"), vec![TokenKind::Ident("-x".to_owned())]);
+    }
+
+    #[test]
+    fn lexes_floats() {
+        assert_eq!(kinds("2.5"), vec![TokenKind::Float(2.5)]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Float(1000.0)]);
+    }
+
+    #[test]
+    fn lexes_booleans() {
+        assert_eq!(kinds("#t #f"), vec![TokenKind::Bool(true), TokenKind::Bool(false)]);
+        assert!(lex("#q").is_err());
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(kinds("1 ; two three\n4"), vec![TokenKind::Int(1), TokenKind::Int(4)]);
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("(\n  foo)").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (2, 6));
+    }
+
+    #[test]
+    fn rejects_malformed_numbers() {
+        assert!(lex("12ab").is_err());
+        assert!(lex("1.2.3").is_err());
+    }
+}

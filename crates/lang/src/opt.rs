@@ -1,0 +1,714 @@
+//! Residual-program cleanup passes.
+//!
+//! Partial evaluation leaves syntactic residue: `let`s binding trivial or
+//! unused expressions, conditionals with constant tests produced late, and
+//! branches that turned out identical. This module provides a small,
+//! semantics-preserving optimizer over [`Expr`]/[`Program`].
+//!
+//! Strictness makes dead-code elimination delicate: a bound expression may
+//! diverge or error, and dropping it would change behaviour. The default
+//! [`OptLevel::Safe`] therefore only drops syntactically total expressions
+//! (constants, variables, function references, lambdas).
+//! [`OptLevel::PureArith`] additionally treats arithmetic, comparison and
+//! boolean primitives as droppable — which forgets *error* outcomes
+//! (overflow, type errors) of dead code, a trade-off real compilers make;
+//! it never touches division, vector operations, or calls.
+
+
+use crate::ast::Expr;
+use crate::prim::Prim;
+use crate::program::Program;
+use crate::symbol::Symbol;
+
+/// How aggressively dead code may be removed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OptLevel {
+    /// Never drop an expression that could diverge or error.
+    #[default]
+    Safe,
+    /// Additionally treat pure arithmetic/logic primitives as droppable
+    /// (forgets error outcomes of dead code; see the module docs).
+    PureArith,
+}
+
+/// Applies the cleanup passes to every definition of a program until a
+/// fixed point (bounded), returning the optimized program.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_lang::{optimize_program, parse_program, pretty_program, OptLevel};
+///
+/// let p = parse_program("(define (f x) (let ((dead 42)) (if #t x 0)))")?;
+/// let o = optimize_program(&p, OptLevel::Safe);
+/// assert_eq!(pretty_program(&o).trim(), "(define (f x) x)");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn optimize_program(program: &Program, level: OptLevel) -> Program {
+    let defs = program
+        .defs()
+        .iter()
+        .map(|d| {
+            let mut body = d.body.clone();
+            for _ in 0..8 {
+                let next = optimize_expr(&body, level);
+                if next == body {
+                    break;
+                }
+                body = next;
+            }
+            crate::program::FunDef::new(d.name, d.params.clone(), body)
+        })
+        .collect();
+    Program::new(defs).expect("optimization preserves program shape")
+}
+
+/// One bottom-up cleanup pass over an expression.
+pub fn optimize_expr(e: &Expr, level: OptLevel) -> Expr {
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_) => e.clone(),
+        Expr::Prim(p, args) => {
+            let args: Vec<Expr> = args.iter().map(|a| optimize_expr(a, level)).collect();
+            Expr::Prim(*p, args)
+        }
+        Expr::Call(f, args) => {
+            let args: Vec<Expr> = args.iter().map(|a| optimize_expr(a, level)).collect();
+            Expr::Call(*f, args)
+        }
+        Expr::App(f, args) => {
+            let f = optimize_expr(f, level);
+            let args: Vec<Expr> = args.iter().map(|a| optimize_expr(a, level)).collect();
+            Expr::App(Box::new(f), args)
+        }
+        Expr::Lambda(params, body) => {
+            Expr::Lambda(params.clone(), Box::new(optimize_expr(body, level)))
+        }
+        Expr::If(c, t, f) => {
+            let c = optimize_expr(c, level);
+            let t = optimize_expr(t, level);
+            let f = optimize_expr(f, level);
+            // Constant tests fold.
+            if let Expr::Const(cc) = &c {
+                if let Some(b) = cc.as_bool() {
+                    return if b { t } else { f };
+                }
+            }
+            // Identical branches collapse; the test is kept (sequenced)
+            // unless it is droppable.
+            if t == f {
+                return if is_droppable(&c, level) {
+                    t
+                } else {
+                    // A binder name not free in the branch (so nothing is
+                    // accidentally shadowed).
+                    let mut free = Vec::new();
+                    t.free_vars(&mut free);
+                    let mut name = Symbol::intern("_cond");
+                    let mut n = 0;
+                    while free.contains(&name) {
+                        n += 1;
+                        name = Symbol::intern(&format!("_cond{n}"));
+                    }
+                    Expr::Let(name, Box::new(c), Box::new(t))
+                };
+            }
+            Expr::If(Box::new(c), Box::new(t), Box::new(f))
+        }
+        Expr::Let(x, b, body) => {
+            let b = optimize_expr(b, level);
+            let body = optimize_expr(body, level);
+            let mut free = Vec::new();
+            body.free_vars(&mut free);
+            let uses = count_uses(&body, *x);
+            // Unused binding of a droppable expression: delete.
+            if uses == 0 && is_droppable(&b, level) {
+                return body;
+            }
+            // Trivial binding (constant/variable): substitute away.
+            if matches!(b, Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_)) {
+                return substitute(&body, *x, &b);
+            }
+            // Used exactly once, in a position we can safely inline into?
+            // Inlining changes evaluation order in general; skip (the
+            // specializers already bind through `let` deliberately).
+            let _ = free;
+            Expr::Let(*x, Box::new(b), Box::new(body))
+        }
+    }
+}
+
+/// True if evaluating `e` can neither diverge, nor error, nor do anything
+/// observable — at the given trust level.
+fn is_droppable(e: &Expr, level: OptLevel) -> bool {
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_) | Expr::Lambda(..) => true,
+        Expr::Prim(p, args) => {
+            level == OptLevel::PureArith
+                && pure_arith(*p)
+                && args.iter().all(|a| is_droppable(a, level))
+        }
+        Expr::If(c, t, f) => {
+            is_droppable(c, level) && is_droppable(t, level) && is_droppable(f, level)
+        }
+        Expr::Let(_, b, body) => is_droppable(b, level) && is_droppable(body, level),
+        // Calls may diverge; applications may be anything.
+        Expr::Call(..) | Expr::App(..) => false,
+    }
+}
+
+/// Primitives [`OptLevel::PureArith`] treats as droppable. Division,
+/// remainder and vector operations are never droppable (their failure
+/// modes are the common ones).
+fn pure_arith(p: Prim) -> bool {
+    matches!(
+        p,
+        Prim::Add
+            | Prim::Sub
+            | Prim::Mul
+            | Prim::Neg
+            | Prim::Eq
+            | Prim::Ne
+            | Prim::Lt
+            | Prim::Le
+            | Prim::Gt
+            | Prim::Ge
+            | Prim::And
+            | Prim::Or
+            | Prim::Not
+    )
+}
+
+/// Occurrence count of `x` in `e` (free occurrences only).
+fn count_uses(e: &Expr, x: Symbol) -> usize {
+    match e {
+        Expr::Const(_) | Expr::FnRef(_) => 0,
+        Expr::Var(v) => usize::from(*v == x),
+        Expr::Prim(_, args) | Expr::Call(_, args) => {
+            args.iter().map(|a| count_uses(a, x)).sum()
+        }
+        Expr::If(c, t, f) => count_uses(c, x) + count_uses(t, x) + count_uses(f, x),
+        Expr::Let(y, b, body) => {
+            count_uses(b, x) + if *y == x { 0 } else { count_uses(body, x) }
+        }
+        Expr::Lambda(params, body) => {
+            if params.contains(&x) {
+                0
+            } else {
+                count_uses(body, x)
+            }
+        }
+        Expr::App(f, args) => {
+            count_uses(f, x) + args.iter().map(|a| count_uses(a, x)).sum::<usize>()
+        }
+    }
+}
+
+/// Capture-avoiding substitution of a *closed-ish* replacement (constants,
+/// variables, function references — which cannot capture) for `x`.
+fn substitute(e: &Expr, x: Symbol, replacement: &Expr) -> Expr {
+    match e {
+        Expr::Const(_) | Expr::FnRef(_) => e.clone(),
+        Expr::Var(v) => {
+            if *v == x {
+                replacement.clone()
+            } else {
+                e.clone()
+            }
+        }
+        Expr::Prim(p, args) => Expr::Prim(
+            *p,
+            args.iter().map(|a| substitute(a, x, replacement)).collect(),
+        ),
+        Expr::Call(f, args) => Expr::Call(
+            *f,
+            args.iter().map(|a| substitute(a, x, replacement)).collect(),
+        ),
+        Expr::If(c, t, f) => Expr::If(
+            Box::new(substitute(c, x, replacement)),
+            Box::new(substitute(t, x, replacement)),
+            Box::new(substitute(f, x, replacement)),
+        ),
+        Expr::Let(y, b, body) => {
+            let b = substitute(b, x, replacement);
+            // Shadowing stops the substitution; a Var replacement equal to
+            // `y` would be captured, so stop there too.
+            let shadows = *y == x
+                || matches!(replacement, Expr::Var(r) if r == y);
+            let body = if shadows {
+                (**body).clone()
+            } else {
+                substitute(body, x, replacement)
+            };
+            Expr::Let(*y, Box::new(b), Box::new(body))
+        }
+        Expr::Lambda(params, body) => {
+            let captured = params.contains(&x)
+                || matches!(replacement, Expr::Var(r) if params.contains(r));
+            if captured {
+                e.clone()
+            } else {
+                Expr::Lambda(params.clone(), Box::new(substitute(body, x, replacement)))
+            }
+        }
+        Expr::App(f, args) => Expr::App(
+            Box::new(substitute(f, x, replacement)),
+            args.iter().map(|a| substitute(a, x, replacement)).collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+    use crate::pretty::pretty_expr;
+
+    fn opt(src: &str, level: OptLevel) -> String {
+        let e = parse_expr(src).unwrap();
+        let mut out = e;
+        for _ in 0..8 {
+            let next = optimize_expr(&out, level);
+            if next == out {
+                break;
+            }
+            out = next;
+        }
+        pretty_expr(&out)
+    }
+
+    #[test]
+    fn constant_ifs_fold() {
+        assert_eq!(opt("(if #t 1 2)", OptLevel::Safe), "1");
+        assert_eq!(opt("(if #f 1 2)", OptLevel::Safe), "2");
+    }
+
+    #[test]
+    fn identical_branches_collapse() {
+        // Droppable test: gone entirely.
+        assert_eq!(opt("(if b 7 7)", OptLevel::Safe), "7");
+        // Possibly-failing test: kept, sequenced.
+        assert_eq!(
+            opt("(if (< (/ 1 x) 0) 7 7)", OptLevel::Safe),
+            "(let ((_cond (< (/ 1 x) 0))) 7)"
+        );
+    }
+
+    #[test]
+    fn trivial_lets_substitute() {
+        assert_eq!(opt("(let ((a x)) (+ a a))", OptLevel::Safe), "(+ x x)");
+        assert_eq!(opt("(let ((a 3)) (+ a y))", OptLevel::Safe), "(+ 3 y)");
+    }
+
+    #[test]
+    fn unused_safe_lets_drop() {
+        assert_eq!(opt("(let ((a x)) 5)", OptLevel::Safe), "5");
+        // Arithmetic is only droppable at PureArith.
+        assert_eq!(
+            opt("(let ((a (+ x 1))) 5)", OptLevel::Safe),
+            "(let ((a (+ x 1))) 5)"
+        );
+        assert_eq!(opt("(let ((a (+ x 1))) 5)", OptLevel::PureArith), "5");
+        // Division is never droppable.
+        assert_eq!(
+            opt("(let ((a (/ x 2))) 5)", OptLevel::PureArith),
+            "(let ((a (/ x 2))) 5)"
+        );
+    }
+
+    #[test]
+    fn substitution_respects_shadowing() {
+        // a := x must not reach under (let ((a …))).
+        assert_eq!(
+            opt("(let ((a x)) (let ((a 1)) a))", OptLevel::Safe),
+            "1"
+        );
+        // Capture check: a := y, with an inner binder y. The inner
+        // constant binding folds first, after which a := y is free to
+        // substitute — the result must mean "outer y + 1", never the
+        // captured "(+ 1 1)" or "(+ y y)" under a rebound y.
+        assert_eq!(
+            opt("(let ((a y)) (let ((y 1)) (+ a y)))", OptLevel::Safe),
+            "(+ y 1)"
+        );
+        // Direct capture test on `substitute` itself: replacing a := y
+        // must stop at a λ binding y.
+        let body = parse_expr("(lambda (y) (+ a y))").unwrap();
+        let replaced = substitute(&body, crate::Symbol::intern("a"), &Expr::var("y"));
+        assert_eq!(replaced, body, "substitution must refuse to capture");
+    }
+
+    #[test]
+    fn programs_optimize_whole() {
+        let p = parse_program(
+            "(define (f x) (let ((u x)) (if (= 1 1) (+ u 0) 9)))",
+        )
+        .unwrap();
+        let o = optimize_program(&p, OptLevel::Safe);
+        // (= 1 1) is a constant? No — it is a prim application; the online
+        // PE folds those, not this cleanup. But the let substitutes.
+        let printed = crate::pretty::pretty_program(&o);
+        assert!(printed.contains("(+ x 0)"), "{printed}");
+    }
+
+    #[test]
+    fn optimization_preserves_semantics_on_samples() {
+        use crate::eval::Evaluator;
+        use crate::value::Value;
+        let p = parse_program(
+            "(define (f x) (let ((a (+ x 1))) (let ((b a)) (if (< b b) 0 (* b 2)))))",
+        )
+        .unwrap();
+        let o = optimize_program(&p, OptLevel::PureArith);
+        for x in [-4i64, 0, 9] {
+            let a = Evaluator::new(&p).run_main(&[Value::Int(x)]).unwrap();
+            let b = Evaluator::new(&o).run_main(&[Value::Int(x)]).unwrap();
+            assert_eq!(a, b, "x = {x}");
+        }
+    }
+}
+
+/// Removes unused parameters from non-entry definitions, adjusting every
+/// call site — the cleanup that erases fully-consumed inputs (e.g. a
+/// static pattern or bytecode vector) from specialized residual functions.
+///
+/// A parameter of a non-entry definition is removed only when it is unused
+/// in the body *and* every call site passes a droppable argument at that
+/// position (per [`OptLevel`]; dropping an effectful argument would change
+/// strictness). Functions referenced as values (`FnRef`) are left alone —
+/// their arity is observable. Entry parameters that end up unused are also
+/// dropped, matching the specializers' convention for residual entry
+/// points (callers adapt).
+///
+/// # Examples
+///
+/// ```
+/// use ppe_lang::{parse_program, pretty_program, prune_unused_params, OptLevel};
+///
+/// let p = parse_program(
+///     "(define (main s) (scan s 1))
+///      (define (scan s k) (if (< k (vsize s)) (scan s (+ k 1)) k))",
+/// )?;
+/// // `scan` genuinely reads both parameters: nothing changes.
+/// let pruned = prune_unused_params(&p, OptLevel::Safe);
+/// assert_eq!(pretty_program(&pruned), pretty_program(&p));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn prune_unused_params(program: &Program, level: OptLevel) -> Program {
+    use std::collections::HashSet;
+
+    let mut defs: Vec<crate::program::FunDef> = program.defs().to_vec();
+
+    // Functions whose arity is observable through first-class references.
+    let mut referenced: HashSet<Symbol> = HashSet::new();
+    fn collect_fnrefs(e: &Expr, out: &mut HashSet<Symbol>) {
+        match e {
+            Expr::FnRef(f) => {
+                out.insert(*f);
+            }
+            Expr::Const(_) | Expr::Var(_) => {}
+            Expr::Prim(_, args) | Expr::Call(_, args) => {
+                args.iter().for_each(|a| collect_fnrefs(a, out));
+            }
+            Expr::If(a, b, c) => {
+                collect_fnrefs(a, out);
+                collect_fnrefs(b, out);
+                collect_fnrefs(c, out);
+            }
+            Expr::Let(_, a, b) => {
+                collect_fnrefs(a, out);
+                collect_fnrefs(b, out);
+            }
+            Expr::Lambda(_, b) => collect_fnrefs(b, out),
+            Expr::App(f, args) => {
+                collect_fnrefs(f, out);
+                args.iter().for_each(|a| collect_fnrefs(a, out));
+            }
+        }
+    }
+    for d in &defs {
+        collect_fnrefs(&d.body, &mut referenced);
+    }
+
+    // Greatest-fixpoint liveness: optimistically assume every non-entry,
+    // non-referenced position with droppable call arguments is dead; a
+    // position becomes live when its parameter is used *outside* the
+    // argument slots of dead positions (so a parameter threaded only into
+    // its own dead position stays dead).
+    let mut dead: HashSet<(Symbol, usize)> = HashSet::new();
+    for d in defs.iter().skip(1) {
+        if referenced.contains(&d.name) {
+            continue;
+        }
+        for i in 0..d.params.len() {
+            if all_call_args_droppable(&defs, d.name, i, level) {
+                dead.insert((d.name, i));
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for d in &defs {
+            for (i, p) in d.params.iter().enumerate() {
+                if !dead.contains(&(d.name, i)) {
+                    continue;
+                }
+                if uses_outside_dead(&d.body, *p, &dead) > 0 {
+                    dead.remove(&(d.name, i));
+                    changed = true;
+                }
+            }
+        }
+        // Uses in *entry* and other bodies outside dead slots also keep
+        // positions alive only through their own parameters; arguments at
+        // live positions are untouched, so nothing else to do here.
+        if !changed {
+            break;
+        }
+    }
+    if !dead.is_empty() {
+        // Remove, highest positions first per function.
+        let mut by_fn: std::collections::HashMap<Symbol, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (f, i) in &dead {
+            by_fn.entry(*f).or_default().push(*i);
+        }
+        for positions in by_fn.values_mut() {
+            positions.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        for d in &mut defs {
+            d.body = drop_dead_args(&d.body, &by_fn);
+            if let Some(positions) = by_fn.get(&d.name) {
+                for &i in positions {
+                    d.params.remove(i);
+                }
+            }
+        }
+    }
+
+    // Finally, drop entry parameters the (pruned) entry body no longer
+    // mentions — the same convention the specializers use.
+    let mut free = Vec::new();
+    defs[0].body.free_vars(&mut free);
+    defs[0].params.retain(|p| free.contains(p));
+
+    Program::new(defs).expect("pruning preserves program shape")
+}
+
+/// Occurrences of `x` in `e`, not counting argument slots of dead
+/// positions (those arguments are about to be deleted).
+fn uses_outside_dead(
+    e: &Expr,
+    x: Symbol,
+    dead: &std::collections::HashSet<(Symbol, usize)>,
+) -> usize {
+    match e {
+        Expr::Const(_) | Expr::FnRef(_) => 0,
+        Expr::Var(v) => usize::from(*v == x),
+        Expr::Prim(_, args) => args.iter().map(|a| uses_outside_dead(a, x, dead)).sum(),
+        Expr::Call(g, args) => args
+            .iter()
+            .enumerate()
+            .map(|(j, a)| {
+                if dead.contains(&(*g, j)) {
+                    0
+                } else {
+                    uses_outside_dead(a, x, dead)
+                }
+            })
+            .sum(),
+        Expr::If(a, b, c) => {
+            uses_outside_dead(a, x, dead)
+                + uses_outside_dead(b, x, dead)
+                + uses_outside_dead(c, x, dead)
+        }
+        Expr::Let(y, a, b) => {
+            uses_outside_dead(a, x, dead)
+                + if *y == x {
+                    0
+                } else {
+                    uses_outside_dead(b, x, dead)
+                }
+        }
+        Expr::Lambda(params, b) => {
+            if params.contains(&x) {
+                0
+            } else {
+                uses_outside_dead(b, x, dead)
+            }
+        }
+        Expr::App(f, args) => {
+            uses_outside_dead(f, x, dead)
+                + args
+                    .iter()
+                    .map(|a| uses_outside_dead(a, x, dead))
+                    .sum::<usize>()
+        }
+    }
+}
+
+/// Rewrites every call, deleting arguments at dead positions.
+fn drop_dead_args(
+    e: &Expr,
+    by_fn: &std::collections::HashMap<Symbol, Vec<usize>>,
+) -> Expr {
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_) => e.clone(),
+        Expr::Prim(p, args) => Expr::Prim(
+            *p,
+            args.iter().map(|a| drop_dead_args(a, by_fn)).collect(),
+        ),
+        Expr::Call(g, args) => {
+            let mut args: Vec<Expr> =
+                args.iter().map(|a| drop_dead_args(a, by_fn)).collect();
+            if let Some(positions) = by_fn.get(g) {
+                for &i in positions {
+                    args.remove(i);
+                }
+            }
+            Expr::Call(*g, args)
+        }
+        Expr::If(a, b, c) => Expr::If(
+            Box::new(drop_dead_args(a, by_fn)),
+            Box::new(drop_dead_args(b, by_fn)),
+            Box::new(drop_dead_args(c, by_fn)),
+        ),
+        Expr::Let(x, a, b) => Expr::Let(
+            *x,
+            Box::new(drop_dead_args(a, by_fn)),
+            Box::new(drop_dead_args(b, by_fn)),
+        ),
+        Expr::Lambda(ps, b) => Expr::Lambda(ps.clone(), Box::new(drop_dead_args(b, by_fn))),
+        Expr::App(f, args) => Expr::App(
+            Box::new(drop_dead_args(f, by_fn)),
+            args.iter().map(|a| drop_dead_args(a, by_fn)).collect(),
+        ),
+    }
+}
+
+fn all_call_args_droppable(
+    defs: &[crate::program::FunDef],
+    f: Symbol,
+    position: usize,
+    level: OptLevel,
+) -> bool {
+    fn check(e: &Expr, f: Symbol, position: usize, level: OptLevel) -> bool {
+        match e {
+            Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_) => true,
+            Expr::Prim(_, args) => args.iter().all(|a| check(a, f, position, level)),
+            Expr::Call(g, args) => {
+                let own = *g != f || is_droppable(&args[position], level);
+                own && args.iter().all(|a| check(a, f, position, level))
+            }
+            Expr::If(a, b, c) => {
+                check(a, f, position, level)
+                    && check(b, f, position, level)
+                    && check(c, f, position, level)
+            }
+            Expr::Let(_, a, b) => {
+                check(a, f, position, level) && check(b, f, position, level)
+            }
+            Expr::Lambda(_, b) => check(b, f, position, level),
+            Expr::App(h, args) => {
+                check(h, f, position, level)
+                    && args.iter().all(|a| check(a, f, position, level))
+            }
+        }
+    }
+    defs.iter().all(|d| check(&d.body, f, position, level))
+}
+
+#[cfg(test)]
+mod prune_tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::pretty::pretty_program;
+
+    #[test]
+    fn dead_threaded_parameter_is_removed() {
+        // Both `p` and `s` are only threaded into their own (dead)
+        // positions: the liveness fixpoint removes them together, and only
+        // `k` — genuinely read by the body — survives.
+        let p = parse_program(
+            "(define (main p s) (scan p s 1))
+             (define (scan p s k)
+               (if (< k 0) 0 (scan p s (+ k 1))))",
+        )
+        .unwrap();
+        let pruned = prune_unused_params(&p, OptLevel::Safe);
+        let printed = pretty_program(&pruned);
+        assert!(printed.contains("(define (scan k)"), "{printed}");
+        assert!(printed.contains("(scan 1)"), "{printed}");
+        // The entry's inputs became unused too, and were dropped.
+        assert!(printed.contains("(define (main)"), "{printed}");
+    }
+
+    #[test]
+    fn genuinely_used_parameters_survive() {
+        let p = parse_program(
+            "(define (main s) (scan s 1))
+             (define (scan s k) (if (< k (vsize s)) (scan s (+ k 1)) k))",
+        )
+        .unwrap();
+        let pruned = prune_unused_params(&p, OptLevel::Safe);
+        assert_eq!(pretty_program(&pruned), pretty_program(&p));
+    }
+
+    #[test]
+    fn pruning_preserves_semantics() {
+        use crate::eval::Evaluator;
+        use crate::value::Value;
+        let p = parse_program(
+            "(define (main p s) (scan p s 1))
+             (define (scan p s k)
+               (if (< k 0) 0 (count p s (- k 1))))
+             (define (count p s k) (+ k 100))",
+        )
+        .unwrap();
+        let pruned = prune_unused_params(&p, OptLevel::Safe);
+        let a = Evaluator::new(&p)
+            .run_main(&[Value::Int(9), Value::Int(8)])
+            .unwrap();
+        // Both inputs became dead; the pruned entry takes none.
+        let b = Evaluator::new(&pruned).run_main(&[]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn effectful_arguments_block_pruning_at_safe_level() {
+        let p = parse_program(
+            "(define (main x) (g (/ 1 x) x))
+             (define (g unused x) x)",
+        )
+        .unwrap();
+        let pruned = prune_unused_params(&p, OptLevel::Safe);
+        // (/ 1 x) may fail: it must keep being evaluated.
+        assert_eq!(pretty_program(&pruned), pretty_program(&p));
+    }
+
+    #[test]
+    fn fnref_functions_keep_their_arity() {
+        let p = parse_program(
+            "(define (main x) (apply1 g x))
+             (define (apply1 f v) (f v 0))
+             (define (g v unused) v)",
+        )
+        .unwrap();
+        let pruned = prune_unused_params(&p, OptLevel::Safe);
+        assert_eq!(pretty_program(&pruned), pretty_program(&p));
+    }
+
+    #[test]
+    fn cascading_pruning_reaches_a_fixpoint() {
+        // h's dead param is only dead after g's is removed.
+        let p = parse_program(
+            "(define (main x) (g x x))
+             (define (g a b) (h a b))
+             (define (h a b) a)",
+        )
+        .unwrap();
+        let pruned = prune_unused_params(&p, OptLevel::Safe);
+        let printed = pretty_program(&pruned);
+        assert!(printed.contains("(define (h a)"), "{printed}");
+        assert!(printed.contains("(define (g a)"), "{printed}");
+    }
+}

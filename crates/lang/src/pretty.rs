@@ -1,0 +1,213 @@
+//! Pretty-printer: renders expressions and programs back to the surface
+//! syntax, with indentation for large forms.
+//!
+//! Round-trip law (tested property): `parse(pretty(e)) == e` for expressions
+//! produced by the parser or the specializers (up to `let` sugar, which the
+//! printer re-sugars one binding at a time).
+
+use std::fmt::Write as _;
+
+use crate::ast::Expr;
+use crate::program::Program;
+
+/// Width beyond which a form is broken across lines.
+const WIDTH: usize = 72;
+
+/// Renders an expression to surface syntax.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_lang::{parse_expr, pretty_expr};
+///
+/// let e = parse_expr("(+ 1 (* x 2))")?;
+/// assert_eq!(pretty_expr(&e), "(+ 1 (* x 2))");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn pretty_expr(e: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, e, 0);
+    out
+}
+
+/// Renders a whole program, one definition per paragraph.
+pub fn pretty_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, def) in p.defs().iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let _ = write!(out, "(define ({}", def.name);
+        for param in &def.params {
+            let _ = write!(out, " {param}");
+        }
+        out.push(')');
+        let body = pretty_expr(&def.body);
+        if body.len() + def.name.as_str().len() <= WIDTH {
+            let _ = write!(out, " {body})");
+        } else {
+            out.push('\n');
+            let mut indented = String::new();
+            write_expr(&mut indented, &def.body, 2);
+            let _ = write!(out, "  {indented})");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One-line rendering, used to decide whether to break.
+fn flat(e: &Expr) -> String {
+    match e {
+        Expr::Const(c) => c.to_string(),
+        Expr::Var(x) => x.to_string(),
+        Expr::FnRef(f) => f.to_string(),
+        Expr::Prim(p, args) => {
+            let inner: Vec<String> = args.iter().map(flat).collect();
+            format!("({} {})", p, inner.join(" "))
+        }
+        Expr::Call(f, args) => {
+            if args.is_empty() {
+                format!("({f})")
+            } else {
+                let inner: Vec<String> = args.iter().map(flat).collect();
+                format!("({} {})", f, inner.join(" "))
+            }
+        }
+        Expr::If(c, t, f) => format!("(if {} {} {})", flat(c), flat(t), flat(f)),
+        Expr::Let(x, b, body) => format!("(let (({} {})) {})", x, flat(b), flat(body)),
+        Expr::Lambda(params, body) => {
+            let ps: Vec<String> = params.iter().map(|p| p.to_string()).collect();
+            format!("(lambda ({}) {})", ps.join(" "), flat(body))
+        }
+        Expr::App(f, args) => {
+            let mut parts = vec![flat(f)];
+            parts.extend(args.iter().map(flat));
+            format!("({})", parts.join(" "))
+        }
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr, indent: usize) {
+    let one_line = flat(e);
+    if indent + one_line.len() <= WIDTH {
+        out.push_str(&one_line);
+        return;
+    }
+    let pad = |out: &mut String, n: usize| {
+        out.push('\n');
+        for _ in 0..n {
+            out.push(' ');
+        }
+    };
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_) => out.push_str(&one_line),
+        Expr::Prim(p, args) => {
+            let _ = write!(out, "({p}");
+            let inner = indent + 2;
+            for a in args {
+                pad(out, inner);
+                write_expr(out, a, inner);
+            }
+            out.push(')');
+        }
+        Expr::Call(f, args) => {
+            let _ = write!(out, "({f}");
+            let inner = indent + 2;
+            for a in args {
+                pad(out, inner);
+                write_expr(out, a, inner);
+            }
+            out.push(')');
+        }
+        Expr::If(c, t, f) => {
+            out.push_str("(if ");
+            write_expr(out, c, indent + 4);
+            let inner = indent + 4;
+            pad(out, inner);
+            write_expr(out, t, inner);
+            pad(out, inner);
+            write_expr(out, f, inner);
+            out.push(')');
+        }
+        Expr::Let(x, b, body) => {
+            let _ = write!(out, "(let (({x} ");
+            write_expr(out, b, indent + 8 + x.as_str().len());
+            out.push_str("))");
+            let inner = indent + 2;
+            pad(out, inner);
+            write_expr(out, body, inner);
+            out.push(')');
+        }
+        Expr::Lambda(params, body) => {
+            let ps: Vec<String> = params.iter().map(|p| p.to_string()).collect();
+            let _ = write!(out, "(lambda ({})", ps.join(" "));
+            let inner = indent + 2;
+            pad(out, inner);
+            write_expr(out, body, inner);
+            out.push(')');
+        }
+        Expr::App(f, args) => {
+            out.push('(');
+            write_expr(out, f, indent + 1);
+            let inner = indent + 2;
+            for a in args {
+                pad(out, inner);
+                write_expr(out, a, inner);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    #[test]
+    fn small_expressions_stay_on_one_line() {
+        let e = parse_expr("(+ 1 (* x 2))").unwrap();
+        assert_eq!(pretty_expr(&e), "(+ 1 (* x 2))");
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        for src in [
+            "42",
+            "#t",
+            "x",
+            "(neg x)",
+            "(if (< x 0) (neg x) x)",
+            "(let ((a 1)) (+ a a))",
+            "(lambda (x) (+ x 1))",
+        ] {
+            let e = parse_expr(src).unwrap();
+            let printed = pretty_expr(&e);
+            let back = parse_expr(&printed).unwrap();
+            assert_eq!(e, back, "round-trip of {src}");
+        }
+    }
+
+    #[test]
+    fn round_trip_program() {
+        let src = "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))";
+        let p = parse_program(src).unwrap();
+        let printed = pretty_program(&p);
+        let back = parse_program(&printed).unwrap();
+        assert_eq!(p.defs(), back.defs());
+    }
+
+    #[test]
+    fn long_forms_break_and_still_parse() {
+        // Build a deeply nested sum that exceeds the line width.
+        let mut src = "x".to_owned();
+        for _ in 0..30 {
+            src = format!("(+ {src} 1)");
+        }
+        let e = parse_expr(&src).unwrap();
+        let printed = pretty_expr(&e);
+        assert!(printed.contains('\n'));
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+    }
+}

@@ -1,0 +1,482 @@
+//! The primitive-operator algebra (`Po` and `K_P` of Figure 1).
+//!
+//! Primitives are the operations of the paper's *semantic algebras*: the
+//! integer/boolean algebra of Section 4.1 and the vector abstract data type
+//! of Section 6. Each operator carries a *standard-semantics* classification
+//! as **closed** (co-domain equals the carrier of its algebra) or **open**
+//! (co-domain differs), per Section 3.2 — e.g. `+ : Int² → Int` is closed
+//! while `< : Int² → Bool` is open, and `vref : V × Int → Float` is open in
+//! the vector algebra.
+
+use std::fmt;
+
+use crate::ast::{Const, F64};
+use crate::error::EvalError;
+use crate::value::Value;
+
+/// Standard-semantics classification of a primitive operator (Section 3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StdOpClass {
+    /// Closed under the carrier of its algebra (`p : A^n → A`).
+    Closed,
+    /// Co-domain differs from the carrier (`p : A^n → B`).
+    Open,
+}
+
+/// A primitive operator of the object language.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_lang::{Prim, Value};
+///
+/// let v = Prim::Add.eval(&[Value::Int(2), Value::Int(3)]).unwrap();
+/// assert_eq!(v, Value::Int(5));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Prim {
+    /// Numeric addition (`+`).
+    Add,
+    /// Numeric subtraction (`-`).
+    Sub,
+    /// Numeric multiplication (`*`).
+    Mul,
+    /// Numeric division (`/`); integer division truncates.
+    Div,
+    /// Integer remainder (`mod`).
+    Mod,
+    /// Numeric negation (`neg`).
+    Neg,
+    /// Equality on constants (`=`).
+    Eq,
+    /// Disequality (`/=`).
+    Ne,
+    /// Strict less-than (`<`), the paper's `≺`.
+    Lt,
+    /// Less-or-equal (`<=`).
+    Le,
+    /// Strict greater-than (`>`).
+    Gt,
+    /// Greater-or-equal (`>=`).
+    Ge,
+    /// Boolean conjunction (`and`).
+    And,
+    /// Boolean disjunction (`or`).
+    Or,
+    /// Boolean negation (`not`).
+    Not,
+    /// `mkvec : Int → V` — creates a zero-filled vector of the given size
+    /// (the paper's `MkVec`).
+    MkVec,
+    /// `updvec : V × Int × a → V` — functional update of one element at a
+    /// 1-based index (the paper's `UpdVec`).
+    UpdVec,
+    /// `vsize : V → Int` — vector size (the paper's `Vecf`).
+    VSize,
+    /// `vref : V × Int → a` — 1-based element access (the paper's `Vref`).
+    VRef,
+}
+
+/// Largest vector `mkvec` will allocate; beyond it the call is a
+/// [`EvalError::PrimType`] error rather than an allocation failure.
+pub const MAX_VECTOR_SIZE: i64 = 16_000_000;
+
+/// All primitive operators, in a fixed order (useful for exhaustive tests).
+pub const ALL_PRIMS: [Prim; 19] = [
+    Prim::Add,
+    Prim::Sub,
+    Prim::Mul,
+    Prim::Div,
+    Prim::Mod,
+    Prim::Neg,
+    Prim::Eq,
+    Prim::Ne,
+    Prim::Lt,
+    Prim::Le,
+    Prim::Gt,
+    Prim::Ge,
+    Prim::And,
+    Prim::Or,
+    Prim::Not,
+    Prim::MkVec,
+    Prim::UpdVec,
+    Prim::VSize,
+    Prim::VRef,
+];
+
+impl Prim {
+    /// Surface-syntax spelling of the operator.
+    pub fn name(self) -> &'static str {
+        match self {
+            Prim::Add => "+",
+            Prim::Sub => "-",
+            Prim::Mul => "*",
+            Prim::Div => "/",
+            Prim::Mod => "mod",
+            Prim::Neg => "neg",
+            Prim::Eq => "=",
+            Prim::Ne => "/=",
+            Prim::Lt => "<",
+            Prim::Le => "<=",
+            Prim::Gt => ">",
+            Prim::Ge => ">=",
+            Prim::And => "and",
+            Prim::Or => "or",
+            Prim::Not => "not",
+            Prim::MkVec => "mkvec",
+            Prim::UpdVec => "updvec",
+            Prim::VSize => "vsize",
+            Prim::VRef => "vref",
+        }
+    }
+
+    /// Parses an operator from its surface spelling.
+    pub fn from_name(name: &str) -> Option<Prim> {
+        ALL_PRIMS.iter().copied().find(|p| p.name() == name)
+    }
+
+    /// Number of arguments the operator takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Prim::Neg | Prim::Not | Prim::MkVec | Prim::VSize => 1,
+            Prim::UpdVec => 3,
+            _ => 2,
+        }
+    }
+
+    /// Standard-semantics open/closed classification (Section 3.2).
+    ///
+    /// Arithmetic is closed over the numeric algebra; comparisons are open
+    /// (`Int² → Bool`); boolean connectives are closed over booleans;
+    /// `mkvec`/`updvec` are closed over the vector algebra while
+    /// `vsize`/`vref` are open — exactly the split used in the paper's Sign
+    /// facet (Example 1) and Size facet (Section 6.1).
+    pub fn std_class(self) -> StdOpClass {
+        match self {
+            Prim::Add
+            | Prim::Sub
+            | Prim::Mul
+            | Prim::Div
+            | Prim::Mod
+            | Prim::Neg
+            | Prim::And
+            | Prim::Or
+            | Prim::Not
+            | Prim::MkVec
+            | Prim::UpdVec => StdOpClass::Closed,
+            Prim::Eq
+            | Prim::Ne
+            | Prim::Lt
+            | Prim::Le
+            | Prim::Gt
+            | Prim::Ge
+            | Prim::VSize
+            | Prim::VRef => StdOpClass::Open,
+        }
+    }
+
+    /// The standard semantics `K_P[p]` of Figure 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::PrimType`] on ill-typed arguments or an arity
+    /// mismatch, [`EvalError::DivByZero`] for division/remainder by zero, and
+    /// [`EvalError::VectorIndex`] for out-of-range vector accesses. These
+    /// model the `⊥` outcomes of the paper's partial operators.
+    pub fn eval(self, args: &[Value]) -> Result<Value, EvalError> {
+        if args.len() != self.arity() {
+            return Err(EvalError::PrimType {
+                prim: self,
+                detail: format!("expected {} arguments, got {}", self.arity(), args.len()),
+            });
+        }
+        match self {
+            Prim::Add => numeric2(self, args, |a, b| a.checked_add(b), |a, b| a + b),
+            Prim::Sub => numeric2(self, args, |a, b| a.checked_sub(b), |a, b| a - b),
+            Prim::Mul => numeric2(self, args, |a, b| a.checked_mul(b), |a, b| a * b),
+            Prim::Div => match (&args[0], &args[1]) {
+                (Value::Int(_), Value::Int(0)) => Err(EvalError::DivByZero),
+                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_div(*b))),
+                (Value::Float(a), Value::Float(b)) => {
+                    if *b == 0.0 {
+                        Err(EvalError::DivByZero)
+                    } else {
+                        Ok(Value::Float(a / b))
+                    }
+                }
+                _ => Err(type_err(self, args)),
+            },
+            Prim::Mod => match (&args[0], &args[1]) {
+                (Value::Int(_), Value::Int(0)) => Err(EvalError::DivByZero),
+                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.rem_euclid(*b))),
+                _ => Err(type_err(self, args)),
+            },
+            Prim::Neg => match &args[0] {
+                Value::Int(a) => Ok(Value::Int(a.wrapping_neg())),
+                Value::Float(a) => Ok(Value::Float(-a)),
+                _ => Err(type_err(self, args)),
+            },
+            Prim::Eq => compare(self, args, |o| o == std::cmp::Ordering::Equal),
+            Prim::Ne => compare(self, args, |o| o != std::cmp::Ordering::Equal),
+            Prim::Lt => compare(self, args, |o| o == std::cmp::Ordering::Less),
+            Prim::Le => compare(self, args, |o| o != std::cmp::Ordering::Greater),
+            Prim::Gt => compare(self, args, |o| o == std::cmp::Ordering::Greater),
+            Prim::Ge => compare(self, args, |o| o != std::cmp::Ordering::Less),
+            Prim::And => boolean2(self, args, |a, b| a && b),
+            Prim::Or => boolean2(self, args, |a, b| a || b),
+            Prim::Not => match &args[0] {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                _ => Err(type_err(self, args)),
+            },
+            Prim::MkVec => match &args[0] {
+                // Cap vector sizes: a bad size is a program error, not an
+                // out-of-memory abort.
+                Value::Int(n) if (0..=MAX_VECTOR_SIZE).contains(n) => {
+                    Ok(Value::vector(vec![Value::Float(0.0); *n as usize]))
+                }
+                _ => Err(type_err(self, args)),
+            },
+            Prim::UpdVec => match (&args[0], &args[1]) {
+                (Value::Vector(v), Value::Int(i)) => {
+                    let idx = vector_index(*i, v.len())?;
+                    let mut out = v.as_ref().clone();
+                    out[idx] = args[2].clone();
+                    Ok(Value::vector(out))
+                }
+                _ => Err(type_err(self, args)),
+            },
+            Prim::VSize => match &args[0] {
+                Value::Vector(v) => Ok(Value::Int(v.len() as i64)),
+                _ => Err(type_err(self, args)),
+            },
+            Prim::VRef => match (&args[0], &args[1]) {
+                (Value::Vector(v), Value::Int(i)) => {
+                    let idx = vector_index(*i, v.len())?;
+                    Ok(v[idx].clone())
+                }
+                _ => Err(type_err(self, args)),
+            },
+        }
+    }
+
+    /// Evaluates the primitive over constants, the form used by the
+    /// specializer's `SK_P` (Figure 2) when every argument is a constant.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Prim::eval`]; additionally any argument or result that is not
+    /// representable as a constant (e.g. a vector) yields
+    /// [`EvalError::PrimType`].
+    pub fn eval_consts(self, args: &[Const]) -> Result<Const, EvalError> {
+        let vals: Vec<Value> = args.iter().map(|c| Value::from_const(*c)).collect();
+        let out = self.eval(&vals)?;
+        out.to_const().ok_or(EvalError::PrimType {
+            prim: self,
+            detail: "result is not a first-order constant".to_owned(),
+        })
+    }
+}
+
+impl fmt::Display for Prim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn type_err(prim: Prim, args: &[Value]) -> EvalError {
+    EvalError::PrimType {
+        prim,
+        detail: format!("ill-typed arguments {args:?}"),
+    }
+}
+
+/// Converts a paper-style 1-based index into a checked 0-based one.
+fn vector_index(i: i64, len: usize) -> Result<usize, EvalError> {
+    if i >= 1 && (i as u64) <= len as u64 {
+        Ok((i - 1) as usize)
+    } else {
+        Err(EvalError::VectorIndex { index: i, len })
+    }
+}
+
+fn numeric2(
+    prim: Prim,
+    args: &[Value],
+    ints: impl Fn(i64, i64) -> Option<i64>,
+    floats: impl Fn(f64, f64) -> f64,
+) -> Result<Value, EvalError> {
+    match (&args[0], &args[1]) {
+        (Value::Int(a), Value::Int(b)) => ints(*a, *b)
+            .map(Value::Int)
+            .ok_or(EvalError::IntOverflow { prim }),
+        (Value::Float(a), Value::Float(b)) => {
+            let r = floats(*a, *b);
+            if r.is_nan() {
+                Err(EvalError::PrimType {
+                    prim,
+                    detail: "floating-point result is NaN".to_owned(),
+                })
+            } else {
+                Ok(Value::Float(r))
+            }
+        }
+        _ => Err(type_err(prim, args)),
+    }
+}
+
+fn boolean2(prim: Prim, args: &[Value], op: impl Fn(bool, bool) -> bool) -> Result<Value, EvalError> {
+    match (&args[0], &args[1]) {
+        (Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(op(*a, *b))),
+        _ => Err(type_err(prim, args)),
+    }
+}
+
+fn compare(
+    prim: Prim,
+    args: &[Value],
+    accept: impl Fn(std::cmp::Ordering) -> bool,
+) -> Result<Value, EvalError> {
+    let ord = match (&args[0], &args[1]) {
+        (Value::Int(a), Value::Int(b)) => a.cmp(b),
+        (Value::Float(a), Value::Float(b)) => {
+            a.partial_cmp(b).ok_or_else(|| type_err(prim, args))?
+        }
+        (Value::Bool(a), Value::Bool(b)) if matches!(prim, Prim::Eq | Prim::Ne) => a.cmp(b),
+        _ => return Err(type_err(prim, args)),
+    };
+    Ok(Value::Bool(accept(ord)))
+}
+
+#[allow(dead_code)]
+fn float_const(x: f64) -> Option<Const> {
+    F64::new(x).map(Const::Float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in ALL_PRIMS {
+            assert_eq!(Prim::from_name(p.name()), Some(p), "{p:?}");
+        }
+        assert_eq!(Prim::from_name("frobnicate"), None);
+    }
+
+    #[test]
+    fn arithmetic_on_ints() {
+        assert_eq!(
+            Prim::Add.eval(&[Value::Int(2), Value::Int(40)]).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Prim::Mul.eval(&[Value::Int(-3), Value::Int(5)]).unwrap(),
+            Value::Int(-15)
+        );
+        assert_eq!(
+            Prim::Neg.eval(&[Value::Int(7)]).unwrap(),
+            Value::Int(-7)
+        );
+    }
+
+    #[test]
+    fn arithmetic_on_floats() {
+        assert_eq!(
+            Prim::Add
+                .eval(&[Value::Float(1.5), Value::Float(2.25)])
+                .unwrap(),
+            Value::Float(3.75)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_bottom() {
+        assert!(matches!(
+            Prim::Div.eval(&[Value::Int(1), Value::Int(0)]),
+            Err(EvalError::DivByZero)
+        ));
+        assert!(matches!(
+            Prim::Mod.eval(&[Value::Int(1), Value::Int(0)]),
+            Err(EvalError::DivByZero)
+        ));
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_wrap() {
+        assert!(matches!(
+            Prim::Add.eval(&[Value::Int(i64::MAX), Value::Int(1)]),
+            Err(EvalError::IntOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn comparisons_are_open_and_boolean() {
+        assert_eq!(Prim::Lt.std_class(), StdOpClass::Open);
+        assert_eq!(
+            Prim::Lt.eval(&[Value::Int(0), Value::Int(3)]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Prim::Ge.eval(&[Value::Int(0), Value::Int(3)]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn equality_works_on_bools() {
+        assert_eq!(
+            Prim::Eq
+                .eval(&[Value::Bool(true), Value::Bool(true)])
+                .unwrap(),
+            Value::Bool(true)
+        );
+        assert!(Prim::Lt
+            .eval(&[Value::Bool(true), Value::Bool(false)])
+            .is_err());
+    }
+
+    #[test]
+    fn vector_ops_follow_the_paper_adt() {
+        // MkVec, UpdVec closed; VSize (Vecf), VRef open.
+        assert_eq!(Prim::MkVec.std_class(), StdOpClass::Closed);
+        assert_eq!(Prim::UpdVec.std_class(), StdOpClass::Closed);
+        assert_eq!(Prim::VSize.std_class(), StdOpClass::Open);
+        assert_eq!(Prim::VRef.std_class(), StdOpClass::Open);
+
+        let v = Prim::MkVec.eval(&[Value::Int(3)]).unwrap();
+        assert_eq!(Prim::VSize.eval(std::slice::from_ref(&v)).unwrap(), Value::Int(3));
+        let v2 = Prim::UpdVec
+            .eval(&[v, Value::Int(2), Value::Float(9.0)])
+            .unwrap();
+        assert_eq!(
+            Prim::VRef.eval(&[v2.clone(), Value::Int(2)]).unwrap(),
+            Value::Float(9.0)
+        );
+        // Indices are 1-based as in the paper's dot-product loop.
+        assert!(matches!(
+            Prim::VRef.eval(&[v2, Value::Int(0)]),
+            Err(EvalError::VectorIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_consts_mirrors_eval() {
+        assert_eq!(
+            Prim::Add
+                .eval_consts(&[Const::Int(1), Const::Int(2)])
+                .unwrap(),
+            Const::Int(3)
+        );
+        assert!(Prim::VSize.eval_consts(&[Const::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn arity_table_is_consistent_with_eval() {
+        for p in ALL_PRIMS {
+            // Calling with the wrong arity must be a PrimType error.
+            let args = vec![Value::Int(1); p.arity() + 1];
+            assert!(matches!(p.eval(&args), Err(EvalError::PrimType { .. })));
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Programs: ordered collections of first-order function definitions
+//! (`Prog` of Figure 1), with well-formedness validation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::Expr;
+use crate::symbol::Symbol;
+
+/// A single top-level function definition `f(x₁, …, xₙ) = e`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunDef {
+    /// The function's name.
+    pub name: Symbol,
+    /// Formal parameters.
+    pub params: Vec<Symbol>,
+    /// The function body.
+    pub body: Expr,
+}
+
+impl FunDef {
+    /// Creates a function definition.
+    pub fn new(name: Symbol, params: Vec<Symbol>, body: Expr) -> FunDef {
+        FunDef { name, params, body }
+    }
+
+    /// The function's arity.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+/// A program: a non-empty sequence of definitions whose first element is the
+/// main function (`f₁` of Figure 1).
+///
+/// # Examples
+///
+/// ```
+/// use ppe_lang::parse_program;
+///
+/// let p = parse_program("(define (id x) x)")?;
+/// assert_eq!(p.main().name.as_str(), "id");
+/// assert!(p.lookup(p.main().name).is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Program {
+    defs: Vec<FunDef>,
+    index: HashMap<Symbol, usize>,
+}
+
+impl Program {
+    /// Builds a program from its definitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `defs` is empty or contains duplicate function
+    /// names.
+    pub fn new(defs: Vec<FunDef>) -> Result<Program, String> {
+        if defs.is_empty() {
+            return Err("a program needs at least one definition".to_owned());
+        }
+        let mut index = HashMap::with_capacity(defs.len());
+        for (i, d) in defs.iter().enumerate() {
+            if index.insert(d.name, i).is_some() {
+                return Err(format!("duplicate definition of `{}`", d.name));
+            }
+        }
+        Ok(Program { defs, index })
+    }
+
+    /// The definitions, in source order.
+    pub fn defs(&self) -> &[FunDef] {
+        &self.defs
+    }
+
+    /// The main function (first definition).
+    pub fn main(&self) -> &FunDef {
+        &self.defs[0]
+    }
+
+    /// Looks up a definition by name.
+    pub fn lookup(&self, name: Symbol) -> Option<&FunDef> {
+        self.index.get(&name).map(|&i| &self.defs[i])
+    }
+
+    /// Total AST size over all definitions (for benchmarks and reports).
+    pub fn size(&self) -> usize {
+        self.defs.iter().map(|d| d.body.size() + 1).sum()
+    }
+
+    /// Checks well-formedness: every called function exists with matching
+    /// arity, every variable is bound, and parameter lists have no
+    /// duplicates. Function references (`FnRef`) must name defined
+    /// functions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for def in &self.defs {
+            let mut seen = Vec::new();
+            for p in &def.params {
+                if seen.contains(p) {
+                    return Err(format!(
+                        "duplicate parameter `{p}` in definition of `{}`",
+                        def.name
+                    ));
+                }
+                seen.push(*p);
+            }
+            self.validate_expr(&def.body, &mut seen, def.name)?;
+        }
+        Ok(())
+    }
+
+    fn validate_expr(
+        &self,
+        e: &Expr,
+        bound: &mut Vec<Symbol>,
+        context: Symbol,
+    ) -> Result<(), String> {
+        match e {
+            Expr::Const(_) => Ok(()),
+            Expr::Var(x) => {
+                if bound.contains(x) {
+                    Ok(())
+                } else {
+                    Err(format!("unbound variable `{x}` in `{context}`"))
+                }
+            }
+            Expr::FnRef(f) => {
+                if self.lookup(*f).is_some() {
+                    Ok(())
+                } else {
+                    Err(format!("reference to unknown function `{f}` in `{context}`"))
+                }
+            }
+            Expr::Prim(_, args) => {
+                for a in args {
+                    self.validate_expr(a, bound, context)?;
+                }
+                Ok(())
+            }
+            Expr::Call(f, args) => {
+                let def = self
+                    .lookup(*f)
+                    .ok_or_else(|| format!("call to unknown function `{f}` in `{context}`"))?;
+                if def.arity() != args.len() {
+                    return Err(format!(
+                        "`{f}` expects {} arguments but is called with {} in `{context}`",
+                        def.arity(),
+                        args.len()
+                    ));
+                }
+                for a in args {
+                    self.validate_expr(a, bound, context)?;
+                }
+                Ok(())
+            }
+            Expr::If(c, t, f) => {
+                self.validate_expr(c, bound, context)?;
+                self.validate_expr(t, bound, context)?;
+                self.validate_expr(f, bound, context)
+            }
+            Expr::Let(x, b, body) => {
+                self.validate_expr(b, bound, context)?;
+                bound.push(*x);
+                let r = self.validate_expr(body, bound, context);
+                bound.pop();
+                r
+            }
+            Expr::Lambda(params, body) => {
+                let n = bound.len();
+                bound.extend_from_slice(params);
+                let r = self.validate_expr(body, bound, context);
+                bound.truncate(n);
+                r
+            }
+            Expr::App(f, args) => {
+                self.validate_expr(f, bound, context)?;
+                for a in args {
+                    self.validate_expr(a, bound, context)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// True if any definition uses the higher-order forms of Section 5.5.
+    pub fn is_higher_order(&self) -> bool {
+        fn ho(e: &Expr) -> bool {
+            match e {
+                Expr::Lambda(..) | Expr::App(..) | Expr::FnRef(_) => true,
+                Expr::Const(_) | Expr::Var(_) => false,
+                Expr::Prim(_, args) | Expr::Call(_, args) => args.iter().any(ho),
+                Expr::If(a, b, c) => ho(a) || ho(b) || ho(c),
+                Expr::Let(_, a, b) => ho(a) || ho(b),
+            }
+        }
+        self.defs.iter().any(|d| ho(&d.body))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::pretty::pretty_program(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_program;
+
+    #[test]
+    fn rejects_duplicate_definitions() {
+        assert!(parse_program("(define (f x) x) (define (f y) y)").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_params() {
+        assert!(parse_program("(define (f x x) x)").is_err());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        assert!(parse_program("(define (f x) (g x x)) (define (g y) y)").is_err());
+    }
+
+    #[test]
+    fn rejects_unbound_variable() {
+        assert!(parse_program("(define (f x) y)").is_err());
+    }
+
+    #[test]
+    fn size_counts_all_definitions() {
+        let p = parse_program("(define (f x) (+ x 1)) (define (g y) y)").unwrap();
+        // f: body 3 nodes + 1; g: body 1 node + 1.
+        assert_eq!(p.size(), 6);
+    }
+
+    #[test]
+    fn higher_order_detection() {
+        let fo = parse_program("(define (f x) (+ x 1))").unwrap();
+        assert!(!fo.is_higher_order());
+        let ho = parse_program("(define (f g x) (g x))").unwrap();
+        assert!(ho.is_higher_order());
+    }
+}

@@ -1,0 +1,140 @@
+//! Interned identifiers.
+//!
+//! Variable and function names occur pervasively in environments, caches and
+//! specialization keys, so they are interned once into a global table and
+//! handled as copyable 32-bit ids thereafter.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned identifier (variable, function, or primitive name).
+///
+/// Two `Symbol`s are equal iff their spellings are equal; comparison and
+/// hashing are O(1) on the id. Interning is global and never freed, which is
+/// appropriate for a compiler-style workload with a bounded name population.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_lang::Symbol;
+///
+/// let a = Symbol::intern("dot-prod");
+/// let b = Symbol::intern("dot-prod");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "dot-prod");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    ids: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            ids: HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its symbol.
+    pub fn intern(name: &str) -> Symbol {
+        let mut i = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = i.ids.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(i.names.len()).expect("symbol table overflow");
+        // Leaking is the standard trade for a global interner: names are
+        // small, bounded by program text, and live for the process lifetime.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        i.names.push(leaked);
+        i.ids.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Returns the spelling of this symbol.
+    pub fn as_str(self) -> &'static str {
+        let i = interner().lock().expect("symbol interner poisoned");
+        i.names[self.0 as usize]
+    }
+
+    /// Returns a fresh symbol spelled `base_n` that has not been interned
+    /// before, for generating residual function names.
+    pub fn fresh(base: &str) -> Symbol {
+        let mut n = 0u64;
+        loop {
+            let candidate = format!("{base}_{n}");
+            {
+                let i = interner().lock().expect("symbol interner poisoned");
+                if !i.ids.contains_key(candidate.as_str()) {
+                    drop(i);
+                    return Symbol::intern(&candidate);
+                }
+            }
+            n += 1;
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("x");
+        let b = Symbol::intern("x");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "x");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        assert_ne!(Symbol::intern("left"), Symbol::intern("right"));
+    }
+
+    #[test]
+    fn fresh_symbols_are_unique() {
+        let a = Symbol::fresh("spec");
+        let b = Symbol::fresh("spec");
+        assert_ne!(a, b);
+        assert!(a.as_str().starts_with("spec_"));
+    }
+
+    #[test]
+    fn display_matches_spelling() {
+        let s = Symbol::intern("dot-prod");
+        assert_eq!(s.to_string(), "dot-prod");
+        assert_eq!(format!("{s:?}"), "Symbol(dot-prod)");
+    }
+
+    #[test]
+    fn from_str_interns() {
+        let s: Symbol = "abc".into();
+        assert_eq!(s, Symbol::intern("abc"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Tokens of the s-expression surface syntax.
+
+use std::fmt;
+
+/// A lexical token with its 1-based source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token's payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// The payload of a [`Token`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// An integer literal.
+    Int(i64),
+    /// A float literal (contains `.` or exponent).
+    Float(f64),
+    /// `#t` or `#f`.
+    Bool(bool),
+    /// An identifier or operator name.
+    Ident(String),
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Int(n) => write!(f, "{n}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Bool(true) => f.write_str("#t"),
+            TokenKind::Bool(false) => f.write_str("#f"),
+            TokenKind::Ident(s) => f.write_str(s),
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Runtime values (domain `Values` of Figure 1, plus the vector ADT of
+//! Section 6 and closures for the higher-order extension of Section 5.5).
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::{Const, Expr, F64};
+use crate::env::Env;
+use crate::symbol::Symbol;
+
+/// A value of the standard semantics.
+///
+/// The paper's `Values = Int + Bool` (Figure 1), extended with floats and
+/// the vector abstract data type used in Section 6, and with function values
+/// for the higher-order language of Section 5.5.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_lang::{Const, Value};
+///
+/// let v = Value::from_const(Const::Int(5));
+/// assert_eq!(v.to_const(), Some(Const::Int(5)));
+/// ```
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A floating-point number (never NaN; primitives reject NaN results).
+    Float(f64),
+    /// A vector (the ADT `V` of Section 6); shared immutably.
+    Vector(Rc<Vec<Value>>),
+    /// A closure created by `lambda` (Section 5.5).
+    Closure {
+        /// Formal parameters.
+        params: Vec<Symbol>,
+        /// Function body.
+        body: Rc<Expr>,
+        /// Captured environment.
+        env: Env,
+    },
+    /// A reference to a top-level function used as a value (Section 5.5).
+    FnVal(Symbol),
+}
+
+impl Value {
+    /// Builds a vector value from its elements.
+    pub fn vector(elems: Vec<Value>) -> Value {
+        Value::Vector(Rc::new(elems))
+    }
+
+    /// Injects a constant into the value domain (the paper's `K`).
+    pub fn from_const(c: Const) -> Value {
+        match c {
+            Const::Int(n) => Value::Int(n),
+            Const::Bool(b) => Value::Bool(b),
+            Const::Float(x) => Value::Float(x.get()),
+        }
+    }
+
+    /// Projects a first-order value back to its textual constant (the
+    /// paper's `K⁻¹`, i.e. the abstraction `τ̂` of Section 3.2).
+    ///
+    /// Vectors and function values have no constant representation and
+    /// yield `None`.
+    pub fn to_const(&self) -> Option<Const> {
+        match self {
+            Value::Int(n) => Some(Const::Int(*n)),
+            Value::Bool(b) => Some(Const::Bool(*b)),
+            Value::Float(x) => F64::new(*x).map(Const::Float),
+            _ => None,
+        }
+    }
+
+    /// True for boolean `true` (condition test in `if`).
+    pub fn is_true(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// A short description of the value's summand, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Float(_) => "float",
+            Value::Vector(_) => "vector",
+            Value::Closure { .. } => "closure",
+            Value::FnVal(_) => "function",
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Vector(a), Value::Vector(b)) => a == b,
+            (Value::FnVal(a), Value::FnVal(b)) => a == b,
+            // Closures compare by code and captured environment pointer
+            // identity of the body; good enough for tests, never used by
+            // the machinery itself.
+            (
+                Value::Closure { params: p1, body: b1, .. },
+                Value::Closure { params: p2, body: b2, .. },
+            ) => p1 == p2 && Rc::ptr_eq(b1, b2),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(true) => f.write_str("#t"),
+            Value::Bool(false) => f.write_str("#f"),
+            Value::Float(x) => match F64::new(*x) {
+                Some(v) => write!(f, "{v}"),
+                None => f.write_str("NaN"),
+            },
+            Value::Vector(v) => {
+                f.write_str("#(")?;
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str(")")
+            }
+            Value::Closure { params, .. } => write!(f, "#<closure/{}>", params.len()),
+            Value::FnVal(name) => write!(f, "#<fn {name}>"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Float(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_round_trip() {
+        for c in [Const::Int(-4), Const::Bool(true), Const::Float(F64::new(2.5).unwrap())] {
+            assert_eq!(Value::from_const(c).to_const(), Some(c));
+        }
+    }
+
+    #[test]
+    fn vectors_have_no_constant_form() {
+        assert_eq!(Value::vector(vec![Value::Int(1)]).to_const(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Bool(false).to_string(), "#f");
+        assert_eq!(
+            Value::vector(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "#(1 2)"
+        );
+    }
+
+    #[test]
+    fn kinds_name_the_summand() {
+        assert_eq!(Value::Int(0).kind(), "int");
+        assert_eq!(Value::vector(vec![]).kind(), "vector");
+    }
+
+    #[test]
+    fn equality_is_structural_for_first_order_values() {
+        assert_eq!(
+            Value::vector(vec![Value::Int(1)]),
+            Value::vector(vec![Value::Int(1)])
+        );
+        assert_ne!(Value::Int(1), Value::Bool(true));
+    }
+}

@@ -1,0 +1,101 @@
+//! Errors raised by facet analysis and the offline specializer.
+
+use std::error::Error;
+use std::fmt;
+
+use ppe_lang::Symbol;
+
+/// An error raised during facet analysis or offline specialization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OfflineError {
+    /// The subject program does not define the requested function.
+    UnknownFunction(Symbol),
+    /// The number of abstract inputs does not match the entry arity.
+    InputArity {
+        /// The entry function.
+        function: Symbol,
+        /// Its declared arity.
+        expected: usize,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// An input referenced a facet name not present in the facet set.
+    UnknownFacet(String),
+    /// The program uses the higher-order forms of Section 5.5, which the
+    /// first-order analysis/specializer does not handle — use
+    /// [`crate::higher_order`] for analysis of such programs.
+    HigherOrder,
+    /// The signature fixpoint failed to stabilize within the iteration cap
+    /// (should be impossible for finite-height facets with correct
+    /// widening; reported rather than looping).
+    NoFixpoint,
+    /// Specialization-time inputs are not approximated by the inputs the
+    /// analysis was run with; the annotations would be unsound for them.
+    InputsIncompatibleWithAnalysis,
+    /// An annotation promised a reduction the specializer could not
+    /// perform. The shipped specializer no longer raises this — a missed
+    /// promise can only come from a `⊥`-denoting static subcomputation,
+    /// which is residualized instead — but the variant remains for
+    /// downstream specializers built on the annotations.
+    AnnotationMismatch(String),
+    /// The specializer exceeded its budget of specialized functions.
+    SpecializationLimit(usize),
+    /// The specializer's work budget was exhausted (offline specialization
+    /// can diverge when unfolding does not consume static data; this is
+    /// the classical caveat, reported as an error).
+    OutOfFuel,
+    /// The residual program failed validation (an internal invariant).
+    MalformedResidual(String),
+}
+
+impl fmt::Display for OfflineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OfflineError::UnknownFunction(g) => write!(f, "unknown function `{g}`"),
+            OfflineError::InputArity {
+                function,
+                expected,
+                got,
+            } => write!(f, "`{function}` expects {expected} inputs, got {got}"),
+            OfflineError::UnknownFacet(name) => write!(f, "unknown facet `{name}`"),
+            OfflineError::HigherOrder => f.write_str(
+                "program is higher order; use the higher-order facet analysis",
+            ),
+            OfflineError::NoFixpoint => {
+                f.write_str("facet analysis did not reach a fixpoint within bounds")
+            }
+            OfflineError::InputsIncompatibleWithAnalysis => f.write_str(
+                "specialization inputs are not covered by the analyzed input pattern",
+            ),
+            OfflineError::AnnotationMismatch(msg) => {
+                write!(f, "annotation mismatch during specialization: {msg}")
+            }
+            OfflineError::SpecializationLimit(n) => {
+                write!(f, "specialization cache exceeded {n} entries")
+            }
+            OfflineError::OutOfFuel => f.write_str("specialization fuel exhausted"),
+            OfflineError::MalformedResidual(msg) => {
+                write!(f, "internal error: residual program is malformed: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for OfflineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase() {
+        for e in [
+            OfflineError::HigherOrder,
+            OfflineError::NoFixpoint,
+            OfflineError::OutOfFuel,
+        ] {
+            let s = e.to_string();
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+}

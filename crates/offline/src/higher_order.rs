@@ -1,0 +1,520 @@
+//! Higher-order facet analysis — Section 5.5, Figures 5 and 6.
+//!
+//! The abstract-value domain becomes `Av̄ = SD̃ + (Av̄ → Av̄)`: an abstract
+//! value is either a product of abstract facet values or an abstract
+//! function. Abstract functions are represented as closures over the
+//! abstract environment; the paper's *unknown operator* `⊤_C` — returned
+//! when a dynamic conditional selects between functions — "takes an
+//! arbitrary number of arguments and always returns the appropriate
+//! strongest element".
+//!
+//! As in the paper, "the analysis as described is not guaranteed to
+//! terminate" for functions of arbitrary order; the paper adopts Hudak &
+//! Young's depth restriction, which is realized here as an application
+//! depth bound: beyond it, an application conservatively answers `⊤_C`.
+//! The analysis produces facet signatures ([`SigEnv`]) for every
+//! user-defined function reached — including functions only reachable
+//! through higher-order application, whose signatures are collected by
+//! applying them to the strongest arguments "in advance" when a dynamic
+//! conditional hides which function will run (Figure 6's treatment).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ppe_core::{AbstractFacetSet, AbstractProductVal, FacetSet};
+use ppe_lang::{Expr, Program, Symbol};
+
+use crate::analysis::AbstractInput;
+use crate::error::OfflineError;
+use crate::signature::{FacetSignature, SigEnv};
+
+/// Application-depth bound standing in for the paper's order/depth
+/// restriction on function types.
+const MAX_APPLY_DEPTH: u32 = 64;
+
+/// An element of the higher-order abstract domain
+/// `Av̄ = SD̃ + (Av̄ → Av̄)`.
+#[derive(Clone, Debug)]
+pub enum AbsValue {
+    /// A first-order product of abstract facet values (`SD̃`).
+    Data(AbstractProductVal),
+    /// A join of abstract functions; applying it applies every member and
+    /// joins the results (the paper's l.u.b. of functions).
+    Funs(Vec<FunVal>),
+    /// The unknown operator `⊤_C`.
+    TopC,
+}
+
+/// One abstract function value.
+#[derive(Clone, Debug)]
+pub enum FunVal {
+    /// A reference to a user-defined top-level function.
+    Named(Symbol),
+    /// An abstract closure (from `lambda`).
+    Closure(Rc<AbsClosure>),
+}
+
+/// An abstract closure: parameters, body, and captured abstract
+/// environment.
+#[derive(Debug)]
+pub struct AbsClosure {
+    /// Formal parameters.
+    pub params: Vec<Symbol>,
+    /// The body expression.
+    pub body: Expr,
+    /// Captured abstract environment.
+    pub env: HashMap<Symbol, AbsValue>,
+}
+
+/// Result of the higher-order facet analysis.
+#[derive(Debug)]
+pub struct HoAnalysis {
+    /// Facet signatures of every user-defined function reached.
+    pub signatures: SigEnv,
+    /// The abstract value of the program's entry expression.
+    pub result: AbsValue,
+}
+
+impl HoAnalysis {
+    /// Renders the collected signatures (sorted by function name) plus the
+    /// entry result, for reports and the CLI.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut sigs: Vec<_> = self.signatures.iter().collect();
+        sigs.sort_by_key(|(f, _)| f.as_str());
+        for (f, sig) in sigs {
+            let _ = writeln!(out, "{f}: {}", sig.display());
+        }
+        let result = match &self.result {
+            AbsValue::Data(d) => d.display(),
+            AbsValue::Funs(fs) => format!("a function value ({} member(s))", fs.len()),
+            AbsValue::TopC => "⊤_C (unknown operator)".to_owned(),
+        };
+        let _ = writeln!(out, "result: {result}");
+        out
+    }
+}
+
+struct Ctx<'a> {
+    program: &'a Program,
+    aset: &'a AbstractFacetSet,
+    sig: SigEnv,
+    /// Memo of named-function applications: (f, data-coerced args) → best
+    /// known result, iterated to a (bounded) fixpoint.
+    memo: HashMap<(Symbol, Vec<AbstractProductVal>), AbstractProductVal>,
+    in_progress: Vec<(Symbol, Vec<AbstractProductVal>)>,
+}
+
+/// Runs the higher-order facet analysis (Figures 5–6) on `program`'s main
+/// function.
+///
+/// # Errors
+///
+/// [`OfflineError`] variants for arity and facet mismatches.
+pub fn analyze_higher_order(
+    program: &Program,
+    facets: &FacetSet,
+    inputs: &[AbstractInput],
+) -> Result<HoAnalysis, OfflineError> {
+    let main = program.main();
+    if main.arity() != inputs.len() {
+        return Err(OfflineError::InputArity {
+            function: main.name,
+            expected: main.arity(),
+            got: inputs.len(),
+        });
+    }
+    let aset = facets.abstract_set();
+    let lowered: Vec<AbstractProductVal> = inputs
+        .iter()
+        .map(|i| lower_input(i, facets, &aset))
+        .collect::<Result<_, _>>()?;
+    let mut ctx = Ctx {
+        program,
+        aset: &aset,
+        sig: SigEnv::new(),
+        memo: HashMap::new(),
+        in_progress: Vec::new(),
+    };
+    let args: Vec<AbsValue> = lowered.into_iter().map(AbsValue::Data).collect();
+    let result = apply_named(&mut ctx, main.name, &args, 0);
+    Ok(HoAnalysis {
+        signatures: ctx.sig,
+        result,
+    })
+}
+
+fn lower_input(
+    input: &AbstractInput,
+    facets: &FacetSet,
+    aset: &AbstractFacetSet,
+) -> Result<AbstractProductVal, OfflineError> {
+    input.lower(facets, aset)
+}
+
+/// Coerces an abstract value to first-order data for primitive arguments
+/// and signature recording: functions and `⊤_C` become fully dynamic.
+fn coerce_data(v: &AbsValue, aset: &AbstractFacetSet) -> AbstractProductVal {
+    match v {
+        AbsValue::Data(d) => d.clone(),
+        AbsValue::Funs(_) | AbsValue::TopC => AbstractProductVal::dynamic(aset),
+    }
+}
+
+/// The paper's l.u.b. on `Av̄` (Section 5.5): data joins componentwise,
+/// functions of equal arity join pointwise (we keep the member list and
+/// join at application time), mixed kinds go to `⊤_C`.
+fn join_values(a: &AbsValue, b: &AbsValue, aset: &AbstractFacetSet) -> AbsValue {
+    match (a, b) {
+        (AbsValue::Data(x), AbsValue::Data(y)) => AbsValue::Data(x.join(y, aset)),
+        (AbsValue::Funs(x), AbsValue::Funs(y)) => {
+            let mut out = x.clone();
+            out.extend(y.iter().cloned());
+            AbsValue::Funs(out)
+        }
+        (AbsValue::Data(x), _) if x.is_bottom(aset) => b.clone(),
+        (_, AbsValue::Data(y)) if y.is_bottom(aset) => a.clone(),
+        _ => AbsValue::TopC,
+    }
+}
+
+/// The valuation function `Ẽ` of Figure 5.
+fn eval(
+    ctx: &mut Ctx<'_>,
+    e: &Expr,
+    env: &HashMap<Symbol, AbsValue>,
+    depth: u32,
+) -> AbsValue {
+    match e {
+        Expr::Const(c) => AbsValue::Data(AbstractProductVal::from_const(*c, ctx.aset)),
+        Expr::Var(x) => env
+            .get(x)
+            .cloned()
+            .unwrap_or(AbsValue::Data(AbstractProductVal::bottom(ctx.aset))),
+        Expr::FnRef(f) => AbsValue::Funs(vec![FunVal::Named(*f)]),
+        Expr::Lambda(params, body) => AbsValue::Funs(vec![FunVal::Closure(Rc::new(
+            AbsClosure {
+                params: params.clone(),
+                body: (**body).clone(),
+                env: env.clone(),
+            },
+        ))]),
+        Expr::Prim(p, args) => {
+            let vals: Vec<AbstractProductVal> = args
+                .iter()
+                .map(|a| coerce_data(&eval(ctx, a, env, depth), ctx.aset))
+                .collect();
+            AbsValue::Data(ctx.aset.abstract_prim(*p, &vals).value)
+        }
+        Expr::If(c, t, f) => {
+            let cv = coerce_data(&eval(ctx, c, env, depth), ctx.aset);
+            let tv = eval(ctx, t, env, depth);
+            let fv = eval(ctx, f, env, depth);
+            if cv.is_bottom(ctx.aset) {
+                return AbsValue::Data(AbstractProductVal::bottom(ctx.aset));
+            }
+            if cv.bt().is_static() {
+                return join_values(&tv, &fv, ctx.aset);
+            }
+            // Dynamic test: data results dynamize; functional results are
+            // unknown (⊤_C) — and, per Figure 6, the functions that will
+            // *not* be applied at specialization time are applied to the
+            // strongest arguments now so their signatures are collected.
+            match (&tv, &fv) {
+                (AbsValue::Data(x), AbsValue::Data(y)) => {
+                    AbsValue::Data(x.join(y, ctx.aset).force_dynamic())
+                }
+                _ => {
+                    collect_in_advance(ctx, &tv, depth);
+                    collect_in_advance(ctx, &fv, depth);
+                    AbsValue::TopC
+                }
+            }
+        }
+        Expr::Let(x, b, body) => {
+            let bv = eval(ctx, b, env, depth);
+            let mut inner = env.clone();
+            inner.insert(*x, bv);
+            eval(ctx, body, &inner, depth)
+        }
+        Expr::Call(f, args) => {
+            let vals: Vec<AbsValue> = args.iter().map(|a| eval(ctx, a, env, depth)).collect();
+            apply_named(ctx, *f, &vals, depth)
+        }
+        Expr::App(f, args) => {
+            let fv = eval(ctx, f, env, depth);
+            let vals: Vec<AbsValue> = args.iter().map(|a| eval(ctx, a, env, depth)).collect();
+            apply_value(ctx, &fv, &vals, depth)
+        }
+    }
+}
+
+/// Applies an abstract value (Figure 6's application rule).
+fn apply_value(ctx: &mut Ctx<'_>, f: &AbsValue, args: &[AbsValue], depth: u32) -> AbsValue {
+    if depth >= MAX_APPLY_DEPTH {
+        return AbsValue::TopC;
+    }
+    match f {
+        AbsValue::TopC => {
+            // ⊤_F: unknown function. Its arguments' functional values may
+            // still be applied at run time; collect their signatures.
+            for a in args {
+                collect_in_advance(ctx, a, depth);
+            }
+            AbsValue::TopC
+        }
+        AbsValue::Data(_) => AbsValue::TopC, // applying data: type error ⇒ ⊤_C
+        AbsValue::Funs(members) => {
+            let mut out = AbsValue::Data(AbstractProductVal::bottom(ctx.aset));
+            for m in members {
+                let r = match m {
+                    FunVal::Named(g) => apply_named(ctx, *g, args, depth + 1),
+                    FunVal::Closure(c) => {
+                        if c.params.len() != args.len() {
+                            AbsValue::TopC
+                        } else {
+                            let mut env = c.env.clone();
+                            for (p, a) in c.params.iter().zip(args) {
+                                env.insert(*p, a.clone());
+                            }
+                            eval(ctx, &c.body, &env, depth + 1)
+                        }
+                    }
+                };
+                out = join_values(&out, &r, ctx.aset);
+            }
+            out
+        }
+    }
+}
+
+/// Applies a user-defined function, recording its facet signature and
+/// memoizing on the data projection of the arguments.
+fn apply_named(ctx: &mut Ctx<'_>, f: Symbol, args: &[AbsValue], depth: u32) -> AbsValue {
+    let Some(def) = ctx.program.lookup(f) else {
+        return AbsValue::TopC;
+    };
+    if def.arity() != args.len() {
+        return AbsValue::TopC;
+    }
+    if depth >= MAX_APPLY_DEPTH {
+        return AbsValue::TopC;
+    }
+    let data_args: Vec<AbstractProductVal> =
+        args.iter().map(|a| coerce_data(a, ctx.aset)).collect();
+    let key = (f, data_args.clone());
+
+    // Recursive re-entry at the same abstract arguments: answer with the
+    // best known estimate (⊥ initially) — the usual minimal-function-graph
+    // fixpoint treatment.
+    if ctx.in_progress.contains(&key) {
+        let estimate = ctx
+            .memo
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| AbstractProductVal::bottom(ctx.aset));
+        return AbsValue::Data(estimate);
+    }
+
+    let mut env: HashMap<Symbol, AbsValue> = HashMap::new();
+    for (p, a) in def.params.iter().zip(args) {
+        env.insert(*p, a.clone());
+    }
+
+    // Iterate this application to a local fixpoint (bounded; the domain
+    // has finite height for well-behaved facets).
+    let mut result = ctx
+        .memo
+        .get(&key)
+        .cloned()
+        .unwrap_or_else(|| AbstractProductVal::bottom(ctx.aset));
+    for _ in 0..64 {
+        ctx.in_progress.push(key.clone());
+        let body_val = eval(ctx, &def.body, &env, depth + 1);
+        ctx.in_progress.pop();
+        let next = result.widen(&coerce_data(&body_val, ctx.aset), ctx.aset);
+        let stable = next == result;
+        result = next;
+        ctx.memo.insert(key.clone(), result.clone());
+        if stable {
+            // Record the signature and propagate a functional result
+            // as-is when the body is first-order-stable.
+            ctx.sig.absorb(
+                f,
+                &FacetSignature {
+                    args: data_args,
+                    result: result.clone(),
+                },
+                ctx.aset,
+            );
+            // If the body denotes a function (not data), return it
+            // directly so callers can apply it.
+            if let AbsValue::Funs(_) | AbsValue::TopC = body_val {
+                return body_val;
+            }
+            return AbsValue::Data(result);
+        }
+    }
+    ctx.sig.absorb(
+        f,
+        &FacetSignature {
+            args: data_args,
+            result: AbstractProductVal::dynamic(ctx.aset),
+        },
+        ctx.aset,
+    );
+    AbsValue::Data(AbstractProductVal::dynamic(ctx.aset))
+}
+
+/// Figure 6's "in advance" collection: functions whose application site is
+/// unknowable are applied to the strongest (fully dynamic) arguments so
+/// their bodies still contribute signatures.
+fn collect_in_advance(ctx: &mut Ctx<'_>, v: &AbsValue, depth: u32) {
+    if let AbsValue::Funs(members) = v {
+        for m in members.clone() {
+            let arity = match &m {
+                FunVal::Named(g) => match ctx.program.lookup(*g) {
+                    Some(d) => d.arity(),
+                    None => continue,
+                },
+                FunVal::Closure(c) => c.params.len(),
+            };
+            let tops: Vec<AbsValue> = (0..arity)
+                .map(|_| AbsValue::Data(AbstractProductVal::dynamic(ctx.aset)))
+                .collect();
+            let _ = apply_value(ctx, &AbsValue::Funs(vec![m]), &tops, depth + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppe_core::facets::{SignFacet, SignVal};
+    use ppe_core::{AbsVal, BtVal};
+    use ppe_lang::parse_program;
+
+    fn run(src: &str, inputs: &[AbstractInput]) -> HoAnalysis {
+        let p = parse_program(src).unwrap();
+        let facets = FacetSet::new();
+        analyze_higher_order(&p, &facets, inputs).unwrap()
+    }
+
+    #[test]
+    fn first_order_programs_still_analyze() {
+        let a = run(
+            "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))",
+            &[AbstractInput::dynamic(), AbstractInput::static_()],
+        );
+        let sig = a.signatures.get("power".into()).unwrap();
+        assert!(sig.args[0].bt().is_dynamic());
+        assert!(sig.args[1].bt().is_static());
+    }
+
+    #[test]
+    fn higher_order_application_collects_callee_signatures() {
+        let a = run(
+            "(define (main x) (twice inc x))
+             (define (twice f x) (f (f x)))
+             (define (inc x) (+ x 1))",
+            &[AbstractInput::static_()],
+        );
+        // `inc` is only reached through the functional parameter `f`, yet
+        // it has a signature with a static argument.
+        let inc = a.signatures.get("inc".into()).unwrap();
+        assert!(inc.args[0].bt().is_static());
+        let twice = a.signatures.get("twice".into()).unwrap();
+        assert!(twice.result.bt().is_static());
+    }
+
+    #[test]
+    fn lambdas_flow_through_lets() {
+        let a = run(
+            "(define (main x) (let ((add1 (lambda (y) (+ y 1)))) (add1 x)))",
+            &[AbstractInput::static_()],
+        );
+        let main = a.signatures.get("main".into()).unwrap();
+        assert_eq!(*main.result.bt(), BtVal::Static);
+    }
+
+    #[test]
+    fn dynamic_conditional_between_functions_yields_top_c() {
+        let a = run(
+            "(define (main d x) ((if (< d 0) inc dec) x))
+             (define (inc y) (+ y 1))
+             (define (dec y) (- y 1))",
+            &[AbstractInput::dynamic(), AbstractInput::static_()],
+        );
+        // The chosen function is unknown (⊤_C applied ⇒ ⊤_C result), but
+        // both inc and dec still received signatures "in advance" with the
+        // strongest (dynamic) arguments.
+        assert!(matches!(a.result, AbsValue::TopC));
+        for f in ["inc", "dec"] {
+            let sig = a.signatures.get(f.into()).unwrap();
+            assert!(sig.args[0].bt().is_dynamic(), "{f}");
+        }
+    }
+
+    #[test]
+    fn static_conditional_between_functions_applies_both_branches() {
+        let a = run(
+            "(define (main x) ((if (< 0 1) inc dec) x))
+             (define (inc y) (+ y 1))
+             (define (dec y) (- y 1))",
+            &[AbstractInput::static_()],
+        );
+        // Static test: the joined function value is applied; the result
+        // stays static.
+        let main = a.signatures.get("main".into()).unwrap();
+        assert!(main.result.bt().is_static());
+    }
+
+    #[test]
+    fn facet_information_flows_through_higher_order_calls() {
+        let p = parse_program(
+            "(define (main x) (applyit square x))
+             (define (applyit f x) (f x))
+             (define (square y) (* y y))",
+        )
+        .unwrap();
+        let facets = FacetSet::with_facets(vec![Box::new(SignFacet)]);
+        let a = analyze_higher_order(
+            &p,
+            &facets,
+            &[AbstractInput::dynamic().with_facet("sign", AbsVal::new(SignVal::Neg))],
+        )
+        .unwrap();
+        // square receives a neg argument; its result is pos.
+        let sq = a.signatures.get("square".into()).unwrap();
+        assert_eq!(
+            sq.result.facet(0).downcast_ref::<SignVal>(),
+            Some(&SignVal::Pos)
+        );
+    }
+
+    #[test]
+    fn report_renders_signatures_and_result() {
+        let a = run(
+            "(define (main x) (twice inc x))
+             (define (twice f x) (f (f x)))
+             (define (inc x) (+ x 1))",
+            &[AbstractInput::static_()],
+        );
+        let report = a.report();
+        assert!(report.contains("inc:"), "{report}");
+        assert!(report.contains("twice:"), "{report}");
+        assert!(report.contains("result:"), "{report}");
+    }
+
+    #[test]
+    fn recursion_through_higher_order_terminates() {
+        let a = run(
+            "(define (main n) (rec step n))
+             (define (rec f n) (if (= n 0) 0 (f f n)))
+             (define (step g n) (rec step (- n 1)))",
+            &[AbstractInput::dynamic()],
+        );
+        assert!(a.signatures.get("rec".into()).is_some());
+    }
+}

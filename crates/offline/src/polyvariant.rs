@@ -1,0 +1,327 @@
+//! Polyvariant facet analysis — computing the abstract function
+//! environment `ζ` of Figure 4 precisely.
+//!
+//! Figure 4's `Ẽ` appeals to `ζ[f]`, the abstract denotation of `f`,
+//! but its signature collection `Ã` is monovariant: every call site's
+//! arguments are joined into one signature per function, which loses
+//! facet information whenever call sites disagree (see
+//! `examples/sign_analysis.rs` for a visible case). This module computes
+//! `ζ` as a *minimal function graph*: one entry per `(function, abstract
+//! argument tuple)` actually demanded, iterated to a local fixpoint —
+//! strictly more precise than [`crate::analyze`], at the cost of possibly
+//! many variants per function.
+//!
+//! Termination: variants are bounded per function
+//! ([`MAX_VARIANTS_PER_FN`]); past the bound the analysis generalizes the
+//! arguments to the fully dynamic tuple (sound, and guaranteed to be a
+//! single extra variant).
+
+use std::collections::HashMap;
+
+use ppe_core::{AbstractFacetSet, AbstractProductVal, FacetSet};
+use ppe_lang::{Expr, Program, Symbol};
+
+use crate::analysis::AbstractInput;
+use crate::error::OfflineError;
+use crate::signature::FacetSignature;
+
+/// Per-function cap on analyzed argument tuples before generalizing.
+pub const MAX_VARIANTS_PER_FN: usize = 64;
+
+/// Iteration cap for each variant's local fixpoint.
+const MAX_LOCAL_ITERATIONS: usize = 128;
+
+/// The result of polyvariant facet analysis: every demanded variant of
+/// every function, with its result.
+#[derive(Debug)]
+pub struct PolyAnalysis {
+    /// `(function, abstract argument tuple) → abstract result` — the
+    /// minimal function graph of `ζ`.
+    pub variants: HashMap<(Symbol, Vec<AbstractProductVal>), AbstractProductVal>,
+    /// The entry function's result.
+    pub result: AbstractProductVal,
+}
+
+impl PolyAnalysis {
+    /// All variants of one function, as signatures.
+    pub fn signatures_of(&self, f: Symbol) -> Vec<FacetSignature> {
+        let mut out: Vec<FacetSignature> = self
+            .variants
+            .iter()
+            .filter(|((g, _), _)| *g == f)
+            .map(|((_, args), result)| FacetSignature {
+                args: args.clone(),
+                result: result.clone(),
+            })
+            .collect();
+        out.sort_by_key(|s| format!("{s:?}"));
+        out
+    }
+
+    /// Number of variants of `f` that were demanded.
+    pub fn variant_count(&self, f: Symbol) -> usize {
+        self.variants.keys().filter(|(g, _)| *g == f).count()
+    }
+}
+
+struct Ctx<'a> {
+    program: &'a Program,
+    aset: &'a AbstractFacetSet,
+    memo: HashMap<(Symbol, Vec<AbstractProductVal>), AbstractProductVal>,
+    in_progress: Vec<(Symbol, Vec<AbstractProductVal>)>,
+    per_fn_counts: HashMap<Symbol, usize>,
+}
+
+/// Runs polyvariant facet analysis from the main function.
+///
+/// # Errors
+///
+/// As for [`crate::analyze`] (arity/facet mismatches; higher-order
+/// programs are rejected).
+pub fn analyze_polyvariant(
+    program: &Program,
+    facets: &FacetSet,
+    inputs: &[AbstractInput],
+) -> Result<PolyAnalysis, OfflineError> {
+    if program.is_higher_order() {
+        return Err(OfflineError::HigherOrder);
+    }
+    let main = program.main();
+    if main.arity() != inputs.len() {
+        return Err(OfflineError::InputArity {
+            function: main.name,
+            expected: main.arity(),
+            got: inputs.len(),
+        });
+    }
+    let aset = facets.abstract_set();
+    let lowered: Vec<AbstractProductVal> = inputs
+        .iter()
+        .map(|i| i.lower(facets, &aset))
+        .collect::<Result<_, _>>()?;
+    let mut ctx = Ctx {
+        program,
+        aset: &aset,
+        memo: HashMap::new(),
+        in_progress: Vec::new(),
+        per_fn_counts: HashMap::new(),
+    };
+    let result = zeta(&mut ctx, main.name, lowered);
+    Ok(PolyAnalysis {
+        variants: ctx.memo,
+        result,
+    })
+}
+
+/// `ζ[f](δ̃⃗)` — the memoized abstract application.
+fn zeta(ctx: &mut Ctx<'_>, f: Symbol, mut args: Vec<AbstractProductVal>) -> AbstractProductVal {
+    let Some(def) = ctx.program.lookup(f) else {
+        return AbstractProductVal::dynamic(ctx.aset);
+    };
+    // Variant budget: new tuples beyond the cap are generalized to the
+    // fully dynamic tuple.
+    let key_exists = ctx.memo.contains_key(&(f, args.clone()))
+        || ctx.in_progress.contains(&(f, args.clone()));
+    if !key_exists {
+        let count = ctx.per_fn_counts.entry(f).or_insert(0);
+        if *count >= MAX_VARIANTS_PER_FN {
+            args = vec![AbstractProductVal::dynamic(ctx.aset); args.len()];
+        } else {
+            *count += 1;
+        }
+    }
+    let key = (f, args.clone());
+
+    if ctx.in_progress.contains(&key) {
+        // Recursive re-entry: answer the best estimate so far (⊥ on the
+        // first pass), the minimal-function-graph treatment.
+        return ctx
+            .memo
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| AbstractProductVal::bottom(ctx.aset));
+    }
+
+    let mut estimate = ctx
+        .memo
+        .get(&key)
+        .cloned()
+        .unwrap_or_else(|| AbstractProductVal::bottom(ctx.aset));
+    for _ in 0..MAX_LOCAL_ITERATIONS {
+        ctx.in_progress.push(key.clone());
+        let env: Vec<(Symbol, AbstractProductVal)> = def
+            .params
+            .iter()
+            .copied()
+            .zip(key.1.iter().cloned())
+            .collect();
+        let body_val = eval(ctx, &def.body, &env);
+        ctx.in_progress.pop();
+        let next = estimate.widen(&body_val, ctx.aset);
+        let stable = next == estimate;
+        estimate = next;
+        ctx.memo.insert(key.clone(), estimate.clone());
+        if stable {
+            return estimate;
+        }
+    }
+    // Should be unreachable for finite-height facets; stay sound.
+    let top = AbstractProductVal::dynamic(ctx.aset);
+    ctx.memo.insert(key, top.clone());
+    top
+}
+
+/// Figure 4's `Ẽ` with the *precise* call rule: every call goes through
+/// `ζ` at its own abstract arguments.
+fn eval(
+    ctx: &mut Ctx<'_>,
+    e: &Expr,
+    env: &[(Symbol, AbstractProductVal)],
+) -> AbstractProductVal {
+    match e {
+        Expr::Const(c) => AbstractProductVal::from_const(*c, ctx.aset),
+        Expr::Var(x) => env
+            .iter()
+            .rev()
+            .find(|(n, _)| n == x)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| AbstractProductVal::bottom(ctx.aset)),
+        Expr::Prim(p, args) => {
+            let vals: Vec<AbstractProductVal> =
+                args.iter().map(|a| eval(ctx, a, env)).collect();
+            ctx.aset.abstract_prim(*p, &vals).value
+        }
+        Expr::If(c, t, f) => {
+            let cv = eval(ctx, c, env);
+            let tv = eval(ctx, t, env);
+            let fv = eval(ctx, f, env);
+            if cv.is_bottom(ctx.aset) {
+                AbstractProductVal::bottom(ctx.aset)
+            } else if cv.bt().is_static() {
+                tv.join(&fv, ctx.aset)
+            } else {
+                tv.join(&fv, ctx.aset).force_dynamic()
+            }
+        }
+        Expr::Let(x, b, body) => {
+            let bv = eval(ctx, b, env);
+            let mut inner = env.to_vec();
+            inner.push((*x, bv));
+            eval(ctx, body, &inner)
+        }
+        Expr::Call(f, args) => {
+            let vals: Vec<AbstractProductVal> =
+                args.iter().map(|a| eval(ctx, a, env)).collect();
+            zeta(ctx, *f, vals)
+        }
+        Expr::Lambda(..) | Expr::App(..) | Expr::FnRef(_) => {
+            unreachable!("higher-order programs are rejected before analysis")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use ppe_core::facets::{SignFacet, SignVal};
+    use ppe_core::AbsVal;
+    use ppe_lang::parse_program;
+
+    #[test]
+    fn polyvariant_is_more_precise_than_monovariant() {
+        // The sign-kernel: monovariantly, `step`'s signature joins the
+        // entry's `neg` with the recursion's feedback and loses the sign;
+        // polyvariantly each abstract argument tuple keeps its own result.
+        let src = "(define (kernel x steps)
+               (if (= steps 0) x (kernel (step x) (- steps 1))))
+             (define (step x)
+               (if (< x 0) (neg x) (+ x 1)))";
+        let p = parse_program(src).unwrap();
+        let facets = FacetSet::with_facets(vec![Box::new(SignFacet)]);
+        let inputs = [
+            AbstractInput::dynamic().with_facet("sign", AbsVal::new(SignVal::Neg)),
+            AbstractInput::static_(),
+        ];
+
+        let mono = analyze(&p, &facets, &inputs).unwrap();
+        let mono_step = mono.signatures.get("step".into()).unwrap();
+        // Monovariant: step's argument sign was joined away.
+        assert_eq!(
+            mono_step.args[0].facet(0).downcast_ref::<SignVal>(),
+            Some(&SignVal::Top)
+        );
+
+        let poly = analyze_polyvariant(&p, &facets, &inputs).unwrap();
+        // Polyvariant: there is a dedicated `step` variant for the `neg`
+        // argument — the per-call-site precision the monovariant
+        // signature joined away. (Its *result* still joins both branches,
+        // as Figure 4's static-conditional rule demands.)
+        let step_variants = poly.signatures_of("step".into());
+        assert!(
+            step_variants.iter().any(|s| {
+                s.args[0].facet(0).downcast_ref::<SignVal>() == Some(&SignVal::Neg)
+            }),
+            "a neg variant of step exists: {step_variants:?}"
+        );
+        assert!(step_variants.len() >= 2, "distinct variants are kept");
+    }
+
+    #[test]
+    fn entry_result_matches_monovariant_or_is_tighter() {
+        let src = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+        let p = parse_program(src).unwrap();
+        let facets = FacetSet::with_facets(vec![Box::new(SignFacet)]);
+        let inputs = [
+            AbstractInput::dynamic().with_facet("sign", AbsVal::new(SignVal::Pos)),
+            AbstractInput::static_(),
+        ];
+        let mono = analyze(&p, &facets, &inputs).unwrap();
+        let poly = analyze_polyvariant(&p, &facets, &inputs).unwrap();
+        let aset = facets.abstract_set();
+        let mono_result = &mono.signatures.get("power".into()).unwrap().result;
+        // Precision order: poly ⊑ mono.
+        assert!(poly.result.leq(mono_result, &aset));
+        // And poly proves the power of a positive is positive.
+        assert_eq!(
+            poly.result.facet(0).downcast_ref::<SignVal>(),
+            Some(&SignVal::Pos)
+        );
+    }
+
+    #[test]
+    fn variant_budget_generalizes_instead_of_diverging() {
+        use ppe_core::facets::RangeFacet;
+        // The recursion demands a fresh interval every call; the budget
+        // forces generalization and the analysis still terminates.
+        let src = "(define (f n) (if (< n 0) n (f (+ n 1))))";
+        let p = parse_program(src).unwrap();
+        let facets = FacetSet::with_facets(vec![Box::new(RangeFacet)]);
+        let poly =
+            analyze_polyvariant(&p, &facets, &[AbstractInput::static_()]).unwrap();
+        assert!(poly.variant_count("f".into()) <= MAX_VARIANTS_PER_FN + 1);
+    }
+
+    #[test]
+    fn fully_static_recursion_stays_static() {
+        let src = "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))";
+        let p = parse_program(src).unwrap();
+        let facets = FacetSet::new();
+        let poly =
+            analyze_polyvariant(&p, &facets, &[AbstractInput::static_()]).unwrap();
+        assert!(poly.result.bt().is_static());
+    }
+
+    #[test]
+    fn higher_order_is_rejected() {
+        let p = parse_program("(define (f g x) (g x))").unwrap();
+        let facets = FacetSet::new();
+        let err = analyze_polyvariant(
+            &p,
+            &facets,
+            &[AbstractInput::dynamic(), AbstractInput::dynamic()],
+        )
+        .unwrap_err();
+        assert_eq!(err, OfflineError::HigherOrder);
+    }
+}

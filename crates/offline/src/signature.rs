@@ -1,0 +1,153 @@
+//! Facet signatures (`SigEnv = Fn → SD̃ⁿ⁺¹`, Figure 4).
+//!
+//! "A facet signature of a function consists of a product of abstract
+//! facet values for the arguments and its corresponding result" — the
+//! output of facet analysis, and the information the offline specializer
+//! follows.
+
+use std::collections::HashMap;
+
+use ppe_core::{AbstractFacetSet, AbstractProductVal};
+use ppe_lang::Symbol;
+
+/// The facet signature of one function: abstract products for each
+/// parameter plus the result (`SD̃ⁿ⁺¹`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FacetSignature {
+    /// One abstract product per parameter.
+    pub args: Vec<AbstractProductVal>,
+    /// The abstract product of the function's result.
+    pub result: AbstractProductVal,
+}
+
+impl FacetSignature {
+    /// The all-`⊥` signature of an `n`-ary function (not yet called).
+    pub fn bottom(arity: usize, set: &AbstractFacetSet) -> FacetSignature {
+        FacetSignature {
+            args: vec![AbstractProductVal::bottom(set); arity],
+            result: AbstractProductVal::bottom(set),
+        }
+    }
+
+    /// Componentwise widening-join with another signature (the `⊔` of
+    /// Figure 4's `h̃` iteration; widening covers infinite-height facets).
+    #[must_use]
+    pub fn widen(&self, other: &FacetSignature, set: &AbstractFacetSet) -> FacetSignature {
+        FacetSignature {
+            args: self
+                .args
+                .iter()
+                .zip(&other.args)
+                .map(|(a, b)| a.widen(b, set))
+                .collect(),
+            result: self.result.widen(&other.result, set),
+        }
+    }
+
+    /// Renders the signature as the paper's `⟨…⟩ × … → ⟨…⟩`.
+    pub fn display(&self) -> String {
+        let args: Vec<String> = self.args.iter().map(|a| a.display()).collect();
+        format!("{} → {}", args.join(" × "), self.result.display())
+    }
+}
+
+/// The result of facet analysis: each function's signature (Figure 4's
+/// domain `SigEnv`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SigEnv {
+    map: HashMap<Symbol, FacetSignature>,
+}
+
+impl SigEnv {
+    /// An empty signature environment.
+    pub fn new() -> SigEnv {
+        SigEnv::default()
+    }
+
+    /// Looks up a function's signature.
+    pub fn get(&self, f: Symbol) -> Option<&FacetSignature> {
+        self.map.get(&f)
+    }
+
+    /// Inserts or replaces a signature.
+    pub fn insert(&mut self, f: Symbol, sig: FacetSignature) {
+        self.map.insert(f, sig);
+    }
+
+    /// Widening-joins `sig` into `f`'s entry.
+    pub fn absorb(&mut self, f: Symbol, sig: &FacetSignature, set: &AbstractFacetSet) {
+        match self.map.get_mut(&f) {
+            Some(existing) => *existing = existing.widen(sig, set),
+            None => {
+                self.map.insert(f, sig.clone());
+            }
+        }
+    }
+
+    /// Iterates over `(function, signature)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &FacetSignature)> {
+        self.map.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of functions with a signature.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no signatures are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppe_core::facets::SignFacet;
+    use ppe_core::{BtVal, FacetSet};
+    use ppe_lang::Const;
+
+    fn aset() -> AbstractFacetSet {
+        FacetSet::with_facets(vec![Box::new(SignFacet)]).abstract_set()
+    }
+
+    #[test]
+    fn bottom_signature_is_all_bottom() {
+        let set = aset();
+        let sig = FacetSignature::bottom(2, &set);
+        assert!(sig.args.iter().all(|a| a.is_bottom(&set)));
+        assert!(sig.result.is_bottom(&set));
+    }
+
+    #[test]
+    fn absorb_joins_componentwise() {
+        let set = aset();
+        let f = Symbol::intern("f");
+        let mut env = SigEnv::new();
+        let s1 = FacetSignature {
+            args: vec![AbstractProductVal::from_const(Const::Int(1), &set)],
+            result: AbstractProductVal::bottom(&set),
+        };
+        let s2 = FacetSignature {
+            args: vec![AbstractProductVal::dynamic(&set)],
+            result: AbstractProductVal::from_const(Const::Int(2), &set),
+        };
+        env.absorb(f, &s1, &set);
+        env.absorb(f, &s2, &set);
+        let got = env.get(f).unwrap();
+        assert_eq!(*got.args[0].bt(), BtVal::Dynamic);
+        assert_eq!(*got.result.bt(), BtVal::Static);
+    }
+
+    #[test]
+    fn display_renders_an_arrow_type() {
+        let set = aset();
+        let sig = FacetSignature {
+            args: vec![AbstractProductVal::dynamic(&set)],
+            result: AbstractProductVal::from_const(Const::Int(0), &set),
+        };
+        let s = sig.display();
+        assert!(s.contains("→"), "{s}");
+        assert!(s.starts_with("⟨Dyn"), "{s}");
+    }
+}

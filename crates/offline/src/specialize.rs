@@ -1,0 +1,748 @@
+//! The offline specializer: follows the annotations produced by facet
+//! analysis.
+//!
+//! "The task of program specialization reduces to following the
+//! information yielded by the facet analysis" (Section 5). Where the
+//! online evaluator consults every facet's open operator at every
+//! primitive and decides branches and unfoldings on the fly, this walk
+//! performs exactly the pre-selected actions: [`PrimAction::Reduce`]
+//! invokes the one operator the analysis chose, static conditionals take
+//! their branch without examining alternatives' values, and call
+//! treatment is fixed per call site.
+//!
+//! The classical caveat of offline partial evaluation applies: when
+//! unfolding does not consume static data the specializer does not
+//! terminate by itself; budgets turn that into
+//! [`OfflineError::OutOfFuel`].
+
+use std::collections::{HashMap, HashSet};
+
+use ppe_core::{FacetArg, FacetSet, PeVal, ProductVal};
+use ppe_lang::StdOpClass;
+use ppe_lang::{Const, Expr, FunDef, Prim, Program, Symbol, Value};
+use ppe_online::{PeConfig, PeError, PeInput, PeStats, Residual};
+
+use crate::analysis::{abstract_of_product, Analysis};
+use crate::annotate::{AnnExpr, AnnKind, CallAction, PrimAction};
+use crate::error::OfflineError;
+
+impl From<PeError> for OfflineError {
+    fn from(e: PeError) -> OfflineError {
+        match e {
+            PeError::UnknownFunction(f) => OfflineError::UnknownFunction(f),
+            PeError::InputArity {
+                function,
+                expected,
+                got,
+            } => OfflineError::InputArity {
+                function,
+                expected,
+                got,
+            },
+            PeError::UnknownFacet(n) => OfflineError::UnknownFacet(n),
+            PeError::SpecializationLimit(n) => OfflineError::SpecializationLimit(n),
+            PeError::OutOfFuel => OfflineError::OutOfFuel,
+            PeError::InconsistentInput(_) => OfflineError::InputsIncompatibleWithAnalysis,
+            PeError::MalformedResidual(m) => OfflineError::MalformedResidual(m),
+        }
+    }
+}
+
+/// The offline parameterized partial evaluator (Section 5).
+///
+/// # Examples
+///
+/// ```
+/// use ppe_core::{facets::SizeFacet, size_of, FacetSet};
+/// use ppe_lang::parse_program;
+/// use ppe_offline::{analyze, AbstractInput, OfflinePe};
+/// use ppe_online::PeInput;
+///
+/// let program = parse_program(
+///     "(define (iprod a b) (let ((n (vsize a))) (dotprod a b n)))
+///      (define (dotprod a b n)
+///        (if (= n 0) 0.0
+///            (+ (* (vref a n) (vref b n)) (dotprod a b (- n 1)))))",
+/// )?;
+/// let facets = FacetSet::with_facets(vec![Box::new(SizeFacet)]);
+/// let inputs = [
+///     PeInput::dynamic().with_facet("size", size_of(3)),
+///     PeInput::dynamic().with_facet("size", size_of(3)),
+/// ];
+/// // Phase 1: facet analysis at the inputs' abstraction.
+/// let abstract_inputs: Vec<AbstractInput> = inputs
+///     .iter()
+///     .map(|i| AbstractInput::of_product(i.to_product(&facets).unwrap()))
+///     .collect();
+/// let analysis = analyze(&program, &facets, &abstract_inputs)?;
+/// // Phase 2: specialization follows the annotations.
+/// let pe = OfflinePe::new(&program, &facets, &analysis);
+/// let residual = pe.specialize(&inputs)?;
+/// assert_eq!(residual.program.defs().len(), 1); // Figure 8 again
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct OfflinePe<'a> {
+    program: &'a Program,
+    facets: &'a FacetSet,
+    analysis: &'a Analysis,
+    config: PeConfig,
+}
+
+struct Env {
+    stack: Vec<(Symbol, Expr, ProductVal)>,
+}
+
+struct St {
+    /// `Sf`: pattern → (residual name, result product once known); the
+    /// result product preserves facet information across folded calls.
+    cache: HashMap<(Symbol, Vec<ProductVal>), (Symbol, Option<ProductVal>)>,
+    def_order: Vec<Symbol>,
+    defs: HashMap<Symbol, Option<FunDef>>,
+    used_names: HashSet<Symbol>,
+    tmp_counter: u64,
+    stats: PeStats,
+    fuel: u64,
+}
+
+impl St {
+    fn fresh_fn(&mut self, base: Symbol) -> Symbol {
+        let mut n = 1u64;
+        loop {
+            let candidate = Symbol::intern(&format!("{base}_{n}"));
+            if !self.used_names.contains(&candidate) {
+                self.used_names.insert(candidate);
+                return candidate;
+            }
+            n += 1;
+        }
+    }
+
+    fn fresh_tmp(&mut self) -> Symbol {
+        loop {
+            self.tmp_counter += 1;
+            let candidate = Symbol::intern(&format!("tmp_{}", self.tmp_counter));
+            if !self.used_names.contains(&candidate) {
+                return candidate;
+            }
+        }
+    }
+
+    fn spend(&mut self) -> Result<(), OfflineError> {
+        self.stats.steps += 1;
+        if self.fuel == 0 {
+            return Err(OfflineError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+}
+
+impl<'a> OfflinePe<'a> {
+    /// Creates an offline specializer from a completed [`Analysis`].
+    pub fn new(
+        program: &'a Program,
+        facets: &'a FacetSet,
+        analysis: &'a Analysis,
+    ) -> OfflinePe<'a> {
+        OfflinePe {
+            program,
+            facets,
+            analysis,
+            config: PeConfig::default(),
+        }
+    }
+
+    /// Creates an offline specializer with an explicit policy.
+    pub fn with_config(
+        program: &'a Program,
+        facets: &'a FacetSet,
+        analysis: &'a Analysis,
+        config: PeConfig,
+    ) -> OfflinePe<'a> {
+        OfflinePe {
+            program,
+            facets,
+            analysis,
+            config,
+        }
+    }
+
+    /// Specializes the analyzed entry function with respect to `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// [`OfflineError::InputsIncompatibleWithAnalysis`] when an input is
+    /// not approximated by the abstract input the analysis was run with;
+    /// otherwise the usual budget and validation errors.
+    pub fn specialize(&self, inputs: &[PeInput]) -> Result<Residual, OfflineError> {
+        let entry = self.analysis.entry;
+        let ann = self
+            .analysis
+            .annotated
+            .get(&entry)
+            .ok_or(OfflineError::UnknownFunction(entry))?;
+        if ann.params.len() != inputs.len() {
+            return Err(OfflineError::InputArity {
+                function: entry,
+                expected: ann.params.len(),
+                got: inputs.len(),
+            });
+        }
+        let mut st = St {
+            cache: HashMap::new(),
+            def_order: Vec::new(),
+            defs: HashMap::new(),
+            used_names: self.reserved_names(),
+            tmp_counter: 0,
+            stats: PeStats::default(),
+            fuel: self.config.fuel,
+        };
+        let mut env = Env { stack: Vec::new() };
+        let mut kept_params = Vec::new();
+        for ((param, input), analyzed) in ann
+            .params
+            .iter()
+            .zip(inputs)
+            .zip(&self.analysis.inputs)
+        {
+            let product = input.to_product(self.facets)?;
+            // Soundness gate: specialization inputs must refine what the
+            // analysis assumed.
+            let abstracted = abstract_of_product(&product, &self.analysis.aset);
+            if !abstracted.leq(analyzed, &self.analysis.aset) {
+                return Err(OfflineError::InputsIncompatibleWithAnalysis);
+            }
+            if let PeVal::Const(c) = product.pe() {
+                env.stack.push((*param, Expr::Const(*c), product));
+            } else {
+                kept_params.push(*param);
+                env.stack.push((*param, Expr::Var(*param), product));
+            }
+        }
+        let (body, _) = self.walk(&ann.body, &mut env, 0, &mut st)?;
+        // Drop parameters the residual no longer mentions (mirrors the
+        // online specializer).
+        let mut free = Vec::new();
+        body.free_vars(&mut free);
+        kept_params.retain(|p| free.contains(p));
+        let mut defs = vec![FunDef::new(entry, kept_params, body)];
+        for dname in &st.def_order {
+            match st.defs.remove(dname) {
+                Some(Some(d)) => defs.push(d),
+                _ => {
+                    return Err(OfflineError::MalformedResidual(format!(
+                        "specialized function `{dname}` was never completed"
+                    )))
+                }
+            }
+        }
+        let program = Program::new(defs)
+            .and_then(|p| p.validate().map(|()| p))
+            .map_err(OfflineError::MalformedResidual)?;
+        Ok(Residual {
+            program,
+            stats: st.stats,
+        })
+    }
+
+    fn reserved_names(&self) -> HashSet<Symbol> {
+        let mut out = HashSet::new();
+        for d in self.program.defs() {
+            out.insert(d.name);
+            out.extend(d.params.iter().copied());
+            let mut fv = Vec::new();
+            d.body.free_vars(&mut fv);
+            out.extend(fv);
+        }
+        // Let-bound names matter too; collect them from the source text
+        // by reusing the online evaluator's convention of uniqueness via
+        // the tmp counter — collisions are prevented by scanning binders.
+        fn binders(e: &Expr, out: &mut HashSet<Symbol>) {
+            match e {
+                Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_) => {}
+                Expr::Prim(_, args) | Expr::Call(_, args) => {
+                    args.iter().for_each(|a| binders(a, out));
+                }
+                Expr::If(a, b, c) => {
+                    binders(a, out);
+                    binders(b, out);
+                    binders(c, out);
+                }
+                Expr::Let(x, a, b) => {
+                    out.insert(*x);
+                    binders(a, out);
+                    binders(b, out);
+                }
+                Expr::Lambda(ps, b) => {
+                    out.extend(ps.iter().copied());
+                    binders(b, out);
+                }
+                Expr::App(f, args) => {
+                    binders(f, out);
+                    args.iter().for_each(|a| binders(a, out));
+                }
+            }
+        }
+        for d in self.program.defs() {
+            binders(&d.body, &mut out);
+        }
+        out
+    }
+
+    /// Walks an annotated expression, performing the pre-selected actions.
+    fn walk(
+        &self,
+        e: &AnnExpr,
+        env: &mut Env,
+        depth: u32,
+        st: &mut St,
+    ) -> Result<(Expr, ProductVal), OfflineError> {
+        st.spend()?;
+        match &e.kind {
+            AnnKind::Const(c) => Ok((
+                Expr::Const(*c),
+                ProductVal::from_const(*c, self.facets),
+            )),
+            AnnKind::Var(x) => {
+                let found = env
+                    .stack
+                    .iter()
+                    .rev()
+                    .find(|(n, _, _)| n == x)
+                    .map(|(_, e, v)| (e.clone(), v.clone()));
+                found.ok_or_else(|| {
+                    OfflineError::MalformedResidual(format!("unbound `{x}`"))
+                })
+            }
+            AnnKind::Prim { p, args, action } => {
+                let mut residuals = Vec::with_capacity(args.len());
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    let (r, v) = self.walk(a, env, depth, st)?;
+                    residuals.push(r);
+                    vals.push(v);
+                }
+                match action {
+                    PrimAction::Reduce { source: 0 } => {
+                        // All arguments are constants: standard evaluation.
+                        let consts: Option<Vec<Const>> =
+                            residuals.iter().map(Expr::as_const).collect();
+                        if let Some(cs) = consts {
+                            let concrete: Vec<Value> =
+                                cs.iter().map(|c| Value::from_const(*c)).collect();
+                            match p.eval(&concrete) {
+                                Ok(v) => {
+                                    if let Some(c) = v.to_const() {
+                                        st.stats.reductions += 1;
+                                        return Ok((
+                                            Expr::Const(c),
+                                            ProductVal::from_const(c, self.facets),
+                                        ));
+                                    }
+                                    // Defined but not a constant (e.g.
+                                    // `mkvec 3`): the value is fully known
+                                    // at specialization time, so every
+                                    // facet gets its exact abstraction,
+                                    // but the expression stays residual.
+                                    st.stats.residual_prims += 1;
+                                    return Ok((
+                                        Expr::Prim(*p, residuals),
+                                        ProductVal::from_value(&v, self.facets),
+                                    ));
+                                }
+                                Err(_) => {
+                                    // The concrete operation denotes ⊥
+                                    // (e.g. a division by zero): stay
+                                    // residual — the paper's "modulo
+                                    // termination" caveat.
+                                    st.stats.residual_prims += 1;
+                                    return Ok((
+                                        Expr::Prim(*p, residuals),
+                                        ProductVal::bottom(self.facets),
+                                    ));
+                                }
+                            }
+                        }
+                        // An argument the analysis proved Static failed to
+                        // become a constant: that happens exactly when a
+                        // static subcomputation denoted ⊥ (the paper's
+                        // "modulo termination" caveat). Residualize.
+                        st.stats.residual_prims += 1;
+                        let value = self.track_residual_prim(*p, &vals);
+                        Ok((Expr::Prim(*p, residuals), value))
+                    }
+                    PrimAction::Reduce { source } => {
+                        // The analysis selected a specific facet's open
+                        // operator: invoke exactly that one.
+                        let idx = *source - 1;
+                        let facet = self.facets.facet(idx);
+                        let wrapped: Vec<FacetArg<'_>> = vals
+                            .iter()
+                            .map(|v| FacetArg {
+                                pe: v.pe(),
+                                abs: v.facet(idx),
+                            })
+                            .collect();
+                        match facet.open_op(*p, &wrapped) {
+                            PeVal::Const(c) => {
+                                st.stats.reductions += 1;
+                                Ok((
+                                    Expr::Const(c),
+                                    ProductVal::from_const(c, self.facets),
+                                ))
+                            }
+                            // Anything else is the ⊥-induced miss above
+                            // (a sound facet can only fail to deliver its
+                            // promised constant when the value denotes ⊥,
+                            // Property 6): residualize.
+                            _ => {
+                                st.stats.residual_prims += 1;
+                                let value = self.track_residual_prim(*p, &vals);
+                                Ok((Expr::Prim(*p, residuals), value))
+                            }
+                        }
+                    }
+                    PrimAction::Residualize => {
+                        st.stats.residual_prims += 1;
+                        let value = self.track_residual_prim(*p, &vals);
+                        Ok((Expr::Prim(*p, residuals), value))
+                    }
+                }
+            }
+            AnnKind::If {
+                cond,
+                then_branch,
+                else_branch,
+                static_cond,
+            } => {
+                let (cr, _cv) = self.walk(cond, env, depth, st)?;
+                if *static_cond {
+                    if let Expr::Const(cc) = cr {
+                        if let Some(b) = cc.as_bool() {
+                            st.stats.static_branches += 1;
+                            return self.walk(
+                                if b { then_branch } else { else_branch },
+                                env,
+                                depth,
+                                st,
+                            );
+                        }
+                    }
+                    // The test denotes ⊥ at specialization time; fall
+                    // through to the dynamic treatment (sound).
+                }
+                st.stats.dynamic_branches += 1;
+                let (tr, tv) = self.walk(then_branch, env, depth, st)?;
+                let (fr, fv) = self.walk(else_branch, env, depth, st)?;
+                Ok((
+                    Expr::If(Box::new(cr), Box::new(tr), Box::new(fr)),
+                    tv.join(&fv, self.facets),
+                ))
+            }
+            AnnKind::Let { x, bound, body } => {
+                let (br, bv) = self.walk(bound, env, depth, st)?;
+                let mark = env.stack.len();
+                if matches!(br, Expr::Const(_) | Expr::Var(_)) {
+                    env.stack.push((*x, br, bv));
+                    let out = self.walk(body, env, depth, st);
+                    env.stack.truncate(mark);
+                    out
+                } else {
+                    env.stack.push((*x, Expr::Var(*x), bv));
+                    let (bodyr, bodyv) = self.walk(body, env, depth, st)?;
+                    env.stack.truncate(mark);
+                    Ok((Expr::Let(*x, Box::new(br), Box::new(bodyr)), bodyv))
+                }
+            }
+            AnnKind::Call { f, args, action } => {
+                let mut residuals = Vec::with_capacity(args.len());
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    let (r, v) = self.walk(a, env, depth, st)?;
+                    residuals.push(r);
+                    vals.push(v);
+                }
+                let callee = self
+                    .analysis
+                    .annotated
+                    .get(f)
+                    .ok_or(OfflineError::UnknownFunction(*f))?;
+                match action {
+                    CallAction::Unfold => {
+                        if depth >= self.config.max_unfold_depth {
+                            // Offline specialization has no generalization
+                            // escape hatch (the annotations were computed
+                            // for the static pattern); report divergence.
+                            return Err(OfflineError::OutOfFuel);
+                        }
+                        st.stats.unfolds += 1;
+                        let mut inner = Env { stack: Vec::new() };
+                        let mut lets = Vec::new();
+                        for ((p, r), v) in
+                            callee.params.iter().zip(residuals).zip(vals)
+                        {
+                            if matches!(r, Expr::Const(_) | Expr::Var(_)) {
+                                inner.stack.push((*p, r, v));
+                            } else {
+                                let tmp = st.fresh_tmp();
+                                lets.push((tmp, r));
+                                inner.stack.push((*p, Expr::Var(tmp), v));
+                            }
+                        }
+                        let (out, val) =
+                            self.walk(&callee.body, &mut inner, depth + 1, st)?;
+                        Ok((wrap_lets(lets, out), val))
+                    }
+                    CallAction::Specialize => {
+                        // Pattern: the facet-level information only (PE
+                        // components are dynamic by the analysis).
+                        let pattern: Vec<ProductVal> =
+                            vals.iter().map(|v| v.with_pe(PeVal::Top)).collect();
+                        let key = (*f, pattern);
+                        let (spec, value) = if let Some((name, value)) = st.cache.get(&key)
+                        {
+                            st.stats.cache_hits += 1;
+                            let v = value
+                                .clone()
+                                .unwrap_or_else(|| ProductVal::dynamic(self.facets));
+                            (*name, v)
+                        } else {
+                            if st.cache.len() >= self.config.max_specializations {
+                                return Err(OfflineError::SpecializationLimit(
+                                    self.config.max_specializations,
+                                ));
+                            }
+                            let name = st.fresh_fn(*f);
+                            st.cache.insert(key.clone(), (name, None));
+                            st.def_order.push(name);
+                            st.defs.insert(name, None);
+                            st.stats.specializations += 1;
+                            let mut inner = Env { stack: Vec::new() };
+                            for (p, v) in callee.params.iter().zip(&key.1) {
+                                inner.stack.push((*p, Expr::Var(*p), v.clone()));
+                            }
+                            let (body, body_val) =
+                                self.walk(&callee.body, &mut inner, 0, st)?;
+                            st.defs.insert(
+                                name,
+                                Some(FunDef::new(name, callee.params.clone(), body)),
+                            );
+                            let value = body_val.with_pe(PeVal::Top);
+                            if let Some(entry) = st.cache.get_mut(&key) {
+                                entry.1 = Some(value.clone());
+                            }
+                            (name, value)
+                        };
+                        Ok((Expr::Call(spec, residuals), value))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value tracking for a residual primitive: closed operators propagate
+    /// facet components (e.g. `updvec` preserves a vector's size); open
+    /// operators yield no information.
+    fn track_residual_prim(&self, p: Prim, vals: &[ProductVal]) -> ProductVal {
+        if vals.iter().any(|v| v.is_bottom(self.facets)) {
+            return ProductVal::bottom(self.facets);
+        }
+        match p.std_class() {
+            StdOpClass::Closed => {
+                let mut components = Vec::with_capacity(self.facets.len());
+                for (i, facet) in self.facets.iter().enumerate() {
+                    let wrapped: Vec<FacetArg<'_>> = vals
+                        .iter()
+                        .map(|v| FacetArg {
+                            pe: v.pe(),
+                            abs: v.facet(i),
+                        })
+                        .collect();
+                    components.push(facet.closed_op(p, &wrapped));
+                }
+                ProductVal::from_components(PeVal::Top, components, self.facets)
+            }
+            StdOpClass::Open => ProductVal::dynamic(self.facets),
+        }
+    }
+}
+
+fn wrap_lets(lets: Vec<(Symbol, Expr)>, body: Expr) -> Expr {
+    let mut out = body;
+    for (name, bound) in lets.into_iter().rev() {
+        out = Expr::Let(name, Box::new(bound), Box::new(out));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, AbstractInput};
+    use ppe_core::facets::{SignFacet, SignVal, SizeFacet};
+    use ppe_core::{size_of, AbsVal};
+    use ppe_lang::{parse_program, pretty_program, Evaluator};
+
+    const IPROD: &str = "(define (iprod a b) (let ((n (vsize a))) (dotprod a b n)))
+         (define (dotprod a b n)
+           (if (= n 0) 0.0
+               (+ (* (vref a n) (vref b n)) (dotprod a b (- n 1)))))";
+
+    fn iprod_offline(n: i64) -> Residual {
+        let p = parse_program(IPROD).unwrap();
+        let facets = FacetSet::with_facets(vec![Box::new(SizeFacet)]);
+        let inputs = [
+            PeInput::dynamic().with_facet("size", size_of(n)),
+            PeInput::dynamic().with_facet("size", size_of(n)),
+        ];
+        let abstract_inputs: Vec<AbstractInput> = inputs
+            .iter()
+            .map(|i| AbstractInput::of_product(i.to_product(&facets).unwrap()))
+            .collect();
+        let analysis = analyze(&p, &facets, &abstract_inputs).unwrap();
+        OfflinePe::new(&p, &facets, &analysis)
+            .specialize(&inputs)
+            .unwrap()
+    }
+
+    #[test]
+    fn offline_reproduces_figure_8() {
+        let r = iprod_offline(3);
+        assert_eq!(r.program.defs().len(), 1);
+        let printed = pretty_program(&r.program);
+        for i in 1..=3 {
+            assert!(printed.contains(&format!("(vref a {i})")), "{printed}");
+        }
+        assert!(!printed.contains("dotprod"), "{printed}");
+    }
+
+    #[test]
+    fn offline_and_online_agree_on_the_inner_product() {
+        use ppe_online::OnlinePe;
+        let p = parse_program(IPROD).unwrap();
+        let facets = FacetSet::with_facets(vec![Box::new(SizeFacet)]);
+        let inputs = [
+            PeInput::dynamic().with_facet("size", size_of(4)),
+            PeInput::dynamic().with_facet("size", size_of(4)),
+        ];
+        let online = OnlinePe::new(&p, &facets).specialize_main(&inputs).unwrap();
+        let offline = iprod_offline(4);
+        assert_eq!(
+            pretty_program(&online.program),
+            pretty_program(&offline.program)
+        );
+    }
+
+    #[test]
+    fn offline_residual_is_correct() {
+        let r = iprod_offline(3);
+        let a = Value::vector(vec![Value::Float(1.0), Value::Float(2.0), Value::Float(3.0)]);
+        let b = Value::vector(vec![Value::Float(4.0), Value::Float(5.0), Value::Float(6.0)]);
+        assert_eq!(
+            Evaluator::new(&r.program).run_main(&[a, b]).unwrap(),
+            Value::Float(32.0)
+        );
+    }
+
+    #[test]
+    fn incompatible_inputs_are_rejected() {
+        let p = parse_program(IPROD).unwrap();
+        let facets = FacetSet::with_facets(vec![Box::new(SizeFacet)]);
+        let analysis = analyze(
+            &p,
+            &facets,
+            &[
+                AbstractInput::of_product(
+                    PeInput::dynamic()
+                        .with_facet("size", size_of(3))
+                        .to_product(&facets)
+                        .unwrap(),
+                ),
+                AbstractInput::of_product(
+                    PeInput::dynamic()
+                        .with_facet("size", size_of(3))
+                        .to_product(&facets)
+                        .unwrap(),
+                ),
+            ],
+        )
+        .unwrap();
+        // Specializing with *no* size information is not covered by the
+        // "size is static" analysis.
+        let err = OfflinePe::new(&p, &facets, &analysis)
+            .specialize(&[PeInput::dynamic(), PeInput::dynamic()])
+            .unwrap_err();
+        assert_eq!(err, OfflineError::InputsIncompatibleWithAnalysis);
+    }
+
+    #[test]
+    fn compatible_but_different_sizes_reuse_the_analysis() {
+        // Analysis at "size static"; specialization at size 2 and size 5
+        // both refine it — the same binding-time division serves both,
+        // the paper's main point about the offline split.
+        for n in [2, 5] {
+            let r = iprod_offline(n);
+            let printed = pretty_program(&r.program);
+            assert!(printed.contains(&format!("(vref a {n})")), "{printed}");
+        }
+    }
+
+    #[test]
+    fn sign_driven_branch_elimination_offline() {
+        let src = "(define (clamp x) (if (< (* x x) 0) 0 x))";
+        let p = parse_program(src).unwrap();
+        let facets = FacetSet::with_facets(vec![Box::new(SignFacet)]);
+        let inputs = [PeInput::dynamic().with_facet("sign", AbsVal::new(SignVal::Neg))];
+        let abstract_inputs: Vec<AbstractInput> = inputs
+            .iter()
+            .map(|i| AbstractInput::of_product(i.to_product(&facets).unwrap()))
+            .collect();
+        let analysis = analyze(&p, &facets, &abstract_inputs).unwrap();
+        let r = OfflinePe::new(&p, &facets, &analysis)
+            .specialize(&inputs)
+            .unwrap();
+        assert_eq!(r.program.main().body, Expr::var("x"));
+    }
+
+    #[test]
+    fn dynamic_recursion_folds_to_one_specialization() {
+        let src = "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))";
+        let p = parse_program(src).unwrap();
+        let facets = FacetSet::new();
+        let analysis = analyze(&p, &facets, &[AbstractInput::dynamic()]).unwrap();
+        let r = OfflinePe::new(&p, &facets, &analysis)
+            .specialize(&[PeInput::dynamic()])
+            .unwrap();
+        assert_eq!(r.stats.specializations, 1);
+        assert!(r.stats.cache_hits >= 1);
+    }
+
+    #[test]
+    fn static_inputs_fully_evaluate() {
+        let src = "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))";
+        let p = parse_program(src).unwrap();
+        let facets = FacetSet::new();
+        let analysis = analyze(&p, &facets, &[AbstractInput::static_()]).unwrap();
+        let r = OfflinePe::new(&p, &facets, &analysis)
+            .specialize(&[PeInput::known(Value::Int(5))])
+            .unwrap();
+        assert_eq!(r.program.main().body, Expr::int(120));
+    }
+
+    #[test]
+    fn divergent_static_unfolding_errors_out() {
+        let src = "(define (f n) (if (< n 0) 0 (f (+ n 1))))";
+        let p = parse_program(src).unwrap();
+        let facets = FacetSet::new();
+        let analysis = analyze(&p, &facets, &[AbstractInput::static_()]).unwrap();
+        let config = PeConfig {
+            max_unfold_depth: 32,
+            ..PeConfig::default()
+        };
+        let err = OfflinePe::with_config(&p, &facets, &analysis, config)
+            .specialize(&[PeInput::known(Value::Int(0))])
+            .unwrap_err();
+        assert_eq!(err, OfflineError::OutOfFuel);
+    }
+}

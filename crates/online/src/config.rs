@@ -1,0 +1,60 @@
+//! Specialization policy knobs.
+//!
+//! The paper abstracts the treatment of function calls behind `APP`
+//! ("because this treatment vastly differs from one partial evaluator to
+//! another", Section 2). [`PeConfig`] is our `APP` policy: when to unfold,
+//! when to fold into a specialized function, and the budgets that keep the
+//! process finite on programs whose static data does not decrease.
+
+/// Policy and budgets for the partial evaluators.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_online::PeConfig;
+///
+/// let tight = PeConfig { max_unfold_depth: 8, ..PeConfig::default() };
+/// assert!(tight.max_unfold_depth < PeConfig::default().max_unfold_depth);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PeConfig {
+    /// Maximum call-unfolding depth. A call is unfolded when some argument
+    /// carries static information; past this depth the arguments are
+    /// generalized and the call is specialized (folded) instead.
+    pub max_unfold_depth: u32,
+    /// Upper bound on the number of distinct specialized functions; hitting
+    /// it aborts with [`crate::PeError::SpecializationLimit`] rather than
+    /// looping on an infinite family of specialization patterns.
+    pub max_specializations: usize,
+    /// Overall work budget (expression nodes processed); a stand-in for
+    /// non-termination of the specializer itself.
+    pub fuel: u64,
+    /// Propagate constraints from residual conditional tests into the
+    /// branches (the paper's Section 4.4 future work, after Redfun):
+    /// inside `(if (< x 0) e₁ e₂)`, `x` is refined via each facet's
+    /// [`ppe_core::Facet::assume`] in `e₁` (test true) and `e₂` (test
+    /// false), and `(= x c)` binds `x` to `c` in the consequent.
+    ///
+    /// Off by default so that the parameterized evaluator with an empty
+    /// facet set remains *exactly* the Figure 2 simple partial evaluator.
+    pub propagate_constraints: bool,
+    /// Check each input's product of facet values for *consistency*
+    /// (Definition 6: the components must describe at least one common
+    /// concrete value) before specializing, using the facets'
+    /// concretizations over a candidate sample. The paper assumes programs
+    /// are "always specialized with respect to consistent products"; this
+    /// makes the assumption checkable.
+    pub check_consistency: bool,
+}
+
+impl Default for PeConfig {
+    fn default() -> PeConfig {
+        PeConfig {
+            max_unfold_depth: 100,
+            max_specializations: 4_096,
+            fuel: 20_000_000,
+            propagate_constraints: false,
+            check_consistency: false,
+        }
+    }
+}

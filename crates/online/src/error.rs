@@ -1,0 +1,79 @@
+//! Errors raised by the partial evaluators.
+
+use std::error::Error;
+use std::fmt;
+
+use ppe_lang::Symbol;
+
+/// An error raised during specialization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PeError {
+    /// The subject program does not define the requested function.
+    UnknownFunction(Symbol),
+    /// The number of inputs does not match the function's arity.
+    InputArity {
+        /// The function being specialized.
+        function: Symbol,
+        /// Its declared arity.
+        expected: usize,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// An input referenced a facet name not present in the facet set.
+    UnknownFacet(String),
+    /// The specialization cache outgrew
+    /// [`crate::PeConfig::max_specializations`] — the specialization
+    /// patterns do not stabilize.
+    SpecializationLimit(usize),
+    /// The work budget ([`crate::PeConfig::fuel`]) was exhausted — the
+    /// specializer itself failed to terminate within bounds.
+    OutOfFuel,
+    /// An input's product of facet values is inconsistent (Definition 6):
+    /// no concrete value satisfies all components at once.
+    InconsistentInput(String),
+    /// The residual program failed validation (an internal invariant).
+    MalformedResidual(String),
+}
+
+impl fmt::Display for PeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeError::UnknownFunction(g) => write!(f, "unknown function `{g}`"),
+            PeError::InputArity {
+                function,
+                expected,
+                got,
+            } => write!(
+                f,
+                "`{function}` expects {expected} inputs, got {got}"
+            ),
+            PeError::UnknownFacet(name) => write!(f, "unknown facet `{name}`"),
+            PeError::SpecializationLimit(n) => {
+                write!(f, "specialization cache exceeded {n} entries")
+            }
+            PeError::OutOfFuel => f.write_str("specialization fuel exhausted"),
+            PeError::InconsistentInput(what) => {
+                write!(f, "inconsistent product of facet values for input: {what}")
+            }
+            PeError::MalformedResidual(msg) => {
+                write!(f, "internal error: residual program is malformed: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for PeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            PeError::UnknownFacet("sign".into()).to_string(),
+            "unknown facet `sign`"
+        );
+        assert!(PeError::OutOfFuel.to_string().contains("fuel"));
+    }
+}

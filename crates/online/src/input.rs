@@ -1,0 +1,178 @@
+//! Inputs to and outputs of the online specializer.
+
+use ppe_core::{AbsVal, FacetSet, ProductVal};
+use ppe_lang::{Program, Value};
+
+use crate::error::PeError;
+
+/// Description of one program input for specialization.
+///
+/// Mirrors the paper's `PE_Prog` interface, which receives for each input
+/// both a residual expression and a product of facet values: an input is
+/// fully known, fully dynamic, or dynamic with facet information (the
+/// paper's `⟨A, ⟨⊤_Values, 3⟩⟩` of Section 6.1).
+///
+/// # Examples
+///
+/// ```
+/// use ppe_core::size_of;
+/// use ppe_online::PeInput;
+/// use ppe_lang::Value;
+///
+/// let known = PeInput::known(Value::Int(3));
+/// let sized = PeInput::dynamic().with_facet("size", size_of(3));
+/// assert!(matches!(known, PeInput::Known(_)));
+/// assert!(matches!(sized, PeInput::Dynamic { .. }));
+/// ```
+#[derive(Clone, Debug)]
+pub enum PeInput {
+    /// The input's concrete value is available. First-order constants are
+    /// propagated as constants; structured values (vectors) are propagated
+    /// through the facets only — their PE component is `⊤` because they
+    /// have no textual representation, exactly like the paper's vectors.
+    Known(Value),
+    /// The input is unknown, with optional facet refinements.
+    Dynamic {
+        /// Per-facet refinements: `(facet name, abstract value)`.
+        refinements: Vec<(String, AbsVal)>,
+    },
+}
+
+impl PeInput {
+    /// A fully known input.
+    pub fn known(v: Value) -> PeInput {
+        PeInput::Known(v)
+    }
+
+    /// A fully dynamic input.
+    pub fn dynamic() -> PeInput {
+        PeInput::Dynamic {
+            refinements: Vec::new(),
+        }
+    }
+
+    /// Adds a facet refinement to a dynamic input (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a [`PeInput::Known`] input — a known value
+    /// already determines every facet via `α̂`.
+    #[must_use]
+    pub fn with_facet(self, facet_name: &str, value: AbsVal) -> PeInput {
+        match self {
+            PeInput::Known(_) => {
+                panic!("with_facet on a known input: facets are derived from the value")
+            }
+            PeInput::Dynamic { mut refinements } => {
+                refinements.push((facet_name.to_owned(), value));
+                PeInput::Dynamic { refinements }
+            }
+        }
+    }
+
+    /// Lowers the input to a product of facet values over `set`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeError::UnknownFacet`] if a refinement names a facet not
+    /// in `set`.
+    pub fn to_product(&self, set: &FacetSet) -> Result<ProductVal, PeError> {
+        match self {
+            PeInput::Known(v) => Ok(ProductVal::from_value(v, set)),
+            PeInput::Dynamic { refinements } => {
+                let mut out = ProductVal::dynamic(set);
+                for (name, abs) in refinements {
+                    let idx = set
+                        .index_of(name)
+                        .ok_or_else(|| PeError::UnknownFacet(name.clone()))?;
+                    out = out.with_facet(idx, abs.clone());
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Counters describing what the specializer did — the raw material for the
+/// paper's efficiency discussion (Sections 1 and 5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeStats {
+    /// Primitive applications reduced to constants.
+    pub reductions: u64,
+    /// Primitive applications left residual.
+    pub residual_prims: u64,
+    /// Conditionals decided statically.
+    pub static_branches: u64,
+    /// Conditionals left residual (both branches specialized).
+    pub dynamic_branches: u64,
+    /// Function calls unfolded.
+    pub unfolds: u64,
+    /// Specialized function definitions created.
+    pub specializations: u64,
+    /// Calls folded onto an existing specialization.
+    pub cache_hits: u64,
+    /// Expression nodes processed.
+    pub steps: u64,
+}
+
+/// The result of specialization: the residual program plus statistics.
+#[derive(Clone, Debug)]
+pub struct Residual {
+    /// The residual program; its first definition is the specialized entry
+    /// point (same name as the source entry, dynamic parameters only).
+    pub program: Program,
+    /// What happened during specialization.
+    pub stats: PeStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppe_core::facets::{SignFacet, SignVal};
+    use ppe_core::PeVal;
+    use ppe_lang::Const;
+
+    #[test]
+    fn known_inputs_become_constant_products() {
+        let set = FacetSet::with_facets(vec![Box::new(SignFacet)]);
+        let p = PeInput::known(Value::Int(-2)).to_product(&set).unwrap();
+        assert_eq!(*p.pe(), PeVal::Const(Const::Int(-2)));
+        assert_eq!(p.facet(0).downcast_ref::<SignVal>(), Some(&SignVal::Neg));
+    }
+
+    #[test]
+    fn known_vectors_have_dynamic_pe_component() {
+        let set = FacetSet::with_facets(vec![Box::new(ppe_core::facets::SizeFacet)]);
+        let v = Value::vector(vec![Value::Float(0.0); 3]);
+        let p = PeInput::known(v).to_product(&set).unwrap();
+        assert_eq!(*p.pe(), PeVal::Top);
+        assert_eq!(p.facet(0).to_string(), "3");
+    }
+
+    #[test]
+    fn refinements_land_in_the_right_component() {
+        let set = FacetSet::with_facets(vec![Box::new(SignFacet)]);
+        let p = PeInput::dynamic()
+            .with_facet("sign", AbsVal::new(SignVal::Pos))
+            .to_product(&set)
+            .unwrap();
+        assert_eq!(*p.pe(), PeVal::Top);
+        assert_eq!(p.facet(0).downcast_ref::<SignVal>(), Some(&SignVal::Pos));
+    }
+
+    #[test]
+    fn unknown_facet_is_an_error() {
+        let set = FacetSet::new();
+        let err = PeInput::dynamic()
+            .with_facet("size", AbsVal::new(SignVal::Pos))
+            .to_product(&set)
+            .unwrap_err();
+        assert_eq!(err, PeError::UnknownFacet("size".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "known input")]
+    fn refining_a_known_input_panics() {
+        let _ = PeInput::known(Value::Int(1)).with_facet("sign", AbsVal::new(SignVal::Pos));
+    }
+}

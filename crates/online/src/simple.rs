@@ -1,0 +1,525 @@
+//! The conventional simple partial evaluator — Figure 2 of the paper,
+//! implemented independently of the facet machinery.
+//!
+//! This is the baseline the parameterized evaluator generalizes: an
+//! expression is static exactly when it partially evaluates to a constant;
+//! `SK_P` reduces a primitive only when *all* arguments are constants. A
+//! differential test in the workspace checks that [`crate::OnlinePe`] with
+//! an empty facet set computes identical residual programs (partial
+//! evaluation subsumes the PE facet alone, Definition 7).
+
+use std::collections::{HashMap, HashSet};
+
+use ppe_lang::{Const, Expr, FunDef, Program, Symbol, Value};
+
+use crate::config::PeConfig;
+use crate::error::PeError;
+use crate::input::{PeStats, Residual};
+
+/// One input to the simple partial evaluator: a first-order constant or
+/// nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimpleInput {
+    /// A known constant.
+    Known(Const),
+    /// An unknown input.
+    Dynamic,
+}
+
+/// The simple (conventional) partial evaluator of Figure 2.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_lang::{parse_program, Const};
+/// use ppe_online::{SimpleInput, SimplePe};
+///
+/// let p = parse_program(
+///     "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))",
+/// )?;
+/// let pe = SimplePe::new(&p);
+/// let residual = pe.specialize_main(&[
+///     SimpleInput::Dynamic,
+///     SimpleInput::Known(Const::Int(3)),
+/// ])?;
+/// // power(x, 3) unfolds to (* x (* x (* x 1))).
+/// assert_eq!(residual.program.defs().len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct SimplePe<'a> {
+    program: &'a Program,
+    config: PeConfig,
+}
+
+struct Env {
+    stack: Vec<(Symbol, Expr)>,
+}
+
+impl Env {
+    fn lookup(&self, x: Symbol) -> Option<&Expr> {
+        self.stack
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == x)
+            .map(|(_, e)| e)
+    }
+}
+
+/// Specialization pattern: the static part of the argument list.
+type Pattern = Vec<Option<Const>>;
+
+struct St {
+    cache: HashMap<(Symbol, Pattern), Symbol>,
+    def_order: Vec<Symbol>,
+    defs: HashMap<Symbol, Option<FunDef>>,
+    used_names: HashSet<Symbol>,
+    tmp_counter: u64,
+    stats: PeStats,
+    fuel: u64,
+}
+
+impl St {
+    fn fresh_fn(&mut self, base: Symbol) -> Symbol {
+        let mut n = 1u64;
+        loop {
+            let candidate = Symbol::intern(&format!("{base}_{n}"));
+            if !self.used_names.contains(&candidate) {
+                self.used_names.insert(candidate);
+                return candidate;
+            }
+            n += 1;
+        }
+    }
+
+    fn fresh_tmp(&mut self) -> Symbol {
+        loop {
+            self.tmp_counter += 1;
+            let candidate = Symbol::intern(&format!("tmp_{}", self.tmp_counter));
+            if !self.used_names.contains(&candidate) {
+                return candidate;
+            }
+        }
+    }
+
+    fn spend(&mut self) -> Result<(), PeError> {
+        self.stats.steps += 1;
+        if self.fuel == 0 {
+            return Err(PeError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+}
+
+impl<'a> SimplePe<'a> {
+    /// Creates a simple partial evaluator with the default policy.
+    pub fn new(program: &'a Program) -> SimplePe<'a> {
+        SimplePe {
+            program,
+            config: PeConfig::default(),
+        }
+    }
+
+    /// Creates a simple partial evaluator with an explicit policy.
+    pub fn with_config(program: &'a Program, config: PeConfig) -> SimplePe<'a> {
+        SimplePe { program, config }
+    }
+
+    /// Specializes the main function (the paper's `SPE_Prog`).
+    ///
+    /// # Errors
+    ///
+    /// See [`PeError`].
+    pub fn specialize_main(&self, inputs: &[SimpleInput]) -> Result<Residual, PeError> {
+        self.specialize(self.program.main().name, inputs)
+    }
+
+    /// Specializes a named function.
+    ///
+    /// # Errors
+    ///
+    /// See [`PeError`].
+    pub fn specialize(&self, name: Symbol, inputs: &[SimpleInput]) -> Result<Residual, PeError> {
+        let def = self
+            .program
+            .lookup(name)
+            .ok_or(PeError::UnknownFunction(name))?;
+        if def.arity() != inputs.len() {
+            return Err(PeError::InputArity {
+                function: name,
+                expected: def.arity(),
+                got: inputs.len(),
+            });
+        }
+        let mut used_names: HashSet<Symbol> =
+            self.program.defs().iter().map(|d| d.name).collect();
+        for d in self.program.defs() {
+            used_names.extend(d.params.iter().copied());
+        }
+        let mut st = St {
+            cache: HashMap::new(),
+            def_order: Vec::new(),
+            defs: HashMap::new(),
+            used_names,
+            tmp_counter: 0,
+            stats: PeStats::default(),
+            fuel: self.config.fuel,
+        };
+        let mut env = Env { stack: Vec::new() };
+        let mut kept_params = Vec::new();
+        for (param, input) in def.params.iter().zip(inputs) {
+            match input {
+                SimpleInput::Known(c) => env.stack.push((*param, Expr::Const(*c))),
+                SimpleInput::Dynamic => {
+                    kept_params.push(*param);
+                    env.stack.push((*param, Expr::Var(*param)));
+                }
+            }
+        }
+        let body = self.pe(&def.body, &mut env, 0, &mut st)?;
+        // Drop parameters the residual no longer mentions (mirrors the
+        // parameterized specializer, keeping the two residual-equivalent).
+        let mut free = Vec::new();
+        body.free_vars(&mut free);
+        kept_params.retain(|p| free.contains(p));
+        let mut defs = vec![FunDef::new(name, kept_params, body)];
+        for dname in &st.def_order {
+            match st.defs.remove(dname) {
+                Some(Some(d)) => defs.push(d),
+                _ => {
+                    return Err(PeError::MalformedResidual(format!(
+                        "specialized function `{dname}` was never completed"
+                    )))
+                }
+            }
+        }
+        let program = Program::new(defs)
+            .and_then(|p| p.validate().map(|()| p))
+            .map_err(PeError::MalformedResidual)?;
+        Ok(Residual {
+            program,
+            stats: st.stats,
+        })
+    }
+
+    /// The valuation function `SPE` of Figure 2.
+    fn pe(&self, e: &Expr, env: &mut Env, depth: u32, st: &mut St) -> Result<Expr, PeError> {
+        st.spend()?;
+        match e {
+            Expr::Const(c) => Ok(Expr::Const(*c)),
+            Expr::Var(x) => env
+                .lookup(*x)
+                .cloned()
+                .ok_or_else(|| PeError::MalformedResidual(format!("unbound `{x}`"))),
+            // SK_P: reduce iff every argument is a constant.
+            Expr::Prim(p, args) => {
+                let mut residuals = Vec::with_capacity(args.len());
+                for a in args {
+                    residuals.push(self.pe(a, env, depth, st)?);
+                }
+                let consts: Option<Vec<Const>> =
+                    residuals.iter().map(|r| r.as_const()).collect();
+                if let Some(cs) = consts {
+                    let vals: Vec<Value> = cs.iter().map(|c| Value::from_const(*c)).collect();
+                    if let Ok(v) = p.eval(&vals) {
+                        if let Some(c) = v.to_const() {
+                            st.stats.reductions += 1;
+                            return Ok(Expr::Const(c));
+                        }
+                    }
+                }
+                st.stats.residual_prims += 1;
+                Ok(Expr::Prim(*p, residuals))
+            }
+            Expr::If(c, t, f) => {
+                let cr = self.pe(c, env, depth, st)?;
+                if let Expr::Const(cc) = cr {
+                    if let Some(b) = cc.as_bool() {
+                        st.stats.static_branches += 1;
+                        return self.pe(if b { t } else { f }, env, depth, st);
+                    }
+                }
+                st.stats.dynamic_branches += 1;
+                let tr = self.pe(t, env, depth, st)?;
+                let fr = self.pe(f, env, depth, st)?;
+                Ok(Expr::If(Box::new(cr), Box::new(tr), Box::new(fr)))
+            }
+            Expr::Let(x, b, body) => {
+                let br = self.pe(b, env, depth, st)?;
+                let mark = env.stack.len();
+                if matches!(br, Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_)) {
+                    env.stack.push((*x, br));
+                    let out = self.pe(body, env, depth, st);
+                    env.stack.truncate(mark);
+                    out
+                } else {
+                    env.stack.push((*x, Expr::Var(*x)));
+                    let bodyr = self.pe(body, env, depth, st)?;
+                    env.stack.truncate(mark);
+                    Ok(Expr::Let(*x, Box::new(br), Box::new(bodyr)))
+                }
+            }
+            Expr::Call(f, args) => {
+                let mut residuals = Vec::with_capacity(args.len());
+                for a in args {
+                    residuals.push(self.pe(a, env, depth, st)?);
+                }
+                self.app(*f, residuals, depth, st)
+            }
+            Expr::FnRef(f) => {
+                let spec = self.generalized_spec(*f, st)?;
+                Ok(Expr::FnRef(spec))
+            }
+            Expr::Lambda(params, body) => {
+                let mark = env.stack.len();
+                for p in params {
+                    env.stack.push((*p, Expr::Var(*p)));
+                }
+                let br = self.pe(body, env, depth, st)?;
+                env.stack.truncate(mark);
+                Ok(Expr::Lambda(params.clone(), Box::new(br)))
+            }
+            Expr::App(f, args) => {
+                let fr = self.pe(f, env, depth, st)?;
+                let mut residuals = Vec::with_capacity(args.len());
+                for a in args {
+                    residuals.push(self.pe(a, env, depth, st)?);
+                }
+                match fr {
+                    Expr::FnRef(g) => {
+                        let original = self.unspecialized_name(g);
+                        self.app(original, residuals, depth, st)
+                    }
+                    Expr::Lambda(params, body) if depth < self.config.max_unfold_depth => {
+                        st.stats.unfolds += 1;
+                        let mut inner = Env { stack: Vec::new() };
+                        let mut lets = Vec::new();
+                        for (p, r) in params.iter().zip(residuals) {
+                            bind_param(*p, r, &mut inner, &mut lets, st);
+                        }
+                        let out = self.pe(&body, &mut inner, depth + 1, st)?;
+                        Ok(wrap_lets(lets, out))
+                    }
+                    other => Ok(Expr::App(Box::new(other), residuals)),
+                }
+            }
+        }
+    }
+
+    fn unspecialized_name(&self, g: Symbol) -> Symbol {
+        if self.program.lookup(g).is_some() {
+            return g;
+        }
+        let s = g.as_str();
+        if let Some(i) = s.rfind('_') {
+            if s[i + 1..].chars().all(|c| c.is_ascii_digit()) {
+                let base = Symbol::intern(&s[..i]);
+                if self.program.lookup(base).is_some() {
+                    return base;
+                }
+            }
+        }
+        g
+    }
+
+    fn app(
+        &self,
+        f: Symbol,
+        residuals: Vec<Expr>,
+        depth: u32,
+        st: &mut St,
+    ) -> Result<Expr, PeError> {
+        let def = self
+            .program
+            .lookup(f)
+            .ok_or(PeError::UnknownFunction(f))?;
+        let has_static = residuals.iter().any(|r| {
+            matches!(r, Expr::Const(_) | Expr::FnRef(_) | Expr::Lambda(..))
+        });
+        if has_static && depth < self.config.max_unfold_depth {
+            st.stats.unfolds += 1;
+            let mut inner = Env { stack: Vec::new() };
+            let mut lets = Vec::new();
+            for (p, r) in def.params.iter().zip(residuals) {
+                bind_param(*p, r, &mut inner, &mut lets, st);
+            }
+            let out = self.pe(&def.body, &mut inner, depth + 1, st)?;
+            return Ok(wrap_lets(lets, out));
+        }
+        // Fold onto the (single, fully dynamic) specialization of `f`.
+        let spec = self.generalized_spec(f, st)?;
+        Ok(Expr::Call(spec, residuals))
+    }
+
+    fn generalized_spec(&self, f: Symbol, st: &mut St) -> Result<Symbol, PeError> {
+        let def = self
+            .program
+            .lookup(f)
+            .ok_or(PeError::UnknownFunction(f))?;
+        let pattern: Pattern = vec![None; def.arity()];
+        let key = (f, pattern);
+        if let Some(name) = st.cache.get(&key) {
+            st.stats.cache_hits += 1;
+            return Ok(*name);
+        }
+        if st.cache.len() >= self.config.max_specializations {
+            return Err(PeError::SpecializationLimit(
+                self.config.max_specializations,
+            ));
+        }
+        let name = st.fresh_fn(f);
+        st.cache.insert(key, name);
+        st.def_order.push(name);
+        st.defs.insert(name, None);
+        st.stats.specializations += 1;
+        let mut inner = Env { stack: Vec::new() };
+        for p in &def.params {
+            inner.stack.push((*p, Expr::Var(*p)));
+        }
+        let body = self.pe(&def.body, &mut inner, 0, st)?;
+        st.defs
+            .insert(name, Some(FunDef::new(name, def.params.clone(), body)));
+        Ok(name)
+    }
+}
+
+fn bind_param(
+    param: Symbol,
+    residual: Expr,
+    inner: &mut Env,
+    lets: &mut Vec<(Symbol, Expr)>,
+    st: &mut St,
+) {
+    if matches!(residual, Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_)) {
+        inner.stack.push((param, residual));
+    } else {
+        let tmp = st.fresh_tmp();
+        lets.push((tmp, residual));
+        inner.stack.push((param, Expr::Var(tmp)));
+    }
+}
+
+fn wrap_lets(lets: Vec<(Symbol, Expr)>, body: Expr) -> Expr {
+    let mut out = body;
+    for (name, bound) in lets.into_iter().rev() {
+        out = Expr::Let(name, Box::new(bound), Box::new(out));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppe_lang::{parse_program, pretty_program, Evaluator};
+
+    fn specialize(src: &str, inputs: &[SimpleInput]) -> Residual {
+        let p = parse_program(src).unwrap();
+        SimplePe::new(&p).specialize_main(inputs).unwrap()
+    }
+
+    #[test]
+    fn power_unfolds_on_a_static_exponent() {
+        let r = specialize(
+            "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))",
+            &[SimpleInput::Dynamic, SimpleInput::Known(Const::Int(3))],
+        );
+        let printed = pretty_program(&r.program);
+        assert!(printed.contains("(* x (* x (* x 1)))"), "{printed}");
+        assert_eq!(r.stats.unfolds, 3);
+        assert_eq!(r.stats.specializations, 0);
+    }
+
+    #[test]
+    fn fully_static_input_computes_the_answer() {
+        let r = specialize(
+            "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))",
+            &[SimpleInput::Known(Const::Int(5))],
+        );
+        assert_eq!(r.program.main().body, Expr::int(120));
+        assert!(r.program.main().params.is_empty());
+    }
+
+    #[test]
+    fn fully_dynamic_input_folds_to_one_specialization() {
+        let r = specialize(
+            "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))",
+            &[SimpleInput::Dynamic],
+        );
+        // fact is specialized once; the recursive call folds onto it.
+        assert_eq!(r.stats.specializations, 1);
+        assert_eq!(r.program.defs().len(), 2);
+    }
+
+    #[test]
+    fn residual_agrees_with_source_on_dynamic_inputs() {
+        let src = "(define (f x n) (if (= n 0) x (+ x (f x (- n 1)))))";
+        let p = parse_program(src).unwrap();
+        let r = SimplePe::new(&p)
+            .specialize_main(&[SimpleInput::Dynamic, SimpleInput::Known(Const::Int(4))])
+            .unwrap();
+        let mut ev_src = Evaluator::new(&p);
+        let mut ev_res = Evaluator::new(&r.program);
+        for x in [-3i64, 0, 10] {
+            let expected = ev_src
+                .run_main(&[Value::Int(x), Value::Int(4)])
+                .unwrap();
+            let got = ev_res.run_main(&[Value::Int(x)]).unwrap();
+            assert_eq!(expected, got, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn let_insertion_preserves_non_trivial_arguments() {
+        // The argument (+ x 1) must not be duplicated into both uses of y.
+        let src = "(define (main x) (g (+ x 1) 2))
+                   (define (g y n) (if (= n 0) 0 (+ y (g y (- n 1)))))";
+        let r = specialize(src, &[SimpleInput::Dynamic]);
+        let printed = pretty_program(&r.program);
+        let occurrences = printed.matches("(+ x 1)").count();
+        assert_eq!(occurrences, 1, "{printed}");
+    }
+
+    #[test]
+    fn dynamic_conditional_keeps_both_branches() {
+        let r = specialize(
+            "(define (f x) (if (< x 0) (neg x) x))",
+            &[SimpleInput::Dynamic],
+        );
+        assert_eq!(r.stats.dynamic_branches, 1);
+        let printed = pretty_program(&r.program);
+        assert!(printed.contains("(if (< x 0) (neg x) x)"), "{printed}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let p = parse_program("(define (f x) x)").unwrap();
+        let err = SimplePe::new(&p).specialize_main(&[]).unwrap_err();
+        assert!(matches!(err, PeError::InputArity { .. }));
+    }
+
+    #[test]
+    fn non_terminating_static_recursion_is_generalized() {
+        // f(n) = f(n + 1): unfolding cannot consume the static argument;
+        // the generalization fallback must terminate with a residual loop.
+        let src = "(define (f n) (if (< n 0) 0 (f (+ n 1))))";
+        let p = parse_program(src).unwrap();
+        let config = PeConfig {
+            max_unfold_depth: 16,
+            ..PeConfig::default()
+        };
+        let r = SimplePe::with_config(&p, config)
+            .specialize_main(&[SimpleInput::Known(Const::Int(0))])
+            .unwrap();
+        assert_eq!(r.stats.specializations, 1);
+    }
+
+    #[test]
+    fn higher_order_known_target_is_inlined() {
+        let src = "(define (main x) (twice inc x))
+                   (define (twice f x) (f (f x)))
+                   (define (inc x) (+ x 1))";
+        let r = specialize(src, &[SimpleInput::Known(Const::Int(5))]);
+        assert_eq!(r.program.main().body, Expr::int(7));
+    }
+}

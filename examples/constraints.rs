@@ -1,0 +1,81 @@
+//! Constraint propagation from conditional tests — the future work the
+//! paper sketches at the end of Section 4.4: "Redfun is able to extract
+//! properties from the predicate of a conditional expression. Then, these
+//! properties and their negation are propagated to the consequent and
+//! alternative branches respectively."
+//!
+//! With [`ppe::online::PeConfig::propagate_constraints`] enabled, residual
+//! tests refine the facet values of the variables they mention — the Sign
+//! and Range facets implement [`ppe::core::Facet::assume`] — and `(= x c)`
+//! binds `x` to `c` in the consequent.
+//!
+//! ```sh
+//! cargo run --example constraints
+//! ```
+
+use ppe::core::facets::{RangeFacet, SignFacet};
+use ppe::core::FacetSet;
+use ppe::lang::{parse_program, pretty_program, Evaluator, Value};
+use ppe::online::{OnlinePe, PeConfig, PeInput};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A clamping function full of redundant checks, as produced by naive
+    // code generation or macro expansion.
+    let program = parse_program(
+        "(define (clamp x lo hi)
+           (if (< x lo)
+               (if (< x hi) lo lo)
+               (if (< hi x)
+                   (if (< lo x) hi hi)
+                   (if (< x lo) 0 x))))",
+    )?;
+    println!("source:\n{program}");
+
+    let facets = FacetSet::with_facets(vec![Box::new(SignFacet), Box::new(RangeFacet)]);
+
+    // Without constraint propagation nothing reduces: x, lo, hi are all
+    // dynamic.
+    let plain = OnlinePe::new(&program, &facets).specialize_main(&[
+        PeInput::dynamic(),
+        PeInput::known(Value::Int(0)),
+        PeInput::known(Value::Int(100)),
+    ])?;
+    println!(
+        "without constraint propagation (lo=0, hi=100):\n{}",
+        pretty_program(&plain.program)
+    );
+
+    // With it, each branch knows the tests dominating it: the inner
+    // conditionals all die.
+    let config = PeConfig {
+        propagate_constraints: true,
+        ..PeConfig::default()
+    };
+    let refined = OnlinePe::with_config(&program, &facets, config).specialize_main(&[
+        PeInput::dynamic(),
+        PeInput::known(Value::Int(0)),
+        PeInput::known(Value::Int(100)),
+    ])?;
+    println!(
+        "with constraint propagation:\n{}",
+        pretty_program(&refined.program)
+    );
+
+    let plain_ifs = pretty_program(&plain.program).matches("(if").count();
+    let refined_ifs = pretty_program(&refined.program).matches("(if").count();
+    println!("conditionals: {plain_ifs} without propagation, {refined_ifs} with");
+    assert!(refined_ifs < plain_ifs);
+
+    // Behaviour is unchanged.
+    for x in [-5i64, 0, 50, 100, 105] {
+        let expected = Evaluator::new(&program).run_main(&[
+            Value::Int(x),
+            Value::Int(0),
+            Value::Int(100),
+        ])?;
+        let got = Evaluator::new(&refined.program).run_main(&[Value::Int(x)])?;
+        assert_eq!(expected, got);
+        println!("clamp({x:>4}, 0, 100) = {got}");
+    }
+    Ok(())
+}

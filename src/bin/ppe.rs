@@ -1,0 +1,429 @@
+//! `ppe` — command-line driver for parameterized partial evaluation.
+//!
+//! ```text
+//! ppe run <file.sexp> ARG...            evaluate the main function
+//! ppe specialize <file.sexp> INPUT...   specialize (online by default)
+//! ppe analyze <file.sexp> INPUT...      facet analysis report (Figure 9 style)
+//!
+//! ARG    ::= 5 | -3 | 2.5 | #t | #f | vec:1.0,2.0,3.0
+//! INPUT  ::= ARG                         a known input
+//!          | _                           a dynamic input
+//!          | _:FACET=SPEC[:FACET=SPEC]…  dynamic with facet refinements
+//! SPEC   ::= sign=pos|neg|zero | parity=even|odd | size=N
+//!          | range=LO..HI (either bound may be empty)
+//!
+//! options: --facets LIST   comma-separated: sign,parity,range,size,
+//!                          contents,const-set,type (default: all)
+//!          --offline       specialize through facet analysis
+//!          --constraints   propagate conditional constraints (online)
+//!          --optimize      run the residual cleanup passes
+//!          --polyvariant   per-call-pattern variants (analyze only)
+//! ```
+//!
+//! Example:
+//!
+//! ```sh
+//! ppe specialize iprod.sexp '_:size=3' '_:size=3'
+//! ```
+
+use std::process::ExitCode;
+
+use ppe::core::facets::{
+    ConstSetFacet, ContentsFacet, ParityFacet, ParityVal, RangeFacet, RangeVal, SignFacet,
+    SignVal, SizeFacet, SizeVal, TypeFacet,
+};
+use ppe::core::{AbsVal, FacetSet};
+use ppe::lang::{optimize_program, parse_program, pretty_program, prune_unused_params, Const, Evaluator, OptLevel, Program, Value};
+use ppe::offline::{analyze, AbstractInput, OfflinePe};
+use ppe::online::{OnlinePe, PeConfig, PeInput};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ppe: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "run" => cmd_run(&args[1..]),
+        "specialize" => cmd_specialize(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: ppe <run|specialize|analyze> <file> [inputs…] [--facets LIST] [--offline] [--constraints]\n\
+     see `cargo doc` or the README for the input syntax"
+        .to_owned()
+}
+
+/// Parsed command-line options.
+struct Opts {
+    file: String,
+    inputs: Vec<String>,
+    facets: Vec<String>,
+    offline: bool,
+    constraints: bool,
+    optimize: bool,
+    polyvariant: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut file = None;
+    let mut inputs = Vec::new();
+    let mut facets = vec![
+        "sign", "parity", "range", "size", "contents", "const-set", "type",
+    ]
+    .into_iter()
+    .map(str::to_owned)
+    .collect::<Vec<_>>();
+    let mut offline = false;
+    let mut constraints = false;
+    let mut optimize = false;
+    let mut polyvariant = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--facets" => {
+                i += 1;
+                let list = args
+                    .get(i)
+                    .ok_or_else(|| "--facets needs a comma-separated list".to_owned())?;
+                facets = list.split(',').map(|s| s.trim().to_owned()).collect();
+            }
+            "--offline" => offline = true,
+            "--constraints" => constraints = true,
+            "--optimize" => optimize = true,
+            "--polyvariant" => polyvariant = true,
+            other => {
+                if file.is_none() {
+                    file = Some(other.to_owned());
+                } else {
+                    inputs.push(other.to_owned());
+                }
+            }
+        }
+        i += 1;
+    }
+    Ok(Opts {
+        file: file.ok_or_else(|| format!("missing program file\n{}", usage()))?,
+        inputs,
+        facets,
+        offline,
+        constraints,
+        optimize,
+        polyvariant,
+    })
+}
+
+fn load(file: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    parse_program(&src).map_err(|e| e.to_string())
+}
+
+fn build_facets(names: &[String]) -> Result<FacetSet, String> {
+    let mut set = FacetSet::new();
+    for n in names {
+        match n.as_str() {
+            "sign" => {
+                set.push(Box::new(SignFacet));
+            }
+            "parity" => {
+                set.push(Box::new(ParityFacet));
+            }
+            "range" => {
+                set.push(Box::new(RangeFacet));
+            }
+            "size" => {
+                set.push(Box::new(SizeFacet));
+            }
+            "contents" => {
+                set.push(Box::new(ContentsFacet));
+            }
+            "const-set" => {
+                set.push(Box::new(ConstSetFacet::default()));
+            }
+            "type" => {
+                set.push(Box::new(TypeFacet));
+            }
+            other => return Err(format!("unknown facet `{other}`")),
+        }
+    }
+    Ok(set)
+}
+
+/// Parses a concrete value argument: `5`, `-3`, `2.5`, `#t`, `#f`,
+/// `vec:1.0,2.0`.
+fn parse_value(s: &str) -> Result<Value, String> {
+    if let Some(rest) = s.strip_prefix("vec:") {
+        let elems: Result<Vec<Value>, String> =
+            rest.split(',').map(|e| parse_value(e.trim())).collect();
+        return Ok(Value::vector(elems?));
+    }
+    match s {
+        "#t" => return Ok(Value::Bool(true)),
+        "#f" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    if let Ok(x) = s.parse::<f64>() {
+        if x.is_nan() {
+            return Err("NaN is not a value".to_owned());
+        }
+        return Ok(Value::Float(x));
+    }
+    Err(format!("cannot parse value `{s}`"))
+}
+
+/// Parses one facet refinement `facet=spec` into `(facet name, value)`.
+fn parse_refinement(s: &str) -> Result<(String, AbsVal), String> {
+    let (facet, spec) = s
+        .split_once('=')
+        .ok_or_else(|| format!("refinement `{s}` must look like facet=value"))?;
+    let abs = match facet {
+        "sign" => AbsVal::new(match spec {
+            "pos" => SignVal::Pos,
+            "neg" => SignVal::Neg,
+            "zero" => SignVal::Zero,
+            _ => return Err(format!("sign must be pos|neg|zero, got `{spec}`")),
+        }),
+        "parity" => AbsVal::new(match spec {
+            "even" => ParityVal::Even,
+            "odd" => ParityVal::Odd,
+            _ => return Err(format!("parity must be even|odd, got `{spec}`")),
+        }),
+        "size" => AbsVal::new(SizeVal::Known(
+            spec.parse::<i64>()
+                .map_err(|_| format!("size must be an integer, got `{spec}`"))?,
+        )),
+        "range" => {
+            let (lo, hi) = spec
+                .split_once("..")
+                .ok_or_else(|| format!("range must be LO..HI, got `{spec}`"))?;
+            let parse_bound = |b: &str| -> Result<Option<i64>, String> {
+                if b.is_empty() {
+                    Ok(None)
+                } else {
+                    b.parse::<i64>()
+                        .map(Some)
+                        .map_err(|_| format!("bad range bound `{b}`"))
+                }
+            };
+            AbsVal::new(RangeVal::Range {
+                lo: parse_bound(lo)?,
+                hi: parse_bound(hi)?,
+            })
+        }
+        "const-set" => {
+            let consts: Result<Vec<Const>, String> = spec
+                .split('|')
+                .map(|c| {
+                    parse_value(c)?
+                        .to_const()
+                        .ok_or_else(|| format!("`{c}` is not a constant"))
+                })
+                .collect();
+            AbsVal::new(ppe::core::facets::ConstSetVal::of(consts?))
+        }
+        other => return Err(format!("no refinement syntax for facet `{other}`")),
+    };
+    Ok((facet.to_owned(), abs))
+}
+
+/// Parses one specialization input.
+fn parse_input(s: &str) -> Result<PeInput, String> {
+    if s == "_" {
+        return Ok(PeInput::dynamic());
+    }
+    if let Some(rest) = s.strip_prefix("_:") {
+        let mut input = PeInput::dynamic();
+        for part in rest.split(':') {
+            let (facet, abs) = parse_refinement(part)?;
+            input = input.with_facet(&facet, abs);
+        }
+        return Ok(input);
+    }
+    Ok(PeInput::known(parse_value(s)?))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let program = load(&opts.file)?;
+    let vals: Result<Vec<Value>, String> = opts.inputs.iter().map(|s| parse_value(s)).collect();
+    let mut ev = Evaluator::new(&program);
+    ev.set_max_depth(10_000);
+    let out = ev.run_main(&vals?).map_err(|e| e.to_string())?;
+    println!("{out}");
+    Ok(())
+}
+
+fn cmd_specialize(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let program = load(&opts.file)?;
+    let facets = build_facets(&opts.facets)?;
+    let inputs: Result<Vec<PeInput>, String> =
+        opts.inputs.iter().map(|s| parse_input(s)).collect();
+    let inputs = inputs?;
+    let config = PeConfig {
+        propagate_constraints: opts.constraints,
+        ..PeConfig::default()
+    };
+    let residual = if opts.offline {
+        let abstract_inputs: Result<Vec<AbstractInput>, String> = inputs
+            .iter()
+            .map(|i| {
+                i.to_product(&facets)
+                    .map(AbstractInput::of_product)
+                    .map_err(|e| e.to_string())
+            })
+            .collect();
+        let analysis =
+            analyze(&program, &facets, &abstract_inputs?).map_err(|e| e.to_string())?;
+        OfflinePe::with_config(&program, &facets, &analysis, config)
+            .specialize(&inputs)
+            .map_err(|e| e.to_string())?
+    } else {
+        OnlinePe::with_config(&program, &facets, config)
+            .specialize_main(&inputs)
+            .map_err(|e| e.to_string())?
+    };
+    let final_program = if opts.optimize {
+        prune_unused_params(&optimize_program(&residual.program, OptLevel::Safe), OptLevel::Safe)
+    } else {
+        residual.program.clone()
+    };
+    print!("{}", pretty_program(&final_program));
+    eprintln!(
+        "; {} reductions, {} static branches, {} unfolds, {} specializations",
+        residual.stats.reductions,
+        residual.stats.static_branches,
+        residual.stats.unfolds,
+        residual.stats.specializations
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let program = load(&opts.file)?;
+    let facets = build_facets(&opts.facets)?;
+    let inputs: Result<Vec<PeInput>, String> =
+        opts.inputs.iter().map(|s| parse_input(s)).collect();
+    let abstract_inputs: Result<Vec<AbstractInput>, String> = inputs?
+        .iter()
+        .map(|i| {
+            i.to_product(&facets)
+                .map(AbstractInput::of_product)
+                .map_err(|e| e.to_string())
+        })
+        .collect();
+    let abstract_inputs = abstract_inputs?;
+    if opts.polyvariant {
+        let poly = ppe::offline::polyvariant::analyze_polyvariant(
+            &program,
+            &facets,
+            &abstract_inputs,
+        )
+        .map_err(|e| e.to_string())?;
+        println!("polyvariant variants:");
+        let mut names: Vec<_> = program.defs().iter().map(|d| d.name).collect();
+        names.sort_by_key(|f| f.as_str());
+        for f in names {
+            for sig in poly.signatures_of(f) {
+                println!("  {f}: {}", sig.display());
+            }
+        }
+        println!("result: {}", poly.result.display());
+        return Ok(());
+    }
+    let analysis = analyze(&program, &facets, &abstract_inputs).map_err(|e| e.to_string())?;
+    print!("{}", analysis.report(&program));
+    let mut sigs: Vec<_> = analysis.signatures.iter().collect();
+    sigs.sort_by_key(|(f, _)| f.as_str());
+    println!("\nsignatures:");
+    for (f, sig) in sigs {
+        println!("  {f}: {}", sig.display());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_values() {
+        assert_eq!(parse_value("5").unwrap(), Value::Int(5));
+        assert_eq!(parse_value("-3").unwrap(), Value::Int(-3));
+        assert_eq!(parse_value("#t").unwrap(), Value::Bool(true));
+        assert_eq!(parse_value("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(
+            parse_value("vec:1.0,2.0").unwrap(),
+            Value::vector(vec![Value::Float(1.0), Value::Float(2.0)])
+        );
+        assert!(parse_value("wat").is_err());
+    }
+
+    #[test]
+    fn parses_inputs() {
+        assert!(matches!(parse_input("_").unwrap(), PeInput::Dynamic { .. }));
+        assert!(matches!(parse_input("7").unwrap(), PeInput::Known(_)));
+        let refined = parse_input("_:size=3:sign=pos").unwrap();
+        match refined {
+            PeInput::Dynamic { refinements } => {
+                assert_eq!(refinements.len(), 2);
+                assert_eq!(refinements[0].0, "size");
+                assert_eq!(refinements[1].0, "sign");
+            }
+            other => panic!("expected refined dynamic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_refinements() {
+        assert!(parse_refinement("sign=pos").is_ok());
+        assert!(parse_refinement("parity=odd").is_ok());
+        assert!(parse_refinement("range=0..10").is_ok());
+        assert!(parse_refinement("range=..10").is_ok());
+        assert!(parse_refinement("const-set=1|2|3").is_ok());
+        assert!(parse_refinement("sign=sideways").is_err());
+        assert!(parse_refinement("nonsense").is_err());
+    }
+
+    #[test]
+    fn parses_options() {
+        let args: Vec<String> = ["prog.sexp", "_", "5", "--facets", "sign,range", "--offline"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_opts(&args).unwrap();
+        assert_eq!(opts.file, "prog.sexp");
+        assert_eq!(opts.inputs, vec!["_", "5"]);
+        assert_eq!(opts.facets, vec!["sign", "range"]);
+        assert!(opts.offline);
+        assert!(!opts.constraints);
+        assert!(!opts.optimize);
+    }
+
+    #[test]
+    fn builds_facet_sets() {
+        let set = build_facets(&["sign".into(), "size".into()]).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(build_facets(&["bogus".into()]).is_err());
+    }
+}

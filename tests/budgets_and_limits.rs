@@ -1,0 +1,114 @@
+//! Budget and limit behaviour: every unbounded process in the system
+//! (specialization, unfolding, evaluation, analysis) is governed by an
+//! explicit budget that fails loudly instead of hanging.
+
+use ppe::core::facets::RangeFacet;
+use ppe::core::FacetSet;
+use ppe::lang::{parse_program, EvalError, Evaluator, Value};
+use ppe::online::{OnlinePe, PeConfig, PeError, PeInput};
+
+#[test]
+fn specializer_fuel_is_respected() {
+    let p = parse_program("(define (f n) (if (= n 0) 1 (* n (f (- n 1)))))").unwrap();
+    let facets = FacetSet::new();
+    let config = PeConfig {
+        fuel: 50,
+        ..PeConfig::default()
+    };
+    let err = OnlinePe::with_config(&p, &facets, config)
+        .specialize_main(&[PeInput::known(Value::Int(100))])
+        .unwrap_err();
+    assert_eq!(err, PeError::OutOfFuel);
+}
+
+#[test]
+fn specialization_cache_limit_is_respected() {
+    // The Range facet mints a fresh interval per recursion level, so
+    // facet-keyed specialization would grow forever; the cap reports it.
+    let p = parse_program(
+        "(define (f x n) (if (< n 0) x (f (+ x 1) n)))",
+    )
+    .unwrap();
+    let facets = FacetSet::with_facets(vec![Box::new(RangeFacet)]);
+    let config = PeConfig {
+        max_unfold_depth: 0, // force folding immediately
+        max_specializations: 8,
+        ..PeConfig::default()
+    };
+    let result = OnlinePe::with_config(&p, &facets, config).specialize_main(&[
+        PeInput::known(Value::Int(0)),
+        PeInput::dynamic(),
+    ]);
+    match result {
+        // Either the interval family exhausts the cache...
+        Err(PeError::SpecializationLimit(8)) => {}
+        // ...or generalization saved the day with few entries; both are
+        // acceptable terminations, never a hang.
+        Ok(r) => assert!(r.stats.specializations <= 8),
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+#[test]
+fn unfold_budget_zero_still_terminates_and_is_correct() {
+    let p = parse_program("(define (f x n) (if (= n 0) x (+ x (f x (- n 1)))))").unwrap();
+    let facets = FacetSet::new();
+    let config = PeConfig {
+        max_unfold_depth: 0,
+        ..PeConfig::default()
+    };
+    let r = OnlinePe::with_config(&p, &facets, config)
+        .specialize_main(&[PeInput::dynamic(), PeInput::known(Value::Int(3))])
+        .unwrap();
+    // Everything folded: the residual is essentially the source plus the
+    // instantiated entry.
+    assert!(r.stats.unfolds == 0);
+    let args: Vec<Value> = r
+        .program
+        .main()
+        .params
+        .iter()
+        .map(|_| Value::Int(5))
+        .collect();
+    let got = Evaluator::new(&r.program).run_main(&args).unwrap();
+    let expected = Evaluator::new(&p)
+        .run_main(&[Value::Int(5), Value::Int(3)])
+        .unwrap();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn evaluator_budgets_are_independent() {
+    let p = parse_program("(define (f n) (if (= n 0) 0 (f (- n 1))))").unwrap();
+    // Tight fuel, generous depth.
+    let mut ev = Evaluator::with_fuel(&p, 5);
+    ev.set_max_depth(10_000);
+    assert_eq!(ev.run_main(&[Value::Int(100)]).unwrap_err(), EvalError::OutOfFuel);
+    // Generous fuel, tight depth.
+    let mut ev = Evaluator::with_fuel(&p, 1_000_000);
+    ev.set_max_depth(5);
+    assert_eq!(
+        ev.run_main(&[Value::Int(100)]).unwrap_err(),
+        EvalError::DepthExceeded
+    );
+    // Both generous: success.
+    let mut ev = Evaluator::with_fuel(&p, 1_000_000);
+    ev.set_max_depth(200);
+    assert_eq!(ev.run_main(&[Value::Int(100)]).unwrap(), Value::Int(0));
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let p = parse_program("(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))").unwrap();
+    let facets = FacetSet::new();
+    let r = OnlinePe::new(&p, &facets)
+        .specialize_main(&[PeInput::dynamic(), PeInput::known(Value::Int(6))])
+        .unwrap();
+    let s = r.stats;
+    // Work happened, and every decision is accounted somewhere.
+    assert!(s.steps > 0);
+    assert!(s.steps >= s.reductions + s.residual_prims);
+    assert_eq!(s.static_branches + s.dynamic_branches, 7); // 6 unfolds + base
+    assert_eq!(s.unfolds, 6);
+    assert_eq!(s.specializations, 0);
+}

@@ -1,0 +1,113 @@
+//! Shared helpers for the integration test suite: a corpus of subject
+//! programs and typed random-expression generators for property tests.
+//!
+//! Not every test binary uses every helper.
+#![allow(dead_code)]
+
+use ppe::lang::{Const, Expr, Prim, Symbol};
+use proptest::prelude::*;
+
+/// Subject programs used across agreement and correctness tests. Each
+/// entry is `(name, source, arity)`.
+pub const CORPUS: &[(&str, &str, usize)] = &[
+    (
+        "power",
+        "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))",
+        2,
+    ),
+    (
+        "sum-to",
+        "(define (sum-to x n) (if (= n 0) x (+ x (sum-to x (- n 1)))))",
+        2,
+    ),
+    (
+        "gauss",
+        "(define (gauss n acc) (if (= n 0) acc (gauss (- n 1) (+ acc n))))",
+        2,
+    ),
+    (
+        "abs-scale",
+        "(define (abs-scale x k)
+           (let ((a (if (< x 0) (neg x) x))) (* a k)))",
+        2,
+    ),
+    (
+        "fib-ish",
+        "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+        1,
+    ),
+    (
+        "even-odd",
+        "(define (evn n) (if (= n 0) #t (odd (- n 1))))
+         (define (odd n) (if (= n 0) #f (evn (- n 1))))",
+        1,
+    ),
+    (
+        "iprod",
+        "(define (iprod a b) (let ((n (vsize a))) (dotprod a b n)))
+         (define (dotprod a b n)
+           (if (= n 0) 0.0
+               (+ (* (vref a n) (vref b n)) (dotprod a b (- n 1)))))",
+        2,
+    ),
+];
+
+/// A generator of *integer-valued* expressions over the variables `x`
+/// (dynamic) and `y` (static), with conditionals over generated boolean
+/// expressions — typed so random programs mostly run instead of
+/// immediately failing on type errors.
+pub fn int_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-6i64..=6).prop_map(Expr::int),
+        Just(Expr::var("x")),
+        Just(Expr::var("y")),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        let b = bool_expr(inner.clone());
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::prim(Prim::Add, vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::prim(Prim::Sub, vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::prim(Prim::Mul, vec![a, b])),
+            inner.clone().prop_map(|a| Expr::prim(Prim::Neg, vec![a])),
+            (b, inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| Expr::If(Box::new(c), Box::new(t), Box::new(f))),
+            (inner.clone(), inner).prop_map(|(bound, body)| {
+                Expr::Let(Symbol::intern("z"), Box::new(bound), Box::new(rename_one_var(body)))
+            }),
+        ]
+    })
+}
+
+/// Boolean expressions comparing integer subexpressions.
+fn bool_expr(int: impl Strategy<Value = Expr> + Clone + 'static) -> BoxedStrategy<Expr> {
+    prop_oneof![
+        (int.clone(), int.clone()).prop_map(|(a, b)| Expr::prim(Prim::Lt, vec![a, b])),
+        (int.clone(), int.clone()).prop_map(|(a, b)| Expr::prim(Prim::Le, vec![a, b])),
+        (int.clone(), int).prop_map(|(a, b)| Expr::prim(Prim::Eq, vec![a, b])),
+    ]
+    .boxed()
+}
+
+/// Rewrites some occurrences of `x` to `z` so generated `let`s are used.
+fn rename_one_var(e: Expr) -> Expr {
+    match e {
+        Expr::Var(v) if v == Symbol::intern("x") => Expr::var("z"),
+        other => other,
+    }
+}
+
+/// Builds the one-function program `(define (f x y) <body>)`.
+pub fn program_of(body: &Expr) -> ppe::lang::Program {
+    use ppe::lang::FunDef;
+    let def = FunDef::new(
+        Symbol::intern("f"),
+        vec![Symbol::intern("x"), Symbol::intern("y")],
+        body.clone(),
+    );
+    ppe::lang::Program::new(vec![def]).expect("single definition")
+}
+
+/// Constant pool for known inputs.
+pub fn small_const() -> impl Strategy<Value = Const> {
+    (-6i64..=6).prop_map(Const::Int)
+}

@@ -1,0 +1,113 @@
+//! Standard-semantics conformance tests beyond the in-crate unit tests:
+//! evaluation order, strictness, the vector ADT as used by whole programs,
+//! and determinism.
+
+use ppe::lang::{parse_program, EvalError, Evaluator, Value};
+
+fn run(src: &str, args: &[Value]) -> Result<Value, EvalError> {
+    let p = parse_program(src).unwrap();
+    let mut ev = Evaluator::with_fuel(&p, 500_000);
+    ev.set_max_depth(2_000);
+    ev.run_main(args)
+}
+
+#[test]
+fn arguments_evaluate_left_to_right() {
+    // The first failing argument determines the error.
+    let src = "(define (f x) (g (/ 1 0) (vref x 99)))
+               (define (g a b) 0)";
+    let v = Value::vector(vec![Value::Int(1)]);
+    assert_eq!(run(src, &[v]).unwrap_err(), EvalError::DivByZero);
+
+    let src2 = "(define (f x) (g (vref x 99) (/ 1 0)))
+                (define (g a b) 0)";
+    let v = Value::vector(vec![Value::Int(1)]);
+    assert!(matches!(
+        run(src2, &[v]).unwrap_err(),
+        EvalError::VectorIndex { index: 99, .. }
+    ));
+}
+
+#[test]
+fn let_is_strict() {
+    let src = "(define (f x) (let ((dead (/ x 0))) 42))";
+    assert_eq!(run(src, &[Value::Int(1)]).unwrap_err(), EvalError::DivByZero);
+}
+
+#[test]
+fn if_evaluates_only_the_taken_branch() {
+    let src = "(define (f b) (if b 1 (/ 1 0)))";
+    assert_eq!(run(src, &[Value::Bool(true)]).unwrap(), Value::Int(1));
+    assert_eq!(
+        run(src, &[Value::Bool(false)]).unwrap_err(),
+        EvalError::DivByZero
+    );
+}
+
+#[test]
+fn vectors_are_values_not_references() {
+    // updvec is functional: the original vector is unchanged.
+    let src = "(define (f v)
+           (let ((w (updvec v 1 99.0)))
+             (+ (vref v 1) (vref w 1))))";
+    let v = Value::vector(vec![Value::Float(1.0)]);
+    assert_eq!(run(src, &[v]).unwrap(), Value::Float(100.0));
+}
+
+#[test]
+fn whole_program_vector_pipeline() {
+    // Build a vector of squares 1..n, then sum it: exercises mkvec,
+    // updvec, vsize, vref together.
+    let src = "(define (main n) (sum (build (mkvec n) n) n))
+         (define (build v i)
+           (if (= i 0) v (build (updvec v i (* i i)) (- i 1))))
+         (define (sum v i)
+           (if (= i 0) 0 (+ (vref v i) (sum v (- i 1)))))";
+    assert_eq!(run(src, &[Value::Int(5)]).unwrap(), Value::Int(55));
+    assert_eq!(run(src, &[Value::Int(0)]).unwrap(), Value::Int(0));
+}
+
+#[test]
+fn evaluation_is_deterministic() {
+    let src = "(define (f n) (if (= n 0) 1 (* n (f (- n 1)))))";
+    let a = run(src, &[Value::Int(10)]).unwrap();
+    let b = run(src, &[Value::Int(10)]).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a, Value::Int(3_628_800));
+}
+
+#[test]
+fn shadowing_in_nested_lets_and_calls() {
+    let src = "(define (f x)
+           (let ((x (+ x 1)))
+             (let ((y (g x)))
+               (let ((x (* x 10)))
+                 (+ x y)))))
+         (define (g x) (* x 2))";
+    // x=3 → x=4 → y=8 → x=40 → 48.
+    assert_eq!(run(src, &[Value::Int(3)]).unwrap(), Value::Int(48));
+}
+
+#[test]
+fn float_and_int_arithmetic_do_not_mix() {
+    let src = "(define (f x) (+ x 1))";
+    assert!(matches!(
+        run(src, &[Value::Float(1.0)]).unwrap_err(),
+        EvalError::PrimType { .. }
+    ));
+}
+
+#[test]
+fn booleans_in_arithmetic_are_type_errors() {
+    let src = "(define (f b) (+ b 1))";
+    assert!(matches!(
+        run(src, &[Value::Bool(true)]).unwrap_err(),
+        EvalError::PrimType { .. }
+    ));
+}
+
+#[test]
+fn deep_but_bounded_recursion_succeeds() {
+    let src = "(define (count n) (if (= n 0) 0 (+ 1 (count (- n 1)))))";
+    assert_eq!(run(src, &[Value::Int(1_500)]).unwrap(), Value::Int(1_500));
+}

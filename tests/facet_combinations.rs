@@ -1,0 +1,229 @@
+//! Products of several facets working together (Definition 5, Lemma 3):
+//! overlapping facets must agree when both decide, information flows
+//! between facets through constants, and wide products behave like their
+//! most informative member.
+
+use ppe::core::facets::{
+    ConstSetFacet, ConstSetVal, ContentsFacet, ContentsVal, ParityFacet, ParityVal, RangeFacet,
+    RangeVal, SignFacet, SignVal, SizeFacet, SizeVal,
+};
+use ppe::core::{size_of, AbsVal, FacetSet, PrimOutcome, ProductVal};
+use ppe::lang::{parse_program, pretty_program, Const, Prim, Value};
+use ppe::online::{OnlinePe, PeInput};
+
+/// Lemma 3 in the wild: the Size facet and the Contents facet *both*
+/// decide `vsize` — the product must produce their (identical) constant.
+#[test]
+fn size_and_contents_agree_on_vsize() {
+    let set = FacetSet::with_facets(vec![Box::new(SizeFacet), Box::new(ContentsFacet)]);
+    let vec3 = Value::vector(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    let v = ProductVal::from_value(&vec3, &set);
+    // Both components carry the size.
+    assert_eq!(v.facet(0).downcast_ref::<SizeVal>(), Some(&SizeVal::Known(3)));
+    assert!(matches!(
+        v.facet(1).downcast_ref::<ContentsVal>(),
+        Some(ContentsVal::Exact(_))
+    ));
+    assert_eq!(
+        set.prim_product(Prim::VSize, &[v]),
+        PrimOutcome::Const(Const::Int(3))
+    );
+}
+
+/// A facet-produced constant is re-abstracted into *every* facet
+/// (Figure 3's `K̂`): the size constant from `vsize` lands in the Sign,
+/// Parity and Range components too.
+#[test]
+fn facet_constants_propagate_to_all_components() {
+    let set = FacetSet::with_facets(vec![
+        Box::new(SizeFacet),
+        Box::new(SignFacet),
+        Box::new(ParityFacet),
+        Box::new(RangeFacet),
+    ]);
+    let v = ProductVal::dynamic(&set).with_facet(0, size_of(4));
+    let out = set.prim_product(Prim::VSize, &[v]);
+    assert_eq!(out, PrimOutcome::Const(Const::Int(4)));
+    // The reduced constant re-enters the product via from_const; check
+    // the abstractions that the caller will now carry.
+    let product = ProductVal::from_const(Const::Int(4), &set);
+    assert_eq!(
+        product.facet(1).downcast_ref::<SignVal>(),
+        Some(&SignVal::Pos)
+    );
+    assert_eq!(
+        product.facet(2).downcast_ref::<ParityVal>(),
+        Some(&ParityVal::Even)
+    );
+    assert_eq!(
+        product.facet(3).downcast_ref::<RangeVal>(),
+        Some(&RangeVal::exactly(4))
+    );
+}
+
+/// End to end: a program whose reductions need *different* facets at
+/// different points — size for the unrolling, sign for a guard, parity
+/// for an equality — specialized in one product.
+#[test]
+fn heterogeneous_product_drives_mixed_reductions() {
+    let src = "(define (main a k)
+           (if (< (* k k) 0)
+               -1.0
+               (if (= (+ k k) 3) -2.0 (total a (vsize a)))))
+         (define (total a n)
+           (if (= n 0) 0.0 (+ (vref a n) (total a (- n 1)))))";
+    let program = parse_program(src).unwrap();
+    let set = FacetSet::with_facets(vec![
+        Box::new(SizeFacet),
+        Box::new(SignFacet),
+        Box::new(ParityFacet),
+    ]);
+    let residual = OnlinePe::new(&program, &set)
+        .specialize_main(&[
+            PeInput::dynamic().with_facet("size", size_of(2)),
+            // k is odd: odd + odd = even, so (= (+ k k) 3) is false.
+            PeInput::dynamic().with_facet("parity", AbsVal::new(ParityVal::Odd)),
+        ])
+        .unwrap();
+    let printed = pretty_program(&residual.program);
+    // vsize reduced (size facet) and the recursion unrolled.
+    assert!(printed.contains("(vref a 2)"), "{printed}");
+    assert!(!printed.contains("total"), "{printed}");
+    // (+ k k) is even (parity facet), never 3: the second guard died.
+    assert!(!printed.contains("-2.0"), "{printed}");
+}
+
+/// The same program with the sign of `k` known: the first guard dies too.
+#[test]
+fn adding_facet_information_only_shrinks_residuals() {
+    let src = "(define (main a k)
+           (if (< (* k k) 0)
+               -1.0
+               (if (= (+ k k) 3) -2.0 (total a (vsize a)))))
+         (define (total a n)
+           (if (= n 0) 0.0 (+ (vref a n) (total a (- n 1)))))";
+    let program = parse_program(src).unwrap();
+    let set = FacetSet::with_facets(vec![
+        Box::new(SizeFacet),
+        Box::new(SignFacet),
+        Box::new(ParityFacet),
+    ]);
+    let weak = OnlinePe::new(&program, &set)
+        .specialize_main(&[
+            PeInput::dynamic().with_facet("size", size_of(2)),
+            PeInput::dynamic().with_facet("parity", AbsVal::new(ParityVal::Odd)),
+        ])
+        .unwrap();
+    let strong = OnlinePe::new(&program, &set)
+        .specialize_main(&[
+            PeInput::dynamic().with_facet("size", size_of(2)),
+            PeInput::dynamic()
+                .with_facet("parity", AbsVal::new(ParityVal::Odd))
+                .with_facet("sign", AbsVal::new(SignVal::Pos)),
+        ])
+        .unwrap();
+    // pos·pos = pos: (< pos 0) is false — the first guard is gone too.
+    let strong_printed = pretty_program(&strong.program);
+    assert!(!strong_printed.contains("-1.0"), "{strong_printed}");
+    assert!(
+        strong.program.size() <= weak.program.size(),
+        "more information must not grow the residual: {} vs {}",
+        strong.program.size(),
+        weak.program.size()
+    );
+}
+
+/// ConstSet and Range both decide a comparison — and agree (Lemma 3).
+#[test]
+fn const_set_and_range_agree() {
+    let set = FacetSet::with_facets(vec![
+        Box::new(ConstSetFacet::default()),
+        Box::new(RangeFacet),
+    ]);
+    let x = ProductVal::dynamic(&set)
+        .with_facet(0, AbsVal::new(ConstSetVal::of([Const::Int(2), Const::Int(4)])))
+        .with_facet(1, AbsVal::new(RangeVal::between(2, 4)));
+    let ten = ProductVal::from_const(Const::Int(10), &set);
+    assert_eq!(
+        set.prim_product(Prim::Lt, &[x, ten]),
+        PrimOutcome::Const(Const::Bool(true))
+    );
+}
+
+/// Facet information survives closed operators through the whole product:
+/// `updvec` keeps size and contents-length in lockstep.
+#[test]
+fn closed_operators_update_components_consistently() {
+    let set = FacetSet::with_facets(vec![Box::new(SizeFacet), Box::new(ContentsFacet)]);
+    let vec2 = ProductVal::from_value(
+        &Value::vector(vec![Value::Int(7), Value::Int(8)]),
+        &set,
+    );
+    let idx = ProductVal::from_const(Const::Int(1), &set);
+    let val = ProductVal::dynamic(&set);
+    match set.prim_product(Prim::UpdVec, &[vec2, idx, val]) {
+        PrimOutcome::Closed(out) => {
+            assert_eq!(
+                out.facet(0).downcast_ref::<SizeVal>(),
+                Some(&SizeVal::Known(2))
+            );
+            match out.facet(1).downcast_ref::<ContentsVal>() {
+                Some(ContentsVal::Exact(elems)) => {
+                    assert_eq!(elems.len(), 2);
+                    // Slot 1 became unknown; slot 2 kept its constant.
+                    assert_eq!(format!("{}", out.facet(1)), "#(? 8)");
+                }
+                other => panic!("expected Exact contents, got {other:?}"),
+            }
+        }
+        other => panic!("expected Closed, got {other:?}"),
+    }
+}
+
+/// A five-facet product still reduces exactly like its best member and
+/// produces valid residuals.
+#[test]
+fn five_facet_product_end_to_end() {
+    let src = "(define (iprod a b) (let ((n (vsize a))) (dotprod a b n)))
+         (define (dotprod a b n)
+           (if (= n 0) 0.0
+               (+ (* (vref a n) (vref b n)) (dotprod a b (- n 1)))))";
+    let program = parse_program(src).unwrap();
+    let wide = FacetSet::with_facets(vec![
+        Box::new(SizeFacet),
+        Box::new(SignFacet),
+        Box::new(ParityFacet),
+        Box::new(RangeFacet),
+        Box::new(ConstSetFacet::default()),
+    ]);
+    let narrow = FacetSet::with_facets(vec![Box::new(SizeFacet)]);
+    let inputs = [
+        PeInput::dynamic().with_facet("size", size_of(3)),
+        PeInput::dynamic().with_facet("size", size_of(3)),
+    ];
+    let wide_res = OnlinePe::new(&program, &wide).specialize_main(&inputs).unwrap();
+    let narrow_res = OnlinePe::new(&program, &narrow)
+        .specialize_main(&inputs)
+        .unwrap();
+    assert_eq!(
+        pretty_program(&wide_res.program),
+        pretty_program(&narrow_res.program),
+        "irrelevant facets must not change the residual"
+    );
+}
+
+/// The PE component always wins ties with user facets: a constant input
+/// stays a constant even when facet components look coarse.
+#[test]
+fn pe_component_dominates() {
+    let set = FacetSet::with_facets(vec![Box::new(SignFacet)]);
+    let five = ProductVal::from_const(Const::Int(5), &set);
+    // Replace the sign component with ⊤ — the PE constant still reduces.
+    let coarse = five.with_facet(0, SignFacet.top());
+    assert_eq!(
+        set.prim_product(Prim::Add, &[coarse.clone(), coarse]),
+        PrimOutcome::Const(Const::Int(10))
+    );
+}
+
+use ppe::core::Facet as _; // for SignFacet.top()

@@ -1,0 +1,301 @@
+//! Property tests for the facet framework: the paper's safety conditions
+//! (Definition 2, Properties 1–8) and the product laws (Definitions 5–6,
+//! Lemma 3) over randomly drawn concrete values.
+
+use ppe::core::facets::{ParityFacet, RangeFacet, RangeVal, SignFacet, SizeFacet};
+use ppe::core::{
+    bt_op, pe_op, AbsVal, BtVal, Facet, FacetSet, Lattice, PeVal, PrimOutcome, ProductVal,
+};
+use ppe::lang::{Const, Prim, Value, ALL_PRIMS};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        (-1000i64..1000).prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        (-100.0f64..100.0).prop_map(Value::Float),
+        (0usize..5).prop_map(|n| Value::vector(vec![Value::Float(1.0); n])),
+    ]
+}
+
+fn arb_pe_val() -> impl Strategy<Value = PeVal> {
+    prop_oneof![
+        Just(PeVal::Bottom),
+        Just(PeVal::Top),
+        (-50i64..50).prop_map(|n| PeVal::Const(Const::Int(n))),
+        any::<bool>().prop_map(|b| PeVal::Const(Const::Bool(b))),
+    ]
+}
+
+fn facets() -> Vec<Box<dyn Facet>> {
+    vec![
+        Box::new(SignFacet),
+        Box::new(ParityFacet),
+        Box::new(RangeFacet),
+        Box::new(SizeFacet),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Definition 2 condition 5 for every shipped facet, on random values:
+    /// closed `α(p(d⃗)) ⊑ p̂(α(d⃗))`, open `τ̂(p(d⃗)) ⊑ p̂(α(d⃗))`.
+    #[test]
+    fn all_shipped_facets_approximate_soundly(a in arb_value(), b in arb_value()) {
+        for facet in facets() {
+            ppe::core::safety::check_facet_safety(
+                facet.as_ref(),
+                &[a.clone(), b.clone()],
+                &ALL_PRIMS,
+            ).unwrap();
+        }
+    }
+
+    /// `v ∈ γ(α(v))` for every facet and random value.
+    #[test]
+    fn alpha_gamma_adjunction(v in arb_value()) {
+        for facet in facets() {
+            prop_assert!(facet.concretizes(&facet.alpha(&v), &v), "{:?} {v:?}", facet.name());
+        }
+    }
+
+    /// The PE facet's operator (Definition 7) is monotone.
+    #[test]
+    fn pe_op_is_monotone(a in arb_pe_val(), b in arb_pe_val(), c in arb_pe_val()) {
+        for p in [Prim::Add, Prim::Mul, Prim::Lt, Prim::Eq, Prim::Div] {
+            if a.leq(&b) {
+                let r1 = pe_op(p, &[a, c]);
+                let r2 = pe_op(p, &[b, c]);
+                prop_assert!(r1.leq(&r2), "{p}: {a:?}⊑{b:?} but {r1:?}⋢{r2:?}");
+            }
+        }
+    }
+
+    /// Property 8: the binding-time facet abstracts the PE facet —
+    /// `τ̄(p̂(v⃗)) ⊑ p̄(τ̄(v⃗))`.
+    #[test]
+    fn bt_facet_abstracts_pe_facet(a in arb_pe_val(), b in arb_pe_val()) {
+        for p in [Prim::Add, Prim::Sub, Prim::Mul, Prim::Lt, Prim::Eq, Prim::Div] {
+            let online = pe_op(p, &[a, b]);
+            let offline = bt_op(p, &[BtVal::from_pe(&a), BtVal::from_pe(&b)]);
+            prop_assert!(
+                BtVal::from_pe(&online).leq(&offline),
+                "{p}({a:?},{b:?}): {online:?} vs {offline:?}"
+            );
+        }
+    }
+
+    /// Theorem 1 at the product level: a constant produced by the product
+    /// operator equals the concrete result, for consistent products built
+    /// by abstraction from actual values.
+    #[test]
+    fn products_built_from_values_reduce_correctly(a in -50i64..50, b in -50i64..50) {
+        let set = FacetSet::with_facets(facets());
+        let va = ProductVal::from_value(&Value::Int(a), &set);
+        let vb = ProductVal::from_value(&Value::Int(b), &set);
+        for p in [Prim::Add, Prim::Mul, Prim::Lt, Prim::Eq, Prim::Le] {
+            match set.prim_product(p, &[va.clone(), vb.clone()]) {
+                PrimOutcome::Const(c) => {
+                    let concrete = p.eval(&[Value::Int(a), Value::Int(b)]).unwrap();
+                    prop_assert_eq!(Some(c), concrete.to_const(), "{}", p);
+                }
+                other => prop_assert!(false, "constants must reduce: {p} gave {other:?}"),
+            }
+        }
+    }
+
+    /// Lemma 3 at work: when values are dynamic but *both* the Sign and
+    /// Range facets can decide a comparison, they agree (the product
+    /// operator asserts this in debug builds; here it is observed).
+    #[test]
+    fn facets_that_decide_agree(a in 1i64..50, b in -50i64..0) {
+        // a is pos and in [1, 50); b is neg and in [-50, 0): both facets
+        // decide (< b a) = true.
+        let set = FacetSet::with_facets(vec![Box::new(SignFacet), Box::new(RangeFacet)]);
+        let pa = ProductVal::dynamic(&set)
+            .with_facet(0, SignFacet.alpha(&Value::Int(a)))
+            .with_facet(1, AbsVal::new(RangeVal::between(1, 49)));
+        let pb = ProductVal::dynamic(&set)
+            .with_facet(0, SignFacet.alpha(&Value::Int(b)))
+            .with_facet(1, AbsVal::new(RangeVal::between(-50, -1)));
+        let out = set.prim_product(Prim::Lt, &[pb, pa]);
+        prop_assert_eq!(out, PrimOutcome::Const(Const::Bool(true)));
+    }
+
+    /// Product join is an upper bound and products of constants are
+    /// consistent (Definition 6).
+    #[test]
+    fn product_lattice_and_consistency(a in -20i64..20, b in -20i64..20) {
+        let set = FacetSet::with_facets(facets());
+        let va = ProductVal::from_const(Const::Int(a), &set);
+        let vb = ProductVal::from_const(Const::Int(b), &set);
+        let j = va.join(&vb, &set);
+        prop_assert!(va.leq(&j, &set));
+        prop_assert!(vb.leq(&j, &set));
+        let candidates = ppe::core::consistency::default_candidates();
+        ppe::core::consistency::check_consistent(&va, &set, &candidates).unwrap();
+        // The join of two consistent products stays consistent here
+        // (witnessed by either constant).
+        let extra = [Value::Int(a), Value::Int(b)];
+        let witness =
+            ppe::core::consistency::find_witness(&j, &set, candidates.iter().chain(extra.iter()));
+        prop_assert!(witness.is_some());
+    }
+
+    /// Widening jumps are sound: `a ⊑ widen(a, b)` and `b ⊑ widen(a, b)`
+    /// for the Range facet.
+    #[test]
+    fn range_widening_is_an_upper_bound(
+        lo1 in -50i64..50, len1 in 0i64..20,
+        lo2 in -50i64..50, len2 in 0i64..20,
+    ) {
+        let f = RangeFacet;
+        let a = AbsVal::new(RangeVal::between(lo1, lo1 + len1));
+        let b = AbsVal::new(RangeVal::between(lo2, lo2 + len2));
+        let w = f.widen(&a, &b);
+        prop_assert!(f.leq(&a, &w), "{a:?} ⋢ widen = {w:?}");
+        prop_assert!(f.leq(&b, &w), "{b:?} ⋢ widen = {w:?}");
+    }
+}
+
+/// Exhaustive (non-random) checks: every shipped facet passes the whole
+/// Definition 2 battery over its enumerated domain.
+#[test]
+fn exhaustive_safety_battery() {
+    let candidates = ppe::core::consistency::default_candidates();
+    for facet in facets() {
+        ppe::core::safety::validate_facet(facet.as_ref(), &candidates)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+/// The PE facet and binding-time facet lattices obey the lattice laws.
+#[test]
+fn value_domain_lattice_laws() {
+    ppe::core::check_lattice_laws(&[
+        PeVal::Bottom,
+        PeVal::Const(Const::Int(0)),
+        PeVal::Const(Const::Int(1)),
+        PeVal::Const(Const::Bool(true)),
+        PeVal::Top,
+    ])
+    .unwrap();
+    ppe::core::check_lattice_laws(&[BtVal::Bottom, BtVal::Static, BtVal::Dynamic]).unwrap();
+}
+
+/// Strategy: a random sign-facet product value (over [Sign]).
+fn arb_sign_product(set: &FacetSet) -> Vec<ProductVal> {
+    let mut out = vec![
+        ProductVal::bottom(set),
+        ProductVal::dynamic(set),
+        ProductVal::from_const(Const::Int(2), set),
+        ProductVal::from_const(Const::Int(-3), set),
+        ProductVal::from_const(Const::Int(0), set),
+    ];
+    use ppe::core::facets::SignVal;
+    for s in [SignVal::Pos, SignVal::Zero, SignVal::Neg, SignVal::Top] {
+        out.push(ProductVal::dynamic(set).with_facet(0, AbsVal::new(s)));
+    }
+    out
+}
+
+/// Property 4: the product operators of `[D̂; Ω̂]` are monotone — checked
+/// exhaustively over a representative element set for unary/binary prims.
+#[test]
+fn product_operators_are_monotone() {
+    let set = FacetSet::with_facets(vec![Box::new(SignFacet)]);
+    let elems = arb_sign_product(&set);
+    // Order PrimOutcome by the information it stands for.
+    let outcome_leq = |a: &PrimOutcome, b: &PrimOutcome, set: &FacetSet| -> bool {
+        use PrimOutcome::*;
+        match (a, b) {
+            (Bottom, _) => true,
+            (Const(x), Const(y)) => x == y,
+            (Const(_), Unknown) | (Const(_), Closed(_)) => true,
+            (Closed(x), Closed(y)) => x.leq(y, set),
+            (Closed(x), Unknown) => {
+                // Unknown stands for the all-top product.
+                x.leq(&ProductVal::dynamic(set), set)
+            }
+            (Unknown, Unknown) => true,
+            (Unknown, Closed(y)) => ProductVal::dynamic(set).leq(y, set),
+            _ => false,
+        }
+    };
+    for p in [Prim::Add, Prim::Mul, Prim::Neg, Prim::Lt, Prim::Eq] {
+        for a in &elems {
+            for b in &elems {
+                if !a.leq(b, &set) {
+                    continue;
+                }
+                for c in &elems {
+                    let args_lo: Vec<ProductVal> = if p.arity() == 1 {
+                        vec![a.clone()]
+                    } else {
+                        vec![a.clone(), c.clone()]
+                    };
+                    let args_hi: Vec<ProductVal> = if p.arity() == 1 {
+                        vec![b.clone()]
+                    } else {
+                        vec![b.clone(), c.clone()]
+                    };
+                    let lo = set.prim_product(p, &args_lo);
+                    let hi = set.prim_product(p, &args_hi);
+                    assert!(
+                        outcome_leq(&lo, &hi, &set),
+                        "{p}: {} ⊑ {} but {lo:?} ⋢ {hi:?}",
+                        a.display(),
+                        b.display()
+                    );
+                    if p.arity() == 1 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Property 7: the product operators of `[D̄; Ω̄]` are monotone.
+#[test]
+fn abstract_product_operators_are_monotone() {
+    use ppe::core::facets::SignVal;
+    use ppe::core::AbstractProductVal;
+    let set = FacetSet::with_facets(vec![Box::new(SignFacet)]);
+    let aset = set.abstract_set();
+    let mut elems = vec![
+        AbstractProductVal::bottom(&aset),
+        AbstractProductVal::dynamic(&aset),
+        AbstractProductVal::static_top(&aset),
+        AbstractProductVal::from_const(Const::Int(4), &aset),
+        AbstractProductVal::from_const(Const::Int(-4), &aset),
+    ];
+    for s in [SignVal::Pos, SignVal::Zero, SignVal::Neg] {
+        elems.push(AbstractProductVal::dynamic(&aset).with_facet(0, AbsVal::new(s)));
+        elems.push(AbstractProductVal::static_top(&aset).with_facet(0, AbsVal::new(s)));
+    }
+    for p in [Prim::Add, Prim::Mul, Prim::Lt, Prim::Eq] {
+        for a in &elems {
+            for b in &elems {
+                if !a.leq(b, &aset) {
+                    continue;
+                }
+                for c in &elems {
+                    let lo = aset.abstract_prim(p, &[a.clone(), c.clone()]).value;
+                    let hi = aset.abstract_prim(p, &[b.clone(), c.clone()]).value;
+                    assert!(
+                        lo.leq(&hi, &aset),
+                        "{p}: {} ⊑ {} (other {}) but {} ⋢ {}",
+                        a.display(),
+                        b.display(),
+                        c.display(),
+                        lo.display(),
+                        hi.display()
+                    );
+                }
+            }
+        }
+    }
+}

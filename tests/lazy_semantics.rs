@@ -1,0 +1,96 @@
+//! Call-by-need substrate tests (the paper's Section 7 future direction):
+//! agreement with the strict semantics where both converge, the deliberate
+//! differences where they don't, and residual correctness under the lazy
+//! semantics.
+
+mod common;
+
+use common::{int_expr, program_of, small_const, CORPUS};
+use ppe::core::FacetSet;
+use ppe::lang::{parse_program, EvalError, Evaluator, LazyEvaluator, Value};
+use ppe::online::{OnlinePe, PeInput};
+use proptest::prelude::*;
+
+fn run_strict(p: &ppe::lang::Program, args: &[Value]) -> Result<Value, EvalError> {
+    Evaluator::with_fuel(p, 200_000).run_main(args)
+}
+
+fn run_lazy(p: &ppe::lang::Program, args: &[Value]) -> Result<Value, EvalError> {
+    LazyEvaluator::with_fuel(p, 200_000).run_main(args)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// When the strict evaluator converges, call-by-need computes the same
+    /// value (lazy is "less strict": it can only turn ⊥ into an answer,
+    /// never an answer into a different answer).
+    #[test]
+    fn lazy_agrees_with_strict_where_strict_converges(
+        body in int_expr(), y in small_const(), x in -6i64..=6
+    ) {
+        let program = program_of(&body);
+        let args = [Value::Int(x), Value::from_const(y)];
+        if let Ok(expected) = run_strict(&program, &args) {
+            prop_assert_eq!(run_lazy(&program, &args).unwrap(), expected);
+        }
+    }
+
+    /// Residuals of the strict online specializer are also correct under
+    /// the lazy semantics (the specializer's let-insertion never *adds*
+    /// strictness the source didn't have at these convergent points).
+    #[test]
+    fn residuals_are_lazy_correct(
+        body in int_expr(), y in small_const(), x in -6i64..=6
+    ) {
+        let program = program_of(&body);
+        let facets = FacetSet::new();
+        let residual = OnlinePe::new(&program, &facets)
+            .specialize_main(&[PeInput::dynamic(), PeInput::known(Value::from_const(y))])
+            .expect("specialization succeeds");
+        let args = [Value::Int(x), Value::from_const(y)];
+        if let Ok(expected) = run_lazy(&program, &args) {
+            let res_args: Vec<Value> = residual
+                .program
+                .main()
+                .params
+                .iter()
+                .map(|_| Value::Int(x))
+                .collect();
+            prop_assert_eq!(run_lazy(&residual.program, &res_args).unwrap(), expected);
+        }
+    }
+}
+
+#[test]
+fn corpus_agrees_under_both_semantics() {
+    for (name, src, arity) in CORPUS {
+        if *name == "iprod" {
+            continue;
+        }
+        let program = parse_program(src).unwrap();
+        for x in [0i64, 3] {
+            let args = vec![Value::Int(x); *arity];
+            let strict = run_strict(&program, &args);
+            let lazy = run_lazy(&program, &args);
+            match (&strict, &lazy) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{name} at {x}"),
+                // Lazy may converge where strict does not, never the
+                // reverse for these corpus programs.
+                (Err(_), _) => {}
+                (Ok(_), Err(e)) => panic!("{name} at {x}: lazy failed with {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn laziness_is_observable() {
+    // The documented motivating difference: an unused diverging argument.
+    let src = "(define (main x) (const-fn x (boom x)))
+               (define (const-fn a b) a)
+               (define (boom n) (boom n))";
+    let p = parse_program(src).unwrap();
+    assert!(run_strict(&p, &[Value::Int(1)]).is_err());
+    assert_eq!(run_lazy(&p, &[Value::Int(1)]).unwrap(), Value::Int(1));
+}

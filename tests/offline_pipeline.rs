@@ -1,0 +1,175 @@
+//! End-to-end properties of the offline pipeline (Section 5): residual
+//! correctness on random programs, analysis reuse across compatible
+//! inputs, and the soundness of annotations for every compatible input.
+
+mod common;
+
+use common::{int_expr, program_of, small_const, CORPUS};
+use ppe::core::FacetSet;
+use ppe::lang::{parse_program, pretty_program, EvalError, Evaluator, Value};
+use ppe::offline::{analyze, AbstractInput, OfflinePe};
+use ppe::online::PeInput;
+use proptest::prelude::*;
+
+fn run(program: &ppe::lang::Program, args: &[Value]) -> Result<Value, EvalError> {
+    Evaluator::with_fuel(program, 200_000).run_main(args)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Offline residual correctness on random programs: analyze once at
+    /// `(dynamic, static)`, specialize at `(dynamic, known y)`, and the
+    /// residual computes what the source computes.
+    #[test]
+    fn offline_pipeline_preserves_semantics(
+        body in int_expr(), y in small_const(), x in -6i64..=6
+    ) {
+        let program = program_of(&body);
+        let facets = FacetSet::new();
+        let analysis = analyze(
+            &program,
+            &facets,
+            &[AbstractInput::dynamic(), AbstractInput::static_()],
+        ).expect("analysis succeeds");
+        let pe = OfflinePe::new(&program, &facets, &analysis);
+        let residual = match pe.specialize(&[
+            PeInput::dynamic(),
+            PeInput::known(Value::from_const(y)),
+        ]) {
+            Ok(r) => r,
+            // Divergent static unfolding is a legal offline outcome.
+            Err(ppe::offline::OfflineError::OutOfFuel) => return Ok(()),
+            Err(e) => panic!("offline specialization failed: {e}"),
+        };
+        let source = run(&program, &[Value::Int(x), Value::from_const(y)]);
+        let args: Vec<Value> = residual
+            .program
+            .main()
+            .params
+            .iter()
+            .map(|_| Value::Int(x))
+            .collect();
+        let spec = run(&residual.program, &args);
+        match (source, spec) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "source {a:?}, residual {b:?}"),
+        }
+    }
+
+    /// One analysis serves every compatible static value — no
+    /// annotation-mismatch errors, ever (Property 6 at the pipeline
+    /// level).
+    #[test]
+    fn annotations_hold_for_every_compatible_input(
+        body in int_expr(), ys in proptest::collection::vec(small_const(), 1..4)
+    ) {
+        let program = program_of(&body);
+        let facets = FacetSet::new();
+        let analysis = analyze(
+            &program,
+            &facets,
+            &[AbstractInput::dynamic(), AbstractInput::static_()],
+        ).expect("analysis succeeds");
+        let pe = OfflinePe::new(&program, &facets, &analysis);
+        for y in ys {
+            match pe.specialize(&[PeInput::dynamic(), PeInput::known(Value::from_const(y))]) {
+                Ok(_) | Err(ppe::offline::OfflineError::OutOfFuel) => {}
+                Err(e @ ppe::offline::OfflineError::AnnotationMismatch(_)) => {
+                    prop_assert!(false, "unsound annotation: {e}");
+                }
+                Err(e) => panic!("unexpected failure: {e}"),
+            }
+        }
+    }
+}
+
+/// Analysis is computed once and reused for a sweep of sizes and values
+/// over the corpus, matching the online evaluator's outputs semantically.
+#[test]
+fn corpus_offline_matches_online_behaviour() {
+    use ppe::online::OnlinePe;
+    for (name, src, arity) in CORPUS {
+        if *name == "iprod" {
+            continue;
+        }
+        let program = parse_program(src).unwrap();
+        let facets = FacetSet::new();
+        let mut abstract_inputs = vec![AbstractInput::dynamic(); *arity];
+        abstract_inputs[*arity - 1] = AbstractInput::static_();
+        let analysis = analyze(&program, &facets, &abstract_inputs).unwrap();
+        for n in [0i64, 1, 4] {
+            let mut inputs = vec![PeInput::dynamic(); *arity];
+            inputs[*arity - 1] = PeInput::known(Value::Int(n));
+            let offline = OfflinePe::new(&program, &facets, &analysis)
+                .specialize(&inputs)
+                .unwrap_or_else(|e| panic!("{name}@{n}: {e}"));
+            let online = OnlinePe::new(&program, &facets)
+                .specialize_main(&inputs)
+                .unwrap();
+            for x in [-2i64, 0, 3] {
+                let off_args: Vec<Value> = offline
+                    .program
+                    .main()
+                    .params
+                    .iter()
+                    .map(|_| Value::Int(x))
+                    .collect();
+                let on_args: Vec<Value> = online
+                    .program
+                    .main()
+                    .params
+                    .iter()
+                    .map(|_| Value::Int(x))
+                    .collect();
+                let a = run(&offline.program, &off_args);
+                let b = run(&online.program, &on_args);
+                assert_eq!(a, b, "{name} n={n} x={x}");
+            }
+        }
+    }
+}
+
+/// The offline specializer's stats reflect the precomputed decisions: on
+/// the fully static side everything reduces; on the fully dynamic side
+/// nothing does.
+#[test]
+fn stats_reflect_the_binding_time_division() {
+    let src = "(define (poly x n) (if (= n 0) 1 (* x (poly x (- n 1)))))";
+    let program = parse_program(src).unwrap();
+    let facets = FacetSet::new();
+
+    let analysis = analyze(
+        &program,
+        &facets,
+        &[AbstractInput::static_(), AbstractInput::static_()],
+    )
+    .unwrap();
+    let all_static = OfflinePe::new(&program, &facets, &analysis)
+        .specialize(&[
+            PeInput::known(Value::Int(2)),
+            PeInput::known(Value::Int(5)),
+        ])
+        .unwrap();
+    assert_eq!(all_static.stats.residual_prims, 0);
+    assert_eq!(all_static.stats.dynamic_branches, 0);
+    assert_eq!(
+        all_static.program.main().body,
+        ppe::lang::Expr::int(32)
+    );
+
+    let analysis = analyze(
+        &program,
+        &facets,
+        &[AbstractInput::dynamic(), AbstractInput::dynamic()],
+    )
+    .unwrap();
+    let all_dynamic = OfflinePe::new(&program, &facets, &analysis)
+        .specialize(&[PeInput::dynamic(), PeInput::dynamic()])
+        .unwrap();
+    assert_eq!(all_dynamic.stats.reductions, 0);
+    assert_eq!(all_dynamic.stats.static_branches, 0);
+    // The source is recreated modulo renaming.
+    assert!(pretty_program(&all_dynamic.program).contains("(= n 0)"));
+}

@@ -1,0 +1,165 @@
+//! Agreement between the three evaluators (standard, online, offline) and
+//! between the two partial-evaluation strategies — the program-level
+//! reading of Property 6 and of Definition 7 ("partial evaluation
+//! subsumes standard evaluation").
+
+mod common;
+
+use common::CORPUS;
+use ppe::core::FacetSet;
+use ppe::lang::{parse_program, pretty_program, Evaluator, Value};
+use ppe::offline::{analyze, AbstractInput, OfflinePe};
+use ppe::online::{OnlinePe, PeInput, SimpleInput, SimplePe};
+
+/// Simple PE (Figure 2) and parameterized PE restricted to the PE facet
+/// (Definition 7) produce identical residual programs on the corpus, for
+/// every static/dynamic division of the inputs.
+#[test]
+fn simple_pe_equals_pe_facet_only_parameterized_pe() {
+    for (name, src, arity) in CORPUS {
+        if *name == "iprod" {
+            continue; // vector constants are not SimpleInput-expressible
+        }
+        let program = parse_program(src).unwrap();
+        let facets = FacetSet::new();
+        // All 2^arity static/dynamic divisions.
+        for mask in 0..(1u32 << arity) {
+            let online_inputs: Vec<PeInput> = (0..*arity)
+                .map(|i| {
+                    if mask & (1 << i) != 0 {
+                        PeInput::known(Value::Int(3))
+                    } else {
+                        PeInput::dynamic()
+                    }
+                })
+                .collect();
+            let simple_inputs: Vec<SimpleInput> = (0..*arity)
+                .map(|i| {
+                    if mask & (1 << i) != 0 {
+                        SimpleInput::Known(ppe::lang::Const::Int(3))
+                    } else {
+                        SimpleInput::Dynamic
+                    }
+                })
+                .collect();
+            let online = OnlinePe::new(&program, &facets)
+                .specialize_main(&online_inputs)
+                .unwrap_or_else(|e| panic!("{name}/{mask:b} online: {e}"));
+            let simple = SimplePe::new(&program)
+                .specialize_main(&simple_inputs)
+                .unwrap_or_else(|e| panic!("{name}/{mask:b} simple: {e}"));
+            assert_eq!(
+                pretty_program(&online.program),
+                pretty_program(&simple.program),
+                "{name} with division {mask:b}"
+            );
+        }
+    }
+}
+
+/// Offline specialization (facet analysis + annotation-driven walk) and
+/// online specialization agree *semantically* on the corpus: their
+/// residuals compute the same function.
+#[test]
+fn offline_and_online_residuals_are_semantically_equal() {
+    for (name, src, arity) in CORPUS {
+        if *name == "iprod" {
+            continue; // covered (syntactically, even) in paper_example.rs
+        }
+        let program = parse_program(src).unwrap();
+        let facets = FacetSet::new();
+        // Static last argument, dynamic rest.
+        let mut online_inputs = vec![PeInput::dynamic(); *arity];
+        online_inputs[*arity - 1] = PeInput::known(Value::Int(4));
+        let mut abstract_inputs = vec![AbstractInput::dynamic(); *arity];
+        abstract_inputs[*arity - 1] = AbstractInput::static_();
+
+        let online = OnlinePe::new(&program, &facets)
+            .specialize_main(&online_inputs)
+            .unwrap_or_else(|e| panic!("{name} online: {e}"));
+        let analysis = analyze(&program, &facets, &abstract_inputs)
+            .unwrap_or_else(|e| panic!("{name} analysis: {e}"));
+        let offline = OfflinePe::new(&program, &facets, &analysis)
+            .specialize(&online_inputs)
+            .unwrap_or_else(|e| panic!("{name} offline: {e}"));
+
+        for x in [-2i64, 0, 3, 6] {
+            let dyn_args = vec![Value::Int(x); *arity - 1];
+            let on = Evaluator::new(&online.program).run_main(&dyn_args);
+            let off = Evaluator::new(&offline.program).run_main(&dyn_args);
+            assert_eq!(on, off, "{name} at x={x}");
+        }
+    }
+}
+
+/// Definition 7's reading: with all inputs known, partial evaluation *is*
+/// standard evaluation — online, simple, and offline all produce the
+/// constant the evaluator computes.
+#[test]
+fn all_static_pe_subsumes_standard_evaluation() {
+    for (name, src, arity) in CORPUS {
+        if *name == "iprod" {
+            continue;
+        }
+        let program = parse_program(src).unwrap();
+        let concrete: Vec<Value> = (0..*arity).map(|i| Value::Int(3 + i as i64)).collect();
+        let expected = Evaluator::new(&program).run_main(&concrete).unwrap();
+
+        let facets = FacetSet::new();
+        let online_inputs: Vec<PeInput> =
+            concrete.iter().cloned().map(PeInput::known).collect();
+        let online = OnlinePe::new(&program, &facets)
+            .specialize_main(&online_inputs)
+            .unwrap();
+        assert_eq!(
+            online.program.main().body.as_const(),
+            expected.to_const(),
+            "{name} online"
+        );
+
+        let abstract_inputs = vec![AbstractInput::static_(); *arity];
+        let analysis = analyze(&program, &facets, &abstract_inputs).unwrap();
+        let offline = OfflinePe::new(&program, &facets, &analysis)
+            .specialize(&online_inputs)
+            .unwrap();
+        assert_eq!(
+            offline.program.main().body.as_const(),
+            expected.to_const(),
+            "{name} offline"
+        );
+    }
+}
+
+/// The binding-time division computed by the analysis is *sound* for the
+/// online evaluator: every expression the analysis calls Static is
+/// reduced by the online evaluator on compatible inputs. Observed
+/// indirectly: the online residual never contains more dynamic branches
+/// than the offline one predicted.
+#[test]
+fn analysis_static_claims_hold_online() {
+    for (name, src, arity) in CORPUS {
+        if *name == "iprod" {
+            continue;
+        }
+        let program = parse_program(src).unwrap();
+        let facets = FacetSet::new();
+        let mut online_inputs = vec![PeInput::dynamic(); *arity];
+        online_inputs[*arity - 1] = PeInput::known(Value::Int(4));
+        let mut abstract_inputs = vec![AbstractInput::dynamic(); *arity];
+        abstract_inputs[*arity - 1] = AbstractInput::static_();
+
+        let online = OnlinePe::new(&program, &facets)
+            .specialize_main(&online_inputs)
+            .unwrap();
+        let analysis = analyze(&program, &facets, &abstract_inputs).unwrap();
+        let offline = OfflinePe::new(&program, &facets, &analysis)
+            .specialize(&online_inputs)
+            .unwrap();
+        assert!(
+            online.stats.static_branches >= offline.stats.static_branches,
+            "{name}: online decided {} branches, offline {}",
+            online.stats.static_branches,
+            offline.stats.static_branches,
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! The paper's Section 6 as executable assertions: Figure 7 in, Figure 8
+//! out (online and offline), Figure 9's analysis facts.
+
+use ppe::core::facets::{AbstractSizeVal, SizeFacet};
+use ppe::core::{size_of, AbsVal, FacetSet};
+use ppe::lang::{parse_program, pretty_program, Evaluator, Value};
+use ppe::offline::{analyze, AbstractInput, OfflinePe, PrimAction};
+use ppe::online::{OnlinePe, PeInput};
+
+const FIGURE_7: &str = "(define (iprod a b) (let ((n (vsize a))) (dotprod a b n)))
+     (define (dotprod a b n)
+       (if (= n 0) 0.0
+           (+ (* (vref a n) (vref b n)) (dotprod a b (- n 1)))))";
+
+fn facets() -> FacetSet {
+    FacetSet::with_facets(vec![Box::new(SizeFacet)])
+}
+
+fn sized_inputs(n: i64) -> [PeInput; 2] {
+    [
+        PeInput::dynamic().with_facet("size", size_of(n)),
+        PeInput::dynamic().with_facet("size", size_of(n)),
+    ]
+}
+
+/// Figure 8, textually: the online residual for size 3 is the fully
+/// unrolled sum of products at indices 3, 2, 1.
+#[test]
+fn figure_8_exact_residual() {
+    let program = parse_program(FIGURE_7).unwrap();
+    let f = facets();
+    let residual = OnlinePe::new(&program, &f)
+        .specialize_main(&sized_inputs(3))
+        .unwrap();
+    let printed = pretty_program(&residual.program);
+    let expected = "(define (iprod a b)\n  (+\n    (* (vref a 3) (vref b 3))\n    (+ (* (vref a 2) (vref b 2)) (+ (* (vref a 1) (vref b 1)) 0.0))))\n";
+    assert_eq!(printed, expected);
+}
+
+/// Online and offline produce the same Figure 8 residual, for several
+/// sizes, and one facet analysis serves all of them.
+#[test]
+fn online_offline_agree_across_sizes() {
+    let program = parse_program(FIGURE_7).unwrap();
+    let f = facets();
+    let s = AbsVal::new(AbstractSizeVal::StaticSize);
+    let analysis = analyze(
+        &program,
+        &f,
+        &[
+            AbstractInput::dynamic().with_facet("size", s.clone()),
+            AbstractInput::dynamic().with_facet("size", s),
+        ],
+    )
+    .unwrap();
+    for n in 1..=6 {
+        let inputs = sized_inputs(n);
+        let online = OnlinePe::new(&program, &f).specialize_main(&inputs).unwrap();
+        let offline = OfflinePe::new(&program, &f, &analysis)
+            .specialize(&inputs)
+            .unwrap();
+        assert_eq!(
+            pretty_program(&online.program),
+            pretty_program(&offline.program),
+            "size {n}"
+        );
+        // Fully unrolled: exactly one residual function, no conditionals.
+        assert_eq!(online.program.defs().len(), 1);
+    }
+}
+
+/// Residual correctness over random vectors: `iprod_n(a, b) = Σ aᵢ·bᵢ`.
+#[test]
+fn figure_8_residuals_compute_inner_products() {
+    let program = parse_program(FIGURE_7).unwrap();
+    let f = facets();
+    for n in 1..=5usize {
+        let residual = OnlinePe::new(&program, &f)
+            .specialize_main(&sized_inputs(n as i64))
+            .unwrap();
+        let a: Vec<Value> = (0..n).map(|i| Value::Float(i as f64 + 0.5)).collect();
+        let b: Vec<Value> = (0..n).map(|i| Value::Float(2.0 * i as f64 - 1.0)).collect();
+        let expected: f64 = (0..n)
+            .map(|i| (i as f64 + 0.5) * (2.0 * i as f64 - 1.0))
+            .sum();
+        let got = Evaluator::new(&residual.program)
+            .run_main(&[Value::vector(a), Value::vector(b)])
+            .unwrap();
+        assert_eq!(got, Value::Float(expected), "n = {n}");
+    }
+}
+
+/// Figure 9's rows, as assertions on the analysis.
+#[test]
+fn figure_9_analysis_facts() {
+    let program = parse_program(FIGURE_7).unwrap();
+    let f = facets();
+    let s = AbsVal::new(AbstractSizeVal::StaticSize);
+    let analysis = analyze(
+        &program,
+        &f,
+        &[
+            AbstractInput::dynamic().with_facet("size", s.clone()),
+            AbstractInput::dynamic().with_facet("size", s),
+        ],
+    )
+    .unwrap();
+
+    // Row 1: A = ⟨Dyn, s⟩, B = ⟨Dyn, s⟩.
+    let iprod = analysis.signatures.get("iprod".into()).unwrap();
+    assert_eq!(iprod.args[0].display(), "⟨Dyn, s⟩");
+    assert_eq!(iprod.args[1].display(), "⟨Dyn, s⟩");
+
+    // Row 2: Vecf(A) = ⟨Stat⟩ — and the reduction is attributed to the
+    // Size facet, not the binding-time facet.
+    let ann = &analysis.annotated[&"iprod".into()];
+    let ppe::offline::AnnExpr { kind, .. } = &ann.body;
+    let ppe::offline::AnnKind::Let { bound, .. } = kind else {
+        panic!("iprod body is a let");
+    };
+    assert!(bound.value.bt().is_static(), "Vecf(A) must be Static");
+    let ppe::offline::AnnKind::Prim { action, .. } = &bound.kind else {
+        panic!("bound is (vsize a)");
+    };
+    assert_eq!(*action, PrimAction::Reduce { source: 1 });
+
+    // Rows 3–4: n = ⟨Stat⟩ in dotprod; the if-test is static.
+    let dotprod = analysis.signatures.get("dotprod".into()).unwrap();
+    assert!(dotprod.args[2].bt().is_static());
+    let dot_ann = &analysis.annotated[&"dotprod".into()];
+    let ppe::offline::AnnKind::If { static_cond, .. } = &dot_ann.body.kind else {
+        panic!("dotprod body is an if");
+    };
+    assert!(static_cond);
+
+    // Rows 5–6: vref(A, n), vref(B, n) = ⟨Dyn⟩ — elements stay dynamic.
+    let report = analysis.report(&program);
+    assert!(report.contains("if-test [static]"), "{report}");
+    // At least one vref row with a Dynamic product.
+    assert!(report.contains("(vref …)"), "{report}");
+}
+
+/// "This contrasts with the online parameterized partial evaluation …
+/// where the size facet computation was performed for each function"
+/// (Section 6.2): in the offline pipeline, the size facet's open operator
+/// fires exactly once (for `Vecf` in iprod), while the online evaluator
+/// consults it at every primitive.
+#[test]
+fn offline_specializer_performs_fewer_facet_consultations() {
+    let program = parse_program(FIGURE_7).unwrap();
+    let f = facets();
+    let s = AbsVal::new(AbstractSizeVal::StaticSize);
+    let analysis = analyze(
+        &program,
+        &f,
+        &[
+            AbstractInput::dynamic().with_facet("size", s.clone()),
+            AbstractInput::dynamic().with_facet("size", s),
+        ],
+    )
+    .unwrap();
+    let inputs = sized_inputs(6);
+    let online = OnlinePe::new(&program, &f).specialize_main(&inputs).unwrap();
+    let offline = OfflinePe::new(&program, &f, &analysis)
+        .specialize(&inputs)
+        .unwrap();
+    // Same residual, and the offline walk visits no more nodes than the
+    // online one (it skips all decision making).
+    assert_eq!(
+        pretty_program(&online.program),
+        pretty_program(&offline.program)
+    );
+    assert!(
+        offline.stats.steps <= online.stats.steps,
+        "offline {} vs online {}",
+        offline.stats.steps,
+        online.stats.steps
+    );
+}

@@ -1,0 +1,214 @@
+//! End-to-end residual correctness: for randomly generated programs and
+//! for the corpus, `eval(residual, dynamic inputs) = eval(source, all
+//! inputs)` — the defining property of a partial evaluator, and the
+//! program-level reading of the paper's Theorem 1.
+
+mod common;
+
+use common::{int_expr, program_of, small_const, CORPUS};
+use ppe::core::FacetSet;
+use ppe::lang::{parse_program, Const, EvalError, Evaluator, Value};
+use ppe::online::{OnlinePe, PeInput, SimpleInput, SimplePe};
+use proptest::prelude::*;
+
+/// Budgets small enough to keep property tests quick.
+fn run(program: &ppe::lang::Program, args: &[Value]) -> Result<Value, EvalError> {
+    let mut ev = Evaluator::with_fuel(program, 200_000);
+    ev.run_main(args)
+}
+
+/// Builds the argument vector for a residual program's entry point by
+/// matching its (possibly reduced) parameter list against named values —
+/// unused dynamic parameters may have been dropped by the specializer.
+fn residual_args(
+    program: &ppe::lang::Program,
+    bindings: &[(&str, Value)],
+) -> Vec<Value> {
+    program
+        .main()
+        .params
+        .iter()
+        .map(|p| {
+            bindings
+                .iter()
+                .find(|(n, _)| *n == p.as_str())
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("unexpected residual parameter `{p}`"))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Online PE with a known `y` agrees with direct evaluation on random
+    /// programs, including on *errors* (overflow, division) — residuals
+    /// neither invent nor lose failures.
+    #[test]
+    fn online_pe_preserves_semantics(body in int_expr(), y in small_const(), x in -6i64..=6) {
+        let program = program_of(&body);
+        let facets = FacetSet::new();
+        let pe = OnlinePe::new(&program, &facets);
+        let residual = pe
+            .specialize_main(&[PeInput::dynamic(), PeInput::known(Value::from_const(y))])
+            .expect("specialization succeeds");
+        let source = run(&program, &[Value::Int(x), Value::from_const(y)]);
+        let args = residual_args(&residual.program, &[("x", Value::Int(x))]);
+        let spec = run(&residual.program, &args);
+        match (source, spec) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {} // both fail: fine (kinds may differ in order)
+            (a, b) => prop_assert!(false, "source: {:?}, residual: {:?}", a, b),
+        }
+    }
+
+    /// The simple partial evaluator (Figure 2) has the same property.
+    #[test]
+    fn simple_pe_preserves_semantics(body in int_expr(), y in small_const(), x in -6i64..=6) {
+        let program = program_of(&body);
+        let pe = SimplePe::new(&program);
+        let residual = pe
+            .specialize_main(&[SimpleInput::Dynamic, SimpleInput::Known(y)])
+            .expect("specialization succeeds");
+        let source = run(&program, &[Value::Int(x), Value::from_const(y)]);
+        let args = residual_args(&residual.program, &[("x", Value::Int(x))]);
+        let spec = run(&residual.program, &args);
+        match (source, spec) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "source: {:?}, residual: {:?}", a, b),
+        }
+    }
+
+    /// Residual programs of random expressions parse back from their
+    /// pretty-printed form to the same program (round-trip through the
+    /// surface syntax).
+    #[test]
+    fn residuals_round_trip_through_the_printer(body in int_expr(), y in small_const()) {
+        let program = program_of(&body);
+        let facets = FacetSet::new();
+        let residual = OnlinePe::new(&program, &facets)
+            .specialize_main(&[PeInput::dynamic(), PeInput::known(Value::from_const(y))])
+            .expect("specialization succeeds");
+        let printed = ppe::lang::pretty_program(&residual.program);
+        let back = parse_program(&printed).expect("residual parses");
+        prop_assert_eq!(residual.program.defs(), back.defs());
+    }
+}
+
+#[test]
+fn corpus_residuals_agree_with_sources() {
+    for (name, src, arity) in CORPUS {
+        if *name == "iprod" {
+            continue; // vector inputs handled in the paper-example test
+        }
+        let program = parse_program(src).unwrap();
+        let facets = FacetSet::new();
+        // Specialize on the *last* argument (the recursion counter in
+        // most corpus entries).
+        let mut inputs = vec![PeInput::dynamic(); *arity];
+        inputs[*arity - 1] = PeInput::known(Value::Int(5));
+        let residual = OnlinePe::new(&program, &facets)
+            .specialize_main(&inputs)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        for x in [-3i64, 0, 2, 7] {
+            let mut full_args = vec![Value::Int(x); *arity];
+            full_args[*arity - 1] = Value::Int(5);
+            // Residual params may be a subset of the source's dynamic
+            // params; bind all of them to x by name.
+            let source_def = program.main();
+            let bindings: Vec<(&str, Value)> = source_def
+                .params
+                .iter()
+                .map(|p| (p.as_str(), Value::Int(x)))
+                .collect();
+            let dyn_args = residual_args(&residual.program, &bindings);
+            let expected = run(&program, &full_args);
+            let got = run(&residual.program, &dyn_args);
+            assert_eq!(expected, got, "{name} at x={x}");
+        }
+    }
+}
+
+#[test]
+fn fully_static_corpus_runs_reduce_to_constants() {
+    for (name, src, arity) in CORPUS {
+        if *name == "iprod" {
+            continue;
+        }
+        let program = parse_program(src).unwrap();
+        let facets = FacetSet::new();
+        let inputs: Vec<PeInput> = (0..*arity)
+            .map(|i| PeInput::known(Value::Int(2 + i as i64)))
+            .collect();
+        let residual = OnlinePe::new(&program, &facets)
+            .specialize_main(&inputs)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let concrete: Vec<Value> = (0..*arity).map(|i| Value::Int(2 + i as i64)).collect();
+        let expected = run(&program, &concrete).unwrap();
+        assert_eq!(
+            residual.program.main().body.as_const(),
+            expected.to_const(),
+            "{name} should reduce to a constant"
+        );
+        assert!(residual.program.main().params.is_empty());
+    }
+}
+
+#[test]
+fn specializing_then_running_equals_running_with_bool_results() {
+    // even/odd returns booleans; exercise the Bool summand end to end.
+    let program = parse_program(
+        "(define (evn n) (if (= n 0) #t (odd (- n 1))))
+         (define (odd n) (if (= n 0) #f (evn (- n 1))))",
+    )
+    .unwrap();
+    let facets = FacetSet::new();
+    for n in 0..8i64 {
+        let residual = OnlinePe::new(&program, &facets)
+            .specialize_main(&[PeInput::known(Value::Int(n))])
+            .unwrap();
+        assert_eq!(
+            residual.program.main().body.as_const(),
+            Some(Const::Bool(n % 2 == 0)),
+            "evn({n})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The residual cleanup passes preserve semantics, at both levels, on
+    /// random programs and inputs.
+    #[test]
+    fn optimizer_preserves_semantics(body in int_expr(), y in small_const(), x in -6i64..=6) {
+        use ppe::lang::{optimize_program, OptLevel};
+        let program = program_of(&body);
+        for level in [OptLevel::Safe, OptLevel::PureArith] {
+            let optimized = optimize_program(&program, level);
+            let source = run(&program, &[Value::Int(x), Value::from_const(y)]);
+            let opt = run(&optimized, &[Value::Int(x), Value::from_const(y)]);
+            match (&source, &opt) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(_), Err(_)) => {}
+                // PureArith may legitimately turn an erroring program into
+                // a defined one by dropping dead failing arithmetic; the
+                // reverse is a bug at any level.
+                (Err(_), Ok(_)) if level == OptLevel::PureArith => {}
+                (a, b) => prop_assert!(false, "{level:?}: source {a:?}, optimized {b:?}"),
+            }
+        }
+    }
+
+    /// Safe-level optimization never changes the error/success status.
+    #[test]
+    fn safe_optimizer_preserves_errors(body in int_expr(), y in small_const(), x in -6i64..=6) {
+        use ppe::lang::{optimize_program, OptLevel};
+        let program = program_of(&body);
+        let optimized = optimize_program(&program, OptLevel::Safe);
+        let source = run(&program, &[Value::Int(x), Value::from_const(y)]);
+        let opt = run(&optimized, &[Value::Int(x), Value::from_const(y)]);
+        prop_assert_eq!(source.is_ok(), opt.is_ok());
+    }
+}

@@ -1,0 +1,277 @@
+//! Adversarial validation of the executable safety conditions: for each
+//! clause of the paper's Definition 2 (and the derived properties), a
+//! facet that violates exactly that clause — and the checker that must
+//! catch it. This is the test of the *checker*, complementing the
+//! per-facet tests which show the shipped facets pass it.
+
+use std::fmt;
+use std::rc::Rc;
+
+use ppe::core::facets::{MimicAbstractFacet, SignFacet, SignVal};
+use ppe::core::safety::{
+    check_abstract_facet_safety, check_facet_lattice, check_facet_monotone, check_facet_safety,
+    test_elements,
+};
+use ppe::core::{AbsVal, AbstractFacet, Facet, FacetArg, PeVal};
+use ppe::lang::{Prim, Value, ALL_PRIMS};
+
+/// Boilerplate: a facet delegating everything to Sign, with chosen pieces
+/// overridden per test.
+macro_rules! sign_like {
+    ($name:ident $(, $method:item)*) => {
+        #[derive(Debug)]
+        struct $name;
+        impl Facet for $name {
+            fn name(&self) -> &'static str { stringify!($name) }
+            fn bottom(&self) -> AbsVal { SignFacet.bottom() }
+            fn top(&self) -> AbsVal { SignFacet.top() }
+            fn join(&self, a: &AbsVal, b: &AbsVal) -> AbsVal { SignFacet.join(a, b) }
+            fn leq(&self, a: &AbsVal, b: &AbsVal) -> bool { SignFacet.leq(a, b) }
+            fn alpha(&self, v: &Value) -> AbsVal { SignFacet.alpha(v) }
+            fn concretizes(&self, abs: &AbsVal, v: &Value) -> bool {
+                SignFacet.concretizes(abs, v)
+            }
+            fn enumerate(&self) -> Option<Vec<AbsVal>> { SignFacet.enumerate() }
+            fn abstract_facet(&self) -> Rc<dyn AbstractFacet> { SignFacet.abstract_facet() }
+            $($method)*
+        }
+    };
+}
+
+fn samples() -> Vec<Value> {
+    (-4..=4).map(Value::Int).collect()
+}
+
+/// Condition 1 (lattice laws): a facet whose join is not commutative.
+#[test]
+fn broken_lattice_is_caught() {
+    #[derive(PartialEq, Eq, Hash, Debug)]
+    struct Lop(u8);
+    impl fmt::Display for Lop {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "lop{}", self.0)
+        }
+    }
+    #[derive(Debug)]
+    struct LopsidedJoin;
+    impl Facet for LopsidedJoin {
+        fn name(&self) -> &'static str {
+            "lopsided"
+        }
+        fn bottom(&self) -> AbsVal {
+            AbsVal::new(Lop(0))
+        }
+        fn top(&self) -> AbsVal {
+            AbsVal::new(Lop(9))
+        }
+        fn join(&self, a: &AbsVal, _b: &AbsVal) -> AbsVal {
+            a.clone() // bug: ignores b
+        }
+        fn leq(&self, a: &AbsVal, b: &AbsVal) -> bool {
+            a.expect_ref::<Lop>("lopsided").0 <= b.expect_ref::<Lop>("lopsided").0
+        }
+        fn alpha(&self, _v: &Value) -> AbsVal {
+            AbsVal::new(Lop(5))
+        }
+        fn concretizes(&self, _abs: &AbsVal, _v: &Value) -> bool {
+            true
+        }
+        fn abstract_facet(&self) -> Rc<dyn AbstractFacet> {
+            unreachable!()
+        }
+    }
+    let elems = vec![AbsVal::new(Lop(0)), AbsVal::new(Lop(5)), AbsVal::new(Lop(9))];
+    // Caught by whichever law trips first ("top absorbing" here: the
+    // join discards its right operand, so ⊥ ⊔ ⊤ ≠ ⊤).
+    let err = check_facet_lattice(&LopsidedJoin, &elems).unwrap_err();
+    assert_eq!(err.facet, "lopsided");
+}
+
+/// Condition 2 (monotonicity): a closed operator that answers more
+/// precisely on coarser inputs.
+#[test]
+fn non_monotone_closed_op_is_caught() {
+    sign_like!(
+        AntiMonotone,
+        fn closed_op(&self, p: Prim, args: &[FacetArg<'_>]) -> AbsVal {
+            if p == Prim::Add
+                && args[0].abs.downcast_ref::<SignVal>() == Some(&SignVal::Top)
+            {
+                // bug: ⊤ + x claims `zero` while pos + pos says pos.
+                return AbsVal::new(SignVal::Zero);
+            }
+            SignFacet.closed_op(p, args)
+        }
+    );
+    let elems = test_elements(&AntiMonotone, &samples());
+    let err = check_facet_monotone(&AntiMonotone, &elems, &[Prim::Add]).unwrap_err();
+    assert!(err.condition.contains("monotonicity"), "{err}");
+}
+
+/// Condition 5, closed case: `α(p(d)) ⋢ p̂(α(d))` — a facet claiming sums
+/// of positives are negative.
+#[test]
+fn unsound_closed_approximation_is_caught() {
+    sign_like!(
+        WrongAdd,
+        fn closed_op(&self, p: Prim, args: &[FacetArg<'_>]) -> AbsVal {
+            let out = SignFacet.closed_op(p, args);
+            if p == Prim::Add && out.downcast_ref::<SignVal>() == Some(&SignVal::Pos) {
+                return AbsVal::new(SignVal::Neg); // bug
+            }
+            out
+        }
+    );
+    let err = check_facet_safety(&WrongAdd, &samples(), &[Prim::Add]).unwrap_err();
+    assert!(err.condition.contains("closed approximation"), "{err}");
+}
+
+/// Condition 5, open case / Property 2: an open operator answering a
+/// constant that differs from the concrete result.
+#[test]
+fn unsound_open_constant_is_caught() {
+    sign_like!(
+        LyingLess,
+        fn open_op(&self, p: Prim, args: &[FacetArg<'_>]) -> PeVal {
+            if p == Prim::Le {
+                return PeVal::constant(false.into()); // bug: 1 ≤ 2 is true
+            }
+            SignFacet.open_op(p, args)
+        }
+    );
+    let err = check_facet_safety(&LyingLess, &samples(), &[Prim::Le]).unwrap_err();
+    assert!(err.condition.contains("Property 2"), "{err}");
+}
+
+/// The `γ∘α` sanity condition: an abstraction whose concretization does
+/// not contain the value it came from.
+#[test]
+fn broken_concretization_is_caught() {
+    #[derive(Debug)]
+    struct Gappy;
+    impl Facet for Gappy {
+        fn name(&self) -> &'static str {
+            "gappy"
+        }
+        fn bottom(&self) -> AbsVal {
+            SignFacet.bottom()
+        }
+        fn top(&self) -> AbsVal {
+            SignFacet.top()
+        }
+        fn join(&self, a: &AbsVal, b: &AbsVal) -> AbsVal {
+            SignFacet.join(a, b)
+        }
+        fn leq(&self, a: &AbsVal, b: &AbsVal) -> bool {
+            SignFacet.leq(a, b)
+        }
+        fn alpha(&self, v: &Value) -> AbsVal {
+            SignFacet.alpha(v)
+        }
+        fn concretizes(&self, abs: &AbsVal, v: &Value) -> bool {
+            // bug: claims `pos` contains nothing.
+            if abs.downcast_ref::<SignVal>() == Some(&SignVal::Pos) {
+                return false;
+            }
+            SignFacet.concretizes(abs, v)
+        }
+        fn abstract_facet(&self) -> Rc<dyn AbstractFacet> {
+            SignFacet.abstract_facet()
+        }
+    }
+    let err = ppe::core::safety::check_alpha_gamma(&Gappy, &samples()).unwrap_err();
+    assert!(err.condition.contains("γ(α(v))"), "{err}");
+}
+
+/// Property 6: an abstract facet claiming Static where the facet cannot
+/// deliver a constant.
+#[test]
+fn unsound_abstract_facet_is_caught() {
+    #[derive(Debug)]
+    struct OverpromisingAbstract;
+    impl AbstractFacet for OverpromisingAbstract {
+        fn name(&self) -> &'static str {
+            "overpromising"
+        }
+        fn bottom(&self) -> AbsVal {
+            SignFacet.bottom()
+        }
+        fn top(&self) -> AbsVal {
+            SignFacet.top()
+        }
+        fn join(&self, a: &AbsVal, b: &AbsVal) -> AbsVal {
+            SignFacet.join(a, b)
+        }
+        fn leq(&self, a: &AbsVal, b: &AbsVal) -> bool {
+            SignFacet.leq(a, b)
+        }
+        fn alpha_facet(&self, online: &AbsVal) -> AbsVal {
+            online.clone()
+        }
+        fn open_op(
+            &self,
+            p: Prim,
+            _args: &[ppe::core::AbstractArg<'_>],
+        ) -> ppe::core::BtVal {
+            if p == Prim::Lt {
+                ppe::core::BtVal::Static // bug: pos < pos is not decidable
+            } else {
+                ppe::core::BtVal::Dynamic
+            }
+        }
+    }
+    let elems = test_elements(&SignFacet, &samples());
+    let err =
+        check_abstract_facet_safety(&SignFacet, &OverpromisingAbstract, &elems, &[Prim::Lt])
+            .unwrap_err();
+    assert!(err.condition.contains("Property 6"), "{err}");
+}
+
+/// The full battery passes for a *correct* hand-rolled facet built on the
+/// mimic adapter — the path a library user takes.
+#[test]
+fn correct_custom_facet_passes_everything() {
+    // Delegate abstract facet through the mimic construction, as a user
+    // would.
+    #[derive(Debug, Clone, Copy)]
+    struct UserSign;
+    impl Facet for UserSign {
+        fn name(&self) -> &'static str {
+            "user-sign"
+        }
+        fn bottom(&self) -> AbsVal {
+            SignFacet.bottom()
+        }
+        fn top(&self) -> AbsVal {
+            SignFacet.top()
+        }
+        fn join(&self, a: &AbsVal, b: &AbsVal) -> AbsVal {
+            SignFacet.join(a, b)
+        }
+        fn leq(&self, a: &AbsVal, b: &AbsVal) -> bool {
+            SignFacet.leq(a, b)
+        }
+        fn alpha(&self, v: &Value) -> AbsVal {
+            SignFacet.alpha(v)
+        }
+        fn closed_op(&self, p: Prim, args: &[FacetArg<'_>]) -> AbsVal {
+            SignFacet.closed_op(p, args)
+        }
+        fn open_op(&self, p: Prim, args: &[FacetArg<'_>]) -> PeVal {
+            SignFacet.open_op(p, args)
+        }
+        fn concretizes(&self, abs: &AbsVal, v: &Value) -> bool {
+            SignFacet.concretizes(abs, v)
+        }
+        fn enumerate(&self) -> Option<Vec<AbsVal>> {
+            SignFacet.enumerate()
+        }
+        fn abstract_facet(&self) -> Rc<dyn AbstractFacet> {
+            Rc::new(MimicAbstractFacet::new(*self))
+        }
+    }
+    ppe::core::safety::validate_facet(&UserSign, &samples()).unwrap();
+    // The checker also covers every shipped primitive without panicking.
+    let elems = test_elements(&UserSign, &samples());
+    check_facet_monotone(&UserSign, &elems, &ALL_PRIMS).unwrap();
+}

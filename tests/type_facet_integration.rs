@@ -1,0 +1,85 @@
+//! The Type facet end to end: guaranteed type errors surface as `⊥`
+//! products during specialization, and type knowledge learned from
+//! conditionals flows into branches.
+
+use ppe::core::facets::{TypeFacet, TypeVal};
+use ppe::core::{AbsVal, FacetSet, PrimOutcome, ProductVal};
+use ppe::lang::{parse_program, pretty_program, Evaluator, Prim, Value};
+use ppe::online::{OnlinePe, PeConfig, PeInput};
+
+#[test]
+fn product_detects_guaranteed_type_errors() {
+    let set = FacetSet::with_facets(vec![Box::new(TypeFacet)]);
+    let int = ProductVal::dynamic(&set).with_facet(0, AbsVal::new(TypeVal::Int));
+    let boolean = ProductVal::dynamic(&set).with_facet(0, AbsVal::new(TypeVal::Bool));
+    assert_eq!(
+        set.prim_product(Prim::Add, &[int.clone(), boolean.clone()]),
+        PrimOutcome::Bottom
+    );
+    assert_eq!(
+        set.prim_product(Prim::Lt, &[int, boolean]),
+        PrimOutcome::Bottom
+    );
+}
+
+#[test]
+fn typed_inputs_propagate_through_specialization() {
+    // With x known to be an int, (+ x 1) types as int, and the residual
+    // is still semantically the source.
+    let src = "(define (f x) (* (+ x 1) 2))";
+    let program = parse_program(src).unwrap();
+    let facets = FacetSet::with_facets(vec![Box::new(TypeFacet)]);
+    let r = OnlinePe::new(&program, &facets)
+        .specialize_main(&[
+            PeInput::dynamic().with_facet("type", AbsVal::new(TypeVal::Int)),
+        ])
+        .unwrap();
+    for x in [-3i64, 0, 7] {
+        let a = Evaluator::new(&program).run_main(&[Value::Int(x)]).unwrap();
+        let b = Evaluator::new(&r.program).run_main(&[Value::Int(x)]).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn comparison_outcomes_teach_types_to_branches() {
+    // x starts with unknown type. Inside either branch of (< x 0) it must
+    // be an int (the comparison would otherwise have errored), so the
+    // bool-flavored dead check (= x #t) in the then-branch is a
+    // *guaranteed* type error there — its product is ⊥ and the inner
+    // conditional survives residually but is statically marked dead.
+    let src = "(define (f x) (if (< x 0) (g x) x))
+               (define (g x) (+ x 1))";
+    let program = parse_program(src).unwrap();
+    let facets = FacetSet::with_facets(vec![Box::new(TypeFacet)]);
+    let config = PeConfig {
+        propagate_constraints: true,
+        ..PeConfig::default()
+    };
+    let r = OnlinePe::with_config(&program, &facets, config)
+        .specialize_main(&[PeInput::dynamic()])
+        .unwrap();
+    // g was specialized with x : int (learned from the test), so the
+    // residual is well-typed and semantically faithful.
+    let printed = pretty_program(&r.program);
+    assert!(printed.contains("(+ x 1)"), "{printed}");
+    for x in [-2i64, 5] {
+        let a = Evaluator::new(&program).run_main(&[Value::Int(x)]).unwrap();
+        let b = Evaluator::new(&r.program).run_main(&[Value::Int(x)]).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn type_facet_composes_with_sign() {
+    use ppe::core::facets::{SignFacet, SignVal};
+    let set = FacetSet::with_facets(vec![Box::new(TypeFacet), Box::new(SignFacet)]);
+    let v = ProductVal::from_value(&Value::Int(-4), &set);
+    assert_eq!(v.facet(0).downcast_ref::<TypeVal>(), Some(&TypeVal::Int));
+    assert_eq!(v.facet(1).downcast_ref::<SignVal>(), Some(&SignVal::Neg));
+    // Both agree through a closed operator.
+    match set.prim_product(Prim::Mul, &[v.clone(), v]) {
+        PrimOutcome::Const(c) => assert_eq!(c, ppe::lang::Const::Int(16)),
+        other => panic!("expected constant, got {other:?}"),
+    }
+}
