@@ -247,7 +247,9 @@ fn e9() {
         PeInput::known(Value::Int(0)),
         PeInput::known(Value::Int(100)),
     ];
-    let plain = OnlinePe::new(&program, &facets).specialize_main(&inputs).unwrap();
+    let plain = OnlinePe::new(&program, &facets)
+        .specialize_main(&inputs)
+        .unwrap();
     let config = ppe_online::PeConfig {
         propagate_constraints: true,
         ..ppe_online::PeConfig::default()
@@ -258,7 +260,9 @@ fn e9() {
     let plain_ifs = pretty_program(&plain.program).matches("(if").count();
     let refined_ifs = pretty_program(&refined.program).matches("(if").count();
     let t_plain = time_us(25, || {
-        OnlinePe::new(&program, &facets).specialize_main(&inputs).unwrap()
+        OnlinePe::new(&program, &facets)
+            .specialize_main(&inputs)
+            .unwrap()
     });
     let t_refined = time_us(25, || {
         OnlinePe::with_config(&program, &facets, config.clone())

@@ -24,8 +24,7 @@ pub const INNER_PRODUCT: &str = "(define (iprod a b) (let ((n (vsize a))) (dotpr
            (+ (* (vref a n) (vref b n)) (dotprod a b (- n 1)))))";
 
 /// The classic `power` program (static exponent).
-pub const POWER: &str =
-    "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+pub const POWER: &str = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
 
 /// A sign-guarded iteration kernel (piecewise steps).
 pub const SIGN_KERNEL: &str = "(define (kernel x steps)
@@ -76,7 +75,11 @@ pub fn iprod_analysis(program: &Program, facets: &FacetSet) -> Analysis {
 /// A random float vector of length `n` (deterministic per seed).
 pub fn random_vector(n: usize, seed: u64) -> Value {
     let mut rng = StdRng::seed_from_u64(seed);
-    Value::vector((0..n).map(|_| Value::Float(rng.gen_range(-1.0..1.0))).collect())
+    Value::vector(
+        (0..n)
+            .map(|_| Value::Float(rng.gen_range(-1.0..1.0)))
+            .collect(),
+    )
 }
 
 /// A [`PeConfig`] with an unfold budget comfortably above `n`, for
@@ -104,9 +107,7 @@ pub fn chain_program(k: usize) -> Program {
         } else {
             "(* x x)".to_owned()
         };
-        src.push_str(&format!(
-            "(define (f{i} x n) (if (< n 0) x {next}))\n"
-        ));
+        src.push_str(&format!("(define (f{i} x n) (if (< n 0) x {next}))\n"));
     }
     parse_program(&src).expect("chain program parses")
 }

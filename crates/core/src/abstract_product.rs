@@ -411,7 +411,7 @@ mod tests {
         let r = s.abstract_prim(Prim::Lt, &[neg, pos]);
         assert_eq!(*r.value.bt(), BtVal::Static);
         assert_eq!(r.static_sources, vec![1]); // the Sign facet, not BT
-        // Facet components are topped per Figure 4.
+                                               // Facet components are topped per Figure 4.
         assert_eq!(
             r.value.facet(0).downcast_ref::<SignVal>(),
             Some(&SignVal::Top)

@@ -155,8 +155,8 @@ mod tests {
     #[test]
     fn constant_conflicting_with_a_facet_is_inconsistent() {
         let set = two_facet_set();
-        let v = ProductVal::from_const(Const::Int(3), &set)
-            .with_facet(0, AbsVal::new(SignVal::Neg));
+        let v =
+            ProductVal::from_const(Const::Int(3), &set).with_facet(0, AbsVal::new(SignVal::Neg));
         let err = check_consistent(&v, &set, &default_candidates()).unwrap_err();
         assert!(err.to_string().contains("inconsistent"));
     }

@@ -248,7 +248,10 @@ mod tests {
         let bot = f.bottom();
         assert_eq!(f.closed_op_on(Prim::Add, &[top.clone(), top.clone()]), top);
         assert_eq!(f.closed_op_on(Prim::Add, &[bot.clone(), top.clone()]), bot);
-        assert_eq!(f.open_op_on(Prim::Lt, &[top.clone(), top.clone()]), PeVal::Top);
+        assert_eq!(
+            f.open_op_on(Prim::Lt, &[top.clone(), top.clone()]),
+            PeVal::Top
+        );
         assert_eq!(f.open_op_on(Prim::Lt, &[bot, top]), PeVal::Bottom);
     }
 

@@ -181,9 +181,7 @@ impl Facet for ConstSetFacet {
     fn join(&self, a: &AbsVal, b: &AbsVal) -> AbsVal {
         AbsVal::new(match (self.get(a), self.get(b)) {
             (ConstSetVal::Bot, x) | (x, ConstSetVal::Bot) => x.clone(),
-            (ConstSetVal::Set(x), ConstSetVal::Set(y)) => {
-                self.cap(x.union(y).copied().collect())
-            }
+            (ConstSetVal::Set(x), ConstSetVal::Set(y)) => self.cap(x.union(y).copied().collect()),
             _ => ConstSetVal::Top,
         })
     }
@@ -334,7 +332,8 @@ mod tests {
             Some(&ConstSetVal::just(Const::Int(3)))
         );
         assert_eq!(
-            f().alpha(&Value::vector(vec![])).downcast_ref::<ConstSetVal>(),
+            f().alpha(&Value::vector(vec![]))
+                .downcast_ref::<ConstSetVal>(),
             Some(&ConstSetVal::Top)
         );
     }
@@ -407,8 +406,14 @@ mod tests {
         let x = set(&[1, 5, 9]);
         let six = AbsVal::new(ConstSetVal::just(Const::Int(6)));
         let args = [
-            FacetArg { pe: &pe_top, abs: &x },
-            FacetArg { pe: &pe_top, abs: &six },
+            FacetArg {
+                pe: &pe_top,
+                abs: &x,
+            },
+            FacetArg {
+                pe: &pe_top,
+                abs: &six,
+            },
         ];
         let refined = fac.assume(Prim::Lt, &args, true, 0).unwrap();
         assert_eq!(
@@ -418,8 +423,14 @@ mod tests {
         // Contradiction is ⊥ (unreachable branch).
         let nine = set(&[9]);
         let args = [
-            FacetArg { pe: &pe_top, abs: &nine },
-            FacetArg { pe: &pe_top, abs: &six },
+            FacetArg {
+                pe: &pe_top,
+                abs: &nine,
+            },
+            FacetArg {
+                pe: &pe_top,
+                abs: &six,
+            },
         ];
         assert_eq!(fac.assume(Prim::Lt, &args, true, 0), Some(fac.bottom()));
     }

@@ -197,9 +197,7 @@ impl Facet for ContentsFacet {
                     ContentsVal::Top => self.top(),
                     ContentsVal::Exact(elems) => match args[1].pe {
                         // Constant in-range index: update that element.
-                        PeVal::Const(Const::Int(i))
-                            if *i >= 1 && (*i as usize) <= elems.len() =>
-                        {
+                        PeVal::Const(Const::Int(i)) if *i >= 1 && (*i as usize) <= elems.len() => {
                             let mut out = elems.clone();
                             out[(*i - 1) as usize] = match args[2].pe.as_const() {
                                 Some(c) => ElemVal::Known(c),
@@ -213,10 +211,7 @@ impl Facet for ContentsFacet {
                         PeVal::Const(_) => self.bottom(), // type error: ⊥
                         // Unknown index: any element may have changed,
                         // but the length is preserved.
-                        _ => AbsVal::new(ContentsVal::Exact(vec![
-                            ElemVal::Unknown;
-                            elems.len()
-                        ])),
+                        _ => AbsVal::new(ContentsVal::Exact(vec![ElemVal::Unknown; elems.len()])),
                     },
                 }
             }
@@ -251,9 +246,7 @@ impl Facet for ContentsFacet {
                     ContentsVal::Bot => PeVal::Bottom,
                     ContentsVal::Top => PeVal::Top,
                     ContentsVal::Exact(elems) => match args[1].pe {
-                        PeVal::Const(Const::Int(i))
-                            if *i >= 1 && (*i as usize) <= elems.len() =>
-                        {
+                        PeVal::Const(Const::Int(i)) if *i >= 1 && (*i as usize) <= elems.len() => {
                             match elems[(*i - 1) as usize] {
                                 ElemVal::Known(c) => PeVal::constant(c),
                                 ElemVal::Unknown => PeVal::Top,
@@ -605,8 +598,14 @@ mod tests {
         let out = a.open_op(
             Prim::VRef,
             &[
-                AbstractArg { bt: &bt_static, abs: &known },
-                AbstractArg { bt: &bt_static, abs: &a.top() },
+                AbstractArg {
+                    bt: &bt_static,
+                    abs: &known,
+                },
+                AbstractArg {
+                    bt: &bt_static,
+                    abs: &a.top(),
+                },
             ],
         );
         assert_eq!(out, BtVal::Static);

@@ -47,11 +47,7 @@ impl<F: Facet> MimicAbstractFacet<F> {
         }
     }
 
-    fn wrap_args<'a>(
-        &self,
-        args: &[AbstractArg<'a>],
-        pes: &'a [PeVal],
-    ) -> Vec<FacetArg<'a>> {
+    fn wrap_args<'a>(&self, args: &[AbstractArg<'a>], pes: &'a [PeVal]) -> Vec<FacetArg<'a>> {
         args.iter()
             .zip(pes)
             .map(|(a, pe)| FacetArg { pe, abs: a.abs })
@@ -132,9 +128,15 @@ mod tests {
         let zero = AbsVal::new(SignVal::Zero);
         let pos = AbsVal::new(SignVal::Pos);
         // zero < pos is a constant online, hence Static offline.
-        assert_eq!(abs.open_op_on(Prim::Lt, &[zero, pos.clone()]), BtVal::Static);
+        assert_eq!(
+            abs.open_op_on(Prim::Lt, &[zero, pos.clone()]),
+            BtVal::Static
+        );
         // pos < pos is ⊤ online, hence Dynamic offline.
-        assert_eq!(abs.open_op_on(Prim::Lt, &[pos.clone(), pos]), BtVal::Dynamic);
+        assert_eq!(
+            abs.open_op_on(Prim::Lt, &[pos.clone(), pos]),
+            BtVal::Dynamic
+        );
     }
 
     #[test]
@@ -158,9 +160,6 @@ mod tests {
         let bot = abs.bottom();
         let pos = AbsVal::new(SignVal::Pos);
         assert_eq!(abs.open_op_on(Prim::Lt, &[bot.clone(), pos]), BtVal::Bottom);
-        assert_eq!(
-            abs.closed_op_on(Prim::Add, &[bot.clone(), abs.top()]),
-            bot
-        );
+        assert_eq!(abs.closed_op_on(Prim::Add, &[bot.clone(), abs.top()]), bot);
     }
 }

@@ -202,9 +202,18 @@ mod tests {
     #[test]
     fn alpha_classifies_integers() {
         let f = ParityFacet;
-        assert_eq!(f.alpha(&Value::Int(4)).downcast_ref(), Some(&ParityVal::Even));
-        assert_eq!(f.alpha(&Value::Int(-3)).downcast_ref(), Some(&ParityVal::Odd));
-        assert_eq!(f.alpha(&Value::Float(2.0)).downcast_ref(), Some(&ParityVal::Top));
+        assert_eq!(
+            f.alpha(&Value::Int(4)).downcast_ref(),
+            Some(&ParityVal::Even)
+        );
+        assert_eq!(
+            f.alpha(&Value::Int(-3)).downcast_ref(),
+            Some(&ParityVal::Odd)
+        );
+        assert_eq!(
+            f.alpha(&Value::Float(2.0)).downcast_ref(),
+            Some(&ParityVal::Top)
+        );
     }
 
     #[test]

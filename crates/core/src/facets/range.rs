@@ -248,13 +248,7 @@ impl Facet for RangeFacet {
                 }
             }
             // n mod d for d ∈ [lo, hi] with lo > 0 is in [0, hi - 1].
-            (
-                Prim::Mod,
-                [_, Range {
-                    lo: Some(lo),
-                    hi,
-                }],
-            ) if *lo > 0 => Range {
+            (Prim::Mod, [_, Range { lo: Some(lo), hi }]) if *lo > 0 => Range {
                 lo: Some(0),
                 hi: hi.map(|h| h - 1),
             },
@@ -282,8 +276,7 @@ impl Facet for RangeFacet {
         let def_gt = matches!((alo, bhi), (Some(x), Some(y)) if x > y);
         let def_ge = matches!((alo, bhi), (Some(x), Some(y)) if x >= y);
         let disjoint = def_lt || def_gt;
-        let both_singleton_equal =
-            alo == ahi && blo == bhi && alo == blo && alo.is_some();
+        let both_singleton_equal = alo == ahi && blo == bhi && alo == blo && alo.is_some();
         let decide = |yes: bool, no: bool| -> PeVal {
             if yes {
                 PeVal::constant(true.into())
@@ -309,9 +302,7 @@ impl Facet for RangeFacet {
             RangeVal::Bot => false,
             RangeVal::Range { lo: None, hi: None } => true,
             RangeVal::Range { lo, hi } => match v {
-                Value::Int(n) => {
-                    lo.is_none_or(|l| l <= *n) && hi.is_none_or(|h| *n <= h)
-                }
+                Value::Int(n) => lo.is_none_or(|l| l <= *n) && hi.is_none_or(|h| *n <= h),
                 _ => false,
             },
         }

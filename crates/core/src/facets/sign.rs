@@ -352,8 +352,14 @@ mod tests {
     fn alpha_classifies_numbers() {
         let f = SignFacet;
         assert_eq!(f.alpha(&Value::Int(0)).downcast_ref(), Some(&SignVal::Zero));
-        assert_eq!(f.alpha(&Value::Float(-0.5)).downcast_ref(), Some(&SignVal::Neg));
-        assert_eq!(f.alpha(&Value::Bool(true)).downcast_ref(), Some(&SignVal::Top));
+        assert_eq!(
+            f.alpha(&Value::Float(-0.5)).downcast_ref(),
+            Some(&SignVal::Neg)
+        );
+        assert_eq!(
+            f.alpha(&Value::Bool(true)).downcast_ref(),
+            Some(&SignVal::Top)
+        );
     }
 
     #[test]
@@ -390,12 +396,30 @@ mod tests {
     fn lt_follows_example_1_table() {
         let f = SignFacet;
         let lt = |x, y| f.open_op_on(Prim::Lt, &[a(x), a(y)]);
-        assert_eq!(lt(SignVal::Pos, SignVal::Neg), PeVal::constant(Const::Bool(false)));
-        assert_eq!(lt(SignVal::Pos, SignVal::Zero), PeVal::constant(Const::Bool(false)));
-        assert_eq!(lt(SignVal::Zero, SignVal::Pos), PeVal::constant(Const::Bool(true)));
-        assert_eq!(lt(SignVal::Zero, SignVal::Zero), PeVal::constant(Const::Bool(false)));
-        assert_eq!(lt(SignVal::Neg, SignVal::Pos), PeVal::constant(Const::Bool(true)));
-        assert_eq!(lt(SignVal::Neg, SignVal::Zero), PeVal::constant(Const::Bool(true)));
+        assert_eq!(
+            lt(SignVal::Pos, SignVal::Neg),
+            PeVal::constant(Const::Bool(false))
+        );
+        assert_eq!(
+            lt(SignVal::Pos, SignVal::Zero),
+            PeVal::constant(Const::Bool(false))
+        );
+        assert_eq!(
+            lt(SignVal::Zero, SignVal::Pos),
+            PeVal::constant(Const::Bool(true))
+        );
+        assert_eq!(
+            lt(SignVal::Zero, SignVal::Zero),
+            PeVal::constant(Const::Bool(false))
+        );
+        assert_eq!(
+            lt(SignVal::Neg, SignVal::Pos),
+            PeVal::constant(Const::Bool(true))
+        );
+        assert_eq!(
+            lt(SignVal::Neg, SignVal::Zero),
+            PeVal::constant(Const::Bool(true))
+        );
         assert_eq!(lt(SignVal::Pos, SignVal::Pos), PeVal::Top);
         assert_eq!(lt(SignVal::Top, SignVal::Neg), PeVal::Top);
         assert_eq!(lt(SignVal::Bot, SignVal::Pos), PeVal::Bottom);
@@ -421,7 +445,12 @@ mod tests {
     #[test]
     fn concretization_contains_alpha_image() {
         let f = SignFacet;
-        for v in [Value::Int(-3), Value::Int(0), Value::Int(9), Value::Float(2.5)] {
+        for v in [
+            Value::Int(-3),
+            Value::Int(0),
+            Value::Int(9),
+            Value::Float(2.5),
+        ] {
             let abs = f.alpha(&v);
             assert!(f.concretizes(&abs, &v), "{v:?} ∉ γ(α({v:?}))");
         }

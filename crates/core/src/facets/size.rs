@@ -353,7 +353,13 @@ mod tests {
         let out = f.closed_op(Prim::MkVec, &[FacetArg { pe: &pe, abs: &abs }]);
         assert_eq!(out.downcast_ref(), Some(&SizeVal::Known(7)));
         let dyn_pe = PeVal::Top;
-        let out = f.closed_op(Prim::MkVec, &[FacetArg { pe: &dyn_pe, abs: &abs }]);
+        let out = f.closed_op(
+            Prim::MkVec,
+            &[FacetArg {
+                pe: &dyn_pe,
+                abs: &abs,
+            }],
+        );
         assert_eq!(out.downcast_ref(), Some(&SizeVal::Top));
     }
 
@@ -364,8 +370,14 @@ mod tests {
         let pe = PeVal::Top;
         let args = [
             FacetArg { pe: &pe, abs: &v },
-            FacetArg { pe: &pe, abs: &f.top() },
-            FacetArg { pe: &pe, abs: &f.top() },
+            FacetArg {
+                pe: &pe,
+                abs: &f.top(),
+            },
+            FacetArg {
+                pe: &pe,
+                abs: &f.top(),
+            },
         ];
         assert_eq!(
             f.closed_op(Prim::UpdVec, &args).downcast_ref(),
@@ -386,7 +398,8 @@ mod tests {
     fn abstract_alpha_follows_section_6_2() {
         let a = AbstractSizeFacet;
         assert_eq!(
-            a.alpha_facet(&AbsVal::new(SizeVal::Known(9))).downcast_ref(),
+            a.alpha_facet(&AbsVal::new(SizeVal::Known(9)))
+                .downcast_ref(),
             Some(&AbstractSizeVal::StaticSize)
         );
         assert_eq!(

@@ -229,18 +229,16 @@ impl Facet for TypeFacet {
         }
         match (p, s.as_slice()) {
             (Prim::Lt | Prim::Le | Prim::Gt | Prim::Ge, [a, b]) => {
-                if *a == Top || *b == Top {
+                // Unknown or compatible types: value unknown. Otherwise a
+                // definite type error.
+                if *a == Top || *b == Top || a.orderable_with(*b) {
                     PeVal::Top
-                } else if a.orderable_with(*b) {
-                    PeVal::Top // types fine, value unknown
                 } else {
-                    PeVal::Bottom // definite type error
+                    PeVal::Bottom
                 }
             }
             (Prim::Eq | Prim::Ne, [a, b]) => {
-                if *a == Top || *b == Top {
-                    PeVal::Top
-                } else if a.equatable_with(*b) {
+                if *a == Top || *b == Top || a.equatable_with(*b) {
                     PeVal::Top
                 } else {
                     PeVal::Bottom
@@ -329,14 +327,21 @@ mod tests {
     fn alpha_classifies_all_summands() {
         let f = TypeFacet;
         assert_eq!(f.alpha(&Value::Int(1)).downcast_ref(), Some(&TypeVal::Int));
-        assert_eq!(f.alpha(&Value::Bool(true)).downcast_ref(), Some(&TypeVal::Bool));
-        assert_eq!(f.alpha(&Value::Float(1.0)).downcast_ref(), Some(&TypeVal::Float));
+        assert_eq!(
+            f.alpha(&Value::Bool(true)).downcast_ref(),
+            Some(&TypeVal::Bool)
+        );
+        assert_eq!(
+            f.alpha(&Value::Float(1.0)).downcast_ref(),
+            Some(&TypeVal::Float)
+        );
         assert_eq!(
             f.alpha(&Value::vector(vec![])).downcast_ref(),
             Some(&TypeVal::Vector)
         );
         assert_eq!(
-            f.alpha(&Value::FnVal(ppe_lang::Symbol::intern("f"))).downcast_ref(),
+            f.alpha(&Value::FnVal(ppe_lang::Symbol::intern("f")))
+                .downcast_ref(),
             Some(&TypeVal::Fun)
         );
     }
@@ -386,10 +391,7 @@ mod tests {
         let f = TypeFacet;
         let out = f.closed_op_on(Prim::MkVec, &[a(TypeVal::Int)]);
         assert_eq!(out.downcast_ref(), Some(&TypeVal::Vector));
-        assert_eq!(
-            f.open_op_on(Prim::VSize, &[a(TypeVal::Int)]),
-            PeVal::Bottom
-        );
+        assert_eq!(f.open_op_on(Prim::VSize, &[a(TypeVal::Int)]), PeVal::Bottom);
     }
 
     #[test]
@@ -399,8 +401,14 @@ mod tests {
         let x = a(TypeVal::Top);
         let other = a(TypeVal::Int);
         let args = [
-            FacetArg { pe: &pe_top, abs: &x },
-            FacetArg { pe: &pe_top, abs: &other },
+            FacetArg {
+                pe: &pe_top,
+                abs: &x,
+            },
+            FacetArg {
+                pe: &pe_top,
+                abs: &other,
+            },
         ];
         // Either outcome of (< x 3) proves x : int.
         for outcome in [true, false] {
@@ -410,8 +418,14 @@ mod tests {
         // A contradicting prior type makes the branch unreachable.
         let y = a(TypeVal::Bool);
         let args = [
-            FacetArg { pe: &pe_top, abs: &y },
-            FacetArg { pe: &pe_top, abs: &other },
+            FacetArg {
+                pe: &pe_top,
+                abs: &y,
+            },
+            FacetArg {
+                pe: &pe_top,
+                abs: &other,
+            },
         ];
         assert_eq!(f.assume(Prim::Lt, &args, true, 0), Some(f.bottom()));
     }

@@ -89,10 +89,7 @@ pub fn check_lattice_laws<L: Lattice>(elems: &[L]) -> Result<(), LatticeLawViola
                 return Err(violation("join is an upper bound", format!("{a:?}, {b:?}")));
             }
             if a.leq(b) != (a.join(b) == *b) {
-                return Err(violation(
-                    "leq agrees with join",
-                    format!("{a:?}, {b:?}"),
-                ));
+                return Err(violation("leq agrees with join", format!("{a:?}, {b:?}")));
             }
             if a.leq(b) && b.leq(a) && a != b {
                 return Err(violation("antisymmetry", format!("{a:?}, {b:?}")));

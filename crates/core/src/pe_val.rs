@@ -178,7 +178,10 @@ mod tests {
 
     #[test]
     fn from_value_is_tau_hat() {
-        assert_eq!(PeVal::from_value(&Value::Int(3)), PeVal::Const(Const::Int(3)));
+        assert_eq!(
+            PeVal::from_value(&Value::Int(3)),
+            PeVal::Const(Const::Int(3))
+        );
         assert_eq!(PeVal::from_value(&Value::vector(vec![])), PeVal::Top);
     }
 

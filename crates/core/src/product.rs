@@ -120,11 +120,9 @@ impl FacetSet {
                 // result (e.g. `mkvec 3`): the value is fully computable,
                 // so abstract it exactly into every facet instead of going
                 // through the (necessarily weaker) abstract operators.
-                let arg_consts: Option<Vec<Const>> =
-                    args.iter().map(|a| a.pe.as_const()).collect();
+                let arg_consts: Option<Vec<Const>> = args.iter().map(|a| a.pe.as_const()).collect();
                 if let Some(cs) = arg_consts {
-                    let values: Vec<Value> =
-                        cs.iter().map(|c| Value::from_const(*c)).collect();
+                    let values: Vec<Value> = cs.iter().map(|c| Value::from_const(*c)).collect();
                     if let Ok(v) = p.eval(&values) {
                         return PrimOutcome::Closed(ProductVal::from_value(&v, self));
                     }
@@ -152,8 +150,12 @@ impl FacetSet {
             StdOpClass::Open => {
                 // Definition 5(b): ⊥ dominates; otherwise the first facet
                 // producing a constant wins; otherwise ⊤. Lemma 3
-                // guarantees all constant-producing facets agree, which is
-                // asserted in debug builds.
+                // guarantees all *sound* constant-producing facets agree;
+                // a disagreement therefore proves some facet is broken, so
+                // rather than pick a side (or abort), the reduction is
+                // abandoned and the expression stays residual — the
+                // conservative outcome that is correct whichever facet was
+                // at fault.
                 let mut found: Option<Const> = None;
                 let mut results = Vec::with_capacity(self.facets.len() + 1);
                 results.push(pe_result);
@@ -172,10 +174,9 @@ impl FacetSet {
                         PeVal::Bottom => return PrimOutcome::Bottom,
                         PeVal::Const(c) => {
                             if let Some(prev) = found {
-                                debug_assert_eq!(
-                                    prev, *c,
-                                    "Lemma 3 violated: facets disagree on `{p}`"
-                                );
+                                if prev != *c {
+                                    return PrimOutcome::Unknown;
+                                }
                             }
                             found = Some(*c);
                         }
@@ -493,7 +494,10 @@ mod tests {
         match set.prim_product(Prim::MkVec, &[three]) {
             PrimOutcome::Closed(v) => {
                 assert_eq!(*v.pe(), PeVal::Top);
-                assert_eq!(v.facet(0).downcast_ref::<SizeVal>(), Some(&SizeVal::Known(3)));
+                assert_eq!(
+                    v.facet(0).downcast_ref::<SizeVal>(),
+                    Some(&SizeVal::Known(3))
+                );
             }
             other => panic!("expected Closed, got {other:?}"),
         }

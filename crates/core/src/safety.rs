@@ -82,14 +82,26 @@ pub fn check_facet_lattice(facet: &dyn Facet, elems: &[AbsVal]) -> Result<(), Sa
     for a in elems {
         for b in elems {
             if facet.join(a, b) != facet.join(b, a) {
-                return Err(fail("join commutativity", facet.name(), format!("{a:?}, {b:?}")));
+                return Err(fail(
+                    "join commutativity",
+                    facet.name(),
+                    format!("{a:?}, {b:?}"),
+                ));
             }
             let j = facet.join(a, b);
             if !facet.leq(a, &j) || !facet.leq(b, &j) {
-                return Err(fail("join upper bound", facet.name(), format!("{a:?}, {b:?}")));
+                return Err(fail(
+                    "join upper bound",
+                    facet.name(),
+                    format!("{a:?}, {b:?}"),
+                ));
             }
             if facet.leq(a, b) != (facet.join(a, b) == *b) {
-                return Err(fail("leq/join agreement", facet.name(), format!("{a:?}, {b:?}")));
+                return Err(fail(
+                    "leq/join agreement",
+                    facet.name(),
+                    format!("{a:?}, {b:?}"),
+                ));
             }
             for c in elems {
                 if facet.join(a, &facet.join(b, c)) != facet.join(&facet.join(a, b), c) {
@@ -249,7 +261,10 @@ pub fn check_facet_safety(
             let abs: Vec<AbsVal> = owned.iter().map(|v| facet.alpha(v)).collect();
             let wrapped: Vec<crate::facet::FacetArg<'_>> = abs
                 .iter()
-                .map(|a| crate::facet::FacetArg { pe: &pe_top, abs: a })
+                .map(|a| crate::facet::FacetArg {
+                    pe: &pe_top,
+                    abs: a,
+                })
                 .collect();
             match p.std_class() {
                 StdOpClass::Closed => {

@@ -45,7 +45,11 @@ impl Eq for F64 {}
 impl std::hash::Hash for F64 {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         // Normalize -0.0 to 0.0 so that Eq and Hash agree.
-        let bits = if self.0 == 0.0 { 0u64 } else { self.0.to_bits() };
+        let bits = if self.0 == 0.0 {
+            0u64
+        } else {
+            self.0.to_bits()
+        };
         bits.hash(state);
     }
 }

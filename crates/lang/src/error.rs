@@ -31,7 +31,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -87,6 +91,9 @@ pub enum EvalError {
     /// The evaluator's call-depth limit was exceeded (deep, non-tail
     /// recursion; also a stand-in for non-termination).
     DepthExceeded,
+    /// The evaluator's wall-clock deadline expired (see
+    /// `Evaluator::set_deadline`).
+    DeadlineExceeded,
     /// The evaluator does not support this construct (e.g. higher-order
     /// forms under the call-by-need evaluator).
     Unsupported(&'static str),
@@ -116,6 +123,7 @@ impl fmt::Display for EvalError {
             EvalError::NotAFunction => f.write_str("application of a non-function value"),
             EvalError::OutOfFuel => f.write_str("evaluation fuel exhausted"),
             EvalError::DepthExceeded => f.write_str("evaluation call depth exceeded"),
+            EvalError::DeadlineExceeded => f.write_str("evaluation deadline exceeded"),
             EvalError::Unsupported(what) => write!(f, "unsupported: {what}"),
         }
     }

@@ -6,6 +6,7 @@
 //! rather than hanging tests.
 
 use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 use crate::ast::Expr;
 use crate::env::Env;
@@ -19,6 +20,18 @@ pub const DEFAULT_FUEL: u64 = 10_000_000;
 /// Default call-depth limit (bounds native stack use; non-tail recursion
 /// deeper than this reports [`EvalError::DepthExceeded`]).
 pub const DEFAULT_MAX_DEPTH: u32 = 200;
+
+/// Default limit on the evaluator's *expression* recursion — the total
+/// nesting of `eval` itself, which grows with deeply nested expressions
+/// even when the call depth does not (e.g. a parser-built tower of
+/// primitives). Converts would-be native stack overflows into structured
+/// [`EvalError::DepthExceeded`] errors; calibrated to fire well before the
+/// stacks this workspace configures (see `.cargo/config.toml`) run out.
+pub const DEFAULT_MAX_EXPR_DEPTH: u32 = 65_536;
+
+/// How often the evaluator consults the wall clock when a deadline is set:
+/// every 1024 expression nodes.
+const DEADLINE_CHECK_MASK: u64 = 0x3FF;
 
 /// An evaluator for a fixed program.
 ///
@@ -41,6 +54,11 @@ pub struct Evaluator<'p> {
     initial_fuel: u64,
     depth: u32,
     max_depth: u32,
+    expr_depth: u32,
+    max_expr_depth: u32,
+    deadline: Option<Duration>,
+    deadline_at: Option<Instant>,
+    ticks: u64,
 }
 
 impl<'p> Evaluator<'p> {
@@ -57,12 +75,32 @@ impl<'p> Evaluator<'p> {
             initial_fuel: fuel,
             depth: 0,
             max_depth: DEFAULT_MAX_DEPTH,
+            expr_depth: 0,
+            max_expr_depth: DEFAULT_MAX_EXPR_DEPTH,
+            deadline: None,
+            deadline_at: None,
+            ticks: 0,
         }
     }
 
     /// Sets the call-depth limit (the default is [`DEFAULT_MAX_DEPTH`]).
     pub fn set_max_depth(&mut self, max_depth: u32) {
         self.max_depth = max_depth;
+    }
+
+    /// Sets the expression-recursion limit (the default is
+    /// [`DEFAULT_MAX_EXPR_DEPTH`]).
+    pub fn set_max_expr_depth(&mut self, max_expr_depth: u32) {
+        self.max_expr_depth = max_expr_depth;
+    }
+
+    /// Sets (or clears) a wall-clock budget per run. The clock starts at
+    /// the next [`Evaluator::run_main`] / [`Evaluator::run`]; expiry
+    /// reports [`EvalError::DeadlineExceeded`], checked every 1024
+    /// expression nodes.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+        self.deadline_at = None;
     }
 
     /// Runs the program's main function (the paper's `E_Prog`) on `args`.
@@ -73,6 +111,7 @@ impl<'p> Evaluator<'p> {
     /// budget resets on each call to `run_main`.
     pub fn run_main(&mut self, args: &[Value]) -> Result<Value, EvalError> {
         self.fuel = self.initial_fuel;
+        self.deadline_at = self.deadline.map(|d| Instant::now() + d);
         let main = self.program.main();
         self.apply_named(main.name, args.to_vec())
     }
@@ -84,6 +123,7 @@ impl<'p> Evaluator<'p> {
     /// As for [`Evaluator::run_main`].
     pub fn run(&mut self, name: crate::Symbol, args: &[Value]) -> Result<Value, EvalError> {
         self.fuel = self.initial_fuel;
+        self.deadline_at = self.deadline.map(|d| Instant::now() + d);
         self.apply_named(name, args.to_vec())
     }
 
@@ -121,16 +161,38 @@ impl<'p> Evaluator<'p> {
 
     /// Evaluates an expression in an environment (the paper's `E`).
     ///
+    /// Guarded: the evaluator's own recursion is bounded (deeply nested
+    /// expressions report [`EvalError::DepthExceeded`] instead of
+    /// overflowing the native stack), and the wall-clock deadline, if set,
+    /// is checked periodically.
+    ///
     /// # Errors
     ///
     /// Any [`EvalError`].
     pub fn eval(&mut self, e: &Expr, env: &Env) -> Result<Value, EvalError> {
+        self.expr_depth += 1;
+        if self.expr_depth >= self.max_expr_depth {
+            self.expr_depth -= 1;
+            return Err(EvalError::DepthExceeded);
+        }
+        self.ticks += 1;
+        if self.ticks & DEADLINE_CHECK_MASK == 0 {
+            if let Some(at) = self.deadline_at {
+                if Instant::now() >= at {
+                    self.expr_depth -= 1;
+                    return Err(EvalError::DeadlineExceeded);
+                }
+            }
+        }
+        let out = self.eval_inner(e, env);
+        self.expr_depth -= 1;
+        out
+    }
+
+    fn eval_inner(&mut self, e: &Expr, env: &Env) -> Result<Value, EvalError> {
         match e {
             Expr::Const(c) => Ok(Value::from_const(*c)),
-            Expr::Var(x) => env
-                .lookup(*x)
-                .cloned()
-                .ok_or(EvalError::UnboundVar(*x)),
+            Expr::Var(x) => env.lookup(*x).cloned().ok_or(EvalError::UnboundVar(*x)),
             Expr::Prim(p, args) => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
@@ -241,8 +303,16 @@ mod tests {
                    (define (dotprod a b n)
                      (if (= n 0) 0.0
                          (+ (* (vref a n) (vref b n)) (dotprod a b (- n 1)))))";
-        let a = Value::vector(vec![Value::Float(1.0), Value::Float(2.0), Value::Float(3.0)]);
-        let b = Value::vector(vec![Value::Float(4.0), Value::Float(5.0), Value::Float(6.0)]);
+        let a = Value::vector(vec![
+            Value::Float(1.0),
+            Value::Float(2.0),
+            Value::Float(3.0),
+        ]);
+        let b = Value::vector(vec![
+            Value::Float(4.0),
+            Value::Float(5.0),
+            Value::Float(6.0),
+        ]);
         assert_eq!(run(src, &[a, b]).unwrap(), Value::Float(32.0));
     }
 
@@ -251,14 +321,20 @@ mod tests {
         // Tail-recursive loops hit the depth limit first (the evaluator is
         // not tail-call optimized); either budget makes divergence finite.
         let err = run("(define (loop x) (loop x))", &[Value::Int(0)]).unwrap_err();
-        assert!(matches!(err, EvalError::DepthExceeded | EvalError::OutOfFuel));
+        assert!(matches!(
+            err,
+            EvalError::DepthExceeded | EvalError::OutOfFuel
+        ));
     }
 
     #[test]
     fn small_fuel_budget_is_respected() {
         let p = parse_program("(define (loop x) (loop x))").unwrap();
         let mut ev = Evaluator::with_fuel(&p, 50);
-        assert_eq!(ev.run_main(&[Value::Int(0)]).unwrap_err(), EvalError::OutOfFuel);
+        assert_eq!(
+            ev.run_main(&[Value::Int(0)]).unwrap_err(),
+            EvalError::OutOfFuel
+        );
     }
 
     #[test]
@@ -303,6 +379,9 @@ mod tests {
     fn strictness_errors_propagate_from_arguments() {
         // An erroring argument poisons the call, as strictness demands.
         let src = "(define (f x) (g (/ x 0))) (define (g y) 1)";
-        assert_eq!(run(src, &[Value::Int(1)]).unwrap_err(), EvalError::DivByZero);
+        assert_eq!(
+            run(src, &[Value::Int(1)]).unwrap_err(),
+            EvalError::DivByZero
+        );
     }
 }

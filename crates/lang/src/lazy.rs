@@ -228,8 +228,7 @@ impl<'p> LazyEvaluator<'p> {
                 self.depth += 1;
                 let mut inner = LazyEnv::default();
                 for (p, a) in def.params.iter().zip(args) {
-                    let thunk =
-                        Rc::new(RefCell::new(Thunk::Delayed(a.clone(), env.clone())));
+                    let thunk = Rc::new(RefCell::new(Thunk::Delayed(a.clone(), env.clone())));
                     inner = inner.bind(*p, thunk);
                 }
                 let body = def.body.clone();
@@ -237,9 +236,9 @@ impl<'p> LazyEvaluator<'p> {
                 self.depth -= 1;
                 out
             }
-            Expr::Lambda(..) | Expr::App(..) | Expr::FnRef(_) => {
-                Err(EvalError::Unsupported("higher-order forms under call-by-need"))
-            }
+            Expr::Lambda(..) | Expr::App(..) | Expr::FnRef(_) => Err(EvalError::Unsupported(
+                "higher-order forms under call-by-need",
+            )),
         }
     }
 }
@@ -293,7 +292,10 @@ mod tests {
     fn unused_failing_let_is_ignored() {
         let src = "(define (f x) (let ((boom (/ x 0))) 42))";
         assert_eq!(lazy(src, &[Value::Int(1)]).unwrap(), Value::Int(42));
-        assert_eq!(strict(src, &[Value::Int(1)]).unwrap_err(), EvalError::DivByZero);
+        assert_eq!(
+            strict(src, &[Value::Int(1)]).unwrap_err(),
+            EvalError::DivByZero
+        );
     }
 
     #[test]
@@ -317,7 +319,10 @@ mod tests {
     #[test]
     fn forced_errors_still_surface() {
         let src = "(define (f x) (let ((boom (/ x 0))) (+ boom 1)))";
-        assert_eq!(lazy(src, &[Value::Int(1)]).unwrap_err(), EvalError::DivByZero);
+        assert_eq!(
+            lazy(src, &[Value::Int(1)]).unwrap_err(),
+            EvalError::DivByZero
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                     }
                     other => {
                         return Err(ParseError::new(
-                            format!("unknown `#` syntax: #{}", other.map(String::from).unwrap_or_default()),
+                            format!(
+                                "unknown `#` syntax: #{}",
+                                other.map(String::from).unwrap_or_default()
+                            ),
                             line,
                             start_col,
                         ));
@@ -117,17 +120,17 @@ fn classify_atom(atom: &str, line: u32, col: u32) -> Result<Token, ParseError> {
         || ((bytes[0] == b'-' || bytes[0] == b'+') && bytes.len() > 1 && bytes[1].is_ascii_digit());
     let kind = if numericish {
         if atom.contains('.') || atom.contains('e') || atom.contains('E') {
-            let x: f64 = atom
-                .parse()
-                .map_err(|_| ParseError::new(format!("malformed float literal `{atom}`"), line, col))?;
+            let x: f64 = atom.parse().map_err(|_| {
+                ParseError::new(format!("malformed float literal `{atom}`"), line, col)
+            })?;
             if x.is_nan() {
                 return Err(ParseError::new("float literal is NaN", line, col));
             }
             TokenKind::Float(x)
         } else {
-            let n: i64 = atom
-                .parse()
-                .map_err(|_| ParseError::new(format!("malformed integer literal `{atom}`"), line, col))?;
+            let n: i64 = atom.parse().map_err(|_| {
+                ParseError::new(format!("malformed integer literal `{atom}`"), line, col)
+            })?;
             TokenKind::Int(n)
         }
     } else {
@@ -173,13 +176,19 @@ mod tests {
 
     #[test]
     fn lexes_booleans() {
-        assert_eq!(kinds("#t #f"), vec![TokenKind::Bool(true), TokenKind::Bool(false)]);
+        assert_eq!(
+            kinds("#t #f"),
+            vec![TokenKind::Bool(true), TokenKind::Bool(false)]
+        );
         assert!(lex("#q").is_err());
     }
 
     #[test]
     fn skips_comments() {
-        assert_eq!(kinds("1 ; two three\n4"), vec![TokenKind::Int(1), TokenKind::Int(4)]);
+        assert_eq!(
+            kinds("1 ; two three\n4"),
+            vec![TokenKind::Int(1), TokenKind::Int(4)]
+        );
     }
 
     #[test]

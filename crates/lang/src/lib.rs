@@ -45,7 +45,7 @@ mod value;
 pub use ast::{Const, Expr, F64};
 pub use env::Env;
 pub use error::{EvalError, ParseError};
-pub use eval::{Evaluator, DEFAULT_FUEL, DEFAULT_MAX_DEPTH};
+pub use eval::{Evaluator, DEFAULT_FUEL, DEFAULT_MAX_DEPTH, DEFAULT_MAX_EXPR_DEPTH};
 pub use lazy::LazyEvaluator;
 pub use opt::{optimize_expr, optimize_program, prune_unused_params, OptLevel};
 pub use parser::{parse_expr, parse_program};

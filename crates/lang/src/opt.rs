@@ -14,7 +14,6 @@
 //! (overflow, type errors) of dead code, a trade-off real compilers make;
 //! it never touches division, vector operations, or calls.
 
-
 use crate::ast::Expr;
 use crate::prim::Prim;
 use crate::program::Program;
@@ -60,7 +59,10 @@ pub fn optimize_program(program: &Program, level: OptLevel) -> Program {
             crate::program::FunDef::new(d.name, d.params.clone(), body)
         })
         .collect();
-    Program::new(defs).expect("optimization preserves program shape")
+    // Optimization rewrites bodies only, so the def list always rebuilds;
+    // if that invariant ever breaks, returning the source unoptimized is
+    // strictly safer than aborting.
+    Program::new(defs).unwrap_or_else(|_| program.clone())
 }
 
 /// One bottom-up cleanup pass over an expression.
@@ -183,13 +185,9 @@ fn count_uses(e: &Expr, x: Symbol) -> usize {
     match e {
         Expr::Const(_) | Expr::FnRef(_) => 0,
         Expr::Var(v) => usize::from(*v == x),
-        Expr::Prim(_, args) | Expr::Call(_, args) => {
-            args.iter().map(|a| count_uses(a, x)).sum()
-        }
+        Expr::Prim(_, args) | Expr::Call(_, args) => args.iter().map(|a| count_uses(a, x)).sum(),
         Expr::If(c, t, f) => count_uses(c, x) + count_uses(t, x) + count_uses(f, x),
-        Expr::Let(y, b, body) => {
-            count_uses(b, x) + if *y == x { 0 } else { count_uses(body, x) }
-        }
+        Expr::Let(y, b, body) => count_uses(b, x) + if *y == x { 0 } else { count_uses(body, x) },
         Expr::Lambda(params, body) => {
             if params.contains(&x) {
                 0
@@ -232,8 +230,7 @@ fn substitute(e: &Expr, x: Symbol, replacement: &Expr) -> Expr {
             let b = substitute(b, x, replacement);
             // Shadowing stops the substitution; a Var replacement equal to
             // `y` would be captured, so stop there too.
-            let shadows = *y == x
-                || matches!(replacement, Expr::Var(r) if r == y);
+            let shadows = *y == x || matches!(replacement, Expr::Var(r) if r == y);
             let body = if shadows {
                 (**body).clone()
             } else {
@@ -242,8 +239,8 @@ fn substitute(e: &Expr, x: Symbol, replacement: &Expr) -> Expr {
             Expr::Let(*y, Box::new(b), Box::new(body))
         }
         Expr::Lambda(params, body) => {
-            let captured = params.contains(&x)
-                || matches!(replacement, Expr::Var(r) if params.contains(r));
+            let captured =
+                params.contains(&x) || matches!(replacement, Expr::Var(r) if params.contains(r));
             if captured {
                 e.clone()
             } else {
@@ -318,10 +315,7 @@ mod tests {
     #[test]
     fn substitution_respects_shadowing() {
         // a := x must not reach under (let ((a …))).
-        assert_eq!(
-            opt("(let ((a x)) (let ((a 1)) a))", OptLevel::Safe),
-            "1"
-        );
+        assert_eq!(opt("(let ((a x)) (let ((a 1)) a))", OptLevel::Safe), "1");
         // Capture check: a := y, with an inner binder y. The inner
         // constant binding folds first, after which a := y is free to
         // substitute — the result must mean "outer y + 1", never the
@@ -339,10 +333,7 @@ mod tests {
 
     #[test]
     fn programs_optimize_whole() {
-        let p = parse_program(
-            "(define (f x) (let ((u x)) (if (= 1 1) (+ u 0) 9)))",
-        )
-        .unwrap();
+        let p = parse_program("(define (f x) (let ((u x)) (if (= 1 1) (+ u 0) 9)))").unwrap();
         let o = optimize_program(&p, OptLevel::Safe);
         // (= 1 1) is a constant? No — it is a prim application; the online
         // PE folds those, not this cleanup. But the let substitutes.
@@ -547,19 +538,14 @@ fn uses_outside_dead(
 }
 
 /// Rewrites every call, deleting arguments at dead positions.
-fn drop_dead_args(
-    e: &Expr,
-    by_fn: &std::collections::HashMap<Symbol, Vec<usize>>,
-) -> Expr {
+fn drop_dead_args(e: &Expr, by_fn: &std::collections::HashMap<Symbol, Vec<usize>>) -> Expr {
     match e {
         Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_) => e.clone(),
-        Expr::Prim(p, args) => Expr::Prim(
-            *p,
-            args.iter().map(|a| drop_dead_args(a, by_fn)).collect(),
-        ),
+        Expr::Prim(p, args) => {
+            Expr::Prim(*p, args.iter().map(|a| drop_dead_args(a, by_fn)).collect())
+        }
         Expr::Call(g, args) => {
-            let mut args: Vec<Expr> =
-                args.iter().map(|a| drop_dead_args(a, by_fn)).collect();
+            let mut args: Vec<Expr> = args.iter().map(|a| drop_dead_args(a, by_fn)).collect();
             if let Some(positions) = by_fn.get(g) {
                 for &i in positions {
                     args.remove(i);
@@ -604,13 +590,10 @@ fn all_call_args_droppable(
                     && check(b, f, position, level)
                     && check(c, f, position, level)
             }
-            Expr::Let(_, a, b) => {
-                check(a, f, position, level) && check(b, f, position, level)
-            }
+            Expr::Let(_, a, b) => check(a, f, position, level) && check(b, f, position, level),
             Expr::Lambda(_, b) => check(b, f, position, level),
             Expr::App(h, args) => {
-                check(h, f, position, level)
-                    && args.iter().all(|a| check(a, f, position, level))
+                check(h, f, position, level) && args.iter().all(|a| check(a, f, position, level))
             }
         }
     }

@@ -94,8 +94,12 @@ pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
     let mut scope = Scope::new(&no_functions);
     let e = p.parse_expr(&mut scope)?;
     if !p.at_end() {
-        let t = p.peek().unwrap();
-        return Err(ParseError::new("trailing input after expression", t.line, t.col));
+        let (line, col) = p.peek().map_or((0, 0), |t| (t.line, t.col));
+        return Err(ParseError::new(
+            "trailing input after expression",
+            line,
+            col,
+        ));
     }
     Ok(e)
 }
@@ -170,7 +174,11 @@ impl Parser {
             )),
             None => {
                 let (l, c) = self.last_pos();
-                Err(ParseError::new(format!("expected `(` to start {what}, found end of input"), l, c))
+                Err(ParseError::new(
+                    format!("expected `(` to start {what}, found end of input"),
+                    l,
+                    c,
+                ))
             }
         }
     }
@@ -206,7 +214,11 @@ impl Parser {
             )),
             None => {
                 let (l, c) = self.last_pos();
-                Err(ParseError::new(format!("expected {what}, found end of input"), l, c))
+                Err(ParseError::new(
+                    format!("expected {what}, found end of input"),
+                    l,
+                    c,
+                ))
             }
         }
     }
@@ -236,7 +248,10 @@ impl Parser {
         self.expect_lparen("a definition")?;
         let kw = self.expect_ident("`define`")?;
         if kw.as_str() != "define" {
-            let (l, c) = self.peek().map(|t| (t.line, t.col)).unwrap_or(self.last_pos());
+            let (l, c) = self
+                .peek()
+                .map(|t| (t.line, t.col))
+                .unwrap_or(self.last_pos());
             return Err(ParseError::new(
                 format!("expected `define`, found `{kw}`"),
                 l,
@@ -284,7 +299,11 @@ impl Parser {
             Some(t) => t,
             None => {
                 let (l, c) = self.last_pos();
-                return Err(ParseError::new("expected an expression, found end of input", l, c));
+                return Err(ParseError::new(
+                    "expected an expression, found end of input",
+                    l,
+                    c,
+                ));
             }
         };
         match tok.kind {
@@ -307,7 +326,12 @@ impl Parser {
     }
 
     /// Parses the contents of a parenthesized form; the `(` is consumed.
-    fn parse_form(&mut self, scope: &mut Scope<'_>, line: u32, col: u32) -> Result<Expr, ParseError> {
+    fn parse_form(
+        &mut self,
+        scope: &mut Scope<'_>,
+        line: u32,
+        col: u32,
+    ) -> Result<Expr, ParseError> {
         let head = match self.peek() {
             Some(t) => t.clone(),
             None => return Err(ParseError::new("unclosed `(`", line, col)),

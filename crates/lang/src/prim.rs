@@ -196,7 +196,10 @@ impl Prim {
             Prim::Mul => numeric2(self, args, |a, b| a.checked_mul(b), |a, b| a * b),
             Prim::Div => match (&args[0], &args[1]) {
                 (Value::Int(_), Value::Int(0)) => Err(EvalError::DivByZero),
-                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_div(*b))),
+                (Value::Int(a), Value::Int(b)) => a
+                    .checked_div(*b)
+                    .map(Value::Int)
+                    .ok_or(EvalError::IntOverflow { prim: self }),
                 (Value::Float(a), Value::Float(b)) => {
                     if *b == 0.0 {
                         Err(EvalError::DivByZero)
@@ -208,11 +211,17 @@ impl Prim {
             },
             Prim::Mod => match (&args[0], &args[1]) {
                 (Value::Int(_), Value::Int(0)) => Err(EvalError::DivByZero),
-                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.rem_euclid(*b))),
+                (Value::Int(a), Value::Int(b)) => a
+                    .checked_rem_euclid(*b)
+                    .map(Value::Int)
+                    .ok_or(EvalError::IntOverflow { prim: self }),
                 _ => Err(type_err(self, args)),
             },
             Prim::Neg => match &args[0] {
-                Value::Int(a) => Ok(Value::Int(a.wrapping_neg())),
+                Value::Int(a) => a
+                    .checked_neg()
+                    .map(Value::Int)
+                    .ok_or(EvalError::IntOverflow { prim: self }),
                 Value::Float(a) => Ok(Value::Float(-a)),
                 _ => Err(type_err(self, args)),
             },
@@ -324,7 +333,11 @@ fn numeric2(
     }
 }
 
-fn boolean2(prim: Prim, args: &[Value], op: impl Fn(bool, bool) -> bool) -> Result<Value, EvalError> {
+fn boolean2(
+    prim: Prim,
+    args: &[Value],
+    op: impl Fn(bool, bool) -> bool,
+) -> Result<Value, EvalError> {
     match (&args[0], &args[1]) {
         (Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(op(*a, *b))),
         _ => Err(type_err(prim, args)),
@@ -374,10 +387,7 @@ mod tests {
             Prim::Mul.eval(&[Value::Int(-3), Value::Int(5)]).unwrap(),
             Value::Int(-15)
         );
-        assert_eq!(
-            Prim::Neg.eval(&[Value::Int(7)]).unwrap(),
-            Value::Int(-7)
-        );
+        assert_eq!(Prim::Neg.eval(&[Value::Int(7)]).unwrap(), Value::Int(-7));
     }
 
     #[test]
@@ -445,7 +455,10 @@ mod tests {
         assert_eq!(Prim::VRef.std_class(), StdOpClass::Open);
 
         let v = Prim::MkVec.eval(&[Value::Int(3)]).unwrap();
-        assert_eq!(Prim::VSize.eval(std::slice::from_ref(&v)).unwrap(), Value::Int(3));
+        assert_eq!(
+            Prim::VSize.eval(std::slice::from_ref(&v)).unwrap(),
+            Value::Int(3)
+        );
         let v2 = Prim::UpdVec
             .eval(&[v, Value::Int(2), Value::Float(9.0)])
             .unwrap();

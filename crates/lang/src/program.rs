@@ -133,7 +133,9 @@ impl Program {
                 if self.lookup(*f).is_some() {
                     Ok(())
                 } else {
-                    Err(format!("reference to unknown function `{f}` in `{context}`"))
+                    Err(format!(
+                        "reference to unknown function `{f}` in `{context}`"
+                    ))
                 }
             }
             Expr::Prim(_, args) => {

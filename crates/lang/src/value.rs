@@ -104,8 +104,16 @@ impl PartialEq for Value {
             // identity of the body; good enough for tests, never used by
             // the machinery itself.
             (
-                Value::Closure { params: p1, body: b1, .. },
-                Value::Closure { params: p2, body: b2, .. },
+                Value::Closure {
+                    params: p1,
+                    body: b1,
+                    ..
+                },
+                Value::Closure {
+                    params: p2,
+                    body: b2,
+                    ..
+                },
             ) => p1 == p2 && Rc::ptr_eq(b1, b2),
             _ => false,
         }
@@ -162,7 +170,11 @@ mod tests {
 
     #[test]
     fn const_round_trip() {
-        for c in [Const::Int(-4), Const::Bool(true), Const::Float(F64::new(2.5).unwrap())] {
+        for c in [
+            Const::Int(-4),
+            Const::Bool(true),
+            Const::Float(F64::new(2.5).unwrap()),
+        ] {
             assert_eq!(Value::from_const(c).to_const(), Some(c));
         }
     }

@@ -17,10 +17,9 @@
 
 use std::collections::HashMap;
 
-use ppe_core::{
-    AbstractFacetSet, AbstractProductVal, BtVal, FacetSet, ProductVal,
-};
+use ppe_core::{AbstractFacetSet, AbstractProductVal, BtVal, FacetSet, ProductVal};
 use ppe_lang::{Expr, Program, Symbol};
+use ppe_online::{DegradationReport, Governor, PeConfig};
 
 use crate::annotate::{AnnExpr, AnnFunDef, AnnKind, CallAction, PrimAction};
 use crate::error::OfflineError;
@@ -86,7 +85,10 @@ impl AbstractInput {
     #[must_use]
     pub fn with_facet(self, facet_name: &str, value: ppe_core::AbsVal) -> AbstractInput {
         match self {
-            AbstractInput::Direct { bt, mut refinements } => {
+            AbstractInput::Direct {
+                bt,
+                mut refinements,
+            } => {
                 refinements.push((facet_name.to_owned(), value));
                 AbstractInput::Direct { bt, refinements }
             }
@@ -130,10 +132,7 @@ impl AbstractInput {
 
 /// Abstracts an online product into the offline domain: `τ̄` on the PE
 /// component, `ᾱᵢ` on each facet component.
-pub(crate) fn abstract_of_product(
-    p: &ProductVal,
-    aset: &AbstractFacetSet,
-) -> AbstractProductVal {
+pub(crate) fn abstract_of_product(p: &ProductVal, aset: &AbstractFacetSet) -> AbstractProductVal {
     let bt = BtVal::from_pe(p.pe());
     let facets: Vec<ppe_core::AbsVal> = p
         .facet_components()
@@ -158,6 +157,10 @@ pub struct Analysis {
     pub entry: Symbol,
     /// The abstract inputs the analysis was run with.
     pub inputs: Vec<AbstractProductVal>,
+    /// Budgets that tripped during analysis (the wall-clock deadline under
+    /// `ExhaustionPolicy::Degrade`, which widens every signature to fully
+    /// dynamic instead of failing). Empty on a within-budget run.
+    pub degradation: DegradationReport,
     pub(crate) aset: AbstractFacetSet,
 }
 
@@ -205,6 +208,27 @@ pub fn analyze(
     analyze_fn(program, facets, program.main().name, inputs)
 }
 
+/// Runs facet analysis under an explicit budget/policy configuration.
+///
+/// Only the wall-clock budget applies to analysis (its fixpoint is
+/// guaranteed to converge; the deadline guards against pathological
+/// iteration counts). Under `ExhaustionPolicy::Degrade` an expired
+/// deadline widens *every* signature — arguments and results — to fully
+/// dynamic and annotates at that sound fixpoint instead of failing.
+///
+/// # Errors
+///
+/// As for [`analyze`], plus [`OfflineError::DeadlineExceeded`] under
+/// `ExhaustionPolicy::Fail`.
+pub fn analyze_with_config(
+    program: &Program,
+    facets: &FacetSet,
+    inputs: &[AbstractInput],
+    config: &PeConfig,
+) -> Result<Analysis, OfflineError> {
+    analyze_fn_with_config(program, facets, program.main().name, inputs, config)
+}
+
 /// Runs facet analysis with an arbitrary entry function.
 ///
 /// # Errors
@@ -215,6 +239,22 @@ pub fn analyze_fn(
     facets: &FacetSet,
     entry: Symbol,
     inputs: &[AbstractInput],
+) -> Result<Analysis, OfflineError> {
+    analyze_fn_with_config(program, facets, entry, inputs, &PeConfig::default())
+}
+
+/// Runs facet analysis with an arbitrary entry function and an explicit
+/// budget/policy configuration (see [`analyze_with_config`]).
+///
+/// # Errors
+///
+/// As for [`analyze_with_config`].
+pub fn analyze_fn_with_config(
+    program: &Program,
+    facets: &FacetSet,
+    entry: Symbol,
+    inputs: &[AbstractInput],
+    config: &PeConfig,
 ) -> Result<Analysis, OfflineError> {
     if program.is_higher_order() {
         return Err(OfflineError::HigherOrder);
@@ -246,12 +286,39 @@ pub fn analyze_fn(
 
     // The h̃ iteration: analyze every reached function at its current
     // signature arguments; absorb result and call-site contributions;
-    // repeat until stable.
+    // repeat until stable. The governor supplies the wall-clock guard:
+    // per-iteration checks, since per-node ticks would dominate the
+    // analysis cost.
+    let mut gov = Governor::new(config);
     let mut iterations = 0;
     loop {
         iterations += 1;
         if iterations > MAX_ITERATIONS {
             return Err(OfflineError::NoFixpoint);
+        }
+        gov.check_deadline().map_err(OfflineError::from)?;
+        if gov.is_exhausted() {
+            // Degrade: widen every signature — arguments *and* results —
+            // to fully dynamic. That is a (maximal) sound fixpoint, so the
+            // annotation pass below stays correct; it merely promises no
+            // static reductions. Widening only parts of a signature would
+            // be unsound.
+            let widened: Vec<(Symbol, FacetSignature)> = sig
+                .iter()
+                .map(|(f, s)| {
+                    (
+                        f,
+                        FacetSignature {
+                            args: s.args.iter().map(|a| a.clone().force_dynamic()).collect(),
+                            result: s.result.clone().force_dynamic(),
+                        },
+                    )
+                })
+                .collect();
+            for (f, s) in widened {
+                sig.insert(f, s);
+            }
+            break;
         }
         let snapshot = sig.clone();
         for d in program.defs() {
@@ -281,9 +348,7 @@ pub fn analyze_fn(
                     result: sig
                         .get(g)
                         .map(|gs| gs.result.clone())
-                        .unwrap_or_else(|| {
-                            FacetSignature::bottom(arity, &aset).result
-                        }),
+                        .unwrap_or_else(|| FacetSignature::bottom(arity, &aset).result),
                 };
                 sig.absorb(g, &contribution, &aset);
             }
@@ -320,6 +385,7 @@ pub fn analyze_fn(
         iterations,
         entry,
         inputs: lowered,
+        degradation: gov.into_report(),
         aset,
     })
 }
@@ -387,9 +453,7 @@ fn eval_abs(
             }
         }
         // First-order analysis; callers have already rejected HO programs.
-        Expr::Lambda(..) | Expr::App(..) | Expr::FnRef(_) => {
-            AbstractProductVal::dynamic(aset)
-        }
+        Expr::Lambda(..) | Expr::App(..) | Expr::FnRef(_) => AbstractProductVal::dynamic(aset),
     }
 }
 
@@ -416,12 +480,8 @@ fn annotate(
             kind: AnnKind::Var(*x),
         },
         Expr::Prim(p, args) => {
-            let ann_args: Vec<AnnExpr> = args
-                .iter()
-                .map(|a| annotate(a, env, sig, aset))
-                .collect();
-            let vals: Vec<AbstractProductVal> =
-                ann_args.iter().map(|a| a.value.clone()).collect();
+            let ann_args: Vec<AnnExpr> = args.iter().map(|a| annotate(a, env, sig, aset)).collect();
+            let vals: Vec<AbstractProductVal> = ann_args.iter().map(|a| a.value.clone()).collect();
             let r = aset.abstract_prim(*p, &vals);
             let action = if r.value.bt().is_static() {
                 // Prefer the cheapest source: the PE facet (standard
@@ -479,10 +539,7 @@ fn annotate(
             }
         }
         Expr::Call(f, args) => {
-            let ann_args: Vec<AnnExpr> = args
-                .iter()
-                .map(|a| annotate(a, env, sig, aset))
-                .collect();
+            let ann_args: Vec<AnnExpr> = args.iter().map(|a| annotate(a, env, sig, aset)).collect();
             let any_static = ann_args.iter().any(|a| a.value.bt().is_static());
             let action = if any_static {
                 CallAction::Unfold
@@ -527,10 +584,8 @@ mod tests {
 
     fn size_inputs() -> Vec<AbstractInput> {
         vec![
-            AbstractInput::dynamic()
-                .with_facet("size", AbsVal::new(AbstractSizeVal::StaticSize)),
-            AbstractInput::dynamic()
-                .with_facet("size", AbsVal::new(AbstractSizeVal::StaticSize)),
+            AbstractInput::dynamic().with_facet("size", AbsVal::new(AbstractSizeVal::StaticSize)),
+            AbstractInput::dynamic().with_facet("size", AbsVal::new(AbstractSizeVal::StaticSize)),
         ]
     }
 
@@ -559,7 +614,10 @@ mod tests {
         let analysis = analyze(&p, &facets, &size_inputs()).unwrap();
         let dot = &analysis.annotated[&Symbol::intern("dotprod")];
         // The conditional test (= n 0) is static (Figure 9's ⟨Stat⟩).
-        let AnnKind::If { static_cond, cond, .. } = &dot.body.kind else {
+        let AnnKind::If {
+            static_cond, cond, ..
+        } = &dot.body.kind
+        else {
             panic!("dotprod body should be an if");
         };
         assert!(static_cond);

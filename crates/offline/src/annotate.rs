@@ -110,10 +110,7 @@ impl AnnExpr {
                     PrimAction::Reduce { source } => format!(" [reduce: facet {}]", source - 1),
                     PrimAction::Residualize => String::new(),
                 };
-                out.push((
-                    format!("({p} …){action_str}"),
-                    self.value.display(),
-                ));
+                out.push((format!("({p} …){action_str}"), self.value.display()));
             }
             AnnKind::If {
                 cond,
@@ -194,10 +191,19 @@ mod tests {
             &[AbstractInput::dynamic(), AbstractInput::static_()],
         );
         let descs: Vec<&str> = rows.iter().map(|(d, _)| d.as_str()).collect();
-        assert!(descs.iter().any(|d| d.contains("(+ …) [reduce: PE]")), "{descs:?}");
+        assert!(
+            descs.iter().any(|d| d.contains("(+ …) [reduce: PE]")),
+            "{descs:?}"
+        );
         assert!(descs.iter().any(|d| d.contains("let m")), "{descs:?}");
-        assert!(descs.iter().any(|d| d.contains("if-test [static]")), "{descs:?}");
-        assert!(descs.iter().any(|d| d.contains("call g [unfold]")), "{descs:?}");
+        assert!(
+            descs.iter().any(|d| d.contains("if-test [static]")),
+            "{descs:?}"
+        );
+        assert!(
+            descs.iter().any(|d| d.contains("call g [unfold]")),
+            "{descs:?}"
+        );
     }
 
     #[test]
@@ -207,8 +213,14 @@ mod tests {
             &[AbstractInput::dynamic()],
         );
         let descs: Vec<&str> = rows.iter().map(|(d, _)| d.as_str()).collect();
-        assert!(descs.iter().any(|d| d.contains("if-test [dynamic]")), "{descs:?}");
-        assert!(descs.iter().any(|d| d.contains("call f [specialize]")), "{descs:?}");
+        assert!(
+            descs.iter().any(|d| d.contains("if-test [dynamic]")),
+            "{descs:?}"
+        );
+        assert!(
+            descs.iter().any(|d| d.contains("call f [specialize]")),
+            "{descs:?}"
+        );
         assert!(
             descs.iter().all(|d| !d.contains("[reduce")),
             "nothing reduces: {descs:?}"
@@ -217,7 +229,10 @@ mod tests {
 
     #[test]
     fn actions_compare_and_debug() {
-        assert_eq!(PrimAction::Reduce { source: 0 }, PrimAction::Reduce { source: 0 });
+        assert_eq!(
+            PrimAction::Reduce { source: 0 },
+            PrimAction::Reduce { source: 0 }
+        );
         assert_ne!(PrimAction::Reduce { source: 0 }, PrimAction::Residualize);
         assert_ne!(CallAction::Unfold, CallAction::Specialize);
         let k = AnnKind::Var(ppe_lang::Symbol::intern("v"));

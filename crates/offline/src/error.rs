@@ -46,6 +46,14 @@ pub enum OfflineError {
     OutOfFuel,
     /// The residual program failed validation (an internal invariant).
     MalformedResidual(String),
+    /// The wall-clock budget (`PeConfig::deadline`) expired during
+    /// analysis or specialization.
+    DeadlineExceeded,
+    /// The residual program outgrew `PeConfig::max_residual_size` nodes.
+    ResidualSizeLimit(usize),
+    /// The specializer's recursion guard fired — the structured stand-in
+    /// for a native stack overflow.
+    DepthLimit(u32),
 }
 
 impl fmt::Display for OfflineError {
@@ -58,15 +66,15 @@ impl fmt::Display for OfflineError {
                 got,
             } => write!(f, "`{function}` expects {expected} inputs, got {got}"),
             OfflineError::UnknownFacet(name) => write!(f, "unknown facet `{name}`"),
-            OfflineError::HigherOrder => f.write_str(
-                "program is higher order; use the higher-order facet analysis",
-            ),
+            OfflineError::HigherOrder => {
+                f.write_str("program is higher order; use the higher-order facet analysis")
+            }
             OfflineError::NoFixpoint => {
                 f.write_str("facet analysis did not reach a fixpoint within bounds")
             }
-            OfflineError::InputsIncompatibleWithAnalysis => f.write_str(
-                "specialization inputs are not covered by the analyzed input pattern",
-            ),
+            OfflineError::InputsIncompatibleWithAnalysis => {
+                f.write_str("specialization inputs are not covered by the analyzed input pattern")
+            }
             OfflineError::AnnotationMismatch(msg) => {
                 write!(f, "annotation mismatch during specialization: {msg}")
             }
@@ -76,6 +84,13 @@ impl fmt::Display for OfflineError {
             OfflineError::OutOfFuel => f.write_str("specialization fuel exhausted"),
             OfflineError::MalformedResidual(msg) => {
                 write!(f, "internal error: residual program is malformed: {msg}")
+            }
+            OfflineError::DeadlineExceeded => f.write_str("specialization deadline exceeded"),
+            OfflineError::ResidualSizeLimit(n) => {
+                write!(f, "residual program exceeded {n} expression nodes")
+            }
+            OfflineError::DepthLimit(n) => {
+                write!(f, "specializer recursion depth exceeded {n}")
             }
         }
     }

@@ -180,12 +180,7 @@ fn join_values(a: &AbsValue, b: &AbsValue, aset: &AbstractFacetSet) -> AbsValue 
 }
 
 /// The valuation function `Ẽ` of Figure 5.
-fn eval(
-    ctx: &mut Ctx<'_>,
-    e: &Expr,
-    env: &HashMap<Symbol, AbsValue>,
-    depth: u32,
-) -> AbsValue {
+fn eval(ctx: &mut Ctx<'_>, e: &Expr, env: &HashMap<Symbol, AbsValue>, depth: u32) -> AbsValue {
     match e {
         Expr::Const(c) => AbsValue::Data(AbstractProductVal::from_const(*c, ctx.aset)),
         Expr::Var(x) => env
@@ -193,13 +188,11 @@ fn eval(
             .cloned()
             .unwrap_or(AbsValue::Data(AbstractProductVal::bottom(ctx.aset))),
         Expr::FnRef(f) => AbsValue::Funs(vec![FunVal::Named(*f)]),
-        Expr::Lambda(params, body) => AbsValue::Funs(vec![FunVal::Closure(Rc::new(
-            AbsClosure {
-                params: params.clone(),
-                body: (**body).clone(),
-                env: env.clone(),
-            },
-        ))]),
+        Expr::Lambda(params, body) => AbsValue::Funs(vec![FunVal::Closure(Rc::new(AbsClosure {
+            params: params.clone(),
+            body: (**body).clone(),
+            env: env.clone(),
+        }))]),
         Expr::Prim(p, args) => {
             let vals: Vec<AbstractProductVal> = args
                 .iter()

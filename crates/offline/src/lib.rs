@@ -53,7 +53,9 @@ pub mod polyvariant;
 mod signature;
 mod specialize;
 
-pub use analysis::{analyze, AbstractInput, Analysis};
+pub use analysis::{
+    analyze, analyze_fn, analyze_fn_with_config, analyze_with_config, AbstractInput, Analysis,
+};
 pub use annotate::{AnnExpr, AnnFunDef, AnnKind, CallAction, PrimAction};
 pub use error::OfflineError;
 pub use signature::{FacetSignature, SigEnv};

@@ -20,6 +20,7 @@ use std::collections::HashMap;
 
 use ppe_core::{AbstractFacetSet, AbstractProductVal, FacetSet};
 use ppe_lang::{Expr, Program, Symbol};
+use ppe_online::{DegradationReport, Governor, PeConfig};
 
 use crate::analysis::AbstractInput;
 use crate::error::OfflineError;
@@ -40,6 +41,10 @@ pub struct PolyAnalysis {
     pub variants: HashMap<(Symbol, Vec<AbstractProductVal>), AbstractProductVal>,
     /// The entry function's result.
     pub result: AbstractProductVal,
+    /// Budgets that tripped during the analysis (the wall-clock deadline
+    /// under `ExhaustionPolicy::Degrade`, which collapses new demands onto
+    /// the fully dynamic variant). Empty on a within-budget run.
+    pub degradation: DegradationReport,
 }
 
 impl PolyAnalysis {
@@ -70,6 +75,11 @@ struct Ctx<'a> {
     memo: HashMap<(Symbol, Vec<AbstractProductVal>), AbstractProductVal>,
     in_progress: Vec<(Symbol, Vec<AbstractProductVal>)>,
     per_fn_counts: HashMap<Symbol, usize>,
+    gov: Governor,
+    /// Set once the deadline trips under `ExhaustionPolicy::Fail`; `zeta`
+    /// then answers ⊤ everywhere (a fast, sound unwind) and the driver
+    /// returns the error after the recursion completes.
+    deadline_error: Option<OfflineError>,
 }
 
 /// Runs polyvariant facet analysis from the main function.
@@ -82,6 +92,25 @@ pub fn analyze_polyvariant(
     program: &Program,
     facets: &FacetSet,
     inputs: &[AbstractInput],
+) -> Result<PolyAnalysis, OfflineError> {
+    analyze_polyvariant_with_config(program, facets, inputs, &PeConfig::default())
+}
+
+/// Runs polyvariant facet analysis under an explicit budget/policy
+/// configuration. As for [`crate::analyze_with_config`], only the
+/// wall-clock budget applies: under `ExhaustionPolicy::Degrade` an expired
+/// deadline collapses every further demand onto the fully dynamic variant
+/// (sound, and bounded by the number of source functions).
+///
+/// # Errors
+///
+/// As for [`analyze_polyvariant`], plus [`OfflineError::DeadlineExceeded`]
+/// under `ExhaustionPolicy::Fail`.
+pub fn analyze_polyvariant_with_config(
+    program: &Program,
+    facets: &FacetSet,
+    inputs: &[AbstractInput],
+    config: &PeConfig,
 ) -> Result<PolyAnalysis, OfflineError> {
     if program.is_higher_order() {
         return Err(OfflineError::HigherOrder);
@@ -105,23 +134,47 @@ pub fn analyze_polyvariant(
         memo: HashMap::new(),
         in_progress: Vec::new(),
         per_fn_counts: HashMap::new(),
+        gov: Governor::new(config),
+        deadline_error: None,
     };
     let result = zeta(&mut ctx, main.name, lowered);
+    if let Some(e) = ctx.deadline_error {
+        return Err(e);
+    }
     Ok(PolyAnalysis {
         variants: ctx.memo,
         result,
+        degradation: ctx.gov.into_report(),
     })
 }
 
 /// `ζ[f](δ̃⃗)` — the memoized abstract application.
 fn zeta(ctx: &mut Ctx<'_>, f: Symbol, mut args: Vec<AbstractProductVal>) -> AbstractProductVal {
+    // Wall-clock guard, consulted at every abstract application. `zeta`
+    // has no `Result` channel, so a Fail-mode trip is parked in the
+    // context and the recursion unwinds on ⊤ (sound) before the driver
+    // reports the error.
+    if ctx.deadline_error.is_none() {
+        if let Err(e) = ctx.gov.check_deadline() {
+            ctx.deadline_error = Some(OfflineError::from(e));
+        }
+    }
+    if ctx.deadline_error.is_some() {
+        return AbstractProductVal::dynamic(ctx.aset);
+    }
     let Some(def) = ctx.program.lookup(f) else {
         return AbstractProductVal::dynamic(ctx.aset);
     };
+    // Degrade past the deadline: every further demand collapses onto the
+    // fully dynamic variant, so the remaining work is bounded by the
+    // number of source functions.
+    if ctx.gov.is_exhausted() {
+        args = vec![AbstractProductVal::dynamic(ctx.aset); args.len()];
+    }
     // Variant budget: new tuples beyond the cap are generalized to the
     // fully dynamic tuple.
-    let key_exists = ctx.memo.contains_key(&(f, args.clone()))
-        || ctx.in_progress.contains(&(f, args.clone()));
+    let key_exists =
+        ctx.memo.contains_key(&(f, args.clone())) || ctx.in_progress.contains(&(f, args.clone()));
     if !key_exists {
         let count = ctx.per_fn_counts.entry(f).or_insert(0);
         if *count >= MAX_VARIANTS_PER_FN {
@@ -173,11 +226,7 @@ fn zeta(ctx: &mut Ctx<'_>, f: Symbol, mut args: Vec<AbstractProductVal>) -> Abst
 
 /// Figure 4's `Ẽ` with the *precise* call rule: every call goes through
 /// `ζ` at its own abstract arguments.
-fn eval(
-    ctx: &mut Ctx<'_>,
-    e: &Expr,
-    env: &[(Symbol, AbstractProductVal)],
-) -> AbstractProductVal {
+fn eval(ctx: &mut Ctx<'_>, e: &Expr, env: &[(Symbol, AbstractProductVal)]) -> AbstractProductVal {
     match e {
         Expr::Const(c) => AbstractProductVal::from_const(*c, ctx.aset),
         Expr::Var(x) => env
@@ -187,8 +236,7 @@ fn eval(
             .map(|(_, v)| v.clone())
             .unwrap_or_else(|| AbstractProductVal::bottom(ctx.aset)),
         Expr::Prim(p, args) => {
-            let vals: Vec<AbstractProductVal> =
-                args.iter().map(|a| eval(ctx, a, env)).collect();
+            let vals: Vec<AbstractProductVal> = args.iter().map(|a| eval(ctx, a, env)).collect();
             ctx.aset.abstract_prim(*p, &vals).value
         }
         Expr::If(c, t, f) => {
@@ -210,8 +258,7 @@ fn eval(
             eval(ctx, body, &inner)
         }
         Expr::Call(f, args) => {
-            let vals: Vec<AbstractProductVal> =
-                args.iter().map(|a| eval(ctx, a, env)).collect();
+            let vals: Vec<AbstractProductVal> = args.iter().map(|a| eval(ctx, a, env)).collect();
             zeta(ctx, *f, vals)
         }
         Expr::Lambda(..) | Expr::App(..) | Expr::FnRef(_) => {
@@ -259,9 +306,9 @@ mod tests {
         // as Figure 4's static-conditional rule demands.)
         let step_variants = poly.signatures_of("step".into());
         assert!(
-            step_variants.iter().any(|s| {
-                s.args[0].facet(0).downcast_ref::<SignVal>() == Some(&SignVal::Neg)
-            }),
+            step_variants
+                .iter()
+                .any(|s| { s.args[0].facet(0).downcast_ref::<SignVal>() == Some(&SignVal::Neg) }),
             "a neg variant of step exists: {step_variants:?}"
         );
         assert!(step_variants.len() >= 2, "distinct variants are kept");
@@ -297,8 +344,7 @@ mod tests {
         let src = "(define (f n) (if (< n 0) n (f (+ n 1))))";
         let p = parse_program(src).unwrap();
         let facets = FacetSet::with_facets(vec![Box::new(RangeFacet)]);
-        let poly =
-            analyze_polyvariant(&p, &facets, &[AbstractInput::static_()]).unwrap();
+        let poly = analyze_polyvariant(&p, &facets, &[AbstractInput::static_()]).unwrap();
         assert!(poly.variant_count("f".into()) <= MAX_VARIANTS_PER_FN + 1);
     }
 
@@ -307,8 +353,7 @@ mod tests {
         let src = "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))";
         let p = parse_program(src).unwrap();
         let facets = FacetSet::new();
-        let poly =
-            analyze_polyvariant(&p, &facets, &[AbstractInput::static_()]).unwrap();
+        let poly = analyze_polyvariant(&p, &facets, &[AbstractInput::static_()]).unwrap();
         assert!(poly.result.bt().is_static());
     }
 

@@ -20,10 +20,10 @@ use std::collections::{HashMap, HashSet};
 use ppe_core::{FacetArg, FacetSet, PeVal, ProductVal};
 use ppe_lang::StdOpClass;
 use ppe_lang::{Const, Expr, FunDef, Prim, Program, Symbol, Value};
-use ppe_online::{PeConfig, PeError, PeInput, PeStats, Residual};
+use ppe_online::{ExhaustionPolicy, Governor, PeConfig, PeError, PeInput, PeStats, Residual};
 
 use crate::analysis::{abstract_of_product, Analysis};
-use crate::annotate::{AnnExpr, AnnKind, CallAction, PrimAction};
+use crate::annotate::{AnnExpr, AnnFunDef, AnnKind, CallAction, PrimAction};
 use crate::error::OfflineError;
 
 impl From<PeError> for OfflineError {
@@ -44,6 +44,9 @@ impl From<PeError> for OfflineError {
             PeError::OutOfFuel => OfflineError::OutOfFuel,
             PeError::InconsistentInput(_) => OfflineError::InputsIncompatibleWithAnalysis,
             PeError::MalformedResidual(m) => OfflineError::MalformedResidual(m),
+            PeError::DeadlineExceeded => OfflineError::DeadlineExceeded,
+            PeError::ResidualSizeLimit(n) => OfflineError::ResidualSizeLimit(n),
+            PeError::DepthLimit(n) => OfflineError::DepthLimit(n),
         }
     }
 }
@@ -102,7 +105,7 @@ struct St {
     used_names: HashSet<Symbol>,
     tmp_counter: u64,
     stats: PeStats,
-    fuel: u64,
+    gov: Governor,
 }
 
 impl St {
@@ -130,11 +133,7 @@ impl St {
 
     fn spend(&mut self) -> Result<(), OfflineError> {
         self.stats.steps += 1;
-        if self.fuel == 0 {
-            return Err(OfflineError::OutOfFuel);
-        }
-        self.fuel -= 1;
-        Ok(())
+        Ok(self.gov.tick()?)
     }
 }
 
@@ -196,16 +195,11 @@ impl<'a> OfflinePe<'a> {
             used_names: self.reserved_names(),
             tmp_counter: 0,
             stats: PeStats::default(),
-            fuel: self.config.fuel,
+            gov: Governor::new(&self.config),
         };
         let mut env = Env { stack: Vec::new() };
         let mut kept_params = Vec::new();
-        for ((param, input), analyzed) in ann
-            .params
-            .iter()
-            .zip(inputs)
-            .zip(&self.analysis.inputs)
-        {
+        for ((param, input), analyzed) in ann.params.iter().zip(inputs).zip(&self.analysis.inputs) {
             let product = input.to_product(self.facets)?;
             // Soundness gate: specialization inputs must refine what the
             // analysis assumed.
@@ -221,6 +215,7 @@ impl<'a> OfflinePe<'a> {
             }
         }
         let (body, _) = self.walk(&ann.body, &mut env, 0, &mut st)?;
+        st.gov.add_residual_size(body.size(), entry)?;
         // Drop parameters the residual no longer mentions (mirrors the
         // online specializer).
         let mut free = Vec::new();
@@ -240,9 +235,14 @@ impl<'a> OfflinePe<'a> {
         let program = Program::new(defs)
             .and_then(|p| p.validate().map(|()| p))
             .map_err(OfflineError::MalformedResidual)?;
+        // One combined report: what the analysis degraded, then what the
+        // specialization walk degraded.
+        let mut report = self.analysis.degradation.clone();
+        report.merge(&st.gov.into_report());
         Ok(Residual {
             program,
             stats: st.stats,
+            report,
         })
     }
 
@@ -291,7 +291,23 @@ impl<'a> OfflinePe<'a> {
     }
 
     /// Walks an annotated expression, performing the pre-selected actions.
+    /// Runs behind the governor's recursion guard, so a runaway walk
+    /// surfaces as [`OfflineError::DepthLimit`] instead of a native stack
+    /// overflow.
     fn walk(
+        &self,
+        e: &AnnExpr,
+        env: &mut Env,
+        depth: u32,
+        st: &mut St,
+    ) -> Result<(Expr, ProductVal), OfflineError> {
+        st.gov.enter_recursion().map_err(OfflineError::from)?;
+        let out = self.walk_inner(e, env, depth, st);
+        st.gov.exit_recursion();
+        out
+    }
+
+    fn walk_inner(
         &self,
         e: &AnnExpr,
         env: &mut Env,
@@ -300,10 +316,7 @@ impl<'a> OfflinePe<'a> {
     ) -> Result<(Expr, ProductVal), OfflineError> {
         st.spend()?;
         match &e.kind {
-            AnnKind::Const(c) => Ok((
-                Expr::Const(*c),
-                ProductVal::from_const(*c, self.facets),
-            )),
+            AnnKind::Const(c) => Ok((Expr::Const(*c), ProductVal::from_const(*c, self.facets))),
             AnnKind::Var(x) => {
                 let found = env
                     .stack
@@ -311,9 +324,7 @@ impl<'a> OfflinePe<'a> {
                     .rev()
                     .find(|(n, _, _)| n == x)
                     .map(|(_, e, v)| (e.clone(), v.clone()));
-                found.ok_or_else(|| {
-                    OfflineError::MalformedResidual(format!("unbound `{x}`"))
-                })
+                found.ok_or_else(|| OfflineError::MalformedResidual(format!("unbound `{x}`")))
             }
             AnnKind::Prim { p, args, action } => {
                 let mut residuals = Vec::with_capacity(args.len());
@@ -387,10 +398,7 @@ impl<'a> OfflinePe<'a> {
                         match facet.open_op(*p, &wrapped) {
                             PeVal::Const(c) => {
                                 st.stats.reductions += 1;
-                                Ok((
-                                    Expr::Const(c),
-                                    ProductVal::from_const(c, self.facets),
-                                ))
+                                Ok((Expr::Const(c), ProductVal::from_const(c, self.facets)))
                             }
                             // Anything else is the ⊥-induced miss above
                             // (a sound facet can only fail to deliver its
@@ -470,18 +478,23 @@ impl<'a> OfflinePe<'a> {
                     .ok_or(OfflineError::UnknownFunction(*f))?;
                 match action {
                     CallAction::Unfold => {
-                        if depth >= self.config.max_unfold_depth {
-                            // Offline specialization has no generalization
-                            // escape hatch (the annotations were computed
-                            // for the static pattern); report divergence.
-                            return Err(OfflineError::OutOfFuel);
+                        if !st.gov.may_unfold(depth, self.config.max_unfold_depth, *f) {
+                            // The annotations carry no pattern for a call
+                            // the analysis decided to unfold. Fail reports
+                            // divergence, as before; Degrade folds onto a
+                            // fully generalized specialization — sound,
+                            // because the walk residualizes wherever an
+                            // annotation's optimism is not met.
+                            if st.gov.policy() == ExhaustionPolicy::Fail {
+                                return Err(OfflineError::OutOfFuel);
+                            }
+                            let pattern = vec![ProductVal::dynamic(self.facets); vals.len()];
+                            return self.fold_call(*f, callee, pattern, residuals, st);
                         }
                         st.stats.unfolds += 1;
                         let mut inner = Env { stack: Vec::new() };
                         let mut lets = Vec::new();
-                        for ((p, r), v) in
-                            callee.params.iter().zip(residuals).zip(vals)
-                        {
+                        for ((p, r), v) in callee.params.iter().zip(residuals).zip(vals) {
                             if matches!(r, Expr::Const(_) | Expr::Var(_)) {
                                 inner.stack.push((*p, r, v));
                             } else {
@@ -490,55 +503,77 @@ impl<'a> OfflinePe<'a> {
                                 inner.stack.push((*p, Expr::Var(tmp), v));
                             }
                         }
-                        let (out, val) =
-                            self.walk(&callee.body, &mut inner, depth + 1, st)?;
+                        let (out, val) = self.walk(&callee.body, &mut inner, depth + 1, st)?;
                         Ok((wrap_lets(lets, out), val))
                     }
                     CallAction::Specialize => {
                         // Pattern: the facet-level information only (PE
-                        // components are dynamic by the analysis).
-                        let pattern: Vec<ProductVal> =
-                            vals.iter().map(|v| v.with_pe(PeVal::Top)).collect();
-                        let key = (*f, pattern);
-                        let (spec, value) = if let Some((name, value)) = st.cache.get(&key)
-                        {
-                            st.stats.cache_hits += 1;
-                            let v = value
-                                .clone()
-                                .unwrap_or_else(|| ProductVal::dynamic(self.facets));
-                            (*name, v)
+                        // components are dynamic by the analysis). Once the
+                        // governor is exhausted the pattern is generalized
+                        // so the cache stops growing.
+                        let pattern: Vec<ProductVal> = if st.gov.is_exhausted() {
+                            vec![ProductVal::dynamic(self.facets); vals.len()]
                         } else {
-                            if st.cache.len() >= self.config.max_specializations {
-                                return Err(OfflineError::SpecializationLimit(
-                                    self.config.max_specializations,
-                                ));
-                            }
-                            let name = st.fresh_fn(*f);
-                            st.cache.insert(key.clone(), (name, None));
-                            st.def_order.push(name);
-                            st.defs.insert(name, None);
-                            st.stats.specializations += 1;
-                            let mut inner = Env { stack: Vec::new() };
-                            for (p, v) in callee.params.iter().zip(&key.1) {
-                                inner.stack.push((*p, Expr::Var(*p), v.clone()));
-                            }
-                            let (body, body_val) =
-                                self.walk(&callee.body, &mut inner, 0, st)?;
-                            st.defs.insert(
-                                name,
-                                Some(FunDef::new(name, callee.params.clone(), body)),
-                            );
-                            let value = body_val.with_pe(PeVal::Top);
-                            if let Some(entry) = st.cache.get_mut(&key) {
-                                entry.1 = Some(value.clone());
-                            }
-                            (name, value)
+                            vals.iter().map(|v| v.with_pe(PeVal::Top)).collect()
                         };
-                        Ok((Expr::Call(spec, residuals), value))
+                        self.fold_call(*f, callee, pattern, residuals, st)
                     }
                 }
             }
         }
+    }
+
+    /// Looks up or creates the specialization of `f` at `pattern` — the
+    /// cache `Sf` — and emits the folded call.
+    fn fold_call(
+        &self,
+        f: Symbol,
+        callee: &AnnFunDef,
+        pattern: Vec<ProductVal>,
+        residuals: Vec<Expr>,
+        st: &mut St,
+    ) -> Result<(Expr, ProductVal), OfflineError> {
+        let key = (f, pattern);
+        if let Some((name, value)) = st.cache.get(&key) {
+            st.stats.cache_hits += 1;
+            // `None` means we are inside this very specialization
+            // (recursion): answer conservatively.
+            let v = value
+                .clone()
+                .unwrap_or_else(|| ProductVal::dynamic(self.facets));
+            return Ok((Expr::Call(*name, residuals), v));
+        }
+        if st.cache.len() >= self.config.max_specializations {
+            let generalized = vec![ProductVal::dynamic(self.facets); key.1.len()];
+            if key.1 != generalized {
+                st.gov
+                    .cache_full(self.config.max_specializations, f)
+                    .map_err(OfflineError::from)?;
+                // Degrade: fold onto the fully generalized specialization
+                // instead of minting another precise one.
+                return self.fold_call(f, callee, generalized, residuals, st);
+            }
+            // A fully generalized entry is admitted past the cap — there is
+            // at most one per source function, so the cache stays finite.
+        }
+        let name = st.fresh_fn(f);
+        st.cache.insert(key.clone(), (name, None));
+        st.def_order.push(name);
+        st.defs.insert(name, None);
+        st.stats.specializations += 1;
+        let mut inner = Env { stack: Vec::new() };
+        for (p, v) in callee.params.iter().zip(&key.1) {
+            inner.stack.push((*p, Expr::Var(*p), v.clone()));
+        }
+        let (body, body_val) = self.walk(&callee.body, &mut inner, 0, st)?;
+        st.gov.add_residual_size(body.size(), f)?;
+        st.defs
+            .insert(name, Some(FunDef::new(name, callee.params.clone(), body)));
+        let value = body_val.with_pe(PeVal::Top);
+        if let Some(entry) = st.cache.get_mut(&key) {
+            entry.1 = Some(value.clone());
+        }
+        Ok((Expr::Call(name, residuals), value))
     }
 
     /// Value tracking for a residual primitive: closed operators propagate
@@ -637,8 +672,16 @@ mod tests {
     #[test]
     fn offline_residual_is_correct() {
         let r = iprod_offline(3);
-        let a = Value::vector(vec![Value::Float(1.0), Value::Float(2.0), Value::Float(3.0)]);
-        let b = Value::vector(vec![Value::Float(4.0), Value::Float(5.0), Value::Float(6.0)]);
+        let a = Value::vector(vec![
+            Value::Float(1.0),
+            Value::Float(2.0),
+            Value::Float(3.0),
+        ]);
+        let b = Value::vector(vec![
+            Value::Float(4.0),
+            Value::Float(5.0),
+            Value::Float(6.0),
+        ]);
         assert_eq!(
             Evaluator::new(&r.program).run_main(&[a, b]).unwrap(),
             Value::Float(32.0)

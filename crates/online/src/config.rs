@@ -5,6 +5,13 @@
 //! another", Section 2). [`PeConfig`] is our `APP` policy: when to unfold,
 //! when to fold into a specialized function, and the budgets that keep the
 //! process finite on programs whose static data does not decrease.
+//!
+//! The budgets are enforced by the [`crate::Governor`]; what happens when
+//! one trips is decided by [`ExhaustionPolicy`].
+
+use std::time::Duration;
+
+pub use crate::governor::ExhaustionPolicy;
 
 /// Policy and budgets for the partial evaluators.
 ///
@@ -45,6 +52,26 @@ pub struct PeConfig {
     /// are "always specialized with respect to consistent products"; this
     /// makes the assumption checkable.
     pub check_consistency: bool,
+    /// Upper bound on the total size (expression nodes) of the residual
+    /// program. Residual growth is accounted at function-completion
+    /// points, so small overshoots (one function body) are possible.
+    pub max_residual_size: usize,
+    /// Wall-clock budget for the whole run, measured from construction of
+    /// the run's [`crate::Governor`]. `None` (the default) disables the
+    /// deadline. Checked every 256 ticks, so trips land well within a
+    /// millisecond of the deadline.
+    pub deadline: Option<Duration>,
+    /// Hard cap on the specializer's own recursion depth (its native stack
+    /// use), converting would-be stack overflows — an uncatchable abort —
+    /// into structured [`crate::PeError::DepthLimit`] errors. The default
+    /// is far above what default unfold budgets can reach but low enough
+    /// to fire before native exhaustion on the stacks this workspace
+    /// configures (see `.cargo/config.toml`).
+    pub max_recursion_depth: u32,
+    /// What to do when a budget trips: fail with a structured error, or
+    /// degrade — generalize the offending work to fully-dynamic and finish
+    /// with a sound residual plus a [`crate::DegradationReport`].
+    pub on_exhaustion: ExhaustionPolicy,
 }
 
 impl Default for PeConfig {
@@ -55,6 +82,10 @@ impl Default for PeConfig {
             fuel: 20_000_000,
             propagate_constraints: false,
             check_consistency: false,
+            max_residual_size: 1 << 20,
+            deadline: None,
+            max_recursion_depth: 8_192,
+            on_exhaustion: ExhaustionPolicy::Fail,
         }
     }
 }

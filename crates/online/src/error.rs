@@ -33,6 +33,15 @@ pub enum PeError {
     InconsistentInput(String),
     /// The residual program failed validation (an internal invariant).
     MalformedResidual(String),
+    /// The wall-clock budget ([`crate::PeConfig::deadline`]) expired.
+    DeadlineExceeded,
+    /// The residual program outgrew
+    /// [`crate::PeConfig::max_residual_size`] nodes.
+    ResidualSizeLimit(usize),
+    /// The specializer's recursion guard
+    /// ([`crate::PeConfig::max_recursion_depth`]) fired — the structured
+    /// stand-in for a native stack overflow.
+    DepthLimit(u32),
 }
 
 impl fmt::Display for PeError {
@@ -43,10 +52,7 @@ impl fmt::Display for PeError {
                 function,
                 expected,
                 got,
-            } => write!(
-                f,
-                "`{function}` expects {expected} inputs, got {got}"
-            ),
+            } => write!(f, "`{function}` expects {expected} inputs, got {got}"),
             PeError::UnknownFacet(name) => write!(f, "unknown facet `{name}`"),
             PeError::SpecializationLimit(n) => {
                 write!(f, "specialization cache exceeded {n} entries")
@@ -57,6 +63,13 @@ impl fmt::Display for PeError {
             }
             PeError::MalformedResidual(msg) => {
                 write!(f, "internal error: residual program is malformed: {msg}")
+            }
+            PeError::DeadlineExceeded => f.write_str("specialization deadline exceeded"),
+            PeError::ResidualSizeLimit(n) => {
+                write!(f, "residual program exceeded {n} expression nodes")
+            }
+            PeError::DepthLimit(n) => {
+                write!(f, "specializer recursion depth exceeded {n}")
             }
         }
     }

@@ -1,0 +1,534 @@
+//! Unified resource governance for the specializers.
+//!
+//! The paper's online specializer (Figure 3) is not guaranteed to
+//! terminate; the engines therefore run under budgets. Before this module
+//! each budget was threaded ad hoc (a `fuel` counter here, an unfold
+//! `depth` there) and every trip was a hard failure that threw away all
+//! specialization work done so far. The [`Governor`] centralizes the
+//! budgets — fuel, wall-clock deadline, unfold depth, specialization-cache
+//! size, residual size, and native recursion depth — behind one `tick()` /
+//! `check` API, and supports two exhaustion policies:
+//!
+//! - [`ExhaustionPolicy::Fail`] (the default): a tripped budget aborts
+//!   specialization with the corresponding [`PeError`], exactly as before;
+//! - [`ExhaustionPolicy::Degrade`]: a tripped budget *generalizes* instead
+//!   — remaining calls are treated as fully dynamic (no more unfolding, all
+//!   specialization patterns widened to ⊤), so the engine always completes
+//!   with a correct, if less specialized, residual program. This is the
+//!   termination-insurance reading of generalization from the
+//!   specialization literature (Gallagher & Glück): degrade precision, not
+//!   availability.
+//!
+//! Every degradation is recorded in a [`DegradationReport`] returned with
+//! the residual, so callers can see which budget tripped, where, and how
+//! often.
+
+use std::fmt;
+use std::time::Instant;
+
+use ppe_lang::Symbol;
+
+use crate::config::PeConfig;
+use crate::error::PeError;
+
+/// What to do when a resource budget is exhausted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExhaustionPolicy {
+    /// Abort specialization with a structured error (classic behavior).
+    #[default]
+    Fail,
+    /// Generalize the offending work to fully-dynamic and keep going:
+    /// specialization always completes with a sound residual, and the
+    /// degradations are listed in the [`DegradationReport`].
+    Degrade,
+}
+
+/// The budget that tripped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Budget {
+    /// The work budget ([`PeConfig::fuel`]).
+    Fuel,
+    /// The wall-clock deadline ([`PeConfig::deadline`]).
+    Deadline,
+    /// The unfold-depth budget ([`PeConfig::max_unfold_depth`]): a call
+    /// with static information was generalized instead of unfolded.
+    UnfoldDepth,
+    /// The specialization-cache cap ([`PeConfig::max_specializations`]).
+    SpecializationCache,
+    /// The residual-size cap ([`PeConfig::max_residual_size`]).
+    ResidualSize,
+    /// The specializer's own recursion-depth guard
+    /// ([`PeConfig::max_recursion_depth`]), which converts would-be native
+    /// stack overflows into structured outcomes.
+    RecursionDepth,
+}
+
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Budget::Fuel => "fuel",
+            Budget::Deadline => "deadline",
+            Budget::UnfoldDepth => "unfold depth",
+            Budget::SpecializationCache => "specialization cache",
+            Budget::ResidualSize => "residual size",
+            Budget::RecursionDepth => "recursion depth",
+        })
+    }
+}
+
+/// One kind of degradation that happened during specialization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// Which budget tripped.
+    pub budget: Budget,
+    /// The function being processed when it first tripped, when known.
+    pub function: Option<Symbol>,
+    /// The unfold depth at the first trip.
+    pub depth: u32,
+    /// How many times this (budget, function) pair tripped.
+    pub count: u64,
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} budget tripped", self.budget)?;
+        if let Some(function) = self.function {
+            write!(f, " at `{function}`")?;
+        }
+        write!(f, " (unfold depth {})", self.depth)?;
+        if self.count > 1 {
+            write!(f, " ×{}", self.count)?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything that was degraded to keep specialization going.
+///
+/// Empty when no budget tripped (or when running under
+/// [`ExhaustionPolicy::Fail`], where the first trip is an error instead).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    events: Vec<DegradationEvent>,
+}
+
+impl DegradationReport {
+    /// `true` when no degradation happened.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of distinct (budget, function) degradations.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The recorded events, in first-trip order.
+    pub fn events(&self) -> &[DegradationEvent] {
+        &self.events
+    }
+
+    /// `true` if some event tripped `budget`.
+    pub fn tripped(&self, budget: Budget) -> bool {
+        self.events.iter().any(|e| e.budget == budget)
+    }
+
+    /// Appends `other`'s events, merging duplicates by (budget, function).
+    /// Used by multi-phase pipelines (analysis then specialization) to
+    /// return one combined report.
+    pub fn merge(&mut self, other: &DegradationReport) {
+        for e in &other.events {
+            if let Some(mine) = self
+                .events
+                .iter_mut()
+                .find(|m| m.budget == e.budget && m.function == e.function)
+            {
+                mine.count += e.count;
+            } else {
+                self.events.push(e.clone());
+            }
+        }
+    }
+
+    fn record(&mut self, budget: Budget, function: Option<Symbol>, depth: u32) {
+        if let Some(e) = self
+            .events
+            .iter_mut()
+            .find(|e| e.budget == budget && e.function == function)
+        {
+            e.count += 1;
+            return;
+        }
+        self.events.push(DegradationEvent {
+            budget,
+            function,
+            depth,
+            count: 1,
+        });
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            return f.write_str("no degradation");
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// How often `tick()` consults the wall clock: every 256 ticks. Ticks are
+/// sub-microsecond, so a deadline overshoots by well under a millisecond.
+const DEADLINE_CHECK_MASK: u64 = 0xFF;
+
+/// Centralized budget accounting for one specialization run.
+///
+/// Shared by the online engines ([`crate::OnlinePe`], [`crate::SimplePe`])
+/// and re-used by the offline pipeline (`ppe-offline`). The evaluator in
+/// `ppe-lang` mirrors the same guards natively (it sits below this crate in
+/// the dependency order and cannot import it).
+#[derive(Debug)]
+pub struct Governor {
+    policy: ExhaustionPolicy,
+    fuel: u64,
+    deadline: Option<Instant>,
+    ticks: u64,
+    max_residual_size: usize,
+    residual_size: usize,
+    max_recursion_depth: u32,
+    recursion_depth: u32,
+    /// Degrade mode only: set on a global trip (fuel, deadline, residual
+    /// size, or the recursion soft limit). Once set, `may_unfold` answers
+    /// `false` and callers generalize every new specialization pattern, so
+    /// the run winds down along structural recursion alone.
+    exhausted: bool,
+    report: DegradationReport,
+}
+
+impl Governor {
+    /// A governor for one run under `config`. The wall-clock deadline, if
+    /// any, starts now.
+    pub fn new(config: &PeConfig) -> Governor {
+        Governor {
+            policy: config.on_exhaustion,
+            fuel: config.fuel,
+            deadline: config.deadline.map(|d| Instant::now() + d),
+            ticks: 0,
+            max_residual_size: config.max_residual_size,
+            residual_size: 0,
+            max_recursion_depth: config.max_recursion_depth,
+            recursion_depth: 0,
+            exhausted: false,
+            report: DegradationReport::default(),
+        }
+    }
+
+    /// The active exhaustion policy.
+    pub fn policy(&self) -> ExhaustionPolicy {
+        self.policy
+    }
+
+    /// `true` once a global budget has tripped under
+    /// [`ExhaustionPolicy::Degrade`]: callers must stop unfolding and
+    /// generalize new specialization patterns.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Spend one unit of work. Checks fuel on every call and the deadline
+    /// every 256 calls.
+    ///
+    /// # Errors
+    ///
+    /// Under [`ExhaustionPolicy::Fail`], [`PeError::OutOfFuel`] /
+    /// [`PeError::DeadlineExceeded`] when the corresponding budget is
+    /// exhausted. Under [`ExhaustionPolicy::Degrade`] this never fails; the
+    /// trip is recorded and [`Governor::is_exhausted`] starts answering
+    /// `true`.
+    pub fn tick(&mut self) -> Result<(), PeError> {
+        self.ticks += 1;
+        if self.fuel == 0 {
+            self.trip_global(Budget::Fuel, PeError::OutOfFuel)?;
+        } else {
+            self.fuel -= 1;
+        }
+        if self.ticks & DEADLINE_CHECK_MASK == 0 {
+            self.check_deadline()?;
+        }
+        Ok(())
+    }
+
+    /// Check the wall-clock deadline immediately (used at coarse-grained
+    /// boundaries like analysis-fixpoint iterations, where per-node ticks
+    /// are not available).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Governor::tick`].
+    pub fn check_deadline(&mut self) -> Result<(), PeError> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.trip_global(Budget::Deadline, PeError::DeadlineExceeded)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a call at `depth` may be unfolded. Answers `false` — and
+    /// records the generalization — past the unfold budget or once the
+    /// governor is exhausted.
+    pub fn may_unfold(&mut self, depth: u32, max_unfold_depth: u32, function: Symbol) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        if depth >= max_unfold_depth {
+            self.report
+                .record(Budget::UnfoldDepth, Some(function), depth);
+            return false;
+        }
+        true
+    }
+
+    /// Whether a fresh specialization's pattern must be generalized to
+    /// fully dynamic (past the unfold budget, or exhausted).
+    pub fn must_generalize(&self, depth: u32, max_unfold_depth: u32) -> bool {
+        self.exhausted || depth >= max_unfold_depth
+    }
+
+    /// The specialization cache is full and `function` wants a new entry.
+    ///
+    /// # Errors
+    ///
+    /// Under [`ExhaustionPolicy::Fail`],
+    /// [`PeError::SpecializationLimit`]. Under
+    /// [`ExhaustionPolicy::Degrade`] the trip is recorded and the caller
+    /// retries with a generalized pattern (generalized entries are admitted
+    /// past the cap — they are bounded by the number of source functions).
+    pub fn cache_full(&mut self, limit: usize, function: Symbol) -> Result<(), PeError> {
+        match self.policy {
+            ExhaustionPolicy::Fail => Err(PeError::SpecializationLimit(limit)),
+            ExhaustionPolicy::Degrade => {
+                self.report
+                    .record(Budget::SpecializationCache, Some(function), 0);
+                Ok(())
+            }
+        }
+    }
+
+    /// Account `nodes` residual nodes produced while specializing
+    /// `function` (consulted at function-completion points).
+    ///
+    /// # Errors
+    ///
+    /// Under [`ExhaustionPolicy::Fail`], [`PeError::ResidualSizeLimit`]
+    /// once the total exceeds the cap. Under [`ExhaustionPolicy::Degrade`]
+    /// the governor becomes exhausted instead, so remaining work stops
+    /// inflating the residual.
+    pub fn add_residual_size(&mut self, nodes: usize, function: Symbol) -> Result<(), PeError> {
+        self.residual_size = self.residual_size.saturating_add(nodes);
+        if self.residual_size > self.max_residual_size {
+            match self.policy {
+                ExhaustionPolicy::Fail => {
+                    return Err(PeError::ResidualSizeLimit(self.max_residual_size))
+                }
+                ExhaustionPolicy::Degrade => {
+                    if !self.exhausted {
+                        self.exhausted = true;
+                        self.report.record(Budget::ResidualSize, Some(function), 0);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Enter one level of specializer recursion; pair with
+    /// [`Governor::exit_recursion`].
+    ///
+    /// Under [`ExhaustionPolicy::Degrade`], crossing three quarters of the
+    /// limit marks the governor exhausted (unfolding stops, so the
+    /// recursion unwinds with headroom to spare). Reaching the limit itself
+    /// is a hard [`PeError::DepthLimit`] under either policy — the
+    /// alternative is a native stack overflow, which no policy can recover.
+    ///
+    /// # Errors
+    ///
+    /// [`PeError::DepthLimit`] at the hard limit.
+    pub fn enter_recursion(&mut self) -> Result<(), PeError> {
+        self.recursion_depth += 1;
+        if self.recursion_depth >= self.max_recursion_depth {
+            return Err(PeError::DepthLimit(self.max_recursion_depth));
+        }
+        if self.policy == ExhaustionPolicy::Degrade
+            && !self.exhausted
+            && self.recursion_depth >= self.max_recursion_depth / 4 * 3
+        {
+            self.exhausted = true;
+            self.report.record(Budget::RecursionDepth, None, 0);
+        }
+        Ok(())
+    }
+
+    /// Leave one level of specializer recursion.
+    pub fn exit_recursion(&mut self) {
+        self.recursion_depth = self.recursion_depth.saturating_sub(1);
+    }
+
+    /// Total ticks spent so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Consume the governor, yielding the degradation report.
+    pub fn into_report(self) -> DegradationReport {
+        self.report
+    }
+
+    /// Trip a global budget: error under `Fail`, exhaust-and-record under
+    /// `Degrade` (recorded once — repeated trips of an already-exhausted
+    /// governor are silent).
+    fn trip_global(&mut self, budget: Budget, error: PeError) -> Result<(), PeError> {
+        match self.policy {
+            ExhaustionPolicy::Fail => Err(error),
+            ExhaustionPolicy::Degrade => {
+                if !self.exhausted {
+                    self.exhausted = true;
+                    self.report.record(budget, None, 0);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn config(policy: ExhaustionPolicy) -> PeConfig {
+        PeConfig {
+            on_exhaustion: policy,
+            ..PeConfig::default()
+        }
+    }
+
+    #[test]
+    fn fail_mode_errors_when_fuel_runs_out() {
+        let mut gov = Governor::new(&PeConfig {
+            fuel: 3,
+            ..config(ExhaustionPolicy::Fail)
+        });
+        assert!(gov.tick().is_ok());
+        assert!(gov.tick().is_ok());
+        assert!(gov.tick().is_ok());
+        assert_eq!(gov.tick(), Err(PeError::OutOfFuel));
+    }
+
+    #[test]
+    fn degrade_mode_exhausts_instead_of_failing() {
+        let mut gov = Governor::new(&PeConfig {
+            fuel: 1,
+            ..config(ExhaustionPolicy::Degrade)
+        });
+        assert!(gov.tick().is_ok());
+        assert!(!gov.is_exhausted());
+        assert!(gov.tick().is_ok());
+        assert!(gov.is_exhausted());
+        // Recorded exactly once, even after more ticks.
+        assert!(gov.tick().is_ok());
+        let report = gov.into_report();
+        assert_eq!(report.len(), 1);
+        assert!(report.tripped(Budget::Fuel));
+    }
+
+    #[test]
+    fn deadline_is_checked_periodically() {
+        let mut gov = Governor::new(&PeConfig {
+            deadline: Some(Duration::ZERO),
+            ..config(ExhaustionPolicy::Fail)
+        });
+        let mut tripped = false;
+        for _ in 0..=256 {
+            if gov.tick() == Err(PeError::DeadlineExceeded) {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(
+            tripped,
+            "an already-expired deadline must trip within 256 ticks"
+        );
+    }
+
+    #[test]
+    fn unfold_budget_records_generalizations() {
+        let mut gov = Governor::new(&config(ExhaustionPolicy::Fail));
+        let f = Symbol::intern("f");
+        assert!(gov.may_unfold(0, 4, f));
+        assert!(!gov.may_unfold(4, 4, f));
+        assert!(!gov.may_unfold(9, 4, f));
+        let report = gov.into_report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.events()[0].count, 2);
+        assert!(report.tripped(Budget::UnfoldDepth));
+    }
+
+    #[test]
+    fn recursion_guard_soft_trips_then_hard_errors() {
+        let mut gov = Governor::new(&PeConfig {
+            max_recursion_depth: 8,
+            ..config(ExhaustionPolicy::Degrade)
+        });
+        let mut result = Ok(());
+        for _ in 0..8 {
+            result = gov.enter_recursion();
+            if result.is_err() {
+                break;
+            }
+        }
+        assert_eq!(result, Err(PeError::DepthLimit(8)));
+        assert!(gov.is_exhausted(), "soft trip precedes the hard limit");
+    }
+
+    #[test]
+    fn residual_size_cap_degrades_or_fails_by_policy() {
+        let f = Symbol::intern("f");
+        let mut strict = Governor::new(&PeConfig {
+            max_residual_size: 10,
+            ..config(ExhaustionPolicy::Fail)
+        });
+        assert!(strict.add_residual_size(10, f).is_ok());
+        assert_eq!(
+            strict.add_residual_size(1, f),
+            Err(PeError::ResidualSizeLimit(10))
+        );
+
+        let mut soft = Governor::new(&PeConfig {
+            max_residual_size: 10,
+            ..config(ExhaustionPolicy::Degrade)
+        });
+        assert!(soft.add_residual_size(11, f).is_ok());
+        assert!(soft.is_exhausted());
+        assert!(soft.into_report().tripped(Budget::ResidualSize));
+    }
+
+    #[test]
+    fn report_display_lists_events() {
+        let mut report = DegradationReport::default();
+        assert_eq!(report.to_string(), "no degradation");
+        report.record(Budget::Fuel, None, 0);
+        report.record(Budget::UnfoldDepth, Some(Symbol::intern("g")), 7);
+        report.record(Budget::UnfoldDepth, Some(Symbol::intern("g")), 9);
+        let text = report.to_string();
+        assert!(text.contains("fuel budget tripped"), "{text}");
+        assert!(text.contains("`g`"), "{text}");
+        assert!(text.contains("×2"), "{text}");
+    }
+}

@@ -123,6 +123,11 @@ pub struct Residual {
     pub program: Program,
     /// What happened during specialization.
     pub stats: PeStats,
+    /// Which budgets tripped and were degraded (or, under
+    /// [`crate::ExhaustionPolicy::Fail`], silently generalized — the
+    /// unfold budget) while producing this residual. Empty on a fully
+    /// within-budget run.
+    pub report: crate::governor::DegradationReport,
 }
 
 #[cfg(test)]

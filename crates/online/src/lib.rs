@@ -38,12 +38,14 @@
 
 mod config;
 mod error;
+pub mod governor;
 mod input;
 mod online;
 mod simple;
 
 pub use config::PeConfig;
 pub use error::PeError;
+pub use governor::{Budget, DegradationEvent, DegradationReport, ExhaustionPolicy, Governor};
 pub use input::{PeInput, PeStats, Residual};
 pub use online::OnlinePe;
 pub use simple::{SimpleInput, SimplePe};

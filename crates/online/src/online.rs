@@ -22,6 +22,7 @@ use ppe_lang::{Expr, FunDef, Program, Symbol};
 
 use crate::config::PeConfig;
 use crate::error::PeError;
+use crate::governor::Governor;
 use crate::input::{PeInput, PeStats, Residual};
 
 /// The online parameterized partial evaluator (Figure 3).
@@ -79,7 +80,7 @@ struct St {
     used_names: HashSet<Symbol>,
     tmp_counter: u64,
     stats: PeStats,
-    fuel: u64,
+    gov: Governor,
 }
 
 impl St {
@@ -107,11 +108,7 @@ impl St {
 
     fn spend(&mut self) -> Result<(), PeError> {
         self.stats.steps += 1;
-        if self.fuel == 0 {
-            return Err(PeError::OutOfFuel);
-        }
-        self.fuel -= 1;
-        Ok(())
+        self.gov.tick()
     }
 }
 
@@ -178,7 +175,7 @@ impl<'a> OnlinePe<'a> {
             used_names: self.reserved_names(),
             tmp_counter: 0,
             stats: PeStats::default(),
-            fuel: self.config.fuel,
+            gov: Governor::new(&self.config),
         };
         let mut env = PeEnv::new();
         let mut kept_params = Vec::new();
@@ -201,6 +198,7 @@ impl<'a> OnlinePe<'a> {
             }
         }
         let (body, _) = self.pe(&def.body, &mut env, 0, &mut st)?;
+        st.gov.add_residual_size(body.size(), name)?;
         // Drop parameters the residual no longer mentions (e.g. an input
         // that was fully consumed through its facets, like the bytecode
         // vector in interpreter specialization).
@@ -224,6 +222,7 @@ impl<'a> OnlinePe<'a> {
         Ok(Residual {
             program,
             stats: st.stats,
+            report: st.gov.into_report(),
         })
     }
 
@@ -265,8 +264,23 @@ impl<'a> OnlinePe<'a> {
         out
     }
 
-    /// The valuation function `PE` of Figure 3.
+    /// The valuation function `PE` of Figure 3, behind the governor's
+    /// recursion guard: a runaway walk surfaces as
+    /// [`PeError::DepthLimit`] instead of a native stack overflow.
     fn pe(
+        &self,
+        e: &Expr,
+        env: &mut PeEnv,
+        depth: u32,
+        st: &mut St,
+    ) -> Result<(Expr, ProductVal), PeError> {
+        st.gov.enter_recursion()?;
+        let out = self.pe_inner(e, env, depth, st);
+        st.gov.exit_recursion();
+        out
+    }
+
+    fn pe_inner(
         &self,
         e: &Expr,
         env: &mut PeEnv,
@@ -345,10 +359,7 @@ impl<'a> OnlinePe<'a> {
                     env.push(*x, Expr::Var(*x), bv);
                     let (bodyr, bodyv) = self.pe(body, env, depth, st)?;
                     env.reset(mark);
-                    Ok((
-                        Expr::Let(*x, Box::new(br), Box::new(bodyr)),
-                        bodyv,
-                    ))
+                    Ok((Expr::Let(*x, Box::new(br), Box::new(bodyr)), bodyv))
                 }
             }
             // PE[f(e…)] = APP.
@@ -398,8 +409,11 @@ impl<'a> OnlinePe<'a> {
                         let original = self.unspecialized_name(g);
                         self.app(original, residuals, vals, depth, st)
                     }
-                    // A manifest λ β-reduces (with let-insertion).
-                    Expr::Lambda(params, body) if depth < self.config.max_unfold_depth => {
+                    // A manifest λ β-reduces (with let-insertion) while the
+                    // unfold budget and the governor allow it.
+                    Expr::Lambda(params, body)
+                        if depth < self.config.max_unfold_depth && !st.gov.is_exhausted() =>
+                    {
                         st.stats.unfolds += 1;
                         let mut inner = PeEnv::new();
                         let mut lets = Vec::new();
@@ -476,19 +490,20 @@ impl<'a> OnlinePe<'a> {
                         Expr::Var(x) => env
                             .lookup(*x)
                             .map(|(res, val)| (Some(*x), res.clone(), val.clone())),
-                        Expr::Const(c) => Some((
-                            None,
-                            e.clone(),
-                            ProductVal::from_const(*c, self.facets),
-                        )),
+                        Expr::Const(c) => {
+                            Some((None, e.clone(), ProductVal::from_const(*c, self.facets)))
+                        }
                         _ => None,
                     }
                 };
-                let Some(left) = side_val(&cargs[0]) else { return };
-                let Some(right) = side_val(&cargs[1]) else { return };
+                let Some(left) = side_val(&cargs[0]) else {
+                    return;
+                };
+                let Some(right) = side_val(&cargs[1]) else {
+                    return;
+                };
                 let vals = [left.2.clone(), right.2.clone()];
-                let is_equality =
-                    (*p == Prim::Eq && outcome) || (*p == Prim::Ne && !outcome);
+                let is_equality = (*p == Prim::Eq && outcome) || (*p == Prim::Ne && !outcome);
                 let mut pending: Vec<(Symbol, Expr, ProductVal)> = Vec::new();
                 for (position, side) in [&left, &right].into_iter().enumerate() {
                     let Some(x) = side.0 else { continue };
@@ -585,10 +600,7 @@ impl<'a> OnlinePe<'a> {
         depth: u32,
         st: &mut St,
     ) -> Result<(Expr, ProductVal), PeError> {
-        let def = self
-            .program
-            .lookup(f)
-            .ok_or(PeError::UnknownFunction(f))?;
+        let def = self.program.lookup(f).ok_or(PeError::UnknownFunction(f))?;
         // Static information worth unfolding over: a constant argument, or
         // a *known function value* (the lever of higher-order
         // specialization: combinators unfold when their functional
@@ -597,7 +609,7 @@ impl<'a> OnlinePe<'a> {
             || residuals
                 .iter()
                 .any(|r| matches!(r, Expr::FnRef(_) | Expr::Lambda(..)));
-        if has_static && depth < self.config.max_unfold_depth {
+        if has_static && st.gov.may_unfold(depth, self.config.max_unfold_depth, f) {
             // Unfold: static data present.
             st.stats.unfolds += 1;
             let mut inner = PeEnv::new();
@@ -608,21 +620,23 @@ impl<'a> OnlinePe<'a> {
             let (out, val) = self.pe(&def.body, &mut inner, depth + 1, st)?;
             return Ok((wrap_lets(lets, out), val));
         }
-        // Specialize. Past the unfold budget the pattern is generalized to
-        // fully dynamic so that the cache stays finite.
-        let pattern: Vec<ProductVal> = if depth >= self.config.max_unfold_depth {
-            vec![ProductVal::dynamic(self.facets); vals.len()]
-        } else {
-            vals.iter()
-                .map(|v| {
-                    if v.is_bottom(self.facets) {
-                        ProductVal::bottom(self.facets)
-                    } else {
-                        v.clone()
-                    }
-                })
-                .collect()
-        };
+        // Specialize. Past the unfold budget (or once the governor is
+        // exhausted) the pattern is generalized to fully dynamic so that
+        // the cache stays finite.
+        let pattern: Vec<ProductVal> =
+            if st.gov.must_generalize(depth, self.config.max_unfold_depth) {
+                vec![ProductVal::dynamic(self.facets); vals.len()]
+            } else {
+                vals.iter()
+                    .map(|v| {
+                        if v.is_bottom(self.facets) {
+                            ProductVal::bottom(self.facets)
+                        } else {
+                            v.clone()
+                        }
+                    })
+                    .collect()
+            };
         let (spec, value) = self.specialized_fn(f, def, pattern, st)?;
         Ok((Expr::Call(spec, residuals), value))
     }
@@ -630,10 +644,7 @@ impl<'a> OnlinePe<'a> {
     /// A specialization of `f` at a fully dynamic pattern, for residual
     /// function references.
     fn generalized_spec(&self, f: Symbol, st: &mut St) -> Result<Symbol, PeError> {
-        let def = self
-            .program
-            .lookup(f)
-            .ok_or(PeError::UnknownFunction(f))?;
+        let def = self.program.lookup(f).ok_or(PeError::UnknownFunction(f))?;
         let pattern = vec![ProductVal::dynamic(self.facets); def.arity()];
         Ok(self.specialized_fn(f, def, pattern, st)?.0)
     }
@@ -658,9 +669,15 @@ impl<'a> OnlinePe<'a> {
             return Ok((*name, v));
         }
         if st.cache.len() >= self.config.max_specializations {
-            return Err(PeError::SpecializationLimit(
-                self.config.max_specializations,
-            ));
+            let generalized = vec![ProductVal::dynamic(self.facets); def.arity()];
+            if key.1 != generalized {
+                st.gov.cache_full(self.config.max_specializations, f)?;
+                // Degrade: fold onto the fully generalized specialization
+                // instead of minting another precise one.
+                return self.specialized_fn(f, def, generalized, st);
+            }
+            // A fully generalized entry is admitted past the cap — there is
+            // at most one per source function, so the cache stays finite.
         }
         let name = st.fresh_fn(f);
         st.cache.insert(key.clone(), (name, None));
@@ -674,6 +691,7 @@ impl<'a> OnlinePe<'a> {
         // Depth resets inside a specialization body: unfolding is budgeted
         // per call chain, and the cache guarantees overall termination.
         let (body, body_val) = self.pe(&def.body, &mut inner, 0, st)?;
+        st.gov.add_residual_size(body.size(), f)?;
         // The call's value: keep the facet components of the body's value
         // but force the PE component to ⊤ — a residual call is not a
         // constant (the facet properties hold for the value *if* the call
@@ -753,9 +771,19 @@ mod tests {
                 PeInput::dynamic().with_facet("size", size_of(3)),
             ])
             .unwrap();
-        let a = Value::vector(vec![Value::Float(1.0), Value::Float(2.0), Value::Float(3.0)]);
-        let b = Value::vector(vec![Value::Float(4.0), Value::Float(5.0), Value::Float(6.0)]);
-        let expected = Evaluator::new(&p).run_main(&[a.clone(), b.clone()]).unwrap();
+        let a = Value::vector(vec![
+            Value::Float(1.0),
+            Value::Float(2.0),
+            Value::Float(3.0),
+        ]);
+        let b = Value::vector(vec![
+            Value::Float(4.0),
+            Value::Float(5.0),
+            Value::Float(6.0),
+        ]);
+        let expected = Evaluator::new(&p)
+            .run_main(&[a.clone(), b.clone()])
+            .unwrap();
         let got = Evaluator::new(&r.program).run_main(&[a, b]).unwrap();
         assert_eq!(expected, got);
         assert_eq!(got, Value::Float(32.0));
@@ -783,9 +811,7 @@ mod tests {
         let p = parse_program(src).unwrap();
         let facets = sign_facets();
         let r = OnlinePe::new(&p, &facets)
-            .specialize_main(&[
-                PeInput::dynamic().with_facet("sign", AbsVal::new(SignVal::Pos)),
-            ])
+            .specialize_main(&[PeInput::dynamic().with_facet("sign", AbsVal::new(SignVal::Pos))])
             .unwrap();
         assert_eq!(r.program.main().body, Expr::var("x"));
         assert_eq!(r.stats.static_branches, 1);
@@ -798,9 +824,7 @@ mod tests {
         let p = parse_program(src).unwrap();
         let facets = sign_facets();
         let r = OnlinePe::new(&p, &facets)
-            .specialize_main(&[
-                PeInput::dynamic().with_facet("sign", AbsVal::new(SignVal::Neg)),
-            ])
+            .specialize_main(&[PeInput::dynamic().with_facet("sign", AbsVal::new(SignVal::Neg))])
             .unwrap();
         let printed = pretty_program(&r.program);
         assert!(!printed.contains("if"), "{printed}");
@@ -813,11 +837,12 @@ mod tests {
         let src = "(define (walk x) (if (= x 0) 0 (walk (* x x))))";
         let p = parse_program(src).unwrap();
         let facets = sign_facets();
-        let config = PeConfig { max_unfold_depth: 4, ..PeConfig::default() };
+        let config = PeConfig {
+            max_unfold_depth: 4,
+            ..PeConfig::default()
+        };
         let r = OnlinePe::with_config(&p, &facets, config)
-            .specialize_main(&[
-                PeInput::dynamic().with_facet("sign", AbsVal::new(SignVal::Pos)),
-            ])
+            .specialize_main(&[PeInput::dynamic().with_facet("sign", AbsVal::new(SignVal::Pos))])
             .unwrap();
         // pos * pos = pos: (= x 0) cannot be decided (x may be any pos),
         // so walk specializes on the `pos` pattern and folds.
@@ -875,11 +900,9 @@ mod tests {
         let p = parse_program(src).unwrap();
         let facets = FacetSet::with_facets(vec![Box::new(SignFacet), Box::new(ParityFacet)]);
         let r = OnlinePe::new(&p, &facets)
-            .specialize_main(&[
-                PeInput::dynamic()
-                    .with_facet("sign", AbsVal::new(SignVal::Pos))
-                    .with_facet("parity", AbsVal::new(ParityVal::Odd)),
-            ])
+            .specialize_main(&[PeInput::dynamic()
+                .with_facet("sign", AbsVal::new(SignVal::Pos))
+                .with_facet("parity", AbsVal::new(ParityVal::Odd))])
             .unwrap();
         assert_eq!(r.program.main().body, Expr::int(300));
     }
@@ -889,7 +912,10 @@ mod tests {
         let src = "(define (count n) (if (< n 0) 0 (count (+ n 1))))";
         let p = parse_program(src).unwrap();
         let facets = FacetSet::new();
-        let config = PeConfig { max_unfold_depth: 8, ..PeConfig::default() };
+        let config = PeConfig {
+            max_unfold_depth: 8,
+            ..PeConfig::default()
+        };
         let r = OnlinePe::with_config(&p, &facets, config)
             .specialize_main(&[PeInput::known(Value::Int(0))])
             .unwrap();
@@ -986,7 +1012,10 @@ mod constraint_tests {
         assert_eq!(
             r.program.main().body,
             Expr::If(
-                Box::new(Expr::prim(ppe_lang::Prim::Lt, vec![Expr::var("x"), Expr::int(0)])),
+                Box::new(Expr::prim(
+                    ppe_lang::Prim::Lt,
+                    vec![Expr::var("x"), Expr::int(0)]
+                )),
                 Box::new(Expr::int(1)),
                 Box::new(Expr::int(3)),
             ),
@@ -1032,8 +1061,10 @@ mod constraint_tests {
         let p = parse_program(src).unwrap();
         let facets = FacetSet::with_facets(vec![Box::new(RangeFacet)]);
         let r = OnlinePe::with_config(&p, &facets, with_constraints())
-            .specialize_main(&[PeInput::dynamic()
-                .with_facet("range", ppe_core::AbsVal::new(ppe_core::facets::RangeVal::at_least(0)))])
+            .specialize_main(&[PeInput::dynamic().with_facet(
+                "range",
+                ppe_core::AbsVal::new(ppe_core::facets::RangeVal::at_least(0)),
+            )])
             .unwrap();
         let printed = pretty_program(&r.program);
         assert!(printed.contains("(if (< n 10) 1 3)"), "{printed}");
@@ -1078,7 +1109,9 @@ mod constraint_tests {
             .unwrap();
         for x in [-5i64, -1, 0, 1, 5] {
             let expected = Evaluator::new(&p).run_main(&[Value::Int(x)]).unwrap();
-            let got = Evaluator::new(&r.program).run_main(&[Value::Int(x)]).unwrap();
+            let got = Evaluator::new(&r.program)
+                .run_main(&[Value::Int(x)])
+                .unwrap();
             assert_eq!(expected, got, "x = {x}");
         }
         // And the impossible branches are gone.
@@ -1112,8 +1145,7 @@ mod consistency_tests {
     fn inconsistent_inputs_are_rejected_when_checking() {
         // sign = zero ∧ parity = odd describes no integer.
         let p = parse_program("(define (f x) x)").unwrap();
-        let facets =
-            FacetSet::with_facets(vec![Box::new(SignFacet), Box::new(ParityFacet)]);
+        let facets = FacetSet::with_facets(vec![Box::new(SignFacet), Box::new(ParityFacet)]);
         let config = PeConfig {
             check_consistency: true,
             ..PeConfig::default()
@@ -1129,8 +1161,7 @@ mod consistency_tests {
     #[test]
     fn consistent_inputs_pass_the_check() {
         let p = parse_program("(define (f x) x)").unwrap();
-        let facets =
-            FacetSet::with_facets(vec![Box::new(SignFacet), Box::new(ParityFacet)]);
+        let facets = FacetSet::with_facets(vec![Box::new(SignFacet), Box::new(ParityFacet)]);
         let config = PeConfig {
             check_consistency: true,
             ..PeConfig::default()

@@ -14,6 +14,7 @@ use ppe_lang::{Const, Expr, FunDef, Program, Symbol, Value};
 
 use crate::config::PeConfig;
 use crate::error::PeError;
+use crate::governor::Governor;
 use crate::input::{PeStats, Residual};
 
 /// One input to the simple partial evaluator: a first-order constant or
@@ -76,7 +77,7 @@ struct St {
     used_names: HashSet<Symbol>,
     tmp_counter: u64,
     stats: PeStats,
-    fuel: u64,
+    gov: Governor,
 }
 
 impl St {
@@ -104,11 +105,7 @@ impl St {
 
     fn spend(&mut self) -> Result<(), PeError> {
         self.stats.steps += 1;
-        if self.fuel == 0 {
-            return Err(PeError::OutOfFuel);
-        }
-        self.fuel -= 1;
-        Ok(())
+        self.gov.tick()
     }
 }
 
@@ -152,8 +149,7 @@ impl<'a> SimplePe<'a> {
                 got: inputs.len(),
             });
         }
-        let mut used_names: HashSet<Symbol> =
-            self.program.defs().iter().map(|d| d.name).collect();
+        let mut used_names: HashSet<Symbol> = self.program.defs().iter().map(|d| d.name).collect();
         for d in self.program.defs() {
             used_names.extend(d.params.iter().copied());
         }
@@ -164,7 +160,7 @@ impl<'a> SimplePe<'a> {
             used_names,
             tmp_counter: 0,
             stats: PeStats::default(),
-            fuel: self.config.fuel,
+            gov: Governor::new(&self.config),
         };
         let mut env = Env { stack: Vec::new() };
         let mut kept_params = Vec::new();
@@ -178,6 +174,7 @@ impl<'a> SimplePe<'a> {
             }
         }
         let body = self.pe(&def.body, &mut env, 0, &mut st)?;
+        st.gov.add_residual_size(body.size(), name)?;
         // Drop parameters the residual no longer mentions (mirrors the
         // parameterized specializer, keeping the two residual-equivalent).
         let mut free = Vec::new();
@@ -200,11 +197,20 @@ impl<'a> SimplePe<'a> {
         Ok(Residual {
             program,
             stats: st.stats,
+            report: st.gov.into_report(),
         })
     }
 
-    /// The valuation function `SPE` of Figure 2.
+    /// The valuation function `SPE` of Figure 2, behind the governor's
+    /// recursion guard (see [`crate::Governor::enter_recursion`]).
     fn pe(&self, e: &Expr, env: &mut Env, depth: u32, st: &mut St) -> Result<Expr, PeError> {
+        st.gov.enter_recursion()?;
+        let out = self.pe_inner(e, env, depth, st);
+        st.gov.exit_recursion();
+        out
+    }
+
+    fn pe_inner(&self, e: &Expr, env: &mut Env, depth: u32, st: &mut St) -> Result<Expr, PeError> {
         st.spend()?;
         match e {
             Expr::Const(c) => Ok(Expr::Const(*c)),
@@ -218,8 +224,7 @@ impl<'a> SimplePe<'a> {
                 for a in args {
                     residuals.push(self.pe(a, env, depth, st)?);
                 }
-                let consts: Option<Vec<Const>> =
-                    residuals.iter().map(|r| r.as_const()).collect();
+                let consts: Option<Vec<Const>> = residuals.iter().map(|r| r.as_const()).collect();
                 if let Some(cs) = consts {
                     let vals: Vec<Value> = cs.iter().map(|c| Value::from_const(*c)).collect();
                     if let Ok(v) = p.eval(&vals) {
@@ -291,7 +296,9 @@ impl<'a> SimplePe<'a> {
                         let original = self.unspecialized_name(g);
                         self.app(original, residuals, depth, st)
                     }
-                    Expr::Lambda(params, body) if depth < self.config.max_unfold_depth => {
+                    Expr::Lambda(params, body)
+                        if depth < self.config.max_unfold_depth && !st.gov.is_exhausted() =>
+                    {
                         st.stats.unfolds += 1;
                         let mut inner = Env { stack: Vec::new() };
                         let mut lets = Vec::new();
@@ -330,14 +337,11 @@ impl<'a> SimplePe<'a> {
         depth: u32,
         st: &mut St,
     ) -> Result<Expr, PeError> {
-        let def = self
-            .program
-            .lookup(f)
-            .ok_or(PeError::UnknownFunction(f))?;
-        let has_static = residuals.iter().any(|r| {
-            matches!(r, Expr::Const(_) | Expr::FnRef(_) | Expr::Lambda(..))
-        });
-        if has_static && depth < self.config.max_unfold_depth {
+        let def = self.program.lookup(f).ok_or(PeError::UnknownFunction(f))?;
+        let has_static = residuals
+            .iter()
+            .any(|r| matches!(r, Expr::Const(_) | Expr::FnRef(_) | Expr::Lambda(..)));
+        if has_static && st.gov.may_unfold(depth, self.config.max_unfold_depth, f) {
             st.stats.unfolds += 1;
             let mut inner = Env { stack: Vec::new() };
             let mut lets = Vec::new();
@@ -353,10 +357,7 @@ impl<'a> SimplePe<'a> {
     }
 
     fn generalized_spec(&self, f: Symbol, st: &mut St) -> Result<Symbol, PeError> {
-        let def = self
-            .program
-            .lookup(f)
-            .ok_or(PeError::UnknownFunction(f))?;
+        let def = self.program.lookup(f).ok_or(PeError::UnknownFunction(f))?;
         let pattern: Pattern = vec![None; def.arity()];
         let key = (f, pattern);
         if let Some(name) = st.cache.get(&key) {
@@ -364,9 +365,10 @@ impl<'a> SimplePe<'a> {
             return Ok(*name);
         }
         if st.cache.len() >= self.config.max_specializations {
-            return Err(PeError::SpecializationLimit(
-                self.config.max_specializations,
-            ));
+            // Degrade admits the entry (every simple-PE pattern is already
+            // fully dynamic, so the cache is bounded by the number of
+            // source functions); Fail errors out as before.
+            st.gov.cache_full(self.config.max_specializations, f)?;
         }
         let name = st.fresh_fn(f);
         st.cache.insert(key, name);
@@ -378,6 +380,7 @@ impl<'a> SimplePe<'a> {
             inner.stack.push((*p, Expr::Var(*p)));
         }
         let body = self.pe(&def.body, &mut inner, 0, st)?;
+        st.gov.add_residual_size(body.size(), f)?;
         st.defs
             .insert(name, Some(FunDef::new(name, def.params.clone(), body)));
         Ok(name)
@@ -461,9 +464,7 @@ mod tests {
         let mut ev_src = Evaluator::new(&p);
         let mut ev_res = Evaluator::new(&r.program);
         for x in [-3i64, 0, 10] {
-            let expected = ev_src
-                .run_main(&[Value::Int(x), Value::Int(4)])
-                .unwrap();
+            let expected = ev_src.run_main(&[Value::Int(x), Value::Int(4)]).unwrap();
             let got = ev_res.run_main(&[Value::Int(x)]).unwrap();
             assert_eq!(expected, got, "x = {x}");
         }

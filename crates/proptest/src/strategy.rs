@@ -1,0 +1,385 @@
+//! Generator combinators: the `Strategy` trait and the small set of
+//! primitive strategies the workspace's tests use.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike real proptest there is no `ValueTree`/shrinking layer: a strategy
+/// simply produces a value from an RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves, and `recurse`
+    /// lifts a strategy for subtrees into one for a node containing them.
+    ///
+    /// `depth` bounds the nesting; `_desired_size` and `_expected_branch`
+    /// are accepted for source compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut tree = leaf.clone();
+        for _ in 0..depth {
+            // At each level, mix leaves back in so generated sizes vary.
+            tree = Union::weighted(vec![(1, leaf.clone()), (2, recurse(tree).boxed())]).boxed();
+        }
+        tree
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice among strategies of the same value type; the engine
+/// behind `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Uniform choice among `options`.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        Union::weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Weighted choice among `options`.
+    pub fn weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!options.is_empty(), "Union of zero strategies");
+        let total_weight = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "Union with zero total weight");
+        Union {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, option) in &self.options {
+            if pick < u64::from(*weight) {
+                return option.generate(rng);
+            }
+            pick -= u64::from(*weight);
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty i64 range");
+        rng.int_in(self.start, self.end - 1)
+    }
+}
+
+impl Strategy for RangeInclusive<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start() <= self.end(), "empty i64 range");
+        rng.int_in(*self.start(), *self.end())
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty usize range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.float_in(self.start, self.end)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Types with a canonical strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A` (`any::<bool>()`, `any::<i64>()`, ...).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Canonical strategy marker for a primitive type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+impl Arbitrary for bool {
+    type Strategy = Any<bool>;
+
+    fn arbitrary() -> Any<bool> {
+        Any(PhantomData)
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.flip()
+    }
+}
+
+impl Arbitrary for i64 {
+    type Strategy = Any<i64>;
+
+    fn arbitrary() -> Any<i64> {
+        Any(PhantomData)
+    }
+}
+
+impl Strategy for Any<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        // Bias toward boundary values the way real proptest's integer
+        // strategies do, so overflow-adjacent behavior gets exercised.
+        const SPECIAL: [i64; 7] = [0, 1, -1, i64::MAX, i64::MIN, i64::MAX - 1, i64::MIN + 1];
+        if rng.below(8) == 0 {
+            SPECIAL[rng.below(SPECIAL.len() as u64) as usize]
+        } else {
+            rng.next_u64() as i64
+        }
+    }
+}
+
+/// Simple-regex string strategy: `&'static str` patterns like
+/// `"[ -~\\n]{0,80}"` or `"\\PC{0,40}"` generate matching strings.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (pool, lo, hi) = parse_simple_regex(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| pool[rng.below(pool.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parse `ATOM{lo,hi}` where `ATOM` is a `[...]` character class or `\PC`
+/// (any printable character). Returns the character pool and length bounds.
+fn unsupported(pattern: &str) -> ! {
+    panic!(
+        "proptest stub supports only `[class]{{lo,hi}}` / `\\PC{{lo,hi}}` \
+         string patterns, got: {pattern:?}"
+    )
+}
+
+fn parse_simple_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+    let (atom, rep) = match pattern.rfind('{') {
+        Some(idx) if pattern.ends_with('}') => pattern.split_at(idx),
+        _ => unsupported(pattern),
+    };
+    let body = &rep[1..rep.len() - 1];
+    let (lo, hi) = match body.split_once(',') {
+        Some((lo, hi)) => match (lo.trim().parse(), hi.trim().parse()) {
+            (Ok(lo), Ok(hi)) => (lo, hi),
+            _ => unsupported(pattern),
+        },
+        None => match body.trim().parse::<usize>() {
+            Ok(n) => (n, n),
+            Err(_) => unsupported(pattern),
+        },
+    };
+    if hi < lo {
+        unsupported(pattern);
+    }
+
+    let pool = if atom == "\\PC" {
+        printable_pool()
+    } else if let Some(class) = atom.strip_prefix('[').and_then(|a| a.strip_suffix(']')) {
+        char_class_pool(class, pattern)
+    } else {
+        unsupported(pattern)
+    };
+    if pool.is_empty() {
+        unsupported(pattern);
+    }
+    (pool, lo, hi)
+}
+
+fn char_class_pool(class: &str, pattern: &str) -> Vec<char> {
+    let mut items: Vec<char> = Vec::new();
+    let mut chars = class.chars().peekable();
+    let mut pool = Vec::new();
+    while let Some(c) = chars.next() {
+        let c = if c == '\\' {
+            match chars.next() {
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some('r') => '\r',
+                Some(escaped) => escaped,
+                None => unsupported(pattern),
+            }
+        } else {
+            c
+        };
+        items.push(c);
+    }
+    let mut i = 0;
+    while i < items.len() {
+        // `a-z` range (a literal `-` at either end is itself a member).
+        if i + 2 < items.len() && items[i + 1] == '-' {
+            let (start, end) = (items[i], items[i + 2]);
+            if start > end {
+                unsupported(pattern);
+            }
+            pool.extend(start..=end);
+            i += 3;
+        } else {
+            pool.push(items[i]);
+            i += 1;
+        }
+    }
+    pool
+}
+
+/// A spread of printable characters standing in for `\PC`: full printable
+/// ASCII plus a sampling of multi-byte code points (Latin-1, Greek, CJK,
+/// symbols, emoji) to exercise UTF-8 handling.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (' '..='~').collect();
+    pool.extend("¡¢£¤¥àáâãäåæçèéêëìíîïß€λμπΣΩЖद中文日本語한글→∀∃≤≥≠∑∏√∞🦀😀🚀".chars());
+    pool
+}

@@ -1,0 +1,128 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in environments with no network access to a crates
+//! registry, so the handful of `rand` APIs used by the benchmarks are
+//! provided here as a tiny deterministic implementation. It is **not** a
+//! general-purpose RNG: it exists so seeded benchmark data generation
+//! (`StdRng::seed_from_u64` + `gen_range`) works reproducibly.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level source of pseudo-random 64-bit words.
+pub trait RngCore {
+    /// Produce the next 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build an RNG whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Ranges that can be sampled from, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1), scaled into the range.
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> i64 {
+        let span = (self.end as i128 - self.start as i128) as u128;
+        assert!(span > 0, "cannot sample from empty range");
+        (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as i64
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        let span = self.end - self.start;
+        assert!(span > 0, "cannot sample from empty range");
+        self.start + (rng.next_u64() % span as u64) as usize
+    }
+}
+
+/// RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xorshift64* generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 the seed so 0 and small seeds still give full streams.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            StdRng {
+                state: z | 1, // never zero
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x: f64 = a.gen_range(-1.0..1.0);
+            let y: f64 = b.gen_range(-1.0..1.0);
+            assert_eq!(x, y);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let u: usize = rng.gen_range(1usize..4);
+            assert!((1..4).contains(&u));
+        }
+    }
+}

@@ -68,11 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Behaviour is unchanged.
     for x in [-5i64, 0, 50, 100, 105] {
-        let expected = Evaluator::new(&program).run_main(&[
-            Value::Int(x),
-            Value::Int(0),
-            Value::Int(100),
-        ])?;
+        let expected =
+            Evaluator::new(&program).run_main(&[Value::Int(x), Value::Int(0), Value::Int(100)])?;
         let got = Evaluator::new(&refined.program).run_main(&[Value::Int(x)])?;
         assert_eq!(expected, got);
         println!("clamp({x:>4}, 0, 100) = {got}");

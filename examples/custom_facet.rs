@@ -130,9 +130,7 @@ impl Facet for MultipleOf {
                 PeVal::constant(Const::Bool(false))
             }
             (Prim::Ne, [MultVal::Multiple, MultVal::Other])
-            | (Prim::Ne, [MultVal::Other, MultVal::Multiple]) => {
-                PeVal::constant(Const::Bool(true))
-            }
+            | (Prim::Ne, [MultVal::Other, MultVal::Multiple]) => PeVal::constant(Const::Bool(true)),
             _ => PeVal::Top,
         }
     }
@@ -148,10 +146,15 @@ impl Facet for MultipleOf {
     }
     fn enumerate(&self) -> Option<Vec<AbsVal>> {
         Some(
-            [MultVal::Bot, MultVal::Multiple, MultVal::Other, MultVal::Top]
-                .iter()
-                .map(|v| AbsVal::new(*v))
-                .collect(),
+            [
+                MultVal::Bot,
+                MultVal::Multiple,
+                MultVal::Other,
+                MultVal::Top,
+            ]
+            .iter()
+            .map(|v| AbsVal::new(*v))
+            .collect(),
         )
     }
     fn abstract_facet(&self) -> Rc<dyn AbstractFacet> {
@@ -178,10 +181,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let facets = FacetSet::with_facets(vec![Box::new(facet)]);
     let pe = OnlinePe::new(&program, &facets);
     let residual = pe.specialize_main(&[
-        PeInput::dynamic().with_facet("multiple-of", AbsVal::new(MultVal::Multiple)),
+        PeInput::dynamic().with_facet("multiple-of", AbsVal::new(MultVal::Multiple))
     ])?;
     println!("source:\n{program}");
-    println!("residual (x ≡ 0 mod 4):\n{}", pretty_program(&residual.program));
+    println!(
+        "residual (x ≡ 0 mod 4):\n{}",
+        pretty_program(&residual.program)
+    );
     assert!(!pretty_program(&residual.program).contains("if"));
     Ok(())
 }

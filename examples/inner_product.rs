@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Online parameterized partial evaluation (Section 6.1).
     let online = OnlinePe::new(&program, &facets).specialize_main(&inputs)?;
-    println!("== Figure 8: online residual (size = 3) ==\n{}", pretty_program(&online.program));
+    println!(
+        "== Figure 8: online residual (size = 3) ==\n{}",
+        pretty_program(&online.program)
+    );
 
     // Offline: facet analysis (Figure 4 / Figure 9), then specialization.
     let abstract_inputs: Vec<AbstractInput> = inputs
@@ -44,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         analysis.iterations
     );
     let offline = OfflinePe::new(&program, &facets, &analysis).specialize(&inputs)?;
-    println!("== offline residual ==\n{}", pretty_program(&offline.program));
+    println!(
+        "== offline residual ==\n{}",
+        pretty_program(&offline.program)
+    );
 
     assert_eq!(
         pretty_program(&online.program),
@@ -54,8 +60,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("online and offline residuals agree ✓");
 
     // And the residual computes the same inner products as the source.
-    let a = Value::vector(vec![Value::Float(1.0), Value::Float(2.0), Value::Float(3.0)]);
-    let b = Value::vector(vec![Value::Float(4.0), Value::Float(5.0), Value::Float(6.0)]);
+    let a = Value::vector(vec![
+        Value::Float(1.0),
+        Value::Float(2.0),
+        Value::Float(3.0),
+    ]);
+    let b = Value::vector(vec![
+        Value::Float(4.0),
+        Value::Float(5.0),
+        Value::Float(6.0),
+    ]);
     let source = Evaluator::new(&program).run_main(&[a.clone(), b.clone()])?;
     let residual = Evaluator::new(&online.program).run_main(&[a, b])?;
     println!("iprod([1 2 3], [4 5 6]) = {source} (source) = {residual} (residual)");

@@ -25,17 +25,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Conventional partial evaluation can do nothing here: x is unknown.
     let none = FacetSet::new();
     let conventional = OnlinePe::new(&program, &none).specialize_main(&[PeInput::dynamic()])?;
-    println!("conventional PE (x fully dynamic):\n{}", pretty_program(&conventional.program));
+    println!(
+        "conventional PE (x fully dynamic):\n{}",
+        pretty_program(&conventional.program)
+    );
 
     // Parameterized partial evaluation: x is unknown *but positive*.
     // The Sign facet's open operator ≺̂ decides (< x 0) = false, the
     // branch dies, and `penalty` vanishes from the residual program.
     let facets = FacetSet::with_facets(vec![Box::new(SignFacet)]);
     let pe = OnlinePe::new(&program, &facets);
-    let residual = pe.specialize_main(&[
-        PeInput::dynamic().with_facet("sign", AbsVal::new(SignVal::Pos)),
-    ])?;
-    println!("parameterized PE (x dynamic but positive):\n{}", pretty_program(&residual.program));
+    let residual =
+        pe.specialize_main(&[PeInput::dynamic().with_facet("sign", AbsVal::new(SignVal::Pos))])?;
+    println!(
+        "parameterized PE (x dynamic but positive):\n{}",
+        pretty_program(&residual.program)
+    );
     println!(
         "stats: {} reductions, {} static branches, {} unfolds",
         residual.stats.reductions, residual.stats.static_branches, residual.stats.unfolds

@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // is annotated without sign information. This online/offline precision
     // gap is inherent to the paper's offline strategy (Section 5 trades
     // precision for a cheap, reusable specialization phase).
-    println!("offline residual (coarser — monovariant analysis):\n{}", pretty_program(&offline.program));
+    println!(
+        "offline residual (coarser — monovariant analysis):\n{}",
+        pretty_program(&offline.program)
+    );
 
     // Both residuals behave like the source.
     for x in [-7i64, -1, -100] {

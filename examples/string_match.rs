@@ -58,12 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Specialize on the pattern: its contents are static.
     let facets = FacetSet::with_facets(vec![Box::new(ContentsFacet)]);
     let config = PeConfig::default();
-    let residual = OnlinePe::with_config(&program, &facets, config)
-        .specialize_main(&[
-            PeInput::known(pattern.clone()),
-            PeInput::dynamic(),
-            PeInput::dynamic(),
-        ])?;
+    let residual = OnlinePe::with_config(&program, &facets, config).specialize_main(&[
+        PeInput::known(pattern.clone()),
+        PeInput::dynamic(),
+        PeInput::dynamic(),
+    ])?;
     // The specialized loop still threads the (dead) pattern parameter;
     // the pruning pass erases it from the residual entirely.
     let residual_program = prune_unused_params(&residual.program, OptLevel::Safe);
@@ -73,11 +72,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // character constants are inlined.
     assert!(!printed.contains("(vref p"), "{printed}");
     assert!(!printed.contains("(vsize p"), "{printed}");
-    assert!(printed.contains("97"), "pattern byte 'a' inlined: {printed}");
-    assert!(printed.contains("98"), "pattern byte 'b' inlined: {printed}");
+    assert!(
+        printed.contains("97"),
+        "pattern byte 'a' inlined: {printed}"
+    );
+    assert!(
+        printed.contains("98"),
+        "pattern byte 'b' inlined: {printed}"
+    );
 
     // Equivalence on a batch of subjects.
-    assert!(!printed.contains(" p "), "pattern parameter pruned: {printed}");
+    assert!(
+        !printed.contains(" p "),
+        "pattern parameter pruned: {printed}"
+    );
     let mut ev_res = Evaluator::new(&residual_program);
     for s in ["", "aba", "xxaba", "ab", "aab", "ababab", "zzzzzz"] {
         let expected = ev.run_main(&[pattern.clone(), chars(s), Value::Int(1)])?;

@@ -18,6 +18,16 @@
 //!          --constraints   propagate conditional constraints (online)
 //!          --optimize      run the residual cleanup passes
 //!          --polyvariant   per-call-pattern variants (analyze only)
+//!
+//! resource governance (see DESIGN.md § Resource governance):
+//!          --fuel N                  reduction-step budget
+//!          --deadline-ms N           wall-clock budget in milliseconds
+//!          --max-residual-size N     residual-program node cap
+//!          --on-exhaustion=POLICY    fail (default) or degrade: under
+//!                                    degrade a tripped budget generalizes
+//!                                    to dynamic instead of erroring, and
+//!                                    the degradation report is printed on
+//!                                    stderr
 //! ```
 //!
 //! Example:
@@ -27,19 +37,50 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use ppe::core::facets::{
-    ConstSetFacet, ContentsFacet, ParityFacet, ParityVal, RangeFacet, RangeVal, SignFacet,
-    SignVal, SizeFacet, SizeVal, TypeFacet,
+    ConstSetFacet, ContentsFacet, ParityFacet, ParityVal, RangeFacet, RangeVal, SignFacet, SignVal,
+    SizeFacet, SizeVal, TypeFacet,
 };
 use ppe::core::{AbsVal, FacetSet};
-use ppe::lang::{optimize_program, parse_program, pretty_program, prune_unused_params, Const, Evaluator, OptLevel, Program, Value};
-use ppe::offline::{analyze, AbstractInput, OfflinePe};
-use ppe::online::{OnlinePe, PeConfig, PeInput};
+use ppe::lang::{
+    optimize_program, parse_program, pretty_program, prune_unused_params, Const, Evaluator,
+    OptLevel, Program, Value,
+};
+use ppe::offline::{analyze_with_config, AbstractInput, OfflinePe};
+use ppe::online::{ExhaustionPolicy, OnlinePe, PeConfig, PeInput};
+
+/// Stack size for the worker thread. Deeply recursive source programs drive
+/// equally deep recursion in the specializer walks; the guarded recursion
+/// limits (`PeConfig::max_recursion_depth`, the evaluator's expression-depth
+/// cap) are calibrated against this, not against the OS default main-thread
+/// stack.
+const WORKER_STACK_BYTES: usize = 256 * 1024 * 1024;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    // `RUST_MIN_STACK` only sizes stacks of threads spawned by the Rust
+    // runtime, never the main thread, so run the driver on a worker thread
+    // with an explicit stack: recursion limits then fail structurally
+    // (DepthLimit) instead of faulting the process.
+    let worker = std::thread::Builder::new()
+        .name("ppe-driver".to_owned())
+        .stack_size(WORKER_STACK_BYTES)
+        .spawn(move || run(&args));
+    let outcome = match worker {
+        Ok(handle) => match handle.join() {
+            Ok(result) => result,
+            Err(_) => Err("driver thread panicked".to_owned()),
+        },
+        // Thread creation can fail under memory pressure; degrade to the
+        // main thread rather than refusing to run at all.
+        Err(_) => {
+            let args: Vec<String> = std::env::args().skip(1).collect();
+            run(&args)
+        }
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("ppe: {msg}");
@@ -66,6 +107,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: ppe <run|specialize|analyze> <file> [inputs…] [--facets LIST] [--offline] [--constraints]\n\
+     \u{20}       [--fuel N] [--deadline-ms N] [--max-residual-size N] [--on-exhaustion=fail|degrade]\n\
      see `cargo doc` or the README for the input syntax"
         .to_owned()
 }
@@ -79,13 +121,44 @@ struct Opts {
     constraints: bool,
     optimize: bool,
     polyvariant: bool,
+    fuel: Option<u64>,
+    deadline_ms: Option<u64>,
+    max_residual_size: Option<usize>,
+    on_exhaustion: ExhaustionPolicy,
+}
+
+impl Opts {
+    /// Folds the resource-governance flags into a [`PeConfig`].
+    fn pe_config(&self) -> PeConfig {
+        let mut config = PeConfig {
+            propagate_constraints: self.constraints,
+            on_exhaustion: self.on_exhaustion,
+            ..PeConfig::default()
+        };
+        if let Some(fuel) = self.fuel {
+            config.fuel = fuel;
+        }
+        if let Some(ms) = self.deadline_ms {
+            config.deadline = Some(Duration::from_millis(ms));
+        }
+        if let Some(cap) = self.max_residual_size {
+            config.max_residual_size = cap;
+        }
+        config
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut file = None;
     let mut inputs = Vec::new();
     let mut facets = vec![
-        "sign", "parity", "range", "size", "contents", "const-set", "type",
+        "sign",
+        "parity",
+        "range",
+        "size",
+        "contents",
+        "const-set",
+        "type",
     ]
     .into_iter()
     .map(str::to_owned)
@@ -94,25 +167,70 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut constraints = false;
     let mut optimize = false;
     let mut polyvariant = false;
+    let mut fuel = None;
+    let mut deadline_ms = None;
+    let mut max_residual_size = None;
+    let mut on_exhaustion = ExhaustionPolicy::Fail;
+    // Flags that take a value accept both `--flag VALUE` and `--flag=VALUE`.
+    let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        let arg = &args[*i];
+        if let Some(v) = arg.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+            return Ok(v.to_owned());
+        }
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
     let mut i = 0;
     while i < args.len() {
-        match args[i].as_str() {
+        let arg = args[i].clone();
+        let flag = arg.split('=').next().unwrap_or(&arg);
+        match flag {
             "--facets" => {
-                i += 1;
-                let list = args
-                    .get(i)
-                    .ok_or_else(|| "--facets needs a comma-separated list".to_owned())?;
+                let list = take_value(args, &mut i, "--facets")?;
                 facets = list.split(',').map(|s| s.trim().to_owned()).collect();
             }
             "--offline" => offline = true,
             "--constraints" => constraints = true,
             "--optimize" => optimize = true,
             "--polyvariant" => polyvariant = true,
-            other => {
+            "--fuel" => {
+                let v = take_value(args, &mut i, "--fuel")?;
+                fuel =
+                    Some(v.parse::<u64>().map_err(|_| {
+                        format!("--fuel must be a non-negative integer, got `{v}`")
+                    })?);
+            }
+            "--deadline-ms" => {
+                let v = take_value(args, &mut i, "--deadline-ms")?;
+                deadline_ms = Some(v.parse::<u64>().map_err(|_| {
+                    format!("--deadline-ms must be a non-negative integer, got `{v}`")
+                })?);
+            }
+            "--max-residual-size" => {
+                let v = take_value(args, &mut i, "--max-residual-size")?;
+                max_residual_size = Some(v.parse::<usize>().map_err(|_| {
+                    format!("--max-residual-size must be a non-negative integer, got `{v}`")
+                })?);
+            }
+            "--on-exhaustion" => {
+                let v = take_value(args, &mut i, "--on-exhaustion")?;
+                on_exhaustion = match v.as_str() {
+                    "fail" => ExhaustionPolicy::Fail,
+                    "degrade" => ExhaustionPolicy::Degrade,
+                    other => {
+                        return Err(format!(
+                            "--on-exhaustion must be fail or degrade, got `{other}`"
+                        ))
+                    }
+                };
+            }
+            _ => {
                 if file.is_none() {
-                    file = Some(other.to_owned());
+                    file = Some(arg.clone());
                 } else {
-                    inputs.push(other.to_owned());
+                    inputs.push(arg.clone());
                 }
             }
         }
@@ -126,6 +244,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         constraints,
         optimize,
         polyvariant,
+        fuel,
+        deadline_ms,
+        max_residual_size,
+        on_exhaustion,
     })
 }
 
@@ -265,8 +387,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let program = load(&opts.file)?;
     let vals: Result<Vec<Value>, String> = opts.inputs.iter().map(|s| parse_value(s)).collect();
-    let mut ev = Evaluator::new(&program);
+    let mut ev = match opts.fuel {
+        Some(fuel) => Evaluator::with_fuel(&program, fuel),
+        None => Evaluator::new(&program),
+    };
     ev.set_max_depth(10_000);
+    if let Some(ms) = opts.deadline_ms {
+        ev.set_deadline(Some(Duration::from_millis(ms)));
+    }
     let out = ev.run_main(&vals?).map_err(|e| e.to_string())?;
     println!("{out}");
     Ok(())
@@ -276,13 +404,9 @@ fn cmd_specialize(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let program = load(&opts.file)?;
     let facets = build_facets(&opts.facets)?;
-    let inputs: Result<Vec<PeInput>, String> =
-        opts.inputs.iter().map(|s| parse_input(s)).collect();
+    let inputs: Result<Vec<PeInput>, String> = opts.inputs.iter().map(|s| parse_input(s)).collect();
     let inputs = inputs?;
-    let config = PeConfig {
-        propagate_constraints: opts.constraints,
-        ..PeConfig::default()
-    };
+    let config = opts.pe_config();
     let residual = if opts.offline {
         let abstract_inputs: Result<Vec<AbstractInput>, String> = inputs
             .iter()
@@ -292,8 +416,8 @@ fn cmd_specialize(args: &[String]) -> Result<(), String> {
                     .map_err(|e| e.to_string())
             })
             .collect();
-        let analysis =
-            analyze(&program, &facets, &abstract_inputs?).map_err(|e| e.to_string())?;
+        let analysis = analyze_with_config(&program, &facets, &abstract_inputs?, &config)
+            .map_err(|e| e.to_string())?;
         OfflinePe::with_config(&program, &facets, &analysis, config)
             .specialize(&inputs)
             .map_err(|e| e.to_string())?
@@ -303,7 +427,10 @@ fn cmd_specialize(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?
     };
     let final_program = if opts.optimize {
-        prune_unused_params(&optimize_program(&residual.program, OptLevel::Safe), OptLevel::Safe)
+        prune_unused_params(
+            &optimize_program(&residual.program, OptLevel::Safe),
+            OptLevel::Safe,
+        )
     } else {
         residual.program.clone()
     };
@@ -315,6 +442,12 @@ fn cmd_specialize(args: &[String]) -> Result<(), String> {
         residual.stats.unfolds,
         residual.stats.specializations
     );
+    if !residual.report.is_empty() {
+        eprintln!("; degradation report:");
+        for line in residual.report.to_string().lines() {
+            eprintln!(";   {line}");
+        }
+    }
     Ok(())
 }
 
@@ -322,8 +455,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let program = load(&opts.file)?;
     let facets = build_facets(&opts.facets)?;
-    let inputs: Result<Vec<PeInput>, String> =
-        opts.inputs.iter().map(|s| parse_input(s)).collect();
+    let inputs: Result<Vec<PeInput>, String> = opts.inputs.iter().map(|s| parse_input(s)).collect();
     let abstract_inputs: Result<Vec<AbstractInput>, String> = inputs?
         .iter()
         .map(|i| {
@@ -334,12 +466,9 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         .collect();
     let abstract_inputs = abstract_inputs?;
     if opts.polyvariant {
-        let poly = ppe::offline::polyvariant::analyze_polyvariant(
-            &program,
-            &facets,
-            &abstract_inputs,
-        )
-        .map_err(|e| e.to_string())?;
+        let poly =
+            ppe::offline::polyvariant::analyze_polyvariant(&program, &facets, &abstract_inputs)
+                .map_err(|e| e.to_string())?;
         println!("polyvariant variants:");
         let mut names: Vec<_> = program.defs().iter().map(|d| d.name).collect();
         names.sort_by_key(|f| f.as_str());
@@ -351,7 +480,14 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         println!("result: {}", poly.result.display());
         return Ok(());
     }
-    let analysis = analyze(&program, &facets, &abstract_inputs).map_err(|e| e.to_string())?;
+    let analysis = analyze_with_config(&program, &facets, &abstract_inputs, &opts.pe_config())
+        .map_err(|e| e.to_string())?;
+    if !analysis.degradation.is_empty() {
+        eprintln!("; degradation report:");
+        for line in analysis.degradation.to_string().lines() {
+            eprintln!(";   {line}");
+        }
+    }
     print!("{}", analysis.report(&program));
     let mut sigs: Vec<_> = analysis.signatures.iter().collect();
     sigs.sort_by_key(|(f, _)| f.as_str());
@@ -418,6 +554,45 @@ mod tests {
         assert!(opts.offline);
         assert!(!opts.constraints);
         assert!(!opts.optimize);
+        assert_eq!(opts.fuel, None);
+        assert_eq!(opts.on_exhaustion, ExhaustionPolicy::Fail);
+    }
+
+    #[test]
+    fn parses_governance_flags() {
+        let args: Vec<String> = [
+            "prog.sexp",
+            "_:range=0..10",
+            "--fuel",
+            "500",
+            "--deadline-ms=10",
+            "--max-residual-size",
+            "4096",
+            "--on-exhaustion=degrade",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = parse_opts(&args).unwrap();
+        assert_eq!(opts.file, "prog.sexp");
+        assert_eq!(opts.inputs, vec!["_:range=0..10"]);
+        assert_eq!(opts.fuel, Some(500));
+        assert_eq!(opts.deadline_ms, Some(10));
+        assert_eq!(opts.max_residual_size, Some(4096));
+        assert_eq!(opts.on_exhaustion, ExhaustionPolicy::Degrade);
+        let config = opts.pe_config();
+        assert_eq!(config.fuel, 500);
+        assert_eq!(config.deadline, Some(Duration::from_millis(10)));
+        assert_eq!(config.max_residual_size, 4096);
+        assert_eq!(config.on_exhaustion, ExhaustionPolicy::Degrade);
+    }
+
+    #[test]
+    fn rejects_bad_governance_flags() {
+        let to_args = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(parse_opts(&to_args(&["p.sexp", "--fuel", "lots"])).is_err());
+        assert!(parse_opts(&to_args(&["p.sexp", "--deadline-ms"])).is_err());
+        assert!(parse_opts(&to_args(&["p.sexp", "--on-exhaustion=maybe"])).is_err());
     }
 
     #[test]

@@ -1,11 +1,20 @@
 //! Budget and limit behaviour: every unbounded process in the system
 //! (specialization, unfolding, evaluation, analysis) is governed by an
-//! explicit budget that fails loudly instead of hanging.
+//! explicit budget that fails loudly instead of hanging — and, under
+//! [`ExhaustionPolicy::Degrade`], degrades to a correct residual instead
+//! of failing at all.
+//!
+//! For every budget there is a strict-mode case that trips it and a
+//! degrade-mode case on the same program whose residual is then verified
+//! against the source on sampled dynamic inputs.
+
+use std::time::{Duration, Instant};
 
 use ppe::core::facets::RangeFacet;
 use ppe::core::FacetSet;
-use ppe::lang::{parse_program, EvalError, Evaluator, Value};
-use ppe::online::{OnlinePe, PeConfig, PeError, PeInput};
+use ppe::lang::{parse_program, EvalError, Evaluator, Program, Value};
+use ppe::offline::{analyze, AbstractInput, OfflineError, OfflinePe};
+use ppe::online::{Budget, ExhaustionPolicy, OnlinePe, PeConfig, PeError, PeInput};
 
 #[test]
 fn specializer_fuel_is_respected() {
@@ -25,20 +34,15 @@ fn specializer_fuel_is_respected() {
 fn specialization_cache_limit_is_respected() {
     // The Range facet mints a fresh interval per recursion level, so
     // facet-keyed specialization would grow forever; the cap reports it.
-    let p = parse_program(
-        "(define (f x n) (if (< n 0) x (f (+ x 1) n)))",
-    )
-    .unwrap();
+    let p = parse_program("(define (f x n) (if (< n 0) x (f (+ x 1) n)))").unwrap();
     let facets = FacetSet::with_facets(vec![Box::new(RangeFacet)]);
     let config = PeConfig {
         max_unfold_depth: 0, // force folding immediately
         max_specializations: 8,
         ..PeConfig::default()
     };
-    let result = OnlinePe::with_config(&p, &facets, config).specialize_main(&[
-        PeInput::known(Value::Int(0)),
-        PeInput::dynamic(),
-    ]);
+    let result = OnlinePe::with_config(&p, &facets, config)
+        .specialize_main(&[PeInput::known(Value::Int(0)), PeInput::dynamic()]);
     match result {
         // Either the interval family exhausts the cache...
         Err(PeError::SpecializationLimit(8)) => {}
@@ -83,7 +87,10 @@ fn evaluator_budgets_are_independent() {
     // Tight fuel, generous depth.
     let mut ev = Evaluator::with_fuel(&p, 5);
     ev.set_max_depth(10_000);
-    assert_eq!(ev.run_main(&[Value::Int(100)]).unwrap_err(), EvalError::OutOfFuel);
+    assert_eq!(
+        ev.run_main(&[Value::Int(100)]).unwrap_err(),
+        EvalError::OutOfFuel
+    );
     // Generous fuel, tight depth.
     let mut ev = Evaluator::with_fuel(&p, 1_000_000);
     ev.set_max_depth(5);
@@ -95,6 +102,298 @@ fn evaluator_budgets_are_independent() {
     let mut ev = Evaluator::with_fuel(&p, 1_000_000);
     ev.set_max_depth(200);
     assert_eq!(ev.run_main(&[Value::Int(100)]).unwrap(), Value::Int(0));
+}
+
+// ---------------------------------------------------------------------------
+// Degrade-mode pairs: one strict failure + one degrade-to-residual per budget.
+// ---------------------------------------------------------------------------
+
+/// Evaluates a program with a generous budget (shared with
+/// `residual_correctness.rs`'s harness).
+fn run(program: &Program, args: &[Value]) -> Result<Value, EvalError> {
+    let mut ev = Evaluator::with_fuel(program, 200_000);
+    ev.run_main(args)
+}
+
+/// Binds a residual entry point's (possibly pruned) parameter list against
+/// named values.
+fn residual_args(program: &Program, bindings: &[(&str, Value)]) -> Vec<Value> {
+    program
+        .main()
+        .params
+        .iter()
+        .map(|p| {
+            bindings
+                .iter()
+                .find(|(n, _)| *n == p.as_str())
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("unexpected residual parameter `{p}`"))
+        })
+        .collect()
+}
+
+/// Asserts that the residual computes the same value as `source` applied to
+/// `(x, n)` for at least three sampled dynamic `x`.
+fn assert_residual_matches(source: &Program, residual: &Program, n: i64, samples: &[i64]) {
+    assert!(samples.len() >= 3, "need at least three sampled inputs");
+    for &x in samples {
+        let expected = run(source, &[Value::Int(x), Value::Int(n)]).unwrap();
+        let got = run(
+            residual,
+            &residual_args(residual, &[("x", Value::Int(x)), ("n", Value::Int(n))]),
+        )
+        .unwrap();
+        assert_eq!(expected, got, "residual diverges from source at x={x}");
+    }
+}
+
+/// Fuel: strict mode fails with `OutOfFuel`; degrade mode generalizes the
+/// remaining work into a correct residual.
+#[test]
+fn fuel_exhaustion_degrades_to_correct_residual() {
+    let src = "(define (f x n) (if (= n 0) x (+ x (f x (- n 1)))))";
+    let p = parse_program(src).unwrap();
+    let facets = FacetSet::new();
+    let strict = PeConfig {
+        fuel: 50,
+        ..PeConfig::default()
+    };
+    let err = OnlinePe::with_config(&p, &facets, strict.clone())
+        .specialize_main(&[PeInput::dynamic(), PeInput::known(Value::Int(100))])
+        .unwrap_err();
+    assert_eq!(err, PeError::OutOfFuel);
+
+    let degrade = PeConfig {
+        on_exhaustion: ExhaustionPolicy::Degrade,
+        ..strict
+    };
+    let r = OnlinePe::with_config(&p, &facets, degrade)
+        .specialize_main(&[PeInput::dynamic(), PeInput::known(Value::Int(100))])
+        .unwrap();
+    assert!(r.report.tripped(Budget::Fuel), "report: {}", r.report);
+    assert_residual_matches(&p, &r.program, 100, &[-3, 0, 5, 11]);
+}
+
+/// Unfold depth: the *offline* engine fails strictly when the analysis
+/// mandates more unfolding than the budget allows; degrade mode folds the
+/// rest into a generalized specialization. (The online engine generalizes
+/// at the unfold horizon by construction and never fails on this budget.)
+#[test]
+fn offline_unfold_exhaustion_degrades_to_correct_residual() {
+    let src = "(define (g x n) (if (= n 0) x (+ x (g x (- n 1)))))";
+    let p = parse_program(src).unwrap();
+    let facets = FacetSet::new();
+    let inputs = [AbstractInput::dynamic(), AbstractInput::static_()];
+    let analysis = analyze(&p, &facets, &inputs).unwrap();
+    let strict = PeConfig {
+        max_unfold_depth: 4,
+        ..PeConfig::default()
+    };
+    let pe_inputs = [PeInput::dynamic(), PeInput::known(Value::Int(10))];
+    let err = OfflinePe::with_config(&p, &facets, &analysis, strict.clone())
+        .specialize(&pe_inputs)
+        .unwrap_err();
+    assert_eq!(err, OfflineError::OutOfFuel);
+
+    let degrade = PeConfig {
+        on_exhaustion: ExhaustionPolicy::Degrade,
+        ..strict
+    };
+    let r = OfflinePe::with_config(&p, &facets, &analysis, degrade)
+        .specialize(&pe_inputs)
+        .unwrap();
+    assert!(
+        r.report.tripped(Budget::UnfoldDepth),
+        "report: {}",
+        r.report
+    );
+    for &x in &[-3i64, 0, 5] {
+        let expected = run(&p, &[Value::Int(x), Value::Int(10)]).unwrap();
+        let got = run(
+            &r.program,
+            &residual_args(&r.program, &[("x", Value::Int(x)), ("n", Value::Int(10))]),
+        )
+        .unwrap();
+        assert_eq!(expected, got, "offline degrade residual wrong at x={x}");
+    }
+}
+
+/// Specialization cache: a range-refined argument mints a fresh pattern per
+/// recursion level, overflowing the cache strictly; degrade mode retries
+/// the call at the fully-generalized pattern and terminates.
+#[test]
+fn cache_exhaustion_degrades_to_correct_residual() {
+    let src = "(define (f x n) (if (= n 0) x (f (+ x 1) (- n 1))))";
+    let p = parse_program(src).unwrap();
+    let facets = FacetSet::with_facets(vec![Box::new(RangeFacet)]);
+    // Both arguments are PE-dynamic so every call folds, but the range
+    // refinement shifts by one per recursion level: a fresh pattern each
+    // time, far below the unfold horizon where generalization would kick
+    // in.
+    let strict = PeConfig {
+        max_specializations: 8,
+        ..PeConfig::default()
+    };
+    let inputs = [
+        PeInput::dynamic().with_facet(
+            "range",
+            ppe::core::AbsVal::new(ppe::core::facets::RangeVal::Range {
+                lo: Some(0),
+                hi: Some(0),
+            }),
+        ),
+        PeInput::dynamic(),
+    ];
+    let err = OnlinePe::with_config(&p, &facets, strict.clone())
+        .specialize_main(&inputs)
+        .unwrap_err();
+    assert_eq!(err, PeError::SpecializationLimit(8));
+
+    let degrade = PeConfig {
+        on_exhaustion: ExhaustionPolicy::Degrade,
+        ..strict
+    };
+    let r = OnlinePe::with_config(&p, &facets, degrade)
+        .specialize_main(&inputs)
+        .unwrap();
+    assert!(
+        r.report.tripped(Budget::SpecializationCache),
+        "report: {}",
+        r.report
+    );
+    // The range refinement promises x ∈ [0, 0]; sample n instead.
+    for &n in &[1i64, 3, 7] {
+        let expected = run(&p, &[Value::Int(0), Value::Int(n)]).unwrap();
+        let got = run(
+            &r.program,
+            &residual_args(&r.program, &[("x", Value::Int(0)), ("n", Value::Int(n))]),
+        )
+        .unwrap();
+        assert_eq!(expected, got, "cache degrade residual wrong at n={n}");
+    }
+}
+
+/// Residual size: a small cap fails strictly once unfolding inflates the
+/// entry body; degrade mode completes (the cap becomes a soft trigger that
+/// stops further unfolding) and the residual stays correct.
+#[test]
+fn residual_size_exhaustion_degrades_to_correct_residual() {
+    let src = "(define (f x n) (if (= n 0) 1 (* x (f x (- n 1)))))";
+    let p = parse_program(src).unwrap();
+    let facets = FacetSet::new();
+    let strict = PeConfig {
+        max_residual_size: 10,
+        ..PeConfig::default()
+    };
+    let err = OnlinePe::with_config(&p, &facets, strict.clone())
+        .specialize_main(&[PeInput::dynamic(), PeInput::known(Value::Int(20))])
+        .unwrap_err();
+    assert_eq!(err, PeError::ResidualSizeLimit(10));
+
+    let degrade = PeConfig {
+        on_exhaustion: ExhaustionPolicy::Degrade,
+        ..strict
+    };
+    let r = OnlinePe::with_config(&p, &facets, degrade)
+        .specialize_main(&[PeInput::dynamic(), PeInput::known(Value::Int(20))])
+        .unwrap();
+    assert!(
+        r.report.tripped(Budget::ResidualSize),
+        "report: {}",
+        r.report
+    );
+    assert_residual_matches(&p, &r.program, 20, &[-2, 0, 1, 3]);
+}
+
+/// Builds a divergent program whose body is fat enough that the deadline
+/// check (every 256 ticks) fires long before the recursion guard. The
+/// ballast sums a deep chain of zeros so values stay bounded — overflow
+/// would residualize the recursion and terminate it spuriously.
+fn fat_divergent_program() -> Program {
+    let mut ballast = "0".to_owned();
+    for _ in 0..1_000 {
+        ballast = format!("(+ 0 {ballast})");
+    }
+    parse_program(&format!("(define (f n) (+ {ballast} (f (+ n 1))))")).unwrap()
+}
+
+/// Deadline: a 10 ms deadline on a divergent unfolding returns promptly in
+/// both policies — a structured error under `Fail`, a residual plus report
+/// under `Degrade`. Never a hang, never a stack overflow.
+#[test]
+fn deadline_on_divergent_program_returns_promptly() {
+    let p = fat_divergent_program();
+    let facets = FacetSet::new();
+    let strict = PeConfig {
+        max_unfold_depth: 1 << 20, // deadline, not the unfold horizon, binds
+        fuel: u64::MAX,            // nor fuel
+        deadline: Some(Duration::from_millis(10)),
+        ..PeConfig::default()
+    };
+    let start = Instant::now();
+    let err = OnlinePe::with_config(&p, &facets, strict.clone())
+        .specialize_main(&[PeInput::known(Value::Int(0))])
+        .unwrap_err();
+    let elapsed = start.elapsed();
+    assert!(
+        matches!(err, PeError::DeadlineExceeded | PeError::DepthLimit(_)),
+        "unexpected error: {err}"
+    );
+    assert!(elapsed < Duration::from_secs(2), "took {elapsed:?}");
+
+    let degrade = PeConfig {
+        on_exhaustion: ExhaustionPolicy::Degrade,
+        ..strict
+    };
+    let start = Instant::now();
+    let r = OnlinePe::with_config(&p, &facets, degrade)
+        .specialize_main(&[PeInput::known(Value::Int(0))])
+        .unwrap();
+    let elapsed = start.elapsed();
+    assert!(elapsed < Duration::from_secs(2), "took {elapsed:?}");
+    assert!(!r.report.is_empty(), "degrade run must report what tripped");
+}
+
+/// The recursion guard turns deeply nested *source syntax* into a
+/// structured error rather than a native stack overflow — under both
+/// policies, since no amount of generalization shrinks source nesting.
+#[test]
+fn deep_source_nesting_is_a_structured_error() {
+    let depth = 20_000;
+    let mut body = "x".to_owned();
+    for _ in 0..depth {
+        body = format!("(+ 1 {body})");
+    }
+    let p = parse_program(&format!("(define (f x) {body})")).unwrap();
+    let facets = FacetSet::new();
+    for policy in [ExhaustionPolicy::Fail, ExhaustionPolicy::Degrade] {
+        let config = PeConfig {
+            on_exhaustion: policy,
+            ..PeConfig::default()
+        };
+        let err = OnlinePe::with_config(&p, &facets, config)
+            .specialize_main(&[PeInput::dynamic()])
+            .unwrap_err();
+        assert!(
+            matches!(err, PeError::DepthLimit(_)),
+            "{policy:?}: unexpected error {err}"
+        );
+    }
+}
+
+/// The evaluator honours a wall-clock deadline independently of fuel and
+/// call depth.
+#[test]
+fn evaluator_deadline_is_respected() {
+    let p =
+        parse_program("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
+    let mut ev = Evaluator::with_fuel(&p, u64::MAX);
+    ev.set_max_depth(100);
+    ev.set_deadline(Some(Duration::from_millis(10)));
+    let start = Instant::now();
+    let err = ev.run_main(&[Value::Int(40)]).unwrap_err();
+    assert_eq!(err, EvalError::DeadlineExceeded);
+    assert!(start.elapsed() < Duration::from_secs(2));
 }
 
 #[test]

@@ -174,13 +174,7 @@ fn analyze_polyvariant_prints_variants() {
 #[test]
 fn type_facet_is_available_from_the_cli() {
     let path = write_program("typed.sexp", "(define (f x) (* (+ x 1) 2))");
-    let (ok, stdout, stderr) = ppe(&[
-        "analyze",
-        path.to_str().unwrap(),
-        "_",
-        "--facets",
-        "type",
-    ]);
+    let (ok, stdout, stderr) = ppe(&["analyze", path.to_str().unwrap(), "_", "--facets", "type"]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("f:"), "{stdout}");
 }

@@ -69,10 +69,17 @@ pub fn int_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::prim(Prim::Sub, vec![a, b])),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::prim(Prim::Mul, vec![a, b])),
             inner.clone().prop_map(|a| Expr::prim(Prim::Neg, vec![a])),
-            (b, inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| Expr::If(Box::new(c), Box::new(t), Box::new(f))),
+            (b, inner.clone(), inner.clone()).prop_map(|(c, t, f)| Expr::If(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
             (inner.clone(), inner).prop_map(|(bound, body)| {
-                Expr::Let(Symbol::intern("z"), Box::new(bound), Box::new(rename_one_var(body)))
+                Expr::Let(
+                    Symbol::intern("z"),
+                    Box::new(bound),
+                    Box::new(rename_one_var(body)),
+                )
             }),
         ]
     })

@@ -31,7 +31,10 @@ fn arguments_evaluate_left_to_right() {
 #[test]
 fn let_is_strict() {
     let src = "(define (f x) (let ((dead (/ x 0))) 42))";
-    assert_eq!(run(src, &[Value::Int(1)]).unwrap_err(), EvalError::DivByZero);
+    assert_eq!(
+        run(src, &[Value::Int(1)]).unwrap_err(),
+        EvalError::DivByZero
+    );
 }
 
 #[test]

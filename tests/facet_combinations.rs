@@ -19,7 +19,10 @@ fn size_and_contents_agree_on_vsize() {
     let vec3 = Value::vector(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
     let v = ProductVal::from_value(&vec3, &set);
     // Both components carry the size.
-    assert_eq!(v.facet(0).downcast_ref::<SizeVal>(), Some(&SizeVal::Known(3)));
+    assert_eq!(
+        v.facet(0).downcast_ref::<SizeVal>(),
+        Some(&SizeVal::Known(3))
+    );
     assert!(matches!(
         v.facet(1).downcast_ref::<ContentsVal>(),
         Some(ContentsVal::Exact(_))
@@ -141,7 +144,10 @@ fn const_set_and_range_agree() {
         Box::new(RangeFacet),
     ]);
     let x = ProductVal::dynamic(&set)
-        .with_facet(0, AbsVal::new(ConstSetVal::of([Const::Int(2), Const::Int(4)])))
+        .with_facet(
+            0,
+            AbsVal::new(ConstSetVal::of([Const::Int(2), Const::Int(4)])),
+        )
         .with_facet(1, AbsVal::new(RangeVal::between(2, 4)));
     let ten = ProductVal::from_const(Const::Int(10), &set);
     assert_eq!(
@@ -155,10 +161,7 @@ fn const_set_and_range_agree() {
 #[test]
 fn closed_operators_update_components_consistently() {
     let set = FacetSet::with_facets(vec![Box::new(SizeFacet), Box::new(ContentsFacet)]);
-    let vec2 = ProductVal::from_value(
-        &Value::vector(vec![Value::Int(7), Value::Int(8)]),
-        &set,
-    );
+    let vec2 = ProductVal::from_value(&Value::vector(vec![Value::Int(7), Value::Int(8)]), &set);
     let idx = ProductVal::from_const(Const::Int(1), &set);
     let val = ProductVal::dynamic(&set);
     match set.prim_product(Prim::UpdVec, &[vec2, idx, val]) {
@@ -201,7 +204,9 @@ fn five_facet_product_end_to_end() {
         PeInput::dynamic().with_facet("size", size_of(3)),
         PeInput::dynamic().with_facet("size", size_of(3)),
     ];
-    let wide_res = OnlinePe::new(&program, &wide).specialize_main(&inputs).unwrap();
+    let wide_res = OnlinePe::new(&program, &wide)
+        .specialize_main(&inputs)
+        .unwrap();
     let narrow_res = OnlinePe::new(&program, &narrow)
         .specialize_main(&inputs)
         .unwrap();

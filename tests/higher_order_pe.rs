@@ -9,10 +9,7 @@ use ppe::core::{AbsVal, FacetSet};
 use ppe::lang::{parse_program, pretty_program, Evaluator, Expr, Value};
 use ppe::online::{OnlinePe, PeInput};
 
-fn specialize(
-    src: &str,
-    inputs: &[PeInput],
-) -> (ppe::lang::Program, ppe::online::Residual) {
+fn specialize(src: &str, inputs: &[PeInput]) -> (ppe::lang::Program, ppe::online::Residual) {
     let program = parse_program(src).unwrap();
     let facets = FacetSet::new();
     let residual = OnlinePe::new(&program, &facets)
@@ -57,7 +54,9 @@ fn higher_order_with_dynamic_data_still_unfolds_structure() {
     assert!(!printed.contains("lambda"), "{printed}");
     for x in [-3i64, 0, 2] {
         let a = Evaluator::new(&program).run_main(&[Value::Int(x)]).unwrap();
-        let b = Evaluator::new(&r.program).run_main(&[Value::Int(x)]).unwrap();
+        let b = Evaluator::new(&r.program)
+            .run_main(&[Value::Int(x)])
+            .unwrap();
         assert_eq!(a, b, "x = {x}");
     }
 }
@@ -83,15 +82,11 @@ fn lambdas_over_dynamic_captures_stay_residual_but_correct() {
 #[test]
 fn facets_flow_through_beta_reduction() {
     // x is negative; the lambda squares it; the guard on the square dies.
-    let program = parse_program(
-        "(define (main x) ((lambda (v) (if (< (* v v) 0) 0 1)) x))",
-    )
-    .unwrap();
+    let program =
+        parse_program("(define (main x) ((lambda (v) (if (< (* v v) 0) 0 1)) x))").unwrap();
     let facets = FacetSet::with_facets(vec![Box::new(SignFacet)]);
     let r = OnlinePe::new(&program, &facets)
-        .specialize_main(&[
-            PeInput::dynamic().with_facet("sign", AbsVal::new(SignVal::Neg)),
-        ])
+        .specialize_main(&[PeInput::dynamic().with_facet("sign", AbsVal::new(SignVal::Neg))])
         .unwrap();
     assert_eq!(r.program.main().body, Expr::int(1));
 }
@@ -131,5 +126,8 @@ fn church_style_iteration_specializes_to_straight_line() {
     assert!(!printed.contains("iter"), "{printed}");
     // The iteration is gone; four applications of the (residualized)
     // increment remain, nested directly.
-    assert!(printed.contains("(inc_1 (inc_1 (inc_1 (inc_1 x))))"), "{printed}");
+    assert!(
+        printed.contains("(inc_1 (inc_1 (inc_1 (inc_1 x))))"),
+        "{printed}"
+    );
 }

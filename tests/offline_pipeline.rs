@@ -147,17 +147,11 @@ fn stats_reflect_the_binding_time_division() {
     )
     .unwrap();
     let all_static = OfflinePe::new(&program, &facets, &analysis)
-        .specialize(&[
-            PeInput::known(Value::Int(2)),
-            PeInput::known(Value::Int(5)),
-        ])
+        .specialize(&[PeInput::known(Value::Int(2)), PeInput::known(Value::Int(5))])
         .unwrap();
     assert_eq!(all_static.stats.residual_prims, 0);
     assert_eq!(all_static.stats.dynamic_branches, 0);
-    assert_eq!(
-        all_static.program.main().body,
-        ppe::lang::Expr::int(32)
-    );
+    assert_eq!(all_static.program.main().body, ppe::lang::Expr::int(32));
 
     let analysis = analyze(
         &program,

@@ -106,8 +106,7 @@ fn all_static_pe_subsumes_standard_evaluation() {
         let expected = Evaluator::new(&program).run_main(&concrete).unwrap();
 
         let facets = FacetSet::new();
-        let online_inputs: Vec<PeInput> =
-            concrete.iter().cloned().map(PeInput::known).collect();
+        let online_inputs: Vec<PeInput> = concrete.iter().cloned().map(PeInput::known).collect();
         let online = OnlinePe::new(&program, &facets)
             .specialize_main(&online_inputs)
             .unwrap();

@@ -55,7 +55,9 @@ fn online_offline_agree_across_sizes() {
     .unwrap();
     for n in 1..=6 {
         let inputs = sized_inputs(n);
-        let online = OnlinePe::new(&program, &f).specialize_main(&inputs).unwrap();
+        let online = OnlinePe::new(&program, &f)
+            .specialize_main(&inputs)
+            .unwrap();
         let offline = OfflinePe::new(&program, &f, &analysis)
             .specialize(&inputs)
             .unwrap();
@@ -160,7 +162,9 @@ fn offline_specializer_performs_fewer_facet_consultations() {
     )
     .unwrap();
     let inputs = sized_inputs(6);
-    let online = OnlinePe::new(&program, &f).specialize_main(&inputs).unwrap();
+    let online = OnlinePe::new(&program, &f)
+        .specialize_main(&inputs)
+        .unwrap();
     let offline = OfflinePe::new(&program, &f, &analysis)
         .specialize(&inputs)
         .unwrap();

@@ -15,20 +15,16 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(5, 64, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::prim(Prim::Add, vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::prim(Prim::Lt, vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::prim(Prim::Add, vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::prim(Prim::Lt, vec![a, b])),
             inner.clone().prop_map(|a| Expr::prim(Prim::Not, vec![a])),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| {
-                Expr::If(Box::new(a), Box::new(b), Box::new(c))
-            }),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                Expr::Let(Symbol::intern("z"), Box::new(a), Box::new(b))
-            }),
-            inner.clone().prop_map(|b| {
-                Expr::Lambda(vec![Symbol::intern("w")], Box::new(b))
-            }),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| { Expr::If(Box::new(a), Box::new(b), Box::new(c)) }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| { Expr::Let(Symbol::intern("z"), Box::new(a), Box::new(b)) }),
+            inner
+                .clone()
+                .prop_map(|b| { Expr::Lambda(vec![Symbol::intern("w")], Box::new(b)) }),
             (inner.clone(), inner).prop_map(|(f, a)| {
                 // Apply a lambda so the operator position is a value.
                 Expr::App(

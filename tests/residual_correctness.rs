@@ -20,10 +20,7 @@ fn run(program: &ppe::lang::Program, args: &[Value]) -> Result<Value, EvalError>
 /// Builds the argument vector for a residual program's entry point by
 /// matching its (possibly reduced) parameter list against named values —
 /// unused dynamic parameters may have been dropped by the specializer.
-fn residual_args(
-    program: &ppe::lang::Program,
-    bindings: &[(&str, Value)],
-) -> Vec<Value> {
+fn residual_args(program: &ppe::lang::Program, bindings: &[(&str, Value)]) -> Vec<Value> {
     program
         .main()
         .params

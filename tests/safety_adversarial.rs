@@ -80,7 +80,11 @@ fn broken_lattice_is_caught() {
             unreachable!()
         }
     }
-    let elems = vec![AbsVal::new(Lop(0)), AbsVal::new(Lop(5)), AbsVal::new(Lop(9))];
+    let elems = vec![
+        AbsVal::new(Lop(0)),
+        AbsVal::new(Lop(5)),
+        AbsVal::new(Lop(9)),
+    ];
     // Caught by whichever law trips first ("top absorbing" here: the
     // join discards its right operand, so ⊥ ⊔ ⊤ ≠ ⊤).
     let err = check_facet_lattice(&LopsidedJoin, &elems).unwrap_err();
@@ -94,9 +98,7 @@ fn non_monotone_closed_op_is_caught() {
     sign_like!(
         AntiMonotone,
         fn closed_op(&self, p: Prim, args: &[FacetArg<'_>]) -> AbsVal {
-            if p == Prim::Add
-                && args[0].abs.downcast_ref::<SignVal>() == Some(&SignVal::Top)
-            {
+            if p == Prim::Add && args[0].abs.downcast_ref::<SignVal>() == Some(&SignVal::Top) {
                 // bug: ⊤ + x claims `zero` while pos + pos says pos.
                 return AbsVal::new(SignVal::Zero);
             }
@@ -208,11 +210,7 @@ fn unsound_abstract_facet_is_caught() {
         fn alpha_facet(&self, online: &AbsVal) -> AbsVal {
             online.clone()
         }
-        fn open_op(
-            &self,
-            p: Prim,
-            _args: &[ppe::core::AbstractArg<'_>],
-        ) -> ppe::core::BtVal {
+        fn open_op(&self, p: Prim, _args: &[ppe::core::AbstractArg<'_>]) -> ppe::core::BtVal {
             if p == Prim::Lt {
                 ppe::core::BtVal::Static // bug: pos < pos is not decidable
             } else {
@@ -221,10 +219,104 @@ fn unsound_abstract_facet_is_caught() {
         }
     }
     let elems = test_elements(&SignFacet, &samples());
-    let err =
-        check_abstract_facet_safety(&SignFacet, &OverpromisingAbstract, &elems, &[Prim::Lt])
-            .unwrap_err();
+    let err = check_abstract_facet_safety(&SignFacet, &OverpromisingAbstract, &elems, &[Prim::Lt])
+        .unwrap_err();
     assert!(err.condition.contains("Property 6"), "{err}");
+}
+
+/// A fault-injected "chaos" facet that violates several safety conditions
+/// at once — a lopsided join, an unsound and non-monotone closed operator,
+/// and an open operator that answers wrong constants. The checker must
+/// flag it, and the *specializer* must survive running with it: facet
+/// disagreement residualizes (Lemma 3's premise fails, so the product
+/// conservatively answers ⊤) and every failure mode is a structured
+/// error, never a panic.
+#[test]
+fn chaos_facet_is_flagged_and_cannot_crash_the_specializer() {
+    #[derive(Debug)]
+    struct ChaosFacet;
+    impl Facet for ChaosFacet {
+        fn name(&self) -> &'static str {
+            "chaos"
+        }
+        fn bottom(&self) -> AbsVal {
+            SignFacet.bottom()
+        }
+        fn top(&self) -> AbsVal {
+            SignFacet.top()
+        }
+        fn join(&self, a: &AbsVal, _b: &AbsVal) -> AbsVal {
+            a.clone() // bug: ignores its right operand
+        }
+        fn leq(&self, a: &AbsVal, b: &AbsVal) -> bool {
+            SignFacet.leq(a, b)
+        }
+        fn alpha(&self, v: &Value) -> AbsVal {
+            SignFacet.alpha(v)
+        }
+        fn closed_op(&self, p: Prim, args: &[FacetArg<'_>]) -> AbsVal {
+            if args[0].abs.downcast_ref::<SignVal>() == Some(&SignVal::Top) {
+                // bug: answers *more* precisely on the coarser input.
+                return AbsVal::new(SignVal::Zero);
+            }
+            SignFacet.closed_op(p, args)
+        }
+        fn open_op(&self, p: Prim, args: &[FacetArg<'_>]) -> PeVal {
+            if p == Prim::Lt {
+                return PeVal::constant(true.into()); // bug: lies about <
+            }
+            SignFacet.open_op(p, args)
+        }
+        fn concretizes(&self, abs: &AbsVal, v: &Value) -> bool {
+            SignFacet.concretizes(abs, v)
+        }
+        fn enumerate(&self) -> Option<Vec<AbsVal>> {
+            SignFacet.enumerate()
+        }
+        fn abstract_facet(&self) -> Rc<dyn AbstractFacet> {
+            SignFacet.abstract_facet()
+        }
+    }
+
+    // The safety battery rejects it (the lattice check trips first), and
+    // the targeted checkers catch the other injected faults.
+    let err = ppe::core::safety::validate_facet(&ChaosFacet, &samples()).unwrap_err();
+    assert_eq!(err.facet, "chaos");
+    let elems = test_elements(&ChaosFacet, &samples());
+    check_facet_monotone(&ChaosFacet, &elems, &[Prim::Add]).unwrap_err();
+    check_facet_safety(&ChaosFacet, &samples(), &[Prim::Lt]).unwrap_err();
+
+    // Running the specializer with the chaos facet next to the (correct)
+    // sign facet forces a Lemma 3 violation: on `(< x 0)` with x refined
+    // to `pos`, sign answers `#f` while chaos answers `#t`. The product
+    // must residualize the disagreement, not assert on it.
+    use ppe::core::FacetSet;
+    use ppe::lang::parse_program;
+    use ppe::online::{OnlinePe, PeConfig, PeInput};
+
+    let program =
+        parse_program("(define (f x n) (if (< x 0) (- 0 n) (if (= n 0) 0 (f x (- n 1)))))")
+            .unwrap();
+    let facets = FacetSet::with_facets(vec![Box::new(SignFacet), Box::new(ChaosFacet)]);
+    let input = PeInput::dynamic().with_facet("sign", AbsVal::new(SignVal::Pos));
+    for check_consistency in [false, true] {
+        let config = PeConfig {
+            check_consistency,
+            ..PeConfig::default()
+        };
+        let result = OnlinePe::with_config(&program, &facets, config)
+            .specialize_main(&[input.clone(), PeInput::known(Value::Int(3))]);
+        match result {
+            // Disagreement residualized: the branch on `(< x 0)` survives
+            // into the residual and the program is still well-formed.
+            Ok(r) => assert!(!r.program.defs().is_empty()),
+            // Or the inconsistency was detected: still a structured error.
+            Err(e) => {
+                let rendered = e.to_string();
+                assert!(!rendered.is_empty());
+            }
+        }
+    }
 }
 
 /// The full battery passes for a *correct* hand-rolled facet built on the

@@ -30,13 +30,13 @@ fn typed_inputs_propagate_through_specialization() {
     let program = parse_program(src).unwrap();
     let facets = FacetSet::with_facets(vec![Box::new(TypeFacet)]);
     let r = OnlinePe::new(&program, &facets)
-        .specialize_main(&[
-            PeInput::dynamic().with_facet("type", AbsVal::new(TypeVal::Int)),
-        ])
+        .specialize_main(&[PeInput::dynamic().with_facet("type", AbsVal::new(TypeVal::Int))])
         .unwrap();
     for x in [-3i64, 0, 7] {
         let a = Evaluator::new(&program).run_main(&[Value::Int(x)]).unwrap();
-        let b = Evaluator::new(&r.program).run_main(&[Value::Int(x)]).unwrap();
+        let b = Evaluator::new(&r.program)
+            .run_main(&[Value::Int(x)])
+            .unwrap();
         assert_eq!(a, b);
     }
 }
@@ -65,7 +65,9 @@ fn comparison_outcomes_teach_types_to_branches() {
     assert!(printed.contains("(+ x 1)"), "{printed}");
     for x in [-2i64, 5] {
         let a = Evaluator::new(&program).run_main(&[Value::Int(x)]).unwrap();
-        let b = Evaluator::new(&r.program).run_main(&[Value::Int(x)]).unwrap();
+        let b = Evaluator::new(&r.program)
+            .run_main(&[Value::Int(x)])
+            .unwrap();
         assert_eq!(a, b);
     }
 }
