@@ -1,0 +1,111 @@
+//! Server throughput: requests/second through `ppe-server`'s batch
+//! driver at 1, 4, and 8 workers, cold cache versus warm.
+//!
+//! The workload is a batch of 240 requests over 12 distinct cache keys
+//! (each key repeated 20×, i.e. 95% repeats — well past the ≥50% mark a
+//! specialization service sees in practice when builds re-specialize the
+//! same kernels). *Cold* answers the batch on a fresh service, so every
+//! distinct key pays one full specialization; *warm* answers the same
+//! batch again on the now-populated service, so everything is a cache
+//! hit. The gap is the service's reason to exist.
+//!
+//! Not a criterion bench: the measurement is whole-batch wall time, and
+//! the result is written to `BENCH_server.json` at the workspace root for
+//! the CI acceptance check (warm ≥ 2× cold).
+
+use std::time::Instant;
+
+use ppe_server::{
+    run_batch, BatchOptions, Engine, Json, ServiceConfig, SpecializeRequest, SpecializeService,
+};
+
+const POWER: &str = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+const SUM_TO: &str = "(define (sum-to x n) (if (= n 0) x (+ x (sum-to x (- n 1)))))";
+const IPROD: &str = "(define (iprod a b) (let ((n (vsize a))) (dotprod a b n)))
+(define (dotprod a b n)
+  (if (= n 0) 0.0
+      (+ (* (vref a n) (vref b n)) (dotprod a b (- n 1)))))";
+
+const REPEATS_PER_KEY: usize = 20;
+
+/// Twelve distinct request shapes: three programs × four parameters,
+/// online and offline engines mixed in.
+fn distinct_requests() -> Vec<SpecializeRequest> {
+    let mut distinct = Vec::new();
+    for n in [24, 32, 40, 48] {
+        let mut req = SpecializeRequest::new(POWER, vec!["_".into(), n.to_string()]);
+        req.facets = vec!["sign".into(), "parity".into()];
+        distinct.push(req);
+    }
+    for n in [24, 32, 40, 48] {
+        let mut req = SpecializeRequest::new(SUM_TO, vec!["_".into(), n.to_string()]);
+        req.facets = vec!["sign".into()];
+        req.engine = Engine::Offline;
+        distinct.push(req);
+    }
+    for n in [8, 12, 16, 20] {
+        let mut req =
+            SpecializeRequest::new(IPROD, vec![format!("_:size={n}"), format!("_:size={n}")]);
+        req.facets = vec!["size".into()];
+        distinct.push(req);
+    }
+    distinct
+}
+
+fn workload() -> Vec<SpecializeRequest> {
+    let distinct = distinct_requests();
+    let total = distinct.len() * REPEATS_PER_KEY;
+    (0..total)
+        .map(|i| distinct[i % distinct.len()].clone())
+        .collect()
+}
+
+fn run_once(service: &SpecializeService, requests: &[SpecializeRequest], jobs: usize) -> f64 {
+    let start = Instant::now();
+    let responses = run_batch(service, requests, BatchOptions { jobs });
+    let secs = start.elapsed().as_secs_f64();
+    for (i, r) in responses.iter().enumerate() {
+        if let Err(e) = &r.outcome {
+            panic!("request {i} failed: {e}");
+        }
+    }
+    requests.len() as f64 / secs
+}
+
+fn main() {
+    let requests = workload();
+    let distinct = distinct_requests().len();
+    let repeat_fraction = 1.0 - distinct as f64 / requests.len() as f64;
+
+    let mut results = Vec::new();
+    for jobs in [1usize, 4, 8] {
+        let service = SpecializeService::new(ServiceConfig::default());
+        let cold_rps = run_once(&service, &requests, jobs);
+        assert_eq!(
+            service.metrics().snapshot().cache_misses as usize,
+            distinct,
+            "cold run computes each distinct key exactly once"
+        );
+        let warm_rps = run_once(&service, &requests, jobs);
+        let speedup = warm_rps / cold_rps;
+        println!("jobs={jobs}: cold {cold_rps:>9.0} rps, warm {warm_rps:>9.0} rps ({speedup:.1}x)");
+        results.push(Json::obj(vec![
+            ("jobs", Json::num(jobs as u64)),
+            ("cold_rps", Json::Num(cold_rps)),
+            ("warm_rps", Json::Num(warm_rps)),
+            ("warm_over_cold", Json::Num(speedup)),
+        ]));
+    }
+
+    let report = Json::obj(vec![
+        ("benchmark", Json::str("server_throughput")),
+        ("requests", Json::num(requests.len() as u64)),
+        ("distinct_keys", Json::num(distinct as u64)),
+        ("repeat_fraction", Json::Num(repeat_fraction)),
+        ("results", Json::Arr(results)),
+    ]);
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    std::fs::write(out, report.render() + "\n").expect("write BENCH_server.json");
+    println!("wrote {out}");
+}

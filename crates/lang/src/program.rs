@@ -189,6 +189,29 @@ impl Program {
         }
     }
 
+    /// A stable 64-bit structural fingerprint of the program.
+    ///
+    /// Two programs fingerprint equal iff (modulo hash collisions) they
+    /// have the same definitions in the same order: the same function
+    /// names, parameter spellings, and bodies. The hash depends only on
+    /// symbol *spellings* — never on interner ids — so it is stable
+    /// across processes and independent of what else was interned first,
+    /// which makes it usable as a persistent cache-key component (the
+    /// `ppe-server` residual cache keys on it).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_usize(self.defs.len());
+        for d in &self.defs {
+            h.write_str(d.name.as_str());
+            h.write_usize(d.params.len());
+            for p in &d.params {
+                h.write_str(p.as_str());
+            }
+            hash_expr(&d.body, &mut h);
+        }
+        h.finish()
+    }
+
     /// True if any definition uses the higher-order forms of Section 5.5.
     pub fn is_higher_order(&self) -> bool {
         fn ho(e: &Expr) -> bool {
@@ -201,6 +224,127 @@ impl Program {
             }
         }
         self.defs.iter().any(|d| ho(&d.body))
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms.
+/// Not collision-resistant against adversaries — callers that need that
+/// must layer something stronger; cache keys over trusted programs don't.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.write_bytes(&[b]);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.write_bytes(&n.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    /// Length-prefixed so that `("ab","c")` and `("a","bc")` differ.
+    fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_const(c: &crate::ast::Const, h: &mut Fnv64) {
+    use crate::ast::Const;
+    match c {
+        Const::Int(n) => {
+            h.write_u8(1);
+            h.write_u64(*n as u64);
+        }
+        Const::Bool(b) => {
+            h.write_u8(2);
+            h.write_u8(u8::from(*b));
+        }
+        Const::Float(x) => {
+            h.write_u8(3);
+            // -0.0 normalizes to 0.0, matching F64's Eq/Hash agreement.
+            let bits = if x.get() == 0.0 { 0 } else { x.get().to_bits() };
+            h.write_u64(bits);
+        }
+    }
+}
+
+fn hash_expr(e: &Expr, h: &mut Fnv64) {
+    match e {
+        Expr::Const(c) => {
+            h.write_u8(10);
+            hash_const(c, h);
+        }
+        Expr::Var(x) => {
+            h.write_u8(11);
+            h.write_str(x.as_str());
+        }
+        Expr::Prim(p, args) => {
+            h.write_u8(12);
+            h.write_str(p.name());
+            h.write_usize(args.len());
+            for a in args {
+                hash_expr(a, h);
+            }
+        }
+        Expr::If(c, t, f) => {
+            h.write_u8(13);
+            hash_expr(c, h);
+            hash_expr(t, h);
+            hash_expr(f, h);
+        }
+        Expr::Call(f, args) => {
+            h.write_u8(14);
+            h.write_str(f.as_str());
+            h.write_usize(args.len());
+            for a in args {
+                hash_expr(a, h);
+            }
+        }
+        Expr::Let(x, b, body) => {
+            h.write_u8(15);
+            h.write_str(x.as_str());
+            hash_expr(b, h);
+            hash_expr(body, h);
+        }
+        Expr::Lambda(params, body) => {
+            h.write_u8(16);
+            h.write_usize(params.len());
+            for p in params {
+                h.write_str(p.as_str());
+            }
+            hash_expr(body, h);
+        }
+        Expr::App(f, args) => {
+            h.write_u8(17);
+            hash_expr(f, h);
+            h.write_usize(args.len());
+            for a in args {
+                hash_expr(a, h);
+            }
+        }
+        Expr::FnRef(f) => {
+            h.write_u8(18);
+            h.write_str(f.as_str());
+        }
     }
 }
 
@@ -239,6 +383,26 @@ mod tests {
         let p = parse_program("(define (f x) (+ x 1)) (define (g y) y)").unwrap();
         // f: body 3 nodes + 1; g: body 1 node + 1.
         assert_eq!(p.size(), 6);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_structural() {
+        let a = parse_program("(define (f x) (+ x 1)) (define (g y) y)").unwrap();
+        let b = parse_program("(define (f x)   (+ x 1))\n(define (g y) y)").unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "whitespace is immaterial");
+        let c = parse_program("(define (f x) (+ x 2)) (define (g y) y)").unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint(), "constants matter");
+        let d = parse_program("(define (f z) (+ z 1)) (define (g y) y)").unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint(), "spellings matter");
+        let e = parse_program("(define (g y) y) (define (f x) (+ x 1))").unwrap();
+        assert_ne!(a.fingerprint(), e.fingerprint(), "definition order matters");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_float_and_int() {
+        let i = parse_program("(define (f) 1)").unwrap();
+        let f = parse_program("(define (f) 1.0)").unwrap();
+        assert_ne!(i.fingerprint(), f.fingerprint());
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub enum Budget {
     /// ([`PeConfig::max_recursion_depth`]), which converts would-be native
     /// stack overflows into structured outcomes.
     RecursionDepth,
+    /// A shared residual-cache byte budget (the `ppe-server` sharded
+    /// cache): the residual was computed correctly but was too large to
+    /// retain, so future identical requests pay recomputation instead of
+    /// a hit. A capacity degradation, not a precision one.
+    CacheBytes,
 }
 
 impl fmt::Display for Budget {
@@ -72,6 +77,7 @@ impl fmt::Display for Budget {
             Budget::SpecializationCache => "specialization cache",
             Budget::ResidualSize => "residual size",
             Budget::RecursionDepth => "recursion depth",
+            Budget::CacheBytes => "cache bytes",
         })
     }
 }
@@ -148,6 +154,24 @@ impl DegradationReport {
                 self.events.push(e.clone());
             }
         }
+    }
+
+    /// Records an externally observed degradation (merging with an
+    /// existing event for the same budget and function). Service layers
+    /// that sit above one specialization run — the `ppe-server` batch and
+    /// serve drivers — use this to fold per-request events such as
+    /// [`Budget::CacheBytes`] into the report that travels back with the
+    /// response, instead of losing them on worker threads.
+    pub fn push(&mut self, event: DegradationEvent) {
+        if let Some(mine) = self
+            .events
+            .iter_mut()
+            .find(|m| m.budget == event.budget && m.function == event.function)
+        {
+            mine.count += event.count;
+            return;
+        }
+        self.events.push(event);
     }
 
     fn record(&mut self, budget: Budget, function: Option<Symbol>, depth: u32) {

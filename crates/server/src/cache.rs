@@ -1,0 +1,422 @@
+//! The sharded, content-addressed residual cache with single-flight
+//! deduplication and byte-budgeted LRU eviction.
+//!
+//! The paper's specializer already folds repeated specializations of the
+//! same `(function, product of facet values)` *within* one run (the cache
+//! `Sf` of Figure 3). This module is the same idea lifted one level: a
+//! cache of whole residual programs keyed by the request content hash
+//! ([`crate::key::residual_key`]), shared across requests, threads, and —
+//! because keys hash spellings, not interner ids — across processes.
+//!
+//! Concurrency design, in order of acquisition:
+//!
+//! 1. Each key maps to one shard (high key bits); shards are independent
+//!    `Mutex`es, so unrelated requests never contend.
+//! 2. A shard lock is held only for map operations — never while a
+//!    specialization runs.
+//! 3. The first requester of an absent key registers an in-flight
+//!    *flight* and computes outside the lock; concurrent requesters of
+//!    the same key block on the flight's condvar and receive the leader's
+//!    result (single-flight: N concurrent identical requests cost one
+//!    specialization).
+//!
+//! Eviction is least-recently-used under a per-shard byte budget (total
+//! budget ÷ shards); residuals larger than a whole shard's budget are
+//! returned but never retained, and reported via
+//! [`ppe_online::Budget::CacheBytes`] so callers can see the capacity
+//! degradation in the response.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+use ppe_online::{DegradationEvent, PeStats};
+
+use crate::key::CacheKey;
+use crate::metrics::Metrics;
+use crate::request::CacheDisposition;
+
+/// A completed specialization, as stored in (and served from) the cache.
+#[derive(Clone, Debug)]
+pub struct CachedOutcome {
+    /// Pretty-printed residual program.
+    pub residual: String,
+    /// Engine counters from the run that produced it.
+    pub stats: PeStats,
+    /// Degradations from the run that produced it (replayed on hits: a
+    /// hit on a degraded entry is still a degraded answer).
+    pub degradations: Vec<DegradationEvent>,
+}
+
+impl CachedOutcome {
+    /// Approximate retained bytes: the dominant strings plus fixed
+    /// per-entry bookkeeping overhead.
+    fn cost(&self) -> usize {
+        self.residual.len() + 64 * self.degradations.len() + 256
+    }
+}
+
+/// What [`ResidualCache::get_or_compute`] observed.
+#[derive(Debug)]
+pub struct Fetched {
+    /// The outcome (shared with the cache on hits), or the error the
+    /// computation produced. Errors are not cached: under `Fail` policies
+    /// they are cheap to reproduce, and not caching them keeps a
+    /// transient condition (a deadline trip) from becoming sticky.
+    pub outcome: Result<Arc<CachedOutcome>, String>,
+    /// Hit, miss, or coalesced.
+    pub disposition: CacheDisposition,
+    /// Set when a computed outcome was too large to retain (its cost in
+    /// bytes); the caller surfaces this as a `CacheBytes` degradation.
+    pub rejected_bytes: Option<usize>,
+}
+
+struct Entry {
+    outcome: Arc<CachedOutcome>,
+    bytes: usize,
+    last_used: u64,
+}
+
+enum FlightState {
+    Pending,
+    Done(Result<Arc<CachedOutcome>, String>),
+}
+
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+struct Shard {
+    entries: HashMap<u128, Entry>,
+    in_flight: HashMap<u128, Arc<Flight>>,
+    bytes: usize,
+    clock: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: u128) -> Option<Arc<CachedOutcome>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(&key).map(|e| {
+            e.last_used = clock;
+            Arc::clone(&e.outcome)
+        })
+    }
+
+    /// Evicts least-recently-used entries until `need` bytes fit in
+    /// `budget`. Linear scan per eviction: shards keep entry counts small
+    /// enough (budget ÷ typical residual) that this stays cheap, and it
+    /// needs no auxiliary order structure to keep consistent.
+    fn make_room(&mut self, need: usize, budget: usize, metrics: &Metrics) {
+        while self.bytes + need > budget && !self.entries.is_empty() {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty map has a minimum");
+            if let Some(e) = self.entries.remove(&oldest) {
+                self.bytes -= e.bytes;
+                metrics
+                    .cache_evictions
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// The sharded residual cache. See the module docs for the design.
+pub struct ResidualCache {
+    shards: Box<[Mutex<Shard>]>,
+    shard_budget: usize,
+}
+
+impl std::fmt::Debug for ResidualCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResidualCache")
+            .field("shards", &self.shards.len())
+            .field("shard_budget", &self.shard_budget)
+            .finish()
+    }
+}
+
+impl ResidualCache {
+    /// A cache holding at most `total_bytes` across `shards` shards
+    /// (rounded up to a power of two; at least one).
+    pub fn new(total_bytes: usize, shards: usize) -> ResidualCache {
+        let shards = shards.max(1).next_power_of_two();
+        ResidualCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        in_flight: HashMap::new(),
+                        bytes: 0,
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            shard_budget: total_bytes / shards,
+        }
+    }
+
+    /// Number of retained entries (for tests and reports).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+            .sum()
+    }
+
+    /// True when no entry is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Retained bytes across shards (for tests and reports).
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").bytes)
+            .sum()
+    }
+
+    /// Looks `key` up; on a miss, runs `compute` exactly once across all
+    /// concurrent callers of the same key and caches its success.
+    ///
+    /// A panicking `compute` is converted into an error result (and
+    /// delivered to coalesced waiters) rather than poisoning the flight —
+    /// a hung waiter would be a far worse failure than a lost answer.
+    pub fn get_or_compute(
+        &self,
+        key: CacheKey,
+        metrics: &Metrics,
+        compute: impl FnOnce() -> Result<CachedOutcome, String>,
+    ) -> Fetched {
+        use std::sync::atomic::Ordering::Relaxed;
+        let shard = &self.shards[key.shard(self.shards.len())];
+        let flight: Arc<Flight>;
+        {
+            let mut s = shard.lock().expect("cache shard poisoned");
+            if let Some(outcome) = s.touch(key.0) {
+                metrics.cache_hits.fetch_add(1, Relaxed);
+                return Fetched {
+                    outcome: Ok(outcome),
+                    disposition: CacheDisposition::Hit,
+                    rejected_bytes: None,
+                };
+            }
+            if let Some(existing) = s.in_flight.get(&key.0) {
+                let existing = Arc::clone(existing);
+                drop(s);
+                metrics.dedup_coalesced.fetch_add(1, Relaxed);
+                return Fetched {
+                    outcome: wait(&existing),
+                    disposition: CacheDisposition::Coalesced,
+                    rejected_bytes: None,
+                };
+            }
+            flight = Arc::new(Flight {
+                state: Mutex::new(FlightState::Pending),
+                done: Condvar::new(),
+            });
+            s.in_flight.insert(key.0, Arc::clone(&flight));
+        }
+
+        metrics.cache_misses.fetch_add(1, Relaxed);
+        let computed = match catch_unwind(AssertUnwindSafe(compute)) {
+            Ok(result) => result,
+            Err(panic) => Err(format!(
+                "specialization panicked: {}",
+                panic_text(panic.as_ref())
+            )),
+        };
+
+        let mut rejected_bytes = None;
+        let outcome = match computed {
+            Ok(outcome) => {
+                let bytes = outcome.cost();
+                let outcome = Arc::new(outcome);
+                let mut s = shard.lock().expect("cache shard poisoned");
+                if bytes <= self.shard_budget {
+                    s.make_room(bytes, self.shard_budget, metrics);
+                    s.clock += 1;
+                    let last_used = s.clock;
+                    s.bytes += bytes;
+                    s.entries.insert(
+                        key.0,
+                        Entry {
+                            outcome: Arc::clone(&outcome),
+                            bytes,
+                            last_used,
+                        },
+                    );
+                } else {
+                    metrics.cache_rejected.fetch_add(1, Relaxed);
+                    rejected_bytes = Some(bytes);
+                }
+                s.in_flight.remove(&key.0);
+                drop(s);
+                Ok(outcome)
+            }
+            Err(msg) => {
+                let mut s = shard.lock().expect("cache shard poisoned");
+                s.in_flight.remove(&key.0);
+                drop(s);
+                Err(msg)
+            }
+        };
+
+        {
+            let mut state = flight.state.lock().expect("flight poisoned");
+            *state = FlightState::Done(outcome.clone());
+        }
+        flight.done.notify_all();
+
+        Fetched {
+            outcome,
+            disposition: CacheDisposition::Miss,
+            rejected_bytes,
+        }
+    }
+}
+
+fn wait(flight: &Flight) -> Result<Arc<CachedOutcome>, String> {
+    let mut state = flight.state.lock().expect("flight poisoned");
+    loop {
+        if let FlightState::Done(result) = &*state {
+            return result.clone();
+        }
+        state = flight.done.wait(state).expect("flight poisoned");
+    }
+}
+
+fn panic_text(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn outcome(text: &str) -> CachedOutcome {
+        CachedOutcome {
+            residual: text.to_owned(),
+            stats: PeStats::default(),
+            degradations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = ResidualCache::new(1 << 20, 4);
+        let metrics = Metrics::new();
+        let key = CacheKey(42);
+        let first = cache.get_or_compute(key, &metrics, || Ok(outcome("r")));
+        assert_eq!(first.disposition, CacheDisposition::Miss);
+        let again = cache.get_or_compute(key, &metrics, || panic!("must not recompute"));
+        assert_eq!(again.disposition, CacheDisposition::Hit);
+        assert_eq!(again.outcome.unwrap().residual, "r");
+        assert_eq!(metrics.snapshot().cache_hits, 1);
+        assert_eq!(metrics.snapshot().cache_misses, 1);
+    }
+
+    #[test]
+    fn errors_propagate_and_are_not_cached() {
+        let cache = ResidualCache::new(1 << 20, 1);
+        let metrics = Metrics::new();
+        let key = CacheKey(7);
+        let r = cache.get_or_compute(key, &metrics, || Err("boom".to_owned()));
+        assert_eq!(r.outcome.unwrap_err(), "boom");
+        assert_eq!(cache.len(), 0);
+        let r2 = cache.get_or_compute(key, &metrics, || Ok(outcome("ok")));
+        assert_eq!(r2.disposition, CacheDisposition::Miss, "errors don't stick");
+    }
+
+    #[test]
+    fn panics_become_errors() {
+        let cache = ResidualCache::new(1 << 20, 1);
+        let metrics = Metrics::new();
+        let r = cache.get_or_compute(CacheKey(1), &metrics, || panic!("kaboom"));
+        let msg = r.outcome.unwrap_err();
+        assert!(msg.contains("kaboom"), "{msg}");
+    }
+
+    #[test]
+    fn lru_evicts_under_byte_budget() {
+        // One shard, budget fits roughly two small entries.
+        let cache = ResidualCache::new(700, 1);
+        let metrics = Metrics::new();
+        cache.get_or_compute(CacheKey(1), &metrics, || Ok(outcome("a")));
+        cache.get_or_compute(CacheKey(2), &metrics, || Ok(outcome("b")));
+        assert_eq!(cache.len(), 2);
+        // Touch 1 so 2 is the LRU victim.
+        cache.get_or_compute(CacheKey(1), &metrics, || unreachable!());
+        cache.get_or_compute(CacheKey(3), &metrics, || Ok(outcome("c")));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(metrics.snapshot().cache_evictions, 1);
+        assert_eq!(
+            cache
+                .get_or_compute(CacheKey(1), &metrics, || unreachable!())
+                .disposition,
+            CacheDisposition::Hit,
+            "recently used survives"
+        );
+        assert_eq!(
+            cache
+                .get_or_compute(CacheKey(2), &metrics, || Ok(outcome("b")))
+                .disposition,
+            CacheDisposition::Miss,
+            "LRU victim was evicted"
+        );
+    }
+
+    #[test]
+    fn oversized_outcomes_are_returned_but_not_retained() {
+        let cache = ResidualCache::new(100, 1);
+        let metrics = Metrics::new();
+        let big = "x".repeat(10_000);
+        let r = cache.get_or_compute(CacheKey(5), &metrics, || Ok(outcome(&big)));
+        assert!(r.rejected_bytes.is_some());
+        assert_eq!(r.outcome.unwrap().residual.len(), 10_000);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(metrics.snapshot().cache_rejected, 1);
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_identical_requests() {
+        let cache = Arc::new(ResidualCache::new(1 << 20, 4));
+        let metrics = Arc::new(Metrics::new());
+        let computed = Arc::new(AtomicU64::new(0));
+        let key = CacheKey(99);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let metrics = Arc::clone(&metrics);
+                let computed = Arc::clone(&computed);
+                scope.spawn(move || {
+                    let r = cache.get_or_compute(key, &metrics, || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window so followers actually
+                        // coalesce instead of hitting the finished entry.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        Ok(outcome("shared"))
+                    });
+                    assert_eq!(r.outcome.unwrap().residual, "shared");
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one compute");
+        let s = metrics.snapshot();
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits + s.dedup_coalesced, 7);
+    }
+}

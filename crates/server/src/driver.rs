@@ -1,0 +1,212 @@
+//! The batch driver: a fixed pool of big-stack workers draining a
+//! work-stealing set of specialization requests.
+//!
+//! Requests cross the thread boundary as plain data (see
+//! [`crate::request`]); each worker owns a private [`EngineContext`] and
+//! shares the [`SpecializeService`]'s caches. Results land in their
+//! request's input slot, so the output order is the input order no matter
+//! which worker ran what.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::thread;
+
+use crate::engine::EngineContext;
+use crate::request::{SpecializeRequest, SpecializeResponse};
+use crate::service::SpecializeService;
+
+/// Engines recurse on the structure of the program being specialized;
+/// deep programs need deep stacks, so every worker gets a large one
+/// (matching the CLI's dedicated driver thread).
+pub const WORKER_STACK_BYTES: usize = 256 * 1024 * 1024;
+
+/// Knobs for one batch run.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchOptions {
+    /// Worker count; `0` and `1` both mean "run inline on this thread".
+    pub jobs: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions { jobs: 1 }
+    }
+}
+
+/// Runs every request against `service`, returning responses in request
+/// order. With `jobs > 1`, requests are distributed round-robin over
+/// per-worker deques; an idle worker steals from the back of its
+/// neighbors' queues, so a batch of mixed cheap and expensive requests
+/// still keeps every worker busy.
+pub fn run_batch(
+    service: &SpecializeService,
+    requests: &[SpecializeRequest],
+    options: BatchOptions,
+) -> Vec<SpecializeResponse> {
+    let jobs = options.jobs.max(1).min(requests.len().max(1));
+    if jobs <= 1 {
+        let mut ctx = EngineContext::new();
+        return requests
+            .iter()
+            .map(|r| service.handle(r, &mut ctx))
+            .collect();
+    }
+
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, _) in requests.iter().enumerate() {
+        queues[i % jobs]
+            .lock()
+            .expect("queue poisoned")
+            .push_back(i);
+    }
+    let results: Vec<Mutex<Option<SpecializeResponse>>> =
+        requests.iter().map(|_| Mutex::new(None)).collect();
+    let remaining = AtomicUsize::new(requests.len());
+    service
+        .metrics()
+        .queue_depth
+        .store(requests.len() as u64, Relaxed);
+
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(jobs);
+        for worker in 0..jobs {
+            let queues = &queues;
+            let results = &results;
+            let remaining = &remaining;
+            let spawned = thread::Builder::new()
+                .name(format!("ppe-worker-{worker}"))
+                .stack_size(WORKER_STACK_BYTES)
+                .spawn_scoped(scope, move || {
+                    work(service, requests, queues, results, remaining, worker);
+                });
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                // Out of threads: the workers already spawned (or, in the
+                // worst case, this thread below) will drain the queues.
+                Err(_) => break,
+            }
+        }
+        if handles.is_empty() {
+            work(service, requests, &queues, &results, &remaining, 0);
+        }
+    });
+
+    service.metrics().queue_depth.store(0, Relaxed);
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every request was drained")
+        })
+        .collect()
+}
+
+/// One worker's drain loop: pop from the front of our own deque, and when
+/// it runs dry, steal from the *back* of the others — stolen work is the
+/// work its owner would have reached last, which keeps contention low.
+fn work(
+    service: &SpecializeService,
+    requests: &[SpecializeRequest],
+    queues: &[Mutex<VecDeque<usize>>],
+    results: &[Mutex<Option<SpecializeResponse>>],
+    remaining: &AtomicUsize,
+    me: usize,
+) {
+    let mut ctx = EngineContext::new();
+    loop {
+        let job = next_job(queues, me);
+        let Some(index) = job else {
+            if remaining.load(Relaxed) == 0 {
+                return;
+            }
+            // Another worker holds the last jobs; yield rather than spin.
+            thread::yield_now();
+            continue;
+        };
+        let response = service.handle(&requests[index], &mut ctx);
+        *results[index].lock().expect("result slot poisoned") = Some(response);
+        let left = remaining.fetch_sub(1, Relaxed) - 1;
+        service.metrics().queue_depth.store(left as u64, Relaxed);
+        if left == 0 {
+            return;
+        }
+    }
+}
+
+fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(index) = queues[me].lock().expect("queue poisoned").pop_front() {
+        return Some(index);
+    }
+    for offset in 1..queues.len() {
+        let victim = (me + offset) % queues.len();
+        if let Some(index) = queues[victim].lock().expect("queue poisoned").pop_back() {
+            return Some(index);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    const POWER: &str = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+
+    fn batch(n: usize) -> Vec<SpecializeRequest> {
+        (0..n)
+            .map(|i| SpecializeRequest::new(POWER, vec!["_".into(), format!("{}", i % 4)]))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_batches_match_serial_batches() {
+        let requests = batch(24);
+        let serial = {
+            let service = SpecializeService::new(ServiceConfig::default());
+            run_batch(&service, &requests, BatchOptions { jobs: 1 })
+        };
+        let parallel = {
+            let service = SpecializeService::new(ServiceConfig::default());
+            run_batch(&service, &requests, BatchOptions { jobs: 8 })
+        };
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                s.outcome.as_ref().unwrap().residual,
+                p.outcome.as_ref().unwrap().residual
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_work_in_a_batch_is_shared() {
+        let service = SpecializeService::new(ServiceConfig::default());
+        let responses = run_batch(&service, &batch(32), BatchOptions { jobs: 4 });
+        assert!(responses.iter().all(|r| r.outcome.is_ok()));
+        let s = service.metrics().snapshot();
+        // 32 requests over 4 distinct keys: everything past the first
+        // computation of each key is a hit or a coalesced wait.
+        assert_eq!(s.cache_misses, 4, "{s:?}");
+        assert_eq!(s.cache_hits + s.dedup_coalesced, 28, "{s:?}");
+        assert_eq!(s.requests, 32);
+        assert_eq!(service.metrics().queue_depth.load(Relaxed), 0);
+    }
+
+    #[test]
+    fn more_jobs_than_requests_is_fine() {
+        let service = SpecializeService::new(ServiceConfig::default());
+        let responses = run_batch(&service, &batch(2), BatchOptions { jobs: 16 });
+        assert_eq!(responses.len(), 2);
+        assert!(responses.iter().all(|r| r.outcome.is_ok()));
+    }
+
+    #[test]
+    fn empty_batches_return_nothing() {
+        let service = SpecializeService::new(ServiceConfig::default());
+        assert!(run_batch(&service, &[], BatchOptions { jobs: 8 }).is_empty());
+    }
+}

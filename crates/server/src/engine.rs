@@ -1,0 +1,218 @@
+//! Per-worker request execution: resolving a plain-data request into
+//! parsed forms and running the selected engine.
+//!
+//! Everything here is thread-*local* by design: `FacetSet`, `PeInput`,
+//! and `Analysis` are `Rc`-backed and must not cross threads, so each
+//! worker re-derives them from the request's strings. The expensive
+//! artifacts that are worth sharing — parsed [`Program`]s (plain data)
+//! and finished residuals — live in the service's shared caches instead.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+
+use ppe_core::{FacetSet, ProductVal};
+use ppe_lang::{optimize_program, pretty_program, prune_unused_params, OptLevel, Program, Symbol};
+use ppe_offline::{analyze_fn_with_config, AbstractInput, Analysis, OfflinePe};
+use ppe_online::{OnlinePe, PeInput, SimpleInput, SimplePe};
+
+use crate::cache::CachedOutcome;
+use crate::key::{analysis_key, residual_key, CacheKey};
+use crate::metrics::Metrics;
+use crate::request::{Engine, SpecializeRequest};
+use crate::spec;
+
+/// Per-worker state that outlives single requests: the offline engine's
+/// analysis cache. Keyed by [`analysis_key`], so one worker that sees a
+/// stream of requests against the same program and abstract inputs runs
+/// facet analysis once and reuses the signatures for every subsequent
+/// specialization (the satellite of arXiv:1908.07189's observation that
+/// polyvariant workloads repeat abstract properties).
+#[derive(Default)]
+pub struct EngineContext {
+    analyses: HashMap<CacheKey, Rc<Analysis>>,
+}
+
+impl EngineContext {
+    /// A fresh, empty context.
+    pub fn new() -> EngineContext {
+        EngineContext::default()
+    }
+
+    /// Number of cached analyses (for tests).
+    pub fn cached_analyses(&self) -> usize {
+        self.analyses.len()
+    }
+}
+
+/// A request resolved against parsed program and facets — ready to key
+/// and run. Thread-local (holds `Rc`-backed values).
+pub(crate) struct Resolved {
+    pub program: Arc<Program>,
+    pub fingerprint: u64,
+    pub entry: Symbol,
+    pub facets: FacetSet,
+    pub inputs: Vec<PeInput>,
+    pub products: Vec<ProductVal>,
+    pub key: CacheKey,
+}
+
+/// Parses facets and inputs and computes the cache key.
+pub(crate) fn resolve(
+    req: &SpecializeRequest,
+    program: Arc<Program>,
+    fingerprint: u64,
+) -> Result<Resolved, String> {
+    let entry = match &req.function {
+        Some(name) => {
+            let sym = Symbol::intern(name);
+            if program.lookup(sym).is_none() {
+                return Err(format!("no function `{name}` in the program"));
+            }
+            sym
+        }
+        None => program.main().name,
+    };
+    let facets = spec::build_facets(&req.facets)?;
+    let inputs: Vec<PeInput> = req
+        .inputs
+        .iter()
+        .map(|s| spec::parse_input(s))
+        .collect::<Result<_, _>>()?;
+    let arity = program
+        .lookup(entry)
+        .expect("entry was just validated")
+        .arity();
+    if arity != inputs.len() {
+        return Err(format!(
+            "`{entry}` expects {arity} inputs but the request has {}",
+            inputs.len()
+        ));
+    }
+    let products: Vec<ProductVal> = inputs
+        .iter()
+        .map(|i| i.to_product(&facets).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let key = residual_key(
+        fingerprint,
+        entry.as_str(),
+        req.engine,
+        &req.facets,
+        &products,
+        req.optimize,
+        &req.config,
+    );
+    Ok(Resolved {
+        program,
+        fingerprint,
+        entry,
+        facets,
+        inputs,
+        products,
+        key,
+    })
+}
+
+/// Runs the requested engine to completion and renders the outcome.
+pub(crate) fn run(
+    req: &SpecializeRequest,
+    resolved: &Resolved,
+    ctx: &mut EngineContext,
+    metrics: &Metrics,
+) -> Result<CachedOutcome, String> {
+    let residual = match req.engine {
+        Engine::Online => {
+            OnlinePe::with_config(&resolved.program, &resolved.facets, req.config.clone())
+                .specialize(resolved.entry, &resolved.inputs)
+                .map_err(|e| e.to_string())?
+        }
+        Engine::Simple => {
+            let simple_inputs: Vec<SimpleInput> = resolved
+                .inputs
+                .iter()
+                .map(|i| match i {
+                    // Structured values (vectors) have no Const form; the
+                    // simple engine treats them — like all refinements —
+                    // as dynamic.
+                    PeInput::Known(v) => v
+                        .to_const()
+                        .map(SimpleInput::Known)
+                        .unwrap_or(SimpleInput::Dynamic),
+                    PeInput::Dynamic { .. } => SimpleInput::Dynamic,
+                })
+                .collect();
+            SimplePe::with_config(&resolved.program, req.config.clone())
+                .specialize(resolved.entry, &simple_inputs)
+                .map_err(|e| e.to_string())?
+        }
+        Engine::Offline => {
+            let analysis = cached_analysis(req, resolved, ctx, metrics)?;
+            OfflinePe::with_config(
+                &resolved.program,
+                &resolved.facets,
+                &analysis,
+                req.config.clone(),
+            )
+            .specialize(&resolved.inputs)
+            .map_err(|e| e.to_string())?
+        }
+    };
+    let rendered = if req.optimize {
+        prune_unused_params(
+            &optimize_program(&residual.program, OptLevel::Safe),
+            OptLevel::Safe,
+        )
+    } else {
+        residual.program
+    };
+    Ok(CachedOutcome {
+        residual: pretty_program(&rendered),
+        stats: residual.stats,
+        degradations: residual.report.events().to_vec(),
+    })
+}
+
+/// Facet analysis for the offline engine, memoized per worker.
+fn cached_analysis(
+    req: &SpecializeRequest,
+    resolved: &Resolved,
+    ctx: &mut EngineContext,
+    metrics: &Metrics,
+) -> Result<Rc<Analysis>, String> {
+    let akey = analysis_key(
+        resolved.fingerprint,
+        resolved.entry.as_str(),
+        &req.facets,
+        &resolved.products,
+        &req.config,
+    );
+    if let Some(analysis) = ctx.analyses.get(&akey) {
+        metrics.analysis_hits.fetch_add(1, Relaxed);
+        return Ok(Rc::clone(analysis));
+    }
+    let abstract_inputs: Vec<AbstractInput> = resolved
+        .products
+        .iter()
+        .cloned()
+        .map(AbstractInput::of_product)
+        .collect();
+    let analysis = analyze_fn_with_config(
+        &resolved.program,
+        &resolved.facets,
+        resolved.entry,
+        &abstract_inputs,
+        &req.config,
+    )
+    .map_err(|e| e.to_string())?;
+    metrics.analysis_misses.fetch_add(1, Relaxed);
+    let analysis = Rc::new(analysis);
+    // The analysis cache is bounded by distinct (program, inputs, policy)
+    // combinations a worker sees; cap it so a serve loop fed unbounded
+    // distinct programs cannot grow without limit.
+    if ctx.analyses.len() >= 256 {
+        ctx.analyses.clear();
+    }
+    ctx.analyses.insert(akey, Rc::clone(&analysis));
+    Ok(analysis)
+}

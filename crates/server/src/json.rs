@@ -1,0 +1,454 @@
+//! A minimal JSON value type, parser, and writer.
+//!
+//! The workspace builds with no registry access, so the serve loop's
+//! JSON-lines protocol is implemented here rather than on serde: an
+//! RFC 8259 subset sufficient for the request/response schema — objects,
+//! arrays, strings (with `\uXXXX` escapes), numbers, booleans, null.
+//! Numbers are kept as `f64`, which is exact for every integer the
+//! protocol carries (budgets fit comfortably in 53 bits).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Objects use a [`BTreeMap`] so that rendering is deterministic (keys in
+/// sorted order) — responses are byte-stable for a given content, which
+/// the determinism tests and scripted consumers rely on.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_server::json::Json;
+///
+/// let v = Json::parse(r#"{"a": [1, true, "x\n"]}"#).unwrap();
+/// assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+/// assert_eq!(v.render(), "{\"a\":[1,true,\"x\\n\"]}");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, keys sorted.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses one JSON document, requiring it to span the whole input.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message with a byte offset on malformed input.
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Renders compactly (no spaces, object keys sorted).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                use fmt::Write as _;
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => write_json_string(s, out),
+            Json::Arr(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    x.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Object field access; `None` for absent fields or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if exact.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 9.0e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// Builds an object from key/value pairs (later duplicates win).
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A numeric value from an integer counter.
+    pub fn num(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    use fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected `{}` at byte {}",
+                char::from(other),
+                self.pos
+            )),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are utf-8");
+        let n: f64 = text
+            .parse()
+            .map_err(|_| format!("bad number `{text}` at byte {start}"))?;
+        if !n.is_finite() {
+            return Err(format!("non-finite number at byte {start}"));
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err("unterminated string".to_owned());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".to_owned());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("bad low surrogate".to_owned());
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| "bad \\u escape".to_owned())?,
+                            );
+                        }
+                        other => {
+                            return Err(format!("bad escape `\\{}`", char::from(other)));
+                        }
+                    }
+                }
+                b if b < 0x20 => return Err("raw control character in string".to_owned()),
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| "truncated utf-8".to_owned())?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| "invalid utf-8".to_owned())?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| "truncated \\u escape".to_owned())?;
+        let s = std::str::from_utf8(chunk).map_err(|_| "bad \\u escape".to_owned())?;
+        let n = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_owned())?;
+        self.pos += 4;
+        Ok(n)
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut xs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(xs));
+        }
+        loop {
+            self.skip_ws();
+            xs.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(xs));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-2.5e1").unwrap(), Json::Num(-25.0));
+        assert_eq!(Json::parse(r#""a\nb""#).unwrap(), Json::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = Json::parse(r#"{"xs": [1, {"y": null}], "z": "ok"}"#).unwrap();
+        assert_eq!(v.get("z").unwrap().as_str(), Some("ok"));
+        let xs = v.get("xs").unwrap().as_array().unwrap();
+        assert_eq!(xs[0].as_u64(), Some(1));
+        assert_eq!(xs[1].get("y"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let src = r#"{"a":[1,true,"x\n"],"b":{"c":-2}}"#;
+        let v = Json::parse(src).unwrap();
+        let rendered = v.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogates() {
+        assert_eq!(Json::parse(r#""é""#).unwrap(), Json::Str("é".into()));
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "tru", "\"abc", "{\"a\" 1}", "1 2", "nan"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn object_rendering_is_key_sorted() {
+        let v = Json::obj(vec![("b", Json::num(2)), ("a", Json::num(1))]);
+        assert_eq!(v.render(), r#"{"a":1,"b":2}"#);
+    }
+}

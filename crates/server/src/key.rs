@@ -1,0 +1,246 @@
+//! Stable, content-addressed cache keys.
+//!
+//! A residual program is fully determined by (program, entry function,
+//! per-input products of facet values, facet set, engine, optimizer flag,
+//! and the `PeConfig` policy knobs) — the cache-key soundness argument is
+//! spelled out in `DESIGN.md` § "Service layer". The key hashes exactly
+//! those components, and nothing process-local: symbol *spellings* rather
+//! than interner ids, facet *names* rather than trait-object addresses,
+//! and the canonical `Display` rendering of each product component. Two
+//! processes (or two threads racing through different interner states)
+//! therefore agree on every key.
+
+use std::fmt;
+
+use ppe_core::ProductVal;
+use ppe_online::{ExhaustionPolicy, PeConfig};
+
+use crate::request::Engine;
+
+/// A 128-bit FNV-1a content hash identifying one specialization request
+/// up to residual-equality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub u128);
+
+impl CacheKey {
+    /// The shard index for this key among `shards` (a power of two).
+    pub fn shard(self, shards: usize) -> usize {
+        // The low bits select within a shard's HashMap; use high bits for
+        // the shard so the two choices stay independent.
+        ((self.0 >> 64) as usize) & (shards - 1)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a over 128 bits. 64 bits would invite birthday
+/// trouble at production cache sizes; 128 keeps accidental collision
+/// probability negligible without pulling in a crypto dependency.
+#[derive(Clone, Debug)]
+pub struct KeyHasher(u128);
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+impl KeyHasher {
+    /// A fresh hasher, domain-separated by `tag`.
+    pub fn new(tag: &str) -> KeyHasher {
+        let mut h = KeyHasher(FNV128_OFFSET);
+        h.write_str(tag);
+        h
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Feeds an integer (little-endian).
+    pub fn write_u64(&mut self, n: u64) {
+        self.write_bytes(&n.to_le_bytes());
+    }
+
+    /// Feeds a length-prefixed string, so adjacent fields can't alias.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The accumulated key.
+    pub fn finish(&self) -> CacheKey {
+        CacheKey(self.0)
+    }
+}
+
+fn write_config(h: &mut KeyHasher, config: &PeConfig, optimize: bool) {
+    h.write_u64(u64::from(config.max_unfold_depth));
+    h.write_u64(config.max_specializations as u64);
+    h.write_u64(config.fuel);
+    h.write_u64(u64::from(config.propagate_constraints));
+    h.write_u64(u64::from(config.check_consistency));
+    h.write_u64(config.max_residual_size as u64);
+    match config.deadline {
+        // Deadline-degraded residuals are wall-clock dependent; the key
+        // still includes the budget so differently-budgeted requests never
+        // share an entry (see DESIGN.md on why caching them is sound).
+        Some(d) => h.write_u64(1 + d.as_millis() as u64),
+        None => h.write_u64(0),
+    }
+    h.write_u64(u64::from(config.max_recursion_depth));
+    h.write_u64(match config.on_exhaustion {
+        ExhaustionPolicy::Fail => 0,
+        ExhaustionPolicy::Degrade => 1,
+    });
+    h.write_u64(u64::from(optimize));
+}
+
+/// Builds the residual-cache key for one fully resolved request.
+///
+/// `products` must already be lowered over the facet set named by
+/// `facet_names` (in that order) — the products' positional rendering only
+/// means something together with the facet list, so both are hashed.
+pub fn residual_key(
+    program_fingerprint: u64,
+    entry: &str,
+    engine: Engine,
+    facet_names: &[String],
+    products: &[ProductVal],
+    optimize: bool,
+    config: &PeConfig,
+) -> CacheKey {
+    let mut h = KeyHasher::new("ppe-residual-v1");
+    h.write_u64(program_fingerprint);
+    h.write_str(entry);
+    h.write_u64(engine as u64);
+    h.write_u64(facet_names.len() as u64);
+    for name in facet_names {
+        h.write_str(name);
+    }
+    h.write_u64(products.len() as u64);
+    for p in products {
+        h.write_str(&p.to_string());
+    }
+    write_config(&mut h, config, optimize);
+    h.finish()
+}
+
+/// Builds the analysis-cache key (offline engine): like
+/// [`residual_key`] but without the optimizer flag — the optimizer runs
+/// after specialization and cannot change what the analysis computes.
+pub fn analysis_key(
+    program_fingerprint: u64,
+    entry: &str,
+    facet_names: &[String],
+    products: &[ProductVal],
+    config: &PeConfig,
+) -> CacheKey {
+    let mut h = KeyHasher::new("ppe-analysis-v1");
+    h.write_u64(program_fingerprint);
+    h.write_str(entry);
+    h.write_u64(facet_names.len() as u64);
+    for name in facet_names {
+        h.write_str(name);
+    }
+    h.write_u64(products.len() as u64);
+    for p in products {
+        h.write_str(&p.to_string());
+    }
+    write_config(&mut h, config, false);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{build_facets, parse_input};
+
+    fn products(specs: &[&str], facets: &[&str]) -> (Vec<String>, Vec<ProductVal>) {
+        let names: Vec<String> = facets.iter().map(|s| s.to_string()).collect();
+        let set = build_facets(&names).unwrap();
+        let ps = specs
+            .iter()
+            .map(|s| parse_input(s).unwrap().to_product(&set).unwrap())
+            .collect();
+        (names, ps)
+    }
+
+    #[test]
+    fn identical_requests_agree() {
+        let (names, ps) = products(&["_:size=3", "_:size=3"], &["size"]);
+        let config = PeConfig::default();
+        let a = residual_key(7, "iprod", Engine::Online, &names, &ps, false, &config);
+        let b = residual_key(7, "iprod", Engine::Online, &names, &ps, false, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn refinement_order_is_canonicalized_by_products() {
+        let (names, a) = products(&["_:size=3:sign=pos"], &["sign", "size"]);
+        let (_, b) = products(&["_:sign=pos:size=3"], &["sign", "size"]);
+        let config = PeConfig::default();
+        assert_eq!(
+            residual_key(1, "f", Engine::Online, &names, &a, false, &config),
+            residual_key(1, "f", Engine::Online, &names, &b, false, &config),
+            "the product lowers refinements into facet positions"
+        );
+    }
+
+    #[test]
+    fn every_component_separates_keys() {
+        let (names, ps) = products(&["_:size=3"], &["size"]);
+        let config = PeConfig::default();
+        let base = residual_key(7, "f", Engine::Online, &names, &ps, false, &config);
+        let (_, other) = products(&["_:size=4"], &["size"]);
+        assert_ne!(
+            base,
+            residual_key(7, "f", Engine::Online, &names, &other, false, &config)
+        );
+        assert_ne!(
+            base,
+            residual_key(8, "f", Engine::Online, &names, &ps, false, &config)
+        );
+        assert_ne!(
+            base,
+            residual_key(7, "g", Engine::Online, &names, &ps, false, &config)
+        );
+        assert_ne!(
+            base,
+            residual_key(7, "f", Engine::Simple, &names, &ps, false, &config)
+        );
+        assert_ne!(
+            base,
+            residual_key(7, "f", Engine::Online, &names, &ps, true, &config)
+        );
+        let tight = PeConfig {
+            fuel: 1,
+            ..PeConfig::default()
+        };
+        assert_ne!(
+            base,
+            residual_key(7, "f", Engine::Online, &names, &ps, false, &tight)
+        );
+    }
+
+    #[test]
+    fn shards_use_high_bits() {
+        let (names, ps) = products(&["_"], &["sign"]);
+        let k = residual_key(
+            1,
+            "f",
+            Engine::Online,
+            &names,
+            &ps,
+            false,
+            &PeConfig::default(),
+        );
+        assert!(k.shard(16) < 16);
+        assert_eq!(k.shard(1), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Service metrics: lock-free atomic counters and a JSON snapshot.
+//!
+//! Workers on every thread bump the same [`Metrics`] instance through
+//! `&self` (all counters are atomics with relaxed ordering — they are
+//! statistics, not synchronization), and the drivers render a
+//! [`MetricsSnapshot`] as one JSON object at the end of a batch or on a
+//! `{"cmd":"metrics"}` serve request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+/// Monotonic counters plus a queue-depth gauge for one service instance.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted (including ones that later failed).
+    pub requests: AtomicU64,
+    /// Requests answered from the residual cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that ran a specialization engine.
+    pub cache_misses: AtomicU64,
+    /// Requests that blocked on another request's in-flight computation
+    /// (single-flight deduplication).
+    pub dedup_coalesced: AtomicU64,
+    /// Cache entries evicted under the byte budget.
+    pub cache_evictions: AtomicU64,
+    /// Residuals too large to cache at all.
+    pub cache_rejected: AtomicU64,
+    /// Analysis-cache hits (offline engine signature reuse).
+    pub analysis_hits: AtomicU64,
+    /// Analyses computed (offline engine).
+    pub analysis_misses: AtomicU64,
+    /// Requests that failed with an error.
+    pub errors: AtomicU64,
+    /// Requests whose responses carried at least one degradation event.
+    pub degraded: AtomicU64,
+    /// Requests currently queued or executing (gauge).
+    pub queue_depth: AtomicU64,
+    /// Total request wall time, microseconds.
+    pub wall_micros_total: AtomicU64,
+    /// Longest single request, microseconds.
+    pub wall_micros_max: AtomicU64,
+}
+
+impl Metrics {
+    /// A fresh, zeroed instance.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds one completed request's wall time.
+    pub fn observe_wall(&self, micros: u64) {
+        self.wall_micros_total.fetch_add(micros, Ordering::Relaxed);
+        self.wall_micros_max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy (each counter is read
+    /// atomically; the set is not a transaction, which is fine for
+    /// reporting).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let r = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            requests: r(&self.requests),
+            cache_hits: r(&self.cache_hits),
+            cache_misses: r(&self.cache_misses),
+            dedup_coalesced: r(&self.dedup_coalesced),
+            cache_evictions: r(&self.cache_evictions),
+            cache_rejected: r(&self.cache_rejected),
+            analysis_hits: r(&self.analysis_hits),
+            analysis_misses: r(&self.analysis_misses),
+            errors: r(&self.errors),
+            degraded: r(&self.degraded),
+            queue_depth: r(&self.queue_depth),
+            wall_micros_total: r(&self.wall_micros_total),
+            wall_micros_max: r(&self.wall_micros_max),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Metrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field names mirror Metrics, documented there
+pub struct MetricsSnapshot {
+    pub requests: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub dedup_coalesced: u64,
+    pub cache_evictions: u64,
+    pub cache_rejected: u64,
+    pub analysis_hits: u64,
+    pub analysis_misses: u64,
+    pub errors: u64,
+    pub degraded: u64,
+    pub queue_depth: u64,
+    pub wall_micros_total: u64,
+    pub wall_micros_max: u64,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as one JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("requests", Json::num(self.requests)),
+            ("cache_hits", Json::num(self.cache_hits)),
+            ("cache_misses", Json::num(self.cache_misses)),
+            ("dedup_coalesced", Json::num(self.dedup_coalesced)),
+            ("cache_evictions", Json::num(self.cache_evictions)),
+            ("cache_rejected", Json::num(self.cache_rejected)),
+            ("analysis_hits", Json::num(self.analysis_hits)),
+            ("analysis_misses", Json::num(self.analysis_misses)),
+            ("errors", Json::num(self.errors)),
+            ("degraded", Json::num(self.degraded)),
+            ("queue_depth", Json::num(self.queue_depth)),
+            ("wall_micros_total", Json::num(self.wall_micros_total)),
+            ("wall_micros_max", Json::num(self.wall_micros_max)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let m = Metrics::new();
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.cache_hits.fetch_add(2, Ordering::Relaxed);
+        m.observe_wall(10);
+        m.observe_wall(40);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.wall_micros_total, 50);
+        assert_eq!(s.wall_micros_max, 40);
+    }
+
+    #[test]
+    fn snapshot_renders_json() {
+        let s = Metrics::new().snapshot();
+        let text = s.to_json().render();
+        assert!(text.starts_with('{'), "{text}");
+        assert!(text.contains("\"cache_hits\":0"), "{text}");
+        assert!(text.contains("\"queue_depth\":0"), "{text}");
+    }
+}

@@ -1,0 +1,391 @@
+//! The service API: one request/response pair shared by the batch driver,
+//! the serve loop, and library callers.
+//!
+//! A [`SpecializeRequest`] is deliberately *plain data* — source text,
+//! input spec strings, facet names, and a [`PeConfig`] — because the
+//! parsed forms (`FacetSet`, `PeInput`, `Analysis`) are `Rc`-backed and
+//! cannot cross threads. Workers re-derive the parsed forms locally
+//! (parsing is microseconds; specialization is the expensive part), which
+//! also guarantees that every worker sees exactly the request the client
+//! sent, not a shared mutable view of it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ppe_online::{DegradationEvent, ExhaustionPolicy, PeConfig, PeStats};
+
+use crate::json::Json;
+use crate::key::CacheKey;
+use crate::spec::ALL_FACETS;
+
+/// Which specialization engine answers the request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The online parameterized specializer (Figure 3).
+    Online = 0,
+    /// The conventional simple specializer (Figure 2); facet refinements
+    /// on inputs are ignored (it has no facets).
+    Simple = 1,
+    /// Facet analysis + analysis-driven specialization (Section 5). The
+    /// analysis is cached per worker and reused across requests with the
+    /// same (program, entry, abstract inputs, policy).
+    Offline = 2,
+}
+
+impl Engine {
+    /// The wire name (`engine` field of the serve protocol).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Online => "online",
+            Engine::Simple => "simple",
+            Engine::Offline => "offline",
+        }
+    }
+
+    /// Parses a wire name.
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown engine.
+    pub fn parse(s: &str) -> Result<Engine, String> {
+        match s {
+            "online" => Ok(Engine::Online),
+            "simple" => Ok(Engine::Simple),
+            "offline" => Ok(Engine::Offline),
+            other => Err(format!("unknown engine `{other}` (online|simple|offline)")),
+        }
+    }
+}
+
+/// One specialization request.
+#[derive(Clone, Debug)]
+pub struct SpecializeRequest {
+    /// Source text of the subject program. `Arc` so a batch over one
+    /// program shares a single copy across worker threads.
+    pub program_src: Arc<String>,
+    /// Entry function; `None` means the program's main (first) function.
+    pub function: Option<String>,
+    /// Input specs, one per entry-function parameter (see [`crate::spec`]).
+    pub inputs: Vec<String>,
+    /// Facet names, in order (see [`crate::spec::ALL_FACETS`]).
+    pub facets: Vec<String>,
+    /// The engine to run.
+    pub engine: Engine,
+    /// Run the residual cleanup passes before rendering.
+    pub optimize: bool,
+    /// Budgets and policy for this request.
+    pub config: PeConfig,
+}
+
+impl SpecializeRequest {
+    /// A request against `program_src` with every default: online engine,
+    /// all facets, default policy, no optimizer.
+    pub fn new(program_src: impl Into<String>, inputs: Vec<String>) -> SpecializeRequest {
+        SpecializeRequest {
+            program_src: Arc::new(program_src.into()),
+            function: None,
+            inputs,
+            facets: ALL_FACETS.iter().map(|s| s.to_string()).collect(),
+            engine: Engine::Online,
+            optimize: false,
+            config: PeConfig::default(),
+        }
+    }
+
+    /// Parses a serve-protocol JSON object into a request.
+    ///
+    /// Recognized fields: `program` (required), `inputs` (array of spec
+    /// strings, or one whitespace-separated string), `function`, `engine`,
+    /// `facets`, `optimize`, `fuel`, `deadline_ms`, `max_unfold_depth`,
+    /// `max_specializations`, `max_residual_size`, `on_exhaustion`,
+    /// `constraints`. Unknown fields are ignored (forward compatibility).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<SpecializeRequest, String> {
+        let program = v
+            .get("program")
+            .and_then(Json::as_str)
+            .ok_or("request needs a `program` string")?;
+        let mut req = SpecializeRequest::new(program, Vec::new());
+        req.inputs = match v.get("inputs") {
+            None => Vec::new(),
+            Some(Json::Str(s)) => s.split_whitespace().map(str::to_owned).collect(),
+            Some(Json::Arr(xs)) => xs
+                .iter()
+                .map(|x| {
+                    x.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| "`inputs` elements must be strings".to_owned())
+                })
+                .collect::<Result<_, _>>()?,
+            Some(_) => return Err("`inputs` must be an array of strings".to_owned()),
+        };
+        if let Some(f) = v.get("function") {
+            req.function = Some(f.as_str().ok_or("`function` must be a string")?.to_owned());
+        }
+        if let Some(e) = v.get("engine") {
+            req.engine = Engine::parse(e.as_str().ok_or("`engine` must be a string")?)?;
+        }
+        if let Some(fs) = v.get("facets") {
+            let xs = fs.as_array().ok_or("`facets` must be an array")?;
+            req.facets = xs
+                .iter()
+                .map(|x| {
+                    x.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| "`facets` elements must be strings".to_owned())
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(o) = v.get("optimize") {
+            req.optimize = o.as_bool().ok_or("`optimize` must be a boolean")?;
+        }
+        let num = |field: &str| -> Result<Option<u64>, String> {
+            match v.get(field) {
+                None => Ok(None),
+                Some(x) => x
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("`{field}` must be a non-negative integer")),
+            }
+        };
+        if let Some(fuel) = num("fuel")? {
+            req.config.fuel = fuel;
+        }
+        if let Some(ms) = num("deadline_ms")? {
+            req.config.deadline = Some(Duration::from_millis(ms));
+        }
+        if let Some(d) = num("max_unfold_depth")? {
+            req.config.max_unfold_depth =
+                u32::try_from(d).map_err(|_| "`max_unfold_depth` too large".to_owned())?;
+        }
+        if let Some(n) = num("max_specializations")? {
+            req.config.max_specializations = n as usize;
+        }
+        if let Some(n) = num("max_residual_size")? {
+            req.config.max_residual_size = n as usize;
+        }
+        if let Some(p) = v.get("on_exhaustion") {
+            req.config.on_exhaustion = match p.as_str().ok_or("`on_exhaustion` must be a string")? {
+                "fail" => ExhaustionPolicy::Fail,
+                "degrade" => ExhaustionPolicy::Degrade,
+                other => {
+                    return Err(format!(
+                        "`on_exhaustion` must be fail or degrade, got `{other}`"
+                    ))
+                }
+            };
+        }
+        if let Some(c) = v.get("constraints") {
+            req.config.propagate_constraints =
+                c.as_bool().ok_or("`constraints` must be a boolean")?;
+        }
+        Ok(req)
+    }
+}
+
+/// How the cache answered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// Answered from a completed cache entry.
+    Hit,
+    /// Computed by this request (and cached, budget permitting).
+    Miss,
+    /// Blocked on an identical in-flight computation (single-flight).
+    Coalesced,
+    /// Failed before reaching the cache (parse or validation error).
+    Unreached,
+}
+
+impl CacheDisposition {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Miss => "miss",
+            CacheDisposition::Coalesced => "coalesced",
+            CacheDisposition::Unreached => "unreached",
+        }
+    }
+}
+
+/// The successful payload of a response.
+#[derive(Clone, Debug)]
+pub struct SpecializeOutput {
+    /// The pretty-printed residual program.
+    pub residual: String,
+    /// Engine counters for this specialization (replayed on cache hits).
+    pub stats: PeStats,
+    /// Per-request degradation events — including events that happened on
+    /// a worker thread, and cache-capacity events added by the service.
+    pub degradations: Vec<DegradationEvent>,
+}
+
+/// One specialization response.
+#[derive(Clone, Debug)]
+pub struct SpecializeResponse {
+    /// The output, or a human-readable error.
+    pub outcome: Result<SpecializeOutput, String>,
+    /// How the cache answered.
+    pub disposition: CacheDisposition,
+    /// The request's cache key, once computed.
+    pub key: Option<CacheKey>,
+    /// Wall time spent answering, microseconds.
+    pub wall_micros: u64,
+}
+
+impl SpecializeResponse {
+    /// An error response that never reached the cache.
+    pub fn error(message: impl Into<String>) -> SpecializeResponse {
+        SpecializeResponse {
+            outcome: Err(message.into()),
+            disposition: CacheDisposition::Unreached,
+            key: None,
+            wall_micros: 0,
+        }
+    }
+
+    /// The degradation events, empty on error.
+    pub fn degradations(&self) -> &[DegradationEvent] {
+        match &self.outcome {
+            Ok(out) => &out.degradations,
+            Err(_) => &[],
+        }
+    }
+
+    /// Renders the response for the serve protocol, echoing `id`.
+    pub fn to_json(&self, id: Option<&Json>) -> Json {
+        let mut fields = vec![
+            ("cache", Json::str(self.disposition.name())),
+            ("wall_us", Json::num(self.wall_micros)),
+        ];
+        if let Some(id) = id {
+            fields.push(("id", id.clone()));
+        }
+        if let Some(key) = self.key {
+            fields.push(("key", Json::str(key.to_string())));
+        }
+        match &self.outcome {
+            Ok(out) => {
+                fields.push(("ok", Json::Bool(true)));
+                fields.push(("residual", Json::str(out.residual.clone())));
+                fields.push((
+                    "stats",
+                    Json::obj(vec![
+                        ("reductions", Json::num(out.stats.reductions)),
+                        ("residual_prims", Json::num(out.stats.residual_prims)),
+                        ("static_branches", Json::num(out.stats.static_branches)),
+                        ("dynamic_branches", Json::num(out.stats.dynamic_branches)),
+                        ("unfolds", Json::num(out.stats.unfolds)),
+                        ("specializations", Json::num(out.stats.specializations)),
+                        ("cache_hits", Json::num(out.stats.cache_hits)),
+                        ("steps", Json::num(out.stats.steps)),
+                    ]),
+                ));
+                fields.push((
+                    "degradations",
+                    Json::Arr(out.degradations.iter().map(degradation_json).collect()),
+                ));
+            }
+            Err(msg) => {
+                fields.push(("ok", Json::Bool(false)));
+                fields.push(("error", Json::str(msg.clone())));
+            }
+        }
+        Json::obj(fields)
+    }
+}
+
+/// Renders one degradation event for the wire.
+pub fn degradation_json(e: &DegradationEvent) -> Json {
+    let mut fields = vec![
+        ("budget", Json::str(e.budget.to_string())),
+        ("count", Json::num(e.count)),
+        ("depth", Json::num(u64::from(e.depth))),
+    ];
+    if let Some(f) = e.function {
+        fields.push(("function", Json::str(f.as_str())));
+    }
+    Json::obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_names_roundtrip() {
+        for e in [Engine::Online, Engine::Simple, Engine::Offline] {
+            assert_eq!(Engine::parse(e.name()).unwrap(), e);
+        }
+        assert!(Engine::parse("quantum").is_err());
+    }
+
+    #[test]
+    fn request_from_json_full() {
+        let v = Json::parse(
+            r#"{"program": "(define (f x) x)", "inputs": ["_:size=3", "5"],
+                "engine": "offline", "facets": ["size"], "optimize": true,
+                "fuel": 100, "deadline_ms": 50, "on_exhaustion": "degrade"}"#,
+        )
+        .unwrap();
+        let req = SpecializeRequest::from_json(&v).unwrap();
+        assert_eq!(req.inputs, vec!["_:size=3", "5"]);
+        assert_eq!(req.engine, Engine::Offline);
+        assert_eq!(req.facets, vec!["size"]);
+        assert!(req.optimize);
+        assert_eq!(req.config.fuel, 100);
+        assert_eq!(req.config.deadline, Some(Duration::from_millis(50)));
+        assert_eq!(req.config.on_exhaustion, ExhaustionPolicy::Degrade);
+    }
+
+    #[test]
+    fn request_from_json_defaults_and_string_inputs() {
+        let v = Json::parse(r#"{"program": "(define (f x) x)", "inputs": "_ 5"}"#).unwrap();
+        let req = SpecializeRequest::from_json(&v).unwrap();
+        assert_eq!(req.inputs, vec!["_", "5"]);
+        assert_eq!(req.engine, Engine::Online);
+        assert_eq!(req.facets.len(), ALL_FACETS.len());
+        assert!(!req.optimize);
+    }
+
+    #[test]
+    fn request_from_json_rejects_bad_fields() {
+        for bad in [
+            r#"{}"#,
+            r#"{"program": 5}"#,
+            r#"{"program": "p", "engine": "quantum"}"#,
+            r#"{"program": "p", "fuel": -1}"#,
+            r#"{"program": "p", "inputs": [5]}"#,
+            r#"{"program": "p", "on_exhaustion": "panic"}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(SpecializeRequest::from_json(&v).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn response_json_success_and_error() {
+        let ok = SpecializeResponse {
+            outcome: Ok(SpecializeOutput {
+                residual: "(define (f x) x)".into(),
+                stats: PeStats::default(),
+                degradations: Vec::new(),
+            }),
+            disposition: CacheDisposition::Miss,
+            key: None,
+            wall_micros: 7,
+        };
+        let text = ok.to_json(Some(&Json::num(1))).render();
+        assert!(text.contains("\"ok\":true"), "{text}");
+        assert!(text.contains("\"cache\":\"miss\""), "{text}");
+        assert!(text.contains("\"id\":1"), "{text}");
+
+        let err = SpecializeResponse::error("no such program");
+        let text = err.to_json(None).render();
+        assert!(text.contains("\"ok\":false"), "{text}");
+        assert!(text.contains("no such program"), "{text}");
+    }
+}

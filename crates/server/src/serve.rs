@@ -1,0 +1,395 @@
+//! The serve loop: JSON-lines requests on a reader, JSON-lines responses
+//! on a writer.
+//!
+//! One input line is one request object (see
+//! [`SpecializeRequest::from_json`]) and produces exactly one output
+//! line, *in input order* even when several workers answer concurrently —
+//! a reordering writer buffers out-of-order completions. Lines whose
+//! object carries a `cmd` field are control messages:
+//!
+//! - `{"cmd": "metrics"}` — a point-in-time [`crate::metrics`] snapshot.
+//! - `{"cmd": "shutdown"}` — acknowledge, finish in-flight work, stop.
+//!
+//! Malformed lines answer `{"ok": false, "error": ...}` rather than
+//! killing the session: a service must outlive its worst client.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread;
+
+use crate::driver::WORKER_STACK_BYTES;
+use crate::engine::EngineContext;
+use crate::json::Json;
+use crate::request::{SpecializeRequest, SpecializeResponse};
+use crate::service::SpecializeService;
+
+/// Knobs for one serve session.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Worker count; `0` and `1` both mean "answer on the calling thread".
+    pub jobs: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions { jobs: 1 }
+    }
+}
+
+/// What one serve session processed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Non-empty input lines consumed.
+    pub lines: u64,
+    /// Specialization requests dispatched (excludes control messages).
+    pub requests: u64,
+    /// Responses with `ok: false` (parse, validation, or engine errors).
+    pub errors: u64,
+}
+
+/// Runs the serve loop over `input`/`output` until end-of-input or a
+/// `shutdown` command.
+///
+/// # Errors
+///
+/// Only I/O errors on `input`/`output` end the session abnormally;
+/// request-level failures become `ok: false` response lines.
+pub fn serve(
+    service: &SpecializeService,
+    input: impl BufRead,
+    output: impl Write + Send,
+    options: ServeOptions,
+) -> io::Result<ServeSummary> {
+    if options.jobs <= 1 {
+        return serve_inline(service, input, output);
+    }
+    serve_parallel(service, input, output, options.jobs)
+}
+
+/// One request line end-to-end on the calling thread.
+fn answer(
+    service: &SpecializeService,
+    ctx: &mut EngineContext,
+    line: &str,
+    errors: &AtomicU64,
+) -> Option<String> {
+    let parsed = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            errors.fetch_add(1, Relaxed);
+            return Some(error_line(format!("bad JSON: {e}"), None));
+        }
+    };
+    if let Some(cmd) = parsed.get("cmd").and_then(Json::as_str) {
+        return control_line(service, cmd, parsed.get("id"), errors);
+    }
+    let id = parsed.get("id").cloned();
+    let response = match SpecializeRequest::from_json(&parsed) {
+        Ok(req) => service.handle(&req, ctx),
+        Err(e) => SpecializeResponse::error(e),
+    };
+    if response.outcome.is_err() {
+        errors.fetch_add(1, Relaxed);
+    }
+    Some(response.to_json(id.as_ref()).render())
+}
+
+/// Renders a control command's response line; `None` means shutdown.
+fn control_line(
+    service: &SpecializeService,
+    cmd: &str,
+    id: Option<&Json>,
+    errors: &AtomicU64,
+) -> Option<String> {
+    let mut fields = match cmd {
+        "metrics" => vec![
+            ("ok", Json::Bool(true)),
+            ("metrics", service.metrics().snapshot().to_json()),
+        ],
+        "shutdown" => vec![("ok", Json::Bool(true)), ("shutdown", Json::Bool(true))],
+        other => {
+            errors.fetch_add(1, Relaxed);
+            vec![
+                ("ok", Json::Bool(false)),
+                ("error", Json::str(format!("unknown command `{other}`"))),
+            ]
+        }
+    };
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
+    Some(Json::obj(fields).render())
+}
+
+fn error_line(message: String, id: Option<&Json>) -> String {
+    let mut fields = vec![("ok", Json::Bool(false)), ("error", Json::str(message))];
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
+    Json::obj(fields).render()
+}
+
+fn is_shutdown(line: &str) -> bool {
+    Json::parse(line)
+        .ok()
+        .and_then(|v| v.get("cmd").and_then(Json::as_str).map(|c| c == "shutdown"))
+        .unwrap_or(false)
+}
+
+fn serve_inline(
+    service: &SpecializeService,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    let errors = AtomicU64::new(0);
+    let mut ctx = EngineContext::new();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        summary.lines += 1;
+        let shutdown = is_shutdown(&line);
+        if !shutdown
+            && Json::parse(&line)
+                .map(|v| v.get("cmd").is_none())
+                .unwrap_or(true)
+        {
+            summary.requests += 1;
+        }
+        if let Some(rendered) = answer(service, &mut ctx, &line, &errors) {
+            writeln!(output, "{rendered}")?;
+            output.flush()?;
+        }
+        if shutdown {
+            break;
+        }
+    }
+    summary.errors = errors.load(Relaxed);
+    Ok(summary)
+}
+
+fn serve_parallel(
+    service: &SpecializeService,
+    input: impl BufRead,
+    output: impl Write + Send,
+    jobs: usize,
+) -> io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    let errors = AtomicU64::new(0);
+    let (job_tx, job_rx) = mpsc::channel::<(u64, String)>();
+    let job_rx = Mutex::new(job_rx);
+    let (out_tx, out_rx) = mpsc::channel::<(u64, String)>();
+
+    let written = thread::scope(|scope| -> io::Result<ServeSummary> {
+        let writer = scope.spawn(move || write_ordered(output, out_rx));
+        let mut workers = 0usize;
+        for worker in 0..jobs {
+            let job_rx = &job_rx;
+            let out_tx = out_tx.clone();
+            let errors = &errors;
+            let spawned = thread::Builder::new()
+                .name(format!("ppe-serve-{worker}"))
+                .stack_size(WORKER_STACK_BYTES)
+                .spawn_scoped(scope, move || {
+                    let mut ctx = EngineContext::new();
+                    loop {
+                        let job = job_rx.lock().expect("job queue poisoned").recv();
+                        let Ok((seq, line)) = job else { return };
+                        if let Some(rendered) = answer(service, &mut ctx, &line, errors) {
+                            if out_tx.send((seq, rendered)).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                });
+            if spawned.is_ok() {
+                workers += 1;
+            }
+        }
+
+        let mut inline_ctx = EngineContext::new();
+        let mut seq = 0u64;
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            summary.lines += 1;
+            let parsed = Json::parse(&line).ok();
+            let cmd = parsed
+                .as_ref()
+                .and_then(|v| v.get("cmd").and_then(Json::as_str).map(str::to_owned));
+            match cmd.as_deref() {
+                Some(cmd) => {
+                    // Control messages answer on the read thread, but go
+                    // through the same sequenced writer so their position
+                    // in the output matches their position in the input.
+                    let id = parsed.as_ref().and_then(|v| v.get("id"));
+                    if let Some(rendered) = control_line(service, cmd, id, &errors) {
+                        let _ = out_tx.send((seq, rendered));
+                    }
+                    seq += 1;
+                    if cmd == "shutdown" {
+                        break;
+                    }
+                }
+                None => {
+                    summary.requests += 1;
+                    if workers == 0 {
+                        // Could not spawn any worker: degrade to inline.
+                        if let Some(rendered) = answer(service, &mut inline_ctx, &line, &errors) {
+                            let _ = out_tx.send((seq, rendered));
+                        }
+                    } else {
+                        job_tx
+                            .send((seq, line))
+                            .expect("workers outlive the read loop");
+                    }
+                    seq += 1;
+                }
+            }
+        }
+        drop(job_tx); // workers drain and exit
+        drop(out_tx); // writer sees the channel close once workers finish
+        writer.join().expect("writer panicked")?;
+        Ok(summary)
+    })?;
+    let mut summary = written;
+    summary.errors = errors.load(Relaxed);
+    Ok(summary)
+}
+
+/// Drains `(seq, line)` completions, writing them strictly in `seq` order.
+fn write_ordered(mut output: impl Write, rx: mpsc::Receiver<(u64, String)>) -> io::Result<()> {
+    let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+    let mut next = 0u64;
+    for (seq, line) in rx {
+        pending.insert(seq, line);
+        while let Some(line) = pending.remove(&next) {
+            writeln!(output, "{line}")?;
+            output.flush()?;
+            next += 1;
+        }
+    }
+    // Shutdown mid-stream can retire sequence numbers without responses
+    // (skipped dispatches); flush whatever completed, in order.
+    for (_, line) in pending {
+        writeln!(output, "{line}")?;
+    }
+    output.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{ServiceConfig, SpecializeService};
+
+    const POWER: &str = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+
+    fn run(input: &str, jobs: usize) -> (Vec<String>, ServeSummary) {
+        let service = SpecializeService::new(ServiceConfig::default());
+        let mut out = Vec::new();
+        let summary = serve(&service, input.as_bytes(), &mut out, ServeOptions { jobs }).unwrap();
+        let lines = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        (lines, summary)
+    }
+
+    fn request_line(id: u64, n: u64) -> String {
+        format!(r#"{{"id": {id}, "program": "{POWER}", "inputs": "_ {n}"}}"#)
+    }
+
+    #[test]
+    fn one_line_in_one_line_out() {
+        let input = format!("{}\n", request_line(1, 3));
+        let (lines, summary) = run(&input, 1);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
+        assert!(lines[0].contains("\"id\":1"), "{}", lines[0]);
+        assert_eq!(
+            summary,
+            ServeSummary {
+                lines: 1,
+                requests: 1,
+                errors: 0
+            }
+        );
+    }
+
+    #[test]
+    fn bad_json_and_bad_requests_answer_errors() {
+        let input = format!(
+            "this is not json\n{{\"program\": \"(\"}}\n{}\n",
+            request_line(9, 2)
+        );
+        let (lines, summary) = run(&input, 1);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("bad JSON"), "{}", lines[0]);
+        assert!(lines[1].contains("\"ok\":false"), "{}", lines[1]);
+        assert!(lines[2].contains("\"ok\":true"), "{}", lines[2]);
+        assert_eq!(summary.errors, 2);
+    }
+
+    #[test]
+    fn metrics_and_shutdown_commands() {
+        let input = format!(
+            "{}\n{{\"cmd\": \"metrics\"}}\n{{\"cmd\": \"shutdown\"}}\n{}\n",
+            request_line(1, 2),
+            request_line(2, 3)
+        );
+        let (lines, summary) = run(&input, 1);
+        assert_eq!(lines.len(), 3, "request, metrics, shutdown ack: {lines:?}");
+        assert!(lines[1].contains("\"requests\":1"), "{}", lines[1]);
+        assert!(lines[2].contains("\"shutdown\":true"), "{}", lines[2]);
+        assert_eq!(summary.lines, 3, "the post-shutdown line is never read");
+    }
+
+    #[test]
+    fn parallel_serve_preserves_input_order() {
+        // Interleave expensive (n=40) and cheap (n=0) requests; with 4
+        // workers the cheap ones finish first, and the writer must hold
+        // them until their turn.
+        let mut input = String::new();
+        for id in 0..12u64 {
+            input.push_str(&request_line(id, if id % 2 == 0 { 40 } else { 0 }));
+            input.push('\n');
+        }
+        let (lines, summary) = run(&input, 4);
+        assert_eq!(lines.len(), 12);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.contains(&format!("\"id\":{i}")), "line {i}: {line}");
+        }
+        assert_eq!(summary.requests, 12);
+        assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn parallel_serve_matches_inline_serve() {
+        let mut input = String::new();
+        for id in 0..8u64 {
+            input.push_str(&request_line(id, id % 3));
+            input.push('\n');
+        }
+        let (serial, _) = run(&input, 1);
+        let (parallel, _) = run(&input, 4);
+        // Residuals are deterministic; only cache dispositions and wall
+        // time may differ between the runs.
+        let strip = |line: &str| -> String {
+            let v = Json::parse(line).unwrap();
+            let residual = v.get("residual").and_then(Json::as_str).unwrap().to_owned();
+            let id = v.get("id").and_then(Json::as_u64).unwrap();
+            format!("{id}:{residual}")
+        };
+        let serial: Vec<_> = serial.iter().map(|l| strip(l)).collect();
+        let parallel: Vec<_> = parallel.iter().map(|l| strip(l)).collect();
+        assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,317 @@
+//! The long-lived specialization service: shared caches + metrics +
+//! request handling.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ppe_lang::{parse_program, Program};
+use ppe_online::{Budget, DegradationEvent};
+
+use crate::cache::ResidualCache;
+use crate::engine::{self, EngineContext};
+use crate::metrics::Metrics;
+use crate::request::{CacheDisposition, SpecializeOutput, SpecializeRequest, SpecializeResponse};
+
+/// Sizing knobs for one service instance.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Total residual-cache budget in bytes, split across shards.
+    pub cache_bytes: usize,
+    /// Shard count (rounded up to a power of two).
+    pub shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            cache_bytes: 64 << 20,
+            shards: 16,
+        }
+    }
+}
+
+/// Upper bound on retained parsed programs; a serve loop fed unbounded
+/// distinct programs resets the parse cache rather than growing forever.
+const MAX_PARSED_PROGRAMS: usize = 128;
+
+/// A concurrent specialization service.
+///
+/// One instance is shared (`Arc` or borrow) by every worker; all state is
+/// behind its own synchronization. The handle path is:
+/// parse-cache → resolve (facets, inputs, cache key) → residual cache
+/// (single-flight) → engine.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_server::{EngineContext, ServiceConfig, SpecializeRequest, SpecializeService};
+///
+/// let service = SpecializeService::new(ServiceConfig::default());
+/// let mut ctx = EngineContext::new();
+/// let req = SpecializeRequest::new(
+///     "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))",
+///     vec!["_".into(), "3".into()],
+/// );
+/// let first = service.handle(&req, &mut ctx);
+/// let again = service.handle(&req, &mut ctx);
+/// assert!(first.outcome.is_ok());
+/// assert_eq!(
+///     again.outcome.unwrap().residual,
+///     first.outcome.unwrap().residual,
+/// );
+/// assert_eq!(service.metrics().snapshot().cache_hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct SpecializeService {
+    cache: ResidualCache,
+    metrics: Metrics,
+    programs: Mutex<HashMap<String, (Arc<Program>, u64)>>,
+}
+
+impl SpecializeService {
+    /// A fresh service with empty caches.
+    pub fn new(config: ServiceConfig) -> SpecializeService {
+        SpecializeService {
+            cache: ResidualCache::new(config.cache_bytes, config.shards),
+            metrics: Metrics::new(),
+            programs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The service's metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The residual cache (mainly for tests and reports).
+    pub fn cache(&self) -> &ResidualCache {
+        &self.cache
+    }
+
+    /// Answers one request on the calling thread. `ctx` is the worker's
+    /// private state (analysis cache); use one per thread and reuse it
+    /// across requests.
+    pub fn handle(&self, req: &SpecializeRequest, ctx: &mut EngineContext) -> SpecializeResponse {
+        let start = Instant::now();
+        self.metrics.requests.fetch_add(1, Relaxed);
+        let resolved = self
+            .program(&req.program_src)
+            .and_then(|(program, fingerprint)| engine::resolve(req, program, fingerprint));
+        let mut response = match resolved {
+            Err(msg) => SpecializeResponse::error(msg),
+            Ok(resolved) => {
+                let fetched = self.cache.get_or_compute(resolved.key, &self.metrics, || {
+                    engine::run(req, &resolved, ctx, &self.metrics)
+                });
+                match fetched.outcome {
+                    Err(msg) => SpecializeResponse {
+                        outcome: Err(msg),
+                        disposition: fetched.disposition,
+                        key: Some(resolved.key),
+                        wall_micros: 0,
+                    },
+                    Ok(outcome) => {
+                        let mut degradations = outcome.degradations.clone();
+                        if fetched.rejected_bytes.is_some() {
+                            // The residual was computed but was too large
+                            // to retain: a capacity degradation this
+                            // request should see in its own report.
+                            merge_event(
+                                &mut degradations,
+                                DegradationEvent {
+                                    budget: Budget::CacheBytes,
+                                    function: Some(resolved.entry),
+                                    depth: 0,
+                                    count: 1,
+                                },
+                            );
+                        }
+                        SpecializeResponse {
+                            outcome: Ok(SpecializeOutput {
+                                residual: outcome.residual.clone(),
+                                stats: outcome.stats,
+                                degradations,
+                            }),
+                            disposition: fetched.disposition,
+                            key: Some(resolved.key),
+                            wall_micros: 0,
+                        }
+                    }
+                }
+            }
+        };
+        response.wall_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        match &response.outcome {
+            Err(_) => {
+                self.metrics.errors.fetch_add(1, Relaxed);
+            }
+            Ok(out) if !out.degradations.is_empty() => {
+                self.metrics.degraded.fetch_add(1, Relaxed);
+            }
+            Ok(_) => {}
+        }
+        if response.disposition == CacheDisposition::Unreached {
+            self.metrics.errors.load(Relaxed); // already counted above
+        }
+        self.metrics.observe_wall(response.wall_micros);
+        response
+    }
+
+    /// Parses `src` through the shared parse cache, returning the program
+    /// and its stable fingerprint.
+    fn program(&self, src: &str) -> Result<(Arc<Program>, u64), String> {
+        {
+            let cache = self.programs.lock().expect("program cache poisoned");
+            if let Some((program, fingerprint)) = cache.get(src) {
+                return Ok((Arc::clone(program), *fingerprint));
+            }
+        }
+        // Parse outside the lock: parsing is cheap but not free, and a
+        // slow parse must not serialize unrelated requests. A racing
+        // duplicate parse of the same source is harmless (same result).
+        let program = parse_program(src).map_err(|e| e.to_string())?;
+        let fingerprint = program.fingerprint();
+        let program = Arc::new(program);
+        let mut cache = self.programs.lock().expect("program cache poisoned");
+        if cache.len() >= MAX_PARSED_PROGRAMS {
+            cache.clear();
+        }
+        cache.insert(src.to_owned(), (Arc::clone(&program), fingerprint));
+        Ok((program, fingerprint))
+    }
+}
+
+/// Folds `event` into `events`, merging with an existing entry for the
+/// same budget and function (mirrors `DegradationReport` merging).
+fn merge_event(events: &mut Vec<DegradationEvent>, event: DegradationEvent) {
+    if let Some(mine) = events
+        .iter_mut()
+        .find(|m| m.budget == event.budget && m.function == event.function)
+    {
+        mine.count += event.count;
+        return;
+    }
+    events.push(event);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Engine;
+    use ppe_online::ExhaustionPolicy;
+
+    const POWER: &str = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+
+    fn request(inputs: &[&str]) -> SpecializeRequest {
+        SpecializeRequest::new(POWER, inputs.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache() {
+        let service = SpecializeService::new(ServiceConfig::default());
+        let mut ctx = EngineContext::new();
+        let req = request(&["_", "3"]);
+        let first = service.handle(&req, &mut ctx);
+        assert_eq!(first.disposition, CacheDisposition::Miss, "{first:?}");
+        let out = first.outcome.unwrap();
+        assert!(out.residual.contains("power"), "{}", out.residual);
+        let second = service.handle(&req, &mut ctx);
+        assert_eq!(second.disposition, CacheDisposition::Hit);
+        assert_eq!(second.outcome.unwrap().residual, out.residual);
+        let s = service.metrics().snapshot();
+        assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
+    }
+
+    #[test]
+    fn different_policies_never_share_entries() {
+        let service = SpecializeService::new(ServiceConfig::default());
+        let mut ctx = EngineContext::new();
+        let req = request(&["_", "3"]);
+        service.handle(&req, &mut ctx);
+        let mut tighter = request(&["_", "3"]);
+        tighter.config.max_unfold_depth = 1;
+        tighter.config.on_exhaustion = ExhaustionPolicy::Degrade;
+        let r = service.handle(&tighter, &mut ctx);
+        assert_eq!(r.disposition, CacheDisposition::Miss);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_cached() {
+        let service = SpecializeService::new(ServiceConfig::default());
+        let mut ctx = EngineContext::new();
+        let req = SpecializeRequest::new("(define (f x)", vec!["_".into()]);
+        let r = service.handle(&req, &mut ctx);
+        assert_eq!(r.disposition, CacheDisposition::Unreached);
+        assert!(r.outcome.is_err());
+        assert_eq!(service.metrics().snapshot().errors, 1);
+        assert_eq!(service.cache().len(), 0);
+    }
+
+    #[test]
+    fn arity_and_function_validation() {
+        let service = SpecializeService::new(ServiceConfig::default());
+        let mut ctx = EngineContext::new();
+        let r = service.handle(&request(&["_"]), &mut ctx);
+        assert!(r.outcome.unwrap_err().contains("expects 2 inputs"));
+        let mut named = request(&["_", "3"]);
+        named.function = Some("nope".into());
+        let r = service.handle(&named, &mut ctx);
+        assert!(r.outcome.unwrap_err().contains("no function"));
+    }
+
+    #[test]
+    fn offline_engine_reuses_analysis_across_requests() {
+        let service = SpecializeService::new(ServiceConfig::default());
+        let mut ctx = EngineContext::new();
+        let mut a = request(&["_:sign=pos", "2"]);
+        a.engine = Engine::Offline;
+        a.facets = vec!["sign".into()];
+        let mut b = request(&["_:sign=pos", "2"]);
+        b.engine = Engine::Offline;
+        b.facets = vec!["sign".into()];
+        // Different optimize flag → different residual key, same analysis.
+        b.optimize = true;
+        assert!(service.handle(&a, &mut ctx).outcome.is_ok());
+        assert!(service.handle(&b, &mut ctx).outcome.is_ok());
+        let s = service.metrics().snapshot();
+        assert_eq!(s.cache_misses, 2, "distinct residual keys");
+        assert_eq!(s.analysis_misses, 1, "one analysis");
+        assert_eq!(s.analysis_hits, 1, "reused for the second request");
+        assert_eq!(ctx.cached_analyses(), 1);
+    }
+
+    #[test]
+    fn cache_bytes_degradation_is_surfaced() {
+        // Budget far below any residual: everything is rejected.
+        let service = SpecializeService::new(ServiceConfig {
+            cache_bytes: 16,
+            shards: 1,
+        });
+        let mut ctx = EngineContext::new();
+        let r = service.handle(&request(&["_", "3"]), &mut ctx);
+        let out = r.outcome.unwrap();
+        assert!(
+            out.degradations
+                .iter()
+                .any(|e| e.budget == Budget::CacheBytes),
+            "{:?}",
+            out.degradations
+        );
+        assert_eq!(service.metrics().snapshot().cache_rejected, 1);
+        assert_eq!(service.metrics().snapshot().degraded, 1);
+    }
+
+    #[test]
+    fn engine_errors_carry_the_key_and_count_as_errors() {
+        let service = SpecializeService::new(ServiceConfig::default());
+        let mut ctx = EngineContext::new();
+        let mut req = request(&["_", "1000000"]);
+        req.config.fuel = 10; // trips immediately under Fail
+        let r = service.handle(&req, &mut ctx);
+        assert!(r.outcome.is_err());
+        assert!(r.key.is_some());
+        assert_eq!(service.metrics().snapshot().errors, 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-engine determinism and degradation isolation for the batch
+//! driver: a batch answered by 8 workers must produce exactly the
+//! responses the same batch produces serially, and one degraded request
+//! must not contaminate its neighbors' reports.
+
+use ppe_server::{
+    run_batch, BatchOptions, Engine, ServiceConfig, SpecializeRequest, SpecializeService,
+};
+
+/// `(name, source, input spec, facet names)` — a miniature of the
+/// workspace's corpus, exercising recursion, mutual recursion, facet
+/// refinements, and vector programs.
+const CORPUS: &[(&str, &str, &str, &[&str])] = &[
+    (
+        "power",
+        "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))",
+        "_ 3",
+        &["sign", "parity"],
+    ),
+    (
+        "sum-to",
+        "(define (sum-to x n) (if (= n 0) x (+ x (sum-to x (- n 1)))))",
+        "_ 4",
+        &["sign"],
+    ),
+    (
+        "gauss",
+        "(define (gauss n acc) (if (= n 0) acc (gauss (- n 1) (+ acc n))))",
+        "5 0",
+        &["range"],
+    ),
+    (
+        "abs-scale",
+        "(define (abs-scale x k) (let ((a (if (< x 0) (neg x) x))) (* a k)))",
+        "_:sign=pos 3",
+        &["sign"],
+    ),
+    (
+        "even-odd",
+        "(define (evn n) (if (= n 0) #t (odd (- n 1))))
+         (define (odd n) (if (= n 0) #f (evn (- n 1))))",
+        "_:parity=even",
+        &["parity"],
+    ),
+    (
+        "iprod",
+        "(define (iprod a b) (let ((n (vsize a))) (dotprod a b n)))
+         (define (dotprod a b n)
+           (if (= n 0) 0.0
+               (+ (* (vref a n) (vref b n)) (dotprod a b (- n 1)))))",
+        "_:size=3 _:size=3",
+        &["size"],
+    ),
+];
+
+fn corpus_requests() -> Vec<SpecializeRequest> {
+    let mut requests = Vec::new();
+    for engine in [Engine::Online, Engine::Simple, Engine::Offline] {
+        for (_, src, inputs, facets) in CORPUS {
+            let mut req = SpecializeRequest::new(
+                *src,
+                inputs.split_whitespace().map(str::to_owned).collect(),
+            );
+            req.engine = engine;
+            req.facets = facets.iter().map(|s| s.to_string()).collect();
+            requests.push(req);
+        }
+    }
+    requests
+}
+
+/// The canonical comparable form of a response: residual text or error.
+fn outcome_text(r: &ppe_server::SpecializeResponse) -> String {
+    match &r.outcome {
+        Ok(out) => format!("ok:{}", out.residual),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+#[test]
+fn eight_workers_agree_with_one_on_the_whole_corpus() {
+    // Repeat the corpus so the parallel run exercises hits and coalescing,
+    // not just independent misses.
+    let mut requests = corpus_requests();
+    requests.extend(corpus_requests());
+    let serial: Vec<String> = {
+        let service = SpecializeService::new(ServiceConfig::default());
+        run_batch(&service, &requests, BatchOptions { jobs: 1 })
+            .iter()
+            .map(outcome_text)
+            .collect()
+    };
+    let parallel: Vec<String> = {
+        let service = SpecializeService::new(ServiceConfig::default());
+        run_batch(&service, &requests, BatchOptions { jobs: 8 })
+            .iter()
+            .map(outcome_text)
+            .collect()
+    };
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s, p, "request {i} diverged between jobs=1 and jobs=8");
+    }
+}
+
+#[test]
+fn a_fuel_tripped_request_degrades_alone() {
+    let base = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+    let mut requests = vec![
+        SpecializeRequest::new(base, vec!["_".into(), "3".into()]),
+        SpecializeRequest::new(base, vec!["_".into(), "9".into()]),
+        SpecializeRequest::new(base, vec!["_".into(), "4".into()]),
+    ];
+    // The middle request runs out of fuel and degrades; its neighbors use
+    // the default (ample) budget.
+    requests[1].config.fuel = 4;
+    requests[1].config.on_exhaustion = ppe_online::ExhaustionPolicy::Degrade;
+
+    let service = SpecializeService::new(ServiceConfig::default());
+    let responses = run_batch(&service, &requests, BatchOptions { jobs: 3 });
+    assert_eq!(responses.len(), 3);
+
+    let tripped = responses[1].outcome.as_ref().expect("degrade, not fail");
+    assert!(
+        tripped
+            .degradations
+            .iter()
+            .any(|e| e.budget == ppe_online::Budget::Fuel),
+        "fuel trip must appear in the degraded request's own report: {:?}",
+        tripped.degradations
+    );
+    for i in [0, 2] {
+        let clean = responses[i].outcome.as_ref().expect("plenty of budget");
+        assert!(
+            clean.degradations.is_empty(),
+            "request {i} must not inherit its neighbor's degradation: {:?}",
+            clean.degradations
+        );
+    }
+    assert_eq!(service.metrics().snapshot().degraded, 1);
+}
+
+#[test]
+fn degraded_entries_replay_their_report_on_hits() {
+    let base = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+    let mut req = SpecializeRequest::new(base, vec!["_".into(), "9".into()]);
+    req.config.fuel = 4;
+    req.config.on_exhaustion = ppe_online::ExhaustionPolicy::Degrade;
+    let service = SpecializeService::new(ServiceConfig::default());
+    let responses = run_batch(&service, &[req.clone(), req], BatchOptions { jobs: 1 });
+    let first = responses[0].outcome.as_ref().unwrap();
+    let second = responses[1].outcome.as_ref().unwrap();
+    assert!(!first.degradations.is_empty());
+    assert_eq!(
+        first.degradations.len(),
+        second.degradations.len(),
+        "a hit on a degraded entry is still a degraded answer"
+    );
+    assert_eq!(service.metrics().snapshot().degraded, 2);
+}

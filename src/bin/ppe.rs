@@ -4,6 +4,13 @@
 //! ppe run <file.sexp> ARG...            evaluate the main function
 //! ppe specialize <file.sexp> INPUT...   specialize (online by default)
 //! ppe analyze <file.sexp> INPUT...      facet analysis report (Figure 9 style)
+//! ppe batch <requests.jsonl|->          answer a batch of JSON requests
+//!     [--jobs N] [--cache-mb N]         through the shared residual cache;
+//!     [--program <file.sexp>]           residuals on stdout (input order),
+//!                                       metrics JSON on stderr
+//! ppe serve [--jobs N] [--cache-mb N]   JSON-lines service on stdin/stdout
+//!                                       (one request line in, one response
+//!                                       line out, in order)
 //!
 //! ARG    ::= 5 | -3 | 2.5 | #t | #f | vec:1.0,2.0,3.0
 //! INPUT  ::= ARG                         a known input
@@ -39,17 +46,17 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use ppe::core::facets::{
-    ConstSetFacet, ContentsFacet, ParityFacet, ParityVal, RangeFacet, RangeVal, SignFacet, SignVal,
-    SizeFacet, SizeVal, TypeFacet,
-};
-use ppe::core::{AbsVal, FacetSet};
 use ppe::lang::{
-    optimize_program, parse_program, pretty_program, prune_unused_params, Const, Evaluator,
-    OptLevel, Program, Value,
+    optimize_program, parse_program, pretty_program, prune_unused_params, Evaluator, OptLevel,
+    Program, Value,
 };
 use ppe::offline::{analyze_with_config, AbstractInput, OfflinePe};
 use ppe::online::{ExhaustionPolicy, OnlinePe, PeConfig, PeInput};
+use ppe::server::spec::{build_facets, parse_input, parse_value, ALL_FACETS};
+use ppe::server::{
+    run_batch, serve, BatchOptions, Json, ServeOptions, ServiceConfig, SpecializeRequest,
+    SpecializeService,
+};
 
 /// Stack size for the worker thread. Deeply recursive source programs drive
 /// equally deep recursion in the specializer walks; the guarded recursion
@@ -97,6 +104,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => cmd_run(&args[1..]),
         "specialize" => cmd_specialize(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -108,6 +117,8 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage: ppe <run|specialize|analyze> <file> [inputs…] [--facets LIST] [--offline] [--constraints]\n\
      \u{20}       [--fuel N] [--deadline-ms N] [--max-residual-size N] [--on-exhaustion=fail|degrade]\n\
+     \u{20}      ppe batch <requests.jsonl|-> [--jobs N] [--cache-mb N] [--program <file.sexp>]\n\
+     \u{20}      ppe serve [--jobs N] [--cache-mb N]\n\
      see `cargo doc` or the README for the input syntax"
         .to_owned()
 }
@@ -151,18 +162,7 @@ impl Opts {
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut file = None;
     let mut inputs = Vec::new();
-    let mut facets = vec![
-        "sign",
-        "parity",
-        "range",
-        "size",
-        "contents",
-        "const-set",
-        "type",
-    ]
-    .into_iter()
-    .map(str::to_owned)
-    .collect::<Vec<_>>();
+    let mut facets = ALL_FACETS.iter().map(|s| s.to_string()).collect::<Vec<_>>();
     let mut offline = false;
     let mut constraints = false;
     let mut optimize = false;
@@ -254,133 +254,6 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 fn load(file: &str) -> Result<Program, String> {
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
     parse_program(&src).map_err(|e| e.to_string())
-}
-
-fn build_facets(names: &[String]) -> Result<FacetSet, String> {
-    let mut set = FacetSet::new();
-    for n in names {
-        match n.as_str() {
-            "sign" => {
-                set.push(Box::new(SignFacet));
-            }
-            "parity" => {
-                set.push(Box::new(ParityFacet));
-            }
-            "range" => {
-                set.push(Box::new(RangeFacet));
-            }
-            "size" => {
-                set.push(Box::new(SizeFacet));
-            }
-            "contents" => {
-                set.push(Box::new(ContentsFacet));
-            }
-            "const-set" => {
-                set.push(Box::new(ConstSetFacet::default()));
-            }
-            "type" => {
-                set.push(Box::new(TypeFacet));
-            }
-            other => return Err(format!("unknown facet `{other}`")),
-        }
-    }
-    Ok(set)
-}
-
-/// Parses a concrete value argument: `5`, `-3`, `2.5`, `#t`, `#f`,
-/// `vec:1.0,2.0`.
-fn parse_value(s: &str) -> Result<Value, String> {
-    if let Some(rest) = s.strip_prefix("vec:") {
-        let elems: Result<Vec<Value>, String> =
-            rest.split(',').map(|e| parse_value(e.trim())).collect();
-        return Ok(Value::vector(elems?));
-    }
-    match s {
-        "#t" => return Ok(Value::Bool(true)),
-        "#f" => return Ok(Value::Bool(false)),
-        _ => {}
-    }
-    if let Ok(n) = s.parse::<i64>() {
-        return Ok(Value::Int(n));
-    }
-    if let Ok(x) = s.parse::<f64>() {
-        if x.is_nan() {
-            return Err("NaN is not a value".to_owned());
-        }
-        return Ok(Value::Float(x));
-    }
-    Err(format!("cannot parse value `{s}`"))
-}
-
-/// Parses one facet refinement `facet=spec` into `(facet name, value)`.
-fn parse_refinement(s: &str) -> Result<(String, AbsVal), String> {
-    let (facet, spec) = s
-        .split_once('=')
-        .ok_or_else(|| format!("refinement `{s}` must look like facet=value"))?;
-    let abs = match facet {
-        "sign" => AbsVal::new(match spec {
-            "pos" => SignVal::Pos,
-            "neg" => SignVal::Neg,
-            "zero" => SignVal::Zero,
-            _ => return Err(format!("sign must be pos|neg|zero, got `{spec}`")),
-        }),
-        "parity" => AbsVal::new(match spec {
-            "even" => ParityVal::Even,
-            "odd" => ParityVal::Odd,
-            _ => return Err(format!("parity must be even|odd, got `{spec}`")),
-        }),
-        "size" => AbsVal::new(SizeVal::Known(
-            spec.parse::<i64>()
-                .map_err(|_| format!("size must be an integer, got `{spec}`"))?,
-        )),
-        "range" => {
-            let (lo, hi) = spec
-                .split_once("..")
-                .ok_or_else(|| format!("range must be LO..HI, got `{spec}`"))?;
-            let parse_bound = |b: &str| -> Result<Option<i64>, String> {
-                if b.is_empty() {
-                    Ok(None)
-                } else {
-                    b.parse::<i64>()
-                        .map(Some)
-                        .map_err(|_| format!("bad range bound `{b}`"))
-                }
-            };
-            AbsVal::new(RangeVal::Range {
-                lo: parse_bound(lo)?,
-                hi: parse_bound(hi)?,
-            })
-        }
-        "const-set" => {
-            let consts: Result<Vec<Const>, String> = spec
-                .split('|')
-                .map(|c| {
-                    parse_value(c)?
-                        .to_const()
-                        .ok_or_else(|| format!("`{c}` is not a constant"))
-                })
-                .collect();
-            AbsVal::new(ppe::core::facets::ConstSetVal::of(consts?))
-        }
-        other => return Err(format!("no refinement syntax for facet `{other}`")),
-    };
-    Ok((facet.to_owned(), abs))
-}
-
-/// Parses one specialization input.
-fn parse_input(s: &str) -> Result<PeInput, String> {
-    if s == "_" {
-        return Ok(PeInput::dynamic());
-    }
-    if let Some(rest) = s.strip_prefix("_:") {
-        let mut input = PeInput::dynamic();
-        for part in rest.split(':') {
-            let (facet, abs) = parse_refinement(part)?;
-            input = input.with_facet(&facet, abs);
-        }
-        return Ok(input);
-    }
-    Ok(PeInput::known(parse_value(s)?))
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -498,47 +371,177 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Options shared by the `batch` and `serve` service commands.
+struct ServerOpts {
+    jobs: usize,
+    cache_mb: usize,
+    program: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_server_opts(args: &[String]) -> Result<ServerOpts, String> {
+    let mut opts = ServerOpts {
+        jobs: 1,
+        cache_mb: 64,
+        program: None,
+        positional: Vec::new(),
+    };
+    let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        let arg = &args[*i];
+        if let Some(v) = arg.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+            return Ok(v.to_owned());
+        }
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let flag = arg.split('=').next().unwrap_or(&arg);
+        match flag {
+            "--jobs" => {
+                let v = take_value(args, &mut i, "--jobs")?;
+                opts.jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--jobs must be a positive integer, got `{v}`"))?;
+            }
+            "--cache-mb" => {
+                let v = take_value(args, &mut i, "--cache-mb")?;
+                opts.cache_mb = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--cache-mb must be a non-negative integer, got `{v}`"))?;
+            }
+            "--program" => {
+                opts.program = Some(take_value(args, &mut i, "--program")?);
+            }
+            _ => opts.positional.push(arg),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn service_for(opts: &ServerOpts) -> SpecializeService {
+    SpecializeService::new(ServiceConfig {
+        cache_bytes: opts.cache_mb << 20,
+        ..ServiceConfig::default()
+    })
+}
+
+/// `ppe batch`: answer every request line of a JSONL file (or stdin with
+/// `-`) through one shared service. Residuals go to stdout in request
+/// order; everything run-dependent (cache dispositions, wall times,
+/// metrics) goes to stderr, so the stdout of a batch is byte-identical
+/// whatever `--jobs` is.
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let opts = parse_server_opts(args)?;
+    let Some(path) = opts.positional.first() else {
+        return Err(format!(
+            "batch needs a requests file (or `-` for stdin)\n{}",
+            usage()
+        ));
+    };
+    let text = if path == "-" {
+        use std::io::Read as _;
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        s
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
+    };
+    let default_program = match &opts.program {
+        Some(file) => {
+            Some(std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?)
+        }
+        None => None,
+    };
+    // Requests that fail to parse keep their slot so output stays aligned
+    // with input lines.
+    let parsed: Vec<Result<SpecializeRequest, String>> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| {
+            let mut v = Json::parse(line)?;
+            if v.get("program").is_none() {
+                if let (Json::Obj(map), Some(src)) = (&mut v, &default_program) {
+                    map.insert("program".to_owned(), Json::str(src.clone()));
+                }
+            }
+            SpecializeRequest::from_json(&v)
+        })
+        .collect();
+    let good: Vec<SpecializeRequest> = parsed
+        .iter()
+        .filter_map(|r| r.as_ref().ok().cloned())
+        .collect();
+    let service = service_for(&opts);
+    let mut responses = run_batch(&service, &good, BatchOptions { jobs: opts.jobs }).into_iter();
+    for (i, p) in parsed.iter().enumerate() {
+        let outcome = match p {
+            Err(msg) => Err(msg.clone()),
+            Ok(_) => {
+                let r = responses.next().expect("one response per request");
+                r.outcome.map_err(|e| e.to_string())
+            }
+        };
+        match outcome {
+            Err(msg) => println!(";; request {i} error: {msg}"),
+            Ok(out) => {
+                println!(";; request {i}");
+                for e in &out.degradations {
+                    println!(";; degraded: {e}");
+                }
+                println!("{}", out.residual.trim_end());
+            }
+        }
+    }
+    eprintln!("{}", service.metrics().snapshot().to_json().render());
+    Ok(())
+}
+
+/// `ppe serve`: the JSON-lines request/response loop on stdin/stdout.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let opts = parse_server_opts(args)?;
+    if let Some(extra) = opts.positional.first() {
+        return Err(format!("serve takes no positional argument, got `{extra}`"));
+    }
+    let service = service_for(&opts);
+    let stdin = std::io::stdin();
+    let summary = serve(
+        &service,
+        stdin.lock(),
+        std::io::stdout(),
+        ServeOptions { jobs: opts.jobs },
+    )
+    .map_err(|e| format!("serve I/O error: {e}"))?;
+    eprintln!(
+        "; served {} lines: {} requests, {} errors",
+        summary.lines, summary.requests, summary.errors
+    );
+    eprintln!("{}", service.metrics().snapshot().to_json().render());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn parses_values() {
-        assert_eq!(parse_value("5").unwrap(), Value::Int(5));
-        assert_eq!(parse_value("-3").unwrap(), Value::Int(-3));
-        assert_eq!(parse_value("#t").unwrap(), Value::Bool(true));
-        assert_eq!(parse_value("2.5").unwrap(), Value::Float(2.5));
-        assert_eq!(
-            parse_value("vec:1.0,2.0").unwrap(),
-            Value::vector(vec![Value::Float(1.0), Value::Float(2.0)])
-        );
-        assert!(parse_value("wat").is_err());
-    }
-
-    #[test]
-    fn parses_inputs() {
-        assert!(matches!(parse_input("_").unwrap(), PeInput::Dynamic { .. }));
-        assert!(matches!(parse_input("7").unwrap(), PeInput::Known(_)));
-        let refined = parse_input("_:size=3:sign=pos").unwrap();
-        match refined {
-            PeInput::Dynamic { refinements } => {
-                assert_eq!(refinements.len(), 2);
-                assert_eq!(refinements[0].0, "size");
-                assert_eq!(refinements[1].0, "sign");
-            }
-            other => panic!("expected refined dynamic, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn parses_refinements() {
-        assert!(parse_refinement("sign=pos").is_ok());
-        assert!(parse_refinement("parity=odd").is_ok());
-        assert!(parse_refinement("range=0..10").is_ok());
-        assert!(parse_refinement("range=..10").is_ok());
-        assert!(parse_refinement("const-set=1|2|3").is_ok());
-        assert!(parse_refinement("sign=sideways").is_err());
-        assert!(parse_refinement("nonsense").is_err());
+    fn parses_server_options() {
+        let to_args = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let opts =
+            parse_server_opts(&to_args(&["reqs.jsonl", "--jobs", "8", "--cache-mb=16"])).unwrap();
+        assert_eq!(opts.positional, vec!["reqs.jsonl"]);
+        assert_eq!(opts.jobs, 8);
+        assert_eq!(opts.cache_mb, 16);
+        assert!(opts.program.is_none());
+        let opts = parse_server_opts(&to_args(&["-", "--program", "p.sexp"])).unwrap();
+        assert_eq!(opts.program.as_deref(), Some("p.sexp"));
+        assert!(parse_server_opts(&to_args(&["--jobs", "many"])).is_err());
     }
 
     #[test]
@@ -593,12 +596,5 @@ mod tests {
         assert!(parse_opts(&to_args(&["p.sexp", "--fuel", "lots"])).is_err());
         assert!(parse_opts(&to_args(&["p.sexp", "--deadline-ms"])).is_err());
         assert!(parse_opts(&to_args(&["p.sexp", "--on-exhaustion=maybe"])).is_err());
-    }
-
-    #[test]
-    fn builds_facet_sets() {
-        let set = build_facets(&["sign".into(), "size".into()]).unwrap();
-        assert_eq!(set.len(), 2);
-        assert!(build_facets(&["bogus".into()]).is_err());
     }
 }

@@ -17,6 +17,10 @@
 //!   the conventional simple partial evaluator (Figure 2).
 //! - [`offline`] — facet analysis (Figure 4), the analysis-driven
 //!   specializer, and the higher-order analysis (Figures 5–6).
+//! - [`server`] — the concurrent specialization service: a sharded
+//!   content-addressed residual cache with single-flight deduplication,
+//!   a work-stealing batch driver, and a JSON-lines serve loop (the
+//!   `ppe batch` / `ppe serve` subcommands).
 //!
 //! ## Quickstart
 //!
@@ -83,3 +87,4 @@ pub use ppe_core as core;
 pub use ppe_lang as lang;
 pub use ppe_offline as offline;
 pub use ppe_online as online;
+pub use ppe_server as server;

@@ -1,0 +1,174 @@
+//! End-to-end tests of the service subcommands, driving the real binary:
+//! `ppe batch` must print byte-identical stdout at any `--jobs`, and
+//! `ppe serve` must answer JSON-lines requests in order.
+
+mod common;
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+use common::CORPUS;
+use ppe::server::Json;
+
+fn ppe_with_stdin(args: &[&str], stdin_text: &str) -> (bool, String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ppe"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("ppe binary runs");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(stdin_text.as_bytes())
+        .expect("write requests");
+    let out = child.wait_with_output().expect("ppe binary exits");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn request_line(src: &str, inputs: &str, extra: &[(&str, Json)]) -> String {
+    let mut fields = vec![("program", Json::str(src)), ("inputs", Json::str(inputs))];
+    fields.extend(extra.iter().cloned());
+    Json::obj(fields).render()
+}
+
+/// A batch over the whole corpus with repeats (so the parallel run sees
+/// cache hits and coalescing) and mixed engines.
+fn corpus_batch() -> String {
+    let mut lines = Vec::new();
+    for (_, src, arity) in CORPUS {
+        let inputs = match arity {
+            1 => "_".to_owned(),
+            n => {
+                let mut parts = vec!["_".to_owned()];
+                parts.extend((1..*n).map(|k| format!("{}", k + 2)));
+                parts.join(" ")
+            }
+        };
+        lines.push(request_line(src, &inputs, &[]));
+        lines.push(request_line(
+            src,
+            &inputs,
+            &[("engine", Json::str("simple"))],
+        ));
+        lines.push(request_line(
+            src,
+            &inputs,
+            &[("engine", Json::str("offline"))],
+        ));
+        // Exact repeat: answered from the cache (or coalesced) under
+        // --jobs 8, recomputed never.
+        lines.push(request_line(src, &inputs, &[]));
+    }
+    lines.join("\n") + "\n"
+}
+
+#[test]
+fn batch_stdout_is_byte_identical_across_job_counts() {
+    let batch = corpus_batch();
+    let (ok1, serial, err1) = ppe_with_stdin(&["batch", "-", "--jobs", "1"], &batch);
+    assert!(ok1, "{err1}");
+    let (ok8, parallel, err8) = ppe_with_stdin(&["batch", "-", "--jobs", "8"], &batch);
+    assert!(ok8, "{err8}");
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "batch stdout must not depend on worker count"
+    );
+    // The run-dependent channel (metrics) is stderr, and the parallel run
+    // really did share work: fewer misses than requests.
+    let metrics = Json::parse(err8.lines().last().unwrap()).expect("metrics JSON on stderr");
+    let requests = metrics.get("requests").and_then(Json::as_u64).unwrap();
+    let misses = metrics.get("cache_misses").and_then(Json::as_u64).unwrap();
+    assert_eq!(requests as usize, 4 * CORPUS.len());
+    assert!(misses < requests, "repeats must not recompute: {metrics:?}");
+}
+
+#[test]
+fn batch_reports_bad_lines_in_place() {
+    let batch = format!(
+        "{}\nnot json at all\n{}\n",
+        request_line(CORPUS[0].1, "_ 3", &[]),
+        request_line(CORPUS[0].1, "_ 4", &[])
+    );
+    let (ok, stdout, stderr) = ppe_with_stdin(&["batch", "-"], &batch);
+    assert!(ok, "{stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(lines[0].starts_with(";; request 0"), "{stdout}");
+    assert!(
+        lines.iter().any(|l| l.starts_with(";; request 1 error:")),
+        "bad line keeps its slot: {stdout}"
+    );
+    assert!(
+        lines.iter().any(|l| l.starts_with(";; request 2")),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn serve_answers_three_requests_in_order_and_shuts_down() {
+    let (_, power, _) = CORPUS[0];
+    let input = format!(
+        "{}\n{}\n{}\n{}\n{}\n",
+        request_line(power, "_ 2", &[("id", Json::num(0))]),
+        request_line(power, "_ 3", &[("id", Json::num(1))]),
+        request_line(power, "_ 2", &[("id", Json::num(2))]),
+        r#"{"cmd": "metrics"}"#,
+        r#"{"cmd": "shutdown"}"#
+    );
+    let (ok, stdout, stderr) = ppe_with_stdin(&["serve", "--jobs", "2"], &input);
+    assert!(ok, "{stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "{stdout}");
+    for (i, line) in lines[..3].iter().enumerate() {
+        let v = Json::parse(line).expect("response is JSON");
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(i as u64), "{line}");
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{line}");
+        assert!(
+            v.get("residual")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("power"),
+            "{line}"
+        );
+    }
+    // Requests 0 and 2 are identical: same key, and the repeat is a hit
+    // (or coalesced), never a second miss.
+    let key = |line: &str| {
+        Json::parse(line)
+            .unwrap()
+            .get("key")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned()
+    };
+    assert_eq!(key(lines[0]), key(lines[2]));
+    assert_ne!(key(lines[0]), key(lines[1]));
+    let metrics = Json::parse(lines[3]).unwrap();
+    assert_eq!(metrics.get("ok"), Some(&Json::Bool(true)), "{stdout}");
+    let shutdown = Json::parse(lines[4]).unwrap();
+    assert_eq!(
+        shutdown.get("shutdown"),
+        Some(&Json::Bool(true)),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn serve_survives_malformed_input() {
+    let input = "garbage\n{\"program\": \"(define (f x)\", \"inputs\": \"_\"}\n";
+    let (ok, stdout, stderr) = ppe_with_stdin(&["serve"], input);
+    assert!(ok, "{stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    for line in &lines {
+        let v = Json::parse(line).expect("error responses are still JSON");
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{line}");
+    }
+}
