@@ -1,0 +1,153 @@
+//! Pass 1: well-formedness of raw definitions.
+//!
+//! Operates on the *lenient* parse ([`ppe_lang::parse_defs`]) so that
+//! every semantic problem — not just the first — is reported with a
+//! structured code and location. The conditions mirror
+//! `Program::validate`, which the engines run as a gate; the point of
+//! duplicating them here is completeness (all findings at once) and
+//! structure (codes, severities, paths) rather than a single string.
+
+use std::collections::{HashMap, HashSet};
+
+use ppe_lang::diag::Diagnostic;
+use ppe_lang::{Expr, FunDef, Symbol};
+
+/// Checks duplicate definitions, duplicate parameters, unbound variables,
+/// unknown functions, call-site arity, and shadowing over raw defs.
+pub fn check(defs: &[FunDef], out: &mut Vec<Diagnostic>) {
+    if defs.is_empty() {
+        out.push(Diagnostic::error("E0001", "program has no definitions"));
+        return;
+    }
+    // Known functions and their arity: first definition wins, duplicates
+    // are reported but still resolvable at call sites.
+    let mut arity: HashMap<Symbol, usize> = HashMap::new();
+    let mut seen: HashSet<Symbol> = HashSet::new();
+    for def in defs {
+        if !seen.insert(def.name) {
+            out.push(
+                Diagnostic::error("E0002", format!("duplicate definition of `{}`", def.name))
+                    .in_function(def.name),
+            );
+        }
+        arity.entry(def.name).or_insert(def.arity());
+    }
+    for def in defs {
+        let mut params_seen = HashSet::new();
+        for p in &def.params {
+            if !params_seen.insert(*p) {
+                out.push(
+                    Diagnostic::error(
+                        "E0003",
+                        format!("duplicate parameter `{p}` in definition of `{}`", def.name),
+                    )
+                    .in_function(def.name),
+                );
+            }
+        }
+        let mut scope: Vec<Symbol> = def.params.clone();
+        check_expr(&def.body, &mut scope, &arity, def.name, "body", out);
+    }
+}
+
+fn check_expr(
+    e: &Expr,
+    scope: &mut Vec<Symbol>,
+    arity: &HashMap<Symbol, usize>,
+    function: Symbol,
+    path: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    match e {
+        Expr::Const(_) => {}
+        Expr::Var(x) => {
+            if !scope.contains(x) {
+                out.push(
+                    Diagnostic::error("E0004", format!("unbound variable `{x}`"))
+                        .in_function(function)
+                        .at_path(path),
+                );
+            }
+        }
+        Expr::FnRef(f) => {
+            if !arity.contains_key(f) {
+                out.push(
+                    Diagnostic::error("E0005", format!("reference to unknown function `{f}`"))
+                        .in_function(function)
+                        .at_path(path),
+                );
+            }
+        }
+        Expr::Prim(_, args) => {
+            for (i, a) in args.iter().enumerate() {
+                check_expr(a, scope, arity, function, &format!("{path}.arg{i}"), out);
+            }
+        }
+        Expr::Call(f, args) => {
+            match arity.get(f) {
+                None => out.push(
+                    Diagnostic::error("E0005", format!("call to unknown function `{f}`"))
+                        .in_function(function)
+                        .at_path(path),
+                ),
+                Some(n) if *n != args.len() => out.push(
+                    Diagnostic::error(
+                        "E0006",
+                        format!(
+                            "`{f}` expects {n} arguments but is called with {}",
+                            args.len()
+                        ),
+                    )
+                    .in_function(function)
+                    .at_path(path),
+                ),
+                Some(_) => {}
+            }
+            for (i, a) in args.iter().enumerate() {
+                check_expr(a, scope, arity, function, &format!("{path}.arg{i}"), out);
+            }
+        }
+        Expr::If(c, t, f) => {
+            check_expr(c, scope, arity, function, &format!("{path}.cond"), out);
+            check_expr(t, scope, arity, function, &format!("{path}.then"), out);
+            check_expr(f, scope, arity, function, &format!("{path}.else"), out);
+        }
+        Expr::Let(x, b, body) => {
+            check_expr(b, scope, arity, function, &format!("{path}.bound"), out);
+            if scope.contains(x) {
+                out.push(
+                    Diagnostic::warning("W0001", format!("`{x}` shadows an enclosing binding"))
+                        .in_function(function)
+                        .at_path(path),
+                );
+            }
+            scope.push(*x);
+            check_expr(body, scope, arity, function, &format!("{path}.body"), out);
+            scope.pop();
+        }
+        Expr::Lambda(params, body) => {
+            for p in params {
+                if scope.contains(p) {
+                    out.push(
+                        Diagnostic::warning(
+                            "W0001",
+                            format!("lambda parameter `{p}` shadows an enclosing binding"),
+                        )
+                        .in_function(function)
+                        .at_path(path),
+                    );
+                }
+            }
+            let depth = scope.len();
+            scope.extend(params.iter().copied());
+            check_expr(body, scope, arity, function, &format!("{path}.lambda"), out);
+            scope.truncate(depth);
+        }
+        Expr::App(f, args) => {
+            check_expr(f, scope, arity, function, &format!("{path}.callee"), out);
+            for (i, a) in args.iter().enumerate() {
+                check_expr(a, scope, arity, function, &format!("{path}.arg{i}"), out);
+            }
+        }
+    }
+}

@@ -18,26 +18,17 @@ use ppe_lang::Value;
 use crate::pe_val::PeVal;
 use crate::product::{FacetSet, ProductVal};
 
-/// Whether `v` is in the concretization of the partial-evaluation
-/// component (component 0 of every product).
-fn pe_concretizes(pe: &PeVal, v: &Value) -> bool {
-    match pe {
-        PeVal::Bottom => false,
-        PeVal::Const(c) => Value::from_const(*c) == *v,
-        PeVal::Top => true,
-    }
-}
-
 /// Returns a witness value from `candidates` that lies in every
 /// component's concretization, if any — evidence that `value` is
-/// consistent (Definition 6).
+/// consistent (Definition 6). Membership of the PE component is
+/// [`PeVal::concretizes`].
 pub fn find_witness<'a>(
     value: &ProductVal,
     set: &FacetSet,
     candidates: impl IntoIterator<Item = &'a Value>,
 ) -> Option<&'a Value> {
     candidates.into_iter().find(|v| {
-        pe_concretizes(value.pe(), v)
+        value.pe().concretizes(v)
             && set
                 .iter()
                 .enumerate()

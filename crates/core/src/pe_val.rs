@@ -62,6 +62,32 @@ impl PeVal {
     pub fn is_const(&self) -> bool {
         matches!(self, PeVal::Const(_))
     }
+
+    /// Whether `v` lies in this value's concretization: `⊥` describes no
+    /// value, a constant describes exactly that value, `⊤` describes all.
+    ///
+    /// This is the PE facet's membership predicate `d ⊑_τ̂ v̂` used by the
+    /// Definition-6 consistency check and by the static analyzer's input
+    /// validation — one definition, shared.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ppe_core::PeVal;
+    /// use ppe_lang::{Const, Value};
+    ///
+    /// assert!(PeVal::Top.concretizes(&Value::Int(7)));
+    /// assert!(PeVal::Const(Const::Int(7)).concretizes(&Value::Int(7)));
+    /// assert!(!PeVal::Const(Const::Int(7)).concretizes(&Value::Int(8)));
+    /// assert!(!PeVal::Bottom.concretizes(&Value::Int(7)));
+    /// ```
+    pub fn concretizes(&self, v: &Value) -> bool {
+        match self {
+            PeVal::Bottom => false,
+            PeVal::Const(c) => Value::from_const(*c) == *v,
+            PeVal::Top => true,
+        }
+    }
 }
 
 impl Lattice for PeVal {

@@ -1,0 +1,214 @@
+//! Structured diagnostics: rustc-style code + severity + message + location.
+//!
+//! Every static finding about a program, an annotation, or a request is a
+//! [`Diagnostic`]: a stable machine-readable code (`E0004`), a
+//! [`Severity`], a human-readable message, and a location. Locations come
+//! in two shapes because the AST carries no source spans: *lexical*
+//! diagnostics (produced while text is still in hand) carry a 1-based
+//! line/column, while *semantic* diagnostics (produced over the AST or an
+//! annotated program) carry the enclosing function and a dotted
+//! expression path such as `body.else.arg1` — stable across re-parsing
+//! and pretty-printing.
+//!
+//! The code space is partitioned:
+//!
+//! | range   | produced by | meaning |
+//! |---------|-------------|---------|
+//! | `E0001` | parser      | lexical/syntactic error (incl. unknown primitive, primitive arity) |
+//! | `E0002` | analyzer    | duplicate function definition |
+//! | `E0003` | analyzer    | duplicate parameter |
+//! | `E0004` | analyzer    | unbound variable |
+//! | `E0005` | analyzer    | reference to / call of an unknown function |
+//! | `E0006` | analyzer    | call-site arity mismatch |
+//! | `E0007` | analyzer    | inconsistent input product (Definition 6) |
+//! | `E0008` | analyzer    | input specification rejected (count, syntax, facets) |
+//! | `W0001` | analyzer    | local binding shadows a name in scope |
+//! | `W0002` | analyzer    | unfold-safety: recursion the specializer may unfold without bound |
+//! | `W0003` | analyzer    | unused parameter |
+//! | `W0004` | analyzer    | dead `let` binding (the optimizer would drop it) |
+//! | `E0101`–`E0104` | certificate checker | incongruent binding-time annotation (see `ppe-offline`) |
+//!
+//! Codes are stable: tests, CI, and scripted consumers match on them, so a
+//! code is never reused for a different condition.
+
+use std::fmt;
+
+use crate::symbol::Symbol;
+
+/// How bad a [`Diagnostic`] is.
+///
+/// Errors mean the program (or annotation) is ill-formed and the engines
+/// may misbehave on it; warnings flag risks — the program is meaningful
+/// but specialization may be wasteful or unbounded (the runtime Governor
+/// is the backstop).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Ill-formed: the construct violates a rule the engines rely on.
+    Error,
+    /// Legal but risky or wasteful.
+    Warning,
+}
+
+impl Severity {
+    /// The lowercase rendering used in human and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured finding.
+///
+/// # Examples
+///
+/// ```
+/// use ppe_lang::diag::{Diagnostic, Severity};
+///
+/// let d = Diagnostic::error("E0004", "unbound variable `y`")
+///     .in_function(ppe_lang::Symbol::intern("f"))
+///     .at_path("body.else.arg1");
+/// assert_eq!(d.severity, Severity::Error);
+/// assert_eq!(d.to_string(), "error[E0004] f:body.else.arg1: unbound variable `y`");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`E0004`, `W0002`, …).
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// The enclosing function, when the finding is inside one.
+    pub function: Option<Symbol>,
+    /// Dotted expression path within the function body (`body.else.arg1`);
+    /// empty when the finding is about the definition as a whole.
+    pub path: String,
+    /// 1-based source line for lexical diagnostics; 0 when unknown.
+    pub line: u32,
+    /// 1-based source column for lexical diagnostics; 0 when unknown.
+    pub col: u32,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic with no location.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, Severity::Error, message)
+    }
+
+    /// A new warning diagnostic with no location.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, Severity::Warning, message)
+    }
+
+    fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            function: None,
+            path: String::new(),
+            line: 0,
+            col: 0,
+        }
+    }
+
+    /// Attaches the enclosing function.
+    #[must_use]
+    pub fn in_function(mut self, f: Symbol) -> Diagnostic {
+        self.function = Some(f);
+        self
+    }
+
+    /// Attaches a dotted expression path (e.g. `body.else.arg1`).
+    #[must_use]
+    pub fn at_path(mut self, path: impl Into<String>) -> Diagnostic {
+        self.path = path.into();
+        self
+    }
+
+    /// Attaches a 1-based line/column (lexical diagnostics).
+    #[must_use]
+    pub fn at_line_col(mut self, line: u32, col: u32) -> Diagnostic {
+        self.line = line;
+        self.col = col;
+        self
+    }
+
+    /// True iff this diagnostic has [`Severity::Error`].
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// The location rendered for humans: `f:body.else`, `f`, `3:7`, or
+    /// `<program>` when nothing is known.
+    pub fn location(&self) -> String {
+        match (&self.function, self.path.is_empty(), self.line) {
+            (Some(f), false, _) => format!("{f}:{}", self.path),
+            (Some(f), true, _) => f.to_string(),
+            (None, _, l) if l > 0 => format!("{l}:{}", self.col),
+            _ => "<program>".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// `severity[code] location: message`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity,
+            self.code,
+            self.location(),
+            self.message
+        )
+    }
+}
+
+/// Count of error-severity diagnostics in a slice.
+pub fn error_count(diags: &[Diagnostic]) -> usize {
+    diags.iter().filter(|d| d.is_error()).count()
+}
+
+/// Count of warning-severity diagnostics in a slice.
+pub fn warning_count(diags: &[Diagnostic]) -> usize {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let d = Diagnostic::error("E0001", "expected `)`").at_line_col(3, 7);
+        assert_eq!(d.to_string(), "error[E0001] 3:7: expected `)`");
+        let d =
+            Diagnostic::warning("W0002", "unbounded unfolding").in_function(Symbol::intern("spin"));
+        assert_eq!(d.to_string(), "warning[W0002] spin: unbounded unfolding");
+        let d = Diagnostic::error("E0004", "unbound variable `q`");
+        assert_eq!(d.location(), "<program>");
+    }
+
+    #[test]
+    fn counts() {
+        let ds = vec![
+            Diagnostic::error("E0004", "a"),
+            Diagnostic::warning("W0001", "b"),
+            Diagnostic::error("E0006", "c"),
+        ];
+        assert_eq!(error_count(&ds), 2);
+        assert_eq!(warning_count(&ds), 1);
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod ast;
+pub mod diag;
 mod env;
 mod error;
 mod eval;
@@ -43,12 +44,15 @@ mod token;
 mod value;
 
 pub use ast::{Const, Expr, F64};
+pub use diag::{Diagnostic, Severity};
 pub use env::Env;
 pub use error::{EvalError, ParseError};
 pub use eval::{Evaluator, DEFAULT_FUEL, DEFAULT_MAX_DEPTH, DEFAULT_MAX_EXPR_DEPTH};
 pub use lazy::LazyEvaluator;
-pub use opt::{optimize_expr, optimize_program, prune_unused_params, OptLevel};
-pub use parser::{parse_expr, parse_program};
+pub use opt::{
+    count_uses, is_droppable, optimize_expr, optimize_program, prune_unused_params, OptLevel,
+};
+pub use parser::{parse_defs, parse_expr, parse_program};
 pub use pretty::{pretty_expr, pretty_program};
 pub use prim::{Prim, StdOpClass, ALL_PRIMS, MAX_VECTOR_SIZE};
 pub use program::{FunDef, Program};

@@ -141,7 +141,12 @@ pub fn optimize_expr(e: &Expr, level: OptLevel) -> Expr {
 
 /// True if evaluating `e` can neither diverge, nor error, nor do anything
 /// observable — at the given trust level.
-fn is_droppable(e: &Expr, level: OptLevel) -> bool {
+///
+/// Public because this is *the* definition of "droppable": the analyzer's
+/// dead-code diagnostics (`ppe check`'s occurrence pass) and the
+/// optimizer's dead-code elimination must agree, so both call this one
+/// predicate.
+pub fn is_droppable(e: &Expr, level: OptLevel) -> bool {
     match e {
         Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_) | Expr::Lambda(..) => true,
         Expr::Prim(p, args) => {
@@ -181,7 +186,10 @@ fn pure_arith(p: Prim) -> bool {
 }
 
 /// Occurrence count of `x` in `e` (free occurrences only).
-fn count_uses(e: &Expr, x: Symbol) -> usize {
+///
+/// Shared with the analyzer's occurrence pass for the same reason as
+/// [`is_droppable`]: one definition of "used".
+pub fn count_uses(e: &Expr, x: Symbol) -> usize {
     match e {
         Expr::Const(_) | Expr::FnRef(_) => 0,
         Expr::Var(v) => usize::from(*v == x),

@@ -70,6 +70,43 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     Ok(program)
 }
 
+/// Parses a sequence of `(define …)` forms *without* semantic validation.
+///
+/// Where [`parse_program`] rejects duplicate definitions, unbound
+/// variables, unknown functions and arity mismatches up front, this
+/// lenient entry point stops at syntax: it returns the raw definitions so
+/// that a client — the `ppe-analyze` crate's `ppe check` pass — can
+/// diagnose *all* semantic problems itself with structured codes and
+/// locations instead of the first one as a parse error. An empty input
+/// yields an empty vector (the analyzer reports it).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] only for lexical/syntactic problems (including
+/// unknown primitives and primitive-arity mistakes, which this parser
+/// resolves while text positions are still in hand).
+///
+/// # Examples
+///
+/// ```
+/// use ppe_lang::parse_defs;
+///
+/// // Duplicate definition: rejected by `parse_program`, returned here.
+/// let defs = parse_defs("(define (f x) x) (define (f y) y)")?;
+/// assert_eq!(defs.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_defs(src: &str) -> Result<Vec<FunDef>, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let fn_names = p.scan_define_names()?;
+    let mut defs = Vec::new();
+    while !p.at_end() {
+        defs.push(p.parse_define(&fn_names)?);
+    }
+    Ok(defs)
+}
+
 /// Parses a single expression with no top-level functions in scope.
 ///
 /// Handy in tests and examples for building expressions succinctly.

@@ -47,6 +47,7 @@
 
 mod analysis;
 mod annotate;
+pub mod certify;
 mod error;
 pub mod higher_order;
 pub mod polyvariant;

@@ -41,6 +41,7 @@ mod error;
 pub mod governor;
 mod input;
 mod online;
+pub mod preflight;
 mod simple;
 
 pub use config::PeConfig;

@@ -1,0 +1,219 @@
+//! Structural pre-flight checks the online engine can run before
+//! specializing: the static counterpart of the [`Governor`]'s runtime
+//! budgets.
+//!
+//! The classic online-PE failure mode is unbounded unfolding: a recursive
+//! call the specializer keeps unfolding because nothing dynamic ever
+//! forces it to residualize. At runtime the [`Governor`] catches this with
+//! fuel and depth budgets; [`unguarded_recursion`] catches the *certain*
+//! subset statically — recursion that is not guarded by any conditional
+//! at all, so specialization (and plain evaluation) of it can never
+//! terminate. The `ppe-analyze` crate builds its unfold-safety warnings on
+//! this same function, so the engine and the analyzer agree on what
+//! "structurally unbounded" means.
+//!
+//! [`Governor`]: crate::Governor
+
+use std::collections::{HashMap, HashSet};
+
+use ppe_lang::{Expr, Program, Symbol};
+
+/// Returns every `(caller, callee)` pair where a call participating in a
+/// call-graph cycle occurs *outside* every conditional branch of the
+/// caller's body — i.e. the call is evaluated unconditionally, so the
+/// recursion has no base case any engine could reach. Pairs are sorted by
+/// spelling and deduplicated; an empty result means every recursion in
+/// the program is at least conditionally guarded.
+///
+/// Only direct first-order calls are considered (higher-order call edges
+/// through function values are invisible to this structural check; the
+/// Governor remains the backstop for those).
+///
+/// # Examples
+///
+/// ```
+/// use ppe_lang::parse_program;
+/// use ppe_online::preflight::unguarded_recursion;
+///
+/// let looping = parse_program("(define (spin n) (spin (+ n 1)))")?;
+/// assert_eq!(unguarded_recursion(&looping).len(), 1);
+///
+/// let fine = parse_program(
+///     "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))",
+/// )?;
+/// assert!(unguarded_recursion(&fine).is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn unguarded_recursion(program: &Program) -> Vec<(Symbol, Symbol)> {
+    // Direct-call adjacency.
+    let mut edges: HashMap<Symbol, HashSet<Symbol>> = HashMap::new();
+    for def in program.defs() {
+        let callees = edges.entry(def.name).or_default();
+        collect_calls(&def.body, callees);
+    }
+    // Reachability-based cycle membership: (f, g) lies on a cycle iff g is
+    // reachable from f's callees *and* f is reachable from g. Programs are
+    // small, so quadratic reachability is fine and keeps this dependency-
+    // free.
+    let reach: HashMap<Symbol, HashSet<Symbol>> =
+        edges.keys().map(|&f| (f, reachable(f, &edges))).collect();
+    let mut out = Vec::new();
+    for def in program.defs() {
+        let mut unguarded = HashSet::new();
+        collect_unguarded_calls(&def.body, false, &mut unguarded);
+        for g in unguarded {
+            let on_cycle = reach
+                .get(&g)
+                .is_some_and(|from_g| from_g.contains(&def.name))
+                || g == def.name;
+            if on_cycle {
+                out.push((def.name, g));
+            }
+        }
+    }
+    out.sort_by_key(|(f, g)| (f.to_string(), g.to_string()));
+    out.dedup();
+    out
+}
+
+/// All functions reachable from `f` by one or more call edges.
+fn reachable(f: Symbol, edges: &HashMap<Symbol, HashSet<Symbol>>) -> HashSet<Symbol> {
+    let mut seen = HashSet::new();
+    let mut stack: Vec<Symbol> = edges
+        .get(&f)
+        .map(|s| s.iter().copied().collect())
+        .unwrap_or_default();
+    while let Some(g) = stack.pop() {
+        if seen.insert(g) {
+            if let Some(next) = edges.get(&g) {
+                stack.extend(next.iter().copied());
+            }
+        }
+    }
+    seen
+}
+
+/// Every function directly called anywhere in `e`.
+fn collect_calls(e: &Expr, out: &mut HashSet<Symbol>) {
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_) => {}
+        Expr::Prim(_, args) => args.iter().for_each(|a| collect_calls(a, out)),
+        Expr::Call(f, args) => {
+            out.insert(*f);
+            args.iter().for_each(|a| collect_calls(a, out));
+        }
+        Expr::If(c, t, f) => {
+            collect_calls(c, out);
+            collect_calls(t, out);
+            collect_calls(f, out);
+        }
+        Expr::Let(_, b, body) => {
+            collect_calls(b, out);
+            collect_calls(body, out);
+        }
+        Expr::Lambda(_, body) => collect_calls(body, out),
+        Expr::App(f, args) => {
+            collect_calls(f, out);
+            args.iter().for_each(|a| collect_calls(a, out));
+        }
+    }
+}
+
+/// Functions called on a path that evaluates unconditionally (`guarded`
+/// is true once we are inside a conditional *branch* — the test itself
+/// always evaluates). Lambda bodies only run when applied, so they count
+/// as guarded.
+fn collect_unguarded_calls(e: &Expr, guarded: bool, out: &mut HashSet<Symbol>) {
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_) => {}
+        Expr::Prim(_, args) => args
+            .iter()
+            .for_each(|a| collect_unguarded_calls(a, guarded, out)),
+        Expr::Call(f, args) => {
+            if !guarded {
+                out.insert(*f);
+            }
+            args.iter()
+                .for_each(|a| collect_unguarded_calls(a, guarded, out));
+        }
+        Expr::If(c, t, f) => {
+            collect_unguarded_calls(c, guarded, out);
+            collect_unguarded_calls(t, true, out);
+            collect_unguarded_calls(f, true, out);
+        }
+        Expr::Let(_, b, body) => {
+            collect_unguarded_calls(b, guarded, out);
+            collect_unguarded_calls(body, guarded, out);
+        }
+        Expr::Lambda(_, body) => collect_unguarded_calls(body, true, out),
+        Expr::App(f, args) => {
+            collect_unguarded_calls(f, guarded, out);
+            args.iter()
+                .for_each(|a| collect_unguarded_calls(a, guarded, out));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppe_lang::parse_program;
+
+    #[test]
+    fn self_loop_without_conditional_is_flagged() {
+        let p = parse_program("(define (spin n) (spin (+ n 1)))").unwrap();
+        let pairs = unguarded_recursion(&p);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0.to_string(), "spin");
+        assert_eq!(pairs[0].1.to_string(), "spin");
+    }
+
+    #[test]
+    fn call_in_the_test_position_is_unguarded() {
+        let p = parse_program("(define (f n) (if (f n) 1 2))").unwrap();
+        assert_eq!(unguarded_recursion(&p).len(), 1);
+    }
+
+    #[test]
+    fn guarded_recursion_is_clean() {
+        let p =
+            parse_program("(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))").unwrap();
+        assert!(unguarded_recursion(&p).is_empty());
+    }
+
+    #[test]
+    fn mutual_unguarded_recursion_is_flagged_on_the_cycle_edge() {
+        let p = parse_program(
+            "(define (a n) (b (+ n 1)))
+             (define (b n) (if (= n 0) 0 (a n)))",
+        )
+        .unwrap();
+        // a calls b unguarded and a↔b form a cycle: flagged. b's call of a
+        // is guarded: not flagged.
+        let pairs = unguarded_recursion(&p);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(
+            (pairs[0].0.to_string(), pairs[0].1.to_string()),
+            ("a".to_string(), "b".to_string())
+        );
+    }
+
+    #[test]
+    fn acyclic_unconditional_calls_are_fine() {
+        let p = parse_program(
+            "(define (f x) (g x))
+             (define (g x) (+ x 1))",
+        )
+        .unwrap();
+        assert!(unguarded_recursion(&p).is_empty());
+    }
+
+    #[test]
+    fn lambda_bodies_do_not_count_as_unconditional() {
+        let p = parse_program("(define (f x) ((lambda (y) (f y)) x))").unwrap();
+        // The direct recursion happens through an application of a lambda
+        // whose body is only reached when applied; the structural check
+        // stays conservative and does not flag it.
+        assert!(unguarded_recursion(&p).is_empty());
+    }
+}

@@ -12,6 +12,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use ppe_lang::diag::Diagnostic;
 use ppe_online::{DegradationEvent, ExhaustionPolicy, PeConfig, PeStats};
 
 use crate::json::Json;
@@ -234,6 +235,13 @@ pub struct SpecializeResponse {
     pub key: Option<CacheKey>,
     /// Wall time spent answering, microseconds.
     pub wall_micros: u64,
+    /// Pre-flight findings about the request's program: on a parse
+    /// failure, the analyzer's full structured report (so a client sees
+    /// *every* problem, not the first as a string); on success, any
+    /// warnings (`W…` codes). Empty for a diagnostic-free program, and
+    /// omitted from the wire rendering then — older clients see an
+    /// unchanged protocol.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl SpecializeResponse {
@@ -244,6 +252,7 @@ impl SpecializeResponse {
             disposition: CacheDisposition::Unreached,
             key: None,
             wall_micros: 0,
+            diagnostics: Vec::new(),
         }
     }
 
@@ -294,8 +303,36 @@ impl SpecializeResponse {
                 fields.push(("error", Json::str(msg.clone())));
             }
         }
+        if !self.diagnostics.is_empty() {
+            fields.push((
+                "diagnostics",
+                Json::Arr(self.diagnostics.iter().map(diagnostic_json).collect()),
+            ));
+        }
         Json::obj(fields)
     }
+}
+
+/// Renders one diagnostic for the wire (and for `ppe check --format
+/// json`): always `code`, `severity`, `message`; `function`/`path` or
+/// `line`/`col` only when known, so output is minimal and deterministic.
+pub fn diagnostic_json(d: &Diagnostic) -> Json {
+    let mut fields = vec![
+        ("code", Json::str(d.code)),
+        ("severity", Json::str(d.severity.as_str())),
+        ("message", Json::str(d.message.clone())),
+    ];
+    if let Some(f) = d.function {
+        fields.push(("function", Json::str(f.as_str())));
+    }
+    if !d.path.is_empty() {
+        fields.push(("path", Json::str(d.path.clone())));
+    }
+    if d.line > 0 {
+        fields.push(("line", Json::num(u64::from(d.line))));
+        fields.push(("col", Json::num(u64::from(d.col))));
+    }
+    Json::obj(fields)
 }
 
 /// Renders one degradation event for the wire.
@@ -377,6 +414,7 @@ mod tests {
             disposition: CacheDisposition::Miss,
             key: None,
             wall_micros: 7,
+            diagnostics: Vec::new(),
         };
         let text = ok.to_json(Some(&Json::num(1))).render();
         assert!(text.contains("\"ok\":true"), "{text}");

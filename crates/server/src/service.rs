@@ -6,6 +6,7 @@ use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use ppe_lang::diag::Diagnostic;
 use ppe_lang::{parse_program, Program};
 use ppe_online::{Budget, DegradationEvent};
 
@@ -67,8 +68,13 @@ const MAX_PARSED_PROGRAMS: usize = 128;
 pub struct SpecializeService {
     cache: ResidualCache,
     metrics: Metrics,
-    programs: Mutex<HashMap<String, (Arc<Program>, u64)>>,
+    programs: Mutex<HashMap<String, ParsedProgram>>,
 }
+
+/// A parse-cache entry: the program, its stable fingerprint, and the
+/// analyzer's pre-flight warnings (computed once per distinct source,
+/// attached to every response that uses it).
+type ParsedProgram = (Arc<Program>, u64, Arc<Vec<Diagnostic>>);
 
 impl SpecializeService {
     /// A fresh service with empty caches.
@@ -96,9 +102,19 @@ impl SpecializeService {
     pub fn handle(&self, req: &SpecializeRequest, ctx: &mut EngineContext) -> SpecializeResponse {
         let start = Instant::now();
         self.metrics.requests.fetch_add(1, Relaxed);
-        let resolved = self
-            .program(&req.program_src)
-            .and_then(|(program, fingerprint)| engine::resolve(req, program, fingerprint));
+        // Pre-flight: an unparseable program gets the analyzer's full
+        // structured report (every finding, not just the parser's first
+        // error); a parsed one carries its cached warnings.
+        let (resolved, diagnostics) = match self.program(&req.program_src) {
+            Err(msg) => {
+                let report = ppe_analyze::check_source(&req.program_src);
+                (Err(msg), report.diagnostics)
+            }
+            Ok((program, fingerprint, warnings)) => (
+                engine::resolve(req, program, fingerprint),
+                warnings.as_ref().clone(),
+            ),
+        };
         let mut response = match resolved {
             Err(msg) => SpecializeResponse::error(msg),
             Ok(resolved) => {
@@ -111,6 +127,7 @@ impl SpecializeService {
                         disposition: fetched.disposition,
                         key: Some(resolved.key),
                         wall_micros: 0,
+                        diagnostics: Vec::new(),
                     },
                     Ok(outcome) => {
                         let mut degradations = outcome.degradations.clone();
@@ -137,11 +154,13 @@ impl SpecializeService {
                             disposition: fetched.disposition,
                             key: Some(resolved.key),
                             wall_micros: 0,
+                            diagnostics: Vec::new(),
                         }
                     }
                 }
             }
         };
+        response.diagnostics = diagnostics;
         response.wall_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         match &response.outcome {
             Err(_) => {
@@ -159,13 +178,13 @@ impl SpecializeService {
         response
     }
 
-    /// Parses `src` through the shared parse cache, returning the program
-    /// and its stable fingerprint.
-    fn program(&self, src: &str) -> Result<(Arc<Program>, u64), String> {
+    /// Parses `src` through the shared parse cache, returning the
+    /// program, its stable fingerprint, and its pre-flight warnings.
+    fn program(&self, src: &str) -> Result<ParsedProgram, String> {
         {
             let cache = self.programs.lock().expect("program cache poisoned");
-            if let Some((program, fingerprint)) = cache.get(src) {
-                return Ok((Arc::clone(program), *fingerprint));
+            if let Some((program, fingerprint, warnings)) = cache.get(src) {
+                return Ok((Arc::clone(program), *fingerprint, Arc::clone(warnings)));
             }
         }
         // Parse outside the lock: parsing is cheap but not free, and a
@@ -174,12 +193,19 @@ impl SpecializeService {
         let program = parse_program(src).map_err(|e| e.to_string())?;
         let fingerprint = program.fingerprint();
         let program = Arc::new(program);
+        // A validated program has no analyzer errors; what remains are
+        // warnings (shadowing, unfold-safety, dead code), computed once
+        // here and shared by every request for this source.
+        let warnings = Arc::new(ppe_analyze::check_program(&program));
         let mut cache = self.programs.lock().expect("program cache poisoned");
         if cache.len() >= MAX_PARSED_PROGRAMS {
             cache.clear();
         }
-        cache.insert(src.to_owned(), (Arc::clone(&program), fingerprint));
-        Ok((program, fingerprint))
+        cache.insert(
+            src.to_owned(),
+            (Arc::clone(&program), fingerprint, Arc::clone(&warnings)),
+        );
+        Ok((program, fingerprint, warnings))
     }
 }
 
@@ -247,6 +273,53 @@ mod tests {
         assert!(r.outcome.is_err());
         assert_eq!(service.metrics().snapshot().errors, 1);
         assert_eq!(service.cache().len(), 0);
+        // Pre-flight: the error response carries the analyzer's report.
+        assert_eq!(r.diagnostics[0].code, "E0001");
+    }
+
+    #[test]
+    fn preflight_reports_every_semantic_error_not_just_the_first() {
+        let service = SpecializeService::new(ServiceConfig::default());
+        let mut ctx = EngineContext::new();
+        // Two unbound variables: parse_program's validation stops at one,
+        // the attached diagnostics name both.
+        let req = SpecializeRequest::new("(define (f x) (+ y z))", vec!["_".into()]);
+        let r = service.handle(&req, &mut ctx);
+        assert!(r.outcome.is_err());
+        let unbound: Vec<&str> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "E0004")
+            .map(|d| d.message.as_str())
+            .collect();
+        assert_eq!(unbound.len(), 2, "{:?}", r.diagnostics);
+        // And the wire rendering exposes them.
+        let rendered = r.to_json(None).render();
+        assert!(rendered.contains("\"diagnostics\""), "{rendered}");
+        assert!(rendered.contains("E0004"), "{rendered}");
+    }
+
+    #[test]
+    fn preflight_warnings_ride_along_on_success() {
+        let service = SpecializeService::new(ServiceConfig::default());
+        let mut ctx = EngineContext::new();
+        let req = SpecializeRequest::new(
+            "(define (f x u) (if (= x 0) 1 (f (- x 1) 0)))",
+            vec!["5".into(), "_".into()],
+        );
+        let r = service.handle(&req, &mut ctx);
+        assert!(r.outcome.is_ok());
+        // `u` is unused: W0003 rides along without failing the request.
+        assert!(
+            r.diagnostics.iter().any(|d| d.code == "W0003"),
+            "{:?}",
+            r.diagnostics
+        );
+        // A diagnostic-free program keeps the wire format unchanged.
+        let clean = SpecializeRequest::new(POWER, vec!["_".into(), "3".into()]);
+        let r = service.handle(&clean, &mut ctx);
+        assert!(r.diagnostics.is_empty());
+        assert!(!r.to_json(None).render().contains("diagnostics"));
     }
 
     #[test]

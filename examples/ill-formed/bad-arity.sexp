@@ -1,0 +1,6 @@
+; expect: E0006
+; `twice` takes one argument but is called with two.
+(define (twice x)
+  (+ x x))
+(define (main a b)
+  (twice a b))

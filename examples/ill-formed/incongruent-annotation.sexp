@@ -1,0 +1,10 @@
+; expect: E0101
+; This program is well-formed — `ppe check` alone reports nothing. It
+; exists for the binding-time certificate tests: analyzing it with a
+; static `n` and then corrupting one annotation (e.g. retagging the
+; dynamic `(* x ...)` as `Reduce`) must be rejected by the certificate
+; checker with an E01xx diagnostic. See tests/check_golden.rs.
+(define (power x n)
+  (if (= n 0)
+      1
+      (* x (power x (- n 1)))))

@@ -1,0 +1,6 @@
+; expect: W0002
+; `spin` calls itself outside every conditional: there is no reachable
+; base case, so unfolding the call can never terminate. The analyzer
+; flags it structurally — no binding-time information needed.
+(define (spin n)
+  (spin (+ n 1)))

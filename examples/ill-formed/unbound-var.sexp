@@ -1,0 +1,4 @@
+; expect: E0004
+; `y` is never bound: not a parameter of `scale`, not a `let`.
+(define (scale x)
+  (* x y))

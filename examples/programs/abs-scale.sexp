@@ -1,0 +1,7 @@
+; abs-scale: branches on the sign of `x`, so the *sign* facet decides the
+; conditional statically whenever the input's sign is known even though
+; its value is not (e.g. `ppe check abs-scale.sexp _:sign=neg 10`).
+(define (abs-scale x k)
+  (if (< x 0)
+      (* (- 0 x) k)
+      (* x k)))

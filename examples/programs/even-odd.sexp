@@ -1,0 +1,10 @@
+; even-odd: mutual recursion, guarded by a conditional in each function,
+; so the structural unfold-safety pass stays quiet.
+(define (even n)
+  (if (= n 0)
+      #t
+      (odd (- n 1))))
+(define (odd n)
+  (if (= n 0)
+      #f
+      (even (- n 1))))

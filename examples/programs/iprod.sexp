@@ -1,0 +1,11 @@
+; iprod: the paper's Figure 9 inner product. Specializing on the *size*
+; facet of the vectors (not their contents) yields the fully unrolled
+; dot product of Figure 8.
+(define (iprod a b)
+  (let ((n (vsize a)))
+    (dotprod a b n)))
+(define (dotprod a b n)
+  (if (= n 0)
+      0.0
+      (+ (* (vref a n) (vref b n))
+         (dotprod a b (- n 1)))))

@@ -1,0 +1,8 @@
+; power: the classic specialization benchmark. With `n` static the
+; recursion unrolls completely (and `ppe check <file> _ 5` reports the
+; W0002 unfold-safety warning that unfolding is bounded only by the
+; static counter reaching zero).
+(define (power x n)
+  (if (= n 0)
+      1
+      (* x (power x (- n 1)))))

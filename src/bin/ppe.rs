@@ -4,6 +4,13 @@
 //! ppe run <file.sexp> ARG...            evaluate the main function
 //! ppe specialize <file.sexp> INPUT...   specialize (online by default)
 //! ppe analyze <file.sexp> INPUT...      facet analysis report (Figure 9 style)
+//! ppe check <file.sexp> [INPUT...]      static diagnostics (see below); with
+//!     [--format text|json]              INPUTs the binding-time certificate
+//!                                       of the offline analysis is checked
+//!                                       too; exits nonzero on any error
+//! ppe verify-facets [--facets LIST]     run the Definition-2 safety
+//!                                       obligations over every shipped
+//!                                       facet; exits nonzero on violation
 //! ppe batch <requests.jsonl|->          answer a batch of JSON requests
 //!     [--jobs N] [--cache-mb N]         through the shared residual cache;
 //!     [--program <file.sexp>]           residuals on stdout (input order),
@@ -21,6 +28,8 @@
 //!
 //! options: --facets LIST   comma-separated: sign,parity,range,size,
 //!                          contents,const-set,type (default: all)
+//!          --format FMT    check output: text (default) or json (one
+//!                          deterministic object per run)
 //!          --offline       specialize through facet analysis
 //!          --constraints   propagate conditional constraints (online)
 //!          --optimize      run the residual cleanup passes
@@ -46,12 +55,16 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use ppe::analyze::{check_certificate, check_inputs, check_source, check_unfolding, CheckReport};
+use ppe::core::consistency::default_candidates;
+use ppe::core::safety::validate_facet;
 use ppe::lang::{
-    optimize_program, parse_program, pretty_program, prune_unused_params, Evaluator, OptLevel,
-    Program, Value,
+    optimize_program, parse_program, pretty_program, prune_unused_params, Diagnostic, Evaluator,
+    OptLevel, Program, Value,
 };
 use ppe::offline::{analyze_with_config, AbstractInput, OfflinePe};
 use ppe::online::{ExhaustionPolicy, OnlinePe, PeConfig, PeInput};
+use ppe::server::request::diagnostic_json;
 use ppe::server::spec::{build_facets, parse_input, parse_value, ALL_FACETS};
 use ppe::server::{
     run_batch, serve, BatchOptions, Json, ServeOptions, ServiceConfig, SpecializeRequest,
@@ -104,6 +117,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => cmd_run(&args[1..]),
         "specialize" => cmd_specialize(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "check" => cmd_check(&args[1..]),
+        "verify-facets" => cmd_verify_facets(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -117,6 +132,8 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage: ppe <run|specialize|analyze> <file> [inputs…] [--facets LIST] [--offline] [--constraints]\n\
      \u{20}       [--fuel N] [--deadline-ms N] [--max-residual-size N] [--on-exhaustion=fail|degrade]\n\
+     \u{20}      ppe check <file> [inputs…] [--facets LIST] [--format text|json]\n\
+     \u{20}      ppe verify-facets [--facets LIST]\n\
      \u{20}      ppe batch <requests.jsonl|-> [--jobs N] [--cache-mb N] [--program <file.sexp>]\n\
      \u{20}      ppe serve [--jobs N] [--cache-mb N]\n\
      see `cargo doc` or the README for the input syntax"
@@ -136,6 +153,7 @@ struct Opts {
     deadline_ms: Option<u64>,
     max_residual_size: Option<usize>,
     on_exhaustion: ExhaustionPolicy,
+    json: bool,
 }
 
 impl Opts {
@@ -171,6 +189,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut deadline_ms = None;
     let mut max_residual_size = None;
     let mut on_exhaustion = ExhaustionPolicy::Fail;
+    let mut json = false;
     // Flags that take a value accept both `--flag VALUE` and `--flag=VALUE`.
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
         let arg = &args[*i];
@@ -226,6 +245,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     }
                 };
             }
+            "--format" => {
+                let v = take_value(args, &mut i, "--format")?;
+                json = match v.as_str() {
+                    "text" => false,
+                    "json" => true,
+                    other => return Err(format!("--format must be text or json, got `{other}`")),
+                };
+            }
             _ => {
                 if file.is_none() {
                     file = Some(arg.clone());
@@ -248,6 +275,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         deadline_ms,
         max_residual_size,
         on_exhaustion,
+        json,
     })
 }
 
@@ -369,6 +397,176 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         println!("  {f}: {}", sig.display());
     }
     Ok(())
+}
+
+/// `ppe check`: static diagnostics over a program file, and — when input
+/// specs are given — over the inputs (Definition-6 consistency), the
+/// offline analysis's unfold decisions, and its binding-time certificate.
+///
+/// Output is one [`Diagnostic`] per line (`--format text`, the default) or
+/// one deterministic JSON object (`--format json`; keys sorted, diagnostics
+/// in analysis order). Exit status is nonzero iff any diagnostic is an
+/// error, so the command slots into CI pipelines directly.
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let src = std::fs::read_to_string(&opts.file)
+        .map_err(|e| format!("cannot read `{}`: {e}", opts.file))?;
+    let mut report = check_source(&src);
+    // The input-driven passes presuppose a program that parses and binds;
+    // skip them (rather than crash into the engines) if pass 1 failed.
+    if !report.has_errors() && !opts.inputs.is_empty() {
+        check_against_inputs(&opts, &src, &mut report.diagnostics)?;
+    }
+    emit_check_report(&opts, &report)
+}
+
+/// The input-driven half of `ppe check`: input-product consistency
+/// (`E0007`/`E0008`), then facet analysis, then the unfold-safety and
+/// binding-time-certificate checks over its annotated output.
+fn check_against_inputs(opts: &Opts, src: &str, out: &mut Vec<Diagnostic>) -> Result<(), String> {
+    let program = parse_program(src).map_err(|e| e.to_string())?;
+    let facets = match build_facets(&opts.facets) {
+        Ok(facets) => facets,
+        Err(e) => {
+            out.push(Diagnostic::error("E0008", e));
+            return Ok(());
+        }
+    };
+    let arity = program.main().arity();
+    if opts.inputs.len() != arity {
+        out.push(Diagnostic::error(
+            "E0008",
+            format!(
+                "`{}` takes {arity} inputs but {} were given",
+                program.main().name,
+                opts.inputs.len()
+            ),
+        ));
+        return Ok(());
+    }
+    let mut products = Vec::new();
+    for (i, s) in opts.inputs.iter().enumerate() {
+        let product = parse_input(s).and_then(|p| p.to_product(&facets).map_err(|e| e.to_string()));
+        match product {
+            Ok(p) => products.push(p),
+            Err(e) => out.push(Diagnostic::error(
+                "E0008",
+                format!("input {i} (`{s}`) is rejected: {e}"),
+            )),
+        }
+    }
+    if products.len() != arity {
+        return Ok(());
+    }
+    let before = out.len();
+    out.extend(check_inputs(&products, &facets));
+    if out[before..].iter().any(Diagnostic::is_error) {
+        // Inconsistent products denote no concrete value; analyzing from
+        // them would only manufacture follow-on noise.
+        return Ok(());
+    }
+    let abstract_inputs: Vec<AbstractInput> = products
+        .into_iter()
+        .map(AbstractInput::of_product)
+        .collect();
+    let analysis = analyze_with_config(&program, &facets, &abstract_inputs, &opts.pe_config())
+        .map_err(|e| e.to_string())?;
+    out.extend(check_unfolding(&program, &analysis));
+    out.extend(check_certificate(&analysis));
+    Ok(())
+}
+
+/// Prints a [`CheckReport`] in the selected format and converts it to the
+/// process outcome (error diagnostics ⇒ failure exit).
+fn emit_check_report(opts: &Opts, report: &CheckReport) -> Result<(), String> {
+    if opts.json {
+        let diags: Vec<Json> = report.diagnostics.iter().map(diagnostic_json).collect();
+        let obj = Json::obj(vec![
+            ("diagnostics", Json::Arr(diags)),
+            ("errors", Json::num(report.errors() as u64)),
+            ("file", Json::str(opts.file.clone())),
+            ("warnings", Json::num(report.warnings() as u64)),
+        ]);
+        println!("{}", obj.render());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "{}: {} error(s), {} warning(s)",
+            opts.file,
+            report.errors(),
+            report.warnings()
+        );
+    }
+    if report.has_errors() {
+        Err(format!("`{}` has errors", opts.file))
+    } else {
+        Ok(())
+    }
+}
+
+/// `ppe verify-facets`: run the executable Definition-2 safety
+/// obligations (`ppe::core::safety::validate_facet` — Properties 1–8 of
+/// the paper) over every selected facet against the shared candidate
+/// pool. Exits nonzero if any facet fails any obligation.
+fn cmd_verify_facets(args: &[String]) -> Result<(), String> {
+    let mut names: Vec<String> = ALL_FACETS.iter().map(|s| s.to_string()).collect();
+    let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        let arg = &args[*i];
+        if let Some(v) = arg.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+            return Ok(v.to_owned());
+        }
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let flag = arg.split('=').next().unwrap_or(&arg);
+        match flag {
+            "--facets" => {
+                let list = take_value(args, &mut i, "--facets")?;
+                names = list.split(',').map(|s| s.trim().to_owned()).collect();
+            }
+            other => {
+                return Err(format!(
+                    "verify-facets does not take `{other}`\n{}",
+                    usage()
+                ))
+            }
+        }
+        i += 1;
+    }
+    let facets = build_facets(&names)?;
+    let candidates = default_candidates();
+    let mut violations = 0usize;
+    for facet in facets.iter() {
+        match validate_facet(facet, &candidates) {
+            Ok(()) => println!(
+                "facet `{}`: ok ({} sample values)",
+                facet.name(),
+                candidates.len()
+            ),
+            Err(v) => {
+                violations += 1;
+                println!("facet `{}`: VIOLATION: {v}", facet.name());
+            }
+        }
+    }
+    if violations > 0 {
+        Err(format!(
+            "{violations} facet(s) violate the Definition 2 obligations"
+        ))
+    } else {
+        println!(
+            "all {} facet(s) satisfy the safety obligations",
+            names.len()
+        );
+        Ok(())
+    }
 }
 
 /// Options shared by the `batch` and `serve` service commands.

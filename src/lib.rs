@@ -17,6 +17,10 @@
 //!   the conventional simple partial evaluator (Figure 2).
 //! - [`offline`] — facet analysis (Figure 4), the analysis-driven
 //!   specializer, and the higher-order analysis (Figures 5–6).
+//! - [`analyze`] — the static analyzer behind `ppe check`: structured
+//!   diagnostics (stable codes, severities, locations) for well-formedness,
+//!   unfold-safety, occurrence, input consistency (Definition 6), and
+//!   binding-time-certificate congruence (Definition 10).
 //! - [`server`] — the concurrent specialization service: a sharded
 //!   content-addressed residual cache with single-flight deduplication,
 //!   a work-stealing batch driver, and a JSON-lines serve loop (the
@@ -74,7 +78,12 @@
 //! 4. **Check your facets.** [`core::safety`] makes the paper's
 //!    Definition 2 obligations executable; run
 //!    [`core::safety::validate_facet`] over samples before trusting a new
-//!    facet.
+//!    facet (`ppe verify-facets` does exactly this for the shipped ones).
+//! 5. **Check your programs.** [`analyze::check_source`] reports every
+//!    static problem — unbound variables, arity mismatches, unfold-unsafe
+//!    recursion, incongruent annotations — as a [`lang::Diagnostic`] with a
+//!    stable code, before the engines ever see the program (`ppe check`,
+//!    and the server's pre-flight pass).
 //!
 //! Residual programs are ordinary [`lang::Program`]s: run them with
 //! [`lang::Evaluator`], clean them with [`lang::optimize_program`] and
@@ -83,6 +92,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use ppe_analyze as analyze;
 pub use ppe_core as core;
 pub use ppe_lang as lang;
 pub use ppe_offline as offline;

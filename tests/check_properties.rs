@@ -1,0 +1,93 @@
+//! Property tests for the static analyzer: `check`-clean programs never
+//! fail evaluation with the binding errors the analyzer guards against
+//! (unbound variables, unknown functions, call arity), and corrupting a
+//! clean program is caught by exactly the matching diagnostic.
+
+mod common;
+
+use common::{int_expr, small_const};
+use ppe::analyze::{check_defs, check_source};
+use ppe::lang::{EvalError, Evaluator, Expr, FunDef, Prim, Program, Symbol, Value};
+use proptest::prelude::*;
+
+/// The error classes `ppe check` promises to rule out statically.
+fn is_binding_error(e: &EvalError) -> bool {
+    matches!(
+        e,
+        EvalError::UnboundVar(_) | EvalError::UnknownFunction(_) | EvalError::Arity { .. }
+    )
+}
+
+fn defs_of(body: &Expr) -> Vec<FunDef> {
+    vec![FunDef::new(
+        Symbol::intern("f"),
+        vec![Symbol::intern("x"), Symbol::intern("y")],
+        body.clone(),
+    )]
+}
+
+proptest! {
+    /// Soundness of the well-formedness pass: if `check_defs` reports no
+    /// error, evaluation never hits an unbound variable, an unknown
+    /// function, or a call-arity mismatch (arithmetic failures like
+    /// overflow remain possible and are out of the analyzer's scope).
+    #[test]
+    fn check_clean_programs_never_hit_binding_errors(
+        body in int_expr(),
+        x in small_const(),
+        y in small_const(),
+    ) {
+        let defs = defs_of(&body);
+        let diags = check_defs(&defs);
+        // The generators only produce bound variables, so the analyzer
+        // must agree the program is error-free…
+        prop_assert!(!diags.iter().any(|d| d.is_error()), "{diags:?}");
+        let program = Program::new(defs).expect("check-clean program validates");
+        let args = [Value::from_const(x), Value::from_const(y)];
+        if let Err(e) = Evaluator::new(&program).run_main(&args) {
+            prop_assert!(!is_binding_error(&e), "check-clean program failed with {e}");
+        }
+    }
+
+    /// The adversarial direction: grafting a reference to an unbound
+    /// variable onto any generated body is always caught — as `E0004` by
+    /// the analyzer, and (when evaluation reaches it) as `UnboundVar` by
+    /// the evaluator. The analyzer sees it even when evaluation wouldn't.
+    #[test]
+    fn check_catches_grafted_unbound_variable(body in int_expr()) {
+        let corrupted = Expr::prim(Prim::Add, vec![body, Expr::var("phantom")]);
+        let diags = check_defs(&defs_of(&corrupted));
+        prop_assert!(
+            diags.iter().any(|d| d.code == "E0004" && d.message.contains("phantom")),
+            "analyzer missed the unbound variable: {diags:?}"
+        );
+    }
+
+    /// Same for call-site corruption: calling `f` with one extra argument
+    /// is always an `E0006`.
+    #[test]
+    fn check_catches_grafted_arity_mismatch(body in int_expr(), extra in small_const()) {
+        let call = Expr::Call(
+            Symbol::intern("f"),
+            vec![Expr::var("x"), Expr::var("y"), Expr::Const(extra)],
+        );
+        let corrupted = Expr::If(
+            Box::new(Expr::prim(Prim::Eq, vec![Expr::var("x"), Expr::var("x")])),
+            Box::new(body),
+            Box::new(call),
+        );
+        let diags = check_defs(&defs_of(&corrupted));
+        prop_assert!(
+            diags.iter().any(|d| d.code == "E0006"),
+            "analyzer missed the arity mismatch: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn whole_corpus_is_check_clean() {
+    for (name, src, _) in common::CORPUS {
+        let report = check_source(src);
+        assert!(!report.has_errors(), "{name}: {:?}", report.diagnostics);
+    }
+}
