@@ -1,0 +1,181 @@
+//! Machine-readable E1–E8 timing suite.
+//!
+//! Prints one JSON object mapping a stable bench id to its median
+//! wall-clock microseconds. `BENCH_specializer.json` is assembled from two
+//! runs of this binary (one on the commit before a perf change, one after):
+//!
+//! ```sh
+//! cargo run -p ppe-bench --bin spec_suite --release > after.json
+//! ```
+//!
+//! Pass `--quick` to cut repetition counts for CI smoke runs.
+
+use std::time::Instant;
+
+use ppe_bench::{
+    chain_program, deep_config, facet_set_of_width, interpreter_program, iprod_analysis,
+    linear_bytecode, size_facets, sized_inputs, INNER_PRODUCT, POWER, SIGN_KERNEL,
+};
+use ppe_core::facets::ContentsFacet;
+use ppe_core::FacetSet;
+use ppe_lang::{Const, Value};
+use ppe_offline::{analyze, AbstractInput, OfflinePe};
+use ppe_online::{OnlinePe, PeInput, SimpleInput, SimplePe};
+
+/// Median wall time of `reps` runs of `f`, in microseconds.
+fn time_us<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 5 } else { 41 };
+    let reps_slow = if quick { 3 } else { 15 };
+
+    let mut out: Vec<(&'static str, f64)> = Vec::new();
+
+    // E1 — inner-product specialization (Figures 7→8), online and offline.
+    let iprod = ppe_bench::program(INNER_PRODUCT);
+    let sfacets = size_facets();
+    let analysis = iprod_analysis(&iprod, &sfacets);
+    for n in [4i64, 16] {
+        let config = deep_config(n as u32);
+        let inputs = sized_inputs(n);
+        let t = time_us(reps, || {
+            OnlinePe::with_config(&iprod, &sfacets, config.clone())
+                .specialize_main(&inputs)
+                .unwrap()
+        });
+        out.push((
+            if n == 4 {
+                "e1_online_iprod_n4"
+            } else {
+                "e1_online_iprod_n16"
+            },
+            t,
+        ));
+        let t = time_us(reps, || {
+            OfflinePe::with_config(&iprod, &sfacets, &analysis, config.clone())
+                .specialize(&inputs)
+                .unwrap()
+        });
+        out.push((
+            if n == 4 {
+                "e1_offline_iprod_n4"
+            } else {
+                "e1_offline_iprod_n16"
+            },
+            t,
+        ));
+    }
+
+    // E2 — the Figure 9 facet analysis itself.
+    out.push((
+        "e2_analysis_iprod",
+        time_us(reps, || iprod_analysis(&iprod, &sfacets)),
+    ));
+
+    // E3 — amortization: one analysis plus 16 offline specializations.
+    {
+        let config = deep_config(64);
+        let sizes: Vec<i64> = (0..16).map(|i| 2 + (i % 31)).collect();
+        let t = time_us(reps_slow, || {
+            let analysis = iprod_analysis(&iprod, &sfacets);
+            let pe = OfflinePe::with_config(&iprod, &sfacets, &analysis, config.clone());
+            for &n in &sizes {
+                std::hint::black_box(pe.specialize(&sized_inputs(n)).unwrap());
+            }
+        });
+        out.push(("e3_offline_x16", t));
+    }
+
+    // E4 — the Figure 2 baseline specializer on power/kernel.
+    for (id, src) in [
+        ("e4_simple_power_n64", POWER),
+        ("e4_simple_kernel_n64", SIGN_KERNEL),
+    ] {
+        let program = ppe_bench::program(src);
+        let config = deep_config(64);
+        let inputs = [SimpleInput::Dynamic, SimpleInput::Known(Const::Int(64))];
+        let t = time_us(reps, || {
+            SimplePe::with_config(&program, config.clone())
+                .specialize_main(&inputs)
+                .unwrap()
+        });
+        out.push((id, t));
+    }
+
+    // E5 — facet-product width scaling (online, sign kernel).
+    {
+        let program = ppe_bench::program(SIGN_KERNEL);
+        let config = deep_config(48);
+        let inputs = [PeInput::dynamic(), PeInput::known(Value::Int(48))];
+        for width in [0usize, 2, 4] {
+            let facets = facet_set_of_width(width);
+            let t = time_us(reps, || {
+                OnlinePe::with_config(&program, &facets, config.clone())
+                    .specialize_main(&inputs)
+                    .unwrap()
+            });
+            out.push((
+                match width {
+                    0 => "e5_facets_w0",
+                    2 => "e5_facets_w2",
+                    _ => "e5_facets_w4",
+                },
+                t,
+            ));
+        }
+    }
+
+    // E6 — residual production at a larger size (spec cost, not eval cost).
+    {
+        let t = time_us(reps_slow, || {
+            OnlinePe::with_config(&iprod, &sfacets, deep_config(64))
+                .specialize_main(&sized_inputs(64))
+                .unwrap()
+        });
+        out.push(("e6_online_iprod_n64", t));
+    }
+
+    // E7 — monovariant facet-analysis scaling over call-chain programs.
+    for (id, k, w) in [
+        ("e7_analyze_k64_w2", 64usize, 2usize),
+        ("e7_analyze_k64_w4", 64, 4),
+        ("e7_analyze_k128_w4", 128, 4),
+    ] {
+        let program = chain_program(k);
+        let facets = facet_set_of_width(w);
+        let inputs = [AbstractInput::dynamic(), AbstractInput::static_()];
+        let t = time_us(reps_slow, || analyze(&program, &facets, &inputs).unwrap());
+        out.push((id, t));
+    }
+
+    // E8 — first Futamura projection: specializing the bytecode interpreter.
+    {
+        let program = interpreter_program();
+        let facets = FacetSet::with_facets(vec![Box::new(ContentsFacet)]);
+        let code = linear_bytecode(64);
+        let config = deep_config(4 * 64 + 32);
+        let t = time_us(reps_slow, || {
+            OnlinePe::with_config(&program, &facets, config.clone())
+                .specialize_main(&[PeInput::known(code.clone()), PeInput::dynamic()])
+                .unwrap()
+        });
+        out.push(("e8_spec_interp_ops64", t));
+    }
+
+    let fields: Vec<String> = out
+        .iter()
+        .map(|(id, t)| format!("\"{id}\": {t:.1}"))
+        .collect();
+    println!("{{{}}}", fields.join(", "));
+}

@@ -1,7 +1,9 @@
 //! Products of abstract facets (Definition 9) with the binding-time facet
 //! at component 0 (Section 5.4) — the domain `SD̃` of facet analysis.
 
+use std::cell::OnceCell;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 
 use ppe_lang::{Const, Prim, StdOpClass, Value};
@@ -82,7 +84,7 @@ impl AbstractFacetSet {
                 static_sources: Vec::new(),
             };
         }
-        let bts: Vec<BtVal> = args.iter().map(|a| a.bt).collect();
+        let bts: Vec<BtVal> = args.iter().map(|a| *a.bt()).collect();
         let bt_result = bt_op(p, &bts);
         match p.std_class() {
             StdOpClass::Closed => {
@@ -98,8 +100,8 @@ impl AbstractFacetSet {
                     let wrapped: Vec<AbstractArg<'_>> = args
                         .iter()
                         .map(|a| AbstractArg {
-                            bt: &a.bt,
-                            abs: &a.facets[i],
+                            bt: a.bt(),
+                            abs: a.facet(i),
                         })
                         .collect();
                     let out = abs.closed_op(p, &wrapped);
@@ -117,10 +119,7 @@ impl AbstractFacetSet {
                     Vec::new()
                 };
                 AbstractPrimResult {
-                    value: AbstractProductVal {
-                        bt: bt_result,
-                        facets: components,
-                    },
+                    value: AbstractProductVal::from_parts(bt_result, components),
                     static_sources,
                 }
             }
@@ -134,8 +133,8 @@ impl AbstractFacetSet {
                     let wrapped: Vec<AbstractArg<'_>> = args
                         .iter()
                         .map(|a| AbstractArg {
-                            bt: &a.bt,
-                            abs: &a.facets[i],
+                            bt: a.bt(),
+                            abs: a.facet(i),
                         })
                         .collect();
                     results.push(abs.open_op(p, &wrapped));
@@ -158,10 +157,10 @@ impl AbstractFacetSet {
                     BtVal::Static
                 };
                 AbstractPrimResult {
-                    value: AbstractProductVal {
-                        bt: d,
-                        facets: self.pairs.iter().map(|(_, a)| a.top()).collect(),
-                    },
+                    value: AbstractProductVal::from_parts(
+                        d,
+                        self.pairs.iter().map(|(_, a)| a.top()).collect(),
+                    ),
                     static_sources,
                 }
             }
@@ -184,45 +183,66 @@ pub struct AbstractPrimResult {
 /// An element of the smashed product `Values̄ ⊗ D̄₁ ⊗ … ⊗ D̄ₘ`
 /// (Definition 9), ordered componentwise; the values manipulated by facet
 /// analysis (Figure 4) and recorded in facet signatures.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub struct AbstractProductVal {
+///
+/// Cloning is O(1): the components live behind a shared reference-counted
+/// payload (the value is immutable, so sharing is unobservable), equality
+/// takes a pointer-identity fast path, and the smashed-bottom test is
+/// computed once per payload. Facet signatures snapshot and compare vectors
+/// of these on every fixpoint iteration, so cheap `clone`/`Eq` here is what
+/// makes the analysis loop cheap.
+#[derive(Clone)]
+pub struct AbstractProductVal(Rc<AbstractProductInner>);
+
+struct AbstractProductInner {
     bt: BtVal,
     facets: Vec<AbsVal>,
+    /// Cached [`AbstractProductVal::is_bottom`] (bottomness never changes —
+    /// the payload is immutable, and every use site passes the same
+    /// governing facet set).
+    bottom: OnceCell<bool>,
 }
 
 impl AbstractProductVal {
+    fn from_parts(bt: BtVal, facets: Vec<AbsVal>) -> AbstractProductVal {
+        AbstractProductVal(Rc::new(AbstractProductInner {
+            bt,
+            facets,
+            bottom: OnceCell::new(),
+        }))
+    }
+
     /// The bottom product.
     pub fn bottom(set: &AbstractFacetSet) -> AbstractProductVal {
-        AbstractProductVal {
-            bt: BtVal::Bottom,
-            facets: set.pairs.iter().map(|(_, a)| a.bottom()).collect(),
-        }
+        AbstractProductVal::from_parts(
+            BtVal::Bottom,
+            set.pairs.iter().map(|(_, a)| a.bottom()).collect(),
+        )
     }
 
     /// The fully dynamic product: `Dynamic` with every facet `⊤`.
     pub fn dynamic(set: &AbstractFacetSet) -> AbstractProductVal {
-        AbstractProductVal {
-            bt: BtVal::Dynamic,
-            facets: set.pairs.iter().map(|(_, a)| a.top()).collect(),
-        }
+        AbstractProductVal::from_parts(
+            BtVal::Dynamic,
+            set.pairs.iter().map(|(_, a)| a.top()).collect(),
+        )
     }
 
     /// The fully static product with every facet `⊤` (a known input with
     /// no extra property information).
     pub fn static_top(set: &AbstractFacetSet) -> AbstractProductVal {
-        AbstractProductVal {
-            bt: BtVal::Static,
-            facets: set.pairs.iter().map(|(_, a)| a.top()).collect(),
-        }
+        AbstractProductVal::from_parts(
+            BtVal::Static,
+            set.pairs.iter().map(|(_, a)| a.top()).collect(),
+        )
     }
 
     /// Abstracts a constant into every component — Figure 4's `K̄[c]`.
     pub fn from_const(c: Const, set: &AbstractFacetSet) -> AbstractProductVal {
         let v = Value::from_const(c);
-        AbstractProductVal {
-            bt: BtVal::Static,
-            facets: (0..set.len()).map(|i| set.gamma_bar(i, &v)).collect(),
-        }
+        AbstractProductVal::from_parts(
+            BtVal::Static,
+            (0..set.len()).map(|i| set.gamma_bar(i, &v)).collect(),
+        )
     }
 
     /// Builds a product from raw components.
@@ -240,39 +260,43 @@ impl AbstractProductVal {
             set.len(),
             "product arity must match the facet set"
         );
-        AbstractProductVal { bt, facets }
+        AbstractProductVal::from_parts(bt, facets)
     }
 
     /// The binding-time component (component 0).
     pub fn bt(&self) -> &BtVal {
-        &self.bt
+        &self.0.bt
     }
 
     /// The `i`-th user facet's component.
     pub fn facet(&self, i: usize) -> &AbsVal {
-        &self.facets[i]
+        &self.0.facets[i]
     }
 
     /// All user facet components, in order.
     pub fn facet_components(&self) -> &[AbsVal] {
-        &self.facets
+        &self.0.facets
     }
 
     /// Returns a copy with the `i`-th facet component replaced — "this
     /// argument is dynamic but its size is static" (`⟨Dyn, s⟩`, Figure 9).
     #[must_use]
     pub fn with_facet(&self, i: usize, abs: AbsVal) -> AbstractProductVal {
-        let mut out = self.clone();
-        out.facets[i] = abs;
-        out
+        if self.0.facets[i] == abs {
+            return self.clone();
+        }
+        let mut facets = self.0.facets.clone();
+        facets[i] = abs;
+        AbstractProductVal::from_parts(self.0.bt, facets)
     }
 
     /// Returns a copy with the binding-time component replaced.
     #[must_use]
     pub fn with_bt(&self, bt: BtVal) -> AbstractProductVal {
-        let mut out = self.clone();
-        out.bt = bt;
-        out
+        if self.0.bt == bt {
+            return self.clone();
+        }
+        AbstractProductVal::from_parts(bt, self.0.facets.clone())
     }
 
     /// Returns a copy whose binding-time component is forced `Dynamic`
@@ -285,48 +309,59 @@ impl AbstractProductVal {
 
     /// True if the value is (smashed) `⊥`.
     pub fn is_bottom(&self, set: &AbstractFacetSet) -> bool {
-        self.bt == BtVal::Bottom
-            || self
-                .facets
-                .iter()
-                .zip(&set.pairs)
-                .any(|(v, (_, a))| *v == a.bottom())
+        *self.0.bottom.get_or_init(|| {
+            self.0.bt == BtVal::Bottom
+                || self
+                    .0
+                    .facets
+                    .iter()
+                    .zip(&set.pairs)
+                    .any(|(v, (_, a))| *v == a.bottom())
+        })
     }
 
     /// Componentwise join. Smashed bottoms are identities: `⊥ ⊔ x = x`.
     #[must_use]
     pub fn join(&self, other: &AbstractProductVal, set: &AbstractFacetSet) -> AbstractProductVal {
+        if Rc::ptr_eq(&self.0, &other.0) {
+            // x ⊔ x = x (idempotence is part of the AbstractFacet contract).
+            return self.clone();
+        }
         if self.is_bottom(set) {
             return other.clone();
         }
         if other.is_bottom(set) {
             return self.clone();
         }
-        AbstractProductVal {
-            bt: self.bt.join(&other.bt),
-            facets: self
+        AbstractProductVal::from_parts(
+            self.0.bt.join(&other.0.bt),
+            self.0
                 .facets
                 .iter()
-                .zip(&other.facets)
+                .zip(&other.0.facets)
                 .zip(&set.pairs)
                 .map(|((a, b), (_, f))| f.join(a, b))
                 .collect(),
-        }
+        )
     }
 
     /// Componentwise order (smashed: `⊥` below everything).
     pub fn leq(&self, other: &AbstractProductVal, set: &AbstractFacetSet) -> bool {
+        if Rc::ptr_eq(&self.0, &other.0) {
+            return true;
+        }
         if self.is_bottom(set) {
             return true;
         }
         if other.is_bottom(set) {
             return false;
         }
-        self.bt.leq(&other.bt)
+        self.0.bt.leq(&other.0.bt)
             && self
+                .0
                 .facets
                 .iter()
-                .zip(&other.facets)
+                .zip(&other.0.facets)
                 .zip(&set.pairs)
                 .all(|((a, b), (_, f))| f.leq(a, b))
     }
@@ -341,27 +376,52 @@ impl AbstractProductVal {
         if newer.is_bottom(set) {
             return self.clone();
         }
-        AbstractProductVal {
-            bt: self.bt.join(&newer.bt),
-            facets: self
+        AbstractProductVal::from_parts(
+            self.0.bt.join(&newer.0.bt),
+            self.0
                 .facets
                 .iter()
-                .zip(&newer.facets)
+                .zip(&newer.0.facets)
                 .zip(&set.pairs)
                 .map(|((a, b), (_, f))| f.widen(a, b))
                 .collect(),
-        }
+        )
     }
 
     /// Renders the product as the paper's `⟨Dyn, s⟩` tuples (Figure 9).
     pub fn display(&self) -> String {
-        let mut s = format!("⟨{}", self.bt);
-        for v in &self.facets {
+        let mut s = format!("⟨{}", self.0.bt);
+        for v in &self.0.facets {
             s.push_str(", ");
             s.push_str(&v.to_string());
         }
         s.push('⟩');
         s
+    }
+}
+
+impl PartialEq for AbstractProductVal {
+    fn eq(&self, other: &AbstractProductVal) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+            || (self.0.bt == other.0.bt && self.0.facets == other.0.facets)
+    }
+}
+
+impl Eq for AbstractProductVal {}
+
+impl Hash for AbstractProductVal {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.bt.hash(state);
+        self.0.facets.hash(state);
+    }
+}
+
+impl fmt::Debug for AbstractProductVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AbstractProductVal")
+            .field("bt", &self.0.bt)
+            .field("facets", &self.0.facets)
+            .finish()
     }
 }
 

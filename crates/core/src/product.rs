@@ -7,7 +7,9 @@
 //! realized by [`FacetSet::prim_product`], whose result classification
 //! ([`PrimOutcome`]) is exactly the case analysis of `K̂_P` in Figure 3.
 
+use std::cell::OnceCell;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 
 use ppe_lang::{Const, Prim, StdOpClass, Value};
@@ -103,7 +105,7 @@ impl FacetSet {
         if args.iter().any(|a| a.is_bottom(self)) {
             return PrimOutcome::Bottom;
         }
-        let pes: Vec<PeVal> = args.iter().map(|a| a.pe).collect();
+        let pes: Vec<PeVal> = args.iter().map(|a| *a.pe()).collect();
         let pe_result = pe_op(p, &pes);
         match p.std_class() {
             StdOpClass::Closed => {
@@ -120,7 +122,8 @@ impl FacetSet {
                 // result (e.g. `mkvec 3`): the value is fully computable,
                 // so abstract it exactly into every facet instead of going
                 // through the (necessarily weaker) abstract operators.
-                let arg_consts: Option<Vec<Const>> = args.iter().map(|a| a.pe.as_const()).collect();
+                let arg_consts: Option<Vec<Const>> =
+                    args.iter().map(|a| a.pe().as_const()).collect();
                 if let Some(cs) = arg_consts {
                     let values: Vec<Value> = cs.iter().map(|c| Value::from_const(*c)).collect();
                     if let Ok(v) = p.eval(&values) {
@@ -132,8 +135,8 @@ impl FacetSet {
                     let wrapped: Vec<FacetArg<'_>> = args
                         .iter()
                         .map(|a| FacetArg {
-                            pe: &a.pe,
-                            abs: &a.facets[i],
+                            pe: a.pe(),
+                            abs: a.facet(i),
                         })
                         .collect();
                     let out = facet.closed_op(p, &wrapped);
@@ -142,10 +145,7 @@ impl FacetSet {
                     }
                     components.push(out);
                 }
-                PrimOutcome::Closed(ProductVal {
-                    pe: pe_result,
-                    facets: components,
-                })
+                PrimOutcome::Closed(ProductVal::from_parts(pe_result, components))
             }
             StdOpClass::Open => {
                 // Definition 5(b): ⊥ dominates; otherwise the first facet
@@ -163,8 +163,8 @@ impl FacetSet {
                     let wrapped: Vec<FacetArg<'_>> = args
                         .iter()
                         .map(|a| FacetArg {
-                            pe: &a.pe,
-                            abs: &a.facets[i],
+                            pe: a.pe(),
+                            abs: a.facet(i),
                         })
                         .collect();
                     results.push(facet.open_op(p, &wrapped));
@@ -217,28 +217,45 @@ pub enum PrimOutcome {
 /// the remaining components belong to the user facets of the governing
 /// [`FacetSet`], in order. Smashing means any `⊥` component makes the whole
 /// value `⊥`; [`ProductVal::is_bottom`] tests that.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub struct ProductVal {
+///
+/// Cloning is O(1): the components live behind a shared reference-counted
+/// payload (the value is immutable, so sharing is unobservable), equality
+/// takes a pointer-identity fast path, and the smashed-bottom test is
+/// computed once per payload. The specialization caches key on vectors of
+/// these, so cheap `clone`/`Eq`/`Hash` here is what makes those keys cheap.
+#[derive(Clone)]
+pub struct ProductVal(Rc<ProductInner>);
+
+struct ProductInner {
     pe: PeVal,
     facets: Vec<AbsVal>,
+    /// Cached [`ProductVal::is_bottom`] (bottomness never changes — the
+    /// payload is immutable, and every use site passes the same governing
+    /// facet set).
+    bottom: OnceCell<bool>,
 }
 
 impl ProductVal {
+    fn from_parts(pe: PeVal, facets: Vec<AbsVal>) -> ProductVal {
+        ProductVal(Rc::new(ProductInner {
+            pe,
+            facets,
+            bottom: OnceCell::new(),
+        }))
+    }
+
     /// The bottom product (every component `⊥`).
     pub fn bottom(set: &FacetSet) -> ProductVal {
-        ProductVal {
-            pe: PeVal::Bottom,
-            facets: set.facets.iter().map(|f| f.bottom()).collect(),
-        }
+        ProductVal::from_parts(
+            PeVal::Bottom,
+            set.facets.iter().map(|f| f.bottom()).collect(),
+        )
     }
 
     /// The fully dynamic product (every component `⊤`) — the value of an
     /// unknown program input about which no facet knows anything.
     pub fn dynamic(set: &FacetSet) -> ProductVal {
-        ProductVal {
-            pe: PeVal::Top,
-            facets: set.facets.iter().map(|f| f.top()).collect(),
-        }
+        ProductVal::from_parts(PeVal::Top, set.facets.iter().map(|f| f.top()).collect())
     }
 
     /// Abstracts a constant into every component — the propagation
@@ -249,10 +266,10 @@ impl ProductVal {
 
     /// Abstracts a concrete value into every component.
     pub fn from_value(v: &Value, set: &FacetSet) -> ProductVal {
-        ProductVal {
-            pe: PeVal::from_value(v),
-            facets: set.facets.iter().map(|f| f.alpha(v)).collect(),
-        }
+        ProductVal::from_parts(
+            PeVal::from_value(v),
+            set.facets.iter().map(|f| f.alpha(v)).collect(),
+        )
     }
 
     /// Builds a product from raw components.
@@ -266,86 +283,101 @@ impl ProductVal {
             set.len(),
             "product arity must match the facet set"
         );
-        ProductVal { pe, facets }
+        ProductVal::from_parts(pe, facets)
     }
 
     /// The partial-evaluation component (component 0).
     pub fn pe(&self) -> &PeVal {
-        &self.pe
+        &self.0.pe
     }
 
     /// The `i`-th user facet's component.
     pub fn facet(&self, i: usize) -> &AbsVal {
-        &self.facets[i]
+        &self.0.facets[i]
     }
 
     /// All user facet components, in order.
     pub fn facet_components(&self) -> &[AbsVal] {
-        &self.facets
+        &self.0.facets
     }
 
     /// Returns a copy with the `i`-th user facet component replaced —
     /// used to state "this argument is dynamic but its size is 3".
     #[must_use]
     pub fn with_facet(&self, i: usize, abs: AbsVal) -> ProductVal {
-        let mut out = self.clone();
-        out.facets[i] = abs;
-        out
+        if self.0.facets[i] == abs {
+            return self.clone();
+        }
+        let mut facets = self.0.facets.clone();
+        facets[i] = abs;
+        ProductVal::from_parts(self.0.pe, facets)
     }
 
     /// Returns a copy with the partial-evaluation component replaced.
     #[must_use]
     pub fn with_pe(&self, pe: PeVal) -> ProductVal {
-        let mut out = self.clone();
-        out.pe = pe;
-        out
+        if self.0.pe == pe {
+            return self.clone();
+        }
+        ProductVal::from_parts(pe, self.0.facets.clone())
     }
 
     /// True if the value is (smashed) `⊥`: some component is `⊥`.
     pub fn is_bottom(&self, set: &FacetSet) -> bool {
-        self.pe == PeVal::Bottom
-            || self
-                .facets
-                .iter()
-                .zip(&set.facets)
-                .any(|(v, f)| *v == f.bottom())
+        *self.0.bottom.get_or_init(|| {
+            self.0.pe == PeVal::Bottom
+                || self
+                    .0
+                    .facets
+                    .iter()
+                    .zip(&set.facets)
+                    .any(|(v, f)| *v == f.bottom())
+        })
     }
 
     /// Componentwise join (the product lattice's least upper bound).
     /// Smashed bottoms are identities: `⊥ ⊔ x = x`.
     #[must_use]
     pub fn join(&self, other: &ProductVal, set: &FacetSet) -> ProductVal {
+        if Rc::ptr_eq(&self.0, &other.0) {
+            // x ⊔ x = x (idempotence is part of the Facet contract).
+            return self.clone();
+        }
         if self.is_bottom(set) {
             return other.clone();
         }
         if other.is_bottom(set) {
             return self.clone();
         }
-        ProductVal {
-            pe: self.pe.join(&other.pe),
-            facets: self
+        ProductVal::from_parts(
+            self.0.pe.join(&other.0.pe),
+            self.0
                 .facets
                 .iter()
-                .zip(&other.facets)
+                .zip(&other.0.facets)
                 .zip(&set.facets)
                 .map(|((a, b), f)| f.join(a, b))
                 .collect(),
-        }
+        )
     }
 
     /// Componentwise order (smashed: `⊥` below everything).
     pub fn leq(&self, other: &ProductVal, set: &FacetSet) -> bool {
+        if Rc::ptr_eq(&self.0, &other.0) {
+            return true;
+        }
         if self.is_bottom(set) {
             return true;
         }
         if other.is_bottom(set) {
             return false;
         }
-        self.pe.leq(&other.pe)
+        self.0.pe.leq(&other.0.pe)
             && self
+                .0
                 .facets
                 .iter()
-                .zip(&other.facets)
+                .zip(&other.0.facets)
                 .zip(&set.facets)
                 .all(|((a, b), f)| f.leq(a, b))
     }
@@ -360,27 +392,52 @@ impl ProductVal {
         if newer.is_bottom(set) {
             return self.clone();
         }
-        ProductVal {
-            pe: self.pe.join(&newer.pe),
-            facets: self
+        ProductVal::from_parts(
+            self.0.pe.join(&newer.0.pe),
+            self.0
                 .facets
                 .iter()
-                .zip(&newer.facets)
+                .zip(&newer.0.facets)
                 .zip(&set.facets)
                 .map(|((a, b), f)| f.widen(a, b))
                 .collect(),
-        }
+        )
     }
 
     /// Renders the product as the paper's `⟨v₁, …, vₘ⟩` tuples (Figure 9).
     pub fn display(&self) -> String {
-        let mut s = format!("⟨{}", self.pe);
-        for v in &self.facets {
+        let mut s = format!("⟨{}", self.0.pe);
+        for v in &self.0.facets {
             s.push_str(", ");
             s.push_str(&v.to_string());
         }
         s.push('⟩');
         s
+    }
+}
+
+impl PartialEq for ProductVal {
+    fn eq(&self, other: &ProductVal) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+            || (self.0.pe == other.0.pe && self.0.facets == other.0.facets)
+    }
+}
+
+impl Eq for ProductVal {}
+
+impl Hash for ProductVal {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.pe.hash(state);
+        self.0.facets.hash(state);
+    }
+}
+
+impl fmt::Debug for ProductVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProductVal")
+            .field("pe", &self.0.pe)
+            .field("facets", &self.0.facets)
+            .finish()
     }
 }
 

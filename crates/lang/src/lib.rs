@@ -40,6 +40,7 @@ mod pretty;
 mod prim;
 mod program;
 mod symbol;
+pub mod term;
 mod token;
 mod value;
 
@@ -50,12 +51,14 @@ pub use error::{EvalError, ParseError};
 pub use eval::{Evaluator, DEFAULT_FUEL, DEFAULT_MAX_DEPTH, DEFAULT_MAX_EXPR_DEPTH};
 pub use lazy::LazyEvaluator;
 pub use opt::{
-    count_uses, is_droppable, optimize_expr, optimize_program, prune_unused_params, OptLevel,
+    count_uses, is_droppable, is_droppable_term, optimize_expr, optimize_program, optimize_term,
+    prune_unused_params, OptLevel,
 };
 pub use parser::{parse_defs, parse_expr, parse_program};
 pub use pretty::{pretty_expr, pretty_program};
 pub use prim::{Prim, StdOpClass, ALL_PRIMS, MAX_VECTOR_SIZE};
 pub use program::{FunDef, Program};
 pub use symbol::Symbol;
+pub use term::{interner_stats, InternerStats, Term, TermNode};
 pub use token::Token;
 pub use value::Value;

@@ -18,6 +18,7 @@ use crate::ast::Expr;
 use crate::prim::Prim;
 use crate::program::Program;
 use crate::symbol::Symbol;
+use crate::term::{Term, TermNode};
 
 /// How aggressively dead code may be removed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -48,15 +49,19 @@ pub fn optimize_program(program: &Program, level: OptLevel) -> Program {
         .defs()
         .iter()
         .map(|d| {
-            let mut body = d.body.clone();
+            // The passes run over interned terms: the fixpoint test is a
+            // pointer comparison, binder-use counts come from each node's
+            // cached occurrence data, and unchanged subtrees are reused
+            // rather than re-allocated.
+            let mut body = Term::from_expr(&d.body);
             for _ in 0..8 {
-                let next = optimize_expr(&body, level);
+                let next = optimize_term(&body, level);
                 if next == body {
                     break;
                 }
                 body = next;
             }
-            crate::program::FunDef::new(d.name, d.params.clone(), body)
+            crate::program::FunDef::new(d.name, d.params.clone(), body.to_expr())
         })
         .collect();
     // Optimization rewrites bodies only, so the def list always rebuilds;
@@ -66,75 +71,110 @@ pub fn optimize_program(program: &Program, level: OptLevel) -> Program {
 }
 
 /// One bottom-up cleanup pass over an expression.
+///
+/// Convenience wrapper over [`optimize_term`] for tree-shaped callers; the
+/// pipeline-facing entry point is [`optimize_program`].
 pub fn optimize_expr(e: &Expr, level: OptLevel) -> Expr {
-    match e {
-        Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_) => e.clone(),
-        Expr::Prim(p, args) => {
-            let args: Vec<Expr> = args.iter().map(|a| optimize_expr(a, level)).collect();
-            Expr::Prim(*p, args)
+    optimize_term(&Term::from_expr(e), level).to_expr()
+}
+
+/// One bottom-up cleanup pass over an interned term.
+pub fn optimize_term(e: &Term, level: OptLevel) -> Term {
+    /// Rebuilds a node only when some child actually changed, keeping the
+    /// canonical pointer (and the fixpoint test O(1)) otherwise.
+    fn map_args(args: &[Term], level: OptLevel) -> (Vec<Term>, bool) {
+        let mut changed = false;
+        let out = args
+            .iter()
+            .map(|a| {
+                let o = optimize_term(a, level);
+                changed |= o != *a;
+                o
+            })
+            .collect();
+        (out, changed)
+    }
+    match e.node() {
+        TermNode::Const(_) | TermNode::Var(_) | TermNode::FnRef(_) => e.clone(),
+        TermNode::Prim(p, args) => {
+            let (args, changed) = map_args(args, level);
+            if changed {
+                Term::prim(*p, args)
+            } else {
+                e.clone()
+            }
         }
-        Expr::Call(f, args) => {
-            let args: Vec<Expr> = args.iter().map(|a| optimize_expr(a, level)).collect();
-            Expr::Call(*f, args)
+        TermNode::Call(f, args) => {
+            let (args, changed) = map_args(args, level);
+            if changed {
+                Term::call(*f, args)
+            } else {
+                e.clone()
+            }
         }
-        Expr::App(f, args) => {
-            let f = optimize_expr(f, level);
-            let args: Vec<Expr> = args.iter().map(|a| optimize_expr(a, level)).collect();
-            Expr::App(Box::new(f), args)
+        TermNode::App(f, args) => {
+            let f = optimize_term(f, level);
+            let (args, _) = map_args(args, level);
+            Term::app(f, args)
         }
-        Expr::Lambda(params, body) => {
-            Expr::Lambda(params.clone(), Box::new(optimize_expr(body, level)))
+        TermNode::Lambda(params, body) => {
+            let opt = optimize_term(body, level);
+            if opt == *body {
+                e.clone()
+            } else {
+                Term::lambda(params.clone(), opt)
+            }
         }
-        Expr::If(c, t, f) => {
-            let c = optimize_expr(c, level);
-            let t = optimize_expr(t, level);
-            let f = optimize_expr(f, level);
+        TermNode::If(c, t, f) => {
+            let c = optimize_term(c, level);
+            let t = optimize_term(t, level);
+            let f = optimize_term(f, level);
             // Constant tests fold.
-            if let Expr::Const(cc) = &c {
+            if let TermNode::Const(cc) = c.node() {
                 if let Some(b) = cc.as_bool() {
                     return if b { t } else { f };
                 }
             }
-            // Identical branches collapse; the test is kept (sequenced)
-            // unless it is droppable.
+            // Identical branches collapse (a pointer comparison on
+            // interned terms); the test is kept (sequenced) unless it is
+            // droppable.
             if t == f {
-                return if is_droppable(&c, level) {
+                return if is_droppable_term(&c, level) {
                     t
                 } else {
                     // A binder name not free in the branch (so nothing is
                     // accidentally shadowed).
-                    let mut free = Vec::new();
-                    t.free_vars(&mut free);
                     let mut name = Symbol::intern("_cond");
                     let mut n = 0;
-                    while free.contains(&name) {
+                    while t.has_free(name) {
                         n += 1;
                         name = Symbol::intern(&format!("_cond{n}"));
                     }
-                    Expr::Let(name, Box::new(c), Box::new(t))
+                    Term::let_(name, c, t)
                 };
             }
-            Expr::If(Box::new(c), Box::new(t), Box::new(f))
+            Term::if_(c, t, f)
         }
-        Expr::Let(x, b, body) => {
-            let b = optimize_expr(b, level);
-            let body = optimize_expr(body, level);
-            let mut free = Vec::new();
-            body.free_vars(&mut free);
-            let uses = count_uses(&body, *x);
-            // Unused binding of a droppable expression: delete.
-            if uses == 0 && is_droppable(&b, level) {
+        TermNode::Let(x, b, body) => {
+            let b = optimize_term(b, level);
+            let body = optimize_term(body, level);
+            // Unused binding of a droppable expression: delete. The use
+            // count is the node's cached occurrence datum, not a
+            // traversal.
+            if !body.has_free(*x) && is_droppable_term(&b, level) {
                 return body;
             }
             // Trivial binding (constant/variable): substitute away.
-            if matches!(b, Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_)) {
-                return substitute(&body, *x, &b);
+            if matches!(
+                b.node(),
+                TermNode::Const(_) | TermNode::Var(_) | TermNode::FnRef(_)
+            ) {
+                return substitute_term(&body, *x, &b);
             }
             // Used exactly once, in a position we can safely inline into?
             // Inlining changes evaluation order in general; skip (the
             // specializers already bind through `let` deliberately).
-            let _ = free;
-            Expr::Let(*x, Box::new(b), Box::new(body))
+            Term::let_(*x, b, body)
         }
     }
 }
@@ -160,6 +200,26 @@ pub fn is_droppable(e: &Expr, level: OptLevel) -> bool {
         Expr::Let(_, b, body) => is_droppable(b, level) && is_droppable(body, level),
         // Calls may diverge; applications may be anything.
         Expr::Call(..) | Expr::App(..) => false,
+    }
+}
+
+/// [`is_droppable`] over interned terms (same definition, no conversion).
+pub fn is_droppable_term(e: &Term, level: OptLevel) -> bool {
+    match e.node() {
+        TermNode::Const(_) | TermNode::Var(_) | TermNode::FnRef(_) | TermNode::Lambda(..) => true,
+        TermNode::Prim(p, args) => {
+            level == OptLevel::PureArith
+                && pure_arith(*p)
+                && args.iter().all(|a| is_droppable_term(a, level))
+        }
+        TermNode::If(c, t, f) => {
+            is_droppable_term(c, level)
+                && is_droppable_term(t, level)
+                && is_droppable_term(f, level)
+        }
+        TermNode::Let(_, b, body) => is_droppable_term(b, level) && is_droppable_term(body, level),
+        // Calls may diverge; applications may be anything.
+        TermNode::Call(..) | TermNode::App(..) => false,
     }
 }
 
@@ -210,54 +270,68 @@ pub fn count_uses(e: &Expr, x: Symbol) -> usize {
 }
 
 /// Capture-avoiding substitution of a *closed-ish* replacement (constants,
-/// variables, function references — which cannot capture) for `x`.
-fn substitute(e: &Expr, x: Symbol, replacement: &Expr) -> Expr {
-    match e {
-        Expr::Const(_) | Expr::FnRef(_) => e.clone(),
-        Expr::Var(v) => {
+/// variables, function references — which cannot capture) for `x`, with an
+/// O(1) short-circuit on subterms where `x` does not occur free.
+fn substitute_term(e: &Term, x: Symbol, replacement: &Term) -> Term {
+    // No free occurrence of `x` anywhere below: the tree-walking version
+    // would rebuild an identical term, so the original can be returned
+    // directly. This is the memoization that makes the optimizer's
+    // substitution passes cheap on large residuals.
+    if !e.has_free(x) {
+        return e.clone();
+    }
+    match e.node() {
+        TermNode::Const(_) | TermNode::FnRef(_) => e.clone(),
+        TermNode::Var(v) => {
             if *v == x {
                 replacement.clone()
             } else {
                 e.clone()
             }
         }
-        Expr::Prim(p, args) => Expr::Prim(
+        TermNode::Prim(p, args) => Term::prim(
             *p,
-            args.iter().map(|a| substitute(a, x, replacement)).collect(),
+            args.iter()
+                .map(|a| substitute_term(a, x, replacement))
+                .collect(),
         ),
-        Expr::Call(f, args) => Expr::Call(
+        TermNode::Call(f, args) => Term::call(
             *f,
-            args.iter().map(|a| substitute(a, x, replacement)).collect(),
+            args.iter()
+                .map(|a| substitute_term(a, x, replacement))
+                .collect(),
         ),
-        Expr::If(c, t, f) => Expr::If(
-            Box::new(substitute(c, x, replacement)),
-            Box::new(substitute(t, x, replacement)),
-            Box::new(substitute(f, x, replacement)),
+        TermNode::If(c, t, f) => Term::if_(
+            substitute_term(c, x, replacement),
+            substitute_term(t, x, replacement),
+            substitute_term(f, x, replacement),
         ),
-        Expr::Let(y, b, body) => {
-            let b = substitute(b, x, replacement);
+        TermNode::Let(y, b, body) => {
+            let b = substitute_term(b, x, replacement);
             // Shadowing stops the substitution; a Var replacement equal to
             // `y` would be captured, so stop there too.
-            let shadows = *y == x || matches!(replacement, Expr::Var(r) if r == y);
+            let shadows = *y == x || matches!(replacement.node(), TermNode::Var(r) if r == y);
             let body = if shadows {
-                (**body).clone()
+                body.clone()
             } else {
-                substitute(body, x, replacement)
+                substitute_term(body, x, replacement)
             };
-            Expr::Let(*y, Box::new(b), Box::new(body))
+            Term::let_(*y, b, body)
         }
-        Expr::Lambda(params, body) => {
-            let captured =
-                params.contains(&x) || matches!(replacement, Expr::Var(r) if params.contains(r));
+        TermNode::Lambda(params, body) => {
+            let captured = params.contains(&x)
+                || matches!(replacement.node(), TermNode::Var(r) if params.contains(r));
             if captured {
                 e.clone()
             } else {
-                Expr::Lambda(params.clone(), Box::new(substitute(body, x, replacement)))
+                Term::lambda(params.clone(), substitute_term(body, x, replacement))
             }
         }
-        Expr::App(f, args) => Expr::App(
-            Box::new(substitute(f, x, replacement)),
-            args.iter().map(|a| substitute(a, x, replacement)).collect(),
+        TermNode::App(f, args) => Term::app(
+            substitute_term(f, x, replacement),
+            args.iter()
+                .map(|a| substitute_term(a, x, replacement))
+                .collect(),
         ),
     }
 }
@@ -332,10 +406,14 @@ mod tests {
             opt("(let ((a y)) (let ((y 1)) (+ a y)))", OptLevel::Safe),
             "(+ y 1)"
         );
-        // Direct capture test on `substitute` itself: replacing a := y
+        // Direct capture test on `substitute_term` itself: replacing a := y
         // must stop at a λ binding y.
-        let body = parse_expr("(lambda (y) (+ a y))").unwrap();
-        let replaced = substitute(&body, crate::Symbol::intern("a"), &Expr::var("y"));
+        let body = Term::from_expr(&parse_expr("(lambda (y) (+ a y))").unwrap());
+        let replaced = substitute_term(
+            &body,
+            crate::Symbol::intern("a"),
+            &Term::var(crate::Symbol::intern("y")),
+        );
         assert_eq!(replaced, body, "substitution must refuse to capture");
     }
 

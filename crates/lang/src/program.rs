@@ -47,6 +47,10 @@ impl FunDef {
 pub struct Program {
     defs: Vec<FunDef>,
     index: HashMap<Symbol, usize>,
+    /// Memoized [`Program::fingerprint`]. Definitions are immutable after
+    /// construction, so the hash is computed at most once per program
+    /// (clones inherit an already-computed value for free).
+    fingerprint: std::sync::OnceLock<u64>,
 }
 
 impl Program {
@@ -66,7 +70,11 @@ impl Program {
                 return Err(format!("duplicate definition of `{}`", d.name));
             }
         }
-        Ok(Program { defs, index })
+        Ok(Program {
+            defs,
+            index,
+            fingerprint: std::sync::OnceLock::new(),
+        })
     }
 
     /// The definitions, in source order.
@@ -198,18 +206,24 @@ impl Program {
     /// across processes and independent of what else was interned first,
     /// which makes it usable as a persistent cache-key component (the
     /// `ppe-server` residual cache keys on it).
+    ///
+    /// The walk runs once per program and is memoized; repeated calls
+    /// (e.g. per-request cache-key construction in `ppe-server`) return
+    /// the stored value without touching the AST.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = Fnv64::new();
-        h.write_usize(self.defs.len());
-        for d in &self.defs {
-            h.write_str(d.name.as_str());
-            h.write_usize(d.params.len());
-            for p in &d.params {
-                h.write_str(p.as_str());
+        *self.fingerprint.get_or_init(|| {
+            let mut h = Fnv64::new();
+            h.write_usize(self.defs.len());
+            for d in &self.defs {
+                h.write_str(d.name.as_str());
+                h.write_usize(d.params.len());
+                for p in &d.params {
+                    h.write_str(p.as_str());
+                }
+                hash_expr(&d.body, &mut h);
             }
-            hash_expr(&d.body, &mut h);
-        }
-        h.finish()
+            h.finish()
+        })
     }
 
     /// True if any definition uses the higher-order forms of Section 5.5.

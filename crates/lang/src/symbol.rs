@@ -58,6 +58,14 @@ impl Symbol {
         Symbol(id)
     }
 
+    /// The symbol's dense interner index. Indices are assigned in interning
+    /// order, so they are *not* stable across processes — they are suitable
+    /// for in-process tables and fingerprints only (persistent keys must go
+    /// through [`Symbol::as_str`]).
+    pub(crate) fn index(self) -> u32 {
+        self.0
+    }
+
     /// Returns the spelling of this symbol.
     pub fn as_str(self) -> &'static str {
         let i = interner().lock().expect("symbol interner poisoned");

@@ -320,7 +320,13 @@ pub fn analyze_fn_with_config(
             }
             break;
         }
+        // The snapshot fixes this iteration's reads (all functions are
+        // analyzed at the same generation of arguments); it is cheap to
+        // take, since signatures clone by reference count. Stabilization
+        // is detected by `absorb`'s change reports rather than a deep
+        // environment comparison.
         let snapshot = sig.clone();
+        let mut changed = false;
         for d in program.defs() {
             let Some(s) = snapshot.get(d.name) else {
                 continue; // not reached yet
@@ -333,7 +339,7 @@ pub fn analyze_fn_with_config(
                 .collect();
             let mut calls = Vec::new();
             let result = eval_abs(&d.body, &mut env, &sig, &aset, &mut calls);
-            sig.absorb(
+            changed |= sig.absorb(
                 d.name,
                 &FacetSignature {
                     args: s.args.clone(),
@@ -350,10 +356,10 @@ pub fn analyze_fn_with_config(
                         .map(|gs| gs.result.clone())
                         .unwrap_or_else(|| FacetSignature::bottom(arity, &aset).result),
                 };
-                sig.absorb(g, &contribution, &aset);
+                changed |= sig.absorb(g, &contribution, &aset);
             }
         }
-        if sig == snapshot {
+        if !changed {
             break;
         }
     }

@@ -172,18 +172,20 @@ fn zeta(ctx: &mut Ctx<'_>, f: Symbol, mut args: Vec<AbstractProductVal>) -> Abst
         args = vec![AbstractProductVal::dynamic(ctx.aset); args.len()];
     }
     // Variant budget: new tuples beyond the cap are generalized to the
-    // fully dynamic tuple.
-    let key_exists =
-        ctx.memo.contains_key(&(f, args.clone())) || ctx.in_progress.contains(&(f, args.clone()));
+    // fully dynamic tuple. The key is built once — abstract product values
+    // clone by reference count, so the repeated memo probes below cost
+    // hashing only, not deep copies.
+    let mut key = (f, args);
+    let key_exists = ctx.memo.contains_key(&key) || ctx.in_progress.contains(&key);
     if !key_exists {
         let count = ctx.per_fn_counts.entry(f).or_insert(0);
         if *count >= MAX_VARIANTS_PER_FN {
-            args = vec![AbstractProductVal::dynamic(ctx.aset); args.len()];
+            key.1 = vec![AbstractProductVal::dynamic(ctx.aset); key.1.len()];
         } else {
             *count += 1;
         }
     }
-    let key = (f, args.clone());
+    let key = key;
 
     if ctx.in_progress.contains(&key) {
         // Recursive re-entry: answer the best estimate so far (⊥ on the

@@ -74,12 +74,23 @@ impl SigEnv {
         self.map.insert(f, sig);
     }
 
-    /// Widening-joins `sig` into `f`'s entry.
-    pub fn absorb(&mut self, f: Symbol, sig: &FacetSignature, set: &AbstractFacetSet) {
+    /// Widening-joins `sig` into `f`'s entry. Returns whether the entry
+    /// changed, so fixpoint drivers can detect stabilization without
+    /// snapshotting and re-comparing the whole environment.
+    pub fn absorb(&mut self, f: Symbol, sig: &FacetSignature, set: &AbstractFacetSet) -> bool {
         match self.map.get_mut(&f) {
-            Some(existing) => *existing = existing.widen(sig, set),
+            Some(existing) => {
+                let widened = existing.widen(sig, set);
+                if widened == *existing {
+                    false
+                } else {
+                    *existing = widened;
+                    true
+                }
+            }
             None => {
                 self.map.insert(f, sig.clone());
+                true
             }
         }
     }

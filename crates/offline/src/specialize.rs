@@ -15,6 +15,7 @@
 //! terminate by itself; budgets turn that into
 //! [`OfflineError::OutOfFuel`].
 
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 
 use ppe_core::{FacetArg, FacetSet, PeVal, ProductVal};
@@ -108,19 +109,22 @@ struct St {
     gov: Governor,
 }
 
-impl St {
-    fn fresh_fn(&mut self, base: Symbol) -> Symbol {
-        let mut n = 1u64;
-        loop {
-            let candidate = Symbol::intern(&format!("{base}_{n}"));
-            if !self.used_names.contains(&candidate) {
-                self.used_names.insert(candidate);
-                return candidate;
-            }
-            n += 1;
+/// Mints a fresh residual function name. A free function over the name set
+/// (rather than a method on [`St`]) so it can run while a cache entry handle
+/// still borrows `St::cache`.
+fn fresh_fn(used_names: &mut HashSet<Symbol>, base: Symbol) -> Symbol {
+    let mut n = 1u64;
+    loop {
+        let candidate = Symbol::intern(&format!("{base}_{n}"));
+        if !used_names.contains(&candidate) {
+            used_names.insert(candidate);
+            return candidate;
         }
+        n += 1;
     }
+}
 
+impl St {
     fn fresh_tmp(&mut self) -> Symbol {
         loop {
             self.tmp_counter += 1;
@@ -533,36 +537,49 @@ impl<'a> OfflinePe<'a> {
         residuals: Vec<Expr>,
         st: &mut St,
     ) -> Result<(Expr, ProductVal), OfflineError> {
-        let key = (f, pattern);
-        if let Some((name, value)) = st.cache.get(&key) {
-            st.stats.cache_hits += 1;
-            // `None` means we are inside this very specialization
-            // (recursion): answer conservatively.
-            let v = value
-                .clone()
-                .unwrap_or_else(|| ProductVal::dynamic(self.facets));
-            return Ok((Expr::Call(*name, residuals), v));
-        }
-        if st.cache.len() >= self.config.max_specializations {
-            let generalized = vec![ProductVal::dynamic(self.facets); key.1.len()];
-            if key.1 != generalized {
-                st.gov
-                    .cache_full(self.config.max_specializations, f)
-                    .map_err(OfflineError::from)?;
-                // Degrade: fold onto the fully generalized specialization
-                // instead of minting another precise one.
-                return self.fold_call(f, callee, generalized, residuals, st);
+        // Product values clone by reference count, so holding a second
+        // handle on the pattern for the environment costs only the vector.
+        let pattern_env = pattern.clone();
+        let cache_len = st.cache.len();
+        // One probe answers both "already cached?" and "where to insert".
+        let name = match st.cache.entry((f, pattern)) {
+            Entry::Occupied(entry) => {
+                st.stats.cache_hits += 1;
+                // `None` means we are inside this very specialization
+                // (recursion): answer conservatively.
+                let (name, value) = entry.get();
+                let v = value
+                    .clone()
+                    .unwrap_or_else(|| ProductVal::dynamic(self.facets));
+                return Ok((Expr::Call(*name, residuals), v));
             }
-            // A fully generalized entry is admitted past the cap — there is
-            // at most one per source function, so the cache stays finite.
-        }
-        let name = st.fresh_fn(f);
-        st.cache.insert(key.clone(), (name, None));
+            Entry::Vacant(slot) => {
+                if cache_len >= self.config.max_specializations {
+                    let generalized = vec![ProductVal::dynamic(self.facets); slot.key().1.len()];
+                    if slot.key().1 != generalized {
+                        drop(slot);
+                        st.gov
+                            .cache_full(self.config.max_specializations, f)
+                            .map_err(OfflineError::from)?;
+                        // Degrade: fold onto the fully generalized
+                        // specialization instead of minting another
+                        // precise one.
+                        return self.fold_call(f, callee, generalized, residuals, st);
+                    }
+                    // A fully generalized entry is admitted past the cap —
+                    // there is at most one per source function, so the
+                    // cache stays finite.
+                }
+                let name = fresh_fn(&mut st.used_names, f);
+                slot.insert((name, None));
+                name
+            }
+        };
         st.def_order.push(name);
         st.defs.insert(name, None);
         st.stats.specializations += 1;
         let mut inner = Env { stack: Vec::new() };
-        for (p, v) in callee.params.iter().zip(&key.1) {
+        for (p, v) in callee.params.iter().zip(&pattern_env) {
             inner.stack.push((*p, Expr::Var(*p), v.clone()));
         }
         let (body, body_val) = self.walk(&callee.body, &mut inner, 0, st)?;
@@ -570,7 +587,7 @@ impl<'a> OfflinePe<'a> {
         st.defs
             .insert(name, Some(FunDef::new(name, callee.params.clone(), body)));
         let value = body_val.with_pe(PeVal::Top);
-        if let Some(entry) = st.cache.get_mut(&key) {
+        if let Some(entry) = st.cache.get_mut(&(f, pattern_env)) {
             entry.1 = Some(value.clone());
         }
         Ok((Expr::Call(name, residuals), value))

@@ -15,6 +15,7 @@
 //!   dynamic before specializing, guaranteeing one cache entry per
 //!   function and hence termination.
 
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 
 use ppe_core::{FacetSet, PeVal, PrimOutcome, ProductVal};
@@ -83,19 +84,22 @@ struct St {
     gov: Governor,
 }
 
-impl St {
-    fn fresh_fn(&mut self, base: Symbol) -> Symbol {
-        let mut n = 1u64;
-        loop {
-            let candidate = Symbol::intern(&format!("{base}_{n}"));
-            if !self.used_names.contains(&candidate) {
-                self.used_names.insert(candidate);
-                return candidate;
-            }
-            n += 1;
+/// Mints a fresh residual function name. A free function over the name set
+/// (rather than a method on [`St`]) so it can run while a cache entry handle
+/// still borrows `St::cache`.
+fn fresh_fn(used_names: &mut HashSet<Symbol>, base: Symbol) -> Symbol {
+    let mut n = 1u64;
+    loop {
+        let candidate = Symbol::intern(&format!("{base}_{n}"));
+        if !used_names.contains(&candidate) {
+            used_names.insert(candidate);
+            return candidate;
         }
+        n += 1;
     }
+}
 
+impl St {
     fn fresh_tmp(&mut self) -> Symbol {
         loop {
             self.tmp_counter += 1;
@@ -658,34 +662,47 @@ impl<'a> OnlinePe<'a> {
         pattern: Vec<ProductVal>,
         st: &mut St,
     ) -> Result<(Symbol, ProductVal), PeError> {
-        let key = (f, pattern);
-        if let Some((name, value)) = st.cache.get(&key) {
-            st.stats.cache_hits += 1;
-            // A `None` value means we are inside this very
-            // specialization (recursion): answer conservatively.
-            let v = value
-                .clone()
-                .unwrap_or_else(|| ProductVal::dynamic(self.facets));
-            return Ok((*name, v));
-        }
-        if st.cache.len() >= self.config.max_specializations {
-            let generalized = vec![ProductVal::dynamic(self.facets); def.arity()];
-            if key.1 != generalized {
-                st.gov.cache_full(self.config.max_specializations, f)?;
-                // Degrade: fold onto the fully generalized specialization
-                // instead of minting another precise one.
-                return self.specialized_fn(f, def, generalized, st);
+        // Product values clone by reference count, so holding a second
+        // handle on the pattern for the environment costs only the vector.
+        let pattern_env = pattern.clone();
+        let cache_len = st.cache.len();
+        // One probe answers both "already cached?" and "where to insert".
+        let name = match st.cache.entry((f, pattern)) {
+            Entry::Occupied(entry) => {
+                st.stats.cache_hits += 1;
+                // A `None` value means we are inside this very
+                // specialization (recursion): answer conservatively.
+                let (name, value) = entry.get();
+                let v = value
+                    .clone()
+                    .unwrap_or_else(|| ProductVal::dynamic(self.facets));
+                return Ok((*name, v));
             }
-            // A fully generalized entry is admitted past the cap — there is
-            // at most one per source function, so the cache stays finite.
-        }
-        let name = st.fresh_fn(f);
-        st.cache.insert(key.clone(), (name, None));
+            Entry::Vacant(slot) => {
+                if cache_len >= self.config.max_specializations {
+                    let generalized = vec![ProductVal::dynamic(self.facets); def.arity()];
+                    if slot.key().1 != generalized {
+                        drop(slot);
+                        st.gov.cache_full(self.config.max_specializations, f)?;
+                        // Degrade: fold onto the fully generalized
+                        // specialization instead of minting another
+                        // precise one.
+                        return self.specialized_fn(f, def, generalized, st);
+                    }
+                    // A fully generalized entry is admitted past the cap —
+                    // there is at most one per source function, so the
+                    // cache stays finite.
+                }
+                let name = fresh_fn(&mut st.used_names, f);
+                slot.insert((name, None));
+                name
+            }
+        };
         st.def_order.push(name);
         st.defs.insert(name, None);
         st.stats.specializations += 1;
         let mut inner = PeEnv::new();
-        for (p, v) in def.params.iter().zip(&key.1) {
+        for (p, v) in def.params.iter().zip(&pattern_env) {
             inner.push(*p, Expr::Var(*p), v.clone());
         }
         // Depth resets inside a specialization body: unfolding is budgeted
@@ -699,7 +716,7 @@ impl<'a> OnlinePe<'a> {
         let value = body_val.with_pe(PeVal::Top);
         st.defs
             .insert(name, Some(FunDef::new(name, def.params.clone(), body)));
-        if let Some(entry) = st.cache.get_mut(&key) {
+        if let Some(entry) = st.cache.get_mut(&(f, pattern_env)) {
             entry.1 = Some(value.clone());
         }
         Ok((name, value))

@@ -8,6 +8,7 @@
 //! an empty facet set computes identical residual programs (partial
 //! evaluation subsumes the PE facet alone, Definition 7).
 
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 
 use ppe_lang::{Const, Expr, FunDef, Program, Symbol, Value};
@@ -80,19 +81,22 @@ struct St {
     gov: Governor,
 }
 
-impl St {
-    fn fresh_fn(&mut self, base: Symbol) -> Symbol {
-        let mut n = 1u64;
-        loop {
-            let candidate = Symbol::intern(&format!("{base}_{n}"));
-            if !self.used_names.contains(&candidate) {
-                self.used_names.insert(candidate);
-                return candidate;
-            }
-            n += 1;
+/// Mints a fresh residual function name. A free function over the name set
+/// (rather than a method on [`St`]) so it can run while a cache entry handle
+/// still borrows `St::cache`.
+fn fresh_fn(used_names: &mut HashSet<Symbol>, base: Symbol) -> Symbol {
+    let mut n = 1u64;
+    loop {
+        let candidate = Symbol::intern(&format!("{base}_{n}"));
+        if !used_names.contains(&candidate) {
+            used_names.insert(candidate);
+            return candidate;
         }
+        n += 1;
     }
+}
 
+impl St {
     fn fresh_tmp(&mut self) -> Symbol {
         loop {
             self.tmp_counter += 1;
@@ -359,19 +363,26 @@ impl<'a> SimplePe<'a> {
     fn generalized_spec(&self, f: Symbol, st: &mut St) -> Result<Symbol, PeError> {
         let def = self.program.lookup(f).ok_or(PeError::UnknownFunction(f))?;
         let pattern: Pattern = vec![None; def.arity()];
-        let key = (f, pattern);
-        if let Some(name) = st.cache.get(&key) {
-            st.stats.cache_hits += 1;
-            return Ok(*name);
-        }
-        if st.cache.len() >= self.config.max_specializations {
-            // Degrade admits the entry (every simple-PE pattern is already
-            // fully dynamic, so the cache is bounded by the number of
-            // source functions); Fail errors out as before.
-            st.gov.cache_full(self.config.max_specializations, f)?;
-        }
-        let name = st.fresh_fn(f);
-        st.cache.insert(key, name);
+        let cache_len = st.cache.len();
+        // One probe answers both "already cached?" and "where to insert".
+        let name = match st.cache.entry((f, pattern)) {
+            Entry::Occupied(entry) => {
+                st.stats.cache_hits += 1;
+                return Ok(*entry.get());
+            }
+            Entry::Vacant(slot) => {
+                if cache_len >= self.config.max_specializations {
+                    // Degrade admits the entry (every simple-PE pattern is
+                    // already fully dynamic, so the cache is bounded by the
+                    // number of source functions); Fail errors out as
+                    // before.
+                    st.gov.cache_full(self.config.max_specializations, f)?;
+                }
+                let name = fresh_fn(&mut st.used_names, f);
+                slot.insert(name);
+                name
+            }
+        };
         st.def_order.push(name);
         st.defs.insert(name, None);
         st.stats.specializations += 1;

@@ -59,8 +59,8 @@ use ppe::analyze::{check_certificate, check_inputs, check_source, check_unfoldin
 use ppe::core::consistency::default_candidates;
 use ppe::core::safety::validate_facet;
 use ppe::lang::{
-    optimize_program, parse_program, pretty_program, prune_unused_params, Diagnostic, Evaluator,
-    OptLevel, Program, Value,
+    interner_stats, optimize_program, parse_program, pretty_program, prune_unused_params,
+    Diagnostic, Evaluator, OptLevel, Program, Value,
 };
 use ppe::offline::{analyze_with_config, AbstractInput, OfflinePe};
 use ppe::online::{ExhaustionPolicy, OnlinePe, PeConfig, PeInput};
@@ -697,7 +697,22 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    eprintln!("{}", service.metrics().snapshot().to_json().render());
+    let mut metrics = service.metrics().snapshot().to_json();
+    if let Json::Obj(map) = &mut metrics {
+        // Term-interner effectiveness for this process: how much of the
+        // batch's term construction was answered by sharing.
+        let interner = interner_stats();
+        map.insert(
+            "interner_nodes".to_owned(),
+            Json::num(interner.nodes_interned),
+        );
+        map.insert("interner_hits".to_owned(), Json::num(interner.hits));
+        map.insert(
+            "interner_hit_rate".to_owned(),
+            Json::Num((interner.hit_rate() * 1000.0).round() / 1000.0),
+        );
+    }
+    eprintln!("{}", metrics.render());
     Ok(())
 }
 

@@ -1,0 +1,166 @@
+//! Residual-output goldens over the `examples/programs/` corpus.
+//!
+//! All three engines (online parameterized, offline, and the Figure-2
+//! simple specializer) are run on every example under two input shapes —
+//! all-dynamic and tail-static — and their pretty-printed residuals are
+//! pinned byte-for-byte against committed golden files. Representation
+//! changes inside the pipeline (interning, cache layout) must not move
+//! these outputs at all.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test --test residual_golden`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use ppe_core::facets::{ParityFacet, SignFacet};
+use ppe_core::FacetSet;
+use ppe_lang::{parse_program, pretty_program, Program, Value};
+use ppe_offline::{analyze, AbstractInput, OfflinePe};
+use ppe_online::{OnlinePe, PeInput, SimpleInput, SimplePe};
+
+fn corpus() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join("programs");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&root)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", root.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sexp"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "empty corpus at {}", root.display());
+    files
+}
+
+fn facet_set() -> FacetSet {
+    FacetSet::with_facets(vec![Box::new(SignFacet), Box::new(ParityFacet)])
+}
+
+/// The two input shapes exercised per program: every parameter dynamic,
+/// and every parameter but the first known (`3`).
+fn shapes(arity: usize) -> Vec<(&'static str, Vec<bool>)> {
+    let mut shapes = vec![("dynamic", vec![false; arity])];
+    if arity > 0 {
+        let mut tail = vec![true; arity];
+        tail[0] = false;
+        shapes.push(("tail-static", tail));
+    }
+    shapes
+}
+
+fn online_section(program: &Program, statics: &[bool]) -> String {
+    let inputs: Vec<PeInput> = statics
+        .iter()
+        .map(|&s| {
+            if s {
+                PeInput::known(Value::Int(3))
+            } else {
+                PeInput::dynamic()
+            }
+        })
+        .collect();
+    match OnlinePe::new(program, &facet_set()).specialize_main(&inputs) {
+        Ok(r) => pretty_program(&r.program),
+        Err(e) => format!("ERROR: {e}"),
+    }
+}
+
+fn simple_section(program: &Program, statics: &[bool]) -> String {
+    let inputs: Vec<SimpleInput> = statics
+        .iter()
+        .map(|&s| {
+            if s {
+                SimpleInput::Known(ppe_lang::Const::Int(3))
+            } else {
+                SimpleInput::Dynamic
+            }
+        })
+        .collect();
+    match SimplePe::new(program).specialize_main(&inputs) {
+        Ok(r) => pretty_program(&r.program),
+        Err(e) => format!("ERROR: {e}"),
+    }
+}
+
+fn offline_section(program: &Program, statics: &[bool]) -> String {
+    let facets = facet_set();
+    let abs: Vec<AbstractInput> = statics
+        .iter()
+        .map(|&s| {
+            if s {
+                AbstractInput::static_()
+            } else {
+                AbstractInput::dynamic()
+            }
+        })
+        .collect();
+    let analysis = match analyze(program, &facets, &abs) {
+        Ok(a) => a,
+        Err(e) => return format!("ANALYSIS ERROR: {e}"),
+    };
+    let inputs: Vec<PeInput> = statics
+        .iter()
+        .map(|&s| {
+            if s {
+                PeInput::known(Value::Int(3))
+            } else {
+                PeInput::dynamic()
+            }
+        })
+        .collect();
+    match OfflinePe::new(program, &facets, &analysis).specialize(&inputs) {
+        Ok(r) => pretty_program(&r.program),
+        Err(e) => format!("ERROR: {e}"),
+    }
+}
+
+fn render(path: &Path) -> String {
+    let src = std::fs::read_to_string(path).unwrap();
+    let program = parse_program(&src).unwrap();
+    let arity = program.main().arity();
+    let mut out = String::new();
+    for (shape_name, statics) in shapes(arity) {
+        for (engine, section) in [
+            ("online", online_section(&program, &statics)),
+            ("simple", simple_section(&program, &statics)),
+            ("offline", offline_section(&program, &statics)),
+        ] {
+            writeln!(out, "=== {engine} / {shape_name} ===").unwrap();
+            out.push_str(section.trim_end());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn residuals_match_goldens() {
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden_residuals");
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    if update {
+        std::fs::create_dir_all(&golden_dir).unwrap();
+    }
+    for path in corpus() {
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let golden_path = golden_dir.join(format!("{stem}.txt"));
+        let actual = render(&path);
+        if update {
+            std::fs::write(&golden_path, &actual).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} (run with UPDATE_GOLDEN=1 to create): {e}",
+                golden_path.display()
+            )
+        });
+        assert_eq!(
+            actual,
+            expected,
+            "residual drift for {} — outputs must stay byte-identical",
+            path.display()
+        );
+    }
+}

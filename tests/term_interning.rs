@@ -1,0 +1,205 @@
+//! Observational identity of interned terms: routing an expression
+//! through the hash-consing interner (`Expr → Term → Expr`) must be
+//! invisible to every downstream consumer — the pretty-printer, the
+//! evaluator, and all three specialization engines. Together with
+//! `residual_golden.rs` (which pins residual bytes against committed
+//! files), these tests are the license for sharing subtrees behind the
+//! engines' backs.
+
+mod common;
+
+use common::{int_expr, program_of, small_const, CORPUS};
+use ppe::core::facets::{ParityFacet, SignFacet};
+use ppe::core::FacetSet;
+use ppe::lang::{
+    parse_program, pretty_expr, pretty_program, Evaluator, Program, Symbol, Term, Value,
+};
+use ppe::offline::{analyze, AbstractInput, OfflinePe};
+use ppe::online::{OnlinePe, PeInput, SimpleInput, SimplePe};
+use proptest::prelude::*;
+
+/// Rebuilds a program with every definition body routed through the
+/// interner. If interning is observationally sound, this is the
+/// identity function on program *meaning* (and, structurally, on the
+/// program itself — `to_expr` reconstructs the exact tree).
+fn reintern(program: &Program) -> Program {
+    let mut defs = program.defs().to_vec();
+    for def in &mut defs {
+        def.body = Term::from_expr(&def.body).to_expr();
+    }
+    Program::new(defs).expect("re-interned program is well-formed")
+}
+
+/// Naive free-occurrence count over the raw tree, the spec for the
+/// interner's cached occurrence table.
+fn naive_count(e: &ppe::lang::Expr, x: Symbol) -> u32 {
+    use ppe::lang::Expr;
+    match e {
+        Expr::Const(_) | Expr::FnRef(_) => 0,
+        Expr::Var(v) => u32::from(*v == x),
+        Expr::Prim(_, args) => args.iter().map(|a| naive_count(a, x)).sum(),
+        Expr::Call(_, args) => args.iter().map(|a| naive_count(a, x)).sum(),
+        Expr::If(c, t, f) => naive_count(c, x) + naive_count(t, x) + naive_count(f, x),
+        Expr::Let(v, bound, body) => {
+            naive_count(bound, x) + if *v == x { 0 } else { naive_count(body, x) }
+        }
+        Expr::Lambda(params, body) => {
+            if params.contains(&x) {
+                0
+            } else {
+                naive_count(body, x)
+            }
+        }
+        Expr::App(f, args) => {
+            naive_count(f, x) + args.iter().map(|a| naive_count(a, x)).sum::<u32>()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `Expr → Term → Expr` is the identity, and the pretty-printer
+    /// cannot tell the round-tripped tree from the original.
+    #[test]
+    fn round_trip_is_identity(body in int_expr()) {
+        let term = Term::from_expr(&body);
+        let back = term.to_expr();
+        prop_assert_eq!(&back, &body);
+        prop_assert_eq!(pretty_expr(&back), pretty_expr(&body));
+    }
+
+    /// Interning is canonical: building the same structure twice yields
+    /// handles that are `==` (pointer-equal inside) with equal
+    /// fingerprints, and the cached metadata matches a naive traversal.
+    #[test]
+    fn interning_is_canonical(body in int_expr()) {
+        let a = Term::from_expr(&body);
+        let b = Term::from_expr(&body);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        for name in ["x", "y", "k"] {
+            let sym = Symbol::intern(name);
+            prop_assert_eq!(a.count_free(sym), naive_count(&body, sym));
+        }
+    }
+
+    /// Evaluation agrees — including on errors — between a program and
+    /// its re-interned rebuild.
+    #[test]
+    fn eval_agrees_after_interning(body in int_expr(), y in small_const(), x in -6i64..=6) {
+        let program = program_of(&body);
+        let rebuilt = reintern(&program);
+        let args = vec![Value::Int(x), Value::from_const(y)];
+        let direct = Evaluator::with_fuel(&program, 200_000).run_main(&args);
+        let routed = Evaluator::with_fuel(&rebuilt, 200_000).run_main(&args);
+        match (direct, routed) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "direct: {:?}, re-interned: {:?}", a, b),
+        }
+    }
+}
+
+/// All three engines produce byte-identical residual text whether the
+/// subject program was interned and rebuilt or used as parsed — over the
+/// shared test corpus and the `examples/programs/` corpus, under both
+/// the all-dynamic and tail-static input shapes of `residual_golden.rs`.
+#[test]
+fn residuals_are_byte_identical_across_engines_after_interning() {
+    let mut sources: Vec<String> = CORPUS.iter().map(|(_, src, _)| (*src).to_owned()).collect();
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join("programs");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sexp"))
+        .collect();
+    files.sort();
+    for f in files {
+        sources.push(std::fs::read_to_string(&f).unwrap());
+    }
+
+    let facets = || FacetSet::with_facets(vec![Box::new(SignFacet), Box::new(ParityFacet)]);
+    for src in &sources {
+        let program = parse_program(src).unwrap();
+        let rebuilt = reintern(&program);
+        assert_eq!(pretty_program(&rebuilt), pretty_program(&program));
+
+        let arity = program.main().arity();
+        let mut shapes = vec![vec![false; arity]];
+        if arity > 0 {
+            let mut tail = vec![true; arity];
+            tail[0] = false;
+            shapes.push(tail);
+        }
+        for statics in shapes {
+            let known = |s: bool| {
+                if s {
+                    PeInput::known(Value::Int(3))
+                } else {
+                    PeInput::dynamic()
+                }
+            };
+            let inputs: Vec<PeInput> = statics.iter().map(|&s| known(s)).collect();
+
+            let online = |p: &Program| match OnlinePe::new(p, &facets()).specialize_main(&inputs) {
+                Ok(r) => pretty_program(&r.program),
+                Err(e) => format!("ERROR: {e}"),
+            };
+            assert_eq!(
+                online(&rebuilt),
+                online(&program),
+                "online drift on:\n{src}"
+            );
+
+            let simple_inputs: Vec<SimpleInput> = statics
+                .iter()
+                .map(|&s| {
+                    if s {
+                        SimpleInput::Known(ppe::lang::Const::Int(3))
+                    } else {
+                        SimpleInput::Dynamic
+                    }
+                })
+                .collect();
+            let simple = |p: &Program| match SimplePe::new(p).specialize_main(&simple_inputs) {
+                Ok(r) => pretty_program(&r.program),
+                Err(e) => format!("ERROR: {e}"),
+            };
+            assert_eq!(
+                simple(&rebuilt),
+                simple(&program),
+                "simple drift on:\n{src}"
+            );
+
+            let abs: Vec<AbstractInput> = statics
+                .iter()
+                .map(|&s| {
+                    if s {
+                        AbstractInput::static_()
+                    } else {
+                        AbstractInput::dynamic()
+                    }
+                })
+                .collect();
+            let offline = |p: &Program| {
+                let fs = facets();
+                let analysis = match analyze(p, &fs, &abs) {
+                    Ok(a) => a,
+                    Err(e) => return format!("ANALYSIS ERROR: {e}"),
+                };
+                match OfflinePe::new(p, &fs, &analysis).specialize(&inputs) {
+                    Ok(r) => pretty_program(&r.program),
+                    Err(e) => format!("ERROR: {e}"),
+                }
+            };
+            assert_eq!(
+                offline(&rebuilt),
+                offline(&program),
+                "offline drift on:\n{src}"
+            );
+        }
+    }
+}
