@@ -9,14 +9,23 @@
 //! batch again on the now-populated service, so everything is a cache
 //! hit. The gap is the service's reason to exist.
 //!
+//! A second phase measures the disk persistence tier: the same batch
+//! cold (populating a scratch `--cache-dir`), then on a *fresh* service
+//! over that directory (every distinct key warm **from disk**), then once
+//! more on the now-promoted in-memory cache. Warm-from-disk sits between
+//! cold and in-memory-warm: a restart costs a file read per key, not a
+//! re-specialization.
+//!
 //! Not a criterion bench: the measurement is whole-batch wall time, and
 //! the result is written to `BENCH_server.json` at the workspace root for
-//! the CI acceptance check (warm ≥ 2× cold).
+//! the CI acceptance check (warm ≥ 2× cold). `PPE_BENCH_QUICK=1` shrinks
+//! the workload for CI smoke runs.
 
 use std::time::Instant;
 
 use ppe_server::{
-    run_batch, BatchOptions, Engine, Json, ServiceConfig, SpecializeRequest, SpecializeService,
+    run_batch, BatchOptions, Engine, Json, PersistConfig, ServiceConfig, SpecializeRequest,
+    SpecializeService,
 };
 
 const POWER: &str = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
@@ -27,6 +36,14 @@ const IPROD: &str = "(define (iprod a b) (let ((n (vsize a))) (dotprod a b n)))
       (+ (* (vref a n) (vref b n)) (dotprod a b (- n 1)))))";
 
 const REPEATS_PER_KEY: usize = 20;
+
+fn repeats_per_key() -> usize {
+    if std::env::var_os("PPE_BENCH_QUICK").is_some() {
+        3
+    } else {
+        REPEATS_PER_KEY
+    }
+}
 
 /// Twelve distinct request shapes: three programs × four parameters,
 /// online and offline engines mixed in.
@@ -54,7 +71,7 @@ fn distinct_requests() -> Vec<SpecializeRequest> {
 
 fn workload() -> Vec<SpecializeRequest> {
     let distinct = distinct_requests();
-    let total = distinct.len() * REPEATS_PER_KEY;
+    let total = distinct.len() * repeats_per_key();
     (0..total)
         .map(|i| distinct[i % distinct.len()].clone())
         .collect()
@@ -97,12 +114,51 @@ fn main() {
         ]));
     }
 
+    // Persistence phase: cold (populates the disk), warm from disk on a
+    // fresh service (empty memory, full directory), then in-memory warm.
+    let cache_dir = std::env::temp_dir().join(format!("ppe-bench-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let persisted = || ServiceConfig {
+        persist: Some(PersistConfig::new(&cache_dir)),
+        ..ServiceConfig::default()
+    };
+    let jobs = 4usize;
+    let service = SpecializeService::new(persisted());
+    let cold_rps = run_once(&service, &requests, jobs);
+    assert_eq!(
+        service.metrics().snapshot().disk_stores as usize,
+        distinct,
+        "cold run persists each distinct key exactly once"
+    );
+    let service = SpecializeService::new(persisted());
+    let warm_disk_rps = run_once(&service, &requests, jobs);
+    assert_eq!(
+        service.metrics().snapshot().disk_hits as usize,
+        distinct,
+        "restart answers every distinct key from disk"
+    );
+    let warm_mem_rps = run_once(&service, &requests, jobs);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!(
+        "disk  jobs={jobs}: cold {cold_rps:>9.0} rps, warm-from-disk {warm_disk_rps:>9.0} rps \
+         ({:.1}x), in-memory-warm {warm_mem_rps:>9.0} rps",
+        warm_disk_rps / cold_rps
+    );
+    let persistence = Json::obj(vec![
+        ("cold_rps", Json::Num(cold_rps)),
+        ("jobs", Json::num(jobs as u64)),
+        ("warm_disk_over_cold", Json::Num(warm_disk_rps / cold_rps)),
+        ("warm_disk_rps", Json::Num(warm_disk_rps)),
+        ("warm_mem_rps", Json::Num(warm_mem_rps)),
+    ]);
+
     let report = Json::obj(vec![
         ("benchmark", Json::str("server_throughput")),
         ("requests", Json::num(requests.len() as u64)),
         ("distinct_keys", Json::num(distinct as u64)),
         ("repeat_fraction", Json::Num(repeat_fraction)),
         ("results", Json::Arr(results)),
+        ("persistence", persistence),
     ]);
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");

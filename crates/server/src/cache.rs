@@ -87,6 +87,58 @@ struct Flight {
     done: Condvar,
 }
 
+/// Completion guard for the single-flight leader. Every exit from the
+/// leader's critical section — success, error, *or a panic unwinding
+/// anywhere between flight registration and completion* — must (a) remove
+/// the `in_flight` registration so a later request for the key computes
+/// fresh instead of observing stale flight state, and (b) mark the flight
+/// `Done` and wake waiters so nobody blocks forever. Routing both through
+/// one structure makes that invariant hold by construction: the happy
+/// path calls [`FlightCompletion::finish`], and `Drop` covers unwinds
+/// (e.g. a poisoned shard lock panicking the post-compute insert).
+struct FlightCompletion<'a> {
+    shard: &'a Mutex<Shard>,
+    key: u128,
+    flight: &'a Arc<Flight>,
+    finished: bool,
+}
+
+impl FlightCompletion<'_> {
+    /// Publishes `outcome` to waiters and deregisters the flight.
+    fn finish(&mut self, outcome: Result<Arc<CachedOutcome>, String>) {
+        self.finished = true;
+        self.complete(outcome);
+    }
+
+    fn complete(&self, outcome: Result<Arc<CachedOutcome>, String>) {
+        // Poison-tolerant locking: this runs on panic paths, where the
+        // ordinary `expect` would turn recovery into a double panic.
+        let mut s = match self.shard.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        s.in_flight.remove(&self.key);
+        drop(s);
+        let mut state = match self.flight.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *state = FlightState::Done(outcome);
+        drop(state);
+        self.flight.done.notify_all();
+    }
+}
+
+impl Drop for FlightCompletion<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.complete(Err(
+                "specialization aborted: cache leader panicked before completing".to_owned(),
+            ));
+        }
+    }
+}
+
 struct Shard {
     entries: HashMap<u128, Entry>,
     in_flight: HashMap<u128, Arc<Flight>>,
@@ -225,6 +277,14 @@ impl ResidualCache {
         }
 
         metrics.cache_misses.fetch_add(1, Relaxed);
+        // From here until `finish`, any unwind must clean the flight up;
+        // the guard's Drop handles it (see `FlightCompletion`).
+        let mut completion = FlightCompletion {
+            shard,
+            key: key.0,
+            flight: &flight,
+            finished: false,
+        };
         let computed = match catch_unwind(AssertUnwindSafe(compute)) {
             Ok(result) => result,
             Err(panic) => Err(format!(
@@ -256,23 +316,13 @@ impl ResidualCache {
                     metrics.cache_rejected.fetch_add(1, Relaxed);
                     rejected_bytes = Some(bytes);
                 }
-                s.in_flight.remove(&key.0);
                 drop(s);
                 Ok(outcome)
             }
-            Err(msg) => {
-                let mut s = shard.lock().expect("cache shard poisoned");
-                s.in_flight.remove(&key.0);
-                drop(s);
-                Err(msg)
-            }
+            Err(msg) => Err(msg),
         };
 
-        {
-            let mut state = flight.state.lock().expect("flight poisoned");
-            *state = FlightState::Done(outcome.clone());
-        }
-        flight.done.notify_all();
+        completion.finish(outcome.clone());
 
         Fetched {
             outcome,
@@ -339,6 +389,40 @@ mod tests {
         assert_eq!(cache.len(), 0);
         let r2 = cache.get_or_compute(key, &metrics, || Ok(outcome("ok")));
         assert_eq!(r2.disposition, CacheDisposition::Miss, "errors don't stick");
+    }
+
+    #[test]
+    fn panicking_leader_leaves_no_stale_flight_state() {
+        // Regression: after a leader panics — with waiters coalesced on
+        // its flight — every waiter must receive an error (not hang on a
+        // stale Pending flight), and a *later* request for the same key
+        // must recompute cleanly and then cache normally.
+        let cache = Arc::new(ResidualCache::new(1 << 20, 2));
+        let metrics = Arc::new(Metrics::new());
+        let key = CacheKey(1234);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let metrics = Arc::clone(&metrics);
+                scope.spawn(move || {
+                    let r = cache.get_or_compute(key, &metrics, || {
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        panic!("leader dies");
+                    });
+                    let msg = r.outcome.unwrap_err();
+                    assert!(
+                        msg.contains("leader dies") || msg.contains("panicked"),
+                        "{msg}"
+                    );
+                });
+            }
+        });
+        // No flight survives the panic: the next request is a fresh miss.
+        let r = cache.get_or_compute(key, &metrics, || Ok(outcome("recovered")));
+        assert_eq!(r.disposition, CacheDisposition::Miss, "clean recompute");
+        assert_eq!(r.outcome.unwrap().residual, "recovered");
+        let again = cache.get_or_compute(key, &metrics, || unreachable!());
+        assert_eq!(again.disposition, CacheDisposition::Hit);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //!
 //! - [`SpecializeService`] — the shared state: a sharded, content-addressed
 //!   [`ResidualCache`] (single-flight deduplication, byte-budgeted LRU
-//!   eviction) plus lock-free [`Metrics`].
+//!   eviction), an optional crash-safe disk [`PersistTier`] beneath it
+//!   (warm starts survive restarts; see `persist`), plus lock-free
+//!   [`Metrics`].
 //! - [`run_batch`] — a work-stealing batch driver over a fixed pool of
 //!   big-stack worker threads; responses come back in request order.
 //! - [`serve`] — a JSON-lines request/response loop (one line in, one line
@@ -30,6 +32,7 @@ mod engine;
 pub mod json;
 pub mod key;
 pub mod metrics;
+pub mod persist;
 pub mod request;
 pub mod serve;
 pub mod service;
@@ -41,10 +44,14 @@ pub use engine::EngineContext;
 pub use json::Json;
 pub use key::{analysis_key, residual_key, CacheKey};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use persist::{
+    DiskStats, FaultKind, FaultReport, GcReport, PersistConfig, PersistMode, PersistTier,
+    FORMAT_VERSION,
+};
 pub use request::{
     CacheDisposition, Engine, SpecializeOutput, SpecializeRequest, SpecializeResponse,
 };
-pub use serve::{serve, ServeOptions, ServeSummary};
+pub use serve::{serve, ServeOptions, ServeSummary, MAX_LINE_BYTES};
 pub use service::{ServiceConfig, SpecializeService};
 
 #[cfg(test)]

@@ -30,6 +30,19 @@ pub struct Metrics {
     pub analysis_hits: AtomicU64,
     /// Analyses computed (offline engine).
     pub analysis_misses: AtomicU64,
+    /// Requests answered from the disk persistence tier.
+    pub disk_hits: AtomicU64,
+    /// Disk lookups that found no entry (absent file).
+    pub disk_misses: AtomicU64,
+    /// Entries durably written to the disk tier.
+    pub disk_stores: AtomicU64,
+    /// Disk writes that failed or were refused (full disk, oversized).
+    pub disk_store_errors: AtomicU64,
+    /// Disk entries rejected as corrupt (truncated, bit-flipped, torn,
+    /// wrong version, oversized, misnamed) — each fell back to compute.
+    pub disk_corrupt: AtomicU64,
+    /// Corrupt disk entries successfully moved into `quarantine/`.
+    pub disk_quarantined: AtomicU64,
     /// Requests that failed with an error.
     pub errors: AtomicU64,
     /// Requests whose responses carried at least one degradation event.
@@ -68,6 +81,12 @@ impl Metrics {
             cache_rejected: r(&self.cache_rejected),
             analysis_hits: r(&self.analysis_hits),
             analysis_misses: r(&self.analysis_misses),
+            disk_hits: r(&self.disk_hits),
+            disk_misses: r(&self.disk_misses),
+            disk_stores: r(&self.disk_stores),
+            disk_store_errors: r(&self.disk_store_errors),
+            disk_corrupt: r(&self.disk_corrupt),
+            disk_quarantined: r(&self.disk_quarantined),
             errors: r(&self.errors),
             degraded: r(&self.degraded),
             queue_depth: r(&self.queue_depth),
@@ -89,6 +108,12 @@ pub struct MetricsSnapshot {
     pub cache_rejected: u64,
     pub analysis_hits: u64,
     pub analysis_misses: u64,
+    pub disk_hits: u64,
+    pub disk_misses: u64,
+    pub disk_stores: u64,
+    pub disk_store_errors: u64,
+    pub disk_corrupt: u64,
+    pub disk_quarantined: u64,
     pub errors: u64,
     pub degraded: u64,
     pub queue_depth: u64,
@@ -108,6 +133,12 @@ impl MetricsSnapshot {
             ("cache_rejected", Json::num(self.cache_rejected)),
             ("analysis_hits", Json::num(self.analysis_hits)),
             ("analysis_misses", Json::num(self.analysis_misses)),
+            ("disk_hits", Json::num(self.disk_hits)),
+            ("disk_misses", Json::num(self.disk_misses)),
+            ("disk_stores", Json::num(self.disk_stores)),
+            ("disk_store_errors", Json::num(self.disk_store_errors)),
+            ("disk_corrupt", Json::num(self.disk_corrupt)),
+            ("disk_quarantined", Json::num(self.disk_quarantined)),
             ("errors", Json::num(self.errors)),
             ("degraded", Json::num(self.degraded)),
             ("queue_depth", Json::num(self.queue_depth)),
@@ -142,5 +173,8 @@ mod tests {
         assert!(text.starts_with('{'), "{text}");
         assert!(text.contains("\"cache_hits\":0"), "{text}");
         assert!(text.contains("\"queue_depth\":0"), "{text}");
+        assert!(text.contains("\"disk_hits\":0"), "{text}");
+        assert!(text.contains("\"disk_corrupt\":0"), "{text}");
+        assert!(text.contains("\"disk_quarantined\":0"), "{text}");
     }
 }

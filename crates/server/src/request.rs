@@ -190,10 +190,13 @@ impl SpecializeRequest {
 /// How the cache answered.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CacheDisposition {
-    /// Answered from a completed cache entry.
+    /// Answered from a completed in-memory cache entry.
     Hit,
     /// Computed by this request (and cached, budget permitting).
     Miss,
+    /// Answered from the disk persistence tier (and promoted into the
+    /// in-memory cache).
+    Disk,
     /// Blocked on an identical in-flight computation (single-flight).
     Coalesced,
     /// Failed before reaching the cache (parse or validation error).
@@ -206,6 +209,7 @@ impl CacheDisposition {
         match self {
             CacheDisposition::Hit => "hit",
             CacheDisposition::Miss => "miss",
+            CacheDisposition::Disk => "disk",
             CacheDisposition::Coalesced => "coalesced",
             CacheDisposition::Unreached => "unreached",
         }
@@ -280,19 +284,7 @@ impl SpecializeResponse {
             Ok(out) => {
                 fields.push(("ok", Json::Bool(true)));
                 fields.push(("residual", Json::str(out.residual.clone())));
-                fields.push((
-                    "stats",
-                    Json::obj(vec![
-                        ("reductions", Json::num(out.stats.reductions)),
-                        ("residual_prims", Json::num(out.stats.residual_prims)),
-                        ("static_branches", Json::num(out.stats.static_branches)),
-                        ("dynamic_branches", Json::num(out.stats.dynamic_branches)),
-                        ("unfolds", Json::num(out.stats.unfolds)),
-                        ("specializations", Json::num(out.stats.specializations)),
-                        ("cache_hits", Json::num(out.stats.cache_hits)),
-                        ("steps", Json::num(out.stats.steps)),
-                    ]),
-                ));
+                fields.push(("stats", stats_json(&out.stats)));
                 fields.push((
                     "degradations",
                     Json::Arr(out.degradations.iter().map(degradation_json).collect()),
@@ -333,6 +325,21 @@ pub fn diagnostic_json(d: &Diagnostic) -> Json {
         fields.push(("col", Json::num(u64::from(d.col))));
     }
     Json::obj(fields)
+}
+
+/// Renders engine counters for the wire and the disk payload — the one
+/// canonical field set both encodings share.
+pub fn stats_json(stats: &PeStats) -> Json {
+    Json::obj(vec![
+        ("reductions", Json::num(stats.reductions)),
+        ("residual_prims", Json::num(stats.residual_prims)),
+        ("static_branches", Json::num(stats.static_branches)),
+        ("dynamic_branches", Json::num(stats.dynamic_branches)),
+        ("unfolds", Json::num(stats.unfolds)),
+        ("specializations", Json::num(stats.specializations)),
+        ("cache_hits", Json::num(stats.cache_hits)),
+        ("steps", Json::num(stats.steps)),
+    ])
 }
 
 /// Renders one degradation event for the wire.

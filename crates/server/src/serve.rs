@@ -11,7 +11,11 @@
 //! - `{"cmd": "shutdown"}` — acknowledge, finish in-flight work, stop.
 //!
 //! Malformed lines answer `{"ok": false, "error": ...}` rather than
-//! killing the session: a service must outlive its worst client.
+//! killing the session: a service must outlive its worst client. That
+//! includes lines the reader cannot even hand to the JSON parser: a line
+//! longer than [`MAX_LINE_BYTES`] is drained (never buffered whole) and
+//! answered with a structured error, and a line that is not valid UTF-8
+//! is dropped the same way. Only real I/O errors end the session.
 
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, Write};
@@ -25,6 +29,13 @@ use crate::engine::EngineContext;
 use crate::json::Json;
 use crate::request::{SpecializeRequest, SpecializeResponse};
 use crate::service::SpecializeService;
+
+/// Longest request line the serve loop will buffer, in bytes.
+///
+/// Longer lines are drained in chunks (bounded memory regardless of how
+/// much a client sends) and answered with a structured error; the session
+/// then continues with the next line.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Knobs for one serve session.
 #[derive(Clone, Copy, Debug)]
@@ -132,6 +143,73 @@ fn error_line(message: String, id: Option<&Json>) -> String {
     Json::obj(fields).render()
 }
 
+/// One unit of input as seen by the serve loops.
+enum Frame {
+    /// A non-empty line that fit the cap and decoded as UTF-8.
+    Request(String),
+    /// A line the reader refused; the payload is the error message to
+    /// answer with. The offending bytes are already drained.
+    Reject(String),
+    /// End of input.
+    Eof,
+}
+
+/// Reads the next non-empty line, enforcing [`MAX_LINE_BYTES`].
+///
+/// Oversized lines are consumed chunk-by-chunk off the reader without
+/// ever holding more than the cap in memory, so a hostile client cannot
+/// balloon the server by omitting newlines.
+fn next_frame(input: &mut impl BufRead) -> io::Result<Frame> {
+    loop {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut overflowed = false;
+        let mut saw_any = false;
+        loop {
+            let chunk = input.fill_buf()?;
+            if chunk.is_empty() {
+                if !saw_any {
+                    return Ok(Frame::Eof);
+                }
+                break;
+            }
+            saw_any = true;
+            if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+                if !overflowed && buf.len() + pos <= MAX_LINE_BYTES {
+                    buf.extend_from_slice(&chunk[..pos]);
+                } else {
+                    overflowed = true;
+                }
+                input.consume(pos + 1);
+                break;
+            }
+            let len = chunk.len();
+            if !overflowed && buf.len() + len <= MAX_LINE_BYTES {
+                buf.extend_from_slice(chunk);
+            } else {
+                overflowed = true;
+            }
+            input.consume(len);
+        }
+        if overflowed {
+            return Ok(Frame::Reject(format!(
+                "request line exceeds {MAX_LINE_BYTES} bytes; line dropped"
+            )));
+        }
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        match String::from_utf8(buf) {
+            Ok(line) if line.trim().is_empty() => continue,
+            Ok(line) => return Ok(Frame::Request(line)),
+            Err(_) => {
+                return Ok(Frame::Reject(
+                    "request line is not valid UTF-8; line dropped".to_owned(),
+                ))
+            }
+        }
+    }
+}
+
 fn is_shutdown(line: &str) -> bool {
     Json::parse(line)
         .ok()
@@ -141,17 +219,24 @@ fn is_shutdown(line: &str) -> bool {
 
 fn serve_inline(
     service: &SpecializeService,
-    input: impl BufRead,
+    mut input: impl BufRead,
     mut output: impl Write,
 ) -> io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
     let errors = AtomicU64::new(0);
     let mut ctx = EngineContext::new();
-    for line in input.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
+    loop {
+        let line = match next_frame(&mut input)? {
+            Frame::Eof => break,
+            Frame::Reject(message) => {
+                summary.lines += 1;
+                errors.fetch_add(1, Relaxed);
+                writeln!(output, "{}", error_line(message, None))?;
+                output.flush()?;
+                continue;
+            }
+            Frame::Request(line) => line,
+        };
         summary.lines += 1;
         let shutdown = is_shutdown(&line);
         if !shutdown
@@ -175,7 +260,7 @@ fn serve_inline(
 
 fn serve_parallel(
     service: &SpecializeService,
-    input: impl BufRead,
+    mut input: impl BufRead,
     output: impl Write + Send,
     jobs: usize,
 ) -> io::Result<ServeSummary> {
@@ -214,11 +299,18 @@ fn serve_parallel(
 
         let mut inline_ctx = EngineContext::new();
         let mut seq = 0u64;
-        for line in input.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
+        loop {
+            let line = match next_frame(&mut input)? {
+                Frame::Eof => break,
+                Frame::Reject(message) => {
+                    summary.lines += 1;
+                    errors.fetch_add(1, Relaxed);
+                    let _ = out_tx.send((seq, error_line(message, None)));
+                    seq += 1;
+                    continue;
+                }
+                Frame::Request(line) => line,
+            };
             summary.lines += 1;
             let parsed = Json::parse(&line).ok();
             let cmd = parsed
@@ -291,16 +383,20 @@ mod tests {
 
     const POWER: &str = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
 
-    fn run(input: &str, jobs: usize) -> (Vec<String>, ServeSummary) {
+    fn run_bytes(input: &[u8], jobs: usize) -> (Vec<String>, ServeSummary) {
         let service = SpecializeService::new(ServiceConfig::default());
         let mut out = Vec::new();
-        let summary = serve(&service, input.as_bytes(), &mut out, ServeOptions { jobs }).unwrap();
+        let summary = serve(&service, input, &mut out, ServeOptions { jobs }).unwrap();
         let lines = String::from_utf8(out)
             .unwrap()
             .lines()
             .map(str::to_owned)
             .collect();
         (lines, summary)
+    }
+
+    fn run(input: &str, jobs: usize) -> (Vec<String>, ServeSummary) {
+        run_bytes(input.as_bytes(), jobs)
     }
 
     fn request_line(id: u64, n: u64) -> String {
@@ -350,6 +446,58 @@ mod tests {
         assert!(lines[1].contains("\"requests\":1"), "{}", lines[1]);
         assert!(lines[2].contains("\"shutdown\":true"), "{}", lines[2]);
         assert_eq!(summary.lines, 3, "the post-shutdown line is never read");
+    }
+
+    #[test]
+    fn oversized_line_answers_error_and_loop_survives() {
+        // A newline-free 1 MiB+ blast, then a legitimate request: the
+        // oversized line must be drained (not buffered) and answered with
+        // a structured error, and the next request must still succeed.
+        for jobs in [1, 4] {
+            let mut input = String::with_capacity(MAX_LINE_BYTES + 256);
+            input.push_str(&"x".repeat(MAX_LINE_BYTES + 17));
+            input.push('\n');
+            input.push_str(&request_line(7, 2));
+            input.push('\n');
+            let (lines, summary) = run(&input, jobs);
+            assert_eq!(lines.len(), 2, "jobs={jobs}: {lines:?}");
+            assert!(lines[0].contains("\"ok\":false"), "{}", lines[0]);
+            assert!(lines[0].contains("exceeds"), "{}", lines[0]);
+            assert!(lines[1].contains("\"ok\":true"), "{}", lines[1]);
+            assert!(lines[1].contains("\"id\":7"), "{}", lines[1]);
+            assert_eq!(summary.lines, 2, "jobs={jobs}");
+            assert_eq!(summary.errors, 1, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_line_answers_error_and_loop_survives() {
+        for jobs in [1, 4] {
+            let mut input: Vec<u8> = vec![0xff, 0xfe, b'{', 0x80, b'\n'];
+            input.extend_from_slice(request_line(3, 1).as_bytes());
+            input.push(b'\n');
+            let (lines, summary) = run_bytes(&input, jobs);
+            assert_eq!(lines.len(), 2, "jobs={jobs}: {lines:?}");
+            assert!(lines[0].contains("not valid UTF-8"), "{}", lines[0]);
+            assert!(lines[1].contains("\"ok\":true"), "{}", lines[1]);
+            assert_eq!(summary.errors, 1, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn line_exactly_at_cap_is_still_parsed() {
+        // Pad a valid request with trailing spaces up to exactly
+        // MAX_LINE_BYTES: the reader must accept it (the cap is
+        // inclusive) and the request must succeed.
+        let request = request_line(5, 2);
+        let mut input = request.clone();
+        input.push_str(&" ".repeat(MAX_LINE_BYTES - request.len()));
+        assert_eq!(input.len(), MAX_LINE_BYTES);
+        input.push('\n');
+        let (lines, summary) = run(&input, 1);
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
+        assert_eq!(summary.errors, 0);
     }
 
     #[test]

@@ -13,15 +13,19 @@ use ppe_online::{Budget, DegradationEvent};
 use crate::cache::ResidualCache;
 use crate::engine::{self, EngineContext};
 use crate::metrics::Metrics;
+use crate::persist::{PersistConfig, PersistTier};
 use crate::request::{CacheDisposition, SpecializeOutput, SpecializeRequest, SpecializeResponse};
 
 /// Sizing knobs for one service instance.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Total residual-cache budget in bytes, split across shards.
     pub cache_bytes: usize,
     /// Shard count (rounded up to a power of two).
     pub shards: usize,
+    /// Optional disk persistence tier beneath the in-memory cache;
+    /// `None` disables persistence entirely.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -29,6 +33,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             cache_bytes: 64 << 20,
             shards: 16,
+            persist: None,
         }
     }
 }
@@ -69,6 +74,8 @@ pub struct SpecializeService {
     cache: ResidualCache,
     metrics: Metrics,
     programs: Mutex<HashMap<String, ParsedProgram>>,
+    persist: Option<PersistTier>,
+    persist_error: Option<String>,
 }
 
 /// A parse-cache entry: the program, its stable fingerprint, and the
@@ -78,11 +85,26 @@ type ParsedProgram = (Arc<Program>, u64, Arc<Vec<Diagnostic>>);
 
 impl SpecializeService {
     /// A fresh service with empty caches.
+    ///
+    /// Building the service never fails: if the configured persistence
+    /// tier cannot be opened (missing disk, permission trouble), the
+    /// service degrades to memory-only and records the reason in
+    /// [`SpecializeService::persist_error`] — a broken cache directory
+    /// must cost warm starts, not availability.
     pub fn new(config: ServiceConfig) -> SpecializeService {
+        let (persist, persist_error) = match config.persist {
+            None => (None, None),
+            Some(persist_config) => match PersistTier::open(persist_config) {
+                Ok(tier) => (Some(tier), None),
+                Err(msg) => (None, Some(msg)),
+            },
+        };
         SpecializeService {
             cache: ResidualCache::new(config.cache_bytes, config.shards),
             metrics: Metrics::new(),
             programs: Mutex::new(HashMap::new()),
+            persist,
+            persist_error,
         }
     }
 
@@ -94,6 +116,17 @@ impl SpecializeService {
     /// The residual cache (mainly for tests and reports).
     pub fn cache(&self) -> &ResidualCache {
         &self.cache
+    }
+
+    /// The disk persistence tier, when one is active.
+    pub fn persist(&self) -> Option<&PersistTier> {
+        self.persist.as_ref()
+    }
+
+    /// Why the configured persistence tier is inactive, if it failed to
+    /// open (the service then runs memory-only).
+    pub fn persist_error(&self) -> Option<&str> {
+        self.persist_error.as_deref()
     }
 
     /// Answers one request on the calling thread. `ctx` is the worker's
@@ -118,13 +151,36 @@ impl SpecializeService {
         let mut response = match resolved {
             Err(msg) => SpecializeResponse::error(msg),
             Ok(resolved) => {
+                // The disk tier sits *under* the in-memory LRU, inside
+                // the single-flight closure: N concurrent requests for an
+                // absent key cost one disk read (or one compute), and a
+                // disk hit is promoted into the in-memory cache by the
+                // normal miss path. Only genuinely computed outcomes are
+                // written back.
+                let from_disk = std::cell::Cell::new(false);
                 let fetched = self.cache.get_or_compute(resolved.key, &self.metrics, || {
-                    engine::run(req, &resolved, ctx, &self.metrics)
+                    if let Some(tier) = &self.persist {
+                        if let Some(hit) = tier.load(resolved.key, &self.metrics) {
+                            from_disk.set(true);
+                            return Ok(hit);
+                        }
+                    }
+                    let outcome = engine::run(req, &resolved, ctx, &self.metrics)?;
+                    if let Some(tier) = &self.persist {
+                        tier.store(resolved.key, &outcome, &self.metrics);
+                    }
+                    Ok(outcome)
                 });
+                let disposition =
+                    if fetched.disposition == CacheDisposition::Miss && from_disk.get() {
+                        CacheDisposition::Disk
+                    } else {
+                        fetched.disposition
+                    };
                 match fetched.outcome {
                     Err(msg) => SpecializeResponse {
                         outcome: Err(msg),
-                        disposition: fetched.disposition,
+                        disposition,
                         key: Some(resolved.key),
                         wall_micros: 0,
                         diagnostics: Vec::new(),
@@ -151,7 +207,7 @@ impl SpecializeService {
                                 stats: outcome.stats,
                                 degradations,
                             }),
-                            disposition: fetched.disposition,
+                            disposition,
                             key: Some(resolved.key),
                             wall_micros: 0,
                             diagnostics: Vec::new(),
@@ -361,6 +417,7 @@ mod tests {
         let service = SpecializeService::new(ServiceConfig {
             cache_bytes: 16,
             shards: 1,
+            persist: None,
         });
         let mut ctx = EngineContext::new();
         let r = service.handle(&request(&["_", "3"]), &mut ctx);
@@ -374,6 +431,60 @@ mod tests {
         );
         assert_eq!(service.metrics().snapshot().cache_rejected, 1);
         assert_eq!(service.metrics().snapshot().degraded, 1);
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ppe-service-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn persisted_config(dir: &std::path::Path) -> ServiceConfig {
+        ServiceConfig {
+            persist: Some(crate::persist::PersistConfig::new(dir)),
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn restart_warms_from_disk_and_promotes_to_memory() {
+        let dir = scratch_dir("restart");
+        let req = request(&["_", "3"]);
+        let residual = {
+            let service = SpecializeService::new(persisted_config(&dir));
+            assert!(service.persist_error().is_none());
+            let mut ctx = EngineContext::new();
+            let r = service.handle(&req, &mut ctx);
+            assert_eq!(r.disposition, CacheDisposition::Miss);
+            assert_eq!(service.metrics().snapshot().disk_stores, 1);
+            r.outcome.unwrap().residual
+        };
+        // A fresh process: the in-memory cache is empty, the disk is not.
+        let service = SpecializeService::new(persisted_config(&dir));
+        let mut ctx = EngineContext::new();
+        let r = service.handle(&req, &mut ctx);
+        assert_eq!(r.disposition, CacheDisposition::Disk, "warm from disk");
+        assert_eq!(r.outcome.unwrap().residual, residual, "identical residual");
+        // And the disk hit was promoted: the next request is a memory hit.
+        let r = service.handle(&req, &mut ctx);
+        assert_eq!(r.disposition, CacheDisposition::Hit);
+        let s = service.metrics().snapshot();
+        assert_eq!((s.disk_hits, s.cache_hits), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unopenable_cache_dir_degrades_to_memory_only() {
+        // A file where the directory should be: open fails, service runs.
+        let dir = scratch_dir("degraded");
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let service = SpecializeService::new(persisted_config(&dir));
+        assert!(service.persist().is_none());
+        assert!(service.persist_error().is_some());
+        let mut ctx = EngineContext::new();
+        let r = service.handle(&request(&["_", "3"]), &mut ctx);
+        assert!(r.outcome.is_ok(), "requests survive a dead cache dir");
+        let _ = std::fs::remove_file(&dir);
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Golden snapshots of the cache-key scheme.
+//!
+//! The disk persistence tier (`persist.rs`) stores residuals under the
+//! exact `residual_key` / `analysis_key` values computed here, so *any*
+//! change to the key derivation — a reordered field, a new config knob, a
+//! different hash tag — silently invalidates every `.ppe` file ever
+//! written, turning warm caches cold (or worse: colliding with stale
+//! entries if a field stops being hashed). These tests pin the keys for a
+//! small fixed corpus end-to-end: program text → parse → fingerprint →
+//! products → 128-bit key. If one fails, the key scheme drifted; see the
+//! assertion message for the required follow-up.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ppe_core::ProductVal;
+use ppe_lang::parse_program;
+use ppe_online::{ExhaustionPolicy, PeConfig};
+use ppe_server::spec::{build_facets, parse_input};
+use ppe_server::{analysis_key, residual_key, CacheKey, Engine};
+
+const POWER: &str = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+const SUM_TO: &str = "(define (sum-to n) (if (= n 0) 0 (+ n (sum-to (- n 1)))))";
+
+/// The one place a snapshot failure is explained: a drifted key is not a
+/// broken test to update casually — it is an on-disk compatibility break.
+fn assert_key(label: &str, actual: CacheKey, expected: &str) {
+    if std::env::var_os("PPE_DUMP_KEYS").is_some() {
+        println!("SNAPSHOT {label} => {actual}");
+        return;
+    }
+    assert_eq!(
+        format!("{actual}"),
+        expected,
+        "\ncache-key snapshot `{label}` drifted.\n\
+         \n\
+         The key derivation (crates/server/src/key.rs) no longer produces\n\
+         the pinned value. Every entry the disk persistence tier has ever\n\
+         written is addressed by these keys, so this change silently\n\
+         invalidates all persisted caches — old entries become unreachable\n\
+         and, if a component was *removed* from the hash, distinct requests\n\
+         can now collide on stale entries.\n\
+         \n\
+         If the change is intentional you MUST:\n\
+         1. bump `persist::FORMAT_VERSION` so old stores are rejected as\n\
+            wrong-version instead of half-matching,\n\
+         2. bump the hash tags (\"ppe-residual-v1\" / \"ppe-analysis-v1\")\n\
+            to the next version,\n\
+         3. update DESIGN.md §15 (on-disk format) and these snapshots.\n"
+    );
+}
+
+fn program_fingerprint(src: &str) -> u64 {
+    Arc::new(parse_program(src).expect("corpus program parses")).fingerprint()
+}
+
+fn products(specs: &[&str], facets: &[&str]) -> (Vec<String>, Vec<ProductVal>) {
+    let names: Vec<String> = facets.iter().map(|s| s.to_string()).collect();
+    let set = build_facets(&names).expect("corpus facets build");
+    let ps = specs
+        .iter()
+        .map(|s| {
+            parse_input(s)
+                .expect("corpus input parses")
+                .to_product(&set)
+                .expect("corpus input lowers")
+        })
+        .collect();
+    (names, ps)
+}
+
+#[test]
+fn program_fingerprints_are_stable() {
+    // The fingerprint feeds every key below; pin it separately so a
+    // fingerprint change is distinguishable from a key-derivation change.
+    assert_key(
+        "fingerprint(power)",
+        CacheKey(u128::from(program_fingerprint(POWER))),
+        "0000000000000000623643504dccab9f",
+    );
+    assert_key(
+        "fingerprint(sum-to)",
+        CacheKey(u128::from(program_fingerprint(SUM_TO))),
+        "0000000000000000bc3f08cd5bd8c750",
+    );
+}
+
+#[test]
+fn residual_keys_are_stable() {
+    let fp = program_fingerprint(POWER);
+    let config = PeConfig::default();
+
+    let (names, ps) = products(&["_", "3"], &[]);
+    assert_key(
+        "power/online/no-facets",
+        residual_key(fp, "power", Engine::Online, &names, &ps, false, &config),
+        "ec7353e1a226e87ef531e58c63e84dd5",
+    );
+    assert_key(
+        "power/online/no-facets/optimize",
+        residual_key(fp, "power", Engine::Online, &names, &ps, true, &config),
+        "a8fa25750a26e879b3f0920ba06459f4",
+    );
+    assert_key(
+        "power/simple/no-facets",
+        residual_key(fp, "power", Engine::Simple, &names, &ps, false, &config),
+        "ef3e1f240e7136b43c85c7404e01f71c",
+    );
+
+    let (names, ps) = products(&["_:sign=pos", "3"], &["sign"]);
+    assert_key(
+        "power/online/sign-facet",
+        residual_key(fp, "power", Engine::Online, &names, &ps, false, &config),
+        "ed69bc0f247d3a2762e9af957137781b",
+    );
+    assert_key(
+        "power/offline/sign-facet",
+        residual_key(fp, "power", Engine::Offline, &names, &ps, false, &config),
+        "d592442a6d942b59c67c5e5dc2cba749",
+    );
+
+    let fp2 = program_fingerprint(SUM_TO);
+    let (names, ps) = products(&["5"], &[]);
+    assert_key(
+        "sum-to/online/static-input",
+        residual_key(fp2, "sum-to", Engine::Online, &names, &ps, false, &config),
+        "0732de555e2cbfa786927d4f715cdc35",
+    );
+}
+
+#[test]
+fn analysis_keys_are_stable() {
+    let fp = program_fingerprint(POWER);
+    let config = PeConfig::default();
+    let (names, ps) = products(&["_:sign=pos", "3"], &["sign"]);
+    assert_key(
+        "power/analysis/sign-facet",
+        analysis_key(fp, "power", &names, &ps, &config),
+        "ee0b8990dbfa8f4ec5168804c672b1aa",
+    );
+    // The analysis key ignores the optimizer flag by construction; the
+    // residual key for the same request must not alias it (different tag).
+    let residual = residual_key(fp, "power", Engine::Offline, &names, &ps, false, &config);
+    assert_ne!(
+        format!("{residual}"),
+        format!("{}", analysis_key(fp, "power", &names, &ps, &config)),
+        "residual and analysis keys live in separate hash domains"
+    );
+}
+
+#[test]
+fn every_config_knob_reaches_the_key() {
+    // Each knob flips the key; pin the variants so adding a knob without
+    // hashing it (or silently dropping one) fails loudly.
+    let fp = program_fingerprint(POWER);
+    let (names, ps) = products(&["_", "3"], &[]);
+    let key = |config: &PeConfig| {
+        format!(
+            "{}",
+            residual_key(fp, "power", Engine::Online, &names, &ps, false, config)
+        )
+    };
+
+    let base = PeConfig::default();
+    let cases: &[(&str, PeConfig, &str)] = &[
+        (
+            "fuel=1",
+            PeConfig {
+                fuel: 1,
+                ..base.clone()
+            },
+            "fa87ccf573c6f30d3ea60cb70d91d495",
+        ),
+        (
+            "max_unfold_depth=2",
+            PeConfig {
+                max_unfold_depth: 2,
+                ..base.clone()
+            },
+            "a7d2196d3e740df967f061e96984bcc3",
+        ),
+        (
+            "max_specializations=7",
+            PeConfig {
+                max_specializations: 7,
+                ..base.clone()
+            },
+            "0ae6c9f523281cdbf66b72440f90e802",
+        ),
+        (
+            "max_residual_size=9",
+            PeConfig {
+                max_residual_size: 9,
+                ..base.clone()
+            },
+            "0b4920c734298f01eb9263053e5fb94c",
+        ),
+        (
+            "max_recursion_depth=3",
+            PeConfig {
+                max_recursion_depth: 3,
+                ..base.clone()
+            },
+            "aa4ef11a3945f3c315978acab21f1b16",
+        ),
+        (
+            "deadline=250ms",
+            PeConfig {
+                deadline: Some(Duration::from_millis(250)),
+                ..base.clone()
+            },
+            "4464c3971ee1a0088763950313d333ae",
+        ),
+        (
+            "on_exhaustion=degrade",
+            PeConfig {
+                on_exhaustion: ExhaustionPolicy::Degrade,
+                ..base.clone()
+            },
+            "b36a8053e916574f3185d5001d4d6214",
+        ),
+    ];
+
+    let base_key = key(&base);
+    for (label, config, expected) in cases {
+        let actual = key(config);
+        assert_ne!(actual, base_key, "knob `{label}` must separate keys");
+        assert_key(
+            &format!("power/online/{label}"),
+            residual_key(fp, "power", Engine::Online, &names, &ps, false, config),
+            expected,
+        );
+    }
+}

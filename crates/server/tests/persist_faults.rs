@@ -1,0 +1,557 @@
+//! Fault injection against the disk persistence tier.
+//!
+//! Every test here follows the same contract: populate a cache directory
+//! through the real service, mutilate the files the way crashes and bad
+//! disks do (truncation, bit flips, torn temp files, version skew,
+//! oversized lengths, raw garbage), then point a *fresh* service at the
+//! wreckage and demand three things:
+//!
+//! 1. **No panic, no failed request** — corruption degrades to a cold
+//!    compute, never to an error response.
+//! 2. **No wrong residual** — every answer matches a persistence-free
+//!    reference run byte-for-byte.
+//! 3. **Every fault is accounted for** — counted in `Metrics`, summarized
+//!    in the tier's `FaultReport`, and (in read-write mode) the offending
+//!    file is quarantined so the next run starts clean.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ppe_server::{
+    CacheDisposition, EngineContext, FaultKind, PersistConfig, PersistMode, ServiceConfig,
+    SpecializeRequest, SpecializeService,
+};
+
+const POWER: &str = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+const SUM_TO: &str = "(define (sum-to n) (if (= n 0) 0 (+ n (sum-to (- n 1)))))";
+
+// On-disk header offsets (see `persist.rs` and DESIGN.md §15):
+// magic 0..8, version 8..12, key 12..28, payload_len 28..36,
+// checksum 36..52, payload 52...
+const OFF_MAGIC: usize = 0;
+const OFF_VERSION: usize = 8;
+const OFF_KEY: usize = 12;
+const OFF_LEN: usize = 28;
+const OFF_CHECKSUM: usize = 36;
+const HEADER_BYTES: usize = 52;
+
+/// A private scratch directory, removed on drop even when a test fails.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ppe-faults-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The request corpus every test replays.
+fn corpus() -> Vec<SpecializeRequest> {
+    let mut reqs = Vec::new();
+    for n in 2..6u64 {
+        reqs.push(SpecializeRequest::new(
+            POWER,
+            vec!["_".into(), n.to_string()],
+        ));
+    }
+    reqs.push(SpecializeRequest::new(SUM_TO, vec!["4".into()]));
+    let mut optimized = SpecializeRequest::new(POWER, vec!["_".into(), "3".into()]);
+    optimized.optimize = true;
+    reqs.push(optimized);
+    reqs
+}
+
+fn service(dir: &Path, mode: PersistMode) -> SpecializeService {
+    SpecializeService::new(ServiceConfig {
+        persist: Some(PersistConfig {
+            mode,
+            ..PersistConfig::new(dir)
+        }),
+        ..ServiceConfig::default()
+    })
+}
+
+/// Runs the corpus through `service`, asserting success, and returns the
+/// residuals in corpus order.
+fn run_corpus(service: &SpecializeService, label: &str) -> Vec<String> {
+    let mut ctx = EngineContext::new();
+    corpus()
+        .iter()
+        .map(|req| {
+            let r = service.handle(req, &mut ctx);
+            r.outcome
+                .unwrap_or_else(|e| panic!("{label}: request failed: {e}"))
+                .residual
+        })
+        .collect()
+}
+
+/// The ground truth: the corpus run with no persistence at all.
+fn reference_residuals() -> Vec<String> {
+    let service = SpecializeService::new(ServiceConfig::default());
+    run_corpus(&service, "reference")
+}
+
+/// Populates `dir` through a real service and returns the entry count.
+fn populate(dir: &Path) -> usize {
+    let svc = service(dir, PersistMode::ReadWrite);
+    assert!(svc.persist_error().is_none(), "{:?}", svc.persist_error());
+    let residuals = run_corpus(&svc, "populate");
+    assert_eq!(residuals, reference_residuals(), "population run is sound");
+    let stores = svc.metrics().snapshot().disk_stores;
+    assert!(stores >= residuals.len() as u64, "every miss was stored");
+    entry_files(dir).len()
+}
+
+/// Committed `.ppe` entry files in `dir`, sorted for determinism.
+fn entry_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "ppe"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+fn quarantine_files(dir: &Path) -> Vec<PathBuf> {
+    entry_like(&dir.join("quarantine"))
+}
+
+fn entry_like(dir: &Path) -> Vec<PathBuf> {
+    fs::read_dir(dir)
+        .map(|rd| rd.filter_map(Result::ok).map(|e| e.path()).collect())
+        .unwrap_or_default()
+}
+
+/// One way of breaking an entry file in place.
+struct Mutation {
+    name: &'static str,
+    /// Fault kinds a load of the broken file may legitimately report.
+    expected: &'static [FaultKind],
+    apply: fn(&Path),
+}
+
+fn rewrite(path: &Path, f: impl FnOnce(&mut Vec<u8>)) {
+    let mut bytes = fs::read(path).expect("read entry");
+    f(&mut bytes);
+    fs::write(path, bytes).expect("rewrite entry");
+}
+
+const MUTATIONS: &[Mutation] = &[
+    Mutation {
+        name: "truncated-mid-payload",
+        expected: &[FaultKind::Truncated],
+        apply: |p| {
+            rewrite(p, |b| {
+                b.truncate(HEADER_BYTES + (b.len() - HEADER_BYTES) / 2)
+            })
+        },
+    },
+    Mutation {
+        name: "truncated-mid-header",
+        expected: &[FaultKind::Truncated],
+        apply: |p| rewrite(p, |b| b.truncate(HEADER_BYTES / 2)),
+    },
+    Mutation {
+        name: "payload-bit-flip",
+        expected: &[FaultKind::ChecksumMismatch],
+        apply: |p| {
+            rewrite(p, |b| {
+                let mid = HEADER_BYTES + (b.len() - HEADER_BYTES) / 2;
+                b[mid] ^= 0x10;
+            })
+        },
+    },
+    Mutation {
+        name: "checksum-bit-flip",
+        expected: &[FaultKind::ChecksumMismatch],
+        apply: |p| rewrite(p, |b| b[OFF_CHECKSUM + 3] ^= 0x01),
+    },
+    Mutation {
+        name: "bad-magic",
+        expected: &[FaultKind::BadMagic],
+        apply: |p| rewrite(p, |b| b[OFF_MAGIC] = b'X'),
+    },
+    Mutation {
+        name: "future-format-version",
+        expected: &[FaultKind::WrongVersion],
+        apply: |p| {
+            rewrite(p, |b| {
+                b[OFF_VERSION..OFF_VERSION + 4].copy_from_slice(&99u32.to_le_bytes())
+            })
+        },
+    },
+    Mutation {
+        name: "key-swap",
+        expected: &[FaultKind::KeyMismatch],
+        apply: |p| rewrite(p, |b| b[OFF_KEY + 7] ^= 0xff),
+    },
+    Mutation {
+        name: "length-larger-than-file",
+        expected: &[FaultKind::Truncated, FaultKind::LengthMismatch],
+        apply: |p| {
+            rewrite(p, |b| {
+                let huge = (b.len() as u64) * 4 + 1000;
+                b[OFF_LEN..OFF_LEN + 8].copy_from_slice(&huge.to_le_bytes());
+            })
+        },
+    },
+    Mutation {
+        name: "length-claims-oversized",
+        expected: &[FaultKind::Oversized],
+        apply: |p| {
+            rewrite(p, |b| {
+                b[OFF_LEN..OFF_LEN + 8].copy_from_slice(&(1u64 << 40).to_le_bytes());
+            })
+        },
+    },
+    Mutation {
+        name: "trailing-garbage",
+        expected: &[FaultKind::LengthMismatch],
+        apply: |p| rewrite(p, |b| b.extend_from_slice(b"crash dust")),
+    },
+    Mutation {
+        name: "payload-not-json",
+        expected: &[FaultKind::BadPayload, FaultKind::ChecksumMismatch],
+        apply: |p| {
+            rewrite(p, |b| {
+                for byte in &mut b[HEADER_BYTES..] {
+                    *byte = b'?';
+                }
+            })
+        },
+    },
+    Mutation {
+        name: "whole-file-garbage",
+        expected: &[FaultKind::BadMagic, FaultKind::Truncated],
+        apply: |p| {
+            let _ = fs::write(p, b"\x00\x01not a cache entry at all");
+        },
+    },
+    Mutation {
+        name: "empty-file",
+        expected: &[FaultKind::Truncated],
+        apply: |p| {
+            let _ = fs::write(p, b"");
+        },
+    },
+];
+
+/// The core property, exercised once per mutation kind: every entry in a
+/// populated directory is broken the same way, and a fresh service must
+/// answer the whole corpus correctly, count every fault, quarantine every
+/// broken file, and re-persist the recomputed outcomes.
+#[test]
+fn every_corruption_degrades_to_cold_compute_and_recovers() {
+    let reference = reference_residuals();
+    for mutation in MUTATIONS {
+        let scratch = Scratch::new(mutation.name);
+        let dir = scratch.path();
+        let entries = populate(dir);
+        assert!(entries > 0, "{}: populated", mutation.name);
+        for file in entry_files(dir) {
+            (mutation.apply)(&file);
+        }
+
+        let svc = service(dir, PersistMode::ReadWrite);
+        let residuals = run_corpus(&svc, mutation.name);
+        assert_eq!(
+            residuals, reference,
+            "{}: corruption must never change an answer",
+            mutation.name
+        );
+
+        let snapshot = svc.metrics().snapshot();
+        assert_eq!(
+            snapshot.disk_corrupt, entries as u64,
+            "{}: every broken entry counted",
+            mutation.name
+        );
+        assert_eq!(
+            snapshot.disk_quarantined, entries as u64,
+            "{}: every broken entry quarantined",
+            mutation.name
+        );
+        assert_eq!(snapshot.disk_hits, 0, "{}: nothing loadable", mutation.name);
+
+        let report = svc.persist().expect("tier open").fault_report();
+        assert_eq!(
+            report.total(),
+            entries as u64,
+            "{}: fault report totals match ({report})",
+            mutation.name
+        );
+        let observed: u64 = mutation.expected.iter().map(|k| report.count(*k)).sum();
+        assert_eq!(
+            observed, entries as u64,
+            "{}: faults classified as one of {:?}, got `{report}`",
+            mutation.name, mutation.expected
+        );
+
+        // The wreckage moved aside, the recomputed outcomes re-persisted.
+        assert_eq!(
+            quarantine_files(dir).len(),
+            entries,
+            "{}: quarantine holds the broken files",
+            mutation.name
+        );
+        let healed = entry_files(dir).len();
+        assert_eq!(healed, entries, "{}: cache re-populated", mutation.name);
+
+        // Third run: fully warm again, zero new faults.
+        let svc = service(dir, PersistMode::ReadWrite);
+        let residuals = run_corpus(&svc, mutation.name);
+        assert_eq!(residuals, reference, "{}: healed answers", mutation.name);
+        let snapshot = svc.metrics().snapshot();
+        assert!(
+            snapshot.disk_hits > 0,
+            "{}: healed cache warms",
+            mutation.name
+        );
+        assert_eq!(
+            snapshot.disk_corrupt, 0,
+            "{}: healed cache is clean",
+            mutation.name
+        );
+    }
+}
+
+/// Read-only mode on a corrupt directory: faults are counted but nothing
+/// on disk moves — no quarantine, no re-store, no deletion.
+#[test]
+fn read_only_mode_counts_faults_but_never_writes() {
+    let scratch = Scratch::new("readonly");
+    let dir = scratch.path();
+    let entries = populate(dir);
+    let before: Vec<PathBuf> = entry_files(dir);
+    for file in &before {
+        rewrite(file, |b| {
+            let mid = HEADER_BYTES + (b.len() - HEADER_BYTES) / 2;
+            b[mid] ^= 0x40;
+        });
+    }
+    let mutated: Vec<Vec<u8>> = before.iter().map(|p| fs::read(p).unwrap()).collect();
+
+    let svc = service(dir, PersistMode::ReadOnly);
+    let residuals = run_corpus(&svc, "readonly");
+    assert_eq!(residuals, reference_residuals());
+    let snapshot = svc.metrics().snapshot();
+    assert_eq!(snapshot.disk_corrupt, entries as u64);
+    assert_eq!(snapshot.disk_quarantined, 0, "read-only never quarantines");
+    assert_eq!(snapshot.disk_stores, 0, "read-only never stores");
+
+    assert_eq!(entry_files(dir), before, "no file moved");
+    let after: Vec<Vec<u8>> = before.iter().map(|p| fs::read(p).unwrap()).collect();
+    assert_eq!(after, mutated, "no file changed");
+    assert!(quarantine_files(dir).is_empty());
+}
+
+/// Torn temp files — a crash mid-store — must be invisible to loads and
+/// swept by gc.
+#[test]
+fn torn_tmp_files_are_invisible_and_swept() {
+    let scratch = Scratch::new("torn");
+    let dir = scratch.path();
+    let entries = populate(dir);
+    // Simulate two crashes at different points of the write protocol.
+    fs::write(dir.join("deadbeef.tmp-9999-0"), b"PPECACHE\x01").unwrap();
+    fs::write(dir.join("cafebabe.tmp-9999-1"), b"").unwrap();
+
+    let svc = service(dir, PersistMode::ReadWrite);
+    let residuals = run_corpus(&svc, "torn");
+    assert_eq!(residuals, reference_residuals());
+    let snapshot = svc.metrics().snapshot();
+    assert_eq!(
+        snapshot.disk_hits, entries as u64,
+        "torn files hide nothing"
+    );
+    assert_eq!(snapshot.disk_corrupt, 0, "tmp files are not entries");
+
+    let tier = svc.persist().expect("tier open");
+    let stats = tier.stats().expect("stats");
+    assert_eq!(stats.tmp_files, 2);
+    let report = tier.gc(u64::MAX, false).expect("gc");
+    assert_eq!(report.removed_tmp, 2, "gc sweeps torn writes");
+    assert_eq!(report.removed_entries, 0, "budget was unlimited");
+    assert_eq!(tier.stats().expect("stats").tmp_files, 0);
+}
+
+/// Corruption of *some* entries must not poison the rest: good entries
+/// still hit, only bad ones are quarantined.
+#[test]
+fn mixed_good_and_bad_entries_split_cleanly() {
+    let scratch = Scratch::new("mixed");
+    let dir = scratch.path();
+    let entries = populate(dir);
+    assert!(entries >= 2, "need a split");
+    let files = entry_files(dir);
+    let broken = entries / 2;
+    for file in files.iter().take(broken) {
+        rewrite(file, |b| b.truncate(HEADER_BYTES - 1));
+    }
+
+    let svc = service(dir, PersistMode::ReadWrite);
+    let residuals = run_corpus(&svc, "mixed");
+    assert_eq!(residuals, reference_residuals());
+    let snapshot = svc.metrics().snapshot();
+    assert_eq!(snapshot.disk_corrupt, broken as u64);
+    assert_eq!(snapshot.disk_hits, (entries - broken) as u64);
+    assert_eq!(quarantine_files(dir).len(), broken);
+}
+
+/// A hostile oversized file (real bytes, not just a lying header) is
+/// rejected without ballooning memory and without killing the request.
+#[test]
+fn oversized_real_payload_is_rejected() {
+    let scratch = Scratch::new("oversized");
+    let dir = scratch.path();
+    let entries = populate(dir);
+    assert!(entries > 0);
+    // Make every entry physically larger than the configured cap.
+    let cap = 4 * 1024;
+    for file in entry_files(dir) {
+        rewrite(&file, |b| {
+            let huge = vec![b'z'; cap * 3];
+            b.extend_from_slice(&huge);
+        });
+    }
+    let svc = SpecializeService::new(ServiceConfig {
+        persist: Some(PersistConfig {
+            max_entry_bytes: cap,
+            ..PersistConfig::new(dir)
+        }),
+        ..ServiceConfig::default()
+    });
+    let residuals = run_corpus(&svc, "oversized");
+    assert_eq!(residuals, reference_residuals());
+    let report = svc.persist().expect("tier").fault_report();
+    assert_eq!(
+        report.count(FaultKind::Oversized),
+        entries as u64,
+        "{report}"
+    );
+}
+
+/// Export/import round-trip across directories, plus import resilience:
+/// garbage lines in an export stream are rejected without aborting the
+/// good ones, and imported entries answer requests.
+#[test]
+fn export_import_survives_garbage_and_warms_a_fresh_dir() {
+    let scratch = Scratch::new("export");
+    let dir = scratch.path();
+    let entries = populate(dir);
+    let svc = service(dir, PersistMode::ReadWrite);
+    let tier = svc.persist().expect("tier");
+
+    let mut dump = Vec::new();
+    let report = tier.export(&mut dump).expect("export");
+    assert_eq!(report.exported, entries as u64);
+    assert_eq!(report.skipped, 0);
+
+    // Splice garbage between the good lines.
+    let text = String::from_utf8(dump).expect("export is utf-8");
+    let mut spliced = String::new();
+    for (i, line) in text.lines().enumerate() {
+        spliced.push_str(line);
+        spliced.push('\n');
+        if i == 0 {
+            spliced.push_str("{\"entry\":\"nonsense\",\"key\":\"zz\"}\n");
+            spliced.push_str("not json at all\n");
+        }
+    }
+
+    let scratch2 = Scratch::new("import");
+    let svc2 = service(scratch2.path(), PersistMode::ReadWrite);
+    let tier2 = svc2.persist().expect("tier");
+    let report = tier2.import(&mut spliced.as_bytes()).expect("import");
+    assert_eq!(report.imported, entries as u64);
+    assert_eq!(report.rejected, 2, "both garbage lines rejected");
+
+    // The imported directory answers the corpus warm.
+    let svc3 = service(scratch2.path(), PersistMode::ReadWrite);
+    let residuals = run_corpus(&svc3, "imported");
+    assert_eq!(residuals, reference_residuals());
+    assert_eq!(
+        svc3.metrics().snapshot().disk_hits,
+        entries as u64,
+        "every corpus answer came off the imported disk"
+    );
+}
+
+/// gc under a byte budget keeps the newest entries and the cache still
+/// answers correctly afterwards (evicted entries recompute).
+#[test]
+fn gc_under_budget_keeps_a_working_cache() {
+    let scratch = Scratch::new("gc");
+    let dir = scratch.path();
+    let entries = populate(dir);
+    let svc = service(dir, PersistMode::ReadWrite);
+    let tier = svc.persist().expect("tier");
+    let stats = tier.stats().expect("stats");
+    assert_eq!(stats.entries, entries as u64);
+
+    // Budget for roughly half the bytes.
+    let report = tier.gc(stats.entry_bytes / 2, false).expect("gc");
+    assert!(report.removed_entries > 0, "{report:?}");
+    assert!(report.kept_bytes <= stats.entry_bytes / 2, "{report:?}");
+    assert_eq!(report.kept_entries + report.removed_entries, entries as u64);
+
+    let svc = service(dir, PersistMode::ReadWrite);
+    let residuals = run_corpus(&svc, "post-gc");
+    assert_eq!(residuals, reference_residuals());
+    let snapshot = svc.metrics().snapshot();
+    assert_eq!(snapshot.disk_hits, report.kept_entries);
+    assert_eq!(snapshot.disk_corrupt, 0);
+}
+
+/// The disposition surfaced to clients distinguishes all three tiers:
+/// Miss (cold), Disk (warm from disk), Hit (warm in memory).
+#[test]
+fn dispositions_name_the_answering_tier() {
+    let scratch = Scratch::new("tiers");
+    let dir = scratch.path();
+    let req = SpecializeRequest::new(POWER, vec!["_".into(), "3".into()]);
+
+    let svc = service(dir, PersistMode::ReadWrite);
+    let mut ctx = EngineContext::new();
+    assert_eq!(
+        svc.handle(&req, &mut ctx).disposition,
+        CacheDisposition::Miss
+    );
+    assert_eq!(
+        svc.handle(&req, &mut ctx).disposition,
+        CacheDisposition::Hit
+    );
+
+    let svc = service(dir, PersistMode::ReadWrite);
+    let mut ctx = EngineContext::new();
+    assert_eq!(
+        svc.handle(&req, &mut ctx).disposition,
+        CacheDisposition::Disk
+    );
+    assert_eq!(
+        svc.handle(&req, &mut ctx).disposition,
+        CacheDisposition::Hit
+    );
+}

@@ -14,10 +14,20 @@
 //! ppe batch <requests.jsonl|->          answer a batch of JSON requests
 //!     [--jobs N] [--cache-mb N]         through the shared residual cache;
 //!     [--program <file.sexp>]           residuals on stdout (input order),
-//!                                       metrics JSON on stderr
+//!     [--cache-dir DIR]                 metrics JSON on stderr
+//!     [--cache-mode rw|ro|off]
 //! ppe serve [--jobs N] [--cache-mb N]   JSON-lines service on stdin/stdout
-//!                                       (one request line in, one response
-//!                                       line out, in order)
+//!     [--cache-dir DIR]                 (one request line in, one response
+//!     [--cache-mode rw|ro|off]          line out, in order)
+//! ppe cache <stats|export|import|gc>    inspect and maintain a disk cache
+//!     --cache-dir DIR [FILE|-]          directory (see DESIGN.md §15);
+//!     [--max-bytes N]                   export/import move entries between
+//!     [--purge-quarantine]              machines as validated JSON lines
+//!
+//! `--cache-dir` puts a crash-safe disk tier under the in-memory residual
+//! cache: entries survive restarts, corrupt files are quarantined and
+//! recomputed (never trusted, never fatal). `--cache-mode ro` reads an
+//! existing directory without writing; `off` ignores `--cache-dir`.
 //!
 //! ARG    ::= 5 | -3 | 2.5 | #t | #f | vec:1.0,2.0,3.0
 //! INPUT  ::= ARG                         a known input
@@ -67,8 +77,8 @@ use ppe::online::{ExhaustionPolicy, OnlinePe, PeConfig, PeInput};
 use ppe::server::request::diagnostic_json;
 use ppe::server::spec::{build_facets, parse_input, parse_value, ALL_FACETS};
 use ppe::server::{
-    run_batch, serve, BatchOptions, Json, ServeOptions, ServiceConfig, SpecializeRequest,
-    SpecializeService,
+    run_batch, serve, BatchOptions, Json, PersistConfig, PersistMode, PersistTier, ServeOptions,
+    ServiceConfig, SpecializeRequest, SpecializeService,
 };
 
 /// Stack size for the worker thread. Deeply recursive source programs drive
@@ -121,6 +131,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "verify-facets" => cmd_verify_facets(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "cache" => cmd_cache(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -135,7 +146,10 @@ fn usage() -> String {
      \u{20}      ppe check <file> [inputs…] [--facets LIST] [--format text|json]\n\
      \u{20}      ppe verify-facets [--facets LIST]\n\
      \u{20}      ppe batch <requests.jsonl|-> [--jobs N] [--cache-mb N] [--program <file.sexp>]\n\
-     \u{20}      ppe serve [--jobs N] [--cache-mb N]\n\
+     \u{20}       [--cache-dir DIR] [--cache-mode rw|ro|off]\n\
+     \u{20}      ppe serve [--jobs N] [--cache-mb N] [--cache-dir DIR] [--cache-mode rw|ro|off]\n\
+     \u{20}      ppe cache <stats|export|import|gc> --cache-dir DIR [FILE|-]\n\
+     \u{20}       [--max-bytes N] [--purge-quarantine]\n\
      see `cargo doc` or the README for the input syntax"
         .to_owned()
 }
@@ -569,12 +583,38 @@ fn cmd_verify_facets(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// What `--cache-mode` asked for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CacheMode {
+    ReadWrite,
+    ReadOnly,
+    Off,
+}
+
 /// Options shared by the `batch` and `serve` service commands.
 struct ServerOpts {
     jobs: usize,
     cache_mb: usize,
     program: Option<String>,
+    cache_dir: Option<String>,
+    cache_mode: CacheMode,
     positional: Vec<String>,
+}
+
+impl ServerOpts {
+    /// The disk-tier configuration, if one was requested and not `off`.
+    fn persist_config(&self) -> Option<PersistConfig> {
+        let dir = self.cache_dir.as_ref()?;
+        let mode = match self.cache_mode {
+            CacheMode::ReadWrite => PersistMode::ReadWrite,
+            CacheMode::ReadOnly => PersistMode::ReadOnly,
+            CacheMode::Off => return None,
+        };
+        Some(PersistConfig {
+            mode,
+            ..PersistConfig::new(dir)
+        })
+    }
 }
 
 fn parse_server_opts(args: &[String]) -> Result<ServerOpts, String> {
@@ -582,6 +622,8 @@ fn parse_server_opts(args: &[String]) -> Result<ServerOpts, String> {
         jobs: 1,
         cache_mb: 64,
         program: None,
+        cache_dir: None,
+        cache_mode: CacheMode::ReadWrite,
         positional: Vec::new(),
     };
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -614,6 +656,22 @@ fn parse_server_opts(args: &[String]) -> Result<ServerOpts, String> {
             "--program" => {
                 opts.program = Some(take_value(args, &mut i, "--program")?);
             }
+            "--cache-dir" => {
+                opts.cache_dir = Some(take_value(args, &mut i, "--cache-dir")?);
+            }
+            "--cache-mode" => {
+                let v = take_value(args, &mut i, "--cache-mode")?;
+                opts.cache_mode = match v.as_str() {
+                    "rw" => CacheMode::ReadWrite,
+                    "ro" => CacheMode::ReadOnly,
+                    "off" => CacheMode::Off,
+                    other => {
+                        return Err(format!(
+                            "--cache-mode must be rw, ro, or off, got `{other}`"
+                        ))
+                    }
+                };
+            }
             _ => opts.positional.push(arg),
         }
         i += 1;
@@ -622,10 +680,30 @@ fn parse_server_opts(args: &[String]) -> Result<ServerOpts, String> {
 }
 
 fn service_for(opts: &ServerOpts) -> SpecializeService {
-    SpecializeService::new(ServiceConfig {
+    let service = SpecializeService::new(ServiceConfig {
         cache_bytes: opts.cache_mb << 20,
+        persist: opts.persist_config(),
         ..ServiceConfig::default()
-    })
+    });
+    if let Some(error) = service.persist_error() {
+        eprintln!("ppe: warning: disk cache disabled: {error}");
+    }
+    service
+}
+
+/// Prints the disk tier's fault summary on stderr, if anything went wrong.
+fn report_disk_faults(service: &SpecializeService) {
+    if let Some(tier) = service.persist() {
+        let report = tier.fault_report();
+        if !report.is_empty() {
+            let action = if tier.read_only() {
+                "left in place (read-only mode)"
+            } else {
+                "quarantined under `quarantine/`"
+            };
+            eprintln!("; disk faults: {report} ({action})");
+        }
+    }
 }
 
 /// `ppe batch`: answer every request line of a JSONL file (or stdin with
@@ -713,6 +791,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         );
     }
     eprintln!("{}", metrics.render());
+    report_disk_faults(&service);
     Ok(())
 }
 
@@ -736,7 +815,152 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         summary.lines, summary.requests, summary.errors
     );
     eprintln!("{}", service.metrics().snapshot().to_json().render());
+    report_disk_faults(&service);
     Ok(())
+}
+
+/// `ppe cache`: offline maintenance of one disk-cache directory.
+fn cmd_cache(args: &[String]) -> Result<(), String> {
+    let Some(action) = args.first().map(String::as_str) else {
+        return Err(format!("cache needs an action\n{}", usage()));
+    };
+    let opts = parse_cache_opts(&args[1..])?;
+    let Some(dir) = opts.cache_dir.clone() else {
+        return Err(format!("cache {action} needs --cache-dir DIR\n{}", usage()));
+    };
+    let open = |mode: PersistMode| -> Result<PersistTier, String> {
+        PersistTier::open(PersistConfig {
+            mode,
+            ..PersistConfig::new(&dir)
+        })
+    };
+    match action {
+        "stats" => {
+            let tier = open(PersistMode::ReadOnly)?;
+            let stats = tier
+                .stats()
+                .map_err(|e| format!("cannot walk `{dir}`: {e}"))?;
+            let mut json = stats.to_json();
+            if let Json::Obj(map) = &mut json {
+                map.insert("dir".to_owned(), Json::str(dir.clone()));
+            }
+            println!("{}", json.render());
+            Ok(())
+        }
+        "export" => {
+            let tier = open(PersistMode::ReadOnly)?;
+            let target = opts.file.as_deref().unwrap_or("-");
+            let report = if target == "-" {
+                let stdout = std::io::stdout();
+                tier.export(&mut stdout.lock())
+            } else {
+                let mut file = std::fs::File::create(target)
+                    .map_err(|e| format!("cannot create `{target}`: {e}"))?;
+                tier.export(&mut file)
+            }
+            .map_err(|e| format!("export failed: {e}"))?;
+            eprintln!(
+                "; exported {} entries, skipped {} corrupt",
+                report.exported, report.skipped
+            );
+            Ok(())
+        }
+        "import" => {
+            let tier = open(PersistMode::ReadWrite)?;
+            let source = opts.file.as_deref().unwrap_or("-");
+            let report = if source == "-" {
+                let stdin = std::io::stdin();
+                tier.import(&mut stdin.lock())
+            } else {
+                let file = std::fs::File::open(source)
+                    .map_err(|e| format!("cannot read `{source}`: {e}"))?;
+                tier.import(&mut std::io::BufReader::new(file))
+            }
+            .map_err(|e| format!("import failed: {e}"))?;
+            eprintln!(
+                "; imported {} entries, rejected {}",
+                report.imported, report.rejected
+            );
+            Ok(())
+        }
+        "gc" => {
+            let tier = open(PersistMode::ReadWrite)?;
+            let report = tier
+                .gc(opts.max_bytes.unwrap_or(u64::MAX), opts.purge_quarantine)
+                .map_err(|e| format!("gc failed: {e}"))?;
+            println!(
+                "{}",
+                Json::obj(vec![
+                    ("kept_bytes", Json::num(report.kept_bytes)),
+                    ("kept_entries", Json::num(report.kept_entries)),
+                    ("purged_quarantine", Json::num(report.purged_quarantine)),
+                    ("removed_bytes", Json::num(report.removed_bytes)),
+                    ("removed_entries", Json::num(report.removed_entries)),
+                    ("removed_tmp", Json::num(report.removed_tmp)),
+                ])
+                .render()
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown cache action `{other}` (expected stats, export, import, or gc)\n{}",
+            usage()
+        )),
+    }
+}
+
+/// Options for `ppe cache`.
+struct CacheOpts {
+    cache_dir: Option<String>,
+    file: Option<String>,
+    max_bytes: Option<u64>,
+    purge_quarantine: bool,
+}
+
+fn parse_cache_opts(args: &[String]) -> Result<CacheOpts, String> {
+    let mut opts = CacheOpts {
+        cache_dir: None,
+        file: None,
+        max_bytes: None,
+        purge_quarantine: false,
+    };
+    let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        let arg = &args[*i];
+        if let Some(v) = arg.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+            return Ok(v.to_owned());
+        }
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let flag = arg.split('=').next().unwrap_or(&arg);
+        match flag {
+            "--cache-dir" => opts.cache_dir = Some(take_value(args, &mut i, "--cache-dir")?),
+            "--max-bytes" => {
+                let v = take_value(args, &mut i, "--max-bytes")?;
+                opts.max_bytes = Some(v.parse::<u64>().map_err(|_| {
+                    format!("--max-bytes must be a non-negative integer, got `{v}`")
+                })?);
+            }
+            "--purge-quarantine" => opts.purge_quarantine = true,
+            _ if flag.starts_with("--") => {
+                return Err(format!("unknown cache option `{flag}`\n{}", usage()))
+            }
+            _ => {
+                if opts.file.replace(arg.clone()).is_some() {
+                    return Err(format!(
+                        "cache takes one FILE argument, got a second `{arg}`"
+                    ));
+                }
+            }
+        }
+        i += 1;
+    }
+    Ok(opts)
 }
 
 #[cfg(test)]
@@ -755,6 +979,50 @@ mod tests {
         let opts = parse_server_opts(&to_args(&["-", "--program", "p.sexp"])).unwrap();
         assert_eq!(opts.program.as_deref(), Some("p.sexp"));
         assert!(parse_server_opts(&to_args(&["--jobs", "many"])).is_err());
+    }
+
+    #[test]
+    fn parses_cache_tier_flags() {
+        let to_args = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let opts = parse_server_opts(&to_args(&["--cache-dir", "/tmp/c"])).unwrap();
+        assert_eq!(opts.cache_dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(opts.cache_mode, CacheMode::ReadWrite);
+        let persist = opts.persist_config().expect("tier configured");
+        assert_eq!(persist.mode, PersistMode::ReadWrite);
+
+        let opts = parse_server_opts(&to_args(&["--cache-dir=/tmp/c", "--cache-mode=ro"])).unwrap();
+        assert_eq!(opts.cache_mode, CacheMode::ReadOnly);
+        assert_eq!(
+            opts.persist_config().expect("tier configured").mode,
+            PersistMode::ReadOnly
+        );
+
+        let opts =
+            parse_server_opts(&to_args(&["--cache-dir=/tmp/c", "--cache-mode=off"])).unwrap();
+        assert!(opts.persist_config().is_none(), "off disables the tier");
+        let opts = parse_server_opts(&to_args(&["--cache-mode=rw"])).unwrap();
+        assert!(opts.persist_config().is_none(), "no dir, no tier");
+        assert!(parse_server_opts(&to_args(&["--cache-mode=sometimes"])).is_err());
+    }
+
+    #[test]
+    fn parses_cache_command_options() {
+        let to_args = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let opts = parse_cache_opts(&to_args(&[
+            "--cache-dir",
+            "/tmp/c",
+            "dump.jsonl",
+            "--max-bytes=4096",
+            "--purge-quarantine",
+        ]))
+        .unwrap();
+        assert_eq!(opts.cache_dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(opts.file.as_deref(), Some("dump.jsonl"));
+        assert_eq!(opts.max_bytes, Some(4096));
+        assert!(opts.purge_quarantine);
+        assert!(parse_cache_opts(&to_args(&["--max-bytes", "lots"])).is_err());
+        assert!(parse_cache_opts(&to_args(&["--mystery-flag"])).is_err());
+        assert!(parse_cache_opts(&to_args(&["a.jsonl", "b.jsonl"])).is_err());
     }
 
     #[test]
