@@ -31,6 +31,11 @@ fn bench_e6(c: &mut Criterion) {
             ev.set_max_depth(10_000);
             bch.iter(|| black_box(ev.run_main(&[a.clone(), b.clone()]).unwrap()));
         });
+        group.bench_with_input(BenchmarkId::new("residual_vm", n), &n, |bch, _| {
+            let compiled = ppe_vm::compile(&residual.program).expect("residual compiles");
+            let mut vm = ppe_vm::Vm::new();
+            bch.iter(|| black_box(vm.run_main(&compiled, &[a.clone(), b.clone()]).unwrap()));
+        });
     }
     group.finish();
 }

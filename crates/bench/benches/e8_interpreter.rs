@@ -36,6 +36,11 @@ fn bench_e8(c: &mut Criterion) {
             ev.set_max_depth(10_000);
             b.iter(|| black_box(ev.run_main(&[Value::Int(1)]).unwrap()));
         });
+        group.bench_with_input(BenchmarkId::new("compiled_vm", ops), &ops, |b, _| {
+            let compiled = ppe_vm::compile(&residual.program).expect("residual compiles");
+            let mut vm = ppe_vm::Vm::new();
+            b.iter(|| black_box(vm.run_main(&compiled, &[Value::Int(1)]).unwrap()));
+        });
         group.bench_with_input(BenchmarkId::new("specialize", ops), &ops, |b, _| {
             let pe = OnlinePe::with_config(&program, &facets, config.clone());
             b.iter(|| {

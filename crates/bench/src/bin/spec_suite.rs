@@ -18,7 +18,7 @@ use ppe_bench::{
 };
 use ppe_core::facets::ContentsFacet;
 use ppe_core::FacetSet;
-use ppe_lang::{Const, Value};
+use ppe_lang::{Const, Evaluator, Value};
 use ppe_offline::{analyze, AbstractInput, OfflinePe};
 use ppe_online::{OnlinePe, PeInput, SimpleInput, SimplePe};
 
@@ -171,6 +171,46 @@ fn main() {
                 .unwrap()
         });
         out.push(("e8_spec_interp_ops64", t));
+    }
+
+    // E6/E8 executed — compiled vs interpreted residual *execution*: the
+    // residuals the specializer produces, run through the AST oracle and
+    // through the bytecode VM (`crates/vm`). The `_vm`/`_ast` pair is the
+    // compiled-over-interpreted section of BENCH_specializer.json.
+    {
+        let residual = OnlinePe::with_config(&iprod, &sfacets, deep_config(64))
+            .specialize_main(&sized_inputs(64))
+            .unwrap()
+            .program;
+        let args = [
+            ppe_bench::random_vector(64, 1),
+            ppe_bench::random_vector(64, 2),
+        ];
+        let mut ev = Evaluator::new(&residual);
+        let t = time_us(reps, || ev.run_main(&args).unwrap());
+        out.push(("e6_exec_iprod_n64_ast", t));
+        let compiled = ppe_vm::compile(&residual).unwrap();
+        let mut vm = ppe_vm::Vm::new();
+        let t = time_us(reps, || vm.run_main(&compiled, &args).unwrap());
+        out.push(("e6_exec_iprod_n64_vm", t));
+    }
+    {
+        let program = interpreter_program();
+        let facets = FacetSet::with_facets(vec![Box::new(ContentsFacet)]);
+        let code = linear_bytecode(64);
+        let config = deep_config(4 * 64 + 32);
+        let residual = OnlinePe::with_config(&program, &facets, config)
+            .specialize_main(&[PeInput::known(code), PeInput::dynamic()])
+            .unwrap()
+            .program;
+        let args = [Value::Int(3)];
+        let mut ev = Evaluator::new(&residual);
+        let t = time_us(reps, || ev.run_main(&args).unwrap());
+        out.push(("e8_exec_interp_ops64_ast", t));
+        let compiled = ppe_vm::compile(&residual).unwrap();
+        let mut vm = ppe_vm::Vm::new();
+        let t = time_us(reps, || vm.run_main(&compiled, &args).unwrap());
+        out.push(("e8_exec_interp_ops64_vm", t));
     }
 
     let fields: Vec<String> = out

@@ -59,7 +59,7 @@ impl TypeVal {
             Value::Bool(_) => TypeVal::Bool,
             Value::Float(_) => TypeVal::Float,
             Value::Vector(_) => TypeVal::Vector,
-            Value::Closure { .. } | Value::FnVal(_) => TypeVal::Fun,
+            Value::Closure(_) | Value::FnVal(_) => TypeVal::Fun,
         }
     }
 

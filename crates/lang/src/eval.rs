@@ -220,11 +220,11 @@ impl<'p> Evaluator<'p> {
                 let inner = env.bind(*x, v);
                 self.eval(body, &inner)
             }
-            Expr::Lambda(params, body) => Ok(Value::Closure {
-                params: params.clone(),
-                body: Rc::new((**body).clone()),
-                env: env.clone(),
-            }),
+            Expr::Lambda(params, body) => Ok(Value::closure(
+                params.clone(),
+                Rc::new((**body).clone()),
+                env.clone(),
+            )),
             Expr::FnRef(f) => Ok(Value::FnVal(*f)),
             Expr::App(f, args) => {
                 let fv = self.eval(f, env)?;
@@ -241,11 +241,11 @@ impl<'p> Evaluator<'p> {
     pub fn apply_value(&mut self, f: Value, args: Vec<Value>) -> Result<Value, EvalError> {
         match f {
             Value::FnVal(name) => self.apply_named(name, args),
-            Value::Closure { params, body, env } => {
-                if params.len() != args.len() {
+            Value::Closure(c) => {
+                if c.params.len() != args.len() {
                     return Err(EvalError::Arity {
                         function: crate::Symbol::intern("<lambda>"),
-                        expected: params.len(),
+                        expected: c.params.len(),
                         got: args.len(),
                     });
                 }
@@ -257,8 +257,8 @@ impl<'p> Evaluator<'p> {
                     return Err(EvalError::DepthExceeded);
                 }
                 self.depth += 1;
-                let inner = env.bind_all(params.into_iter().zip(args));
-                let result = self.eval(&body, &inner);
+                let inner = c.env.bind_all(c.params.iter().copied().zip(args));
+                let result = self.eval(&c.body, &inner);
                 self.depth -= 1;
                 result
             }

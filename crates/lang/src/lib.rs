@@ -61,4 +61,4 @@ pub use program::{FunDef, Program};
 pub use symbol::Symbol;
 pub use term::{interner_stats, InternerStats, Term, TermNode};
 pub use token::Token;
-pub use value::Value;
+pub use value::{ClosureData, Value};

@@ -28,6 +28,7 @@
 //! assert_eq!(a.to_expr(), parse_expr("(+ x (* y y))").unwrap());
 //! ```
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -122,6 +123,59 @@ static HITS: AtomicU64 = AtomicU64::new(0);
 fn interner() -> &'static Interner {
     INTERNER.get_or_init(|| Interner {
         shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+    })
+}
+
+/// Small integers memoized on the leaf fast path: wide enough for loop
+/// counters and vector sizes, narrow enough that the per-thread table
+/// stays trivial.
+const LEAF_INT_MIN: i64 = -16;
+const LEAF_INT_MAX: i64 = 128;
+
+thread_local! {
+    /// Leaf fast path: per-thread memos of interned variables (dense by
+    /// symbol index) and small constants. Leaves dominate tiny-term
+    /// workloads — a 4-element inner-product specialization builds the
+    /// same handful of `Var`/`Int` nodes over and over — and paying the
+    /// sharded-lock round trip for each one is what regressed
+    /// `e1_online_iprod_n4` when terms were first interned. A memo hit
+    /// costs one indexed read and an `Arc` bump; misses fall through to
+    /// the interner and populate the memo. Memory is bounded by the
+    /// symbol table, which is already process-lifetime.
+    static VAR_LEAVES: RefCell<Vec<Option<Term>>> = const { RefCell::new(Vec::new()) };
+    static CONST_LEAVES: RefCell<Vec<Option<Term>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The memo slot for a constant on the leaf fast path, if it has one
+/// (booleans and small integers).
+fn const_leaf_slot(c: &Const) -> Option<usize> {
+    match c {
+        Const::Bool(b) => Some(usize::from(*b)),
+        Const::Int(n) if (LEAF_INT_MIN..=LEAF_INT_MAX).contains(n) => {
+            Some(2 + (n - LEAF_INT_MIN) as usize)
+        }
+        _ => None,
+    }
+}
+
+/// Looks up slot `i` in a leaf memo, or interns `node` and records it.
+fn leaf(
+    cache: &'static std::thread::LocalKey<RefCell<Vec<Option<Term>>>>,
+    i: usize,
+    node: impl FnOnce() -> TermNode,
+) -> Term {
+    cache.with(|memo| {
+        if let Some(Some(t)) = memo.borrow().get(i) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return t.clone();
+        }
+        let t = Term::intern(node());
+        let mut memo = memo.borrow_mut();
+        if memo.len() <= i {
+            memo.resize(i + 1, None);
+        }
+        memo[i] = Some(t.clone());
+        t
     })
 }
 
@@ -226,12 +280,15 @@ impl Term {
 
     /// An interned constant.
     pub fn constant(c: Const) -> Term {
-        Term::intern(TermNode::Const(c))
+        match const_leaf_slot(&c) {
+            Some(i) => leaf(&CONST_LEAVES, i, || TermNode::Const(c)),
+            None => Term::intern(TermNode::Const(c)),
+        }
     }
 
     /// An interned variable reference.
     pub fn var(x: Symbol) -> Term {
-        Term::intern(TermNode::Var(x))
+        leaf(&VAR_LEAVES, x.index() as usize, || TermNode::Var(x))
     }
 
     /// An interned primitive application.

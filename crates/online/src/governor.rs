@@ -24,7 +24,7 @@
 //! often.
 
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ppe_lang::Symbol;
 
@@ -286,6 +286,22 @@ impl Governor {
             self.check_deadline()?;
         }
         Ok(())
+    }
+
+    /// Fuel this governor has left. Lets downstream execution tiers (the
+    /// bytecode VM's `VmOptions::from_governor`) inherit the unspent work
+    /// budget of the run that produced a residual.
+    pub fn remaining_fuel(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Wall-clock allowance this governor has left, if a deadline is set:
+    /// `Some(Duration::ZERO)` once the deadline has passed, `None` when no
+    /// deadline was configured. The downstream-budget companion of
+    /// [`Governor::remaining_fuel`].
+    pub fn remaining_deadline(&self) -> Option<Duration> {
+        self.deadline
+            .map(|at| at.saturating_duration_since(Instant::now()))
     }
 
     /// Check the wall-clock deadline immediately (used at coarse-grained

@@ -15,12 +15,15 @@ use std::sync::Arc;
 use ppe_core::{FacetSet, ProductVal};
 use ppe_lang::{optimize_program, pretty_program, prune_unused_params, OptLevel, Program, Symbol};
 use ppe_offline::{analyze_fn_with_config, AbstractInput, Analysis, OfflinePe};
-use ppe_online::{OnlinePe, PeInput, SimpleInput, SimplePe};
+use ppe_online::{OnlinePe, PeConfig, PeInput, SimpleInput, SimplePe};
+
+use ppe_lang::{Evaluator, Value};
+use ppe_vm::VmOptions;
 
 use crate::cache::CachedOutcome;
 use crate::key::{analysis_key, residual_key, CacheKey};
 use crate::metrics::Metrics;
-use crate::request::{Engine, SpecializeRequest};
+use crate::request::{Engine, ExecEngine, ExecOutcome, ExecuteRequest, SpecializeRequest};
 use crate::spec;
 
 /// Per-worker state that outlives single requests: the offline engine's
@@ -171,6 +174,76 @@ pub(crate) fn run(
         stats: residual.stats,
         degradations: residual.report.events().to_vec(),
     })
+}
+
+/// Runs a residual program on concrete inputs — the `"execute"` path.
+///
+/// Infallible by design: every failure (unparseable input value, runtime
+/// error, exhausted budget) lands in the outcome's `value` field, because
+/// by this point specialization has *succeeded* and the response should
+/// carry the residual either way. Budgets come from the same [`PeConfig`]
+/// that governed specialization: `fuel` meters function applications and
+/// `deadline` bounds wall clock, on both engines identically.
+pub(crate) fn execute_residual(
+    residual: &Program,
+    exec: &ExecuteRequest,
+    config: &PeConfig,
+    metrics: &Metrics,
+) -> ExecOutcome {
+    metrics.executes.fetch_add(1, Relaxed);
+    let mut outcome = ExecOutcome {
+        value: Err(String::new()),
+        engine: exec.engine,
+        chunks_compiled: 0,
+        chunk_cache_hit: false,
+        ops_executed: 0,
+        fuel_used: 0,
+    };
+    let args: Result<Vec<Value>, String> = exec
+        .inputs
+        .iter()
+        .map(|s| spec::parse_value(s).map_err(|e| format!("execute input: {e}")))
+        .collect();
+    match args {
+        Err(msg) => outcome.value = Err(msg),
+        Ok(args) => match exec.engine {
+            ExecEngine::Vm => {
+                let opts = VmOptions {
+                    fuel: config.fuel,
+                    deadline: config.deadline,
+                    ..VmOptions::default()
+                };
+                let (out, report) = ppe_vm::execute_main(residual, &args, opts);
+                outcome.value = out.map(|v| v.to_string()).map_err(|e| e.to_string());
+                outcome.chunks_compiled = report.chunks_compiled;
+                outcome.chunk_cache_hit = report.cache_hit;
+                outcome.ops_executed = report.ops_executed;
+                outcome.fuel_used = report.fuel_used;
+                metrics
+                    .vm_chunks_compiled
+                    .fetch_add(report.chunks_compiled, Relaxed);
+                if report.cache_hit {
+                    metrics.vm_chunk_cache_hits.fetch_add(1, Relaxed);
+                }
+                metrics
+                    .vm_opcodes_executed
+                    .fetch_add(report.ops_executed, Relaxed);
+            }
+            ExecEngine::Ast => {
+                let mut ev = Evaluator::with_fuel(residual, config.fuel);
+                ev.set_deadline(config.deadline);
+                outcome.value = ev
+                    .run_main(&args)
+                    .map(|v| v.to_string())
+                    .map_err(|e| e.to_string());
+                outcome.fuel_used = ev.fuel_used();
+            }
+        },
+    }
+    if outcome.value.is_err() {
+        metrics.exec_errors.fetch_add(1, Relaxed);
+    }
+    outcome
 }
 
 /// Facet analysis for the offline engine, memoized per worker.

@@ -49,7 +49,8 @@ pub use persist::{
     FORMAT_VERSION,
 };
 pub use request::{
-    CacheDisposition, Engine, SpecializeOutput, SpecializeRequest, SpecializeResponse,
+    CacheDisposition, Engine, ExecEngine, ExecOutcome, ExecuteRequest, SpecializeOutput,
+    SpecializeRequest, SpecializeResponse,
 };
 pub use serve::{serve, ServeOptions, ServeSummary, MAX_LINE_BYTES};
 pub use service::{ServiceConfig, SpecializeService};

@@ -43,6 +43,17 @@ pub struct Metrics {
     pub disk_corrupt: AtomicU64,
     /// Corrupt disk entries successfully moved into `quarantine/`.
     pub disk_quarantined: AtomicU64,
+    /// Residual executions requested (the `execute` path), either engine.
+    pub executes: AtomicU64,
+    /// Residual executions that ended in an evaluation error.
+    pub exec_errors: AtomicU64,
+    /// Bytecode chunks compiled by the VM for execute requests.
+    pub vm_chunks_compiled: AtomicU64,
+    /// Execute requests answered from the VM's process-wide chunk cache
+    /// (compilation skipped entirely).
+    pub vm_chunk_cache_hits: AtomicU64,
+    /// Opcodes the VM dispatched across all execute requests.
+    pub vm_opcodes_executed: AtomicU64,
     /// Requests that failed with an error.
     pub errors: AtomicU64,
     /// Requests whose responses carried at least one degradation event.
@@ -87,6 +98,11 @@ impl Metrics {
             disk_store_errors: r(&self.disk_store_errors),
             disk_corrupt: r(&self.disk_corrupt),
             disk_quarantined: r(&self.disk_quarantined),
+            executes: r(&self.executes),
+            exec_errors: r(&self.exec_errors),
+            vm_chunks_compiled: r(&self.vm_chunks_compiled),
+            vm_chunk_cache_hits: r(&self.vm_chunk_cache_hits),
+            vm_opcodes_executed: r(&self.vm_opcodes_executed),
             errors: r(&self.errors),
             degraded: r(&self.degraded),
             queue_depth: r(&self.queue_depth),
@@ -114,6 +130,11 @@ pub struct MetricsSnapshot {
     pub disk_store_errors: u64,
     pub disk_corrupt: u64,
     pub disk_quarantined: u64,
+    pub executes: u64,
+    pub exec_errors: u64,
+    pub vm_chunks_compiled: u64,
+    pub vm_chunk_cache_hits: u64,
+    pub vm_opcodes_executed: u64,
     pub errors: u64,
     pub degraded: u64,
     pub queue_depth: u64,
@@ -139,6 +160,11 @@ impl MetricsSnapshot {
             ("disk_store_errors", Json::num(self.disk_store_errors)),
             ("disk_corrupt", Json::num(self.disk_corrupt)),
             ("disk_quarantined", Json::num(self.disk_quarantined)),
+            ("executes", Json::num(self.executes)),
+            ("exec_errors", Json::num(self.exec_errors)),
+            ("vm_chunks_compiled", Json::num(self.vm_chunks_compiled)),
+            ("vm_chunk_cache_hits", Json::num(self.vm_chunk_cache_hits)),
+            ("vm_opcodes_executed", Json::num(self.vm_opcodes_executed)),
             ("errors", Json::num(self.errors)),
             ("degraded", Json::num(self.degraded)),
             ("queue_depth", Json::num(self.queue_depth)),
@@ -176,5 +202,9 @@ mod tests {
         assert!(text.contains("\"disk_hits\":0"), "{text}");
         assert!(text.contains("\"disk_corrupt\":0"), "{text}");
         assert!(text.contains("\"disk_quarantined\":0"), "{text}");
+        assert!(text.contains("\"executes\":0"), "{text}");
+        assert!(text.contains("\"vm_chunks_compiled\":0"), "{text}");
+        assert!(text.contains("\"vm_chunk_cache_hits\":0"), "{text}");
+        assert!(text.contains("\"vm_opcodes_executed\":0"), "{text}");
     }
 }

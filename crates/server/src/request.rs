@@ -58,6 +58,57 @@ impl Engine {
     }
 }
 
+/// Which engine runs a residual on the `"execute"` path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecEngine {
+    /// The bytecode compiler + register VM (`ppe-vm`), with a
+    /// process-wide chunk cache keyed by term fingerprints.
+    #[default]
+    Vm,
+    /// The AST evaluator — the differential oracle. Slower; useful for
+    /// cross-checking the VM from the wire.
+    Ast,
+}
+
+impl ExecEngine {
+    /// The wire name (`exec_engine` field of the serve protocol).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecEngine::Vm => "vm",
+            ExecEngine::Ast => "ast",
+        }
+    }
+
+    /// Parses a wire name.
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown engine.
+    pub fn parse(s: &str) -> Result<ExecEngine, String> {
+        match s {
+            "vm" => Ok(ExecEngine::Vm),
+            "ast" => Ok(ExecEngine::Ast),
+            other => Err(format!("unknown exec engine `{other}` (vm|ast)")),
+        }
+    }
+}
+
+/// A request to *run* the residual after specializing: concrete values
+/// for every residual parameter, and the engine to run them on.
+///
+/// Execution is deliberately **not** part of the cache key: the residual
+/// is fetched (or computed) once per distinct specialization, then each
+/// request executes it on its own inputs. Repeat executions of the same
+/// residual hit the VM's process-wide chunk cache and skip compilation.
+#[derive(Clone, Debug)]
+pub struct ExecuteRequest {
+    /// Concrete value strings (see [`crate::spec::parse_value`]), one per
+    /// residual entry parameter.
+    pub inputs: Vec<String>,
+    /// The engine to run the residual on.
+    pub engine: ExecEngine,
+}
+
 /// One specialization request.
 #[derive(Clone, Debug)]
 pub struct SpecializeRequest {
@@ -76,6 +127,9 @@ pub struct SpecializeRequest {
     pub optimize: bool,
     /// Budgets and policy for this request.
     pub config: PeConfig,
+    /// When set, run the residual on these concrete inputs and attach the
+    /// result to the response (`exec` field).
+    pub execute: Option<ExecuteRequest>,
 }
 
 impl SpecializeRequest {
@@ -90,6 +144,7 @@ impl SpecializeRequest {
             engine: Engine::Online,
             optimize: false,
             config: PeConfig::default(),
+            execute: None,
         }
     }
 
@@ -99,7 +154,10 @@ impl SpecializeRequest {
     /// strings, or one whitespace-separated string), `function`, `engine`,
     /// `facets`, `optimize`, `fuel`, `deadline_ms`, `max_unfold_depth`,
     /// `max_specializations`, `max_residual_size`, `on_exhaustion`,
-    /// `constraints`. Unknown fields are ignored (forward compatibility).
+    /// `constraints`, `execute` (array of concrete value strings, or one
+    /// whitespace-separated string — run the residual on these inputs),
+    /// `exec_engine` (`vm` or `ast`, default `vm`). Unknown fields are
+    /// ignored (forward compatibility).
     ///
     /// # Errors
     ///
@@ -183,6 +241,29 @@ impl SpecializeRequest {
             req.config.propagate_constraints =
                 c.as_bool().ok_or("`constraints` must be a boolean")?;
         }
+        let exec_inputs = match v.get("execute") {
+            None => None,
+            Some(Json::Str(s)) => Some(s.split_whitespace().map(str::to_owned).collect()),
+            Some(Json::Arr(xs)) => Some(
+                xs.iter()
+                    .map(|x| {
+                        x.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| "`execute` elements must be strings".to_owned())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            Some(_) => return Err("`execute` must be an array of strings".to_owned()),
+        };
+        if let Some(inputs) = exec_inputs {
+            let engine = match v.get("exec_engine") {
+                None => ExecEngine::default(),
+                Some(e) => ExecEngine::parse(e.as_str().ok_or("`exec_engine` must be a string")?)?,
+            };
+            req.execute = Some(ExecuteRequest { inputs, engine });
+        } else if v.get("exec_engine").is_some() {
+            return Err("`exec_engine` needs an `execute` inputs field".to_owned());
+        }
         Ok(req)
     }
 }
@@ -228,6 +309,54 @@ pub struct SpecializeOutput {
     pub degradations: Vec<DegradationEvent>,
 }
 
+/// The result of running the residual (the request's `execute` field).
+#[derive(Clone, Debug)]
+pub struct ExecOutcome {
+    /// The computed value rendered with `Display`, or the evaluation
+    /// error (fuel exhaustion, depth limit, runtime error, bad input).
+    pub value: Result<String, String>,
+    /// The engine that ran it.
+    pub engine: ExecEngine,
+    /// Chunks compiled for this execution (0 on a chunk-cache hit, and
+    /// always 0 on the AST engine).
+    pub chunks_compiled: u64,
+    /// Whether the compiled program came from the process-wide chunk
+    /// cache (always `false` on the AST engine).
+    pub chunk_cache_hit: bool,
+    /// Opcodes the VM dispatched (0 on the AST engine).
+    pub ops_executed: u64,
+    /// Function applications performed (both engines meter these
+    /// identically).
+    pub fuel_used: u64,
+}
+
+impl ExecOutcome {
+    /// Renders the outcome as the response's `exec` object.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("engine", Json::str(self.engine.name()))];
+        match &self.value {
+            Ok(v) => {
+                fields.push(("ok", Json::Bool(true)));
+                fields.push(("value", Json::str(v.clone())));
+            }
+            Err(msg) => {
+                fields.push(("ok", Json::Bool(false)));
+                fields.push(("error", Json::str(msg.clone())));
+            }
+        }
+        fields.push(("fuel_used", Json::num(self.fuel_used)));
+        if self.engine == ExecEngine::Vm {
+            fields.push(("chunks_compiled", Json::num(self.chunks_compiled)));
+            fields.push((
+                "chunk_cache",
+                Json::str(if self.chunk_cache_hit { "hit" } else { "miss" }),
+            ));
+            fields.push(("ops", Json::num(self.ops_executed)));
+        }
+        Json::obj(fields)
+    }
+}
+
 /// One specialization response.
 #[derive(Clone, Debug)]
 pub struct SpecializeResponse {
@@ -246,6 +375,11 @@ pub struct SpecializeResponse {
     /// omitted from the wire rendering then — older clients see an
     /// unchanged protocol.
     pub diagnostics: Vec<Diagnostic>,
+    /// The result of running the residual, when the request asked for
+    /// execution (`execute` inputs) and specialization succeeded. Omitted
+    /// from the wire rendering otherwise — older clients see an unchanged
+    /// protocol.
+    pub exec: Option<ExecOutcome>,
 }
 
 impl SpecializeResponse {
@@ -257,6 +391,7 @@ impl SpecializeResponse {
             key: None,
             wall_micros: 0,
             diagnostics: Vec::new(),
+            exec: None,
         }
     }
 
@@ -300,6 +435,9 @@ impl SpecializeResponse {
                 "diagnostics",
                 Json::Arr(self.diagnostics.iter().map(diagnostic_json).collect()),
             ));
+        }
+        if let Some(exec) = &self.exec {
+            fields.push(("exec", exec.to_json()));
         }
         Json::obj(fields)
     }
@@ -411,6 +549,43 @@ mod tests {
     }
 
     #[test]
+    fn request_from_json_execute() {
+        let v = Json::parse(
+            r#"{"program": "(define (f x) x)", "inputs": ["_"],
+                "execute": ["5"], "exec_engine": "ast"}"#,
+        )
+        .unwrap();
+        let req = SpecializeRequest::from_json(&v).unwrap();
+        let exec = req.execute.unwrap();
+        assert_eq!(exec.inputs, vec!["5"]);
+        assert_eq!(exec.engine, ExecEngine::Ast);
+
+        // String form; the engine defaults to the VM.
+        let v = Json::parse(r#"{"program": "p", "inputs": "_", "execute": "1 2"}"#).unwrap();
+        let exec = SpecializeRequest::from_json(&v).unwrap().execute.unwrap();
+        assert_eq!(exec.inputs, vec!["1", "2"]);
+        assert_eq!(exec.engine, ExecEngine::Vm);
+
+        for bad in [
+            r#"{"program": "p", "execute": [5]}"#,
+            r#"{"program": "p", "execute": 5}"#,
+            r#"{"program": "p", "execute": ["1"], "exec_engine": "quantum"}"#,
+            r#"{"program": "p", "exec_engine": "vm"}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(SpecializeRequest::from_json(&v).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn exec_engine_names_roundtrip() {
+        for e in [ExecEngine::Vm, ExecEngine::Ast] {
+            assert_eq!(ExecEngine::parse(e.name()).unwrap(), e);
+        }
+        assert!(ExecEngine::parse("tree").is_err());
+    }
+
+    #[test]
     fn response_json_success_and_error() {
         let ok = SpecializeResponse {
             outcome: Ok(SpecializeOutput {
@@ -422,6 +597,7 @@ mod tests {
             key: None,
             wall_micros: 7,
             diagnostics: Vec::new(),
+            exec: None,
         };
         let text = ok.to_json(Some(&Json::num(1))).render();
         assert!(text.contains("\"ok\":true"), "{text}");

@@ -184,6 +184,7 @@ impl SpecializeService {
                         key: Some(resolved.key),
                         wall_micros: 0,
                         diagnostics: Vec::new(),
+                        exec: None,
                     },
                     Ok(outcome) => {
                         let mut degradations = outcome.degradations.clone();
@@ -211,12 +212,40 @@ impl SpecializeService {
                             key: Some(resolved.key),
                             wall_micros: 0,
                             diagnostics: Vec::new(),
+                            exec: None,
                         }
                     }
                 }
             }
         };
         response.diagnostics = diagnostics;
+        // Execution rides *outside* the residual cache: the residual is
+        // fetched (or computed) once per distinct specialization above,
+        // then each request runs it on its own concrete inputs. The
+        // residual text re-parses through the shared parse cache, and
+        // repeat executions hit the VM's chunk cache below that.
+        if let (Ok(out), Some(exec)) = (&response.outcome, &req.execute) {
+            response.exec = Some(match self.program(&out.residual) {
+                Ok((residual, _, _)) => {
+                    engine::execute_residual(&residual, exec, &req.config, &self.metrics)
+                }
+                Err(msg) => {
+                    // A residual that fails to re-parse would be an engine
+                    // bug; surface it as an execution error rather than
+                    // failing the whole (successful) specialization.
+                    self.metrics.executes.fetch_add(1, Relaxed);
+                    self.metrics.exec_errors.fetch_add(1, Relaxed);
+                    crate::request::ExecOutcome {
+                        value: Err(format!("residual failed to parse: {msg}")),
+                        engine: exec.engine,
+                        chunks_compiled: 0,
+                        chunk_cache_hit: false,
+                        ops_executed: 0,
+                        fuel_used: 0,
+                    }
+                }
+            });
+        }
         response.wall_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         match &response.outcome {
             Err(_) => {
@@ -485,6 +514,76 @@ mod tests {
         let r = service.handle(&request(&["_", "3"]), &mut ctx);
         assert!(r.outcome.is_ok(), "requests survive a dead cache dir");
         let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn execute_runs_the_residual_on_both_engines() {
+        use crate::request::{ExecEngine, ExecuteRequest};
+        let service = SpecializeService::new(ServiceConfig::default());
+        let mut ctx = EngineContext::new();
+        // power specialized on n=3, then executed at x=2 → 8, twice per
+        // engine so the chunk cache gets exercised. The chunk cache is
+        // process-wide, so this test needs its own program (a sibling
+        // test executing the shared POWER residual would warm it).
+        let mut req = SpecializeRequest::new(
+            "(define (power3 x n) (if (= n 0) 1 (* x (power3 x (- n 1)))))",
+            vec!["_".into(), "3".into()],
+        );
+        req.execute = Some(ExecuteRequest {
+            inputs: vec!["2".into()],
+            engine: ExecEngine::Vm,
+        });
+        let first = service.handle(&req, &mut ctx);
+        let exec = first.exec.as_ref().unwrap();
+        assert_eq!(exec.value.as_deref(), Ok("8"), "{first:?}");
+        assert!(exec.chunks_compiled > 0, "cold compile");
+        let second = service.handle(&req, &mut ctx);
+        let exec2 = second.exec.as_ref().unwrap();
+        assert_eq!(exec2.value.as_deref(), Ok("8"));
+        assert!(exec2.chunk_cache_hit, "warm chunk cache");
+        assert_eq!(exec2.chunks_compiled, 0);
+
+        req.execute.as_mut().unwrap().engine = ExecEngine::Ast;
+        let ast = service.handle(&req, &mut ctx);
+        let exec3 = ast.exec.as_ref().unwrap();
+        assert_eq!(exec3.value.as_deref(), Ok("8"), "oracle agrees");
+        assert_eq!(exec3.fuel_used, exec2.fuel_used, "identical fuel meter");
+
+        let s = service.metrics().snapshot();
+        assert_eq!(s.executes, 3);
+        assert_eq!(s.exec_errors, 0);
+        assert_eq!(s.vm_chunk_cache_hits, 1);
+        assert!(s.vm_chunks_compiled > 0);
+        assert!(s.vm_opcodes_executed > 0);
+
+        // And the wire rendering carries the exec object.
+        let rendered = second.to_json(None).render();
+        assert!(rendered.contains("\"exec\":{"), "{rendered}");
+        assert!(rendered.contains("\"chunk_cache\":\"hit\""), "{rendered}");
+    }
+
+    #[test]
+    fn execute_errors_ride_along_without_failing_the_request() {
+        use crate::request::{ExecEngine, ExecuteRequest};
+        let service = SpecializeService::new(ServiceConfig::default());
+        let mut ctx = EngineContext::new();
+        // Wrong arity for the residual entry: the specialization still
+        // succeeds and is cached; only the exec outcome reports the error.
+        let mut req = request(&["_", "3"]);
+        req.execute = Some(ExecuteRequest {
+            inputs: vec!["1".into(), "2".into()],
+            engine: ExecEngine::Vm,
+        });
+        let r = service.handle(&req, &mut ctx);
+        assert!(r.outcome.is_ok());
+        assert!(r.exec.unwrap().value.is_err());
+        // Unparseable execute value: same story.
+        req.execute.as_mut().unwrap().inputs = vec!["wat".into()];
+        let r = service.handle(&req, &mut ctx);
+        assert!(r.outcome.is_ok());
+        assert!(r.exec.unwrap().value.unwrap_err().contains("execute input"));
+        assert_eq!(service.metrics().snapshot().exec_errors, 2);
+        assert_eq!(service.metrics().snapshot().errors, 0);
     }
 
     #[test]

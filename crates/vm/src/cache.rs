@@ -1,0 +1,137 @@
+//! The process-wide chunk cache and VM counters.
+//!
+//! Compiled programs are keyed by a pair of fingerprints: the memoized
+//! spelling-stable [`Program::fingerprint`] and an FNV-1a combination of
+//! the hash-consed [`Term`] fingerprints of every definition body (the
+//! PR-5 interner makes the latter O(1) per already-interned body). Two
+//! independent 64-bit hashes make an accidental collision in a bounded
+//! in-process cache vanishingly unlikely.
+//!
+//! [`CompiledProgram`]s contain only plain data, so the cache is shared
+//! across threads; repeat executions of the same residual — the dominant
+//! pattern behind the server's `"execute"` path — skip compilation
+//! entirely.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ppe_lang::{term::Term, Program};
+
+use crate::chunk::CompiledProgram;
+use crate::compile::{self, CompileError};
+
+/// Bound on cached compiled programs; on overflow the cache is cleared
+/// wholesale (residual working sets are far smaller, and the in-memory
+/// residual LRU upstream already provides fine-grained eviction).
+const CACHE_CAP: usize = 256;
+
+static CHUNKS_COMPILED: AtomicU64 = AtomicU64::new(0);
+static CHUNK_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static OPS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic process-wide VM counters, in the mold of
+/// [`ppe_lang::interner_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Chunks (function bodies) compiled to bytecode.
+    pub chunks_compiled: u64,
+    /// Chunk-cache hits (whole programs served without compiling).
+    pub chunk_cache_hits: u64,
+    /// Bytecode instructions executed.
+    pub opcodes_executed: u64,
+}
+
+/// Reads the current VM counters.
+pub fn vm_stats() -> VmStats {
+    VmStats {
+        chunks_compiled: CHUNKS_COMPILED.load(Ordering::Relaxed),
+        chunk_cache_hits: CHUNK_CACHE_HITS.load(Ordering::Relaxed),
+        opcodes_executed: OPS_EXECUTED.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn add_ops_executed(n: u64) {
+    OPS_EXECUTED.fetch_add(n, Ordering::Relaxed);
+}
+
+type ChunkMap = HashMap<(u64, u64), Arc<CompiledProgram>>;
+
+fn cache() -> &'static Mutex<ChunkMap> {
+    static CACHE: OnceLock<Mutex<ChunkMap>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The cache key: `(Program::fingerprint, FNV-1a over per-body Term
+/// fingerprints and arities)`.
+fn chunk_key(program: &Program) -> (u64, u64) {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for d in program.defs() {
+        mix(Term::from_expr(&d.body).fingerprint());
+        mix(d.params.len() as u64);
+    }
+    (program.fingerprint(), h)
+}
+
+/// Compiles `program` through the process-wide cache.
+///
+/// Returns the compiled program, whether it was a cache hit, and how many
+/// chunks were compiled (0 on a hit) — the latter two feed per-request
+/// metrics.
+///
+/// # Errors
+///
+/// [`CompileError`] when lowering fails structurally; failures are not
+/// cached (they are cheap to rediscover and rare).
+pub fn compile_cached(
+    program: &Program,
+) -> Result<(Arc<CompiledProgram>, bool, u64), CompileError> {
+    let key = chunk_key(program);
+    if let Some(found) = cache().lock().expect("chunk cache poisoned").get(&key) {
+        CHUNK_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok((Arc::clone(found), true, 0));
+    }
+    let cp = Arc::new(compile::compile(program)?);
+    let n_chunks = cp.chunks.len() as u64;
+    CHUNKS_COMPILED.fetch_add(n_chunks, Ordering::Relaxed);
+    let mut map = cache().lock().expect("chunk cache poisoned");
+    if map.len() >= CACHE_CAP {
+        map.clear();
+    }
+    map.insert(key, Arc::clone(&cp));
+    Ok((cp, false, n_chunks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppe_lang::parse_program;
+
+    #[test]
+    fn repeat_compiles_hit_the_cache() {
+        let p = parse_program("(define (cache-probe-fn x) (* x 17))").unwrap();
+        let (_, hit0, compiled0) = compile_cached(&p).unwrap();
+        // A parallel test may have cleared the cache between our insert and
+        // this probe, so assert on the re-parse path, which shares nothing.
+        let p2 = parse_program("(define (cache-probe-fn x) (* x 17))").unwrap();
+        let (_, hit1, compiled1) = compile_cached(&p2).unwrap();
+        if !hit0 {
+            assert_eq!(compiled0, 1);
+        }
+        assert!(hit1, "structurally identical program must hit");
+        assert_eq!(compiled1, 0);
+    }
+
+    #[test]
+    fn different_programs_have_different_keys() {
+        let a = parse_program("(define (f x) (+ x 1))").unwrap();
+        let b = parse_program("(define (f x) (+ x 2))").unwrap();
+        assert_ne!(chunk_key(&a), chunk_key(&b));
+    }
+}

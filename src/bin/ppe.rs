@@ -141,7 +141,8 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: ppe <run|specialize|analyze> <file> [inputs…] [--facets LIST] [--offline] [--constraints]\n\
+    "usage: ppe run <file> [inputs…] [--engine vm|ast] [--fuel N] [--deadline-ms N]\n\
+     \u{20}      ppe <specialize|analyze> <file> [inputs…] [--facets LIST] [--offline] [--constraints]\n\
      \u{20}       [--fuel N] [--deadline-ms N] [--max-residual-size N] [--on-exhaustion=fail|degrade]\n\
      \u{20}      ppe check <file> [inputs…] [--facets LIST] [--format text|json]\n\
      \u{20}      ppe verify-facets [--facets LIST]\n\
@@ -168,6 +169,16 @@ struct Opts {
     max_residual_size: Option<usize>,
     on_exhaustion: ExhaustionPolicy,
     json: bool,
+    engine: ExecEngine,
+}
+
+/// Which execution engine `ppe run` uses.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ExecEngine {
+    /// The Figure-1 tree-walking evaluator (the differential oracle).
+    Ast,
+    /// The bytecode VM (`ppe-vm`).
+    Vm,
 }
 
 impl Opts {
@@ -204,6 +215,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut max_residual_size = None;
     let mut on_exhaustion = ExhaustionPolicy::Fail;
     let mut json = false;
+    let mut engine = ExecEngine::Ast;
     // Flags that take a value accept both `--flag VALUE` and `--flag=VALUE`.
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
         let arg = &args[*i];
@@ -267,6 +279,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     other => return Err(format!("--format must be text or json, got `{other}`")),
                 };
             }
+            "--engine" => {
+                let v = take_value(args, &mut i, "--engine")?;
+                engine = match v.as_str() {
+                    "ast" => ExecEngine::Ast,
+                    "vm" => ExecEngine::Vm,
+                    other => return Err(format!("--engine must be vm or ast, got `{other}`")),
+                };
+            }
             _ => {
                 if file.is_none() {
                     file = Some(arg.clone());
@@ -290,6 +310,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         max_residual_size,
         on_exhaustion,
         json,
+        engine,
     })
 }
 
@@ -302,15 +323,29 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let program = load(&opts.file)?;
     let vals: Result<Vec<Value>, String> = opts.inputs.iter().map(|s| parse_value(s)).collect();
-    let mut ev = match opts.fuel {
-        Some(fuel) => Evaluator::with_fuel(&program, fuel),
-        None => Evaluator::new(&program),
+    let vals = vals?;
+    let out = match opts.engine {
+        ExecEngine::Ast => {
+            let mut ev = match opts.fuel {
+                Some(fuel) => Evaluator::with_fuel(&program, fuel),
+                None => Evaluator::new(&program),
+            };
+            ev.set_max_depth(10_000);
+            if let Some(ms) = opts.deadline_ms {
+                ev.set_deadline(Some(Duration::from_millis(ms)));
+            }
+            ev.run_main(&vals).map_err(|e| e.to_string())?
+        }
+        ExecEngine::Vm => {
+            let vm_opts = ppe_vm::VmOptions {
+                fuel: opts.fuel.unwrap_or(ppe::lang::DEFAULT_FUEL),
+                max_depth: 10_000,
+                deadline: opts.deadline_ms.map(Duration::from_millis),
+            };
+            let (out, _report) = ppe_vm::execute_main(&program, &vals, vm_opts);
+            out.map_err(|e| e.to_string())?
+        }
     };
-    ev.set_max_depth(10_000);
-    if let Some(ms) = opts.deadline_ms {
-        ev.set_deadline(Some(Duration::from_millis(ms)));
-    }
-    let out = ev.run_main(&vals?).map_err(|e| e.to_string())?;
     println!("{out}");
     Ok(())
 }
@@ -788,6 +823,22 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         map.insert(
             "interner_hit_rate".to_owned(),
             Json::Num((interner.hit_rate() * 1000.0).round() / 1000.0),
+        );
+        // VM chunk-cache effectiveness, process-wide (the service's vm_*
+        // counters above are per-service; these include every VM run in
+        // the process, mirroring the interner numbers).
+        let vm = ppe::vm::vm_stats();
+        map.insert(
+            "vm_total_chunks_compiled".to_owned(),
+            Json::num(vm.chunks_compiled),
+        );
+        map.insert(
+            "vm_total_chunk_cache_hits".to_owned(),
+            Json::num(vm.chunk_cache_hits),
+        );
+        map.insert(
+            "vm_total_opcodes_executed".to_owned(),
+            Json::num(vm.opcodes_executed),
         );
     }
     eprintln!("{}", metrics.render());

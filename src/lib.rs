@@ -86,7 +86,8 @@
 //!    and the server's pre-flight pass).
 //!
 //! Residual programs are ordinary [`lang::Program`]s: run them with
-//! [`lang::Evaluator`], clean them with [`lang::optimize_program`] and
+//! [`lang::Evaluator`], compile them to bytecode and run them fast with
+//! [`vm`], clean them with [`lang::optimize_program`] and
 //! [`lang::prune_unused_params`], or print them with
 //! [`lang::pretty_program`].
 
@@ -98,3 +99,4 @@ pub use ppe_lang as lang;
 pub use ppe_offline as offline;
 pub use ppe_online as online;
 pub use ppe_server as server;
+pub use ppe_vm as vm;

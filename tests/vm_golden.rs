@@ -1,0 +1,117 @@
+//! VM sweep over the committed golden residuals.
+//!
+//! Every residual pinned in `tests/golden_residuals/*.txt` — the outputs
+//! of all three specialization engines over the example corpus — must run
+//! identically on the bytecode VM and the AST oracle, on every candidate
+//! input tuple. This closes the loop the differential proptests open:
+//! proptests cover random programs, this covers the exact residuals the
+//! project promises not to change.
+
+use std::path::{Path, PathBuf};
+
+use ppe::lang::{parse_program, EvalError, Evaluator, Program, Value};
+use ppe::vm::{compile, Vm, VmOptions};
+
+fn golden_files() -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden_residuals");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no goldens in {}", dir.display());
+    files
+}
+
+/// Splits a golden file into `(header, body)` sections.
+fn sections(text: &str) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    for line in text.lines() {
+        if let Some(header) = line
+            .strip_prefix("=== ")
+            .and_then(|l| l.strip_suffix(" ==="))
+        {
+            out.push((header.to_owned(), String::new()));
+        } else if let Some((_, body)) = out.last_mut() {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    out
+}
+
+/// Candidate argument tuples for an entry of the given arity. Residual
+/// parameter types are unknown (ints, floats, vectors, depending on the
+/// program), so the sweep tries several homogeneous tuples and a
+/// deliberately ill-typed one — *agreement on the error* is as much a
+/// requirement as agreement on the value.
+fn candidate_inputs(arity: usize) -> Vec<Vec<Value>> {
+    let vecf = Value::vector(vec![
+        Value::Float(1.5),
+        Value::Float(2.5),
+        Value::Float(4.0),
+    ]);
+    let pools: Vec<Value> = vec![
+        Value::Int(3),
+        Value::Int(0),
+        Value::Int(-2),
+        Value::Float(1.5),
+        vecf,
+        Value::Bool(true),
+    ];
+    pools.iter().map(|v| vec![v.clone(); arity]).collect()
+}
+
+fn run_both(
+    program: &Program,
+    args: &[Value],
+) -> (Result<Value, EvalError>, Result<Value, EvalError>, u64, u64) {
+    let mut ast = Evaluator::with_fuel(program, 500_000);
+    let a = ast.run_main(args);
+    let compiled = compile(program).expect("golden residual compiles");
+    let mut vm = Vm::with_options(VmOptions {
+        fuel: 500_000,
+        ..VmOptions::default()
+    });
+    let v = vm.run_main(&compiled, args);
+    (a, v, ast.fuel_used(), vm.fuel_used())
+}
+
+#[test]
+fn every_golden_residual_agrees_on_both_engines() {
+    let mut residuals = 0usize;
+    let mut runs = 0usize;
+    for path in golden_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        for (header, body) in sections(&text) {
+            let body = body.trim();
+            if body.is_empty() || body.starts_with("ERROR:") || body.starts_with("ANALYSIS ERROR:")
+            {
+                continue;
+            }
+            let program = parse_program(body).unwrap_or_else(|e| {
+                panic!("golden {} [{header}] does not parse: {e}", path.display())
+            });
+            residuals += 1;
+            let arity = program.main().arity();
+            for args in candidate_inputs(arity) {
+                let (a, v, af, vf) = run_both(&program, &args);
+                assert_eq!(a, v, "{} [{header}] diverges on {args:?}", path.display());
+                assert_eq!(
+                    af,
+                    vf,
+                    "{} [{header}] fuel meters diverge on {args:?}",
+                    path.display()
+                );
+                runs += 1;
+            }
+        }
+    }
+    // The corpus has 4 programs × 2 shapes × 3 engines; make sure the
+    // sweep actually saw them rather than silently skipping everything.
+    assert!(residuals >= 20, "only {residuals} residuals swept");
+    assert!(runs >= 100, "only {runs} differential runs");
+}
