@@ -19,8 +19,10 @@
 use std::collections::{HashMap, HashSet};
 
 use ppe_lang::diag::Diagnostic;
-use ppe_lang::{Expr, FunDef, Symbol};
+use ppe_lang::{FunDef, Symbol};
 use ppe_offline::{Analysis, AnnExpr, AnnKind, CallAction};
+
+use crate::depgraph::collect_calls;
 
 /// Structural unfold-safety over raw definitions: wraps the engine-shared
 /// unguarded-recursion detection in `W0002` diagnostics. Works on the
@@ -49,6 +51,9 @@ pub fn check_unfolding(
     analysis: &Analysis,
     out: &mut Vec<Diagnostic>,
 ) {
+    // Edge collection is shared with the dependency-graph pass
+    // ([`crate::depgraph::collect_calls`]) so unfold-safety and
+    // invalidation can never disagree about what "calls" means.
     let mut edges: HashMap<Symbol, HashSet<Symbol>> = HashMap::new();
     for def in program.defs() {
         let callees = edges.entry(def.name).or_default();
@@ -180,30 +185,4 @@ fn reaches(from: Symbol, to: Symbol, edges: &HashMap<Symbol, HashSet<Symbol>>) -
         }
     }
     false
-}
-
-/// Direct-call edges of `e`.
-fn collect_calls(e: &Expr, out: &mut HashSet<Symbol>) {
-    match e {
-        Expr::Const(_) | Expr::Var(_) | Expr::FnRef(_) => {}
-        Expr::Prim(_, args) => args.iter().for_each(|a| collect_calls(a, out)),
-        Expr::Call(f, args) => {
-            out.insert(*f);
-            args.iter().for_each(|a| collect_calls(a, out));
-        }
-        Expr::If(c, t, f) => {
-            collect_calls(c, out);
-            collect_calls(t, out);
-            collect_calls(f, out);
-        }
-        Expr::Let(_, b, body) => {
-            collect_calls(b, out);
-            collect_calls(body, out);
-        }
-        Expr::Lambda(_, body) => collect_calls(body, out),
-        Expr::App(f, args) => {
-            collect_calls(f, out);
-            args.iter().for_each(|a| collect_calls(a, out));
-        }
-    }
 }

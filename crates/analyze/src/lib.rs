@@ -25,7 +25,11 @@
 //! 3. [`occurrence`]: unused parameters and dead `let` bindings, sharing
 //!    `ppe_lang::opt`'s definition of droppable so the analyzer and the
 //!    optimizer never disagree.
-//! 4. Binding-time certificate checking: re-exported from
+//! 4. [`depgraph`]: the dependency graph — call edges (one shared
+//!    builder with pass 2), SCC condensation, per-definition closure
+//!    fingerprints for incremental re-specialization, dead-code
+//!    detection (`W0005`), and old-vs-new change-impact classification.
+//! 5. Binding-time certificate checking: re-exported from
 //!    [`ppe_offline::certify`], which validates annotated output for
 //!    congruence (codes `E0101`–`E0104`).
 //!
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod callgraph;
+pub mod depgraph;
 pub mod occurrence;
 pub mod wellformed;
 
@@ -80,7 +85,7 @@ impl CheckReport {
     }
 }
 
-/// Checks program source text: lenient parse, then passes 1–3.
+/// Checks program source text: lenient parse, then passes 1–4.
 ///
 /// A lexical/syntactic problem (including unknown primitives and
 /// primitive arity, which the parser owns) yields a single `E0001`
@@ -110,19 +115,20 @@ pub fn check_source(src: &str) -> CheckReport {
     }
 }
 
-/// Passes 1–3 over raw definitions (the lenient-parse output or
+/// Passes 1–4 over raw definitions (the lenient-parse output or
 /// programmatically built defs).
 pub fn check_defs(defs: &[FunDef]) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     wellformed::check(defs, &mut out);
     callgraph::check_structural(defs, &mut out);
+    depgraph::check_dead_code(defs, &mut out);
     occurrence::check(defs, &mut out);
     out
 }
 
-/// Passes 1–3 over an already-validated [`Program`] — the server's
+/// Passes 1–4 over an already-validated [`Program`] — the server's
 /// pre-flight entry point: errors will be absent (validation already
-/// gated), warnings (`W0001`–`W0004`) remain meaningful.
+/// gated), warnings (`W0001`–`W0005`) remain meaningful.
 pub fn check_program(program: &Program) -> Vec<Diagnostic> {
     check_defs(program.defs())
 }

@@ -16,6 +16,15 @@
 //! cold and in-memory-warm: a restart costs a file read per key, not a
 //! re-specialization.
 //!
+//! A third phase measures *incremental re-specialization*: a program
+//! with twelve independent entry points is specialized cold (persisting
+//! every key), warm from disk on a fresh service, and then — after
+//! editing exactly one definition — once more on the same, now
+//! memory-warm service. Because cache keys are the entry's *closure*
+//! fingerprint (DESIGN.md §17), the edit invalidates one key and leaves
+//! the other eleven warm in memory, so the incremental rerun beats even
+//! the full warm-from-disk restart.
+//!
 //! Not a criterion bench: the measurement is whole-batch wall time, and
 //! the result is written to `BENCH_server.json` at the workspace root for
 //! the CI acceptance check (warm ≥ 2× cold). `PPE_BENCH_QUICK=1` shrinks
@@ -89,6 +98,41 @@ fn run_once(service: &SpecializeService, requests: &[SpecializeRequest], jobs: u
     requests.len() as f64 / secs
 }
 
+/// Entry points for the incremental phase: twelve independent,
+/// deliberately cheap self-recursive definitions, so that the single
+/// recompute after an edit does not swamp the eleven preserved hits.
+const INCR_DEFS: usize = 12;
+
+/// The shared source for the incremental phase; `leaf_base` is the base
+/// case of `e0` only, so bumping it is the "edit one definition" event.
+fn incr_program(leaf_base: i64) -> String {
+    (0..INCR_DEFS)
+        .map(|k| {
+            let base = if k == 0 { leaf_base } else { 1 };
+            format!(
+                "(define (e{k} x n) (if (= n 0) {base} (* x (e{k} x (- n 1)))))
+"
+            )
+        })
+        .collect()
+}
+
+/// The incremental workload: each entry requested by name with a small
+/// static depth, repeated like the main workload.
+fn incr_requests(src: &str) -> Vec<SpecializeRequest> {
+    let distinct: Vec<SpecializeRequest> = (0..INCR_DEFS)
+        .map(|k| {
+            let mut req = SpecializeRequest::new(src, vec!["_".into(), (6 + k).to_string()]);
+            req.function = Some(format!("e{k}"));
+            req
+        })
+        .collect();
+    let total = INCR_DEFS * repeats_per_key();
+    (0..total)
+        .map(|i| distinct[i % INCR_DEFS].clone())
+        .collect()
+}
+
 fn main() {
     let requests = workload();
     let distinct = distinct_requests().len();
@@ -152,6 +196,64 @@ fn main() {
         ("warm_mem_rps", Json::Num(warm_mem_rps)),
     ]);
 
+    // Incremental phase: cold (persist all twelve entries), warm from
+    // disk on a fresh service, then the edited program on that same
+    // service — eleven entries stay warm in memory, one recomputes.
+    let incr_dir = std::env::temp_dir().join(format!("ppe-bench-incr-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&incr_dir);
+    let persisted_incr = || ServiceConfig {
+        persist: Some(PersistConfig::new(&incr_dir)),
+        ..ServiceConfig::default()
+    };
+    let base_reqs = incr_requests(&incr_program(1));
+    let edited_reqs = incr_requests(&incr_program(2));
+    let service = SpecializeService::new(persisted_incr());
+    let incr_cold_rps = run_once(&service, &base_reqs, jobs);
+    assert_eq!(
+        service.metrics().snapshot().disk_stores as usize,
+        INCR_DEFS,
+        "cold run persists each entry point exactly once"
+    );
+    let service = SpecializeService::new(persisted_incr());
+    let incr_warm_disk_rps = run_once(&service, &base_reqs, jobs);
+    assert_eq!(
+        service.metrics().snapshot().disk_hits as usize,
+        INCR_DEFS,
+        "restart answers every entry point from disk"
+    );
+    let before = service.metrics().snapshot();
+    let incremental_rps = run_once(&service, &edited_reqs, jobs);
+    let after = service.metrics().snapshot();
+    let _ = std::fs::remove_dir_all(&incr_dir);
+    assert_eq!(
+        after.cache_misses - before.cache_misses,
+        1,
+        "exactly the edited entry recomputes; closure keying preserves the rest"
+    );
+    assert_eq!(
+        after.depgraph_invalidations - before.depgraph_invalidations,
+        1,
+        "exactly one entry's closure fingerprint changed"
+    );
+    println!(
+        "incr  jobs={jobs}: cold {incr_cold_rps:>9.0} rps, warm-from-disk          {incr_warm_disk_rps:>9.0} rps, incremental {incremental_rps:>9.0} rps          ({:.2}x warm-from-disk)",
+        incremental_rps / incr_warm_disk_rps
+    );
+    let incremental = Json::obj(vec![
+        ("cold_rps", Json::Num(incr_cold_rps)),
+        (
+            "incremental_over_warm_disk",
+            Json::Num(incremental_rps / incr_warm_disk_rps),
+        ),
+        ("incremental_rps", Json::Num(incremental_rps)),
+        ("jobs", Json::num(jobs as u64)),
+        (
+            "untouched_fraction",
+            Json::Num((INCR_DEFS - 1) as f64 / INCR_DEFS as f64),
+        ),
+        ("warm_disk_rps", Json::Num(incr_warm_disk_rps)),
+    ]);
+
     let report = Json::obj(vec![
         ("benchmark", Json::str("server_throughput")),
         ("requests", Json::num(requests.len() as u64)),
@@ -159,6 +261,7 @@ fn main() {
         ("repeat_fraction", Json::Num(repeat_fraction)),
         ("results", Json::Arr(results)),
         ("persistence", persistence),
+        ("incremental", incremental),
     ]);
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");

@@ -26,6 +26,7 @@
 //! | `W0002` | analyzer    | unfold-safety: recursion the specializer may unfold without bound |
 //! | `W0003` | analyzer    | unused parameter |
 //! | `W0004` | analyzer    | dead `let` binding (the optimizer would drop it) |
+//! | `W0005` | analyzer    | dead code: definition unreachable from the entry point |
 //! | `E0101`–`E0104` | certificate checker | incongruent binding-time annotation (see `ppe-offline`) |
 //!
 //! Codes are stable: tests, CI, and scripted consumers match on them, so a

@@ -28,6 +28,24 @@ impl FunDef {
     pub fn arity(&self) -> usize {
         self.params.len()
     }
+
+    /// A stable 64-bit structural fingerprint of this single definition:
+    /// the same spelling-stable walk as [`Program::fingerprint`], scoped
+    /// to one def. Depends only on the name, parameter spellings, and
+    /// body structure — never on interner ids — so it is safe to embed
+    /// in persistent cache keys. Not memoized; callers that need it
+    /// repeatedly (e.g. `ppe-analyze`'s dependency graph) cache it in
+    /// their own tables.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str(self.name.as_str());
+        h.write_usize(self.params.len());
+        for p in &self.params {
+            h.write_str(p.as_str());
+        }
+        hash_expr(&self.body, &mut h);
+        h.finish()
+    }
 }
 
 /// A program: a non-empty sequence of definitions whose first element is the

@@ -46,6 +46,13 @@ pub struct CachedOutcome {
     /// Degradations from the run that produced it (replayed on hits: a
     /// hit on a degraded entry is still a degraded answer).
     pub degradations: Vec<DegradationEvent>,
+    /// The entry function the residual specializes (spelling).
+    pub entry: String,
+    /// The entry's closure fingerprint at compute time — together with
+    /// `entry` this lets `gc --stale-against` decide, entry by entry,
+    /// whether a persisted residual is still reachable-identical in an
+    /// edited program.
+    pub closure_fingerprint: u64,
 }
 
 impl CachedOutcome {
@@ -362,6 +369,8 @@ mod tests {
             residual: text.to_owned(),
             stats: PeStats::default(),
             degradations: Vec::new(),
+            entry: "main".to_owned(),
+            closure_fingerprint: 0,
         }
     }
 

@@ -53,7 +53,11 @@ impl EngineContext {
 /// and run. Thread-local (holds `Rc`-backed values).
 pub(crate) struct Resolved {
     pub program: Arc<Program>,
-    pub fingerprint: u64,
+    /// The entry symbol's transitive-closure fingerprint
+    /// (`ppe_analyze::depgraph`): the program component of both cache
+    /// keys. Editing a definition the entry cannot reach leaves it — and
+    /// therefore every cached artifact — untouched.
+    pub closure_fingerprint: u64,
     pub entry: Symbol,
     pub facets: FacetSet,
     pub inputs: Vec<PeInput>,
@@ -65,7 +69,7 @@ pub(crate) struct Resolved {
 pub(crate) fn resolve(
     req: &SpecializeRequest,
     program: Arc<Program>,
-    fingerprint: u64,
+    depgraph: &ppe_analyze::depgraph::DepGraph,
 ) -> Result<Resolved, String> {
     let entry = match &req.function {
         Some(name) => {
@@ -77,6 +81,9 @@ pub(crate) fn resolve(
         }
         None => program.main().name,
     };
+    let closure_fingerprint = depgraph
+        .closure_fingerprint(entry)
+        .expect("entry was just validated against the same program");
     let facets = spec::build_facets(&req.facets)?;
     let inputs: Vec<PeInput> = req
         .inputs
@@ -98,7 +105,7 @@ pub(crate) fn resolve(
         .map(|i| i.to_product(&facets).map_err(|e| e.to_string()))
         .collect::<Result<_, _>>()?;
     let key = residual_key(
-        fingerprint,
+        closure_fingerprint,
         entry.as_str(),
         req.engine,
         &req.facets,
@@ -108,7 +115,7 @@ pub(crate) fn resolve(
     );
     Ok(Resolved {
         program,
-        fingerprint,
+        closure_fingerprint,
         entry,
         facets,
         inputs,
@@ -173,6 +180,8 @@ pub(crate) fn run(
         residual: pretty_program(&rendered),
         stats: residual.stats,
         degradations: residual.report.events().to_vec(),
+        entry: resolved.entry.as_str().to_owned(),
+        closure_fingerprint: resolved.closure_fingerprint,
     })
 }
 
@@ -254,7 +263,7 @@ fn cached_analysis(
     metrics: &Metrics,
 ) -> Result<Rc<Analysis>, String> {
     let akey = analysis_key(
-        resolved.fingerprint,
+        resolved.closure_fingerprint,
         resolved.entry.as_str(),
         &req.facets,
         &resolved.products,

@@ -1,12 +1,17 @@
 //! Stable, content-addressed cache keys.
 //!
-//! A residual program is fully determined by (program, entry function,
-//! per-input products of facet values, facet set, engine, optimizer flag,
-//! and the `PeConfig` policy knobs) — the cache-key soundness argument is
-//! spelled out in `DESIGN.md` § "Service layer". The key hashes exactly
-//! those components, and nothing process-local: symbol *spellings* rather
-//! than interner ids, facet *names* rather than trait-object addresses,
-//! and the canonical `Display` rendering of each product component. Two
+//! A residual program is fully determined by (the entry function's
+//! *reachable closure* of definitions, per-input products of facet
+//! values, facet set, engine, optimizer flag, and the `PeConfig` policy
+//! knobs) — the cache-key soundness argument is spelled out in
+//! `DESIGN.md` § "Service layer" and § "Dependency fingerprints". Since
+//! the v2 schema the program component is the entry's **closure
+//! fingerprint** (`ppe_analyze::depgraph`) rather than the whole-program
+//! `Program::fingerprint`: definitions the entry cannot reach can no
+//! longer perturb the key, so editing them preserves cache hits. The key
+//! hashes nothing process-local: symbol *spellings* rather than interner
+//! ids, facet *names* rather than trait-object addresses, and the
+//! canonical `Display` rendering of each product component. Two
 //! processes (or two threads racing through different interner states)
 //! therefore agree on every key.
 
@@ -103,11 +108,16 @@ fn write_config(h: &mut KeyHasher, config: &PeConfig, optimize: bool) {
 
 /// Builds the residual-cache key for one fully resolved request.
 ///
+/// `closure_fingerprint` is the entry symbol's transitive-closure
+/// fingerprint from `ppe_analyze::depgraph::DepGraph` — spelling-stable
+/// and insensitive to definitions the entry cannot reach (that
+/// insensitivity is what makes re-specialization incremental).
+///
 /// `products` must already be lowered over the facet set named by
 /// `facet_names` (in that order) — the products' positional rendering only
 /// means something together with the facet list, so both are hashed.
 pub fn residual_key(
-    program_fingerprint: u64,
+    closure_fingerprint: u64,
     entry: &str,
     engine: Engine,
     facet_names: &[String],
@@ -115,8 +125,8 @@ pub fn residual_key(
     optimize: bool,
     config: &PeConfig,
 ) -> CacheKey {
-    let mut h = KeyHasher::new("ppe-residual-v1");
-    h.write_u64(program_fingerprint);
+    let mut h = KeyHasher::new("ppe-residual-v2");
+    h.write_u64(closure_fingerprint);
     h.write_str(entry);
     h.write_u64(engine as u64);
     h.write_u64(facet_names.len() as u64);
@@ -135,14 +145,14 @@ pub fn residual_key(
 /// [`residual_key`] but without the optimizer flag — the optimizer runs
 /// after specialization and cannot change what the analysis computes.
 pub fn analysis_key(
-    program_fingerprint: u64,
+    closure_fingerprint: u64,
     entry: &str,
     facet_names: &[String],
     products: &[ProductVal],
     config: &PeConfig,
 ) -> CacheKey {
-    let mut h = KeyHasher::new("ppe-analysis-v1");
-    h.write_u64(program_fingerprint);
+    let mut h = KeyHasher::new("ppe-analysis-v2");
+    h.write_u64(closure_fingerprint);
     h.write_str(entry);
     h.write_u64(facet_names.len() as u64);
     for name in facet_names {

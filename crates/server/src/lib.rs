@@ -46,7 +46,7 @@ pub use key::{analysis_key, residual_key, CacheKey};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use persist::{
     DiskStats, FaultKind, FaultReport, GcReport, PersistConfig, PersistMode, PersistTier,
-    FORMAT_VERSION,
+    StaleGcReport, FORMAT_VERSION,
 };
 pub use request::{
     CacheDisposition, Engine, ExecEngine, ExecOutcome, ExecuteRequest, SpecializeOutput,

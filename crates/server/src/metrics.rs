@@ -30,6 +30,13 @@ pub struct Metrics {
     pub analysis_hits: AtomicU64,
     /// Analyses computed (offline engine).
     pub analysis_misses: AtomicU64,
+    /// Dependency graphs built (one per distinct parsed program source).
+    pub depgraph_analyses: AtomicU64,
+    /// Definitions whose closure fingerprint changed relative to the
+    /// last program that defined the same name — i.e. entries the edit
+    /// actually invalidated (defs outside the edit's reachable closure
+    /// don't count, which is the point of dependency fingerprints).
+    pub depgraph_invalidations: AtomicU64,
     /// Requests answered from the disk persistence tier.
     pub disk_hits: AtomicU64,
     /// Disk lookups that found no entry (absent file).
@@ -92,6 +99,8 @@ impl Metrics {
             cache_rejected: r(&self.cache_rejected),
             analysis_hits: r(&self.analysis_hits),
             analysis_misses: r(&self.analysis_misses),
+            depgraph_analyses: r(&self.depgraph_analyses),
+            depgraph_invalidations: r(&self.depgraph_invalidations),
             disk_hits: r(&self.disk_hits),
             disk_misses: r(&self.disk_misses),
             disk_stores: r(&self.disk_stores),
@@ -124,6 +133,8 @@ pub struct MetricsSnapshot {
     pub cache_rejected: u64,
     pub analysis_hits: u64,
     pub analysis_misses: u64,
+    pub depgraph_analyses: u64,
+    pub depgraph_invalidations: u64,
     pub disk_hits: u64,
     pub disk_misses: u64,
     pub disk_stores: u64,
@@ -154,6 +165,11 @@ impl MetricsSnapshot {
             ("cache_rejected", Json::num(self.cache_rejected)),
             ("analysis_hits", Json::num(self.analysis_hits)),
             ("analysis_misses", Json::num(self.analysis_misses)),
+            ("depgraph_analyses", Json::num(self.depgraph_analyses)),
+            (
+                "depgraph_invalidations",
+                Json::num(self.depgraph_invalidations),
+            ),
             ("disk_hits", Json::num(self.disk_hits)),
             ("disk_misses", Json::num(self.disk_misses)),
             ("disk_stores", Json::num(self.disk_stores)),
@@ -199,6 +215,8 @@ mod tests {
         assert!(text.starts_with('{'), "{text}");
         assert!(text.contains("\"cache_hits\":0"), "{text}");
         assert!(text.contains("\"queue_depth\":0"), "{text}");
+        assert!(text.contains("\"depgraph_analyses\":0"), "{text}");
+        assert!(text.contains("\"depgraph_invalidations\":0"), "{text}");
         assert!(text.contains("\"disk_hits\":0"), "{text}");
         assert!(text.contains("\"disk_corrupt\":0"), "{text}");
         assert!(text.contains("\"disk_quarantined\":0"), "{text}");

@@ -63,7 +63,13 @@ pub const MAGIC: [u8; 8] = *b"PPECACHE";
 /// The on-disk format version. Bump this whenever the header layout, the
 /// payload schema, or the cache-key scheme changes; readers refuse (and
 /// quarantine) any other version rather than guessing.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: cache keys switched from whole-program fingerprints to
+/// per-entry closure fingerprints (`ppe-residual-v2`), and the payload
+/// gained `entry` + `closure_fp` so `gc --stale-against` can validate
+/// entries against an edited program. v1 entries are quarantined as
+/// `WrongVersion` rather than mis-hit under the new keying.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Header size: magic (8) + version (4) + key (16) + payload length (8) +
 /// payload checksum (16).
@@ -278,6 +284,37 @@ pub struct GcReport {
     pub removed_tmp: u64,
     /// Quarantined files purged (only with `purge_quarantine`).
     pub purged_quarantine: u64,
+}
+
+/// What one [`PersistTier::gc_stale`] pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StaleGcReport {
+    /// Entries whose `(entry, closure fingerprint)` still matches the
+    /// reference program — kept.
+    pub kept_entries: u64,
+    /// Entries invalidated by the reference program (entry removed, or
+    /// its reachable closure edited) — removed.
+    pub removed_entries: u64,
+    /// Bytes removed.
+    pub removed_bytes: u64,
+    /// Unreadable or corrupt entries skipped (left in place for the
+    /// load path to quarantine; stale-gc never destroys evidence).
+    pub skipped_corrupt: u64,
+    /// Quarantined files purged (only with `purge_quarantine`).
+    pub purged_quarantine: u64,
+}
+
+impl StaleGcReport {
+    /// Renders the report as one JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kept_entries", Json::num(self.kept_entries)),
+            ("removed_entries", Json::num(self.removed_entries)),
+            ("removed_bytes", Json::num(self.removed_bytes)),
+            ("skipped_corrupt", Json::num(self.skipped_corrupt)),
+            ("purged_quarantine", Json::num(self.purged_quarantine)),
+        ])
+    }
 }
 
 /// What one [`PersistTier::export`] pass did.
@@ -585,6 +622,81 @@ impl PersistTier {
         Ok(report)
     }
 
+    /// Drops exactly the entries `reference` invalidates: an entry is
+    /// kept iff its recorded entry function is still defined in the
+    /// reference program *and* its recorded closure fingerprint equals
+    /// that function's current closure fingerprint. Everything else —
+    /// entries for removed functions, entries whose reachable closure
+    /// was edited, and entries computed for other programs — is removed.
+    /// (The reference program defines what "still valid" means; a cache
+    /// directory shared across unrelated programs should be collected
+    /// with the byte-budget [`PersistTier::gc`] instead.)
+    ///
+    /// Unreadable or corrupt entries are skipped and counted, not
+    /// removed: the load path owns corruption handling (quarantine), and
+    /// stale-gc should never destroy the evidence it would file.
+    ///
+    /// # Errors
+    ///
+    /// Read-only tiers refuse; I/O errors reading the directory surface.
+    pub fn gc_stale(
+        &self,
+        reference: &ppe_analyze::depgraph::DepGraph,
+        purge_quarantine: bool,
+    ) -> io::Result<StaleGcReport> {
+        if self.read_only() {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                "cannot gc a read-only cache dir",
+            ));
+        }
+        let mut report = StaleGcReport::default();
+        let mut keys: Vec<CacheKey> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name().to_string_lossy().into_owned();
+            if let Some(hex) = name.strip_suffix(ENTRY_SUFFIX) {
+                if let Ok(raw) = u128::from_str_radix(hex, 16) {
+                    keys.push(CacheKey(raw));
+                }
+            }
+        }
+        keys.sort();
+        for key in keys {
+            let path = self.entry_path(key);
+            let decoded = self
+                .read_entry_bytes(&path)
+                .ok()
+                .flatten()
+                .and_then(|bytes| decode_entry(&bytes, key, self.max_entry_bytes).ok());
+            let Some(outcome) = decoded else {
+                report.skipped_corrupt += 1;
+                continue;
+            };
+            let current = reference.closure_fingerprint(Symbol::intern(&outcome.entry));
+            if current == Some(outcome.closure_fingerprint) {
+                report.kept_entries += 1;
+            } else {
+                let len = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                if fs::remove_file(&path).is_ok() {
+                    report.removed_entries += 1;
+                    report.removed_bytes += len;
+                }
+            }
+        }
+        if purge_quarantine {
+            if let Ok(entries) = fs::read_dir(self.dir.join(QUARANTINE_DIR)) {
+                for entry in entries.flatten() {
+                    if entry.metadata().map(|m| m.is_file()).unwrap_or(false)
+                        && fs::remove_file(entry.path()).is_ok()
+                    {
+                        report.purged_quarantine += 1;
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
     /// Writes every intact entry as one JSON line (`{"key": …, "entry":
     /// …}`) after a header line carrying the format version. Corrupt
     /// entries are skipped and counted, exactly as a load would treat
@@ -802,9 +914,14 @@ fn checksum(payload: &[u8]) -> u128 {
 pub(crate) fn encode_payload(outcome: &CachedOutcome) -> String {
     Json::obj(vec![
         (
+            "closure_fp",
+            Json::str(format!("{:016x}", outcome.closure_fingerprint)),
+        ),
+        (
             "degradations",
             Json::Arr(outcome.degradations.iter().map(degradation_json).collect()),
         ),
+        ("entry", Json::str(outcome.entry.clone())),
         ("residual", Json::str(outcome.residual.clone())),
         ("stats", stats_json(&outcome.stats)),
     ])
@@ -816,6 +933,14 @@ pub(crate) fn encode_payload(outcome: &CachedOutcome) -> String {
 pub(crate) fn decode_payload(text: &str) -> Option<CachedOutcome> {
     let v = Json::parse(text).ok()?;
     let residual = v.get("residual")?.as_str()?.to_owned();
+    let entry = v.get("entry")?.as_str()?.to_owned();
+    let closure_fingerprint = {
+        let hex = v.get("closure_fp")?.as_str()?;
+        if hex.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(hex, 16).ok()?
+    };
     let s = v.get("stats")?;
     let num = |field: &str| s.get(field).and_then(Json::as_u64);
     let stats = PeStats {
@@ -844,6 +969,8 @@ pub(crate) fn decode_payload(text: &str) -> Option<CachedOutcome> {
         residual,
         stats,
         degradations,
+        entry,
+        closure_fingerprint,
     })
 }
 
@@ -906,6 +1033,8 @@ mod tests {
                 depth: 4,
                 count: 2,
             }],
+            entry: "f".to_owned(),
+            closure_fingerprint: 0x1234_5678_9abc_def0,
         }
     }
 
@@ -1069,7 +1198,7 @@ mod tests {
     fn import_rejects_garbage_without_aborting() {
         let scratch = Scratch::new();
         let tier = PersistTier::open(PersistConfig::new(&scratch.0)).unwrap();
-        let header = r#"{"format_version":1,"kind":"ppe-cache-export"}"#;
+        let header = format!(r#"{{"format_version":{FORMAT_VERSION},"kind":"ppe-cache-export"}}"#);
         let good = format!(
             r#"{{"entry":{},"key":"{}"}}"#,
             encode_payload(&outcome()),

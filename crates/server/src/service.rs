@@ -6,6 +6,7 @@ use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use ppe_analyze::depgraph::DepGraph;
 use ppe_lang::diag::Diagnostic;
 use ppe_lang::{parse_program, Program};
 use ppe_online::{Budget, DegradationEvent};
@@ -74,14 +75,22 @@ pub struct SpecializeService {
     cache: ResidualCache,
     metrics: Metrics,
     programs: Mutex<HashMap<String, ParsedProgram>>,
+    /// Last observed closure fingerprint per definition name, across
+    /// every program this service has parsed. When a new parse shows a
+    /// different fingerprint for a known name, that definition's cached
+    /// residuals just became unreachable-by-key — counted as
+    /// `depgraph_invalidations` so operators can see how much of an edit
+    /// actually invalidated (the complement is the incremental win).
+    entry_fps: Mutex<HashMap<String, u64>>,
     persist: Option<PersistTier>,
     persist_error: Option<String>,
 }
 
-/// A parse-cache entry: the program, its stable fingerprint, and the
-/// analyzer's pre-flight warnings (computed once per distinct source,
-/// attached to every response that uses it).
-type ParsedProgram = (Arc<Program>, u64, Arc<Vec<Diagnostic>>);
+/// A parse-cache entry: the program, its dependency graph (call edges +
+/// per-definition closure fingerprints, the program component of every
+/// cache key), and the analyzer's pre-flight warnings (computed once per
+/// distinct source, attached to every response that uses it).
+type ParsedProgram = (Arc<Program>, Arc<DepGraph>, Arc<Vec<Diagnostic>>);
 
 impl SpecializeService {
     /// A fresh service with empty caches.
@@ -103,6 +112,7 @@ impl SpecializeService {
             cache: ResidualCache::new(config.cache_bytes, config.shards),
             metrics: Metrics::new(),
             programs: Mutex::new(HashMap::new()),
+            entry_fps: Mutex::new(HashMap::new()),
             persist,
             persist_error,
         }
@@ -143,8 +153,8 @@ impl SpecializeService {
                 let report = ppe_analyze::check_source(&req.program_src);
                 (Err(msg), report.diagnostics)
             }
-            Ok((program, fingerprint, warnings)) => (
-                engine::resolve(req, program, fingerprint),
+            Ok((program, depgraph, warnings)) => (
+                engine::resolve(req, program, &depgraph),
                 warnings.as_ref().clone(),
             ),
         };
@@ -264,20 +274,42 @@ impl SpecializeService {
     }
 
     /// Parses `src` through the shared parse cache, returning the
-    /// program, its stable fingerprint, and its pre-flight warnings.
+    /// program, its dependency graph, and its pre-flight warnings.
     fn program(&self, src: &str) -> Result<ParsedProgram, String> {
         {
             let cache = self.programs.lock().expect("program cache poisoned");
-            if let Some((program, fingerprint, warnings)) = cache.get(src) {
-                return Ok((Arc::clone(program), *fingerprint, Arc::clone(warnings)));
+            if let Some((program, depgraph, warnings)) = cache.get(src) {
+                return Ok((
+                    Arc::clone(program),
+                    Arc::clone(depgraph),
+                    Arc::clone(warnings),
+                ));
             }
         }
         // Parse outside the lock: parsing is cheap but not free, and a
         // slow parse must not serialize unrelated requests. A racing
         // duplicate parse of the same source is harmless (same result).
         let program = parse_program(src).map_err(|e| e.to_string())?;
-        let fingerprint = program.fingerprint();
         let program = Arc::new(program);
+        let depgraph = Arc::new(DepGraph::of_program(&program));
+        self.metrics.depgraph_analyses.fetch_add(1, Relaxed);
+        // Fold the new closure fingerprints into the per-name history:
+        // a changed fingerprint means this edit invalidated that entry
+        // point's cached residuals (names outside the edit's reachable
+        // closure keep their fingerprints and stay warm).
+        {
+            let mut fps = self.entry_fps.lock().expect("entry fps poisoned");
+            for &name in depgraph.names() {
+                let fp = depgraph
+                    .closure_fingerprint(name)
+                    .expect("name comes from the same graph");
+                if let Some(prev) = fps.insert(name.as_str().to_owned(), fp) {
+                    if prev != fp {
+                        self.metrics.depgraph_invalidations.fetch_add(1, Relaxed);
+                    }
+                }
+            }
+        }
         // A validated program has no analyzer errors; what remains are
         // warnings (shadowing, unfold-safety, dead code), computed once
         // here and shared by every request for this source.
@@ -288,9 +320,13 @@ impl SpecializeService {
         }
         cache.insert(
             src.to_owned(),
-            (Arc::clone(&program), fingerprint, Arc::clone(&warnings)),
+            (
+                Arc::clone(&program),
+                Arc::clone(&depgraph),
+                Arc::clone(&warnings),
+            ),
         );
-        Ok((program, fingerprint, warnings))
+        Ok((program, depgraph, warnings))
     }
 }
 

@@ -6,15 +6,17 @@
 //! different hash tag — silently invalidates every `.ppe` file ever
 //! written, turning warm caches cold (or worse: colliding with stale
 //! entries if a field stops being hashed). These tests pin the keys for a
-//! small fixed corpus end-to-end: program text → parse → fingerprint →
-//! products → 128-bit key. If one fails, the key scheme drifted; see the
-//! assertion message for the required follow-up.
+//! small fixed corpus end-to-end: program text → parse → dependency
+//! graph → closure fingerprint → products → 128-bit key. If one fails,
+//! the key scheme drifted; see the assertion message for the required
+//! follow-up.
 
 use std::sync::Arc;
 use std::time::Duration;
 
+use ppe_analyze::depgraph::DepGraph;
 use ppe_core::ProductVal;
-use ppe_lang::parse_program;
+use ppe_lang::{parse_program, Symbol};
 use ppe_online::{ExhaustionPolicy, PeConfig};
 use ppe_server::spec::{build_facets, parse_input};
 use ppe_server::{analysis_key, residual_key, CacheKey, Engine};
@@ -44,14 +46,24 @@ fn assert_key(label: &str, actual: CacheKey, expected: &str) {
          If the change is intentional you MUST:\n\
          1. bump `persist::FORMAT_VERSION` so old stores are rejected as\n\
             wrong-version instead of half-matching,\n\
-         2. bump the hash tags (\"ppe-residual-v1\" / \"ppe-analysis-v1\")\n\
+         2. bump the hash tags (\"ppe-residual-v2\" / \"ppe-analysis-v2\")\n\
             to the next version,\n\
-         3. update DESIGN.md §15 (on-disk format) and these snapshots.\n"
+         3. update DESIGN.md §15 (on-disk format) and §17 (dependency\n\
+            fingerprints), and these snapshots.\n"
     );
 }
 
 fn program_fingerprint(src: &str) -> u64 {
     Arc::new(parse_program(src).expect("corpus program parses")).fingerprint()
+}
+
+/// The entry's transitive-closure fingerprint — the program component of
+/// every v2 cache key.
+fn closure_fingerprint(src: &str, entry: &str) -> u64 {
+    let program = parse_program(src).expect("corpus program parses");
+    DepGraph::of_program(&program)
+        .closure_fingerprint(Symbol::intern(entry))
+        .expect("entry is defined")
 }
 
 fn products(specs: &[&str], facets: &[&str]) -> (Vec<String>, Vec<ProductVal>) {
@@ -86,57 +98,84 @@ fn program_fingerprints_are_stable() {
 }
 
 #[test]
+fn closure_fingerprints_are_stable() {
+    // The closure fingerprint replaced the whole-program fingerprint as
+    // the program component of every key (v2); pin it separately so a
+    // depgraph change is distinguishable from a key-derivation change.
+    assert_key(
+        "closure(power)",
+        CacheKey(u128::from(closure_fingerprint(POWER, "power"))),
+        "00000000000000000f9937a386432ae1",
+    );
+    assert_key(
+        "closure(sum-to)",
+        CacheKey(u128::from(closure_fingerprint(SUM_TO, "sum-to"))),
+        "00000000000000008d5b8ca8b8bc559d",
+    );
+    // The incremental-soundness contract, pinned at the key level:
+    // appending a definition the entry cannot reach changes the
+    // whole-program fingerprint but not the closure fingerprint.
+    let padded = format!("{POWER}\n(define (unrelated q) (+ q 41))");
+    assert_ne!(program_fingerprint(POWER), program_fingerprint(&padded));
+    assert_eq!(
+        closure_fingerprint(POWER, "power"),
+        closure_fingerprint(&padded, "power"),
+        "unreachable definitions must not perturb the key"
+    );
+}
+
+#[test]
 fn residual_keys_are_stable() {
-    let fp = program_fingerprint(POWER);
+    let fp = closure_fingerprint(POWER, "power");
     let config = PeConfig::default();
 
     let (names, ps) = products(&["_", "3"], &[]);
     assert_key(
         "power/online/no-facets",
         residual_key(fp, "power", Engine::Online, &names, &ps, false, &config),
-        "ec7353e1a226e87ef531e58c63e84dd5",
+        "d8b70e61f1a7318ac2331e2a0fef130e",
     );
     assert_key(
         "power/online/no-facets/optimize",
         residual_key(fp, "power", Engine::Online, &names, &ps, true, &config),
-        "a8fa25750a26e879b3f0920ba06459f4",
+        "1c303cce89a73190037471aad37306ef",
     );
     assert_key(
         "power/simple/no-facets",
         residual_key(fp, "power", Engine::Simple, &names, &ps, false, &config),
-        "ef3e1f240e7136b43c85c7404e01f71c",
+        "3c8e33460f54d763353308fd69938ebf",
     );
 
     let (names, ps) = products(&["_:sign=pos", "3"], &["sign"]);
     assert_key(
         "power/online/sign-facet",
         residual_key(fp, "power", Engine::Online, &names, &ps, false, &config),
-        "ed69bc0f247d3a2762e9af957137781b",
+        "a563e1a5388e0ee23883ca9fff535494",
     );
     assert_key(
         "power/offline/sign-facet",
         residual_key(fp, "power", Engine::Offline, &names, &ps, false, &config),
-        "d592442a6d942b59c67c5e5dc2cba749",
+        "9f9e9232d93e4f71afedc3d095c56f46",
     );
 
-    let fp2 = program_fingerprint(SUM_TO);
+    let fp2 = closure_fingerprint(SUM_TO, "sum-to");
     let (names, ps) = products(&["5"], &[]);
     assert_key(
         "sum-to/online/static-input",
         residual_key(fp2, "sum-to", Engine::Online, &names, &ps, false, &config),
-        "0732de555e2cbfa786927d4f715cdc35",
+        "cd6d14794842de4ec6bf90a73b3573f2",
     );
 }
 
 #[test]
 fn analysis_keys_are_stable() {
-    let fp = program_fingerprint(POWER);
+    let fp = closure_fingerprint(POWER, "power");
     let config = PeConfig::default();
     let (names, ps) = products(&["_:sign=pos", "3"], &["sign"]);
     assert_key(
         "power/analysis/sign-facet",
         analysis_key(fp, "power", &names, &ps, &config),
-        "ee0b8990dbfa8f4ec5168804c672b1aa",
+        "c7a5ba6898f7a0a2da1d8cedad961619",
     );
     // The analysis key ignores the optimizer flag by construction; the
     // residual key for the same request must not alias it (different tag).
@@ -152,7 +191,7 @@ fn analysis_keys_are_stable() {
 fn every_config_knob_reaches_the_key() {
     // Each knob flips the key; pin the variants so adding a knob without
     // hashing it (or silently dropping one) fails loudly.
-    let fp = program_fingerprint(POWER);
+    let fp = closure_fingerprint(POWER, "power");
     let (names, ps) = products(&["_", "3"], &[]);
     let key = |config: &PeConfig| {
         format!(
@@ -169,7 +208,7 @@ fn every_config_knob_reaches_the_key() {
                 fuel: 1,
                 ..base.clone()
             },
-            "fa87ccf573c6f30d3ea60cb70d91d495",
+            "314742962dc2d7d735b584871e352256",
         ),
         (
             "max_unfold_depth=2",
@@ -177,7 +216,7 @@ fn every_config_knob_reaches_the_key() {
                 max_unfold_depth: 2,
                 ..base.clone()
             },
-            "a7d2196d3e740df967f061e96984bcc3",
+            "0c1222ffacc0551ebc83be53341576a0",
         ),
         (
             "max_specializations=7",
@@ -185,7 +224,7 @@ fn every_config_knob_reaches_the_key() {
                 max_specializations: 7,
                 ..base.clone()
             },
-            "0ae6c9f523281cdbf66b72440f90e802",
+            "4a44c6f5edf648fe0f89c7065ad26f29",
         ),
         (
             "max_residual_size=9",
@@ -193,7 +232,7 @@ fn every_config_knob_reaches_the_key() {
                 max_residual_size: 9,
                 ..base.clone()
             },
-            "0b4920c734298f01eb9263053e5fb94c",
+            "a2b320a09c391cd603d159da4c7c72d7",
         ),
         (
             "max_recursion_depth=3",
@@ -201,7 +240,7 @@ fn every_config_knob_reaches_the_key() {
                 max_recursion_depth: 3,
                 ..base.clone()
             },
-            "aa4ef11a3945f3c315978acab21f1b16",
+            "03ad504d971cb814d9cc3214d8bd110d",
         ),
         (
             "deadline=250ms",
@@ -209,7 +248,7 @@ fn every_config_knob_reaches_the_key() {
                 deadline: Some(Duration::from_millis(250)),
                 ..base.clone()
             },
-            "4464c3971ee1a0088763950313d333ae",
+            "4efb0bbbed2ec142f628a979ea2c6275",
         ),
         (
             "on_exhaustion=degrade",
@@ -217,7 +256,7 @@ fn every_config_knob_reaches_the_key() {
                 on_exhaustion: ExhaustionPolicy::Degrade,
                 ..base.clone()
             },
-            "b36a8053e916574f3185d5001d4d6214",
+            "11bfe1efaab7c2ba85df2eb65689fecf",
         ),
     ];
 

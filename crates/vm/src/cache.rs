@@ -1,11 +1,17 @@
 //! The process-wide chunk cache and VM counters.
 //!
-//! Compiled programs are keyed by a pair of fingerprints: the memoized
-//! spelling-stable [`Program::fingerprint`] and an FNV-1a combination of
-//! the hash-consed [`Term`] fingerprints of every definition body (the
-//! PR-5 interner makes the latter O(1) per already-interned body). Two
-//! independent 64-bit hashes make an accidental collision in a bounded
-//! in-process cache vanishingly unlikely.
+//! Compiled programs are keyed by a pair of fingerprints over the entry
+//! point's *reachable closure* (`ppe_analyze::depgraph`): the entry's
+//! spelling-stable closure fingerprint and an FNV-1a combination of the
+//! hash-consed [`Term`] fingerprints of every reachable definition body
+//! (the PR-5 interner makes the latter O(1) per already-interned body).
+//! Keying on the closure rather than the whole program means editing a
+//! definition the entry cannot reach — dead code in a residual, say —
+//! keeps the compiled chunks warm. That is sound because execution
+//! enters through the entry and can only ever apply functions in its
+//! closure ([`crate::chunk::CompiledProgram`] chunks outside it are
+//! never dispatched). Two independent 64-bit hashes make an accidental
+//! collision in a bounded in-process cache vanishingly unlikely.
 //!
 //! [`CompiledProgram`]s contain only plain data, so the cache is shared
 //! across threads; repeat executions of the same residual — the dominant
@@ -16,6 +22,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use ppe_analyze::depgraph::DepGraph;
 use ppe_lang::{term::Term, Program};
 
 use crate::chunk::CompiledProgram;
@@ -62,9 +69,16 @@ fn cache() -> &'static Mutex<ChunkMap> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// The cache key: `(Program::fingerprint, FNV-1a over per-body Term
-/// fingerprints and arities)`.
+/// The cache key: `(closure fingerprint of the entry point, FNV-1a over
+/// the Term fingerprints and arities of the entry's reachable bodies)`.
+/// Definitions outside the entry's closure cannot be dispatched, so they
+/// are deliberately absent from both components.
 fn chunk_key(program: &Program) -> (u64, u64) {
+    let graph = DepGraph::of_program(program);
+    let entry = program.main().name;
+    let closure_fp = graph
+        .closure_fingerprint(entry)
+        .expect("entry is a definition of the same program");
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut mix = |x: u64| {
         for b in x.to_le_bytes() {
@@ -72,11 +86,13 @@ fn chunk_key(program: &Program) -> (u64, u64) {
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
     };
-    for d in program.defs() {
+    let reachable = graph.reachable(entry).expect("entry is defined");
+    for name in reachable {
+        let d = program.lookup(name).expect("reachable names are defined");
         mix(Term::from_expr(&d.body).fingerprint());
         mix(d.params.len() as u64);
     }
-    (program.fingerprint(), h)
+    (closure_fp, h)
 }
 
 /// Compiles `program` through the process-wide cache.
@@ -84,6 +100,14 @@ fn chunk_key(program: &Program) -> (u64, u64) {
 /// Returns the compiled program, whether it was a cache hit, and how many
 /// chunks were compiled (0 on a hit) — the latter two feed per-request
 /// metrics.
+///
+/// Caching is keyed on the *entry point's reachable closure*: two
+/// programs that agree on everything `main` can reach share an entry
+/// even if they differ in unreachable definitions, and a hit may return
+/// chunks compiled from the other program. That sharing is sound for
+/// execution through [`crate::execute_main`] (the only dispatch paths
+/// are inside the closure); callers that invoke non-entry chunks
+/// directly must not rely on unreachable chunks matching `program`.
 ///
 /// # Errors
 ///
@@ -133,5 +157,24 @@ mod tests {
         let a = parse_program("(define (f x) (+ x 1))").unwrap();
         let b = parse_program("(define (f x) (+ x 2))").unwrap();
         assert_ne!(chunk_key(&a), chunk_key(&b));
+    }
+
+    #[test]
+    fn unreachable_edits_keep_the_key_stable() {
+        let a =
+            parse_program("(define (f x) (g x)) (define (g x) (* x 3)) (define (dead x) (+ x 1))")
+                .unwrap();
+        let b =
+            parse_program("(define (f x) (g x)) (define (g x) (* x 3)) (define (dead x) (+ x 99))")
+                .unwrap();
+        assert_eq!(
+            chunk_key(&a),
+            chunk_key(&b),
+            "editing a def unreachable from the entry must not recompile"
+        );
+        let c =
+            parse_program("(define (f x) (g x)) (define (g x) (* x 4)) (define (dead x) (+ x 1))")
+                .unwrap();
+        assert_ne!(chunk_key(&a), chunk_key(&c), "reachable edits must miss");
     }
 }

@@ -8,6 +8,11 @@
 //!     [--format text|json]              INPUTs the binding-time certificate
 //!                                       of the offline analysis is checked
 //!                                       too; exits nonzero on any error
+//! ppe check --impact <old> <new>        per-entry incremental impact of
+//!     [--format text|json]              editing old into new: `unchanged`
+//!                                       entries keep every cached residual,
+//!                                       `invalidated` ones name the changed
+//!                                       definition and a call path to it
 //! ppe verify-facets [--facets LIST]     run the Definition-2 safety
 //!                                       obligations over every shipped
 //!                                       facet; exits nonzero on violation
@@ -22,7 +27,10 @@
 //! ppe cache <stats|export|import|gc>    inspect and maintain a disk cache
 //!     --cache-dir DIR [FILE|-]          directory (see DESIGN.md §15);
 //!     [--max-bytes N]                   export/import move entries between
-//!     [--purge-quarantine]              machines as validated JSON lines
+//!     [--purge-quarantine]              machines as validated JSON lines;
+//!     [--stale-against <file.sexp>]     gc --stale-against drops exactly the
+//!                                       entries whose closure fingerprint no
+//!                                       longer matches the given program
 //!
 //! `--cache-dir` puts a crash-safe disk tier under the in-memory residual
 //! cache: entries survive restarts, corrupt files are quarantined and
@@ -65,6 +73,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use ppe::analyze::depgraph::{self, DepGraph, EntryImpact};
 use ppe::analyze::{check_certificate, check_inputs, check_source, check_unfolding, CheckReport};
 use ppe::core::consistency::default_candidates;
 use ppe::core::safety::validate_facet;
@@ -145,12 +154,13 @@ fn usage() -> String {
      \u{20}      ppe <specialize|analyze> <file> [inputs…] [--facets LIST] [--offline] [--constraints]\n\
      \u{20}       [--fuel N] [--deadline-ms N] [--max-residual-size N] [--on-exhaustion=fail|degrade]\n\
      \u{20}      ppe check <file> [inputs…] [--facets LIST] [--format text|json]\n\
+     \u{20}      ppe check --impact <old.sexp> <new.sexp> [--format text|json]\n\
      \u{20}      ppe verify-facets [--facets LIST]\n\
      \u{20}      ppe batch <requests.jsonl|-> [--jobs N] [--cache-mb N] [--program <file.sexp>]\n\
      \u{20}       [--cache-dir DIR] [--cache-mode rw|ro|off]\n\
      \u{20}      ppe serve [--jobs N] [--cache-mb N] [--cache-dir DIR] [--cache-mode rw|ro|off]\n\
      \u{20}      ppe cache <stats|export|import|gc> --cache-dir DIR [FILE|-]\n\
-     \u{20}       [--max-bytes N] [--purge-quarantine]\n\
+     \u{20}       [--max-bytes N] [--purge-quarantine] [--stale-against <file.sexp>]\n\
      see `cargo doc` or the README for the input syntax"
         .to_owned()
 }
@@ -170,6 +180,7 @@ struct Opts {
     on_exhaustion: ExhaustionPolicy,
     json: bool,
     engine: ExecEngine,
+    impact: bool,
 }
 
 /// Which execution engine `ppe run` uses.
@@ -216,6 +227,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut on_exhaustion = ExhaustionPolicy::Fail;
     let mut json = false;
     let mut engine = ExecEngine::Ast;
+    let mut impact = false;
     // Flags that take a value accept both `--flag VALUE` and `--flag=VALUE`.
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
         let arg = &args[*i];
@@ -237,6 +249,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 facets = list.split(',').map(|s| s.trim().to_owned()).collect();
             }
             "--offline" => offline = true,
+            "--impact" => impact = true,
             "--constraints" => constraints = true,
             "--optimize" => optimize = true,
             "--polyvariant" => polyvariant = true,
@@ -311,6 +324,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         on_exhaustion,
         json,
         engine,
+        impact,
     })
 }
 
@@ -458,6 +472,9 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 /// error, so the command slots into CI pipelines directly.
 fn cmd_check(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
+    if opts.impact {
+        return cmd_check_impact(&opts);
+    }
     let src = std::fs::read_to_string(&opts.file)
         .map_err(|e| format!("cannot read `{}`: {e}", opts.file))?;
     let mut report = check_source(&src);
@@ -467,6 +484,85 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         check_against_inputs(&opts, &src, &mut report.diagnostics)?;
     }
     emit_check_report(&opts, &report)
+}
+
+/// `ppe check --impact <old> <new>`: classify every definition of the
+/// edited program against the original. `unchanged` is a cache-validity
+/// verdict — by the closure-fingerprint keying (DESIGN.md §17) every
+/// residual cached for that entry, in memory or on disk, is still
+/// addressed by a live key — while `invalidated` names the nearest
+/// changed definition and a shortest call path from the entry to it.
+/// Output order is sorted by name in both formats, so runs are
+/// byte-for-byte deterministic.
+fn cmd_check_impact(opts: &Opts) -> Result<(), String> {
+    let (old_file, new_file) = match opts.inputs.as_slice() {
+        [new] => (opts.file.as_str(), new.as_str()),
+        _ => {
+            return Err(format!(
+                "check --impact takes exactly two program files (old, new)\n{}",
+                usage()
+            ))
+        }
+    };
+    let old = DepGraph::of_program(&load(old_file)?);
+    let new = DepGraph::of_program(&load(new_file)?);
+    let report = depgraph::impact(&old, &new);
+    if opts.json {
+        let entries: Vec<Json> = report
+            .entries
+            .iter()
+            .map(|(f, verdict)| {
+                let mut fields = vec![("entry", Json::str(f.as_str()))];
+                match verdict {
+                    EntryImpact::Unchanged => fields.push(("status", Json::str("unchanged"))),
+                    EntryImpact::Added => fields.push(("status", Json::str("added"))),
+                    EntryImpact::Invalidated { changed, via } => {
+                        fields.push(("changed", Json::str(changed.as_str())));
+                        fields.push(("status", Json::str("invalidated")));
+                        fields.push((
+                            "via",
+                            Json::Arr(via.iter().map(|s| Json::str(s.as_str())).collect()),
+                        ));
+                    }
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        let obj = Json::obj(vec![
+            ("entries", Json::Arr(entries)),
+            ("new", Json::str(new_file)),
+            ("old", Json::str(old_file)),
+            (
+                "removed",
+                Json::Arr(
+                    report
+                        .removed
+                        .iter()
+                        .map(|s| Json::str(s.as_str()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", obj.render());
+    } else {
+        for (f, verdict) in &report.entries {
+            match verdict {
+                EntryImpact::Unchanged => println!("{f}: unchanged"),
+                EntryImpact::Added => println!("{f}: added"),
+                EntryImpact::Invalidated { changed, via } => {
+                    let path: Vec<&str> = via.iter().map(|s| s.as_str()).collect();
+                    println!(
+                        "{f}: invalidated (changed `{changed}`, via {})",
+                        path.join(" -> ")
+                    );
+                }
+            }
+        }
+        for f in &report.removed {
+            println!("{f}: removed");
+        }
+    }
+    Ok(())
 }
 
 /// The input-driven half of `ppe check`: input-product consistency
@@ -936,6 +1032,21 @@ fn cmd_cache(args: &[String]) -> Result<(), String> {
         }
         "gc" => {
             let tier = open(PersistMode::ReadWrite)?;
+            if let Some(program_file) = &opts.stale_against {
+                if opts.max_bytes.is_some() {
+                    return Err(
+                        "--stale-against and --max-bytes are different gc policies; \
+                         run them as two separate invocations"
+                            .to_owned(),
+                    );
+                }
+                let reference = DepGraph::of_program(&load(program_file)?);
+                let report = tier
+                    .gc_stale(&reference, opts.purge_quarantine)
+                    .map_err(|e| format!("gc --stale-against failed: {e}"))?;
+                println!("{}", report.to_json().render());
+                return Ok(());
+            }
             let report = tier
                 .gc(opts.max_bytes.unwrap_or(u64::MAX), opts.purge_quarantine)
                 .map_err(|e| format!("gc failed: {e}"))?;
@@ -966,6 +1077,7 @@ struct CacheOpts {
     file: Option<String>,
     max_bytes: Option<u64>,
     purge_quarantine: bool,
+    stale_against: Option<String>,
 }
 
 fn parse_cache_opts(args: &[String]) -> Result<CacheOpts, String> {
@@ -974,6 +1086,7 @@ fn parse_cache_opts(args: &[String]) -> Result<CacheOpts, String> {
         file: None,
         max_bytes: None,
         purge_quarantine: false,
+        stale_against: None,
     };
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
         let arg = &args[*i];
@@ -998,6 +1111,9 @@ fn parse_cache_opts(args: &[String]) -> Result<CacheOpts, String> {
                 })?);
             }
             "--purge-quarantine" => opts.purge_quarantine = true,
+            "--stale-against" => {
+                opts.stale_against = Some(take_value(args, &mut i, "--stale-against")?);
+            }
             _ if flag.starts_with("--") => {
                 return Err(format!("unknown cache option `{flag}`\n{}", usage()))
             }
@@ -1071,6 +1187,14 @@ mod tests {
         assert_eq!(opts.file.as_deref(), Some("dump.jsonl"));
         assert_eq!(opts.max_bytes, Some(4096));
         assert!(opts.purge_quarantine);
+        let opts = parse_cache_opts(&to_args(&[
+            "--cache-dir=/tmp/c",
+            "--stale-against",
+            "p.sexp",
+        ]))
+        .unwrap();
+        assert_eq!(opts.stale_against.as_deref(), Some("p.sexp"));
+        assert!(parse_cache_opts(&to_args(&["--stale-against"])).is_err());
         assert!(parse_cache_opts(&to_args(&["--max-bytes", "lots"])).is_err());
         assert!(parse_cache_opts(&to_args(&["--mystery-flag"])).is_err());
         assert!(parse_cache_opts(&to_args(&["a.jsonl", "b.jsonl"])).is_err());
@@ -1091,6 +1215,15 @@ mod tests {
         assert!(!opts.optimize);
         assert_eq!(opts.fuel, None);
         assert_eq!(opts.on_exhaustion, ExhaustionPolicy::Fail);
+        assert!(!opts.impact);
+        let args: Vec<String> = ["--impact", "old.sexp", "new.sexp"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_opts(&args).unwrap();
+        assert!(opts.impact);
+        assert_eq!(opts.file, "old.sexp");
+        assert_eq!(opts.inputs, vec!["new.sexp"]);
     }
 
     #[test]
