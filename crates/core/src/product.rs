@@ -291,6 +291,15 @@ impl ProductVal {
         &self.0.pe
     }
 
+    /// A pointer-identity token for the shared payload: two handles with
+    /// equal tokens share one immutable payload, so any value *derived*
+    /// from one is valid for the other. Reification caches (the
+    /// specializer's VM shortcut) memoize per-payload conversions on this
+    /// token instead of re-deriving them per use.
+    pub fn identity(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+
     /// The `i`-th user facet's component.
     pub fn facet(&self, i: usize) -> &AbsVal {
         &self.0.facets[i]

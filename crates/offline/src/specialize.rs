@@ -17,10 +17,13 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::sync::Arc;
 
 use ppe_core::{FacetArg, FacetSet, PeVal, ProductVal};
 use ppe_lang::StdOpClass;
 use ppe_lang::{Const, Expr, FunDef, Prim, Program, Symbol, Value};
+use ppe_online::spec_eval::{self, BuildAddrHasher, SpecEvalBackend, StaticSubtree};
 use ppe_online::{ExhaustionPolicy, Governor, PeConfig, PeError, PeInput, PeStats, Residual};
 
 use crate::analysis::{abstract_of_product, Analysis};
@@ -107,6 +110,58 @@ struct St {
     tmp_counter: u64,
     stats: PeStats,
     gov: Governor,
+    /// VM shortcut state when [`PeConfig::spec_eval`] installs a backend.
+    spec: Option<OffSpec>,
+}
+
+/// Offline flavor of [`ppe_online::spec_eval::SpecState`]: the memo keys on
+/// *annotated* node addresses and holds the stripped plain expression next
+/// to its subtree facts, since the VM consumes [`Expr`]s.
+struct OffSpec {
+    backend: Arc<dyn SpecEvalBackend>,
+    memo: HashMap<usize, Option<Rc<Stripped>>, BuildAddrHasher>,
+    /// Reused argument buffer for backend calls (one attempt live at a
+    /// time).
+    args_buf: Vec<Value>,
+}
+
+struct Stripped {
+    expr: Expr,
+    info: Rc<StaticSubtree>,
+}
+
+/// Rebuilds the plain expression under an annotated subtree, `None` as soon
+/// as any node falls outside the shortcut grammar: only constants,
+/// variables, `let`, and primitives the analysis marked
+/// `Reduce {source: 0}` (all-arguments-static, concrete evaluation) — the
+/// one action whose folding the VM replays exactly. Facet-sourced
+/// reductions (`source > 0`) consult abstract values the VM does not model,
+/// and `Residualize` must stay residual. The mapping is 1:1 per node, so
+/// the stripped expression's size equals the ticks the annotated walk
+/// would spend.
+fn strip_static(e: &AnnExpr) -> Option<Expr> {
+    match &e.kind {
+        AnnKind::Const(c) => Some(Expr::Const(*c)),
+        AnnKind::Var(x) => Some(Expr::Var(*x)),
+        AnnKind::Prim { p, args, action } => {
+            if *action != (PrimAction::Reduce { source: 0 })
+                || matches!(p, Prim::MkVec | Prim::UpdVec)
+            {
+                return None;
+            }
+            let mut out = Vec::with_capacity(args.len());
+            for a in args {
+                out.push(strip_static(a)?);
+            }
+            Some(Expr::Prim(*p, out))
+        }
+        AnnKind::Let { x, bound, body } => Some(Expr::Let(
+            *x,
+            Box::new(strip_static(bound)?),
+            Box::new(strip_static(body)?),
+        )),
+        _ => None,
+    }
 }
 
 /// Mints a fresh residual function name. A free function over the name set
@@ -200,6 +255,11 @@ impl<'a> OfflinePe<'a> {
             tmp_counter: 0,
             stats: PeStats::default(),
             gov: Governor::new(&self.config),
+            spec: self.config.spec_eval.clone().map(|backend| OffSpec {
+                backend,
+                memo: HashMap::default(),
+                args_buf: Vec::new(),
+            }),
         };
         let mut env = Env { stack: Vec::new() };
         let mut kept_params = Vec::new();
@@ -319,6 +379,14 @@ impl<'a> OfflinePe<'a> {
         st: &mut St,
     ) -> Result<(Expr, ProductVal), OfflineError> {
         st.spend()?;
+        if st.spec.is_some()
+            && st.gov.ticks() >= spec_eval::WARMUP_TICKS
+            && matches!(&e.kind, AnnKind::Prim { .. } | AnnKind::Let { .. })
+        {
+            if let Some(hit) = self.try_spec_vm(e, env, st)? {
+                return Ok(hit);
+            }
+        }
         match &e.kind {
             AnnKind::Const(c) => Ok((Expr::Const(*c), ProductVal::from_const(*c, self.facets))),
             AnnKind::Var(x) => {
@@ -525,6 +593,66 @@ impl<'a> OfflinePe<'a> {
                 }
             }
         }
+    }
+
+    /// The VM shortcut for a subtree the analysis marked fully static (see
+    /// [`ppe_online::spec_eval`] for the contract). Restricted to scalar
+    /// parameters: `Reduce {source: 0}` implies every argument is
+    /// PE-static, and vectors are never PE-constants, so a parameter
+    /// reifies exactly when its environment residual is a constant.
+    /// `Ok(None)` means "walk normally, nothing was charged".
+    #[inline(never)]
+    fn try_spec_vm(
+        &self,
+        e: &AnnExpr,
+        env: &Env,
+        st: &mut St,
+    ) -> Result<Option<(Expr, ProductVal)>, OfflineError> {
+        let Some(spec) = st.spec.as_mut() else {
+            return Ok(None);
+        };
+        let at = e as *const AnnExpr as usize;
+        let entry = match spec.memo.get(&at) {
+            Some(found) => found.clone(),
+            None => {
+                let computed = strip_static(e).and_then(|expr| {
+                    spec_eval::analyze(&expr).map(|info| Rc::new(Stripped { expr, info }))
+                });
+                spec.memo.insert(at, computed.clone());
+                computed
+            }
+        };
+        let Some(sub) = entry else {
+            return Ok(None);
+        };
+        let info = &sub.info;
+        let extra = u32::try_from(info.size).unwrap_or(u32::MAX);
+        if !st.gov.recursion_headroom(extra) || st.gov.remaining_fuel() < info.size - 1 {
+            return Ok(None);
+        }
+        spec.args_buf.clear();
+        for &p in &info.params {
+            match env.stack.iter().rev().find(|(n, _, _)| *n == p) {
+                Some((_, Expr::Const(c), _)) => spec.args_buf.push(Value::from_const(*c)),
+                _ => return Ok(None),
+            }
+        }
+        let Some(out) = spec
+            .backend
+            .eval(info.key, &sub.expr, &info.params, &spec.args_buf)
+        else {
+            return Ok(None);
+        };
+        let Some(c) = out.to_const() else {
+            return Ok(None);
+        };
+        st.gov.charge(info.size - 1).map_err(OfflineError::from)?;
+        st.stats.steps += info.size - 1;
+        st.stats.reductions += info.n_prims;
+        Ok(Some((
+            Expr::Const(c),
+            ProductVal::from_const(c, self.facets),
+        )))
     }
 
     /// Looks up or creates the specialization of `f` at `pattern` — the

@@ -9,9 +9,11 @@
 //! The budgets are enforced by the [`crate::Governor`]; what happens when
 //! one trips is decided by [`ExhaustionPolicy`].
 
+use std::sync::Arc;
 use std::time::Duration;
 
 pub use crate::governor::ExhaustionPolicy;
+use crate::spec_eval::SpecEvalBackend;
 
 /// Policy and budgets for the partial evaluators.
 ///
@@ -72,6 +74,13 @@ pub struct PeConfig {
     /// degrade — generalize the offending work to fully-dynamic and finish
     /// with a sound residual plus a [`crate::DegradationReport`].
     pub on_exhaustion: ExhaustionPolicy,
+    /// Optional accelerator for fully-static subterms: eligible subtrees
+    /// (see [`crate::spec_eval`]) are lowered once and replayed on the
+    /// backend instead of being re-folded by the tree walk, with identical
+    /// residuals, budget accounting, and error classification. `None` (the
+    /// default) keeps the pure tree walk; `ppe_vm::VmStaticEval` is the
+    /// production backend.
+    pub spec_eval: Option<Arc<dyn SpecEvalBackend>>,
 }
 
 impl Default for PeConfig {
@@ -86,6 +95,7 @@ impl Default for PeConfig {
             deadline: None,
             max_recursion_depth: 8_192,
             on_exhaustion: ExhaustionPolicy::Fail,
+            spec_eval: None,
         }
     }
 }

@@ -295,6 +295,35 @@ impl Governor {
         self.fuel
     }
 
+    /// Spend `n` units of work as `n` consecutive [`Governor::tick`]s.
+    ///
+    /// The VM-backed static-evaluation shortcut uses this to charge the
+    /// work the AST walk *would* have spent on the subtree it skipped, so
+    /// fuel accounting (including the periodic deadline probes and the
+    /// exact tick at which a budget trips) is bit-identical to the tree
+    /// walk under both exhaustion policies.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Governor::tick`], at the exact tick the walk would have
+    /// tripped.
+    pub fn charge(&mut self, n: u64) -> Result<(), PeError> {
+        for _ in 0..n {
+            self.tick()?;
+        }
+        Ok(())
+    }
+
+    /// `true` when `extra` further recursion levels stay strictly below
+    /// the Degrade-mode soft-trip threshold (three quarters of
+    /// [`PeConfig::max_recursion_depth`]) — and hence also below the hard
+    /// limit. The VM shortcut only fires with this headroom, so skipping
+    /// the subtree walk can never skip a recursion-guard transition the
+    /// walk would have made.
+    pub fn recursion_headroom(&self, extra: u32) -> bool {
+        self.recursion_depth.saturating_add(extra) < self.max_recursion_depth / 4 * 3
+    }
+
     /// Wall-clock allowance this governor has left, if a deadline is set:
     /// `Some(Duration::ZERO)` once the deadline has passed, `None` when no
     /// deadline was configured. The downstream-budget companion of

@@ -43,6 +43,7 @@ mod input;
 mod online;
 pub mod preflight;
 mod simple;
+pub mod spec_eval;
 
 pub use config::PeConfig;
 pub use error::PeError;
@@ -50,3 +51,4 @@ pub use governor::{Budget, DegradationEvent, DegradationReport, ExhaustionPolicy
 pub use input::{PeInput, PeStats, Residual};
 pub use online::OnlinePe;
 pub use simple::{SimpleInput, SimplePe};
+pub use spec_eval::SpecEvalBackend;

@@ -21,10 +21,13 @@ use std::collections::{HashMap, HashSet};
 use ppe_core::{FacetSet, PeVal, PrimOutcome, ProductVal};
 use ppe_lang::{Expr, FunDef, Program, Symbol};
 
+use ppe_lang::Value;
+
 use crate::config::PeConfig;
 use crate::error::PeError;
 use crate::governor::Governor;
 use crate::input::{PeInput, PeStats, Residual};
+use crate::spec_eval::{self, SpecState};
 
 /// The online parameterized partial evaluator (Figure 3).
 ///
@@ -82,6 +85,8 @@ struct St {
     tmp_counter: u64,
     stats: PeStats,
     gov: Governor,
+    /// VM shortcut state when [`PeConfig::spec_eval`] installs a backend.
+    spec: Option<SpecState>,
 }
 
 /// Mints a fresh residual function name. A free function over the name set
@@ -180,6 +185,11 @@ impl<'a> OnlinePe<'a> {
             tmp_counter: 0,
             stats: PeStats::default(),
             gov: Governor::new(&self.config),
+            spec: self
+                .config
+                .spec_eval
+                .clone()
+                .map(|backend| SpecState::new(backend, self.facets.index_of("contents"))),
         };
         let mut env = PeEnv::new();
         let mut kept_params = Vec::new();
@@ -292,6 +302,14 @@ impl<'a> OnlinePe<'a> {
         st: &mut St,
     ) -> Result<(Expr, ProductVal), PeError> {
         st.spend()?;
+        if st.spec.is_some()
+            && st.gov.ticks() >= spec_eval::WARMUP_TICKS
+            && matches!(e, Expr::Prim(..) | Expr::Let(..))
+        {
+            if let Some(hit) = self.try_spec_vm(e, env, st)? {
+                return Ok(hit);
+            }
+        }
         match e {
             // PE[c] = K̂[c]: the constant propagates into every facet.
             Expr::Const(c) => Ok((Expr::Const(*c), ProductVal::from_const(*c, self.facets))),
@@ -434,6 +452,74 @@ impl<'a> OnlinePe<'a> {
                 }
             }
         }
+    }
+
+    /// The VM shortcut for a fully-static subtree (see [`crate::spec_eval`]
+    /// for the contract and the parity argument). Returns `Ok(None)` on any
+    /// ineligibility — the caller proceeds with the ordinary walk, which has
+    /// not been charged anything.
+    #[inline(never)]
+    fn try_spec_vm(
+        &self,
+        e: &Expr,
+        env: &PeEnv,
+        st: &mut St,
+    ) -> Result<Option<(Expr, ProductVal)>, PeError> {
+        let Some(spec) = st.spec.as_mut() else {
+            return Ok(None);
+        };
+        let Some(info) = spec.memo.info(e) else {
+            return Ok(None);
+        };
+        // Budget gates: fire only where the tree walk would complete the
+        // subtree without tripping (or soft-degrading) any budget, so that
+        // skipping the walk is observationally invisible. The walk would
+        // tick `size - 1` more times (the root's tick is already spent) and
+        // recurse at most `size` frames deep.
+        let extra = u32::try_from(info.size).unwrap_or(u32::MAX);
+        if !st.gov.recursion_headroom(extra) || st.gov.remaining_fuel() < info.size - 1 {
+            return Ok(None);
+        }
+        spec.args_buf.clear();
+        for &p in &info.params {
+            let Some((res, val)) = env.lookup(p) else {
+                return Ok(None);
+            };
+            match res {
+                // A constant residual is exactly the concrete value the
+                // walk would fold with.
+                Expr::Const(c) => spec.args_buf.push(Value::from_const(*c)),
+                // A dynamic variable may still denote one concrete vector
+                // when its contents facet pins every element.
+                Expr::Var(_) => {
+                    let Some(ci) = spec.contents_idx else {
+                        return Ok(None);
+                    };
+                    match spec.reify.get_or_reify(val, ci) {
+                        Some(v) => spec.args_buf.push(v),
+                        None => return Ok(None),
+                    }
+                }
+                _ => return Ok(None),
+            }
+        }
+        let Some(out) = spec.backend.eval(info.key, e, &info.params, &spec.args_buf) else {
+            return Ok(None);
+        };
+        // A non-constant result (a vector flowing out) is not foldable;
+        // fall back, uncharged.
+        let Some(c) = out.to_const() else {
+            return Ok(None);
+        };
+        // Mirror the walk's accounting exactly: `size - 1` further ticks
+        // (same deadline-probe boundaries) and one reduction per primitive.
+        st.gov.charge(info.size - 1)?;
+        st.stats.steps += info.size - 1;
+        st.stats.reductions += info.n_prims;
+        Ok(Some((
+            Expr::Const(c),
+            spec.products.get_or_insert(c, self.facets),
+        )))
     }
 
     /// Specializes one branch of a residual conditional; when constraint

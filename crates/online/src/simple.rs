@@ -17,6 +17,7 @@ use crate::config::PeConfig;
 use crate::error::PeError;
 use crate::governor::Governor;
 use crate::input::{PeStats, Residual};
+use crate::spec_eval::{self, SpecState};
 
 /// One input to the simple partial evaluator: a first-order constant or
 /// nothing.
@@ -79,6 +80,8 @@ struct St {
     tmp_counter: u64,
     stats: PeStats,
     gov: Governor,
+    /// VM shortcut state when [`PeConfig::spec_eval`] installs a backend.
+    spec: Option<SpecState>,
 }
 
 /// Mints a fresh residual function name. A free function over the name set
@@ -165,6 +168,13 @@ impl<'a> SimplePe<'a> {
             tmp_counter: 0,
             stats: PeStats::default(),
             gov: Governor::new(&self.config),
+            // The simple evaluator has no facet products, so only scalar
+            // (constant) parameters reify; `contents_idx` stays `None`.
+            spec: self
+                .config
+                .spec_eval
+                .clone()
+                .map(|backend| SpecState::new(backend, None)),
         };
         let mut env = Env { stack: Vec::new() };
         let mut kept_params = Vec::new();
@@ -216,6 +226,14 @@ impl<'a> SimplePe<'a> {
 
     fn pe_inner(&self, e: &Expr, env: &mut Env, depth: u32, st: &mut St) -> Result<Expr, PeError> {
         st.spend()?;
+        if st.spec.is_some()
+            && st.gov.ticks() >= spec_eval::WARMUP_TICKS
+            && matches!(e, Expr::Prim(..) | Expr::Let(..))
+        {
+            if let Some(hit) = self.try_spec_vm(e, env, st)? {
+                return Ok(hit);
+            }
+        }
         match e {
             Expr::Const(c) => Ok(Expr::Const(*c)),
             Expr::Var(x) => env
@@ -316,6 +334,42 @@ impl<'a> SimplePe<'a> {
                 }
             }
         }
+    }
+
+    /// The VM shortcut for a fully-static subtree (see [`crate::spec_eval`]
+    /// for the contract). Mirrors [`crate::OnlinePe`]'s hook, restricted to
+    /// scalar parameters — the simple evaluator's environment holds residual
+    /// expressions only, so a parameter reifies exactly when its residual is
+    /// a constant. `Ok(None)` means "walk normally, nothing was charged".
+    #[inline(never)]
+    fn try_spec_vm(&self, e: &Expr, env: &Env, st: &mut St) -> Result<Option<Expr>, PeError> {
+        let Some(spec) = st.spec.as_mut() else {
+            return Ok(None);
+        };
+        let Some(info) = spec.memo.info(e) else {
+            return Ok(None);
+        };
+        let extra = u32::try_from(info.size).unwrap_or(u32::MAX);
+        if !st.gov.recursion_headroom(extra) || st.gov.remaining_fuel() < info.size - 1 {
+            return Ok(None);
+        }
+        spec.args_buf.clear();
+        for &p in &info.params {
+            match env.lookup(p) {
+                Some(Expr::Const(c)) => spec.args_buf.push(Value::from_const(*c)),
+                _ => return Ok(None),
+            }
+        }
+        let Some(out) = spec.backend.eval(info.key, e, &info.params, &spec.args_buf) else {
+            return Ok(None);
+        };
+        let Some(c) = out.to_const() else {
+            return Ok(None);
+        };
+        st.gov.charge(info.size - 1)?;
+        st.stats.steps += info.size - 1;
+        st.stats.reductions += info.n_prims;
+        Ok(Some(Expr::Const(c)))
     }
 
     fn unspecialized_name(&self, g: Symbol) -> Symbol {

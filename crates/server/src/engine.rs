@@ -23,8 +23,25 @@ use ppe_vm::VmOptions;
 use crate::cache::CachedOutcome;
 use crate::key::{analysis_key, residual_key, CacheKey};
 use crate::metrics::Metrics;
-use crate::request::{Engine, ExecEngine, ExecOutcome, ExecuteRequest, SpecializeRequest};
+use crate::request::{
+    Engine, ExecEngine, ExecOutcome, ExecuteRequest, SpecEngine, SpecializeRequest,
+};
 use crate::spec;
+
+/// The request's [`PeConfig`] with the static-evaluation backend the
+/// request chose installed: `spec_engine: vm` (the default) threads the
+/// shared [`ppe_vm::VmStaticEval`] handle through the engine so fully
+/// static subtrees replay on bytecode; `ast` leaves the engines' tree
+/// walk in charge (the differential oracle). Residuals are identical
+/// either way, so this never touches the cache key.
+fn effective_config(req: &SpecializeRequest) -> PeConfig {
+    let mut config = req.config.clone();
+    config.spec_eval = match req.spec_engine {
+        SpecEngine::Vm => Some(Arc::new(ppe_vm::VmStaticEval)),
+        SpecEngine::Ast => None,
+    };
+    config
+}
 
 /// Per-worker state that outlives single requests: the offline engine's
 /// analysis cache. Keyed by [`analysis_key`], so one worker that sees a
@@ -131,12 +148,11 @@ pub(crate) fn run(
     ctx: &mut EngineContext,
     metrics: &Metrics,
 ) -> Result<CachedOutcome, String> {
+    let config = effective_config(req);
     let residual = match req.engine {
-        Engine::Online => {
-            OnlinePe::with_config(&resolved.program, &resolved.facets, req.config.clone())
-                .specialize(resolved.entry, &resolved.inputs)
-                .map_err(|e| e.to_string())?
-        }
+        Engine::Online => OnlinePe::with_config(&resolved.program, &resolved.facets, config)
+            .specialize(resolved.entry, &resolved.inputs)
+            .map_err(|e| e.to_string())?,
         Engine::Simple => {
             let simple_inputs: Vec<SimpleInput> = resolved
                 .inputs
@@ -152,20 +168,15 @@ pub(crate) fn run(
                     PeInput::Dynamic { .. } => SimpleInput::Dynamic,
                 })
                 .collect();
-            SimplePe::with_config(&resolved.program, req.config.clone())
+            SimplePe::with_config(&resolved.program, config)
                 .specialize(resolved.entry, &simple_inputs)
                 .map_err(|e| e.to_string())?
         }
         Engine::Offline => {
             let analysis = cached_analysis(req, resolved, ctx, metrics)?;
-            OfflinePe::with_config(
-                &resolved.program,
-                &resolved.facets,
-                &analysis,
-                req.config.clone(),
-            )
-            .specialize(&resolved.inputs)
-            .map_err(|e| e.to_string())?
+            OfflinePe::with_config(&resolved.program, &resolved.facets, &analysis, config)
+                .specialize(&resolved.inputs)
+                .map_err(|e| e.to_string())?
         }
     };
     let rendered = if req.optimize {

@@ -88,9 +88,20 @@ impl Metrics {
     /// A consistent-enough point-in-time copy (each counter is read
     /// atomically; the set is not a transaction, which is fine for
     /// reporting).
+    ///
+    /// The `spec_vm_*` and `vm_inlined_calls` fields are read from the
+    /// VM's process-wide counters ([`ppe_vm::vm_stats`]) rather than this
+    /// instance: the chunk caches they describe are process-global, so a
+    /// per-service split would misattribute hits that one service earned
+    /// from another's compilations.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let r = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let vm = ppe_vm::vm_stats();
         MetricsSnapshot {
+            spec_vm_evals: vm.spec_vm_evals,
+            spec_vm_chunk_hits: vm.spec_vm_chunk_hits,
+            spec_vm_chunk_misses: vm.spec_vm_chunk_misses,
+            vm_inlined_calls: vm.vm_inlined_calls,
             requests: r(&self.requests),
             cache_hits: r(&self.cache_hits),
             cache_misses: r(&self.cache_misses),
@@ -146,6 +157,10 @@ pub struct MetricsSnapshot {
     pub vm_chunks_compiled: u64,
     pub vm_chunk_cache_hits: u64,
     pub vm_opcodes_executed: u64,
+    pub spec_vm_evals: u64,
+    pub spec_vm_chunk_hits: u64,
+    pub spec_vm_chunk_misses: u64,
+    pub vm_inlined_calls: u64,
     pub errors: u64,
     pub degraded: u64,
     pub queue_depth: u64,
@@ -181,6 +196,10 @@ impl MetricsSnapshot {
             ("vm_chunks_compiled", Json::num(self.vm_chunks_compiled)),
             ("vm_chunk_cache_hits", Json::num(self.vm_chunk_cache_hits)),
             ("vm_opcodes_executed", Json::num(self.vm_opcodes_executed)),
+            ("spec_vm_evals", Json::num(self.spec_vm_evals)),
+            ("spec_vm_chunk_hits", Json::num(self.spec_vm_chunk_hits)),
+            ("spec_vm_chunk_misses", Json::num(self.spec_vm_chunk_misses)),
+            ("vm_inlined_calls", Json::num(self.vm_inlined_calls)),
             ("errors", Json::num(self.errors)),
             ("degraded", Json::num(self.degraded)),
             ("queue_depth", Json::num(self.queue_depth)),
@@ -224,5 +243,11 @@ mod tests {
         assert!(text.contains("\"vm_chunks_compiled\":0"), "{text}");
         assert!(text.contains("\"vm_chunk_cache_hits\":0"), "{text}");
         assert!(text.contains("\"vm_opcodes_executed\":0"), "{text}");
+        // Process-wide counters: other tests in the same process may have
+        // bumped them, so assert presence, not value.
+        assert!(text.contains("\"spec_vm_evals\":"), "{text}");
+        assert!(text.contains("\"spec_vm_chunk_hits\":"), "{text}");
+        assert!(text.contains("\"spec_vm_chunk_misses\":"), "{text}");
+        assert!(text.contains("\"vm_inlined_calls\":"), "{text}");
     }
 }

@@ -93,6 +93,48 @@ impl ExecEngine {
     }
 }
 
+/// Which backend performs the specializer's *own* static evaluation —
+/// the fully-static subtrees the engines must reduce while producing the
+/// residual. Independent of [`ExecEngine`], which runs the *finished*
+/// residual.
+///
+/// Residuals are byte-identical under either choice (the VM shortcut's
+/// lowering contract, see `ppe_online::spec_eval`), so this is
+/// deliberately **not** part of the cache key: a residual computed under
+/// one backend answers requests made under the other.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SpecEngine {
+    /// Lower static subtrees to `ppe-vm` bytecode once and replay them
+    /// through the chunk cache (the fast path).
+    #[default]
+    Vm,
+    /// Pure AST evaluation inside the engines — the differential oracle.
+    Ast,
+}
+
+impl SpecEngine {
+    /// The wire name (`spec_engine` field of the serve protocol).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecEngine::Vm => "vm",
+            SpecEngine::Ast => "ast",
+        }
+    }
+
+    /// Parses a wire name.
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown engine.
+    pub fn parse(s: &str) -> Result<SpecEngine, String> {
+        match s {
+            "vm" => Ok(SpecEngine::Vm),
+            "ast" => Ok(SpecEngine::Ast),
+            other => Err(format!("unknown spec engine `{other}` (vm|ast)")),
+        }
+    }
+}
+
 /// A request to *run* the residual after specializing: concrete values
 /// for every residual parameter, and the engine to run them on.
 ///
@@ -127,6 +169,9 @@ pub struct SpecializeRequest {
     pub optimize: bool,
     /// Budgets and policy for this request.
     pub config: PeConfig,
+    /// Backend for the engines' own static evaluation (see [`SpecEngine`];
+    /// not part of the cache key).
+    pub spec_engine: SpecEngine,
     /// When set, run the residual on these concrete inputs and attach the
     /// result to the response (`exec` field).
     pub execute: Option<ExecuteRequest>,
@@ -144,6 +189,7 @@ impl SpecializeRequest {
             engine: Engine::Online,
             optimize: false,
             config: PeConfig::default(),
+            spec_engine: SpecEngine::default(),
             execute: None,
         }
     }
@@ -156,8 +202,10 @@ impl SpecializeRequest {
     /// `max_specializations`, `max_residual_size`, `on_exhaustion`,
     /// `constraints`, `execute` (array of concrete value strings, or one
     /// whitespace-separated string — run the residual on these inputs),
-    /// `exec_engine` (`vm` or `ast`, default `vm`). Unknown fields are
-    /// ignored (forward compatibility).
+    /// `exec_engine` (`vm` or `ast`, default `vm`), `spec_engine` (`vm`
+    /// or `ast`, default `vm` — the backend for the specializer's own
+    /// static evaluation). Unknown fields are ignored (forward
+    /// compatibility).
     ///
     /// # Errors
     ///
@@ -240,6 +288,10 @@ impl SpecializeRequest {
         if let Some(c) = v.get("constraints") {
             req.config.propagate_constraints =
                 c.as_bool().ok_or("`constraints` must be a boolean")?;
+        }
+        if let Some(e) = v.get("spec_engine") {
+            req.spec_engine =
+                SpecEngine::parse(e.as_str().ok_or("`spec_engine` must be a string")?)?;
         }
         let exec_inputs = match v.get("execute") {
             None => None,

@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use ppe_analyze::depgraph::DepGraph;
-use ppe_lang::{term::Term, Program};
+use ppe_lang::{term::Term, Expr, FunDef, Program, Symbol};
 
 use crate::chunk::CompiledProgram;
 use crate::compile::{self, CompileError};
@@ -36,6 +36,10 @@ const CACHE_CAP: usize = 256;
 static CHUNKS_COMPILED: AtomicU64 = AtomicU64::new(0);
 static CHUNK_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static OPS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+static SPEC_VM_EVALS: AtomicU64 = AtomicU64::new(0);
+static SPEC_VM_CHUNK_HITS: AtomicU64 = AtomicU64::new(0);
+static SPEC_VM_CHUNK_MISSES: AtomicU64 = AtomicU64::new(0);
+static VM_INLINED_CALLS: AtomicU64 = AtomicU64::new(0);
 
 /// Monotonic process-wide VM counters, in the mold of
 /// [`ppe_lang::interner_stats`].
@@ -47,6 +51,19 @@ pub struct VmStats {
     pub chunk_cache_hits: u64,
     /// Bytecode instructions executed.
     pub opcodes_executed: u64,
+    /// Static-subtree evaluations requested by the specializer engines
+    /// (see [`crate::VmStaticEval`]).
+    pub spec_vm_evals: u64,
+    /// Specializer static evals answered from a cache: the thread-local
+    /// `(chunk, args) → value` result memo, the thread-local chunk map,
+    /// or the shared chunk cache.
+    pub spec_vm_chunk_hits: u64,
+    /// Specializer static-eval chunks compiled fresh.
+    pub spec_vm_chunk_misses: u64,
+    /// Call sites spliced into their caller during bytecode lowering
+    /// (cross-chunk inlining; counted at compile time, so chunk-cache hits
+    /// do not re-count them).
+    pub vm_inlined_calls: u64,
 }
 
 /// Reads the current VM counters.
@@ -55,11 +72,27 @@ pub fn vm_stats() -> VmStats {
         chunks_compiled: CHUNKS_COMPILED.load(Ordering::Relaxed),
         chunk_cache_hits: CHUNK_CACHE_HITS.load(Ordering::Relaxed),
         opcodes_executed: OPS_EXECUTED.load(Ordering::Relaxed),
+        spec_vm_evals: SPEC_VM_EVALS.load(Ordering::Relaxed),
+        spec_vm_chunk_hits: SPEC_VM_CHUNK_HITS.load(Ordering::Relaxed),
+        spec_vm_chunk_misses: SPEC_VM_CHUNK_MISSES.load(Ordering::Relaxed),
+        vm_inlined_calls: VM_INLINED_CALLS.load(Ordering::Relaxed),
     }
 }
 
 pub(crate) fn add_ops_executed(n: u64) {
     OPS_EXECUTED.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn note_spec_eval() {
+    SPEC_VM_EVALS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_spec_chunk_hit() {
+    SPEC_VM_CHUNK_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_inlined_call() {
+    VM_INLINED_CALLS.fetch_add(1, Ordering::Relaxed);
 }
 
 type ChunkMap = HashMap<(u64, u64), Arc<CompiledProgram>>;
@@ -130,6 +163,47 @@ pub fn compile_cached(
     }
     map.insert(key, Arc::clone(&cp));
     Ok((cp, false, n_chunks))
+}
+
+/// Namespace tag for specializer static-eval chunks in the shared map: a
+/// fixed first key component no real closure fingerprint will collide with
+/// in practice (two independent 64-bit spaces; the second component is the
+/// subtree's own Term fingerprint, which is content-addressed and therefore
+/// stable across runs and safe under wholesale eviction).
+const SPEC_MARKER: u64 = 0x5bec_e7a1_57a7_1c00;
+
+/// Compiles a specializer static-eval subtree through the shared chunk
+/// cache, keyed by the subtree's [`Term`] fingerprint.
+///
+/// The subtree is wrapped in a one-definition program whose parameters are
+/// the subtree's free variables in first-occurrence order — the calling
+/// convention of [`crate::VmStaticEval`]. Returns `None` when lowering
+/// fails structurally; failures are not cached (rare, cheap to
+/// rediscover).
+pub fn spec_chunk(key: u64, body: &Expr, params: &[Symbol]) -> Option<Arc<CompiledProgram>> {
+    let map_key = (SPEC_MARKER, key);
+    {
+        let map = cache().lock().expect("chunk cache poisoned");
+        if let Some(found) = map.get(&map_key) {
+            SPEC_VM_CHUNK_HITS.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(found));
+        }
+    }
+    SPEC_VM_CHUNK_MISSES.fetch_add(1, Ordering::Relaxed);
+    let program = Program::new(vec![FunDef::new(
+        Symbol::intern("spec_eval_chunk"),
+        params.to_vec(),
+        body.clone(),
+    )])
+    .ok()?;
+    let cp = Arc::new(compile::compile(&program).ok()?);
+    CHUNKS_COMPILED.fetch_add(cp.chunks.len() as u64, Ordering::Relaxed);
+    let mut map = cache().lock().expect("chunk cache poisoned");
+    if map.len() >= CACHE_CAP {
+        map.clear();
+    }
+    map.insert(map_key, Arc::clone(&cp));
+    Some(cp)
 }
 
 #[cfg(test)]

@@ -40,11 +40,13 @@
 pub mod cache;
 pub mod chunk;
 pub mod compile;
+mod spec_eval;
 mod vm;
 
 pub use cache::{compile_cached, vm_stats, VmStats};
 pub use chunk::{Chunk, CompiledProgram, LambdaSite, Op};
-pub use compile::{compile, CompileError, CompileErrorKind};
+pub use compile::{compile, compile_with, CompileError, CompileErrorKind, CompileOptions};
+pub use spec_eval::VmStaticEval;
 pub use vm::{execute_main, ExecReport, Vm, VmOptions};
 
 #[cfg(test)]

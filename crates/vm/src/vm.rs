@@ -330,6 +330,11 @@ pub struct Vm {
     opts: VmOptions,
     fuel: u64,
     last_ops: u64,
+    /// Recycled register storage: cleared between runs, capacity kept.
+    /// The specializer's static-eval path replays thousands of tiny
+    /// chunks per run, where a fresh allocation would rival the whole
+    /// execution.
+    regs_buf: Vec<Value>,
 }
 
 struct Frame {
@@ -352,6 +357,7 @@ impl Vm {
             opts,
             fuel: opts.fuel,
             last_ops: 0,
+            regs_buf: Vec::new(),
         }
     }
 
@@ -363,12 +369,12 @@ impl Vm {
     /// Any [`EvalError`], with the same classification the AST evaluator
     /// would produce on the same program and arguments.
     pub fn run_main(&mut self, cp: &CompiledProgram, args: &[Value]) -> Result<Value, EvalError> {
-        let entry = cp
-            .chunks
-            .first()
-            .map(|c| c.name)
-            .ok_or_else(|| EvalError::UnknownFunction(Symbol::intern("<empty program>")))?;
-        self.run(cp, entry, args)
+        if cp.chunks.is_empty() {
+            return Err(EvalError::UnknownFunction(Symbol::intern(
+                "<empty program>",
+            )));
+        }
+        self.run_at(cp, 0, args)
     }
 
     /// Runs a named function; resets fuel.
@@ -383,9 +389,25 @@ impl Vm {
         args: &[Value],
     ) -> Result<Value, EvalError> {
         self.fuel = self.opts.fuel;
+        let entry = *cp
+            .by_name
+            .get(&name)
+            .ok_or(EvalError::UnknownFunction(name))?;
+        self.run_at(cp, entry, args)
+    }
+
+    /// Runs the chunk at `entry`; resets fuel. The hot entry for the
+    /// spec-eval path: no symbol lookup (main is always chunk 0).
+    fn run_at(
+        &mut self,
+        cp: &CompiledProgram,
+        entry: u32,
+        args: &[Value],
+    ) -> Result<Value, EvalError> {
+        self.fuel = self.opts.fuel;
         let deadline_at = self.opts.deadline.map(|d| Instant::now() + d);
         let mut ops: u64 = 0;
-        let out = self.exec(cp, name, args, deadline_at, &mut ops);
+        let out = self.exec(cp, entry, args, deadline_at, &mut ops);
         self.last_ops = ops;
         cache::add_ops_executed(ops);
         out
@@ -404,21 +426,17 @@ impl Vm {
     fn exec(
         &mut self,
         cp: &CompiledProgram,
-        name: Symbol,
+        entry: u32,
         args: &[Value],
         deadline_at: Option<Instant>,
         ops: &mut u64,
     ) -> Result<Value, EvalError> {
-        // Entry protocol mirrors `Evaluator::apply_named`:
-        // lookup → arity → fuel → depth.
-        let entry = *cp
-            .by_name
-            .get(&name)
-            .ok_or(EvalError::UnknownFunction(name))?;
+        // Entry protocol mirrors `Evaluator::apply_named` (the caller
+        // resolved the name): arity → fuel → depth.
         let mut chunk: &Chunk = &cp.chunks[entry as usize];
         if usize::from(chunk.arity) != args.len() {
             return Err(EvalError::Arity {
-                function: name,
+                function: chunk.name,
                 expected: usize::from(chunk.arity),
                 got: args.len(),
             });
@@ -431,15 +449,23 @@ impl Vm {
             return Err(EvalError::DepthExceeded);
         }
 
-        let mut regs: Vec<Value> = Vec::with_capacity(usize::from(chunk.n_regs));
+        let mut regs: Vec<Value> = mem::take(&mut self.regs_buf);
+        regs.clear();
+        regs.reserve(usize::from(chunk.n_regs));
         regs.extend_from_slice(args);
         regs.resize(usize::from(chunk.n_regs), nil());
         let mut frames: Vec<Frame> = Vec::new();
         let mut cur_chunk: u32 = entry;
         let mut pc: usize = 0;
         let mut base: usize = 0;
+        // Calls the compiler spliced into their caller have no frame, but
+        // the oracle still counts them against the call-depth budget; the
+        // EnterInline/LeaveInline markers keep this balanced counter so
+        // every depth check below sees the same effective depth the
+        // uninlined program would.
+        let mut inline_depth: u32 = 0;
 
-        loop {
+        let out = (|| loop {
             let op = chunk.code[pc];
             pc += 1;
             *ops += 1;
@@ -589,6 +615,19 @@ impl Vm {
                     let v = prim.eval(&regs[lo..lo + usize::from(n)])?;
                     regs[base + usize::from(dst)] = v;
                 }
+                Op::EnterInline => {
+                    // Exactly the charge sequence of the Op::Call this
+                    // marker replaced: fuel, then depth.
+                    if self.fuel == 0 {
+                        return Err(EvalError::OutOfFuel);
+                    }
+                    self.fuel -= 1;
+                    if frames.len() as u32 + inline_depth + 1 >= self.opts.max_depth {
+                        return Err(EvalError::DepthExceeded);
+                    }
+                    inline_depth += 1;
+                }
+                Op::LeaveInline => inline_depth -= 1,
                 Op::Release { src } => {
                     regs[base + usize::from(src)] = nil();
                 }
@@ -610,7 +649,7 @@ impl Vm {
                         return Err(EvalError::OutOfFuel);
                     }
                     self.fuel -= 1;
-                    if frames.len() as u32 + 1 >= self.opts.max_depth {
+                    if frames.len() as u32 + inline_depth + 1 >= self.opts.max_depth {
                         return Err(EvalError::DepthExceeded);
                     }
                     frames.push(Frame {
@@ -647,7 +686,7 @@ impl Vm {
                                 return Err(EvalError::OutOfFuel);
                             }
                             self.fuel -= 1;
-                            if frames.len() as u32 + 1 >= self.opts.max_depth {
+                            if frames.len() as u32 + inline_depth + 1 >= self.opts.max_depth {
                                 return Err(EvalError::DepthExceeded);
                             }
                             frames.push(Frame {
@@ -675,7 +714,7 @@ impl Vm {
                                 return Err(EvalError::OutOfFuel);
                             }
                             self.fuel -= 1;
-                            if frames.len() as u32 + 1 >= self.opts.max_depth {
+                            if frames.len() as u32 + inline_depth + 1 >= self.opts.max_depth {
                                 return Err(EvalError::DepthExceeded);
                             }
                             let site = match (env.lookup(instance_key()), env.lookup(site_key())) {
@@ -744,7 +783,11 @@ impl Vm {
                 }
                 Op::Fail { err } => return Err(cp.errors[err as usize].clone()),
             }
-        }
+        })();
+        // Drop this run's values now, keep the capacity for the next.
+        regs.clear();
+        self.regs_buf = regs;
+        out
     }
 }
 

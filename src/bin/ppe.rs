@@ -152,7 +152,8 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage: ppe run <file> [inputs…] [--engine vm|ast] [--fuel N] [--deadline-ms N]\n\
      \u{20}      ppe <specialize|analyze> <file> [inputs…] [--facets LIST] [--offline] [--constraints]\n\
-     \u{20}       [--fuel N] [--deadline-ms N] [--max-residual-size N] [--on-exhaustion=fail|degrade]\n\
+     \u{20}       [--spec-engine vm|ast] [--fuel N] [--deadline-ms N] [--max-residual-size N]\n\
+     \u{20}       [--on-exhaustion=fail|degrade]\n\
      \u{20}      ppe check <file> [inputs…] [--facets LIST] [--format text|json]\n\
      \u{20}      ppe check --impact <old.sexp> <new.sexp> [--format text|json]\n\
      \u{20}      ppe verify-facets [--facets LIST]\n\
@@ -180,6 +181,9 @@ struct Opts {
     on_exhaustion: ExhaustionPolicy,
     json: bool,
     engine: ExecEngine,
+    /// Run the specializer's static evaluation on the bytecode VM
+    /// (`--spec-engine`, default on; `ast` selects the oracle tree walk).
+    spec_vm: bool,
     impact: bool,
 }
 
@@ -209,6 +213,9 @@ impl Opts {
         if let Some(cap) = self.max_residual_size {
             config.max_residual_size = cap;
         }
+        if self.spec_vm {
+            config.spec_eval = Some(std::sync::Arc::new(ppe_vm::VmStaticEval));
+        }
         config
     }
 }
@@ -227,6 +234,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut on_exhaustion = ExhaustionPolicy::Fail;
     let mut json = false;
     let mut engine = ExecEngine::Ast;
+    let mut spec_vm = true;
     let mut impact = false;
     // Flags that take a value accept both `--flag VALUE` and `--flag=VALUE`.
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -300,6 +308,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     other => return Err(format!("--engine must be vm or ast, got `{other}`")),
                 };
             }
+            "--spec-engine" => {
+                let v = take_value(args, &mut i, "--spec-engine")?;
+                spec_vm = match v.as_str() {
+                    "vm" => true,
+                    "ast" => false,
+                    other => return Err(format!("--spec-engine must be vm or ast, got `{other}`")),
+                };
+            }
             _ => {
                 if file.is_none() {
                     file = Some(arg.clone());
@@ -324,6 +340,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         on_exhaustion,
         json,
         engine,
+        spec_vm,
         impact,
     })
 }
