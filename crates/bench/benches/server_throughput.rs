@@ -254,7 +254,7 @@ fn main() {
         ("warm_disk_rps", Json::Num(incr_warm_disk_rps)),
     ]);
 
-    let report = Json::obj(vec![
+    let mut report = Json::obj(vec![
         ("benchmark", Json::str("server_throughput")),
         ("requests", Json::num(requests.len() as u64)),
         ("distinct_keys", Json::num(distinct as u64)),
@@ -265,6 +265,17 @@ fn main() {
     ]);
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    // The `network` phase is owned by the `load_suite` bin; keep it so the
+    // two benchmarks can refresh the report independently.
+    if let Some(network) = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|text| Json::parse(text.trim()).ok())
+        .and_then(|prev| prev.get("network").cloned())
+    {
+        if let Json::Obj(map) = &mut report {
+            map.insert("network".to_owned(), network);
+        }
+    }
     std::fs::write(out, report.render() + "\n").expect("write BENCH_server.json");
     println!("wrote {out}");
 }

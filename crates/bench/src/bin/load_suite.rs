@@ -1,0 +1,448 @@
+//! Sustained-load benchmark for the TCP front-end (`ppe serve --listen`).
+//!
+//! Drives an in-process [`NetServer`] over loopback with N pipelined
+//! client connections and a cold/warm/degrade traffic mix, and records
+//! requests/second, *measured* client-side p50/p99 latency (every request
+//! is individually timed; no histogram estimation), and the shed rate
+//! into the `network` phase of `BENCH_server.json` — merged into the
+//! file, so the `results`/`persistence`/`incremental` phases written by
+//! `server_throughput` survive.
+//!
+//! Three measurements:
+//!
+//! 1. **In-process baseline**: the same warm workload through
+//!    [`run_batch`] at jobs=4 — the no-network ceiling (`warm_mem_rps`).
+//! 2. **Warm TCP**: 4 pipelined connections, every request a cache hit.
+//!    The acceptance target is `warm_tcp_rps` within 2× of the
+//!    in-process baseline (`tcp_over_mem ≥ 0.5`).
+//! 3. **Mixed sustained load** at ≥2 connection counts (4 and 16): 90%
+//!    warm repeats, 5% cold (distinct programs, each a real
+//!    specialization), 5% deadline-bound degrade traffic. With
+//!    `max_inflight = 4`, the 16-connection run oversubscribes the
+//!    governor and the shed rate becomes visible.
+//!
+//! Latency under pipelining is time-in-pipeline (send to response, with
+//! up to `WINDOW-1` requests queued ahead) — the honest client view of a
+//! saturated service, which is exactly what a p99 under load should
+//! describe. `PPE_BENCH_QUICK=1` shrinks the workload for CI smoke runs.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use ppe_server::{
+    run_batch, BatchOptions, Json, NetOptions, NetServer, ServiceConfig, SpecializeRequest,
+    SpecializeService,
+};
+
+const POWER: &str = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+const SUM_TO: &str = "(define (sum-to x n) (if (= n 0) x (+ x (sum-to x (- n 1)))))";
+const IPROD: &str = "(define (iprod a b) (let ((n (vsize a))) (dotprod a b n)))
+(define (dotprod a b n)
+  (if (= n 0) 0.0
+      (+ (* (vref a n) (vref b n)) (dotprod a b (- n 1)))))";
+
+/// Outstanding pipelined requests per connection in the mixed phases —
+/// also the pipeline depth bound on reported latency.
+const WINDOW: usize = 16;
+
+/// Window for the warm throughput phase: deeper pipelining amortizes
+/// the client/server context switches that dominate on a single core.
+const WARM_WINDOW: usize = 64;
+
+/// Worker parallelism the governor admits before shedding (the `--jobs`
+/// analog; also the baseline's batch parallelism).
+const JOBS: u64 = 4;
+
+fn quick() -> bool {
+    std::env::var_os("PPE_BENCH_QUICK").is_some()
+}
+
+/// The twelve warm request shapes — the same mix `server_throughput`
+/// uses, expressed as wire-protocol objects so the TCP phases and the
+/// in-process baseline run byte-identical requests.
+fn warm_templates() -> Vec<Json> {
+    let mut templates = Vec::new();
+    for n in [24, 32, 40, 48] {
+        templates.push(Json::obj(vec![
+            ("program", Json::str(POWER)),
+            ("inputs", Json::str(format!("_ {n}"))),
+            (
+                "facets",
+                Json::Arr(vec![Json::str("sign"), Json::str("parity")]),
+            ),
+        ]));
+    }
+    for n in [24, 32, 40, 48] {
+        templates.push(Json::obj(vec![
+            ("program", Json::str(SUM_TO)),
+            ("inputs", Json::str(format!("_ {n}"))),
+            ("facets", Json::Arr(vec![Json::str("sign")])),
+            ("engine", Json::str("offline")),
+        ]));
+    }
+    for n in [8, 12, 16, 20] {
+        templates.push(Json::obj(vec![
+            ("program", Json::str(IPROD)),
+            ("inputs", Json::str(format!("_:size={n} _:size={n}"))),
+            ("facets", Json::Arr(vec![Json::str("size")])),
+        ]));
+    }
+    templates
+}
+
+/// One request line: a template plus an `id`.
+fn with_id(template: &Json, id: u64) -> String {
+    let mut v = template.clone();
+    if let Json::Obj(map) = &mut v {
+        map.insert("id".to_owned(), Json::num(id));
+    }
+    v.render()
+}
+
+/// A cold request: a program no other request ever names, so it is a
+/// guaranteed cache miss and a real specialization.
+fn cold_line(conn: usize, i: usize, id: u64) -> String {
+    let program = format!(
+        "(define (cold{conn}x{i} x n) (if (= n 0) {base} (* x (cold{conn}x{i} x (- n 1)))))",
+        base = i + 1
+    );
+    Json::obj(vec![
+        ("id", Json::num(id)),
+        ("program", Json::str(program)),
+        ("inputs", Json::str("_ 16")),
+    ])
+    .render()
+}
+
+/// A degrade request: an infinitely-unfolding program under a tight
+/// deadline with `Degrade` — deterministic milliseconds of engine work
+/// ending in a correct (generalized) residual. Distinct per call so the
+/// cache never short-circuits it.
+fn degrade_line(conn: usize, i: usize, id: u64) -> String {
+    let program = format!("(define (spin{conn}x{i} x n) (spin{conn}x{i} x (+ n 1)))");
+    Json::obj(vec![
+        ("id", Json::num(id)),
+        ("program", Json::str(program)),
+        ("inputs", Json::str("_ 0")),
+        ("deadline_ms", Json::num(2)),
+        ("fuel", Json::num(1_000_000_000)),
+        ("max_unfold_depth", Json::num(1_000_000_000)),
+        ("max_specializations", Json::num(1_000_000_000)),
+        ("on_exhaustion", Json::str("degrade")),
+    ])
+    .render()
+}
+
+/// What one load phase measured, merged over all client connections.
+#[derive(Default)]
+struct PhaseStats {
+    latencies_us: Vec<u64>,
+    shed: u64,
+    errors: u64,
+    requests: u64,
+    elapsed_secs: f64,
+}
+
+impl PhaseStats {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.elapsed_secs
+    }
+
+    /// Exact quantile over the individually-measured latencies.
+    fn quantile_us(&self, q: f64) -> u64 {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    fn shed_rate(&self) -> f64 {
+        self.shed as f64 / self.requests.max(1) as f64
+    }
+}
+
+/// Drives `connections` pipelined clients, each sending `per_conn`
+/// requests produced by `line(conn, i, id)`.
+fn drive(
+    addr: SocketAddr,
+    connections: usize,
+    per_conn: usize,
+    window: usize,
+    line: impl Fn(usize, usize, u64) -> String + Sync,
+) -> PhaseStats {
+    // Render every request line before the clock starts: the client
+    // shares the single core with the server under test, so per-request
+    // JSON-building would be charged against the measured throughput.
+    let scripts: Vec<Vec<String>> = (0..connections)
+        .map(|conn| {
+            (0..per_conn)
+                .map(|i| line(conn, i, (conn * per_conn + i) as u64))
+                .collect()
+        })
+        .collect();
+    let start = Instant::now();
+    let per_thread: Vec<PhaseStats> = thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).expect("nodelay");
+                    // A pipelined window of multi-KB responses overflows the
+                    // default 8 KiB buffer ~20 times per drain; size the
+                    // reader so draining a burst costs one or two syscalls.
+                    let mut reader = BufReader::with_capacity(
+                        256 * 1024,
+                        stream.try_clone().expect("clone stream"),
+                    );
+                    let mut writer = BufWriter::with_capacity(64 * 1024, stream);
+                    let mut stats = PhaseStats::default();
+                    let mut pending: VecDeque<Instant> = VecDeque::with_capacity(window);
+                    let mut response = String::new();
+                    let mut read_one = |pending: &mut VecDeque<Instant>, stats: &mut PhaseStats| {
+                        response.clear();
+                        let n = reader.read_line(&mut response).expect("read response");
+                        assert!(n > 0, "server closed mid-phase");
+                        let sent = pending.pop_front().expect("response without request");
+                        stats
+                            .latencies_us
+                            .push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+                        // Both markers live in the response's sorted-key
+                        // tail (`shed` < `stats` < `wall_us`; `ok:false`
+                        // precedes the trailing `wall_us`), so a bounded
+                        // suffix scan replaces two full scans of a
+                        // multi-KB line.
+                        let tail = &response[response.len().saturating_sub(400)..];
+                        if tail.contains("\"shed\":true") {
+                            stats.shed += 1;
+                        }
+                        if tail.contains("\"ok\":false") {
+                            stats.errors += 1;
+                        }
+                        stats.requests += 1;
+                    };
+                    for request in script {
+                        // Flush a burst and drain half the window at once:
+                        // one send syscall per window/2 requests instead of
+                        // one per request. Timestamps are taken at buffered-
+                        // write time, so client-side queueing counts toward
+                        // (never against) the reported latency.
+                        if pending.len() >= window {
+                            writer.flush().expect("flush burst");
+                            for _ in 0..window / 2 {
+                                read_one(&mut pending, &mut stats);
+                            }
+                        }
+                        pending.push_back(Instant::now());
+                        writer.write_all(request.as_bytes()).expect("send");
+                        writer.write_all(b"\n").expect("send");
+                    }
+                    writer.flush().expect("flush tail");
+                    while !pending.is_empty() {
+                        read_one(&mut pending, &mut stats);
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let mut merged = PhaseStats {
+        elapsed_secs: start.elapsed().as_secs_f64(),
+        ..PhaseStats::default()
+    };
+    for s in per_thread {
+        merged.latencies_us.extend(s.latencies_us);
+        merged.shed += s.shed;
+        merged.errors += s.errors;
+        merged.requests += s.requests;
+    }
+    merged
+}
+
+fn phase_json(
+    label: &str,
+    connections: usize,
+    stats: &PhaseStats,
+    extra: Vec<(&str, Json)>,
+) -> Json {
+    println!(
+        "{label:>5} conns={connections:>2}: {:>8.0} rps, p50 {:>5} us, p99 {:>6} us, shed {:>5.1}%, {} errors",
+        stats.rps(),
+        stats.quantile_us(0.50),
+        stats.quantile_us(0.99),
+        stats.shed_rate() * 100.0,
+        stats.errors,
+    );
+    let mut fields = vec![
+        ("connections", Json::num(connections as u64)),
+        ("requests", Json::num(stats.requests)),
+        ("rps", Json::Num(stats.rps())),
+        ("p50_us", Json::num(stats.quantile_us(0.50))),
+        ("p99_us", Json::num(stats.quantile_us(0.99))),
+        ("shed_rate", Json::Num(stats.shed_rate())),
+        ("errors", Json::num(stats.errors)),
+    ];
+    fields.extend(extra);
+    Json::obj(fields)
+}
+
+fn main() {
+    let warm = warm_templates();
+    let (warm_per_conn, mixed_per_conn) = if quick() { (300, 100) } else { (8000, 2500) };
+
+    // Phase 0 — in-process baseline: the warm workload through the batch
+    // driver at jobs=4, service pre-warmed, no network anywhere.
+    let baseline_requests: Vec<SpecializeRequest> = (0..warm.len() * 20)
+        .map(|i| {
+            let parsed = Json::parse(&with_id(&warm[i % warm.len()], i as u64)).expect("warm json");
+            SpecializeRequest::from_json(&parsed).expect("warm request")
+        })
+        .collect();
+    let baseline_service = SpecializeService::new(ServiceConfig::default());
+    run_batch(
+        &baseline_service,
+        &baseline_requests,
+        BatchOptions {
+            jobs: JOBS as usize,
+        },
+    );
+    let reps = if quick() { 5 } else { 50 };
+    let start = Instant::now();
+    for _ in 0..reps {
+        for r in run_batch(
+            &baseline_service,
+            &baseline_requests,
+            BatchOptions {
+                jobs: JOBS as usize,
+            },
+        ) {
+            assert!(r.outcome.is_ok(), "baseline request failed");
+        }
+    }
+    let warm_mem_rps = (reps * baseline_requests.len()) as f64 / start.elapsed().as_secs_f64();
+    println!("base  jobs={JOBS}: {warm_mem_rps:>8.0} rps in-process warm");
+
+    // The server under test: ephemeral loopback port, governor at
+    // max_inflight = JOBS, drained at the end via an admin connection.
+    let server = Arc::new(NetServer::bind("127.0.0.1:0").expect("bind loopback"));
+    let addr = server.local_addr();
+    let server_thread = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || {
+            let service = SpecializeService::new(ServiceConfig::default());
+            server
+                .run(
+                    &service,
+                    NetOptions {
+                        max_connections: 64,
+                        max_inflight: JOBS,
+                        ..NetOptions::default()
+                    },
+                )
+                .expect("server run")
+        })
+    };
+
+    // Pre-warm the server's cache over the wire so the warm phase
+    // measures hits, not first-touch specializations.
+    let warmup = drive(addr, 1, warm.len(), 1, |_, i, id| with_id(&warm[i], id));
+    assert_eq!(warmup.errors, 0, "warm-up requests failed");
+
+    // Phase 1 — warm TCP at jobs-many connections: the 2× target.
+    let warm_stats = drive(
+        addr,
+        JOBS as usize,
+        warm_per_conn,
+        WARM_WINDOW,
+        |_, i, id| with_id(&warm[i % warm.len()], id),
+    );
+    assert_eq!(warm_stats.errors, 0, "warm phase saw errors");
+    let tcp_over_mem = warm_stats.rps() / warm_mem_rps;
+    let warm_json = phase_json("warm", JOBS as usize, &warm_stats, vec![]);
+    println!(
+        "warm TCP vs in-process: {:.2}x (target ≥ 0.5)",
+        tcp_over_mem
+    );
+    if !quick() && tcp_over_mem < 0.5 {
+        println!("WARNING: warm TCP throughput fell below half the in-process baseline");
+    }
+
+    // Phase 2 — sustained mixed load at two connection counts. Every
+    // 20th request is cold (fresh program), every 20th+10 is a
+    // deadline-bound degrade; the rest are warm repeats.
+    let mixed_line = |conn: usize, i: usize, id: u64| -> String {
+        if i.is_multiple_of(20) {
+            cold_line(conn, i, id)
+        } else if i % 20 == 10 {
+            degrade_line(conn, i, id)
+        } else {
+            with_id(&warm[i % warm.len()], id)
+        }
+    };
+    let mut mixed_json = Vec::new();
+    for connections in [4usize, 16] {
+        let stats = drive(addr, connections, mixed_per_conn, WINDOW, mixed_line);
+        assert_eq!(stats.errors, 0, "mixed phase saw errors");
+        mixed_json.push(phase_json(
+            "mixed",
+            connections,
+            &stats,
+            vec![
+                ("cold_fraction", Json::Num(0.05)),
+                ("degrade_fraction", Json::Num(0.05)),
+            ],
+        ));
+    }
+
+    // Graceful shutdown: ack must arrive, then the server thread joins.
+    let admin = TcpStream::connect(addr).expect("admin connect");
+    admin.set_nodelay(true).expect("nodelay");
+    let mut admin_reader = BufReader::new(admin.try_clone().expect("clone admin"));
+    let mut admin_writer = admin;
+    admin_writer
+        .write_all(b"{\"cmd\":\"shutdown\"}\n")
+        .expect("send shutdown");
+    let mut ack = String::new();
+    admin_reader.read_line(&mut ack).expect("shutdown ack");
+    assert!(ack.contains("\"shutdown\":true"), "bad shutdown ack: {ack}");
+    let summary = server_thread.join().expect("server thread");
+    println!(
+        "server summary: {} connections ({} refused), {} requests, {} errors",
+        summary.connections, summary.refused, summary.requests, summary.errors
+    );
+
+    let network = Json::obj(vec![
+        ("jobs", Json::num(JOBS)),
+        ("warm_mem_rps", Json::Num(warm_mem_rps)),
+        ("warm_tcp_rps", Json::Num(warm_stats.rps())),
+        ("tcp_over_mem", Json::Num(tcp_over_mem)),
+        ("window", Json::num(WARM_WINDOW as u64)),
+        ("mixed_window", Json::num(WINDOW as u64)),
+        ("warm", warm_json),
+        ("mixed", Json::Arr(mixed_json)),
+    ]);
+
+    // Merge into BENCH_server.json: replace only the `network` key so the
+    // phases written by `server_throughput` survive (and vice versa).
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    let mut report = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|text| Json::parse(text.trim()).ok())
+        .unwrap_or_else(|| Json::obj(vec![("benchmark", Json::str("server_throughput"))]));
+    if let Json::Obj(map) = &mut report {
+        map.insert("network".to_owned(), network);
+    }
+    std::fs::write(out, report.render() + "\n").expect("write BENCH_server.json");
+    println!("wrote {out}");
+}

@@ -172,20 +172,34 @@ impl Json {
 
 fn write_json_string(s: &str, out: &mut String) {
     use fmt::Write as _;
+    out.reserve(s.len() + 2);
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+    // Copy maximal clean runs with one `push_str` instead of pushing
+    // char-by-char: every byte needing an escape is ASCII, so the run
+    // boundaries always fall on char boundaries, and multi-byte UTF-8
+    // rides along inside the runs untouched. On the serve hot path
+    // (multi-KB residual texts in every response) this is the difference
+    // between ~0.3 GB/s and memcpy-speed rendering.
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'"' && b != b'\\' && b >= 0x20 {
+            continue;
         }
+        out.push_str(&s[start..i]);
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\r' => out.push_str("\\r"),
+            b'\t' => out.push_str("\\t"),
+            _ => {
+                let _ = write!(out, "\\u{:04x}", b);
+            }
+        }
+        start = i + 1;
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 
@@ -270,9 +284,28 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
-            let Some(b) = self.peek() else {
-                return Err("unterminated string".to_owned());
-            };
+            // Copy the maximal run free of quotes, escapes, and control
+            // bytes in one shot rather than char-by-char. The input came
+            // from a `&str` and every byte that ends a run is ASCII, so
+            // runs begin and end on UTF-8 boundaries; the `from_utf8` is
+            // a (cheap, vectorized) re-check, not a decode.
+            let start = self.pos;
+            loop {
+                match self.bytes.get(self.pos) {
+                    None => return Err("unterminated string".to_owned()),
+                    Some(&b'"') | Some(&b'\\') => break,
+                    Some(&b) if b < 0x20 => {
+                        return Err("raw control character in string".to_owned())
+                    }
+                    Some(_) => self.pos += 1,
+                }
+            }
+            if self.pos > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid utf-8".to_owned())?;
+                out.push_str(run);
+            }
+            let b = self.bytes[self.pos];
             self.pos += 1;
             match b {
                 b'"' => return Ok(out),
@@ -313,20 +346,9 @@ impl<'a> Parser<'a> {
                         }
                     }
                 }
-                b if b < 0x20 => return Err("raw control character in string".to_owned()),
-                _ => {
-                    // Re-decode the UTF-8 sequence starting at b.
-                    let start = self.pos - 1;
-                    let width = utf8_width(b);
-                    let end = start + width;
-                    let chunk = self
-                        .bytes
-                        .get(start..end)
-                        .ok_or_else(|| "truncated utf-8".to_owned())?;
-                    let s = std::str::from_utf8(chunk).map_err(|_| "invalid utf-8".to_owned())?;
-                    out.push_str(s);
-                    self.pos = end;
-                }
+                // The run scan stops only on `"`, `\`, or a control byte,
+                // and control bytes error out inside it.
+                _ => unreachable!("run scan stops on quote or backslash"),
             }
         }
     }
@@ -391,15 +413,6 @@ impl<'a> Parser<'a> {
                 _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
             }
         }
-    }
-}
-
-fn utf8_width(first: u8) -> usize {
-    match first {
-        0x00..=0x7F => 1,
-        0xC0..=0xDF => 2,
-        0xE0..=0xEF => 3,
-        _ => 4,
     }
 }
 

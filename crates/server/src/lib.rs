@@ -12,6 +12,10 @@
 //!   big-stack worker threads; responses come back in request order.
 //! - [`serve`] — a JSON-lines request/response loop (one line in, one line
 //!   out, in order) for driving the service from another process.
+//! - [`NetServer`] — the TCP front-end: the same line protocol per
+//!   connection, with bounded concurrency, deadline-clamping/load-shedding
+//!   admission control ([`RequestGovernor`]), graceful drain, and
+//!   `health`/`ready`/Prometheus-`metrics` control commands.
 //!
 //! The central design constraint is that the engines' abstract values are
 //! `Rc`-backed and must stay on one thread. So a [`SpecializeRequest`] is
@@ -32,6 +36,7 @@ mod engine;
 pub mod json;
 pub mod key;
 pub mod metrics;
+pub mod net;
 pub mod persist;
 pub mod request;
 pub mod serve;
@@ -43,16 +48,20 @@ pub use driver::{run_batch, BatchOptions, WORKER_STACK_BYTES};
 pub use engine::EngineContext;
 pub use json::Json;
 pub use key::{analysis_key, residual_key, CacheKey};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{Metrics, MetricsSnapshot, WALL_BUCKETS};
+pub use net::{NetOptions, NetServer, NetSummary};
 pub use persist::{
     DiskStats, FaultKind, FaultReport, GcReport, PersistConfig, PersistMode, PersistTier,
     StaleGcReport, FORMAT_VERSION,
 };
 pub use request::{
-    CacheDisposition, Engine, ExecEngine, ExecOutcome, ExecuteRequest, SpecializeOutput,
-    SpecializeRequest, SpecializeResponse,
+    CacheDisposition, Engine, ExecEngine, ExecOutcome, ExecuteRequest, RenderedHit,
+    SpecializeOutput, SpecializeRequest, SpecializeResponse, MAX_WIRE_RECURSION_DEPTH,
 };
-pub use serve::{serve, ServeOptions, ServeSummary, MAX_LINE_BYTES};
+pub use serve::{
+    handle_session, serve, RequestGovernor, ServeOptions, ServeSummary, SessionOptions,
+    MAX_LINE_BYTES,
+};
 pub use service::{ServiceConfig, SpecializeService};
 
 #[cfg(test)]

@@ -1,0 +1,591 @@
+//! The TCP front-end: a long-running network server over the serve-loop
+//! protocol.
+//!
+//! Dependency-free by design (the workspace builds with no registry
+//! access): `std::net` listener, one OS thread per connection, and a
+//! hand-rolled counting semaphore bounding accepted connections. Each
+//! connection runs the same [`handle_session`] line loop as stdio
+//! `ppe serve` — JSON-lines in, JSON-lines out, 1 MiB line cap, bad-UTF-8
+//! survival — with three network-only layers on top:
+//!
+//! - **Admission control** ([`RequestGovernor`]): every request's deadline
+//!   is clamped to `--request-deadline-ms`, and once `max_inflight`
+//!   requests are executing, further arrivals are *shed* — forced onto
+//!   `Degrade` with a tight deadline and answered with `"shed": true`
+//!   rather than refused.
+//! - **Bounded accept**: at most `max_connections` sessions exist at
+//!   once; excess connections queue in the OS accept backlog instead of
+//!   spawning unbounded threads.
+//! - **Graceful drain**: `{"cmd":"shutdown"}` on any connection (or
+//!   [`NetServer::drain`]) stops accepting, lets every in-flight request
+//!   finish and flush its response, refuses late connections with a
+//!   structured error line, then returns from [`NetServer::run`] so the
+//!   caller can flush final metrics.
+//!
+//! Idle sessions notice the drain flag through a short read timeout: the
+//! socket read wakes every [`DRAIN_POLL`], the session polls the flag via
+//! the interrupt hook, and goes back to reading if the server is still
+//! up. The accept loop itself is woken by a loopback self-connection, so
+//! a drain triggered from another thread never waits on a client.
+
+use std::cell::RefCell;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crate::driver::WORKER_STACK_BYTES;
+use crate::serve::{handle_session, RequestGovernor, ServeSummary, SessionOptions};
+use crate::service::SpecializeService;
+
+/// How often an idle session wakes from a blocked read to poll the drain
+/// flag. Short enough that drain latency is invisible next to in-flight
+/// work; long enough that idle sessions cost nothing measurable.
+pub const DRAIN_POLL: Duration = Duration::from_millis(50);
+
+/// Knobs for one [`NetServer::run`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct NetOptions {
+    /// Most sessions alive at once; further connections wait in the OS
+    /// accept backlog.
+    pub max_connections: usize,
+    /// Shed requests once this many are executing (typically the worker
+    /// parallelism the host can sustain, i.e. `--jobs`).
+    pub max_inflight: u64,
+    /// Deadline cap applied to every request (`--request-deadline-ms`);
+    /// `None` leaves client deadlines untouched.
+    pub request_deadline: Option<Duration>,
+    /// Deadline forced onto shed requests.
+    pub shed_deadline: Duration,
+}
+
+impl Default for NetOptions {
+    fn default() -> NetOptions {
+        NetOptions {
+            max_connections: 64,
+            max_inflight: 4,
+            request_deadline: None,
+            shed_deadline: Duration::from_millis(50),
+        }
+    }
+}
+
+/// What one [`NetServer::run`] lifetime processed, summed over sessions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetSummary {
+    /// Connections accepted and served.
+    pub connections: u64,
+    /// Connections refused because the server was draining.
+    pub refused: u64,
+    /// Non-empty request lines consumed, over all sessions.
+    pub lines: u64,
+    /// Specialization requests dispatched (excludes control messages).
+    pub requests: u64,
+    /// Responses with `ok: false`.
+    pub errors: u64,
+}
+
+/// A bound TCP listener plus the server-wide drain flag.
+///
+/// Binding is separate from running so callers (and tests) can learn the
+/// ephemeral port before any client connects, and can trigger
+/// [`drain`](NetServer::drain) from another thread.
+#[derive(Debug)]
+pub struct NetServer {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    draining: AtomicBool,
+}
+
+/// A hand-rolled counting semaphore (std has none): bounds live sessions.
+#[derive(Debug)]
+struct Semaphore {
+    permits: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            permits: Mutex::new(permits),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut permits = self.permits.lock().expect("semaphore poisoned");
+        while *permits == 0 {
+            permits = self.freed.wait(permits).expect("semaphore poisoned");
+        }
+        *permits -= 1;
+    }
+
+    fn release(&self) {
+        *self.permits.lock().expect("semaphore poisoned") += 1;
+        self.freed.notify_one();
+    }
+}
+
+/// Releases a semaphore permit and decrements the active-connection gauge
+/// even if the session I/O errors out.
+struct SessionGuard<'a> {
+    semaphore: &'a Semaphore,
+    active: &'a AtomicU64,
+}
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Relaxed);
+        self.semaphore.release();
+    }
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`, or port `0` for an ephemeral
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Address resolution or bind failures.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(NetServer {
+            listener,
+            local_addr,
+            draining: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Triggers a graceful drain from any thread: stop accepting, finish
+    /// in-flight work, return from [`run`](NetServer::run). Idempotent.
+    pub fn drain(&self) {
+        self.draining.store(true, Relaxed);
+        // Wake the accept loop if it is blocked with no client in sight.
+        // The self-connection is then refused like any other late arrival;
+        // failure is fine — it means a real connection is already waking
+        // the loop.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Serves connections until drained.
+    ///
+    /// Each accepted connection gets its own big-stack session thread
+    /// running [`handle_session`] with this server's drain flag and a
+    /// [`RequestGovernor`] built from `options`. The call returns only
+    /// after every session thread has finished — in-flight requests
+    /// always flush their responses before the drain completes.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only; per-connection I/O errors end that
+    /// session and are absorbed into the summary.
+    pub fn run(&self, service: &SpecializeService, options: NetOptions) -> io::Result<NetSummary> {
+        let governor = RequestGovernor {
+            request_deadline: options.request_deadline,
+            max_inflight: options.max_inflight.max(1),
+            shed_deadline: options.shed_deadline,
+        };
+        let semaphore = Semaphore::new(options.max_connections.max(1));
+        let metrics = service.metrics();
+        let lines = AtomicU64::new(0);
+        let requests = AtomicU64::new(0);
+        let errors = AtomicU64::new(0);
+        let mut summary = NetSummary::default();
+
+        thread::scope(|scope| -> io::Result<()> {
+            loop {
+                semaphore.acquire();
+                let (stream, _peer) = match self.listener.accept() {
+                    Ok(accepted) => accepted,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                        semaphore.release();
+                        continue;
+                    }
+                    Err(e) => {
+                        semaphore.release();
+                        return Err(e);
+                    }
+                };
+                if self.draining.load(Relaxed) {
+                    summary.refused += 1;
+                    metrics.connections_refused.fetch_add(1, Relaxed);
+                    refuse(stream);
+                    semaphore.release();
+                    break;
+                }
+                summary.connections += 1;
+                metrics.connections.fetch_add(1, Relaxed);
+                metrics.connections_active.fetch_add(1, Relaxed);
+                let guard = SessionGuard {
+                    semaphore: &semaphore,
+                    active: &metrics.connections_active,
+                };
+                let (governor, lines, requests, errors) = (&governor, &lines, &requests, &errors);
+                let spawned = thread::Builder::new()
+                    .name("ppe-net-session".to_owned())
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn_scoped(scope, move || {
+                        let _guard = guard;
+                        let summary = serve_connection(service, &stream, governor, self);
+                        if let Ok(s) = summary {
+                            lines.fetch_add(s.lines, Relaxed);
+                            requests.fetch_add(s.requests, Relaxed);
+                            errors.fetch_add(s.errors, Relaxed);
+                        }
+                    });
+                if spawned.is_err() {
+                    // Thread exhaustion: shed the connection outright (its
+                    // guard just dropped, releasing the permit).
+                    summary.refused += 1;
+                    metrics.connections_refused.fetch_add(1, Relaxed);
+                }
+            }
+            // Draining: keep refusing queued and late connections with a
+            // structured error line (never a silent hangup) until every
+            // session thread has exited, then let the scope join them.
+            self.listener.set_nonblocking(true)?;
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        summary.refused += 1;
+                        metrics.connections_refused.fetch_add(1, Relaxed);
+                        refuse(stream);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if metrics.connections_active.load(Relaxed) == 0 {
+                            break;
+                        }
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+            Ok(())
+        })?;
+
+        summary.lines = lines.load(Relaxed);
+        summary.requests = requests.load(Relaxed);
+        summary.errors = errors.load(Relaxed);
+        Ok(summary)
+    }
+}
+
+/// Runs one connection's session with the drain-aware hooks installed.
+fn serve_connection(
+    service: &SpecializeService,
+    stream: &TcpStream,
+    governor: &RequestGovernor,
+    server: &NetServer,
+) -> io::Result<ServeSummary> {
+    stream.set_read_timeout(Some(DRAIN_POLL))?;
+    // Small request/response lines with Nagle enabled stall behind the
+    // peer's delayed ACKs (~40ms per window); responses must leave now.
+    stream.set_nodelay(true)?;
+    let on_shutdown = || server.drain();
+    let interrupt = || server.draining.load(Relaxed);
+    let session = SessionOptions {
+        governor: Some(governor),
+        draining: Some(&server.draining),
+        on_shutdown: Some(&on_shutdown),
+        interrupt: Some(&interrupt),
+    };
+    // Responses are buffered and hit the socket only when the session is
+    // about to block for more input (`FlushOnRead`), so a client
+    // pipelining a window of requests costs one write syscall per burst
+    // instead of one per response — the difference between ~25k and
+    // ~100k warm rps on a single core.
+    let writer = Rc::new(RefCell::new(BufWriter::with_capacity(
+        128 * 1024,
+        stream.try_clone()?,
+    )));
+    let input = BufReader::new(FlushOnRead {
+        inner: stream,
+        writer: Rc::clone(&writer),
+    });
+    let result = handle_session(service, input, SessionWriter(Rc::clone(&writer)), &session);
+    // The last responses (and the shutdown ack) may still be buffered:
+    // the session exits without a further read. Flush before hanging up.
+    let flushed = writer.borrow_mut().flush();
+    let summary = result?;
+    flushed?;
+    Ok(summary)
+}
+
+/// The read half of a session: flushes the shared response buffer before
+/// every refill, i.e. exactly when the session has exhausted buffered
+/// input and is about to block. A client waiting on a response is by
+/// definition not sending, so its session is about to block — no response
+/// is ever withheld from a waiting client. Flush failures surface as read
+/// errors, which end the session the same way a write error would.
+struct FlushOnRead<'a> {
+    inner: &'a TcpStream,
+    writer: Rc<RefCell<BufWriter<TcpStream>>>,
+}
+
+impl Read for FlushOnRead<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.writer.borrow_mut().flush()?;
+        self.inner.read(buf)
+    }
+}
+
+/// The write half of a session: appends to the shared buffer and treats
+/// per-line `flush()` as a no-op — real flushes happen in
+/// [`FlushOnRead::read`] and at session end.
+struct SessionWriter(Rc<RefCell<BufWriter<TcpStream>>>);
+
+impl Write for SessionWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.borrow_mut().write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Answers a refused (post-drain) connection with one structured error
+/// line so clients fail loudly, not on a silent hangup.
+fn refuse(mut stream: TcpStream) {
+    let _ =
+        stream.write_all(b"{\"error\":\"server is draining; connection refused\",\"ok\":false}\n");
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::service::{ServiceConfig, SpecializeService};
+    use std::io::{BufRead, BufReader};
+    use std::sync::Arc;
+
+    const POWER: &str = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+
+    fn request_line(id: u64, n: u64) -> String {
+        format!(r#"{{"id": {id}, "program": "{POWER}", "inputs": "_ {n}"}}"#)
+    }
+
+    struct Client {
+        stream: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let reader = BufReader::new(stream.try_clone().expect("clone"));
+            Client { stream, reader }
+        }
+
+        fn send(&mut self, line: &str) {
+            self.stream
+                .write_all(format!("{line}\n").as_bytes())
+                .expect("send");
+        }
+
+        fn recv(&mut self) -> String {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("recv");
+            line.trim_end().to_owned()
+        }
+
+        fn roundtrip(&mut self, line: &str) -> String {
+            self.send(line);
+            self.recv()
+        }
+    }
+
+    fn spawn_server(
+        options: NetOptions,
+    ) -> (
+        Arc<NetServer>,
+        SocketAddr,
+        thread::JoinHandle<io::Result<NetSummary>>,
+    ) {
+        let server = Arc::new(NetServer::bind("127.0.0.1:0").expect("bind"));
+        let addr = server.local_addr();
+        let handle = {
+            let server = Arc::clone(&server);
+            thread::spawn(move || {
+                let service = SpecializeService::new(ServiceConfig::default());
+                server.run(&service, options)
+            })
+        };
+        (server, addr, handle)
+    }
+
+    #[test]
+    fn specialize_health_ready_metrics_over_tcp() {
+        let (_server, addr, handle) = spawn_server(NetOptions::default());
+        let mut client = Client::connect(addr);
+
+        let response = client.roundtrip(&request_line(1, 3));
+        assert!(response.contains("\"ok\":true"), "{response}");
+        assert!(response.contains("\"id\":1"), "{response}");
+        assert!(response.contains("\"residual\""), "{response}");
+
+        let health = client.roundtrip(r#"{"cmd": "health"}"#);
+        assert!(health.contains("\"health\":\"ok\""), "{health}");
+        let ready = client.roundtrip(r#"{"cmd": "ready"}"#);
+        assert!(ready.contains("\"ready\":true"), "{ready}");
+
+        let metrics = client.roundtrip(r#"{"cmd": "metrics"}"#);
+        let parsed = Json::parse(&metrics).expect("metrics json");
+        let requests = parsed
+            .get("metrics")
+            .and_then(|m| m.get("requests"))
+            .and_then(Json::as_u64);
+        assert_eq!(requests, Some(1), "{metrics}");
+
+        let prom = client.roundtrip(r#"{"cmd": "metrics", "format": "prometheus"}"#);
+        let parsed = Json::parse(&prom).expect("prometheus envelope");
+        let text = parsed
+            .get("prometheus")
+            .and_then(Json::as_str)
+            .expect("prometheus text");
+        assert!(text.contains("# TYPE ppe_requests_total counter"), "{text}");
+        assert!(text.contains("ppe_request_duration_us_count 1"), "{text}");
+
+        let shutdown = client.roundtrip(r#"{"cmd": "shutdown"}"#);
+        assert!(shutdown.contains("\"shutdown\":true"), "{shutdown}");
+        let summary = handle.join().expect("server thread").expect("run");
+        assert_eq!(summary.connections, 1);
+        assert_eq!(summary.requests, 1);
+    }
+
+    #[test]
+    fn sessions_are_concurrent_not_serialized() {
+        // Two clients interleave on one server: each must get its own
+        // responses without waiting for the other session to close.
+        let (_server, addr, handle) = spawn_server(NetOptions::default());
+        let mut a = Client::connect(addr);
+        let mut b = Client::connect(addr);
+        let ra = a.roundtrip(&request_line(10, 2));
+        let rb = b.roundtrip(&request_line(20, 4));
+        assert!(ra.contains("\"id\":10"), "{ra}");
+        assert!(rb.contains("\"id\":20"), "{rb}");
+        a.send(r#"{"cmd": "shutdown"}"#);
+        assert!(a.recv().contains("\"shutdown\":true"));
+        let summary = handle.join().expect("server thread").expect("run");
+        assert_eq!(summary.connections, 2);
+        assert_eq!(summary.requests, 2);
+    }
+
+    #[test]
+    fn drain_finishes_inflight_then_refuses_late_connections() {
+        let (server, addr, handle) = spawn_server(NetOptions::default());
+        let mut worker = Client::connect(addr);
+        // A deadline-bound degrade request on an infinitely-unfolding
+        // program: deterministic ~150 ms of in-flight work.
+        let slow = r#"{"id": 99, "program": "(define (spin x n) (spin x (+ n 1)))", "inputs": "_ 0", "deadline_ms": 150, "fuel": 100000000, "max_unfold_depth": 100000000, "max_specializations": 100000000, "on_exhaustion": "degrade"}"#;
+        worker.send(slow);
+        // Give the request time to be read off the socket, then drain
+        // while it is executing.
+        thread::sleep(Duration::from_millis(40));
+        server.drain();
+        // A connection arriving during the drain window is refused with a
+        // structured error line (the worker is still in flight, so the
+        // refuse loop is live).
+        let mut late = Client::connect(addr);
+        let refusal = late.recv();
+        assert!(refusal.contains("draining"), "{refusal}");
+        assert!(refusal.contains("\"ok\":false"), "{refusal}");
+        // The in-flight response must still arrive, intact.
+        let response = worker.recv();
+        assert!(response.contains("\"id\":99"), "{response}");
+        assert!(response.contains("\"ok\":true"), "{response}");
+        let summary = handle.join().expect("server thread").expect("run");
+        assert_eq!(summary.requests, 1);
+        assert!(summary.refused >= 1, "{summary:?}");
+    }
+
+    #[test]
+    fn shutdown_command_on_admin_connection_drains_other_sessions() {
+        let (_server, addr, handle) = spawn_server(NetOptions::default());
+        let mut worker = Client::connect(addr);
+        let first = worker.roundtrip(&request_line(1, 2));
+        assert!(first.contains("\"ok\":true"), "{first}");
+
+        let mut admin = Client::connect(addr);
+        let ack = admin.roundtrip(r#"{"cmd": "shutdown"}"#);
+        assert!(ack.contains("\"shutdown\":true"), "{ack}");
+
+        // The idle worker session notices the drain within a poll tick
+        // and run() returns once both sessions close.
+        let summary = handle.join().expect("server thread").expect("run");
+        assert_eq!(summary.connections, 2);
+        // The worker's next read sees a clean end-of-stream.
+        let mut line = String::new();
+        let n = worker.reader.read_line(&mut line).expect("eof read");
+        assert_eq!(n, 0, "drained session should close cleanly: {line}");
+    }
+
+    #[test]
+    fn sheds_when_inflight_exceeds_limit() {
+        // max_inflight=1 and two concurrent slow requests: at least one
+        // must carry the shed marker, and the shed counter must move.
+        let (_server, addr, handle) = spawn_server(NetOptions {
+            max_inflight: 1,
+            ..NetOptions::default()
+        });
+        // With the default native recursion-depth cap an infinitely-
+        // unfolding function degrades within ~tens of ms — too brief to
+        // overlap reliably. Raising `max_recursion_depth` to its wire
+        // ceiling buys hundreds of ms of unfolding, so the 150ms deadline
+        // is what ends the run and the in-flight window is deterministic.
+        let slow = |id: u64| {
+            format!(
+                r#"{{"id": {id}, "program": "(define (spin{id} x n) (spin{id} x (+ n 1)))", "inputs": "_ 0", "deadline_ms": 150, "fuel": 100000000, "max_unfold_depth": 100000000, "max_recursion_depth": 65536, "max_specializations": 100000000, "on_exhaustion": "degrade"}}"#
+            )
+        };
+        let mut a = Client::connect(addr);
+        let mut b = Client::connect(addr);
+        a.send(&slow(1));
+        thread::sleep(Duration::from_millis(60));
+        b.send(&slow(2));
+        let ra = a.recv();
+        let rb = b.recv();
+        assert!(ra.contains("\"ok\":true"), "{ra}");
+        assert!(rb.contains("\"ok\":true"), "{rb}");
+        assert!(
+            !ra.contains("\"shed\":true") && rb.contains("\"shed\":true"),
+            "only the second request should shed:\n{ra}\n{rb}"
+        );
+        let mut admin = Client::connect(addr);
+        let metrics = admin.roundtrip(r#"{"cmd": "metrics"}"#);
+        let parsed = Json::parse(&metrics).expect("metrics json");
+        let shed = parsed
+            .get("metrics")
+            .and_then(|m| m.get("shed"))
+            .and_then(Json::as_u64);
+        assert_eq!(shed, Some(1), "{metrics}");
+        admin.send(r#"{"cmd": "shutdown"}"#);
+        let _ = admin.recv();
+        handle.join().expect("server thread").expect("run");
+    }
+
+    #[test]
+    fn line_cap_applies_over_tcp() {
+        let (_server, addr, handle) = spawn_server(NetOptions::default());
+        let mut client = Client::connect(addr);
+        let blast = "x".repeat(crate::serve::MAX_LINE_BYTES + 17);
+        let oversized = client.roundtrip(&blast);
+        assert!(oversized.contains("exceeds"), "{oversized}");
+        let ok = client.roundtrip(&request_line(5, 2));
+        assert!(ok.contains("\"ok\":true"), "{ok}");
+        client.send(r#"{"cmd": "shutdown"}"#);
+        let _ = client.recv();
+        handle.join().expect("server thread").expect("run");
+    }
+}

@@ -151,6 +151,16 @@ pub struct ExecuteRequest {
     pub engine: ExecEngine,
 }
 
+/// The highest `max_recursion_depth` a wire request may set.
+///
+/// The other budgets only bound how much *work* a request buys; this one
+/// bounds native stack frames, where overshooting is an uncatchable
+/// abort. Worker and session threads run on
+/// [`crate::driver::WORKER_STACK_BYTES`] (256 MiB) stacks; this ceiling
+/// (8× the engine default) stays an order of magnitude below what those
+/// absorb.
+pub const MAX_WIRE_RECURSION_DEPTH: u64 = 65_536;
+
 /// One specialization request.
 #[derive(Clone, Debug)]
 pub struct SpecializeRequest {
@@ -199,7 +209,8 @@ impl SpecializeRequest {
     /// Recognized fields: `program` (required), `inputs` (array of spec
     /// strings, or one whitespace-separated string), `function`, `engine`,
     /// `facets`, `optimize`, `fuel`, `deadline_ms`, `max_unfold_depth`,
-    /// `max_specializations`, `max_residual_size`, `on_exhaustion`,
+    /// `max_specializations`, `max_residual_size`, `max_recursion_depth`
+    /// (clamped to [`MAX_WIRE_RECURSION_DEPTH`]), `on_exhaustion`,
     /// `constraints`, `execute` (array of concrete value strings, or one
     /// whitespace-separated string — run the residual on these inputs),
     /// `exec_engine` (`vm` or `ast`, default `vm`), `spec_engine` (`vm`
@@ -273,6 +284,15 @@ impl SpecializeRequest {
         }
         if let Some(n) = num("max_residual_size")? {
             req.config.max_residual_size = n as usize;
+        }
+        if let Some(d) = num("max_recursion_depth")? {
+            // Unlike the other budgets this one guards *native* stack
+            // space, so the wire cannot raise it arbitrarily: cap it to
+            // what the big worker stacks (`WORKER_STACK_BYTES`) absorb
+            // comfortably. Clamping (not erroring) keeps larger values
+            // forward-compatible.
+            req.config.max_recursion_depth =
+                u32::try_from(d.min(MAX_WIRE_RECURSION_DEPTH)).expect("clamped to u32 range");
         }
         if let Some(p) = v.get("on_exhaustion") {
             req.config.on_exhaustion = match p.as_str().ok_or("`on_exhaustion` must be a string")? {
@@ -432,6 +452,12 @@ pub struct SpecializeResponse {
     /// from the wire rendering otherwise — older clients see an unchanged
     /// protocol.
     pub exec: Option<ExecOutcome>,
+    /// Whether the front-end shed this request — forced it onto
+    /// `Degrade` with a tight deadline because the in-flight limit was
+    /// hit (see [`crate::serve::RequestGovernor`]). Rendered on the wire
+    /// only when `true`, so transports without admission control emit an
+    /// unchanged protocol.
+    pub shed: bool,
 }
 
 impl SpecializeResponse {
@@ -444,6 +470,7 @@ impl SpecializeResponse {
             wall_micros: 0,
             diagnostics: Vec::new(),
             exec: None,
+            shed: false,
         }
     }
 
@@ -491,7 +518,87 @@ impl SpecializeResponse {
         if let Some(exec) = &self.exec {
             fields.push(("exec", exec.to_json()));
         }
+        if self.shed {
+            fields.push(("shed", Json::Bool(true)));
+        }
         Json::obj(fields)
+    }
+
+    /// Pre-renders the per-key-stable parts of this response's wire line,
+    /// or `None` when the response has per-request payload (errors, shed
+    /// markers, execution results) that makes caching unsound.
+    ///
+    /// Specialization output is deterministic per cache key — that is the
+    /// invariant the residual cache itself rests on — so everything except
+    /// `cache`, `id`, and `wall_us` renders to identical bytes for every
+    /// request that maps to the same key. Serving transports exploit that
+    /// with a session-local template cache: repeat hits skip JSON tree
+    /// construction and residual re-escaping, and a response line becomes
+    /// two `memcpy`s plus three small fields (see `RenderedHit::line`,
+    /// which is tested byte-identical to [`SpecializeResponse::to_json`]).
+    pub fn hit_template(&self) -> Option<RenderedHit> {
+        let out = self.outcome.as_ref().ok()?;
+        if self.shed || self.exec.is_some() {
+            return None;
+        }
+        let key = self.key?;
+        let mut mid = Json::Arr(out.degradations.iter().map(degradation_json).collect()).render();
+        if !self.diagnostics.is_empty() {
+            mid.push_str(",\"diagnostics\":");
+            mid.push_str(
+                &Json::Arr(self.diagnostics.iter().map(diagnostic_json).collect()).render(),
+            );
+        }
+        let mut tail = String::with_capacity(out.residual.len() + 256);
+        tail.push_str("\"key\":");
+        tail.push_str(&Json::str(key.to_string()).render());
+        tail.push_str(",\"ok\":true,\"residual\":");
+        tail.push_str(&Json::str(out.residual.clone()).render());
+        tail.push_str(",\"stats\":");
+        tail.push_str(&stats_json(&out.stats).render());
+        tail.push_str(",\"wall_us\":");
+        Some(RenderedHit { mid, tail })
+    }
+}
+
+/// A response wire line pre-rendered around its per-request fields
+/// (`cache`, `id`, `wall_us`); see [`SpecializeResponse::hit_template`].
+#[derive(Clone, Debug)]
+pub struct RenderedHit {
+    /// From after `"degradations":` up to (exclusive) the `,` before
+    /// `"id"`/`"key"` — the degradations array plus any diagnostics.
+    mid: String,
+    /// From `"key"` through the `:` after `"wall_us"`.
+    tail: String,
+}
+
+impl RenderedHit {
+    /// Assembles the full wire line for one request over this template's
+    /// key. Byte-identical to `response.to_json(id).render()` for every
+    /// response [`SpecializeResponse::hit_template`] accepts (object keys
+    /// stay in sorted order: cache, degradations, diagnostics, id, key,
+    /// ok, residual, stats, wall_us).
+    pub fn line(
+        &self,
+        disposition: CacheDisposition,
+        id: Option<&Json>,
+        wall_micros: u64,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.mid.len() + self.tail.len() + 64);
+        out.push_str("{\"cache\":\"");
+        out.push_str(disposition.name());
+        out.push_str("\",\"degradations\":");
+        out.push_str(&self.mid);
+        if let Some(id) = id {
+            out.push_str(",\"id\":");
+            out.push_str(&id.render());
+        }
+        out.push(',');
+        out.push_str(&self.tail);
+        let _ = write!(out, "{wall_micros}");
+        out.push('}');
+        out
     }
 }
 
@@ -638,6 +745,21 @@ mod tests {
     }
 
     #[test]
+    fn recursion_depth_is_wire_clamped() {
+        let v = Json::parse(r#"{"program": "p", "max_recursion_depth": 30000}"#).unwrap();
+        let req = SpecializeRequest::from_json(&v).unwrap();
+        assert_eq!(req.config.max_recursion_depth, 30_000);
+
+        let v = Json::parse(r#"{"program": "p", "max_recursion_depth": 4000000000}"#).unwrap();
+        let req = SpecializeRequest::from_json(&v).unwrap();
+        assert_eq!(
+            u64::from(req.config.max_recursion_depth),
+            MAX_WIRE_RECURSION_DEPTH,
+            "values past the ceiling clamp instead of erroring"
+        );
+    }
+
+    #[test]
     fn response_json_success_and_error() {
         let ok = SpecializeResponse {
             outcome: Ok(SpecializeOutput {
@@ -650,6 +772,7 @@ mod tests {
             wall_micros: 7,
             diagnostics: Vec::new(),
             exec: None,
+            shed: false,
         };
         let text = ok.to_json(Some(&Json::num(1))).render();
         assert!(text.contains("\"ok\":true"), "{text}");
@@ -660,5 +783,57 @@ mod tests {
         let text = err.to_json(None).render();
         assert!(text.contains("\"ok\":false"), "{text}");
         assert!(text.contains("no such program"), "{text}");
+    }
+
+    #[test]
+    fn hit_template_assembly_matches_tree_render() {
+        let mut resp = SpecializeResponse {
+            outcome: Ok(SpecializeOutput {
+                residual: "(define (f x)\n  (* x \"two\"))\n".into(),
+                stats: PeStats {
+                    reductions: 3,
+                    unfolds: 2,
+                    ..PeStats::default()
+                },
+                degradations: Vec::new(),
+            }),
+            disposition: CacheDisposition::Miss,
+            key: Some(CacheKey(0xfeed_beef)),
+            wall_micros: 42,
+            diagnostics: Vec::new(),
+            exec: None,
+            shed: false,
+        };
+        let template = resp.hit_template().expect("template-eligible");
+        // Every per-request combination the template path serves must be
+        // byte-identical to the tree render.
+        for disposition in [CacheDisposition::Miss, CacheDisposition::Hit] {
+            resp.disposition = disposition;
+            for (id, wall) in [(Some(Json::num(9)), 1u64), (None, 123456)] {
+                resp.wall_micros = wall;
+                assert_eq!(
+                    template.line(disposition, id.as_ref(), wall),
+                    resp.to_json(id.as_ref()).render(),
+                );
+            }
+        }
+
+        // Diagnostics are per-key-stable and ride inside the template.
+        resp.diagnostics = vec![Diagnostic::warning("W0001", "unused parameter")];
+        let template = resp.hit_template().expect("template-eligible");
+        assert_eq!(
+            template.line(resp.disposition, None, resp.wall_micros),
+            resp.to_json(None).render(),
+        );
+
+        // Per-request payload disqualifies caching entirely.
+        resp.shed = true;
+        assert!(resp.hit_template().is_none(), "shed responses vary");
+        resp.shed = false;
+        resp.key = None;
+        assert!(resp.hit_template().is_none(), "keyless responses");
+        resp.key = Some(CacheKey(1));
+        resp.outcome = Err("boom".into());
+        assert!(resp.hit_template().is_none(), "errors are not cacheable");
     }
 }

@@ -7,7 +7,12 @@
 //! a reordering writer buffers out-of-order completions. Lines whose
 //! object carries a `cmd` field are control messages:
 //!
-//! - `{"cmd": "metrics"}` — a point-in-time [`crate::metrics`] snapshot.
+//! - `{"cmd": "metrics"}` — a point-in-time [`crate::metrics`] snapshot;
+//!   with `"format": "prometheus"` the snapshot is returned as Prometheus
+//!   exposition text in a `prometheus` string field.
+//! - `{"cmd": "health"}` — liveness: answers `{"ok":true,"health":"ok"}`.
+//! - `{"cmd": "ready"}` — readiness: `ready` is `false` once the server
+//!   is draining (always `true` on a plain stdio session).
 //! - `{"cmd": "shutdown"}` — acknowledge, finish in-flight work, stop.
 //!
 //! Malformed lines answer `{"ok": false, "error": ...}` rather than
@@ -16,18 +21,29 @@
 //! longer than [`MAX_LINE_BYTES`] is drained (never buffered whole) and
 //! answered with a structured error, and a line that is not valid UTF-8
 //! is dropped the same way. Only real I/O errors end the session.
+//!
+//! The same core loop serves two transports: [`serve`] drives it over
+//! stdio (with an optional worker pool and a reordering writer), and the
+//! TCP front-end ([`crate::net`]) runs one [`handle_session`] per
+//! connection, layering admission control and drain awareness on top via
+//! [`SessionOptions`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{self, BufRead, Write};
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::thread;
+use std::time::Duration;
+
+use ppe_online::ExhaustionPolicy;
 
 use crate::driver::WORKER_STACK_BYTES;
 use crate::engine::EngineContext;
 use crate::json::Json;
-use crate::request::{SpecializeRequest, SpecializeResponse};
+use crate::key::CacheKey;
+use crate::metrics::Metrics;
+use crate::request::{RenderedHit, SpecializeRequest, SpecializeResponse};
 use crate::service::SpecializeService;
 
 /// Longest request line the serve loop will buffer, in bytes.
@@ -47,6 +63,80 @@ pub struct ServeOptions {
 impl Default for ServeOptions {
     fn default() -> ServeOptions {
         ServeOptions { jobs: 1 }
+    }
+}
+
+/// Admission control the front-end applies to every specialize request
+/// before it reaches the engines: a deadline cap, and load shedding once
+/// too many requests are executing at once.
+///
+/// Shedding is deliberately *graceful*: a shed request is not refused, it
+/// is forced onto [`ExhaustionPolicy::Degrade`] with a tight deadline, so
+/// the client still gets a correct (if less specialized) residual plus a
+/// `"shed": true` marker — and a warm cache hit under pressure still
+/// answers at full quality in microseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestGovernor {
+    /// Cap applied to every request's deadline (`min` with the client's
+    /// own, if any). `None` leaves client deadlines untouched.
+    pub request_deadline: Option<Duration>,
+    /// Shed once this many requests are already executing.
+    pub max_inflight: u64,
+    /// The deadline forced onto shed requests.
+    pub shed_deadline: Duration,
+}
+
+impl RequestGovernor {
+    /// Applies admission control to `req`, returning whether it was shed.
+    pub fn admit(&self, req: &mut SpecializeRequest, metrics: &Metrics) -> bool {
+        if let Some(cap) = self.request_deadline {
+            req.config.deadline = Some(req.config.deadline.map_or(cap, |d| d.min(cap)));
+        }
+        if metrics.inflight.load(Relaxed) < self.max_inflight {
+            return false;
+        }
+        req.config.on_exhaustion = ExhaustionPolicy::Degrade;
+        req.config.deadline = Some(
+            req.config
+                .deadline
+                .map_or(self.shed_deadline, |d| d.min(self.shed_deadline)),
+        );
+        metrics.shed.fetch_add(1, Relaxed);
+        true
+    }
+}
+
+/// Per-session hooks a transport layers on top of the core line loop.
+///
+/// The default (all `None`) is the plain stdio session, byte-identical to
+/// the pre-TCP serve loop. The TCP front-end supplies all four: a
+/// [`RequestGovernor`], the server-wide drain flag, a callback that
+/// triggers the drain when *this* session receives `{"cmd":"shutdown"}`,
+/// and an interrupt predicate polled on read timeouts so idle sessions
+/// notice the drain without a read deadline elapsing into an error.
+#[derive(Clone, Copy, Default)]
+pub struct SessionOptions<'a> {
+    /// Admission control for specialize requests.
+    pub governor: Option<&'a RequestGovernor>,
+    /// Server-wide drain flag; once set, the session exits after the
+    /// request it is currently answering.
+    pub draining: Option<&'a AtomicBool>,
+    /// Invoked after this session acknowledges a `shutdown` command.
+    pub on_shutdown: Option<&'a (dyn Fn() + Sync)>,
+    /// Polled when a read times out (`WouldBlock`/`TimedOut`); returning
+    /// `true` ends the session as if the input reached end-of-file.
+    /// Without it, read timeouts propagate as I/O errors.
+    pub interrupt: Option<&'a (dyn Fn() -> bool + Sync)>,
+}
+
+impl std::fmt::Debug for SessionOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionOptions")
+            .field("governor", &self.governor)
+            .field("draining", &self.draining)
+            .field("on_shutdown", &self.on_shutdown.map(|_| "..."))
+            .field("interrupt", &self.interrupt.map(|_| "..."))
+            .finish()
     }
 }
 
@@ -80,14 +170,59 @@ pub fn serve(
     serve_parallel(service, input, output, options.jobs)
 }
 
-/// One request line end-to-end on the calling thread.
+/// Session-local cache of pre-rendered response templates, keyed by
+/// cache key. Rendering dominates the warm-hit serve path (a multi-KB
+/// residual re-escaped per response), so repeat answers assemble from a
+/// template instead (see [`SpecializeResponse::hit_template`]). Bounded:
+/// past [`RenderCache::CAP`] keys it starts over — a session cycling
+/// through more hot keys than that is re-rendering either way.
+struct RenderCache {
+    map: HashMap<CacheKey, RenderedHit>,
+}
+
+impl RenderCache {
+    const CAP: usize = 512;
+
+    fn new() -> RenderCache {
+        RenderCache {
+            map: HashMap::new(),
+        }
+    }
+
+    /// Renders `response`'s wire line, through the template cache when
+    /// the response is template-eligible.
+    fn line(&mut self, response: &SpecializeResponse, id: Option<&Json>) -> String {
+        if let Some(key) = response.key.filter(|_| response.outcome.is_ok()) {
+            if let Some(template) = self.map.get(&key) {
+                if !response.shed && response.exec.is_none() {
+                    return template.line(response.disposition, id, response.wall_micros);
+                }
+            } else if let Some(template) = response.hit_template() {
+                let line = template.line(response.disposition, id, response.wall_micros);
+                if self.map.len() >= RenderCache::CAP {
+                    self.map.clear();
+                }
+                self.map.insert(key, template);
+                return line;
+            }
+        }
+        response.to_json(id).render()
+    }
+}
+
+/// One request line end-to-end on the calling thread. Takes the line
+/// already parsed (or its parse error) so callers that must inspect the
+/// line themselves — for `cmd` routing, shutdown detection, request
+/// counting — parse exactly once.
 fn answer(
     service: &SpecializeService,
     ctx: &mut EngineContext,
-    line: &str,
+    parsed: Result<Json, String>,
     errors: &AtomicU64,
+    session: &SessionOptions<'_>,
+    renders: &mut RenderCache,
 ) -> Option<String> {
-    let parsed = match Json::parse(line) {
+    let parsed = match parsed {
         Ok(v) => v,
         Err(e) => {
             errors.fetch_add(1, Relaxed);
@@ -95,31 +230,69 @@ fn answer(
         }
     };
     if let Some(cmd) = parsed.get("cmd").and_then(Json::as_str) {
-        return control_line(service, cmd, parsed.get("id"), errors);
+        return control_line(service, cmd, &parsed, session, errors);
     }
     let id = parsed.get("id").cloned();
     let response = match SpecializeRequest::from_json(&parsed) {
-        Ok(req) => service.handle(&req, ctx),
+        Ok(mut req) => {
+            let metrics = service.metrics();
+            let shed = match session.governor {
+                Some(gov) => gov.admit(&mut req, metrics),
+                None => false,
+            };
+            metrics.inflight.fetch_add(1, Relaxed);
+            let mut response = service.handle(&req, ctx);
+            metrics.inflight.fetch_sub(1, Relaxed);
+            response.shed = shed;
+            response
+        }
         Err(e) => SpecializeResponse::error(e),
     };
     if response.outcome.is_err() {
         errors.fetch_add(1, Relaxed);
     }
-    Some(response.to_json(id.as_ref()).render())
+    Some(renders.line(&response, id.as_ref()))
 }
 
-/// Renders a control command's response line; `None` means shutdown.
+/// Renders a control command's response line.
 fn control_line(
     service: &SpecializeService,
     cmd: &str,
-    id: Option<&Json>,
+    parsed: &Json,
+    session: &SessionOptions<'_>,
     errors: &AtomicU64,
 ) -> Option<String> {
     let mut fields = match cmd {
-        "metrics" => vec![
-            ("ok", Json::Bool(true)),
-            ("metrics", service.metrics().snapshot().to_json()),
-        ],
+        "metrics" => match parsed.get("format").and_then(Json::as_str) {
+            None | Some("json") => vec![
+                ("ok", Json::Bool(true)),
+                ("metrics", service.metrics().snapshot().to_json()),
+            ],
+            Some("prometheus") => vec![
+                ("ok", Json::Bool(true)),
+                (
+                    "prometheus",
+                    Json::str(service.metrics().snapshot().to_prometheus()),
+                ),
+            ],
+            Some(other) => {
+                errors.fetch_add(1, Relaxed);
+                vec![
+                    ("ok", Json::Bool(false)),
+                    (
+                        "error",
+                        Json::str(format!(
+                            "unknown metrics format `{other}` (json|prometheus)"
+                        )),
+                    ),
+                ]
+            }
+        },
+        "health" => vec![("ok", Json::Bool(true)), ("health", Json::str("ok"))],
+        "ready" => {
+            let draining = session.draining.is_some_and(|d| d.load(Relaxed));
+            vec![("ok", Json::Bool(true)), ("ready", Json::Bool(!draining))]
+        }
         "shutdown" => vec![("ok", Json::Bool(true)), ("shutdown", Json::Bool(true))],
         other => {
             errors.fetch_add(1, Relaxed);
@@ -129,7 +302,7 @@ fn control_line(
             ]
         }
     };
-    if let Some(id) = id {
+    if let Some(id) = parsed.get("id") {
         fields.push(("id", id.clone()));
     }
     Some(Json::obj(fields).render())
@@ -159,13 +332,36 @@ enum Frame {
 /// Oversized lines are consumed chunk-by-chunk off the reader without
 /// ever holding more than the cap in memory, so a hostile client cannot
 /// balloon the server by omitting newlines.
-fn next_frame(input: &mut impl BufRead) -> io::Result<Frame> {
+///
+/// A read that times out (`WouldBlock`/`TimedOut` — a socket with a read
+/// timeout) polls `interrupt`: `true` ends the session as end-of-file,
+/// `false` resumes the read with any partially-buffered line intact. With
+/// no interrupt hook, timeouts propagate as the I/O errors they are.
+fn next_frame(
+    input: &mut impl BufRead,
+    interrupt: Option<&(dyn Fn() -> bool + Sync)>,
+) -> io::Result<Frame> {
     loop {
         let mut buf: Vec<u8> = Vec::new();
         let mut overflowed = false;
         let mut saw_any = false;
         loop {
-            let chunk = input.fill_buf()?;
+            let chunk = match input.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) && interrupt.is_some() =>
+                {
+                    if interrupt.is_some_and(|f| f()) {
+                        return Ok(Frame::Eof);
+                    }
+                    continue;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
             if chunk.is_empty() {
                 if !saw_any {
                     return Ok(Frame::Eof);
@@ -210,23 +406,42 @@ fn next_frame(input: &mut impl BufRead) -> io::Result<Frame> {
     }
 }
 
-fn is_shutdown(line: &str) -> bool {
-    Json::parse(line)
-        .ok()
-        .and_then(|v| v.get("cmd").and_then(Json::as_str).map(|c| c == "shutdown"))
-        .unwrap_or(false)
+fn serve_inline(
+    service: &SpecializeService,
+    input: impl BufRead,
+    output: impl Write,
+) -> io::Result<ServeSummary> {
+    handle_session(service, input, output, &SessionOptions::default())
 }
 
-fn serve_inline(
+/// Runs one line-loop session over any transport: requests answered on
+/// the calling thread, in order.
+///
+/// This is the core the stdio loop and the TCP front-end share. With
+/// default [`SessionOptions`] it is exactly the single-threaded stdio
+/// serve loop; the hooks add admission control, drain awareness, and
+/// shutdown propagation without forking the loop per transport (the 1 MiB
+/// line cap and invalid-UTF-8 hardening apply identically everywhere).
+///
+/// # Errors
+///
+/// Only I/O errors on `input`/`output` end the session abnormally;
+/// request-level failures become `ok: false` response lines.
+pub fn handle_session(
     service: &SpecializeService,
     mut input: impl BufRead,
     mut output: impl Write,
+    session: &SessionOptions<'_>,
 ) -> io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
     let errors = AtomicU64::new(0);
     let mut ctx = EngineContext::new();
+    let mut renders = RenderCache::new();
     loop {
-        let line = match next_frame(&mut input)? {
+        if session.draining.is_some_and(|d| d.load(Relaxed)) {
+            break;
+        }
+        let line = match next_frame(&mut input, session.interrupt)? {
             Frame::Eof => break,
             Frame::Reject(message) => {
                 summary.lines += 1;
@@ -238,19 +453,23 @@ fn serve_inline(
             Frame::Request(line) => line,
         };
         summary.lines += 1;
-        let shutdown = is_shutdown(&line);
-        if !shutdown
-            && Json::parse(&line)
-                .map(|v| v.get("cmd").is_none())
-                .unwrap_or(true)
-        {
+        let parsed = Json::parse(&line);
+        let cmd = parsed
+            .as_ref()
+            .ok()
+            .and_then(|v| v.get("cmd").and_then(Json::as_str));
+        let shutdown = cmd == Some("shutdown");
+        if cmd.is_none() {
             summary.requests += 1;
         }
-        if let Some(rendered) = answer(service, &mut ctx, &line, &errors) {
+        if let Some(rendered) = answer(service, &mut ctx, parsed, &errors, session, &mut renders) {
             writeln!(output, "{rendered}")?;
             output.flush()?;
         }
         if shutdown {
+            if let Some(hook) = session.on_shutdown {
+                hook();
+            }
             break;
         }
     }
@@ -282,10 +501,15 @@ fn serve_parallel(
                 .stack_size(WORKER_STACK_BYTES)
                 .spawn_scoped(scope, move || {
                     let mut ctx = EngineContext::new();
+                    let mut renders = RenderCache::new();
                     loop {
                         let job = job_rx.lock().expect("job queue poisoned").recv();
                         let Ok((seq, line)) = job else { return };
-                        if let Some(rendered) = answer(service, &mut ctx, &line, errors) {
+                        let session = SessionOptions::default();
+                        let parsed = Json::parse(&line);
+                        if let Some(rendered) =
+                            answer(service, &mut ctx, parsed, errors, &session, &mut renders)
+                        {
                             if out_tx.send((seq, rendered)).is_err() {
                                 return;
                             }
@@ -298,9 +522,10 @@ fn serve_parallel(
         }
 
         let mut inline_ctx = EngineContext::new();
+        let mut inline_renders = RenderCache::new();
         let mut seq = 0u64;
         loop {
-            let line = match next_frame(&mut input)? {
+            let line = match next_frame(&mut input, None)? {
                 Frame::Eof => break,
                 Frame::Reject(message) => {
                     summary.lines += 1;
@@ -321,8 +546,9 @@ fn serve_parallel(
                     // Control messages answer on the read thread, but go
                     // through the same sequenced writer so their position
                     // in the output matches their position in the input.
-                    let id = parsed.as_ref().and_then(|v| v.get("id"));
-                    if let Some(rendered) = control_line(service, cmd, id, &errors) {
+                    let parsed = parsed.as_ref().expect("cmd implies parsed");
+                    let session = SessionOptions::default();
+                    if let Some(rendered) = control_line(service, cmd, parsed, &session, &errors) {
                         let _ = out_tx.send((seq, rendered));
                     }
                     seq += 1;
@@ -334,7 +560,15 @@ fn serve_parallel(
                     summary.requests += 1;
                     if workers == 0 {
                         // Could not spawn any worker: degrade to inline.
-                        if let Some(rendered) = answer(service, &mut inline_ctx, &line, &errors) {
+                        let session = SessionOptions::default();
+                        if let Some(rendered) = answer(
+                            service,
+                            &mut inline_ctx,
+                            Json::parse(&line),
+                            &errors,
+                            &session,
+                            &mut inline_renders,
+                        ) {
                             let _ = out_tx.send((seq, rendered));
                         }
                     } else {

@@ -195,6 +195,7 @@ impl SpecializeService {
                         wall_micros: 0,
                         diagnostics: Vec::new(),
                         exec: None,
+                        shed: false,
                     },
                     Ok(outcome) => {
                         let mut degradations = outcome.degradations.clone();
@@ -223,6 +224,7 @@ impl SpecializeService {
                             wall_micros: 0,
                             diagnostics: Vec::new(),
                             exec: None,
+                            shed: false,
                         }
                     }
                 }

@@ -86,8 +86,8 @@ use ppe::online::{ExhaustionPolicy, OnlinePe, PeConfig, PeInput};
 use ppe::server::request::diagnostic_json;
 use ppe::server::spec::{build_facets, parse_input, parse_value, ALL_FACETS};
 use ppe::server::{
-    run_batch, serve, BatchOptions, Json, PersistConfig, PersistMode, PersistTier, ServeOptions,
-    ServiceConfig, SpecializeRequest, SpecializeService,
+    run_batch, serve, BatchOptions, Json, NetOptions, NetServer, PersistConfig, PersistMode,
+    PersistTier, ServeOptions, ServiceConfig, SpecializeRequest, SpecializeService,
 };
 
 /// Stack size for the worker thread. Deeply recursive source programs drive
@@ -160,6 +160,7 @@ fn usage() -> String {
      \u{20}      ppe batch <requests.jsonl|-> [--jobs N] [--cache-mb N] [--program <file.sexp>]\n\
      \u{20}       [--cache-dir DIR] [--cache-mode rw|ro|off]\n\
      \u{20}      ppe serve [--jobs N] [--cache-mb N] [--cache-dir DIR] [--cache-mode rw|ro|off]\n\
+     \u{20}       [--listen ADDR] [--max-connections N] [--request-deadline-ms N]\n\
      \u{20}      ppe cache <stats|export|import|gc> --cache-dir DIR [FILE|-]\n\
      \u{20}       [--max-bytes N] [--purge-quarantine] [--stale-against <file.sexp>]\n\
      see `cargo doc` or the README for the input syntax"
@@ -746,6 +747,12 @@ struct ServerOpts {
     program: Option<String>,
     cache_dir: Option<String>,
     cache_mode: CacheMode,
+    /// `serve` only: bind a TCP front-end here instead of stdio.
+    listen: Option<String>,
+    /// `serve --listen` only: concurrent-connection bound.
+    max_connections: usize,
+    /// `serve --listen` only: per-request deadline cap, milliseconds.
+    request_deadline_ms: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -772,6 +779,9 @@ fn parse_server_opts(args: &[String]) -> Result<ServerOpts, String> {
         program: None,
         cache_dir: None,
         cache_mode: CacheMode::ReadWrite,
+        listen: None,
+        max_connections: 64,
+        request_deadline_ms: None,
         positional: Vec::new(),
     };
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -806,6 +816,21 @@ fn parse_server_opts(args: &[String]) -> Result<ServerOpts, String> {
             }
             "--cache-dir" => {
                 opts.cache_dir = Some(take_value(args, &mut i, "--cache-dir")?);
+            }
+            "--listen" => {
+                opts.listen = Some(take_value(args, &mut i, "--listen")?);
+            }
+            "--max-connections" => {
+                let v = take_value(args, &mut i, "--max-connections")?;
+                opts.max_connections = v.parse::<usize>().map_err(|_| {
+                    format!("--max-connections must be a positive integer, got `{v}`")
+                })?;
+            }
+            "--request-deadline-ms" => {
+                let v = take_value(args, &mut i, "--request-deadline-ms")?;
+                opts.request_deadline_ms = Some(v.parse::<u64>().map_err(|_| {
+                    format!("--request-deadline-ms must be a non-negative integer, got `{v}`")
+                })?);
             }
             "--cache-mode" => {
                 let v = take_value(args, &mut i, "--cache-mode")?;
@@ -959,25 +984,47 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `ppe serve`: the JSON-lines request/response loop on stdin/stdout.
+/// `ppe serve`: the JSON-lines request/response loop on stdin/stdout, or
+/// (with `--listen ADDR`) the concurrent TCP front-end on that address.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let opts = parse_server_opts(args)?;
     if let Some(extra) = opts.positional.first() {
         return Err(format!("serve takes no positional argument, got `{extra}`"));
     }
     let service = service_for(&opts);
-    let stdin = std::io::stdin();
-    let summary = serve(
-        &service,
-        stdin.lock(),
-        std::io::stdout(),
-        ServeOptions { jobs: opts.jobs },
-    )
-    .map_err(|e| format!("serve I/O error: {e}"))?;
-    eprintln!(
-        "; served {} lines: {} requests, {} errors",
-        summary.lines, summary.requests, summary.errors
-    );
+    if let Some(addr) = &opts.listen {
+        let server = NetServer::bind(addr.as_str())
+            .map_err(|e| format!("cannot listen on `{addr}`: {e}"))?;
+        eprintln!("; listening on {}", server.local_addr());
+        let summary = server
+            .run(
+                &service,
+                NetOptions {
+                    max_connections: opts.max_connections,
+                    max_inflight: opts.jobs.max(1) as u64,
+                    request_deadline: opts.request_deadline_ms.map(Duration::from_millis),
+                    ..NetOptions::default()
+                },
+            )
+            .map_err(|e| format!("serve network error: {e}"))?;
+        eprintln!(
+            "; served {} connections ({} refused), {} lines: {} requests, {} errors",
+            summary.connections, summary.refused, summary.lines, summary.requests, summary.errors
+        );
+    } else {
+        let stdin = std::io::stdin();
+        let summary = serve(
+            &service,
+            stdin.lock(),
+            std::io::stdout(),
+            ServeOptions { jobs: opts.jobs },
+        )
+        .map_err(|e| format!("serve I/O error: {e}"))?;
+        eprintln!(
+            "; served {} lines: {} requests, {} errors",
+            summary.lines, summary.requests, summary.errors
+        );
+    }
     eprintln!("{}", service.metrics().snapshot().to_json().render());
     report_disk_faults(&service);
     Ok(())
